@@ -1,0 +1,95 @@
+#ifndef WEBTAB_BENCH_BENCH_UTIL_H_
+#define WEBTAB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotate/annotator.h"
+#include "baseline/lca_annotator.h"
+#include "baseline/majority_annotator.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "eval/annotation_eval.h"
+#include "index/lemma_index.h"
+#include "synth/datasets.h"
+#include "synth/world_generator.h"
+
+namespace webtab {
+namespace bench {
+
+/// Default experiment world: bigger than the test world, small enough to
+/// regenerate per bench run in ~1s.
+inline WorldSpec DefaultWorldSpec(uint64_t seed = 42) {
+  WorldSpec spec;
+  spec.seed = seed;
+  return spec;  // Library defaults: ~2.8k entities, 14 relations.
+}
+
+/// One system's scores on one dataset.
+struct SystemScores {
+  double entity_accuracy = 0.0;
+  double type_f1 = 0.0;
+  double relation_f1 = 0.0;
+  bool has_entities = false;
+  bool has_types = false;
+  bool has_relations = false;
+};
+
+/// Runs LCA, Majority and Collective over a labeled dataset using shared
+/// candidate sets (so differences come from the methods, not retrieval).
+struct DatasetComparison {
+  SystemScores lca;
+  SystemScores majority;
+  SystemScores collective;
+};
+
+inline SystemScores Finalize(const AnnotationEvaluator& eval) {
+  SystemScores s;
+  s.entity_accuracy = eval.EntityAccuracy();
+  s.type_f1 = eval.type_prf().F1();
+  s.relation_f1 = eval.relation_prf().F1();
+  s.has_entities = eval.entity_counter().total > 0;
+  s.has_types = eval.type_prf().gold > 0;
+  s.has_relations = eval.relation_prf().gold > 0;
+  return s;
+}
+
+inline DatasetComparison CompareSystems(
+    TableAnnotator* annotator, const std::vector<LabeledTable>& data,
+    double majority_threshold = 50.0) {
+  AnnotationEvaluator lca_eval, maj_eval, coll_eval;
+  for (const LabeledTable& lt : data) {
+    TableCandidates cands;
+    TableAnnotation pred =
+        annotator->AnnotateWithCandidates(lt.table, &cands);
+    coll_eval.Add(lt, pred);
+    BaselineResult lca =
+        AnnotateLca(lt.table, cands, annotator->closure(),
+                    annotator->features(), annotator->options().weights);
+    lca_eval.Add(lt, lca.annotation, &lca.column_type_sets);
+    MajorityOptions moptions;
+    moptions.threshold_percent = majority_threshold;
+    BaselineResult maj = AnnotateMajority(
+        lt.table, cands, annotator->closure(), annotator->features(),
+        annotator->options().weights, moptions);
+    maj_eval.Add(lt, maj.annotation, &maj.column_type_sets);
+  }
+  DatasetComparison out;
+  out.lca = Finalize(lca_eval);
+  out.majority = Finalize(maj_eval);
+  out.collective = Finalize(coll_eval);
+  return out;
+}
+
+inline std::string Pct(double v, bool present = true) {
+  if (!present) return "-";
+  return TablePrinter::Num(v * 100.0, 2);
+}
+
+}  // namespace bench
+}  // namespace webtab
+
+#endif  // WEBTAB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,169 @@
+// google-benchmark microbenchmarks for the §6.1.2 cost profile: text
+// similarity kernels, lemma-index probes, catalog closure queries and BP
+// message rounds.
+#include <benchmark/benchmark.h>
+
+#include "catalog/closure.h"
+#include "index/candidates.h"
+#include "index/lemma_index.h"
+#include "inference/belief_propagation.h"
+#include "inference/table_graph.h"
+#include "model/label_space.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+#include "text/similarity.h"
+#include "text/soft_tfidf.h"
+
+namespace webtab {
+namespace {
+
+const World& BenchWorld() {
+  static const World* world = [] {
+    WorldSpec spec;
+    spec.seed = 42;
+    return new World(GenerateWorld(spec));
+  }();
+  return *world;
+}
+
+const LemmaIndex& BenchIndex() {
+  static const LemmaIndex* index = new LemmaIndex(&BenchWorld().catalog);
+  return *index;
+}
+
+void BM_TfIdfCosine(benchmark::State& state) {
+  Vocabulary* vocab = BenchIndex().vocabulary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TfIdfCosine("The Shadow of Kelvag", "Shadow of Kelvag", vocab));
+  }
+}
+BENCHMARK(BM_TfIdfCosine);
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaccardSimilarity("The Shadow of Kelvag", "Shadow of Kelvag"));
+  }
+}
+BENCHMARK(BM_JaccardSimilarity);
+
+void BM_SoftTfIdf(benchmark::State& state) {
+  Vocabulary* vocab = BenchIndex().vocabulary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftTfIdfSimilarity(
+        "The Shadwo of Kelvag", "Shadow of Kelvag", vocab));
+  }
+}
+BENCHMARK(BM_SoftTfIdf);
+
+void BM_EditSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EditSimilarity("Rolan Vestik", "R. Vestik"));
+  }
+}
+BENCHMARK(BM_EditSimilarity);
+
+void BM_LemmaIndexProbe(benchmark::State& state) {
+  const LemmaIndex& index = BenchIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.ProbeEntities("Vestik", 8));
+  }
+}
+BENCHMARK(BM_LemmaIndexProbe);
+
+void BM_LemmaIndexProbeLongText(benchmark::State& state) {
+  const LemmaIndex& index = BenchIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.ProbeEntities("The Shadow of Kelvag", 8));
+  }
+}
+BENCHMARK(BM_LemmaIndexProbeLongText);
+
+void BM_ClosureAncestors(benchmark::State& state) {
+  const World& world = BenchWorld();
+  int64_t i = 0;
+  for (auto _ : state) {
+    // Fresh cache each batch to measure the BFS, not the memo hit.
+    ClosureCache closure(&world.catalog);
+    benchmark::DoNotOptimize(closure.TypeAncestors(
+        static_cast<EntityId>(i++ % world.catalog.num_entities())));
+  }
+}
+BENCHMARK(BM_ClosureAncestors);
+
+void BM_ClosureEntitiesOfMidType(benchmark::State& state) {
+  const World& world = BenchWorld();
+  for (auto _ : state) {
+    ClosureCache closure(&world.catalog);
+    benchmark::DoNotOptimize(closure.EntitiesOf(world.movie));
+  }
+}
+BENCHMARK(BM_ClosureEntitiesOfMidType);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const World& world = BenchWorld();
+  const LemmaIndex& index = BenchIndex();
+  ClosureCache closure(&world.catalog);
+  CorpusSpec spec;
+  spec.seed = 3;
+  spec.num_tables = 1;
+  spec.min_rows = 20;
+  spec.max_rows = 20;
+  Table table = GenerateCorpus(world, spec)[0].table;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCandidates(table, index, &closure, CandidateOptions()));
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_BeliefPropagation20Rows(benchmark::State& state) {
+  const World& world = BenchWorld();
+  const LemmaIndex& index = BenchIndex();
+  ClosureCache closure(&world.catalog);
+  FeatureComputer features(&closure, index.vocabulary());
+  CorpusSpec spec;
+  spec.seed = 4;
+  spec.num_tables = 1;
+  spec.min_rows = 20;
+  spec.max_rows = 20;
+  Table table = GenerateCorpus(world, spec)[0].table;
+  TableCandidates cands =
+      GenerateCandidates(table, index, &closure, CandidateOptions());
+  TableLabelSpace space = TableLabelSpace::Build(table, cands);
+  TableGraph graph =
+      BuildTableGraph(table, space, &features, Weights::Default());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBeliefPropagation(graph.graph));
+  }
+}
+BENCHMARK(BM_BeliefPropagation20Rows);
+
+void BM_GraphBuild20Rows(benchmark::State& state) {
+  const World& world = BenchWorld();
+  const LemmaIndex& index = BenchIndex();
+  ClosureCache closure(&world.catalog);
+  FeatureComputer features(&closure, index.vocabulary());
+  CorpusSpec spec;
+  spec.seed = 4;
+  spec.num_tables = 1;
+  spec.min_rows = 20;
+  spec.max_rows = 20;
+  Table table = GenerateCorpus(world, spec)[0].table;
+  TableCandidates cands =
+      GenerateCandidates(table, index, &closure, CandidateOptions());
+  TableLabelSpace space = TableLabelSpace::Build(table, cands);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildTableGraph(table, space, &features, Weights::Default()));
+  }
+}
+BENCHMARK(BM_GraphBuild20Rows);
+
+}  // namespace
+}  // namespace webtab
+
+BENCHMARK_MAIN();

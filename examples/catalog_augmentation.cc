@@ -1,0 +1,108 @@
+// The conclusion's (§7) forward-looking claim: "Our work paves the way to
+// augment catalogs with dynamic relational information." Mines annotated
+// web tables for high-confidence relation tuples absent from the catalog
+// and reports precision against the hidden truth.
+//
+//   ./examples/catalog_augmentation [--tables N] [--min_evidence K]
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "annotate/annotator.h"
+#include "annotate/corpus_annotator.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "index/lemma_index.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace webtab;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  int64_t num_tables = 400;
+  int64_t min_evidence = 2;
+  FlagSet flags;
+  flags.AddInt("tables", &num_tables, "web tables to mine");
+  flags.AddInt("min_evidence", &min_evidence,
+               "rows of support required per new tuple");
+  WEBTAB_CHECK_OK(flags.Parse(argc, argv));
+
+  World world = GenerateWorld(WorldSpec{});
+  LemmaIndex index(&world.catalog);
+  TableAnnotator annotator(&world.catalog, &index);
+
+  CorpusSpec spec;
+  spec.seed = 808;
+  spec.num_tables = static_cast<int>(num_tables);
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  std::vector<AnnotatedTable> annotated = AnnotateCorpus(&annotator, tables);
+
+  // Collect (relation, subject, object) evidence from annotations.
+  struct Key {
+    RelationId rel;
+    EntityId subject;
+    EntityId object;
+    bool operator<(const Key& other) const {
+      return std::tie(rel, subject, object) <
+             std::tie(other.rel, other.subject, other.object);
+    }
+  };
+  std::map<Key, int> evidence;
+  for (const AnnotatedTable& at : annotated) {
+    for (const auto& [pair, rel] : at.annotation.relations) {
+      if (rel.is_na()) continue;
+      int sc = rel.swapped ? pair.second : pair.first;
+      int oc = rel.swapped ? pair.first : pair.second;
+      for (int r = 0; r < at.table.rows(); ++r) {
+        EntityId s = at.annotation.EntityOf(r, sc);
+        EntityId o = at.annotation.EntityOf(r, oc);
+        if (s != kNa && o != kNa) ++evidence[{rel.relation, s, o}];
+      }
+    }
+  }
+
+  // Keep tuples the catalog lacks, with enough independent support.
+  int64_t discovered = 0;
+  int64_t correct = 0;
+  std::map<RelationId, std::pair<int64_t, int64_t>> per_relation;
+  for (const auto& [key, count] : evidence) {
+    if (count < min_evidence) continue;
+    if (world.catalog.HasTuple(key.rel, key.subject, key.object)) continue;
+    ++discovered;
+    ++per_relation[key.rel].first;
+    if (world.TrueTupleExists(key.rel, key.subject, key.object)) {
+      ++correct;
+      ++per_relation[key.rel].second;
+    }
+  }
+
+  std::cout << "=== Catalog augmentation from " << annotated.size()
+            << " annotated web tables ===\n";
+  std::cout << "catalog tuples (seed knowledge): "
+            << world.catalog.num_tuples() << "\n";
+  std::cout << "new tuples mined (evidence >= " << min_evidence
+            << "): " << discovered << "\n";
+  if (discovered > 0) {
+    std::cout << "precision vs hidden truth: "
+              << TablePrinter::Num(100.0 * correct / discovered, 2)
+              << "%\n\n";
+  }
+  TablePrinter printer({"Relation", "New tuples", "Correct", "Precision"});
+  for (const auto& [rel, counts] : per_relation) {
+    printer.AddRow(
+        {world.catalog.relation(rel).name, std::to_string(counts.first),
+         std::to_string(counts.second),
+         counts.first ? TablePrinter::Num(
+                            100.0 * counts.second / counts.first, 1) + "%"
+                      : "-"});
+  }
+  printer.Print(std::cout);
+  std::cout << "\nThe paper (§1.2): \"The seed tuples we start with in our "
+               "catalog are only a small fraction of all the tuples we "
+               "find and annotate.\"\n";
+  return 0;
+}

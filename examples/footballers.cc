@@ -1,0 +1,87 @@
+// The introduction's motivating scenario: "Suppose we want to compile a
+// table of footballers and clubs they play for." Extract player→club
+// pairs from many noisy web tables, aggregate them across tables, and
+// print one synthesized table ranked by confidence.
+//
+//   ./examples/footballers [--tables N]
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "annotate/annotator.h"
+#include "annotate/corpus_annotator.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "index/lemma_index.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace webtab;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  int64_t num_tables = 200;
+  FlagSet flags;
+  flags.AddInt("tables", &num_tables, "web tables to mine");
+  WEBTAB_CHECK_OK(flags.Parse(argc, argv));
+
+  // A synthetic web with footballer/club facts buried among movie, book
+  // and geography tables.
+  World world = GenerateWorld(WorldSpec{});
+  LemmaIndex index(&world.catalog);
+  TableAnnotator annotator(&world.catalog, &index);
+
+  CorpusSpec spec;
+  spec.seed = 2024;
+  spec.num_tables = static_cast<int>(num_tables);
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  std::vector<AnnotatedTable> annotated = AnnotateCorpus(&annotator, tables);
+
+  // Mine plays_for evidence: any annotated column pair labeled with the
+  // plays_for relation contributes its rows' (footballer, club) entity
+  // pairs; evidence accumulates across tables.
+  std::map<std::pair<EntityId, EntityId>, int> votes;
+  for (const AnnotatedTable& at : annotated) {
+    for (const auto& [pair, rel] : at.annotation.relations) {
+      if (rel.relation != world.plays_for) continue;
+      int subject_col = rel.swapped ? pair.second : pair.first;
+      int object_col = rel.swapped ? pair.first : pair.second;
+      for (int r = 0; r < at.table.rows(); ++r) {
+        EntityId player = at.annotation.EntityOf(r, subject_col);
+        EntityId club = at.annotation.EntityOf(r, object_col);
+        if (player != kNa && club != kNa) ++votes[{player, club}];
+      }
+    }
+  }
+
+  std::vector<std::pair<std::pair<EntityId, EntityId>, int>> ranked(
+      votes.begin(), votes.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+
+  std::cout << "Synthesized footballer -> club table (top 20 by "
+               "evidence, from " << annotated.size() << " web tables):\n";
+  TablePrinter printer({"Footballer", "Club", "Evidence", "In catalog?"});
+  int shown = 0;
+  int correct = 0;
+  for (const auto& [pair, count] : ranked) {
+    if (shown++ >= 20) break;
+    auto [player, club] = pair;
+    bool known = world.catalog.HasTuple(world.plays_for, player, club);
+    bool true_fact = world.TrueTupleExists(world.plays_for, player, club);
+    if (true_fact) ++correct;
+    printer.AddRow({world.catalog.entity(player).name,
+                    world.catalog.entity(club).name,
+                    std::to_string(count),
+                    known ? "yes" : (true_fact ? "NEW (true)" : "no")});
+  }
+  printer.Print(std::cout);
+  std::cout << "\n" << correct << "/" << std::min<size_t>(20, ranked.size())
+            << " of the top pairs are true facts; rows marked NEW are "
+               "facts the catalog lacked (catalog augmentation, §7).\n";
+  return 0;
+}

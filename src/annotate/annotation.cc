@@ -1,0 +1,47 @@
+#include "annotate/annotation.h"
+
+#include "common/string_util.h"
+
+namespace webtab {
+
+std::string TypeName(const Catalog& catalog, TypeId t) {
+  return catalog.ValidType(t) ? catalog.type(t).name : "na";
+}
+
+std::string EntityName(const Catalog& catalog, EntityId e) {
+  return catalog.ValidEntity(e) ? catalog.entity(e).name : "na";
+}
+
+std::string RelationName(const Catalog& catalog,
+                         const RelationCandidate& rel) {
+  if (rel.is_na() || !catalog.ValidRelation(rel.relation)) return "na";
+  std::string name = catalog.relation(rel.relation).name;
+  if (rel.swapped) name += "^-1";
+  return name;
+}
+
+std::string AnnotationToString(const Catalog& catalog, const Table& table,
+                               const TableAnnotation& annotation) {
+  std::string out;
+  for (int c = 0; c < table.cols(); ++c) {
+    out += StrFormat("column %d (%s): type=%s\n", c,
+                     table.header(c).c_str(),
+                     TypeName(catalog, annotation.TypeOf(c)).c_str());
+  }
+  for (const auto& [pair, rel] : annotation.relations) {
+    out += StrFormat("columns (%d,%d): relation=%s\n", pair.first,
+                     pair.second, RelationName(catalog, rel).c_str());
+  }
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      EntityId e = annotation.EntityOf(r, c);
+      if (e == kNa) continue;
+      out += StrFormat("cell (%d,%d) \"%s\" -> %s\n", r, c,
+                       table.cell(r, c).c_str(),
+                       EntityName(catalog, e).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace webtab

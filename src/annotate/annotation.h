@@ -1,0 +1,25 @@
+#ifndef WEBTAB_ANNOTATE_ANNOTATION_H_
+#define WEBTAB_ANNOTATE_ANNOTATION_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "table/annotation.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Human-readable rendering of an annotation with catalog names — used by
+/// the examples and debugging.
+std::string AnnotationToString(const Catalog& catalog, const Table& table,
+                               const TableAnnotation& annotation);
+
+/// Short label helpers ("na" for missing ids).
+std::string TypeName(const Catalog& catalog, TypeId t);
+std::string EntityName(const Catalog& catalog, EntityId e);
+std::string RelationName(const Catalog& catalog,
+                         const RelationCandidate& rel);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_ANNOTATE_ANNOTATION_H_

@@ -1,0 +1,85 @@
+#include "annotate/annotator.h"
+
+#include "common/timer.h"
+#include "inference/unique_constraint.h"
+#include "model/label_space.h"
+
+namespace webtab {
+
+TableAnnotator::TableAnnotator(const Catalog* catalog,
+                               const LemmaIndex* index,
+                               AnnotatorOptions options)
+    : catalog_(catalog),
+      index_(index),
+      options_(std::move(options)),
+      closure_(catalog),
+      features_(&closure_, index->vocabulary(), options_.features) {}
+
+TableAnnotation TableAnnotator::Annotate(const Table& table,
+                                         AnnotationTiming* timing) {
+  TableCandidates candidates;
+  return AnnotateWithCandidates(table, &candidates, timing);
+}
+
+TableAnnotation TableAnnotator::AnnotateWithCandidates(
+    const Table& table, TableCandidates* candidates_out,
+    AnnotationTiming* timing) {
+  WallTimer total;
+  WallTimer stage;
+
+  *candidates_out =
+      GenerateCandidates(table, *index_, &closure_, options_.candidates);
+  double candidate_seconds = stage.ElapsedSeconds();
+
+  stage.Restart();
+  TableLabelSpace space = TableLabelSpace::Build(table, *candidates_out);
+  TableGraphOptions graph_options;
+  graph_options.use_relations = options_.use_relations;
+  TableGraph graph = BuildTableGraph(table, space, &features_,
+                                     options_.weights, graph_options);
+  double graph_seconds = stage.ElapsedSeconds();
+
+  stage.Restart();
+  BpResult bp = RunBeliefPropagation(graph.graph, options_.bp);
+  TableAnnotation annotation = graph.DecodeAssignment(bp.assignment, space);
+
+  if (options_.unique_column_constraint) {
+    // Re-decode each column's entities under a uniqueness constraint,
+    // keeping the BP-chosen column type fixed (min-cost-flow extension).
+    for (int c = 0; c < table.cols(); ++c) {
+      TypeId t = annotation.column_types[c];
+      std::vector<std::vector<EntityId>> domains(table.rows());
+      std::vector<std::vector<double>> scores(table.rows());
+      for (int r = 0; r < table.rows(); ++r) {
+        const auto& domain = space.EntityDomain(r, c);
+        domains[r] = domain;
+        scores[r].resize(domain.size(), 0.0);
+        for (size_t l = 1; l < domain.size(); ++l) {
+          scores[r][l] =
+              features_.Phi1Log(options_.weights, table.cell(r, c),
+                                domain[l]) +
+              (t != kNa
+                   ? features_.Phi3Log(options_.weights, t, domain[l])
+                   : 0.0);
+        }
+      }
+      std::vector<int> labels = AssignUniqueEntities(domains, scores);
+      for (int r = 0; r < table.rows(); ++r) {
+        annotation.cell_entities[r][c] = domains[r][labels[r]];
+      }
+    }
+  }
+  double inference_seconds = stage.ElapsedSeconds();
+
+  if (timing != nullptr) {
+    timing->candidate_seconds = candidate_seconds;
+    timing->graph_seconds = graph_seconds;
+    timing->inference_seconds = inference_seconds;
+    timing->total_seconds = total.ElapsedSeconds();
+    timing->bp_iterations = bp.iterations;
+    timing->bp_converged = bp.converged;
+  }
+  return annotation;
+}
+
+}  // namespace webtab

@@ -1,0 +1,81 @@
+#ifndef WEBTAB_ANNOTATE_ANNOTATOR_H_
+#define WEBTAB_ANNOTATE_ANNOTATOR_H_
+
+#include <memory>
+
+#include "catalog/closure.h"
+#include "index/candidates.h"
+#include "inference/belief_propagation.h"
+#include "inference/table_graph.h"
+#include "model/features.h"
+#include "model/weights.h"
+#include "table/annotation.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Everything configurable about the collective annotator.
+struct AnnotatorOptions {
+  CandidateOptions candidates;
+  FeatureOptions features;
+  BpOptions bp;
+  Weights weights = Weights::Default();
+  /// false reduces to the exact relation-free model (§4.4.1).
+  bool use_relations = true;
+  /// Extension (§4.4.1): decode entity columns under a uniqueness
+  /// constraint via min-cost flow after BP fixes column types.
+  bool unique_column_constraint = false;
+};
+
+/// Per-table cost breakdown backing Figure 7 / §6.1.2 (the paper: ~80% of
+/// time in lemma probes + similarity, <1% in inference).
+struct AnnotationTiming {
+  double candidate_seconds = 0.0;  // Index probes (Erc, Tc, Bcc').
+  double graph_seconds = 0.0;      // Feature/potential materialization.
+  double inference_seconds = 0.0;  // Message passing.
+  double total_seconds = 0.0;
+  int bp_iterations = 0;
+  bool bp_converged = true;
+};
+
+/// The paper's collective annotator: candidate generation → factor graph
+/// (φ1..φ5) → max-product BP → decoded TableAnnotation. One instance per
+/// worker (owns per-worker caches); the catalog and index are shared,
+/// read-only.
+class TableAnnotator {
+ public:
+  TableAnnotator(const Catalog* catalog, const LemmaIndex* index,
+                 AnnotatorOptions options = AnnotatorOptions());
+
+  TableAnnotator(const TableAnnotator&) = delete;
+  TableAnnotator& operator=(const TableAnnotator&) = delete;
+
+  /// Annotates one table. `timing` is optional.
+  TableAnnotation Annotate(const Table& table,
+                           AnnotationTiming* timing = nullptr);
+
+  /// Like Annotate but also returns the label space / candidates, for
+  /// evaluation drivers that need the baselines on identical candidates.
+  TableAnnotation AnnotateWithCandidates(const Table& table,
+                                         TableCandidates* candidates_out,
+                                         AnnotationTiming* timing = nullptr);
+
+  const AnnotatorOptions& options() const { return options_; }
+  /// Mutable so experiment drivers can swap trained weights in place.
+  AnnotatorOptions* mutable_options() { return &options_; }
+
+  ClosureCache* closure() { return &closure_; }
+  FeatureComputer* features() { return &features_; }
+  const LemmaIndex& index() const { return *index_; }
+
+ private:
+  const Catalog* catalog_;
+  const LemmaIndex* index_;
+  AnnotatorOptions options_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_ANNOTATE_ANNOTATOR_H_

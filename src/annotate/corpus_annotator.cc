@@ -1,0 +1,44 @@
+#include "annotate/corpus_annotator.h"
+
+namespace webtab {
+
+double CorpusTimingStats::MeanMillisPerTable() const {
+  if (per_table_millis.empty()) return 0.0;
+  double total = 0.0;
+  for (double t : per_table_millis) total += t;
+  return total / static_cast<double>(per_table_millis.size());
+}
+
+double CorpusTimingStats::ProbeFraction() const {
+  if (total_seconds <= 0.0) return 0.0;
+  return (candidate_seconds + graph_seconds) / total_seconds;
+}
+
+double CorpusTimingStats::InferenceFraction() const {
+  if (total_seconds <= 0.0) return 0.0;
+  return inference_seconds / total_seconds;
+}
+
+std::vector<AnnotatedTable> AnnotateCorpus(TableAnnotator* annotator,
+                                           const std::vector<Table>& tables,
+                                           CorpusTimingStats* stats) {
+  std::vector<AnnotatedTable> out;
+  out.reserve(tables.size());
+  for (const Table& table : tables) {
+    AnnotationTiming timing;
+    TableAnnotation annotation = annotator->Annotate(table, &timing);
+    if (stats != nullptr) {
+      stats->per_table_millis.push_back(timing.total_seconds * 1e3);
+      stats->total_seconds += timing.total_seconds;
+      stats->candidate_seconds += timing.candidate_seconds;
+      stats->graph_seconds += timing.graph_seconds;
+      stats->inference_seconds += timing.inference_seconds;
+      stats->bp_iteration_counts.push_back(timing.bp_iterations);
+      if (timing.bp_converged) ++stats->converged_tables;
+    }
+    out.push_back(AnnotatedTable{table, std::move(annotation)});
+  }
+  return out;
+}
+
+}  // namespace webtab

@@ -1,0 +1,42 @@
+#ifndef WEBTAB_ANNOTATE_CORPUS_ANNOTATOR_H_
+#define WEBTAB_ANNOTATE_CORPUS_ANNOTATOR_H_
+
+#include <vector>
+
+#include "annotate/annotator.h"
+
+namespace webtab {
+
+/// A table with its system annotation — the unit stored in the search
+/// index (§5).
+struct AnnotatedTable {
+  Table table;
+  TableAnnotation annotation;
+};
+
+/// Aggregate timing over a corpus run (drives Figure 7).
+struct CorpusTimingStats {
+  std::vector<double> per_table_millis;
+  double total_seconds = 0.0;
+  double candidate_seconds = 0.0;
+  double graph_seconds = 0.0;
+  double inference_seconds = 0.0;
+  int64_t converged_tables = 0;
+  std::vector<int> bp_iteration_counts;
+
+  double MeanMillisPerTable() const;
+  /// Fraction of total time spent probing the index / computing text
+  /// similarity (candidate + potential materialization) vs inference.
+  double ProbeFraction() const;
+  double InferenceFraction() const;
+};
+
+/// Annotates every table, returning annotated tables and timing stats.
+std::vector<AnnotatedTable> AnnotateCorpus(TableAnnotator* annotator,
+                                           const std::vector<Table>& tables,
+                                           CorpusTimingStats* stats =
+                                               nullptr);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_ANNOTATE_CORPUS_ANNOTATOR_H_

@@ -1,0 +1,108 @@
+#include "baseline/lca_annotator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace webtab {
+
+namespace {
+
+/// Keeps only the most specific types: drops any type with a strict
+/// descendant in the set.
+std::vector<TypeId> MostSpecific(const std::vector<TypeId>& types,
+                                 ClosureCache* closure) {
+  std::vector<TypeId> out;
+  for (TypeId t : types) {
+    bool has_descendant = false;
+    for (TypeId other : types) {
+      if (other != t && closure->IsSubtypeOf(other, t)) {
+        has_descendant = true;
+        break;
+      }
+    }
+    if (!has_descendant) out.push_back(t);
+  }
+  return out;
+}
+
+/// Picks the column's single representative type: most specific first,
+/// then lowest id for determinism.
+TypeId PickRepresentative(const std::vector<TypeId>& types,
+                          ClosureCache* closure) {
+  TypeId best = kNa;
+  double best_spec = -1.0;
+  for (TypeId t : types) {
+    double spec = closure->TypeSpecificity(t);
+    if (spec > best_spec || (spec == best_spec && t < best)) {
+      best_spec = spec;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+/// Shared with the Majority baseline: per-cell local entity assignment
+/// under a fixed column type (Figure 2, lines 5-7).
+EntityId AssignEntityGivenType(const Table& table, int r, int c,
+                               const std::vector<LemmaHit>& hits, TypeId t,
+                               FeatureComputer* features,
+                               const Weights& weights) {
+  double best = 0.0;  // na score.
+  EntityId best_e = kNa;
+  for (const LemmaHit& hit : hits) {
+    double s = features->Phi1Log(weights, table.cell(r, c), hit.id);
+    if (t != kNa) s += features->Phi3Log(weights, t, hit.id);
+    if (s > best) {
+      best = s;
+      best_e = hit.id;
+    }
+  }
+  return best_e;
+}
+
+BaselineResult AnnotateLca(const Table& table,
+                           const TableCandidates& candidates,
+                           ClosureCache* closure, FeatureComputer* features,
+                           const Weights& weights) {
+  BaselineResult result;
+  result.column_type_sets.resize(table.cols());
+  result.annotation = TableAnnotation::Empty(table.rows(), table.cols());
+
+  for (int c = 0; c < table.cols(); ++c) {
+    // Intersect the per-cell ancestor unions over non-empty cells.
+    std::unordered_map<TypeId, int> counts;
+    int non_empty = 0;
+    for (int r = 0; r < table.rows(); ++r) {
+      const auto& hits = candidates.cells[r][c];
+      if (hits.empty()) continue;
+      ++non_empty;
+      std::unordered_set<TypeId> cell_union;
+      for (const LemmaHit& hit : hits) {
+        for (TypeId t : closure->TypeAncestors(hit.id)) {
+          cell_union.insert(t);
+        }
+      }
+      for (TypeId t : cell_union) ++counts[t];
+    }
+    std::vector<TypeId> intersection;
+    for (const auto& [t, n] : counts) {
+      if (n == non_empty && non_empty > 0) intersection.push_back(t);
+    }
+    std::sort(intersection.begin(), intersection.end());
+    result.column_type_sets[c] = MostSpecific(intersection, closure);
+    TypeId chosen = PickRepresentative(result.column_type_sets[c], closure);
+    result.annotation.column_types[c] = chosen;
+
+    for (int r = 0; r < table.rows(); ++r) {
+      result.annotation.cell_entities[r][c] = AssignEntityGivenType(
+          table, r, c, candidates.cells[r][c], chosen, features, weights);
+    }
+  }
+  return result;
+}
+
+}  // namespace webtab

@@ -1,0 +1,35 @@
+#ifndef WEBTAB_BASELINE_LCA_ANNOTATOR_H_
+#define WEBTAB_BASELINE_LCA_ANNOTATOR_H_
+
+#include <vector>
+
+#include "catalog/closure.h"
+#include "index/candidates.h"
+#include "model/features.h"
+#include "model/weights.h"
+#include "table/annotation.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Output of a baseline column-typing method: the *set* of types reported
+/// per column (baselines report every qualifying type and are scored with
+/// F1, §4.5.1) plus a single-label annotation for the unified pipeline.
+struct BaselineResult {
+  std::vector<std::vector<TypeId>> column_type_sets;
+  TableAnnotation annotation;
+};
+
+/// Least-common-ancestor baseline (§4.5.1): a column's types are those in
+/// ∩_r ∪_{E ∈ Erc} T(E) with no descendant in the same set. Cells with no
+/// candidates are skipped (else the intersection is always empty).
+/// Entities are then assigned per Figure 2 given the chosen type. Known
+/// failure mode: over-generalization under missing links (Appendix F).
+BaselineResult AnnotateLca(const Table& table,
+                           const TableCandidates& candidates,
+                           ClosureCache* closure, FeatureComputer* features,
+                           const Weights& weights);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_BASELINE_LCA_ANNOTATOR_H_

@@ -1,0 +1,138 @@
+#include "baseline/majority_annotator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace webtab {
+
+namespace {
+
+std::vector<TypeId> MostSpecific(const std::vector<TypeId>& types,
+                                 ClosureCache* closure) {
+  std::vector<TypeId> out;
+  for (TypeId t : types) {
+    bool has_descendant = false;
+    for (TypeId other : types) {
+      if (other != t && closure->IsSubtypeOf(other, t)) {
+        has_descendant = true;
+        break;
+      }
+    }
+    if (!has_descendant) out.push_back(t);
+  }
+  return out;
+}
+
+TypeId PickRepresentative(const std::vector<TypeId>& types,
+                          ClosureCache* closure) {
+  TypeId best = kNa;
+  double best_spec = -1.0;
+  for (TypeId t : types) {
+    double spec = closure->TypeSpecificity(t);
+    if (spec > best_spec || (spec == best_spec && t < best)) {
+      best_spec = spec;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BaselineResult AnnotateMajority(const Table& table,
+                                const TableCandidates& candidates,
+                                ClosureCache* closure,
+                                FeatureComputer* features,
+                                const Weights& weights,
+                                const MajorityOptions& options) {
+  BaselineResult result;
+  result.column_type_sets.resize(table.cols());
+  result.annotation = TableAnnotation::Empty(table.rows(), table.cols());
+
+  // --- Column types by thresholded vote. ---
+  for (int c = 0; c < table.cols(); ++c) {
+    std::unordered_map<TypeId, int> votes;
+    int non_empty = 0;
+    for (int r = 0; r < table.rows(); ++r) {
+      const auto& hits = candidates.cells[r][c];
+      if (hits.empty()) continue;
+      ++non_empty;
+      std::unordered_set<TypeId> cell_union;
+      for (const LemmaHit& hit : hits) {
+        for (TypeId t : closure->TypeAncestors(hit.id)) {
+          cell_union.insert(t);
+        }
+      }
+      for (TypeId t : cell_union) ++votes[t];
+    }
+    std::vector<TypeId> qualified;
+    double needed = options.threshold_percent / 100.0 *
+                    static_cast<double>(non_empty);
+    for (const auto& [t, v] : votes) {
+      // "More than a threshold F% vote"; at F=100 require the full count
+      // so the method degenerates to LCA as the paper states.
+      bool passes = options.threshold_percent >= 100.0
+                        ? v >= non_empty
+                        : static_cast<double>(v) > needed;
+      if (passes && non_empty > 0) qualified.push_back(t);
+    }
+    std::sort(qualified.begin(), qualified.end());
+    result.column_type_sets[c] = MostSpecific(qualified, closure);
+    result.annotation.column_types[c] =
+        PickRepresentative(result.column_type_sets[c], closure);
+  }
+
+  // --- Entities: independent per cell (φ1 only). ---
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      result.annotation.cell_entities[r][c] = AssignEntityGivenType(
+          table, r, c, candidates.cells[r][c], kNa, features, weights);
+    }
+  }
+
+  // --- Relations: per-row tuple voting. ---
+  if (options.predict_relations) {
+    const Catalog& catalog = closure->catalog();
+    for (const auto& [pair, rels] : candidates.relations) {
+      auto [c1, c2] = pair;
+      std::map<RelationCandidate, int> votes;
+      int support_rows = 0;
+      for (int r = 0; r < table.rows(); ++r) {
+        std::set<RelationCandidate> row_rels;
+        for (const LemmaHit& h1 : candidates.cells[r][c1]) {
+          for (const LemmaHit& h2 : candidates.cells[r][c2]) {
+            for (const auto& [rel, swapped] :
+                 catalog.RelationsBetween(h1.id, h2.id)) {
+              row_rels.insert(RelationCandidate{rel, swapped});
+            }
+          }
+        }
+        if (!candidates.cells[r][c1].empty() &&
+            !candidates.cells[r][c2].empty()) {
+          ++support_rows;
+        }
+        for (const RelationCandidate& b : row_rels) ++votes[b];
+      }
+      RelationCandidate best;
+      int best_votes = 0;
+      for (const auto& [b, v] : votes) {
+        if (v > best_votes || (v == best_votes && b < best)) {
+          best = b;
+          best_votes = v;
+        }
+      }
+      double needed = options.threshold_percent / 100.0 *
+                      static_cast<double>(support_rows);
+      if (best_votes > 0 && static_cast<double>(best_votes) > needed) {
+        result.annotation.relations[pair] = best;
+      }
+      (void)rels;
+    }
+  }
+  return result;
+}
+
+}  // namespace webtab

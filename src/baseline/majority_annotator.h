@@ -1,0 +1,37 @@
+#ifndef WEBTAB_BASELINE_MAJORITY_ANNOTATOR_H_
+#define WEBTAB_BASELINE_MAJORITY_ANNOTATOR_H_
+
+#include "baseline/lca_annotator.h"
+
+namespace webtab {
+
+/// Majority baseline (§4.5.2): a type qualifies when more than F% of the
+/// (candidate-bearing) cells can reach it; qualifying types are pruned to
+/// the most specific ones. F=100 recovers LCA; the paper sweeps F between
+/// 50 and 100 (best type accuracy at 60). Entities are assigned
+/// independently per cell by φ1 alone; relations by per-row tuple voting
+/// with the same threshold.
+struct MajorityOptions {
+  double threshold_percent = 50.0;
+  /// When true, also emit relation predictions by tuple voting.
+  bool predict_relations = true;
+};
+
+BaselineResult AnnotateMajority(const Table& table,
+                                const TableCandidates& candidates,
+                                ClosureCache* closure,
+                                FeatureComputer* features,
+                                const Weights& weights,
+                                const MajorityOptions& options =
+                                    MajorityOptions());
+
+/// Exposed for reuse: local entity assignment under a fixed type
+/// (Figure 2 inner loop). Defined in lca_annotator.cc.
+EntityId AssignEntityGivenType(const Table& table, int r, int c,
+                               const std::vector<LemmaHit>& hits, TypeId t,
+                               FeatureComputer* features,
+                               const Weights& weights);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_BASELINE_MAJORITY_ANNOTATOR_H_

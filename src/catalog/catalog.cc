@@ -1,0 +1,112 @@
+#include "catalog/catalog.h"
+
+#include "common/logging.h"
+
+namespace webtab {
+
+namespace {
+uint64_t PairKey(EntityId e1, EntityId e2) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(e1)) << 32) |
+         static_cast<uint32_t>(e2);
+}
+}  // namespace
+
+std::string_view RelationCardinalityName(RelationCardinality c) {
+  switch (c) {
+    case RelationCardinality::kManyToMany:
+      return "many-to-many";
+    case RelationCardinality::kOneToMany:
+      return "one-to-many";
+    case RelationCardinality::kManyToOne:
+      return "many-to-one";
+    case RelationCardinality::kOneToOne:
+      return "one-to-one";
+  }
+  return "unknown";
+}
+
+int64_t Catalog::num_tuples() const {
+  int64_t n = 0;
+  for (const auto& r : relations_) n += static_cast<int64_t>(r.tuples.size());
+  return n;
+}
+
+const TypeRecord& Catalog::type(TypeId t) const {
+  WEBTAB_CHECK(ValidType(t)) << "bad type id " << t;
+  return types_[t];
+}
+
+const EntityRecord& Catalog::entity(EntityId e) const {
+  WEBTAB_CHECK(ValidEntity(e)) << "bad entity id " << e;
+  return entities_[e];
+}
+
+const RelationRecord& Catalog::relation(RelationId b) const {
+  WEBTAB_CHECK(ValidRelation(b)) << "bad relation id " << b;
+  return relations_[b];
+}
+
+TypeId Catalog::FindTypeByName(std::string_view name) const {
+  auto it = type_by_name_.find(std::string(name));
+  return it == type_by_name_.end() ? kNa : it->second;
+}
+
+EntityId Catalog::FindEntityByName(std::string_view name) const {
+  auto it = entity_by_name_.find(std::string(name));
+  return it == entity_by_name_.end() ? kNa : it->second;
+}
+
+RelationId Catalog::FindRelationByName(std::string_view name) const {
+  auto it = relation_by_name_.find(std::string(name));
+  return it == relation_by_name_.end() ? kNa : it->second;
+}
+
+bool Catalog::HasTuple(RelationId b, EntityId e1, EntityId e2) const {
+  if (!ValidRelation(b)) return false;
+  auto it = tuples_by_pair_.find(PairKey(e1, e2));
+  if (it == tuples_by_pair_.end()) return false;
+  for (RelationId r : it->second) {
+    if (r == b) return true;
+  }
+  return false;
+}
+
+std::vector<EntityId> Catalog::ObjectsOf(RelationId b, EntityId e1) const {
+  if (!ValidRelation(b)) return {};
+  const auto& index = objects_index_[b];
+  auto it = index.find(e1);
+  return it == index.end() ? std::vector<EntityId>() : it->second;
+}
+
+std::vector<EntityId> Catalog::SubjectsOf(RelationId b, EntityId e2) const {
+  if (!ValidRelation(b)) return {};
+  const auto& index = subjects_index_[b];
+  auto it = index.find(e2);
+  return it == index.end() ? std::vector<EntityId>() : it->second;
+}
+
+std::vector<std::pair<RelationId, bool>> Catalog::RelationsBetween(
+    EntityId e1, EntityId e2) const {
+  std::vector<std::pair<RelationId, bool>> out;
+  auto fwd = tuples_by_pair_.find(PairKey(e1, e2));
+  if (fwd != tuples_by_pair_.end()) {
+    for (RelationId r : fwd->second) out.emplace_back(r, false);
+  }
+  auto rev = tuples_by_pair_.find(PairKey(e2, e1));
+  if (rev != tuples_by_pair_.end()) {
+    for (RelationId r : rev->second) out.emplace_back(r, true);
+  }
+  return out;
+}
+
+int64_t Catalog::DistinctSubjects(RelationId b) const {
+  WEBTAB_CHECK(ValidRelation(b));
+  return static_cast<int64_t>(objects_index_[b].size());
+}
+
+int64_t Catalog::DistinctObjects(RelationId b) const {
+  WEBTAB_CHECK(ValidRelation(b));
+  return static_cast<int64_t>(subjects_index_[b].size());
+}
+
+}  // namespace webtab

@@ -1,0 +1,139 @@
+#ifndef WEBTAB_CATALOG_CATALOG_H_
+#define WEBTAB_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/ids.h"
+
+namespace webtab {
+
+/// Paper §3.1: relations may be declared one-to-one / many-to-one etc.;
+/// the φ5 cardinality-violation feature (§4.2.5) keys off this.
+enum class RelationCardinality {
+  kManyToMany = 0,
+  kOneToMany = 1,   // One subject, many objects per subject; object unique.
+  kManyToOne = 2,   // Each subject has at most one object.
+  kOneToOne = 3,
+};
+
+std::string_view RelationCardinalityName(RelationCardinality c);
+
+/// A type node in the subtype DAG (§3.1). Parents are supertypes
+/// (T ⊆ parent); children are subtypes and direct entity instances hang off
+/// `direct_entities`.
+struct TypeRecord {
+  std::string name;
+  std::vector<std::string> lemmas;
+  std::vector<TypeId> parents;
+  std::vector<TypeId> children;
+  std::vector<EntityId> direct_entities;
+};
+
+/// An entity with its lemmas L(E) and direct types (∈ links).
+struct EntityRecord {
+  std::string name;
+  std::vector<std::string> lemmas;
+  std::vector<TypeId> direct_types;
+};
+
+/// A binary relation B(T1, T2) with its extension (tuple store).
+struct RelationRecord {
+  std::string name;
+  TypeId subject_type = kNa;
+  TypeId object_type = kNa;
+  RelationCardinality cardinality = RelationCardinality::kManyToMany;
+  /// Sorted lexicographically by (subject, object); unique.
+  std::vector<std::pair<EntityId, EntityId>> tuples;
+};
+
+/// Immutable catalog of types, entities and relations (paper §3.1; YAGO in
+/// the paper, synthetic world here). Built once by CatalogBuilder; all
+/// accessors are const and thread-safe. Reachability/closure queries that
+/// need memoization live in ClosureCache.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Movable, not copyable (tuple stores can be large).
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  int32_t num_types() const { return static_cast<int32_t>(types_.size()); }
+  int32_t num_entities() const {
+    return static_cast<int32_t>(entities_.size());
+  }
+  int32_t num_relations() const {
+    return static_cast<int32_t>(relations_.size());
+  }
+  int64_t num_tuples() const;
+
+  bool ValidType(TypeId t) const { return t >= 0 && t < num_types(); }
+  bool ValidEntity(EntityId e) const { return e >= 0 && e < num_entities(); }
+  bool ValidRelation(RelationId b) const {
+    return b >= 0 && b < num_relations();
+  }
+
+  const TypeRecord& type(TypeId t) const;
+  const EntityRecord& entity(EntityId e) const;
+  const RelationRecord& relation(RelationId b) const;
+
+  /// The synthetic root type reaching all others (§3.1: "we can create a
+  /// root type"). Always id 0 in catalogs produced by CatalogBuilder.
+  TypeId root_type() const { return root_type_; }
+
+  /// Name lookups; kNa when absent.
+  TypeId FindTypeByName(std::string_view name) const;
+  EntityId FindEntityByName(std::string_view name) const;
+  RelationId FindRelationByName(std::string_view name) const;
+
+  /// True if relation `b` contains tuple (e1, e2).
+  bool HasTuple(RelationId b, EntityId e1, EntityId e2) const;
+
+  /// Objects E2 with b(e1, E2); empty if none.
+  std::vector<EntityId> ObjectsOf(RelationId b, EntityId e1) const;
+
+  /// Subjects E1 with b(E1, e2); empty if none.
+  std::vector<EntityId> SubjectsOf(RelationId b, EntityId e2) const;
+
+  /// All relations containing (e1, e2) as a tuple, in either role order:
+  /// result pairs are (relation, swapped) where swapped=true means the
+  /// tuple is b(e2, e1).
+  std::vector<std::pair<RelationId, bool>> RelationsBetween(
+      EntityId e1, EntityId e2) const;
+
+  /// Number of distinct subjects / objects appearing in relation `b`.
+  int64_t DistinctSubjects(RelationId b) const;
+  int64_t DistinctObjects(RelationId b) const;
+
+ private:
+  friend class CatalogBuilder;
+
+  std::vector<TypeRecord> types_;
+  std::vector<EntityRecord> entities_;
+  std::vector<RelationRecord> relations_;
+  TypeId root_type_ = kNa;
+
+  std::unordered_map<std::string, TypeId> type_by_name_;
+  std::unordered_map<std::string, EntityId> entity_by_name_;
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+
+  // Tuple lookup indexes, built by CatalogBuilder::Build.
+  // Key: (e1 << 32) | e2 for pair lookup across all relations.
+  std::unordered_map<uint64_t, std::vector<RelationId>> tuples_by_pair_;
+  // Per relation: forward (subject -> objects) and reverse indexes.
+  std::vector<std::unordered_map<EntityId, std::vector<EntityId>>>
+      objects_index_;
+  std::vector<std::unordered_map<EntityId, std::vector<EntityId>>>
+      subjects_index_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_CATALOG_H_

@@ -1,0 +1,64 @@
+#ifndef WEBTAB_CATALOG_CATALOG_BUILDER_H_
+#define WEBTAB_CATALOG_CATALOG_BUILDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace webtab {
+
+/// Incrementally assembles a Catalog and validates it at Build() time:
+/// the subtype graph must be a DAG, relation schemas must name existing
+/// types, tuples must reference existing entities. A root type named
+/// "entity" (id 0) is created automatically and every parentless type is
+/// attached to it (§3.1).
+class CatalogBuilder {
+ public:
+  CatalogBuilder();
+
+  /// Adds a type; name must be unique. Returns its id.
+  TypeId AddType(std::string_view name);
+
+  /// Adds a lemma string for the type (duplicates ignored).
+  Status AddTypeLemma(TypeId t, std::string_view lemma);
+
+  /// Declares child ⊆ parent.
+  Status AddSubtype(TypeId child, TypeId parent);
+
+  /// Adds an entity; name must be unique. Returns its id.
+  EntityId AddEntity(std::string_view name);
+
+  Status AddEntityLemma(EntityId e, std::string_view lemma);
+
+  /// Declares e ∈ t (direct instance link).
+  Status AddEntityType(EntityId e, TypeId t);
+
+  /// Declares relation B(subject_type, object_type). Returns its id.
+  RelationId AddRelation(std::string_view name, TypeId subject_type,
+                         TypeId object_type,
+                         RelationCardinality cardinality =
+                             RelationCardinality::kManyToMany);
+
+  /// Adds tuple b(e1, e2); duplicates are deduplicated at Build().
+  Status AddTuple(RelationId b, EntityId e1, EntityId e2);
+
+  /// Removes a direct ∈ link if present (used to simulate incomplete
+  /// catalogs, §4.2.3 "missing links"). Returns true if removed.
+  bool RemoveEntityType(EntityId e, TypeId t);
+
+  /// Removes a ⊆ link if present. Returns true if removed.
+  bool RemoveSubtype(TypeId child, TypeId parent);
+
+  /// Validates and finalizes. On success the builder is left empty.
+  Result<Catalog> Build();
+
+ private:
+  Catalog catalog_;
+  bool built_ = false;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_CATALOG_BUILDER_H_

@@ -1,0 +1,146 @@
+#include "catalog/catalog_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "catalog/catalog_builder.h"
+#include "common/string_util.h"
+
+namespace webtab {
+
+namespace {
+constexpr char kHeader[] = "# webtab-catalog v1";
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, std::ostream& os) {
+  os << kHeader << "\n";
+  for (TypeId t = 0; t < catalog.num_types(); ++t) {
+    const TypeRecord& rec = catalog.type(t);
+    os << "T\t" << t << "\t" << rec.name << "\n";
+    for (const auto& lemma : rec.lemmas) {
+      os << "TL\t" << t << "\t" << lemma << "\n";
+    }
+  }
+  for (TypeId t = 0; t < catalog.num_types(); ++t) {
+    for (TypeId p : catalog.type(t).parents) {
+      os << "TS\t" << t << "\t" << p << "\n";
+    }
+  }
+  for (EntityId e = 0; e < catalog.num_entities(); ++e) {
+    const EntityRecord& rec = catalog.entity(e);
+    os << "E\t" << e << "\t" << rec.name << "\n";
+    for (const auto& lemma : rec.lemmas) {
+      os << "EL\t" << e << "\t" << lemma << "\n";
+    }
+    for (TypeId t : rec.direct_types) {
+      os << "ET\t" << e << "\t" << t << "\n";
+    }
+  }
+  for (RelationId b = 0; b < catalog.num_relations(); ++b) {
+    const RelationRecord& rec = catalog.relation(b);
+    os << "R\t" << b << "\t" << rec.name << "\t" << rec.subject_type << "\t"
+       << rec.object_type << "\t" << static_cast<int>(rec.cardinality)
+       << "\n";
+    for (const auto& [e1, e2] : rec.tuples) {
+      os << "RT\t" << b << "\t" << e1 << "\t" << e2 << "\n";
+    }
+  }
+  if (!os.good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  return SaveCatalog(catalog, out);
+}
+
+Result<Catalog> LoadCatalog(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || StripWhitespace(line) != kHeader) {
+    return Status::ParseError("missing catalog header");
+  }
+  CatalogBuilder builder;
+  int line_no = 1;
+  auto parse_int = [](const std::string& s, int32_t* out) {
+    char* end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0') return false;
+    *out = static_cast<int32_t>(v);
+    return true;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> f = Split(line, '\t');
+    auto fail = [&](const std::string& why) -> Result<Catalog> {
+      return Status::ParseError(StrFormat("line %d: %s", line_no,
+                                          why.c_str()));
+    };
+    const std::string& tag = f[0];
+    if (tag == "T") {
+      if (f.size() != 3) return fail("T needs 2 fields");
+      int32_t id;
+      if (!parse_int(f[1], &id)) return fail("bad id");
+      TypeId got = builder.AddType(f[2]);
+      if (got != id) return fail("non-dense type id");
+    } else if (tag == "TL") {
+      if (f.size() != 3) return fail("TL needs 2 fields");
+      int32_t id;
+      if (!parse_int(f[1], &id)) return fail("bad id");
+      WEBTAB_RETURN_IF_ERROR(builder.AddTypeLemma(id, f[2]));
+    } else if (tag == "TS") {
+      if (f.size() != 3) return fail("TS needs 2 fields");
+      int32_t c, p;
+      if (!parse_int(f[1], &c) || !parse_int(f[2], &p)) return fail("bad id");
+      WEBTAB_RETURN_IF_ERROR(builder.AddSubtype(c, p));
+    } else if (tag == "E") {
+      if (f.size() != 3) return fail("E needs 2 fields");
+      int32_t id;
+      if (!parse_int(f[1], &id)) return fail("bad id");
+      EntityId got = builder.AddEntity(f[2]);
+      if (got != id) return fail("non-dense entity id");
+    } else if (tag == "EL") {
+      if (f.size() != 3) return fail("EL needs 2 fields");
+      int32_t id;
+      if (!parse_int(f[1], &id)) return fail("bad id");
+      WEBTAB_RETURN_IF_ERROR(builder.AddEntityLemma(id, f[2]));
+    } else if (tag == "ET") {
+      if (f.size() != 3) return fail("ET needs 2 fields");
+      int32_t e, t;
+      if (!parse_int(f[1], &e) || !parse_int(f[2], &t)) return fail("bad id");
+      WEBTAB_RETURN_IF_ERROR(builder.AddEntityType(e, t));
+    } else if (tag == "R") {
+      if (f.size() != 6) return fail("R needs 5 fields");
+      int32_t id, t1, t2, card;
+      if (!parse_int(f[1], &id) || !parse_int(f[3], &t1) ||
+          !parse_int(f[4], &t2) || !parse_int(f[5], &card)) {
+        return fail("bad relation fields");
+      }
+      if (card < 0 || card > 3) return fail("bad cardinality");
+      RelationId got = builder.AddRelation(
+          f[2], t1, t2, static_cast<RelationCardinality>(card));
+      if (got != id) return fail("non-dense relation id");
+    } else if (tag == "RT") {
+      if (f.size() != 4) return fail("RT needs 3 fields");
+      int32_t b, e1, e2;
+      if (!parse_int(f[1], &b) || !parse_int(f[2], &e1) ||
+          !parse_int(f[3], &e2)) {
+        return fail("bad tuple fields");
+      }
+      WEBTAB_RETURN_IF_ERROR(builder.AddTuple(b, e1, e2));
+    } else {
+      return fail("unknown record tag '" + tag + "'");
+    }
+  }
+  return builder.Build();
+}
+
+Result<Catalog> LoadCatalogFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadCatalog(in);
+}
+
+}  // namespace webtab

@@ -1,0 +1,32 @@
+#ifndef WEBTAB_CATALOG_CATALOG_IO_H_
+#define WEBTAB_CATALOG_CATALOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace webtab {
+
+/// Line-oriented text serialization of a catalog:
+///   # webtab-catalog v1
+///   T  <id> <name>
+///   TL <id> <lemma>
+///   TS <child-id> <parent-id>
+///   E  <id> <name>
+///   EL <id> <lemma>
+///   ET <entity-id> <type-id>
+///   R  <id> <name> <subject-type> <object-type> <cardinality 0..3>
+///   RT <relation-id> <e1> <e2>
+/// Fields are tab-separated; ids are dense and written in order, so load
+/// preserves them exactly.
+Status SaveCatalog(const Catalog& catalog, std::ostream& os);
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path);
+
+Result<Catalog> LoadCatalog(std::istream& is);
+Result<Catalog> LoadCatalogFromFile(const std::string& path);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_CATALOG_IO_H_

@@ -1,0 +1,144 @@
+#include "catalog/closure.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace webtab {
+
+ClosureCache::ClosureCache(const Catalog* catalog) : catalog_(catalog) {
+  WEBTAB_CHECK(catalog != nullptr);
+}
+
+const std::unordered_map<TypeId, int>& ClosureCache::AncestorDistances(
+    EntityId e) {
+  auto it = ancestor_dists_.find(e);
+  if (it != ancestor_dists_.end()) return it->second;
+
+  // BFS upward: the ∈ edge to each direct type costs 1, then ⊆ edges cost
+  // 1 each. Shortest distance wins when the DAG offers multiple paths.
+  std::unordered_map<TypeId, int> dists;
+  std::deque<std::pair<TypeId, int>> frontier;
+  for (TypeId t : catalog_->entity(e).direct_types) {
+    if (!dists.count(t)) {
+      dists[t] = 1;
+      frontier.emplace_back(t, 1);
+    }
+  }
+  while (!frontier.empty()) {
+    auto [t, d] = frontier.front();
+    frontier.pop_front();
+    for (TypeId p : catalog_->type(t).parents) {
+      auto found = dists.find(p);
+      if (found == dists.end() || found->second > d + 1) {
+        dists[p] = d + 1;
+        frontier.emplace_back(p, d + 1);
+      }
+    }
+  }
+  return ancestor_dists_.emplace(e, std::move(dists)).first->second;
+}
+
+const std::vector<TypeId>& ClosureCache::TypeAncestors(EntityId e) {
+  auto it = ancestors_.find(e);
+  if (it != ancestors_.end()) return it->second;
+  const auto& dists = AncestorDistances(e);
+  std::vector<TypeId> out;
+  out.reserve(dists.size());
+  for (const auto& [t, d] : dists) out.push_back(t);
+  std::sort(out.begin(), out.end());
+  return ancestors_.emplace(e, std::move(out)).first->second;
+}
+
+int ClosureCache::Dist(EntityId e, TypeId t) {
+  const auto& dists = AncestorDistances(e);
+  auto it = dists.find(t);
+  return it == dists.end() ? kUnreachable : it->second;
+}
+
+const std::vector<EntityId>& ClosureCache::EntitiesOf(TypeId t) {
+  auto it = entities_of_.find(t);
+  if (it != entities_of_.end()) return it->second;
+
+  // DFS down over subtype edges collecting direct entities.
+  std::unordered_set<TypeId> seen_types;
+  std::unordered_set<EntityId> seen_entities;
+  std::vector<TypeId> stack{t};
+  seen_types.insert(t);
+  while (!stack.empty()) {
+    TypeId cur = stack.back();
+    stack.pop_back();
+    const TypeRecord& rec = catalog_->type(cur);
+    for (EntityId e : rec.direct_entities) seen_entities.insert(e);
+    for (TypeId c : rec.children) {
+      if (seen_types.insert(c).second) stack.push_back(c);
+    }
+  }
+  std::vector<EntityId> out(seen_entities.begin(), seen_entities.end());
+  std::sort(out.begin(), out.end());
+  return entities_of_.emplace(t, std::move(out)).first->second;
+}
+
+int64_t ClosureCache::EntityCount(TypeId t) {
+  return static_cast<int64_t>(EntitiesOf(t).size());
+}
+
+double ClosureCache::TypeSpecificity(TypeId t) {
+  int64_t total = catalog_->num_entities();
+  int64_t under = EntityCount(t);
+  if (under == 0) return static_cast<double>(total) + 1.0;
+  return static_cast<double>(total) / static_cast<double>(under);
+}
+
+const std::vector<TypeId>& ClosureCache::TypeAncestorsOfType(TypeId t) {
+  auto it = type_ancestors_.find(t);
+  if (it != type_ancestors_.end()) return it->second;
+  std::unordered_set<TypeId> seen{t};
+  std::vector<TypeId> stack{t};
+  while (!stack.empty()) {
+    TypeId cur = stack.back();
+    stack.pop_back();
+    for (TypeId p : catalog_->type(cur).parents) {
+      if (seen.insert(p).second) stack.push_back(p);
+    }
+  }
+  std::vector<TypeId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return type_ancestors_.emplace(t, std::move(out)).first->second;
+}
+
+bool ClosureCache::IsSubtypeOf(TypeId descendant, TypeId ancestor) {
+  const auto& ancestors = TypeAncestorsOfType(descendant);
+  return std::binary_search(ancestors.begin(), ancestors.end(), ancestor);
+}
+
+int ClosureCache::MinEntityDist(TypeId t) {
+  auto it = min_entity_dist_.find(t);
+  if (it != min_entity_dist_.end()) return it->second;
+  int best = kUnreachable;
+  // BFS down from t; the first level with a direct entity gives the min.
+  std::unordered_set<TypeId> seen{t};
+  std::deque<std::pair<TypeId, int>> frontier{{t, 0}};
+  while (!frontier.empty()) {
+    auto [cur, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth + 1 >= best) continue;
+    if (!catalog_->type(cur).direct_entities.empty()) {
+      best = std::min(best, depth + 1);
+      continue;
+    }
+    for (TypeId c : catalog_->type(cur).children) {
+      if (seen.insert(c).second) frontier.emplace_back(c, depth + 1);
+    }
+  }
+  min_entity_dist_[t] = best;
+  return best;
+}
+
+bool ClosureCache::EntityHasType(EntityId e, TypeId t) {
+  return Dist(e, t) != kUnreachable;
+}
+
+}  // namespace webtab

@@ -1,0 +1,78 @@
+#ifndef WEBTAB_CATALOG_CLOSURE_H_
+#define WEBTAB_CATALOG_CLOSURE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace webtab {
+
+/// Memoized reachability queries over a Catalog (paper §3.1 notation):
+///   T(E)        — all type ancestors of entity E,
+///   E(T)        — all entities transitively reachable from type T,
+///   dist(E, T)  — shortest ∈-then-⊆* path length (paper §4.2.3),
+///   |E|/|E(T)|  — IDF-style type specificity.
+///
+/// The catalog is large and each table touches a small slice of it, so
+/// closures are computed lazily and cached (mirrors the paper's cost
+/// profile where index probes dominate, §6.1.2). Not thread-safe; use one
+/// instance per worker.
+class ClosureCache {
+ public:
+  /// `catalog` must outlive this cache.
+  explicit ClosureCache(const Catalog* catalog);
+
+  ClosureCache(const ClosureCache&) = delete;
+  ClosureCache& operator=(const ClosureCache&) = delete;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// All type ancestors of E (every T with E ∈+ T), unsorted but stable.
+  const std::vector<TypeId>& TypeAncestors(EntityId e);
+
+  /// Map from ancestor type to min edge distance from E (the ∈ edge counts
+  /// as 1). Types not present are unreachable.
+  const std::unordered_map<TypeId, int>& AncestorDistances(EntityId e);
+
+  /// dist(E, T); kUnreachable when E ∉+ T.
+  int Dist(EntityId e, TypeId t);
+
+  /// E(T): sorted entity ids transitively under T.
+  const std::vector<EntityId>& EntitiesOf(TypeId t);
+
+  /// |E(T)|, without materializing when already cached.
+  int64_t EntityCount(TypeId t);
+
+  /// IDF-style specificity |E| / |E(T)| (≥ 1 for nonempty types); returns
+  /// |E| + 1 for empty types (maximally specific, per the convention that
+  /// rarer is more specific).
+  double TypeSpecificity(TypeId t);
+
+  /// True iff descendant ⊆* ancestor in the type DAG (reflexive).
+  bool IsSubtypeOf(TypeId descendant, TypeId ancestor);
+
+  /// All supertypes of t including t itself.
+  const std::vector<TypeId>& TypeAncestorsOfType(TypeId t);
+
+  /// min over E' ∈ E(T) of dist(E', T); kUnreachable for empty types.
+  /// (Denominator of the missing-link feature, §4.2.3.)
+  int MinEntityDist(TypeId t);
+
+  /// True iff e ∈+ t.
+  bool EntityHasType(EntityId e, TypeId t);
+
+ private:
+  const Catalog* catalog_;
+
+  std::unordered_map<EntityId, std::unordered_map<TypeId, int>>
+      ancestor_dists_;
+  std::unordered_map<EntityId, std::vector<TypeId>> ancestors_;
+  std::unordered_map<TypeId, std::vector<EntityId>> entities_of_;
+  std::unordered_map<TypeId, std::vector<TypeId>> type_ancestors_;
+  std::unordered_map<TypeId, int> min_entity_dist_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_CLOSURE_H_

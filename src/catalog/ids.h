@@ -1,0 +1,36 @@
+#ifndef WEBTAB_CATALOG_IDS_H_
+#define WEBTAB_CATALOG_IDS_H_
+
+#include <cstdint>
+
+namespace webtab {
+
+/// Integer identifiers for catalog objects. A negative value is never a
+/// valid id; kNa ("no annotation", paper §4.1) doubles as the invalid id.
+using EntityId = int32_t;
+using TypeId = int32_t;
+using RelationId = int32_t;
+
+inline constexpr int32_t kNa = -1;
+
+/// Distance sentinel for "E is not reachable from T" (dist = infinity).
+inline constexpr int kUnreachable = 1 << 20;
+
+/// A directed relation label for an ordered column pair (c, c') with
+/// c < c'. swapped=false reads relation(cell_c, cell_c'); swapped=true the
+/// converse. {kNa, false} is the "no relation" label.
+struct RelationCandidate {
+  RelationId relation = kNa;
+  bool swapped = false;
+
+  bool is_na() const { return relation == kNa; }
+
+  friend bool operator==(const RelationCandidate&,
+                         const RelationCandidate&) = default;
+  friend auto operator<=>(const RelationCandidate&,
+                          const RelationCandidate&) = default;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_IDS_H_

@@ -1,0 +1,59 @@
+#include "catalog/relatedness.h"
+
+#include <algorithm>
+
+namespace webtab {
+
+namespace {
+// Size of intersection of two sorted vectors.
+int64_t SortedIntersectionSize(const std::vector<EntityId>& a,
+                               const std::vector<EntityId>& b) {
+  int64_t n = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++n;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return n;
+}
+}  // namespace
+
+double TypeOverlapRatio(ClosureCache* cache, TypeId t_prime, TypeId t) {
+  const auto& ext_prime = cache->EntitiesOf(t_prime);
+  if (ext_prime.empty()) return 0.0;
+  const auto& ext = cache->EntitiesOf(t);
+  int64_t inter = SortedIntersectionSize(ext_prime, ext);
+  return static_cast<double>(inter) / static_cast<double>(ext_prime.size());
+}
+
+double MissingLinkScore(ClosureCache* cache, EntityId e, TypeId t) {
+  const auto& direct = cache->catalog().entity(e).direct_types;
+  if (direct.empty()) return 0.0;
+  int min_dist = cache->MinEntityDist(t);
+  if (min_dist >= kUnreachable) return 0.0;
+  double min_ratio = 1.0;
+  for (TypeId t_prime : direct) {
+    min_ratio = std::min(min_ratio, TypeOverlapRatio(cache, t_prime, t));
+  }
+  return min_ratio / static_cast<double>(min_dist);
+}
+
+double TypeExtensionJaccard(ClosureCache* cache, TypeId t1, TypeId t2) {
+  const auto& a = cache->EntitiesOf(t1);
+  const auto& b = cache->EntitiesOf(t2);
+  if (a.empty() && b.empty()) return 0.0;
+  int64_t inter = SortedIntersectionSize(a, b);
+  int64_t uni = static_cast<int64_t>(a.size() + b.size()) - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace webtab

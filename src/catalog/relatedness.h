@@ -1,0 +1,25 @@
+#ifndef WEBTAB_CATALOG_RELATEDNESS_H_
+#define WEBTAB_CATALOG_RELATEDNESS_H_
+
+#include "catalog/closure.h"
+
+namespace webtab {
+
+/// Overlap ratio |E(T') ∩ E(T)| / |E(T')| between two types' extensions
+/// (paper §4.2.3, "Missing links"). 0 when E(T') is empty.
+double TypeOverlapRatio(ClosureCache* cache, TypeId t_prime, TypeId t);
+
+/// Missing-link compatibility score for an entity E not reachable from T:
+///   min_{T' : E ∈ T'} |E(T') ∩ E(T)| / |E(T')|  ×  1 / min_{E'∈E(T)} dist(E',T)
+/// Large when most entities sharing E's immediate parent types are also
+/// under T, hinting that the ∈ link E ∈+ T was omitted from the catalog.
+/// Returns 0 when E has no direct types or E(T) is empty.
+double MissingLinkScore(ClosureCache* cache, EntityId e, TypeId t);
+
+/// Relatedness between two types used as a general compatibility hint
+/// (Milne-Witten-flavoured over extensions): Jaccard of E(T1), E(T2).
+double TypeExtensionJaccard(ClosureCache* cache, TypeId t1, TypeId t2);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_RELATEDNESS_H_

@@ -1,0 +1,110 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace webtab {
+
+void FlagSet::AddInt(const std::string& name, int64_t* target,
+                     const std::string& help) {
+  flags_[name] = {Kind::kInt, target, help};
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  flags_[name] = {Kind::kDouble, target, help};
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  flags_[name] = {Kind::kString, target, help};
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  flags_[name] = {Kind::kBool, target, help};
+}
+
+Status FlagSet::Assign(const FlagInfo& info, const std::string& value) {
+  switch (info.kind) {
+    case Kind::kInt: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer: " + value);
+      }
+      *static_cast<int64_t*>(info.target) = v;
+      return Status::Ok();
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double: " + value);
+      }
+      *static_cast<double*>(info.target) = v;
+      return Status::Ok();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(info.target) = value;
+      return Status::Ok();
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(info.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool: " + value);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      positional_.push_back(arg);  // Pass through (e.g. --benchmark_*).
+      continue;
+    }
+    if (!has_value) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+    }
+    WEBTAB_RETURN_IF_ERROR(Assign(it->second, value));
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, info] : flags_) {
+    out += StrFormat("  --%-24s %s\n", name.c_str(), info.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace webtab

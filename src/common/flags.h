@@ -1,0 +1,51 @@
+#ifndef WEBTAB_COMMON_FLAGS_H_
+#define WEBTAB_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webtab {
+
+/// Minimal command-line flag parser for bench/example binaries.
+/// Supports --name=value and --name value; bool flags accept bare --name.
+/// Unrecognized arguments are collected as positional arguments so the
+/// google-benchmark flags (--benchmark_*) pass through untouched.
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target,
+               const std::string& help);
+
+  /// Parses argv, writing values into the registered targets.
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing all registered flags with their help strings.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct FlagInfo {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+  Status Assign(const FlagInfo& info, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_FLAGS_H_

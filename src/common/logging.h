@@ -1,0 +1,75 @@
+#ifndef WEBTAB_COMMON_LOGGING_H_
+#define WEBTAB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace webtab {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for emitted log lines. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by checks.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define WEBTAB_LOG(level)                                              \
+  if (::webtab::LogLevel::k##level < ::webtab::GetLogLevel()) {        \
+  } else                                                               \
+    ::webtab::internal::LogMessage(::webtab::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)                 \
+        .stream()
+
+/// Aborts with a message if `cond` is false. For programmer errors only;
+/// recoverable failures use Status.
+#define WEBTAB_CHECK(cond)                                                  \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::webtab::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define WEBTAB_CHECK_OK(expr)                                    \
+  do {                                                           \
+    const ::webtab::Status webtab_check_status_ = (expr);        \
+    WEBTAB_CHECK(webtab_check_status_.ok())                      \
+        << webtab_check_status_.ToString();                      \
+  } while (false)
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_LOGGING_H_

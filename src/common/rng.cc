@@ -1,0 +1,98 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace webtab {
+
+namespace {
+// SplitMix64: expands a 64-bit seed into well-distributed initial state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  state_ = SplitMix64(&s);
+  inc_ = SplitMix64(&s) | 1ULL;  // Stream selector must be odd.
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  uint64_t mix = state_ ^ (0xA0761D6478BD642FULL * (stream_id + 1));
+  return Rng(mix);
+}
+
+uint32_t Rng::NextU32() {
+  // PCG-XSH-RR.
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+  uint32_t rot = static_cast<uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  WEBTAB_CHECK(n > 0) << "Uniform(0) is undefined";
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  WEBTAB_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformReal() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  WEBTAB_CHECK(n > 0);
+  if (n == 1) return 0;
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.resize(n);
+    double total = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = total;
+    }
+    for (uint64_t i = 0; i < n; ++i) zipf_cdf_[i] /= total;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  double u = UniformReal();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+double Rng::Gaussian() {
+  double u1 = 0.0;
+  do {
+    u1 = UniformReal();
+  } while (u1 <= 1e-300);
+  double u2 = UniformReal();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace webtab

@@ -1,0 +1,110 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace webtab {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool LooksNumeric(std::string_view s) {
+  bool saw_digit = false;
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isdigit(u)) {
+      saw_digit = true;
+    } else if (c != '+' && c != '-' && c != '.' && c != ',' && c != '%' &&
+               c != '$' && !std::isspace(u)) {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      return out;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace webtab

@@ -1,0 +1,31 @@
+#ifndef WEBTAB_COMMON_TABLE_PRINTER_H_
+#define WEBTAB_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace webtab {
+
+/// Aligned text-table writer used by the bench binaries to print
+/// paper-style result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; missing trailing cells print empty, extras are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_TABLE_PRINTER_H_

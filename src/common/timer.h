@@ -1,0 +1,30 @@
+#ifndef WEBTAB_COMMON_TIMER_H_
+#define WEBTAB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace webtab {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_TIMER_H_

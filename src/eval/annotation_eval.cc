@@ -1,0 +1,60 @@
+#include "eval/annotation_eval.h"
+
+#include <algorithm>
+
+namespace webtab {
+
+void AnnotationEvaluator::Add(
+    const LabeledTable& gold_table, const TableAnnotation& predicted,
+    const std::vector<std::vector<TypeId>>* type_sets) {
+  const TableAnnotation& gold = gold_table.gold;
+  int rows = static_cast<int>(gold.cell_entities.size());
+  int cols = static_cast<int>(gold.column_types.size());
+
+  // --- Entities (skipped for relations-only datasets). ---
+  if (!gold_table.relations_only) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        // Cells in columns with no gold type *and* gold na entity on a
+        // numeric-like column are still counted: the generator labels
+        // every cell it created, kNa meaning "truly not an entity".
+        entities_.Add(gold.EntityOf(r, c) == predicted.EntityOf(r, c));
+      }
+    }
+  }
+
+  // --- Column types (skipped when the dataset doesn't label them). ---
+  if (!gold_table.relations_only && !gold_table.entities_only) {
+    for (int c = 0; c < cols; ++c) {
+      TypeId g = gold.TypeOf(c);
+      if (g == kNa) continue;  // Missing ground truth: dropped (§6.1.1).
+      std::vector<TypeId> pred_set;
+      if (type_sets != nullptr) {
+        pred_set = (*type_sets)[c];
+      } else if (predicted.TypeOf(c) != kNa) {
+        pred_set.push_back(predicted.TypeOf(c));
+      }
+      int64_t tp = std::count(pred_set.begin(), pred_set.end(), g);
+      types_.Add(tp, static_cast<int64_t>(pred_set.size()), 1);
+    }
+
+    // --- Relations over gold-labeled pairs. ---
+    for (const auto& [pair, gold_rel] : gold.relations) {
+      if (gold_rel.is_na()) continue;
+      RelationCandidate pred_rel =
+          predicted.RelationOf(pair.first, pair.second);
+      relations_.Add(pred_rel == gold_rel ? 1 : 0,
+                     pred_rel.is_na() ? 0 : 1, 1);
+    }
+  } else if (gold_table.relations_only) {
+    for (const auto& [pair, gold_rel] : gold.relations) {
+      if (gold_rel.is_na()) continue;
+      RelationCandidate pred_rel =
+          predicted.RelationOf(pair.first, pair.second);
+      relations_.Add(pred_rel == gold_rel ? 1 : 0,
+                     pred_rel.is_na() ? 0 : 1, 1);
+    }
+  }
+}
+
+}  // namespace webtab

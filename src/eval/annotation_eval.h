@@ -1,0 +1,38 @@
+#ifndef WEBTAB_EVAL_ANNOTATION_EVAL_H_
+#define WEBTAB_EVAL_ANNOTATION_EVAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+/// §6.1.1 scoring: 0/1 loss per cell for entities ("we lose a point if we
+/// get a cell wrong, including choosing na when ground truth was not
+/// na"), micro-F1 for column types and relations. Annotations whose
+/// ground truth is missing are dropped from their task; datasets marked
+/// entities_only / relations_only restrict which tasks a table feeds.
+class AnnotationEvaluator {
+ public:
+  /// `type_sets`, when provided, is the baseline's per-column predicted
+  /// type *set* (LCA/Majority report sets); otherwise the single type in
+  /// `predicted` forms a singleton set.
+  void Add(const LabeledTable& gold, const TableAnnotation& predicted,
+           const std::vector<std::vector<TypeId>>* type_sets = nullptr);
+
+  double EntityAccuracy() const { return entities_.Accuracy(); }
+  const AccuracyCounter& entity_counter() const { return entities_; }
+  const PrecisionRecallF1& type_prf() const { return types_; }
+  const PrecisionRecallF1& relation_prf() const { return relations_; }
+
+ private:
+  AccuracyCounter entities_;
+  PrecisionRecallF1 types_;
+  PrecisionRecallF1 relations_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_EVAL_ANNOTATION_EVAL_H_

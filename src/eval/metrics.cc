@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <cstddef>
+
+namespace webtab {
+
+double PrecisionRecallF1::Precision() const {
+  return predicted > 0 ? static_cast<double>(true_positives) /
+                             static_cast<double>(predicted)
+                       : 0.0;
+}
+
+double PrecisionRecallF1::Recall() const {
+  return gold > 0 ? static_cast<double>(true_positives) /
+                        static_cast<double>(gold)
+                  : 0.0;
+}
+
+double PrecisionRecallF1::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+void PrecisionRecallF1::Add(int64_t tp, int64_t pred, int64_t gold_count) {
+  true_positives += tp;
+  predicted += pred;
+  gold += gold_count;
+}
+
+double AccuracyCounter::Accuracy() const {
+  return total > 0 ? static_cast<double>(correct) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+void AccuracyCounter::Add(bool is_correct) {
+  if (is_correct) ++correct;
+  ++total;
+}
+
+double AveragePrecision(const std::vector<bool>& relevance_at_rank,
+                        int64_t relevant_total) {
+  if (relevant_total <= 0) return 0.0;
+  double ap = 0.0;
+  int64_t hits = 0;
+  for (size_t k = 0; k < relevance_at_rank.size(); ++k) {
+    if (relevance_at_rank[k]) {
+      ++hits;
+      ap += static_cast<double>(hits) / static_cast<double>(k + 1);
+    }
+  }
+  return ap / static_cast<double>(relevant_total);
+}
+
+double MeanAveragePrecision(const std::vector<double>& average_precisions) {
+  if (average_precisions.empty()) return 0.0;
+  double total = 0.0;
+  for (double ap : average_precisions) total += ap;
+  return total / static_cast<double>(average_precisions.size());
+}
+
+}  // namespace webtab

@@ -1,0 +1,42 @@
+#ifndef WEBTAB_EVAL_METRICS_H_
+#define WEBTAB_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace webtab {
+
+/// Micro-averaged precision/recall/F1 accumulator.
+struct PrecisionRecallF1 {
+  int64_t true_positives = 0;
+  int64_t predicted = 0;  // |prediction set|.
+  int64_t gold = 0;       // |gold set|.
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+
+  void Add(int64_t tp, int64_t pred, int64_t gold_count);
+};
+
+/// 0/1 accuracy accumulator.
+struct AccuracyCounter {
+  int64_t correct = 0;
+  int64_t total = 0;
+
+  double Accuracy() const;
+  void Add(bool is_correct);
+};
+
+/// Average precision of one ranked binary-relevance list:
+/// AP = (Σ_k Precision@k · rel_k) / |relevant|. `relevant_total` may
+/// exceed the number of relevant items retrieved.
+double AveragePrecision(const std::vector<bool>& relevance_at_rank,
+                        int64_t relevant_total);
+
+/// Mean of per-query APs.
+double MeanAveragePrecision(const std::vector<double>& average_precisions);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_EVAL_METRICS_H_

@@ -1,0 +1,51 @@
+#include "eval/search_eval.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "eval/metrics.h"
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+double JudgeAveragePrecision(const std::vector<SearchResult>& results,
+                             const std::unordered_set<EntityId>& relevant,
+                             const Catalog& catalog, int depth) {
+  if (relevant.empty()) return 0.0;
+
+  // Map normalized lemma -> relevant entities carrying it.
+  std::unordered_map<std::string, std::vector<EntityId>> lemma_to_entity;
+  for (EntityId e : relevant) {
+    for (const std::string& lemma : catalog.entity(e).lemmas) {
+      lemma_to_entity[NormalizeText(lemma)].push_back(e);
+    }
+  }
+
+  std::unordered_set<EntityId> already_found;
+  std::vector<bool> relevance;
+  for (const SearchResult& result : results) {
+    if (static_cast<int>(relevance.size()) >= depth) break;
+    bool hit = false;
+    if (result.entity != kNa) {
+      if (relevant.count(result.entity) &&
+          already_found.insert(result.entity).second) {
+        hit = true;
+      }
+    } else {
+      auto it = lemma_to_entity.find(NormalizeText(result.text));
+      if (it != lemma_to_entity.end()) {
+        for (EntityId e : it->second) {
+          if (already_found.insert(e).second) {
+            hit = true;
+            break;
+          }
+        }
+      }
+    }
+    relevance.push_back(hit);
+  }
+  return AveragePrecision(relevance,
+                          static_cast<int64_t>(relevant.size()));
+}
+
+}  // namespace webtab

@@ -1,0 +1,25 @@
+#ifndef WEBTAB_EVAL_SEARCH_EVAL_H_
+#define WEBTAB_EVAL_SEARCH_EVAL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "search/query.h"
+
+namespace webtab {
+
+/// Judges one ranked result list against the relevant entity set (the
+/// paper scores against DBPedia triples; here the world's hidden truth).
+/// A result is relevant when its resolved entity is in the set, or — for
+/// unresolved string results — when its normalized text equals a lemma of
+/// a relevant entity. Each relevant entity counts at most once (first
+/// hit); duplicates are irrelevant, penalizing unclustered baselines.
+double JudgeAveragePrecision(
+    const std::vector<SearchResult>& results,
+    const std::unordered_set<EntityId>& relevant,
+    const Catalog& catalog, int depth = 50);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_EVAL_SEARCH_EVAL_H_

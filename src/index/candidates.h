@@ -1,0 +1,50 @@
+#ifndef WEBTAB_INDEX_CANDIDATES_H_
+#define WEBTAB_INDEX_CANDIDATES_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "catalog/closure.h"
+#include "index/lemma_index.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Knobs for the candidate generation of §4.3. The paper reports typical
+/// ambiguity of 7-8 entities per cell and hundreds of types per column;
+/// the caps keep factor tables bounded while preserving that regime.
+struct CandidateOptions {
+  int max_entities_per_cell = 8;  // Paper §6.1.1: typically 7-8 per cell.
+  int max_types_per_column = 48;
+  int max_relations_per_pair = 16;
+  double min_entity_score = 0.15;
+  /// Columns whose numeric fraction exceeds this get no entity candidates
+  /// (the paper annotates non-numeric columns; §6.1.2).
+  double numeric_column_threshold = 0.7;
+};
+
+/// Candidate label sets for one table (before adding the `na` option).
+/// RelationCandidate lives in catalog/ids.h.
+struct TableCandidates {
+  /// cells[r][c]: scored entity candidates for cell (r,c), best first.
+  std::vector<std::vector<std::vector<LemmaHit>>> cells;
+  /// column_types[c]: candidate types, from ∪_{E ∈ Erc} T(E) (§4.3),
+  /// scored by support and specificity, best first.
+  std::vector<std::vector<TypeId>> column_types;
+  /// Candidate relations per column pair (c < c'); pairs with no
+  /// candidates are absent.
+  std::map<std::pair<int, int>, std::vector<RelationCandidate>> relations;
+};
+
+/// Runs the §4.3 candidate generation: index probes per cell, type-space
+/// construction from entity ancestors plus header probes, and relation
+/// discovery from catalog tuples over candidate entity pairs.
+TableCandidates GenerateCandidates(const Table& table,
+                                   const LemmaIndex& index,
+                                   ClosureCache* closure,
+                                   const CandidateOptions& options);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INDEX_CANDIDATES_H_

@@ -1,0 +1,73 @@
+#ifndef WEBTAB_INDEX_LEMMA_INDEX_H_
+#define WEBTAB_INDEX_LEMMA_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// A scored hit from the lemma index.
+struct LemmaHit {
+  int32_t id = kNa;       // EntityId or TypeId depending on the probe.
+  int32_t lemma_ord = 0;  // Which lemma of that object matched best.
+  double score = 0.0;     // IDF-weighted token-overlap cosine, in [0,1].
+};
+
+/// Inverted index over catalog lemma tokens — the paper's Lucene stand-in
+/// ("use a text index to collect candidate entities based on overlap
+/// between cell and lemma tokens", §4.3/Fig 2). One index serves both
+/// entity and type lemmas; the vocabulary accumulates document frequencies
+/// over all lemmas, backing every TF-IDF computation downstream.
+class LemmaIndex {
+ public:
+  /// Builds postings for `catalog` (which must outlive the index).
+  explicit LemmaIndex(const Catalog* catalog);
+
+  LemmaIndex(const LemmaIndex&) = delete;
+  LemmaIndex& operator=(const LemmaIndex&) = delete;
+
+  /// Top-k entities whose lemmas overlap `text`, best first.
+  std::vector<LemmaHit> ProbeEntities(std::string_view text, int k) const;
+
+  /// Top-k types whose lemmas overlap `text`, best first.
+  std::vector<LemmaHit> ProbeTypes(std::string_view text, int k) const;
+
+  /// Shared vocabulary (IDF source). Mutable because similarity probes
+  /// intern query tokens; interning does not change existing statistics.
+  Vocabulary* vocabulary() const { return &vocab_; }
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  int64_t num_postings() const { return num_postings_; }
+
+ private:
+  struct Posting {
+    int32_t id;         // Entity or type id.
+    int32_t lemma_ord;  // Ordinal of the lemma within the object.
+    int32_t lemma_len;  // Token count of that lemma.
+  };
+
+  // One postings table per object kind.
+  struct PostingsTable {
+    // Indexed by TokenId; parallel to vocab ids (grown on build only).
+    std::vector<std::vector<Posting>> by_token;
+  };
+
+  void AddLemma(PostingsTable* table, int32_t id, int32_t lemma_ord,
+                std::string_view lemma);
+  std::vector<LemmaHit> Probe(const PostingsTable& table,
+                              std::string_view text, int k) const;
+
+  const Catalog* catalog_;
+  mutable Vocabulary vocab_;
+  PostingsTable entity_postings_;
+  PostingsTable type_postings_;
+  int64_t num_postings_ = 0;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INDEX_LEMMA_INDEX_H_

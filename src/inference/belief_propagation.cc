@@ -1,0 +1,154 @@
+#include "inference/belief_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace webtab {
+
+namespace {
+
+/// Per-factor message state: one message vector per adjacent variable in
+/// each direction.
+struct FactorMessages {
+  // to_factor[i][l]  : message var_i -> factor, label l.
+  // to_var[i][l]     : message factor -> var_i, label l.
+  std::vector<std::vector<double>> to_factor;
+  std::vector<std::vector<double>> to_var;
+};
+
+void NormalizeInPlace(std::vector<double>* msg) {
+  double mx = *std::max_element(msg->begin(), msg->end());
+  for (double& x : *msg) x -= mx;
+}
+
+}  // namespace
+
+BpResult RunBeliefPropagation(const FactorGraph& graph,
+                              const BpOptions& options) {
+  const int num_vars = graph.num_variables();
+  const int num_factors = graph.num_factors();
+
+  // belief[v] = node potential + sum of factor->var messages; var->factor
+  // messages are formed by subtracting the factor's own contribution.
+  std::vector<std::vector<double>> belief(num_vars);
+  for (int v = 0; v < num_vars; ++v) {
+    belief[v] = graph.node_log_potential(v);
+  }
+
+  std::vector<FactorMessages> messages(num_factors);
+  for (int f = 0; f < num_factors; ++f) {
+    const auto& factor = graph.factor(f);
+    messages[f].to_factor.resize(factor.vars.size());
+    messages[f].to_var.resize(factor.vars.size());
+    for (size_t i = 0; i < factor.vars.size(); ++i) {
+      int d = graph.domain_size(factor.vars[i]);
+      messages[f].to_factor[i].assign(d, 0.0);
+      messages[f].to_var[i].assign(d, 0.0);
+    }
+  }
+
+  // Process factors in ascending group order (paper's schedule).
+  std::vector<int> order(num_factors);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return graph.factor(a).group < graph.factor(b).group;
+  });
+
+  BpResult result;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    double residual = 0.0;
+    for (int f : order) {
+      const auto& factor = graph.factor(f);
+      auto& fm = messages[f];
+      const size_t arity = factor.vars.size();
+
+      // Refresh var->factor messages from current beliefs.
+      for (size_t i = 0; i < arity; ++i) {
+        int v = factor.vars[i];
+        auto& msg = fm.to_factor[i];
+        for (size_t l = 0; l < msg.size(); ++l) {
+          msg[l] = belief[v][l] - fm.to_var[i][l];
+        }
+        NormalizeInPlace(&msg);
+      }
+
+      // Compute factor->var messages by max-marginalizing the table plus
+      // the other variables' messages. Enumerate the full table once.
+      std::vector<int> dims(arity);
+      for (size_t i = 0; i < arity; ++i) {
+        dims[i] = graph.domain_size(factor.vars[i]);
+      }
+      std::vector<std::vector<double>> new_to_var(arity);
+      for (size_t i = 0; i < arity; ++i) {
+        new_to_var[i].assign(dims[i],
+                             -std::numeric_limits<double>::infinity());
+      }
+      std::vector<int> label(arity, 0);
+      const int64_t table_size = static_cast<int64_t>(factor.table.size());
+      for (int64_t idx = 0; idx < table_size; ++idx) {
+        // Decode the row-major index into labels.
+        int64_t rem = idx;
+        for (size_t i = arity; i-- > 0;) {
+          label[i] = static_cast<int>(rem % dims[i]);
+          rem /= dims[i];
+        }
+        double base = factor.table[idx];
+        double total_in = 0.0;
+        for (size_t i = 0; i < arity; ++i) {
+          total_in += fm.to_factor[i][label[i]];
+        }
+        for (size_t i = 0; i < arity; ++i) {
+          double excl = base + total_in - fm.to_factor[i][label[i]];
+          if (excl > new_to_var[i][label[i]]) {
+            new_to_var[i][label[i]] = excl;
+          }
+        }
+      }
+
+      // Apply damping, normalize, track residual, update beliefs.
+      for (size_t i = 0; i < arity; ++i) {
+        int v = factor.vars[i];
+        auto& msg = new_to_var[i];
+        NormalizeInPlace(&msg);
+        if (options.damping > 0.0) {
+          for (size_t l = 0; l < msg.size(); ++l) {
+            msg[l] = options.damping * fm.to_var[i][l] +
+                     (1.0 - options.damping) * msg[l];
+          }
+          NormalizeInPlace(&msg);
+        }
+        for (size_t l = 0; l < msg.size(); ++l) {
+          double delta = msg[l] - fm.to_var[i][l];
+          residual = std::max(residual, std::fabs(delta));
+          belief[v][l] += delta;
+        }
+        fm.to_var[i] = msg;
+      }
+    }
+    result.iterations = iter;
+    result.max_residual = residual;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Decode: argmax belief per variable; ties break toward the lowest
+  // label index (na first) for determinism.
+  result.assignment.resize(num_vars);
+  for (int v = 0; v < num_vars; ++v) {
+    int best = 0;
+    for (int l = 1; l < graph.domain_size(v); ++l) {
+      if (belief[v][l] > belief[v][best]) best = l;
+    }
+    result.assignment[v] = best;
+  }
+  result.score = graph.ScoreAssignment(result.assignment);
+  return result;
+}
+
+}  // namespace webtab

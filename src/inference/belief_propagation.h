@@ -1,0 +1,39 @@
+#ifndef WEBTAB_INFERENCE_BELIEF_PROPAGATION_H_
+#define WEBTAB_INFERENCE_BELIEF_PROPAGATION_H_
+
+#include <vector>
+
+#include "inference/factor_graph.h"
+
+namespace webtab {
+
+struct BpOptions {
+  /// The paper reports convergence "within three iterations" (§4.4.2);
+  /// we allow a few more as safety margin.
+  int max_iterations = 10;
+  /// Convergence threshold on the max absolute message change.
+  double tolerance = 1e-6;
+  /// 0 = no damping; d in (0,1) mixes d*old + (1-d)*new messages.
+  double damping = 0.0;
+};
+
+struct BpResult {
+  std::vector<int> assignment;  // Label index per variable.
+  int iterations = 0;
+  bool converged = false;
+  double score = 0.0;           // Log-score of the decoded assignment.
+  double max_residual = 0.0;    // Last iteration's message change.
+};
+
+/// Sequential max-product belief propagation in log domain. Within each
+/// iteration, factors are processed in ascending group order, which
+/// realizes the schedule of Appendix D when table graphs assign
+/// φ3 < φ5 < φ4 groups: messages flow entities→types, entities→relations,
+/// types→relations and back, repeated to convergence. On factor trees
+/// (e.g. the relation-free model of §4.4.1) the result is exact.
+BpResult RunBeliefPropagation(const FactorGraph& graph,
+                              const BpOptions& options = BpOptions());
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_BELIEF_PROPAGATION_H_

@@ -1,0 +1,41 @@
+#include "inference/brute_force.h"
+
+#include <limits>
+
+namespace webtab {
+
+Result<BruteForceResult> SolveBruteForce(const FactorGraph& graph,
+                                         int64_t max_assignments) {
+  int64_t total = 1;
+  for (int v = 0; v < graph.num_variables(); ++v) {
+    total *= graph.domain_size(v);
+    if (total > max_assignments) {
+      return Status::OutOfRange("assignment space too large for brute force");
+    }
+  }
+
+  BruteForceResult best;
+  best.score = -std::numeric_limits<double>::infinity();
+  std::vector<int> labels(graph.num_variables(), 0);
+  for (int64_t i = 0; i < total; ++i) {
+    double score = graph.ScoreAssignment(labels);
+    ++best.assignments_scanned;
+    if (score > best.score) {
+      best.score = score;
+      best.assignment = labels;
+    }
+    // Odometer increment.
+    for (int v = graph.num_variables() - 1; v >= 0; --v) {
+      if (++labels[v] < graph.domain_size(v)) break;
+      labels[v] = 0;
+    }
+  }
+  if (graph.num_variables() == 0) {
+    best.score = 0.0;
+    best.assignment.clear();
+    best.assignments_scanned = 1;
+  }
+  return best;
+}
+
+}  // namespace webtab

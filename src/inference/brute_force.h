@@ -1,0 +1,26 @@
+#ifndef WEBTAB_INFERENCE_BRUTE_FORCE_H_
+#define WEBTAB_INFERENCE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "inference/factor_graph.h"
+
+namespace webtab {
+
+struct BruteForceResult {
+  std::vector<int> assignment;
+  double score = 0.0;
+  int64_t assignments_scanned = 0;
+};
+
+/// Exhaustive MAP over a factor graph. Fails when the assignment-space
+/// size exceeds `max_assignments`. Test oracle only — inference in the
+/// general model is NP-hard (Appendix C).
+Result<BruteForceResult> SolveBruteForce(const FactorGraph& graph,
+                                         int64_t max_assignments = 2000000);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_BRUTE_FORCE_H_

@@ -1,0 +1,63 @@
+#include "inference/factor_graph.h"
+
+#include "common/logging.h"
+
+namespace webtab {
+
+int FactorGraph::AddVariable(int domain_size) {
+  WEBTAB_CHECK(domain_size >= 1);
+  domains_.push_back(domain_size);
+  node_potentials_.emplace_back(domain_size, 0.0);
+  return num_variables() - 1;
+}
+
+void FactorGraph::SetNodeLogPotential(int var,
+                                      std::vector<double> log_potential) {
+  WEBTAB_CHECK(var >= 0 && var < num_variables());
+  WEBTAB_CHECK(static_cast<int>(log_potential.size()) == domains_[var]);
+  node_potentials_[var] = std::move(log_potential);
+}
+
+void FactorGraph::AddToNodeLogPotential(int var, int label, double delta) {
+  WEBTAB_CHECK(var >= 0 && var < num_variables());
+  WEBTAB_CHECK(label >= 0 && label < domains_[var]);
+  node_potentials_[var][label] += delta;
+}
+
+int FactorGraph::AddFactor(std::vector<int> vars, std::vector<double> table,
+                           int group) {
+  int64_t expected = 1;
+  for (int v : vars) {
+    WEBTAB_CHECK(v >= 0 && v < num_variables());
+    expected *= domains_[v];
+  }
+  WEBTAB_CHECK(static_cast<int64_t>(table.size()) == expected)
+      << "factor table size mismatch";
+  factors_.push_back(Factor{std::move(vars), std::move(table), group});
+  return num_factors() - 1;
+}
+
+int64_t FactorGraph::TableIndex(const Factor& factor,
+                                const std::vector<int>& domain_sizes,
+                                const std::vector<int>& labels) {
+  int64_t idx = 0;
+  for (size_t i = 0; i < factor.vars.size(); ++i) {
+    idx = idx * domain_sizes[factor.vars[i]] + labels[factor.vars[i]];
+  }
+  return idx;
+}
+
+double FactorGraph::ScoreAssignment(const std::vector<int>& labels) const {
+  WEBTAB_CHECK(static_cast<int>(labels.size()) == num_variables());
+  double score = 0.0;
+  for (int v = 0; v < num_variables(); ++v) {
+    WEBTAB_CHECK(labels[v] >= 0 && labels[v] < domains_[v]);
+    score += node_potentials_[v][labels[v]];
+  }
+  for (const Factor& f : factors_) {
+    score += f.table[TableIndex(f, domains_, labels)];
+  }
+  return score;
+}
+
+}  // namespace webtab

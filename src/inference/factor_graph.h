@@ -1,0 +1,56 @@
+#ifndef WEBTAB_INFERENCE_FACTOR_GRAPH_H_
+#define WEBTAB_INFERENCE_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace webtab {
+
+/// A discrete factor graph in log domain (Appendix B). Variables carry
+/// node log-potentials; factors couple 2-3 variables through dense
+/// row-major log tables. Factor "groups" let callers impose the paper's
+/// message schedule (φ3 then φ5 then φ4, Appendix D).
+class FactorGraph {
+ public:
+  struct Factor {
+    std::vector<int> vars;        // Variable ids, in table axis order.
+    std::vector<double> table;    // Row-major log-potential table.
+    int group = 0;                // Schedule group (ascending order).
+  };
+
+  /// Adds a variable with `domain_size` labels (all-zero node potential).
+  int AddVariable(int domain_size);
+
+  void SetNodeLogPotential(int var, std::vector<double> log_potential);
+  void AddToNodeLogPotential(int var, int label, double delta);
+
+  /// Adds a factor over `vars` with a dense log table whose size must be
+  /// the product of the variables' domain sizes; axis order == vars order.
+  int AddFactor(std::vector<int> vars, std::vector<double> table,
+                int group = 0);
+
+  int num_variables() const { return static_cast<int>(domains_.size()); }
+  int num_factors() const { return static_cast<int>(factors_.size()); }
+  int domain_size(int var) const { return domains_[var]; }
+  const std::vector<double>& node_log_potential(int var) const {
+    return node_potentials_[var];
+  }
+  const Factor& factor(int f) const { return factors_[f]; }
+
+  /// Total log-score of a complete assignment (label index per variable).
+  double ScoreAssignment(const std::vector<int>& labels) const;
+
+  /// Flat index into a factor table for the given labels of its vars.
+  static int64_t TableIndex(const Factor& factor,
+                            const std::vector<int>& domain_sizes,
+                            const std::vector<int>& labels);
+
+ private:
+  std::vector<int> domains_;
+  std::vector<std::vector<double>> node_potentials_;
+  std::vector<Factor> factors_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_FACTOR_GRAPH_H_

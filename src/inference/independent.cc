@@ -1,0 +1,71 @@
+#include "inference/independent.h"
+
+namespace webtab {
+
+TableAnnotation SolveIndependent(const Table& table,
+                                 const TableLabelSpace& space,
+                                 FeatureComputer* features,
+                                 const Weights& w) {
+  TableAnnotation out = TableAnnotation::Empty(table.rows(), table.cols());
+
+  for (int c = 0; c < table.cols(); ++c) {
+    const auto& types = space.TypeDomain(c);
+    double best_score = 0.0;  // Score of t_c = na (all features silent
+                              // for φ2/φ3; cells still free via φ1).
+    int best_type = 0;
+    std::vector<EntityId> best_cells(table.rows(), kNa);
+
+    // Evaluate each type label (index 0 = na).
+    for (size_t lt = 0; lt < types.size(); ++lt) {
+      TypeId t = types[lt];
+      double a_t = t == kNa ? 0.0 : features->Phi2Log(w, table.header(c), t);
+      std::vector<EntityId> cells(table.rows(), kNa);
+      for (int r = 0; r < table.rows(); ++r) {
+        const auto& ents = space.EntityDomain(r, c);
+        double best_cell = 0.0;  // e = na.
+        EntityId best_e = kNa;
+        for (size_t le = 1; le < ents.size(); ++le) {
+          double s = features->Phi1Log(w, table.cell(r, c), ents[le]);
+          if (t != kNa) s += features->Phi3Log(w, t, ents[le]);
+          if (s > best_cell) {
+            best_cell = s;
+            best_e = ents[le];
+          }
+        }
+        a_t += best_cell;
+        cells[r] = best_e;
+      }
+      if (lt == 0 || a_t > best_score) {
+        best_score = a_t;
+        best_type = static_cast<int>(lt);
+        best_cells = std::move(cells);
+      }
+    }
+
+    out.column_types[c] = types[best_type];
+    for (int r = 0; r < table.rows(); ++r) {
+      out.cell_entities[r][c] = best_cells[r];
+    }
+  }
+  return out;
+}
+
+double IndependentObjective(const Table& table, const TableLabelSpace& space,
+                            FeatureComputer* features, const Weights& w,
+                            const TableAnnotation& annotation) {
+  double score = 0.0;
+  for (int c = 0; c < table.cols(); ++c) {
+    TypeId t = annotation.TypeOf(c);
+    if (t != kNa) score += features->Phi2Log(w, table.header(c), t);
+    for (int r = 0; r < table.rows(); ++r) {
+      EntityId e = annotation.EntityOf(r, c);
+      if (e == kNa) continue;
+      score += features->Phi1Log(w, table.cell(r, c), e);
+      if (t != kNa) score += features->Phi3Log(w, t, e);
+    }
+  }
+  (void)space;
+  return score;
+}
+
+}  // namespace webtab

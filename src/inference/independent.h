@@ -1,0 +1,28 @@
+#ifndef WEBTAB_INFERENCE_INDEPENDENT_H_
+#define WEBTAB_INFERENCE_INDEPENDENT_H_
+
+#include "model/features.h"
+#include "model/label_space.h"
+#include "table/annotation.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Exact polynomial-time inference for the relation-free objective (2),
+/// implementing Figure 2: for every candidate column type T, pick each
+/// cell's best entity under φ1·φ3, accumulate A_T = φ2 Π φ1 φ3, keep the
+/// argmax type, then finalize cell labels. Columns are independent.
+TableAnnotation SolveIndependent(const Table& table,
+                                 const TableLabelSpace& space,
+                                 FeatureComputer* features,
+                                 const Weights& w);
+
+/// Log-score of the relation-free objective for a full annotation; the
+/// quantity maximized by SolveIndependent.
+double IndependentObjective(const Table& table, const TableLabelSpace& space,
+                            FeatureComputer* features, const Weights& w,
+                            const TableAnnotation& annotation);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_INDEPENDENT_H_

@@ -1,0 +1,100 @@
+#include "inference/min_cost_flow.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace webtab {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : num_nodes_(num_nodes), graph_(num_nodes) {}
+
+int MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
+  WEBTAB_CHECK(from >= 0 && from < num_nodes_);
+  WEBTAB_CHECK(to >= 0 && to < num_nodes_);
+  graph_[from].push_back(
+      Edge{to, capacity, cost, static_cast<int>(graph_[to].size())});
+  graph_[to].push_back(
+      Edge{from, 0, -cost, static_cast<int>(graph_[from].size()) - 1});
+  edge_refs_.emplace_back(from, static_cast<int>(graph_[from].size()) - 1);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+MinCostFlow::Solution MinCostFlow::Solve(int s, int t, int64_t max_flow) {
+  Solution result;
+  std::vector<double> potential(num_nodes_, 0.0);
+
+  // Bellman-Ford to initialize potentials (graph may have negative costs).
+  for (int pass = 0; pass < num_nodes_; ++pass) {
+    bool changed = false;
+    for (int u = 0; u < num_nodes_; ++u) {
+      for (const Edge& e : graph_[u]) {
+        if (e.capacity > 0 && potential[u] + e.cost < potential[e.to]) {
+          potential[e.to] = potential[u] + e.cost;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  while (result.flow < max_flow) {
+    // Dijkstra with reduced costs.
+    std::vector<double> dist(num_nodes_, kInf);
+    std::vector<int> prev_node(num_nodes_, -1);
+    std::vector<int> prev_edge(num_nodes_, -1);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    dist[s] = 0.0;
+    heap.emplace(0.0, s);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + 1e-12) continue;
+      for (size_t i = 0; i < graph_[u].size(); ++i) {
+        const Edge& e = graph_[u][i];
+        if (e.capacity <= 0) continue;
+        double nd = dist[u] + e.cost + potential[u] - potential[e.to];
+        if (nd < dist[e.to] - 1e-12) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = static_cast<int>(i);
+          heap.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[t] == kInf) break;  // No augmenting path.
+    for (int u = 0; u < num_nodes_; ++u) {
+      if (dist[u] < kInf) potential[u] += dist[u];
+    }
+    // Bottleneck along the path.
+    int64_t push = max_flow - result.flow;
+    for (int u = t; u != s; u = prev_node[u]) {
+      push = std::min(push, graph_[prev_node[u]][prev_edge[u]].capacity);
+    }
+    for (int u = t; u != s; u = prev_node[u]) {
+      Edge& e = graph_[prev_node[u]][prev_edge[u]];
+      e.capacity -= push;
+      graph_[u][e.rev].capacity += push;
+      result.cost += e.cost * static_cast<double>(push);
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+int64_t MinCostFlow::FlowOn(int edge_id) const {
+  WEBTAB_CHECK(edge_id >= 0 &&
+               edge_id < static_cast<int>(edge_refs_.size()));
+  auto [node, offset] = edge_refs_[edge_id];
+  const Edge& e = graph_[node][offset];
+  // Flow equals the reverse edge's residual capacity.
+  return graph_[e.to][e.rev].capacity;
+}
+
+}  // namespace webtab

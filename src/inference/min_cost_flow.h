@@ -1,0 +1,45 @@
+#ifndef WEBTAB_INFERENCE_MIN_COST_FLOW_H_
+#define WEBTAB_INFERENCE_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace webtab {
+
+/// Successive-shortest-path min-cost max-flow (Ahuja et al. [1], the
+/// reference the paper cites for unique-column constraints, §4.4.1).
+/// Handles negative edge costs via an initial Bellman-Ford potential.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  /// Adds a directed edge; returns its id for FlowOn queries.
+  int AddEdge(int from, int to, int64_t capacity, double cost);
+
+  struct Solution {
+    int64_t flow = 0;
+    double cost = 0.0;
+  };
+
+  /// Sends up to `max_flow` units from s to t at minimum total cost.
+  Solution Solve(int s, int t, int64_t max_flow);
+
+  /// Flow currently routed on edge `id` (after Solve).
+  int64_t FlowOn(int edge_id) const;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;
+    double cost;
+    int rev;  // Index of the reverse edge in graph_[to].
+  };
+
+  int num_nodes_;
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_refs_;  // (node, offset) per id.
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_MIN_COST_FLOW_H_

@@ -1,0 +1,168 @@
+#include "inference/table_graph.h"
+
+#include "common/logging.h"
+
+namespace webtab {
+
+TableGraph BuildTableGraph(const Table& table, const TableLabelSpace& space,
+                           FeatureComputer* features, const Weights& w,
+                           const TableGraphOptions& options) {
+  TableGraph tg;
+  tg.entity_var.assign(table.rows(), std::vector<int>(table.cols(), -1));
+  tg.type_var.assign(table.cols(), -1);
+
+  // --- Variables + node potentials. ---
+  for (int c = 0; c < table.cols(); ++c) {
+    const auto& domain = space.TypeDomain(c);
+    if (domain.size() <= 1) continue;
+    int v = tg.graph.AddVariable(static_cast<int>(domain.size()));
+    tg.type_var[c] = v;
+    std::vector<double> pot(domain.size(), 0.0);
+    for (size_t l = 1; l < domain.size(); ++l) {
+      pot[l] = features->Phi2Log(w, table.header(c), domain[l]);
+    }
+    tg.graph.SetNodeLogPotential(v, std::move(pot));
+  }
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      const auto& domain = space.EntityDomain(r, c);
+      if (domain.size() <= 1) continue;
+      int v = tg.graph.AddVariable(static_cast<int>(domain.size()));
+      tg.entity_var[r][c] = v;
+      std::vector<double> pot(domain.size(), 0.0);
+      for (size_t l = 1; l < domain.size(); ++l) {
+        pot[l] = features->Phi1Log(w, table.cell(r, c), domain[l]);
+      }
+      tg.graph.SetNodeLogPotential(v, std::move(pot));
+    }
+  }
+
+  // --- φ3 factors: (type_c, entity_rc). ---
+  for (int c = 0; c < table.cols(); ++c) {
+    if (tg.type_var[c] < 0) continue;
+    const auto& types = space.TypeDomain(c);
+    for (int r = 0; r < table.rows(); ++r) {
+      if (tg.entity_var[r][c] < 0) continue;
+      const auto& ents = space.EntityDomain(r, c);
+      std::vector<double> tab(types.size() * ents.size(), 0.0);
+      for (size_t lt = 1; lt < types.size(); ++lt) {
+        for (size_t le = 1; le < ents.size(); ++le) {
+          tab[lt * ents.size() + le] =
+              features->Phi3Log(w, types[lt], ents[le]);
+        }
+      }
+      tg.graph.AddFactor({tg.type_var[c], tg.entity_var[r][c]},
+                         std::move(tab), kGroupPhi3);
+    }
+  }
+
+  if (!options.use_relations) return tg;
+
+  // --- Relation variables + φ5 + φ4. ---
+  for (const std::pair<int, int>& pair : space.column_pairs()) {
+    const auto& domain = space.RelationDomain(pair.first, pair.second);
+    if (domain.size() <= 1) continue;
+    int v = tg.graph.AddVariable(static_cast<int>(domain.size()));
+    tg.relation_var[pair] = v;
+  }
+
+  for (const auto& [pair, rel_var] : tg.relation_var) {
+    auto [c1, c2] = pair;
+    const auto& rels = space.RelationDomain(c1, c2);
+
+    // φ5(b, e_{r,c1}, e_{r,c2}) per row.
+    for (int r = 0; r < table.rows(); ++r) {
+      int v1 = tg.entity_var[r][c1];
+      int v2 = tg.entity_var[r][c2];
+      if (v1 < 0 || v2 < 0) continue;
+      const auto& d1 = space.EntityDomain(r, c1);
+      const auto& d2 = space.EntityDomain(r, c2);
+      std::vector<double> tab(rels.size() * d1.size() * d2.size(), 0.0);
+      for (size_t lb = 1; lb < rels.size(); ++lb) {
+        for (size_t l1 = 1; l1 < d1.size(); ++l1) {
+          for (size_t l2 = 1; l2 < d2.size(); ++l2) {
+            tab[(lb * d1.size() + l1) * d2.size() + l2] =
+                features->Phi5Log(w, rels[lb], d1[l1], d2[l2]);
+          }
+        }
+      }
+      tg.graph.AddFactor({rel_var, v1, v2}, std::move(tab), kGroupPhi5);
+    }
+
+    // φ4(b, t_{c1}, t_{c2}).
+    int tv1 = tg.type_var[c1];
+    int tv2 = tg.type_var[c2];
+    if (tv1 >= 0 && tv2 >= 0) {
+      const auto& types1 = space.TypeDomain(c1);
+      const auto& types2 = space.TypeDomain(c2);
+      std::vector<double> tab(rels.size() * types1.size() * types2.size(),
+                              0.0);
+      for (size_t lb = 1; lb < rels.size(); ++lb) {
+        for (size_t l1 = 1; l1 < types1.size(); ++l1) {
+          for (size_t l2 = 1; l2 < types2.size(); ++l2) {
+            tab[(lb * types1.size() + l1) * types2.size() + l2] =
+                features->Phi4Log(w, rels[lb], types1[l1], types2[l2]);
+          }
+        }
+      }
+      tg.graph.AddFactor({rel_var, tv1, tv2}, std::move(tab), kGroupPhi4);
+    }
+  }
+  return tg;
+}
+
+TableAnnotation TableGraph::DecodeAssignment(
+    const std::vector<int>& assignment, const TableLabelSpace& space) const {
+  int rows = static_cast<int>(entity_var.size());
+  int cols = static_cast<int>(type_var.size());
+  TableAnnotation out = TableAnnotation::Empty(rows, cols);
+  for (int c = 0; c < cols; ++c) {
+    if (type_var[c] >= 0) {
+      out.column_types[c] = space.TypeDomain(c)[assignment[type_var[c]]];
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (entity_var[r][c] >= 0) {
+        out.cell_entities[r][c] =
+            space.EntityDomain(r, c)[assignment[entity_var[r][c]]];
+      }
+    }
+  }
+  for (const auto& [pair, v] : relation_var) {
+    RelationCandidate rel =
+        space.RelationDomain(pair.first, pair.second)[assignment[v]];
+    if (!rel.is_na()) out.relations[pair] = rel;
+  }
+  return out;
+}
+
+std::vector<int> TableGraph::EncodeAnnotation(
+    const TableAnnotation& annotation, const TableLabelSpace& space) const {
+  std::vector<int> assignment(graph.num_variables(), 0);
+  int rows = static_cast<int>(entity_var.size());
+  int cols = static_cast<int>(type_var.size());
+  for (int c = 0; c < cols; ++c) {
+    if (type_var[c] < 0) continue;
+    int idx = TableLabelSpace::IndexOfType(space.TypeDomain(c),
+                                           annotation.TypeOf(c));
+    assignment[type_var[c]] = idx >= 0 ? idx : 0;
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (entity_var[r][c] < 0) continue;
+      int idx = TableLabelSpace::IndexOfEntity(space.EntityDomain(r, c),
+                                               annotation.EntityOf(r, c));
+      assignment[entity_var[r][c]] = idx >= 0 ? idx : 0;
+    }
+  }
+  for (const auto& [pair, v] : relation_var) {
+    int idx = TableLabelSpace::IndexOfRelation(
+        space.RelationDomain(pair.first, pair.second),
+        annotation.RelationOf(pair.first, pair.second));
+    assignment[v] = idx >= 0 ? idx : 0;
+  }
+  return assignment;
+}
+
+}  // namespace webtab

@@ -1,0 +1,58 @@
+#ifndef WEBTAB_INFERENCE_TABLE_GRAPH_H_
+#define WEBTAB_INFERENCE_TABLE_GRAPH_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "inference/factor_graph.h"
+#include "model/features.h"
+#include "model/label_space.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+/// Schedule groups matching Appendix D's message order.
+inline constexpr int kGroupPhi3 = 1;
+inline constexpr int kGroupPhi5 = 2;
+inline constexpr int kGroupPhi4 = 3;
+
+struct TableGraphOptions {
+  /// When false, relation variables and φ4/φ5 factors are omitted,
+  /// reducing the model to Eq. (2) (§4.4.1 special case).
+  bool use_relations = true;
+};
+
+/// The factor graph for one table plus the bookkeeping to translate
+/// between graph variables and table coordinates (Figure 10's structure).
+/// Variables with trivial (na-only) domains are not materialized; their
+/// label is implicitly na.
+struct TableGraph {
+  FactorGraph graph;
+  /// entity_var[r][c]: variable id or -1.
+  std::vector<std::vector<int>> entity_var;
+  /// type_var[c]: variable id or -1.
+  std::vector<int> type_var;
+  /// Relation variable per ordered column pair.
+  std::map<std::pair<int, int>, int> relation_var;
+
+  /// Decodes a BP/brute-force assignment into a TableAnnotation.
+  TableAnnotation DecodeAssignment(const std::vector<int>& assignment,
+                                   const TableLabelSpace& space) const;
+
+  /// Encodes an annotation as a full assignment (for scoring / training).
+  /// Labels missing from a domain map to na (index 0).
+  std::vector<int> EncodeAnnotation(const TableAnnotation& annotation,
+                                    const TableLabelSpace& space) const;
+};
+
+/// Materializes node potentials (φ1, φ2) and factors (φ3, φ4, φ5) from the
+/// feature computer under weights `w`.
+TableGraph BuildTableGraph(const Table& table, const TableLabelSpace& space,
+                           FeatureComputer* features, const Weights& w,
+                           const TableGraphOptions& options =
+                               TableGraphOptions());
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_TABLE_GRAPH_H_

@@ -1,0 +1,66 @@
+#include "inference/unique_constraint.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "inference/min_cost_flow.h"
+
+namespace webtab {
+
+std::vector<int> AssignUniqueEntities(
+    const std::vector<std::vector<EntityId>>& domains,
+    const std::vector<std::vector<double>>& scores) {
+  const int cells = static_cast<int>(domains.size());
+  WEBTAB_CHECK(scores.size() == domains.size());
+
+  // Collect the distinct non-na entities across all domains.
+  std::unordered_map<EntityId, int> entity_node;
+  for (const auto& domain : domains) {
+    WEBTAB_CHECK(!domain.empty() && domain[0] == kNa);
+    for (size_t l = 1; l < domain.size(); ++l) {
+      entity_node.emplace(domain[l], 0);
+    }
+  }
+  // Node layout: 0 = source, 1..cells = cells, then entities, last = sink.
+  int next = 1 + cells;
+  for (auto& [e, node] : entity_node) node = next++;
+  int sink = next++;
+  MinCostFlow flow(next);
+
+  for (int r = 0; r < cells; ++r) {
+    flow.AddEdge(0, 1 + r, 1, 0.0);
+  }
+  // Cell -> entity edges carry negative score (min-cost == max-score);
+  // cell -> sink is the na option at the na score.
+  std::vector<std::vector<int>> choice_edges(cells);
+  std::vector<int> na_edges(cells);
+  for (int r = 0; r < cells; ++r) {
+    const auto& domain = domains[r];
+    WEBTAB_CHECK(scores[r].size() == domain.size());
+    na_edges[r] = flow.AddEdge(1 + r, sink, 1, -scores[r][0]);
+    choice_edges[r].resize(domain.size(), -1);
+    for (size_t l = 1; l < domain.size(); ++l) {
+      choice_edges[r][l] =
+          flow.AddEdge(1 + r, entity_node[domain[l]], 1, -scores[r][l]);
+    }
+  }
+  for (const auto& [e, node] : entity_node) {
+    flow.AddEdge(node, sink, 1, 0.0);
+  }
+
+  MinCostFlow::Solution sol = flow.Solve(0, sink, cells);
+  WEBTAB_CHECK(sol.flow == cells) << "unique assignment infeasible";
+
+  std::vector<int> labels(cells, 0);
+  for (int r = 0; r < cells; ++r) {
+    for (size_t l = 1; l < domains[r].size(); ++l) {
+      if (flow.FlowOn(choice_edges[r][l]) > 0) {
+        labels[r] = static_cast<int>(l);
+        break;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace webtab

@@ -1,0 +1,25 @@
+#ifndef WEBTAB_INFERENCE_UNIQUE_CONSTRAINT_H_
+#define WEBTAB_INFERENCE_UNIQUE_CONSTRAINT_H_
+
+#include <vector>
+
+#include "catalog/ids.h"
+
+namespace webtab {
+
+/// Decodes a primary-key column under a uniqueness constraint (§4.4.1:
+/// "Primary key or unique constraints on a column can be handled using a
+/// min cost flow formulation"): every cell picks one label from its
+/// domain, no two cells may pick the same non-na entity, total score is
+/// maximized. na (assumed at domain index 0 with score 0) may repeat.
+///
+/// `domains[r]` lists cell r's candidate entities (index 0 must be kNa);
+/// `scores[r][l]` is the log-score of assigning domains[r][l].
+/// Returns the chosen label index per cell.
+std::vector<int> AssignUniqueEntities(
+    const std::vector<std::vector<EntityId>>& domains,
+    const std::vector<std::vector<double>>& scores);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INFERENCE_UNIQUE_CONSTRAINT_H_

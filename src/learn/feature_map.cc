@@ -1,0 +1,69 @@
+#include "learn/feature_map.h"
+
+#include "inference/belief_propagation.h"
+#include "inference/table_graph.h"
+
+namespace webtab {
+
+std::vector<double> JointFeatureMap(const Table& table,
+                                    const TableAnnotation& annotation,
+                                    FeatureComputer* features,
+                                    bool use_relations) {
+  std::vector<double> psi(kF1Size + kF2Size + kF3Size + kF4Size + kF5Size,
+                          0.0);
+  auto add = [&](int offset, const auto& f) {
+    for (size_t i = 0; i < f.size(); ++i) psi[offset + i] += f[i];
+  };
+  constexpr int kOff1 = 0;
+  constexpr int kOff2 = kOff1 + kF1Size;
+  constexpr int kOff3 = kOff2 + kF2Size;
+  constexpr int kOff4 = kOff3 + kF3Size;
+  constexpr int kOff5 = kOff4 + kF4Size;
+
+  for (int c = 0; c < table.cols(); ++c) {
+    TypeId t = annotation.TypeOf(c);
+    if (t != kNa) add(kOff2, features->F2(table.header(c), t));
+    for (int r = 0; r < table.rows(); ++r) {
+      EntityId e = annotation.EntityOf(r, c);
+      if (e == kNa) continue;
+      add(kOff1, features->F1(table.cell(r, c), e));
+      if (t != kNa) add(kOff3, features->F3(t, e));
+    }
+  }
+  if (use_relations) {
+    for (const auto& [pair, rel] : annotation.relations) {
+      if (rel.is_na()) continue;
+      auto [c1, c2] = pair;
+      TypeId t1 = annotation.TypeOf(c1);
+      TypeId t2 = annotation.TypeOf(c2);
+      if (t1 != kNa && t2 != kNa) add(kOff4, features->F4(rel, t1, t2));
+      for (int r = 0; r < table.rows(); ++r) {
+        EntityId e1 = annotation.EntityOf(r, c1);
+        EntityId e2 = annotation.EntityOf(r, c2);
+        if (e1 != kNa && e2 != kNa) {
+          add(kOff5, features->F5(rel, e1, e2));
+        }
+      }
+    }
+  }
+  return psi;
+}
+
+TableAnnotation LossAugmentedDecode(const Table& table,
+                                    const TableLabelSpace& space,
+                                    FeatureComputer* features,
+                                    const Weights& w,
+                                    const TableAnnotation& gold,
+                                    const LossWeights& loss,
+                                    bool use_relations,
+                                    const BpOptions& bp_options) {
+  TableGraphOptions graph_options;
+  graph_options.use_relations = use_relations;
+  TableGraph graph =
+      BuildTableGraph(table, space, features, w, graph_options);
+  AddLossAugmentation(space, gold, loss, &graph);
+  BpResult bp = RunBeliefPropagation(graph.graph, bp_options);
+  return graph.DecodeAssignment(bp.assignment, space);
+}
+
+}  // namespace webtab

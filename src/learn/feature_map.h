@@ -1,0 +1,36 @@
+#ifndef WEBTAB_LEARN_FEATURE_MAP_H_
+#define WEBTAB_LEARN_FEATURE_MAP_H_
+
+#include <vector>
+
+#include "inference/belief_propagation.h"
+#include "learn/loss.h"
+#include "model/features.h"
+#include "model/label_space.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+/// Joint feature map Ψ(x, y): the sum of f1..f5 over a complete labeling,
+/// concatenated in Weights::Flatten() order. By construction,
+/// w.Flatten() · Ψ(x,y) equals the model's log-score of y.
+std::vector<double> JointFeatureMap(const Table& table,
+                                    const TableAnnotation& annotation,
+                                    FeatureComputer* features,
+                                    bool use_relations = true);
+
+/// One loss-augmented decode: builds the graph under `w`, adds the
+/// Hamming augmentation toward `gold`, runs BP, returns the decoded
+/// annotation. Shared by the perceptron and SSVM trainers.
+TableAnnotation LossAugmentedDecode(const Table& table,
+                                    const TableLabelSpace& space,
+                                    FeatureComputer* features,
+                                    const Weights& w,
+                                    const TableAnnotation& gold,
+                                    const LossWeights& loss,
+                                    bool use_relations,
+                                    const BpOptions& bp_options);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_LEARN_FEATURE_MAP_H_

@@ -1,0 +1,87 @@
+#include "learn/loss.h"
+
+namespace webtab {
+
+double AnnotationLoss(const TableAnnotation& gold,
+                      const TableAnnotation& predicted,
+                      const LossWeights& weights, bool entities_only,
+                      bool relations_only) {
+  double loss = 0.0;
+  int rows = static_cast<int>(gold.cell_entities.size());
+  int cols = static_cast<int>(gold.column_types.size());
+  if (!relations_only) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (gold.EntityOf(r, c) != predicted.EntityOf(r, c)) {
+          loss += weights.entity;
+        }
+      }
+    }
+    if (!entities_only) {
+      for (int c = 0; c < cols; ++c) {
+        if (gold.TypeOf(c) != predicted.TypeOf(c)) loss += weights.type;
+      }
+    }
+  }
+  if (!entities_only) {
+    // Union of pairs labeled by either side.
+    std::map<std::pair<int, int>, bool> pairs;
+    for (const auto& [p, rel] : gold.relations) pairs[p] = true;
+    for (const auto& [p, rel] : predicted.relations) pairs[p] = true;
+    for (const auto& [p, unused] : pairs) {
+      (void)unused;
+      if (!(gold.RelationOf(p.first, p.second) ==
+            predicted.RelationOf(p.first, p.second))) {
+        loss += weights.relation;
+      }
+    }
+  }
+  return loss;
+}
+
+void AddLossAugmentation(const TableLabelSpace& space,
+                         const TableAnnotation& gold,
+                         const LossWeights& weights, TableGraph* graph) {
+  int rows = space.rows();
+  int cols = space.cols();
+  for (int c = 0; c < cols; ++c) {
+    int v = graph->type_var[c];
+    if (v < 0) continue;
+    const auto& domain = space.TypeDomain(c);
+    int gold_idx = TableLabelSpace::IndexOfType(domain, gold.TypeOf(c));
+    if (gold_idx < 0) gold_idx = 0;
+    for (int l = 0; l < static_cast<int>(domain.size()); ++l) {
+      if (l != gold_idx) {
+        graph->graph.AddToNodeLogPotential(v, l, weights.type);
+      }
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int v = graph->entity_var[r][c];
+      if (v < 0) continue;
+      const auto& domain = space.EntityDomain(r, c);
+      int gold_idx =
+          TableLabelSpace::IndexOfEntity(domain, gold.EntityOf(r, c));
+      if (gold_idx < 0) gold_idx = 0;
+      for (int l = 0; l < static_cast<int>(domain.size()); ++l) {
+        if (l != gold_idx) {
+          graph->graph.AddToNodeLogPotential(v, l, weights.entity);
+        }
+      }
+    }
+  }
+  for (const auto& [pair, v] : graph->relation_var) {
+    const auto& domain = space.RelationDomain(pair.first, pair.second);
+    int gold_idx = TableLabelSpace::IndexOfRelation(
+        domain, gold.RelationOf(pair.first, pair.second));
+    if (gold_idx < 0) gold_idx = 0;
+    for (int l = 0; l < static_cast<int>(domain.size()); ++l) {
+      if (l != gold_idx) {
+        graph->graph.AddToNodeLogPotential(v, l, weights.relation);
+      }
+    }
+  }
+}
+
+}  // namespace webtab

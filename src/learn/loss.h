@@ -1,0 +1,35 @@
+#ifndef WEBTAB_LEARN_LOSS_H_
+#define WEBTAB_LEARN_LOSS_H_
+
+#include "inference/table_graph.h"
+#include "model/label_space.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+/// Per-variable Hamming loss weights. Relations and types are fewer than
+/// cells, so they get larger default weight to balance the tasks.
+struct LossWeights {
+  double entity = 1.0;
+  double type = 2.0;
+  double relation = 2.0;
+};
+
+/// Weighted Hamming distance between two annotations over the variables
+/// that `gold` labels (datasets that only label entities or relations
+/// contribute only those terms).
+double AnnotationLoss(const TableAnnotation& gold,
+                      const TableAnnotation& predicted,
+                      const LossWeights& weights, bool entities_only = false,
+                      bool relations_only = false);
+
+/// Adds the Hamming loss to a table graph's node potentials: every label
+/// that disagrees with the gold assignment gains its loss weight, turning
+/// MAP into loss-augmented decoding (margin rescaling, [22]).
+void AddLossAugmentation(const TableLabelSpace& space,
+                         const TableAnnotation& gold,
+                         const LossWeights& weights, TableGraph* graph);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_LEARN_LOSS_H_

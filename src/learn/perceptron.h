@@ -1,0 +1,44 @@
+#ifndef WEBTAB_LEARN_PERCEPTRON_H_
+#define WEBTAB_LEARN_PERCEPTRON_H_
+
+#include <vector>
+
+#include "index/candidates.h"
+#include "inference/belief_propagation.h"
+#include "learn/feature_map.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+struct PerceptronOptions {
+  int epochs = 5;
+  double learning_rate = 0.25;
+  bool averaged = true;
+  bool loss_augmented = true;
+  LossWeights loss;
+  uint64_t shuffle_seed = 11;
+  bool use_relations = true;
+  BpOptions bp;
+  /// Starting point. Default() converges much faster than Zero().
+  Weights initial = Weights::Default();
+};
+
+struct TrainStats {
+  std::vector<double> epoch_losses;  // Mean train loss per epoch.
+  int updates = 0;
+};
+
+/// Averaged structured perceptron with loss-augmented decoding — our
+/// stand-in for the max-margin structured learner of [22] (§4.3 trains
+/// w1..w5 on Wiki Manual). Gold labels are injected into every label
+/// space so the target is always reachable.
+Weights TrainPerceptron(const std::vector<LabeledTable>& data,
+                        const Catalog* catalog, const LemmaIndex* index,
+                        const CandidateOptions& candidates,
+                        const FeatureOptions& feature_options,
+                        const PerceptronOptions& options,
+                        TrainStats* stats = nullptr);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_LEARN_PERCEPTRON_H_

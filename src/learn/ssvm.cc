@@ -1,0 +1,70 @@
+#include "learn/ssvm.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace webtab {
+
+Weights TrainSsvm(const std::vector<LabeledTable>& data,
+                  const Catalog* catalog, const LemmaIndex* index,
+                  const CandidateOptions& candidates,
+                  const FeatureOptions& feature_options,
+                  const SsvmOptions& options, TrainStats* stats) {
+  ClosureCache closure(catalog);
+  FeatureComputer features(&closure, index->vocabulary(), feature_options);
+  Rng rng(options.shuffle_seed);
+
+  std::vector<double> w = options.initial.Flatten();
+  std::vector<TableLabelSpace> spaces;
+  spaces.reserve(data.size());
+  for (const LabeledTable& lt : data) {
+    TableCandidates cand =
+        GenerateCandidates(lt.table, *index, &closure, candidates);
+    spaces.push_back(TableLabelSpace::Build(lt.table, cand, &lt.gold));
+  }
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  int64_t t = 0;
+  int updates = 0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t idx : order) {
+      ++t;
+      double eta = options.learning_rate /
+                   (1.0 + options.lambda * static_cast<double>(t));
+      const LabeledTable& lt = data[idx];
+      Weights current = Weights::FromFlat(w);
+      TableAnnotation predicted = LossAugmentedDecode(
+          lt.table, spaces[idx], &features, current, lt.gold, options.loss,
+          options.use_relations, options.bp);
+      double l = AnnotationLoss(lt.gold, predicted, options.loss,
+                                lt.entities_only, lt.relations_only);
+      epoch_loss += l;
+
+      // L2 shrinkage then (sub)gradient step on the hinge term.
+      for (double& x : w) x *= (1.0 - eta * options.lambda);
+      if (l > 0.0) {
+        std::vector<double> psi_gold = JointFeatureMap(
+            lt.table, lt.gold, &features, options.use_relations);
+        std::vector<double> psi_pred = JointFeatureMap(
+            lt.table, predicted, &features, options.use_relations);
+        for (size_t i = 0; i < w.size(); ++i) {
+          w[i] += eta * (psi_gold[i] - psi_pred[i]);
+        }
+        ++updates;
+      }
+    }
+    if (stats != nullptr) {
+      stats->epoch_losses.push_back(
+          data.empty() ? 0.0 : epoch_loss / static_cast<double>(data.size()));
+    }
+  }
+  if (stats != nullptr) stats->updates = updates;
+  return Weights::FromFlat(w);
+}
+
+}  // namespace webtab

@@ -1,0 +1,33 @@
+#ifndef WEBTAB_LEARN_SSVM_H_
+#define WEBTAB_LEARN_SSVM_H_
+
+#include <vector>
+
+#include "learn/perceptron.h"
+
+namespace webtab {
+
+struct SsvmOptions {
+  int epochs = 8;
+  double lambda = 1e-3;        // L2 regularization strength.
+  double learning_rate = 0.5;  // Base step; decays as eta/(1+lambda*t).
+  LossWeights loss;
+  uint64_t shuffle_seed = 13;
+  bool use_relations = true;
+  BpOptions bp;
+  Weights initial = Weights::Default();
+};
+
+/// Stochastic-subgradient structural SVM with margin rescaling
+/// (Pegasos-style optimization of the objective in Tsochantaridis et
+/// al. [22]): per example, decode ŷ = argmax_y w·Ψ(x,y) + L(y*, y) and
+/// step along Ψ(x,y*) − Ψ(x,ŷ) with L2 shrinkage.
+Weights TrainSsvm(const std::vector<LabeledTable>& data,
+                  const Catalog* catalog, const LemmaIndex* index,
+                  const CandidateOptions& candidates,
+                  const FeatureOptions& feature_options,
+                  const SsvmOptions& options, TrainStats* stats = nullptr);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_LEARN_SSVM_H_

@@ -1,0 +1,210 @@
+#include "model/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/relatedness.h"
+#include "common/logging.h"
+#include "text/similarity.h"
+#include "text/soft_tfidf.h"
+
+namespace webtab {
+
+namespace {
+
+template <size_t N>
+double Dot(const std::vector<double>& w, const std::array<double, N>& f) {
+  WEBTAB_CHECK(w.size() == N);
+  double s = 0.0;
+  for (size_t i = 0; i < N; ++i) s += w[i] * f[i];
+  return s;
+}
+
+/// Max over lemmas of each similarity measure, packed as
+/// [cosine, jaccard, dice, soft-tfidf, exact, bias].
+template <size_t N>
+void TextSimilarityFeatures(std::string_view text,
+                            const std::vector<std::string>& lemmas,
+                            Vocabulary* vocab, std::array<double, N>* out) {
+  static_assert(N >= 6);
+  for (const std::string& lemma : lemmas) {
+    (*out)[0] = std::max((*out)[0], TfIdfCosine(text, lemma, vocab));
+    (*out)[1] = std::max((*out)[1], JaccardSimilarity(text, lemma));
+    (*out)[2] = std::max((*out)[2], DiceSimilarity(text, lemma));
+    (*out)[3] = std::max((*out)[3], SoftTfIdfSimilarity(text, lemma, vocab));
+    if (ExactNormalizedMatch(text, lemma)) (*out)[4] = 1.0;
+  }
+  (*out)[5] = 1.0;  // Bias: fires on any non-na label.
+}
+
+}  // namespace
+
+FeatureComputer::FeatureComputer(ClosureCache* closure, Vocabulary* vocab,
+                                 FeatureOptions options)
+    : closure_(closure), vocab_(vocab), options_(options) {
+  WEBTAB_CHECK(closure != nullptr);
+  WEBTAB_CHECK(vocab != nullptr);
+}
+
+std::array<double, kF1Size> FeatureComputer::F1(std::string_view cell_text,
+                                                EntityId e) const {
+  std::array<double, kF1Size> f{};
+  if (e == kNa) return f;
+  TextSimilarityFeatures(cell_text, catalog().entity(e).lemmas, vocab_, &f);
+  return f;
+}
+
+std::array<double, kF2Size> FeatureComputer::F2(std::string_view header_text,
+                                                TypeId t) const {
+  std::array<double, kF2Size> f{};
+  if (t == kNa) return f;
+  if (header_text.empty()) {
+    // Headers may be omitted (§4.2.2): only the bias fires so that a type
+    // label is still possible on headerless tables.
+    f[5] = 1.0;
+    return f;
+  }
+  TextSimilarityFeatures(header_text, catalog().type(t).lemmas, vocab_, &f);
+  return f;
+}
+
+std::array<double, kF3Size> FeatureComputer::F3(TypeId t, EntityId e) {
+  std::array<double, kF3Size> f{};
+  if (t == kNa || e == kNa) return f;
+  int dist = closure_->Dist(e, t);
+  if (dist != kUnreachable) {
+    switch (options_.compat_mode) {
+      case CompatMode::kRecipSqrtDist:
+        f[0] = 1.0 / std::sqrt(static_cast<double>(dist));
+        break;
+      case CompatMode::kRecipDist:
+        f[0] = 1.0 / static_cast<double>(dist);
+        break;
+      case CompatMode::kIdfOnly:
+        f[0] = 0.0;  // Distance signal disabled; IDF carries φ3.
+        break;
+    }
+    // Specificity |E|/|E(T)| on log scale, normalized to [0,1] by the
+    // maximum possible specificity log |E|.
+    double total = static_cast<double>(catalog().num_entities());
+    if (total > 1.0) {
+      f[1] = std::log(closure_->TypeSpecificity(t)) / std::log(total + 1.0);
+    }
+    f[3] = 1.0;  // Bias (compatible pair).
+  } else if (options_.use_missing_link) {
+    // §4.2.3 "Missing links": indirect evidence that E ∈+ T was omitted.
+    f[2] = MissingLinkScore(closure_, e, t);
+    if (f[2] > 0.0) f[3] = 1.0;
+  }
+  return f;
+}
+
+std::array<double, kF4Size> FeatureComputer::F4(const RelationCandidate& b,
+                                                TypeId t1, TypeId t2) {
+  std::array<double, kF4Size> f{};
+  if (b.is_na() || t1 == kNa || t2 == kNa) return f;
+  const RelationRecord& rel = catalog().relation(b.relation);
+  TypeId subject_col_type = b.swapped ? t2 : t1;
+  TypeId object_col_type = b.swapped ? t1 : t2;
+  // Schema feature: 1 when the column types are sub-types of the declared
+  // schema B(T1, T2) (exact-id equality is too brittle under a DAG).
+  if (closure_->IsSubtypeOf(subject_col_type, rel.subject_type) &&
+      closure_->IsSubtypeOf(object_col_type, rel.object_type)) {
+    f[0] = 1.0;
+  }
+  // Participation: fraction of entities under each column type occupying
+  // the corresponding role in B (§4.2.4, second feature).
+  f[1] = Participation(b.relation, subject_col_type, /*object_role=*/false);
+  f[2] = Participation(b.relation, object_col_type, /*object_role=*/true);
+  f[3] = 1.0;
+  return f;
+}
+
+std::array<double, kF5Size> FeatureComputer::F5(const RelationCandidate& b,
+                                                EntityId e1,
+                                                EntityId e2) const {
+  std::array<double, kF5Size> f{};
+  if (b.is_na() || e1 == kNa || e2 == kNa) return f;
+  EntityId subject = b.swapped ? e2 : e1;
+  EntityId object = b.swapped ? e1 : e2;
+  const Catalog& cat = catalog();
+  if (cat.HasTuple(b.relation, subject, object)) {
+    f[0] = 1.0;
+  } else {
+    // Cardinality violation (§4.2.5, second feature): a functional
+    // relation already maps this subject to a *different* object (or
+    // inverse-functional maps this object to a different subject).
+    RelationCardinality card = cat.relation(b.relation).cardinality;
+    bool functional = card == RelationCardinality::kManyToOne ||
+                      card == RelationCardinality::kOneToOne;
+    bool inv_functional = card == RelationCardinality::kOneToMany ||
+                          card == RelationCardinality::kOneToOne;
+    if (functional && !cat.ObjectsOf(b.relation, subject).empty()) {
+      f[1] = 1.0;
+    }
+    if (inv_functional && !cat.SubjectsOf(b.relation, object).empty()) {
+      f[1] = 1.0;
+    }
+  }
+  f[2] = 1.0;
+  return f;
+}
+
+double FeatureComputer::Participation(RelationId rel, TypeId t,
+                                      bool object_role) {
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(rel)) << 33) |
+                 (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 1) |
+                 (object_role ? 1 : 0);
+  auto it = participation_cache_.find(key);
+  if (it != participation_cache_.end()) return it->second;
+
+  const std::vector<EntityId>& extension = closure_->EntitiesOf(t);
+  double value = 0.0;
+  if (!extension.empty()) {
+    const RelationRecord& record = catalog().relation(rel);
+    // Count extension entities occupying the role. Tuples are sorted by
+    // subject; for the object role we use the reverse index per entity.
+    int64_t hits = 0;
+    for (EntityId e : extension) {
+      bool present = object_role ? !catalog().SubjectsOf(rel, e).empty()
+                                 : !catalog().ObjectsOf(rel, e).empty();
+      if (present) ++hits;
+    }
+    (void)record;
+    value = static_cast<double>(hits) / static_cast<double>(extension.size());
+  }
+  participation_cache_[key] = value;
+  return value;
+}
+
+double FeatureComputer::Phi1Log(const Weights& w, std::string_view cell_text,
+                                EntityId e) const {
+  if (e == kNa) return 0.0;
+  return Dot(w.w1, F1(cell_text, e));
+}
+
+double FeatureComputer::Phi2Log(const Weights& w,
+                                std::string_view header_text,
+                                TypeId t) const {
+  if (t == kNa) return 0.0;
+  return Dot(w.w2, F2(header_text, t));
+}
+
+double FeatureComputer::Phi3Log(const Weights& w, TypeId t, EntityId e) {
+  if (t == kNa || e == kNa) return 0.0;
+  return Dot(w.w3, F3(t, e));
+}
+
+double FeatureComputer::Phi4Log(const Weights& w, const RelationCandidate& b,
+                                TypeId t1, TypeId t2) {
+  if (b.is_na() || t1 == kNa || t2 == kNa) return 0.0;
+  return Dot(w.w4, F4(b, t1, t2));
+}
+
+double FeatureComputer::Phi5Log(const Weights& w, const RelationCandidate& b,
+                                EntityId e1, EntityId e2) const {
+  if (b.is_na() || e1 == kNa || e2 == kNa) return 0.0;
+  return Dot(w.w5, F5(b, e1, e2));
+}
+
+}  // namespace webtab

@@ -1,0 +1,90 @@
+#ifndef WEBTAB_MODEL_FEATURES_H_
+#define WEBTAB_MODEL_FEATURES_H_
+
+#include <array>
+#include <string_view>
+#include <unordered_map>
+
+#include "catalog/closure.h"
+#include "model/weights.h"
+#include "table/table.h"
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// Options shared by feature computation.
+struct FeatureOptions {
+  CompatMode compat_mode = CompatMode::kRecipSqrtDist;
+  /// Disables the φ3 missing-link hint (ablation A3 in DESIGN.md).
+  bool use_missing_link = true;
+};
+
+/// Computes the feature families f1..f5 of §4.2 and their weighted scores
+/// (log-potentials log φ_k = w_k · f_k). Per the paper, *no feature fires
+/// when any involved label is na*, so na always scores exactly 0; the
+/// trailing bias in each family lets training calibrate real labels
+/// against that fixed baseline.
+///
+/// Holds memoization caches; not thread-safe. Use one per worker.
+class FeatureComputer {
+ public:
+  /// `closure` and `vocab` must outlive this object. The vocabulary is
+  /// the lemma index's so IDF statistics match candidate generation.
+  FeatureComputer(ClosureCache* closure, Vocabulary* vocab,
+                  FeatureOptions options = FeatureOptions());
+
+  FeatureComputer(const FeatureComputer&) = delete;
+  FeatureComputer& operator=(const FeatureComputer&) = delete;
+
+  const Catalog& catalog() const { return closure_->catalog(); }
+  const FeatureOptions& options() const { return options_; }
+
+  /// f1(r,c,E): similarities between cell text and the entity's lemmas
+  /// (max over lemmas per measure, §4.2.1). Zero vector when e == kNa.
+  std::array<double, kF1Size> F1(std::string_view cell_text,
+                                 EntityId e) const;
+
+  /// f2(c,T): similarities between header text and the type's lemmas.
+  std::array<double, kF2Size> F2(std::string_view header_text,
+                                 TypeId t) const;
+
+  /// f3(T,E): type-entity compatibility (§4.2.3). When E ∈+ T, fires the
+  /// distance feature per CompatMode and the IDF specificity; otherwise
+  /// only the missing-link hint can fire.
+  std::array<double, kF3Size> F3(TypeId t, EntityId e);
+
+  /// f4(B,T1,T2): relation-schema compatibility (§4.2.4) for the relation
+  /// candidate applied to column types (t1, t2) in pair order.
+  std::array<double, kF4Size> F4(const RelationCandidate& b, TypeId t1,
+                                 TypeId t2);
+
+  /// f5(B,E1,E2): tuple evidence and cardinality violations (§4.2.5).
+  std::array<double, kF5Size> F5(const RelationCandidate& b, EntityId e1,
+                                 EntityId e2) const;
+
+  // Weighted log-potentials.
+  double Phi1Log(const Weights& w, std::string_view cell_text, EntityId e)
+      const;
+  double Phi2Log(const Weights& w, std::string_view header_text, TypeId t)
+      const;
+  double Phi3Log(const Weights& w, TypeId t, EntityId e);
+  double Phi4Log(const Weights& w, const RelationCandidate& b, TypeId t1,
+                 TypeId t2);
+  double Phi5Log(const Weights& w, const RelationCandidate& b, EntityId e1,
+                 EntityId e2) const;
+
+ private:
+  /// Fraction of E(t) that occupies the given role in relation `rel`.
+  double Participation(RelationId rel, TypeId t, bool object_role);
+
+  ClosureCache* closure_;
+  Vocabulary* vocab_;
+  FeatureOptions options_;
+
+  // Cache: (rel, t, role) -> participation fraction.
+  std::unordered_map<uint64_t, double> participation_cache_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_MODEL_FEATURES_H_

@@ -1,0 +1,122 @@
+#include "model/label_space.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace webtab {
+
+namespace {
+const std::vector<RelationCandidate> kEmptyRelationDomain;
+}  // namespace
+
+TableLabelSpace TableLabelSpace::Build(const Table& table,
+                                       const TableCandidates& candidates,
+                                       const TableAnnotation* gold) {
+  TableLabelSpace space;
+  space.rows_ = table.rows();
+  space.cols_ = table.cols();
+  space.entity_domains_.resize(static_cast<size_t>(table.rows()) *
+                               table.cols());
+  space.type_domains_.resize(table.cols());
+
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      auto& domain =
+          space.entity_domains_[static_cast<size_t>(r) * table.cols() + c];
+      domain.push_back(kNa);
+      for (const LemmaHit& hit : candidates.cells[r][c]) {
+        domain.push_back(hit.id);
+      }
+      if (gold != nullptr) {
+        EntityId g = gold->EntityOf(r, c);
+        if (g != kNa &&
+            std::find(domain.begin(), domain.end(), g) == domain.end()) {
+          domain.push_back(g);
+        }
+      }
+    }
+  }
+
+  for (int c = 0; c < table.cols(); ++c) {
+    auto& domain = space.type_domains_[c];
+    domain.push_back(kNa);
+    for (TypeId t : candidates.column_types[c]) domain.push_back(t);
+    if (gold != nullptr) {
+      TypeId g = gold->TypeOf(c);
+      if (g != kNa &&
+          std::find(domain.begin(), domain.end(), g) == domain.end()) {
+        domain.push_back(g);
+      }
+    }
+  }
+
+  // Relation domains: from candidates, plus gold pairs during training.
+  std::map<std::pair<int, int>, std::vector<RelationCandidate>> domains;
+  for (const auto& [pair, rels] : candidates.relations) {
+    auto& domain = domains[pair];
+    domain.push_back(RelationCandidate{});  // na.
+    for (const RelationCandidate& b : rels) domain.push_back(b);
+  }
+  if (gold != nullptr) {
+    for (const auto& [pair, rel] : gold->relations) {
+      if (rel.is_na()) continue;
+      auto& domain = domains[pair];
+      if (domain.empty()) domain.push_back(RelationCandidate{});
+      if (std::find(domain.begin(), domain.end(), rel) == domain.end()) {
+        domain.push_back(rel);
+      }
+    }
+  }
+  for (auto& [pair, domain] : domains) {
+    if (domain.size() <= 1) continue;  // na-only pairs carry no variable.
+    space.pairs_.push_back(pair);
+    space.relation_domains_[pair] = std::move(domain);
+  }
+  return space;
+}
+
+const std::vector<RelationCandidate>& TableLabelSpace::RelationDomain(
+    int c1, int c2) const {
+  auto it = relation_domains_.find({c1, c2});
+  return it == relation_domains_.end() ? kEmptyRelationDomain : it->second;
+}
+
+int TableLabelSpace::IndexOfEntity(const std::vector<EntityId>& domain,
+                                   EntityId e) {
+  auto it = std::find(domain.begin(), domain.end(), e);
+  return it == domain.end() ? -1 : static_cast<int>(it - domain.begin());
+}
+
+int TableLabelSpace::IndexOfType(const std::vector<TypeId>& domain,
+                                 TypeId t) {
+  auto it = std::find(domain.begin(), domain.end(), t);
+  return it == domain.end() ? -1 : static_cast<int>(it - domain.begin());
+}
+
+int TableLabelSpace::IndexOfRelation(
+    const std::vector<RelationCandidate>& domain,
+    const RelationCandidate& b) {
+  auto it = std::find(domain.begin(), domain.end(), b);
+  return it == domain.end() ? -1 : static_cast<int>(it - domain.begin());
+}
+
+double TableLabelSpace::MeanEntityDomainSize() const {
+  if (entity_domains_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& d : entity_domains_) {
+    total += static_cast<double>(d.size()) - 1;  // Exclude na.
+  }
+  return total / static_cast<double>(entity_domains_.size());
+}
+
+double TableLabelSpace::MeanTypeDomainSize() const {
+  if (type_domains_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& d : type_domains_) {
+    total += static_cast<double>(d.size()) - 1;
+  }
+  return total / static_cast<double>(type_domains_.size());
+}
+
+}  // namespace webtab

@@ -1,0 +1,70 @@
+#ifndef WEBTAB_MODEL_LABEL_SPACE_H_
+#define WEBTAB_MODEL_LABEL_SPACE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "index/candidates.h"
+#include "table/annotation.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Per-table variable domains for inference (§4.3): every domain's first
+/// entry (index 0) is the na label; the rest come from candidate
+/// generation. During training the gold labels are injected so the
+/// learner can always reach the ground truth.
+class TableLabelSpace {
+ public:
+  /// Builds domains from candidates. If `gold` is non-null its labels are
+  /// appended to the corresponding domains when missing.
+  static TableLabelSpace Build(const Table& table,
+                               const TableCandidates& candidates,
+                               const TableAnnotation* gold = nullptr);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Entity domain of cell (r,c); [0] == kNa.
+  const std::vector<EntityId>& EntityDomain(int r, int c) const {
+    return entity_domains_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Type domain of column c; [0] == kNa.
+  const std::vector<TypeId>& TypeDomain(int c) const {
+    return type_domains_[c];
+  }
+
+  /// Ordered column pairs that carry a relation variable (non-trivial
+  /// domain), ascending.
+  const std::vector<std::pair<int, int>>& column_pairs() const {
+    return pairs_;
+  }
+
+  /// Relation domain of pair (c1,c2); [0] == na. Empty for absent pairs.
+  const std::vector<RelationCandidate>& RelationDomain(int c1, int c2) const;
+
+  /// Index of a label within a domain; -1 when absent.
+  static int IndexOfEntity(const std::vector<EntityId>& domain, EntityId e);
+  static int IndexOfType(const std::vector<TypeId>& domain, TypeId t);
+  static int IndexOfRelation(const std::vector<RelationCandidate>& domain,
+                             const RelationCandidate& b);
+
+  /// Summary statistics used by bench/candidate_stats.
+  double MeanEntityDomainSize() const;
+  double MeanTypeDomainSize() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::vector<EntityId>> entity_domains_;  // row-major.
+  std::vector<std::vector<TypeId>> type_domains_;
+  std::vector<std::pair<int, int>> pairs_;
+  std::map<std::pair<int, int>, std::vector<RelationCandidate>>
+      relation_domains_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_MODEL_LABEL_SPACE_H_

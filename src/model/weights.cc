@@ -1,0 +1,123 @@
+#include "model/weights.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace webtab {
+
+std::string_view CompatModeName(CompatMode mode) {
+  switch (mode) {
+    case CompatMode::kRecipSqrtDist:
+      return "1/sqrt(dist)";
+    case CompatMode::kRecipDist:
+      return "1/dist";
+    case CompatMode::kIdfOnly:
+      return "IDF";
+  }
+  return "unknown";
+}
+
+Weights Weights::Zero() {
+  Weights w;
+  w.w1.assign(kF1Size, 0.0);
+  w.w2.assign(kF2Size, 0.0);
+  w.w3.assign(kF3Size, 0.0);
+  w.w4.assign(kF4Size, 0.0);
+  w.w5.assign(kF5Size, 0.0);
+  return w;
+}
+
+Weights Weights::Default() {
+  Weights w = Zero();
+  // φ1: similarities push toward matching entities; the bias makes weak
+  // matches lose to na.
+  w.w1 = {2.0, 1.0, 0.5, 1.0, 1.5, -1.8};
+  // φ2: headers are a weaker signal (§4.2.2) — smaller magnitudes.
+  w.w2 = {1.0, 0.5, 0.25, 0.5, 0.75, -0.4};
+  // φ3: distance feature, specificity, missing-link hint, bias.
+  w.w3 = {2.0, 0.3, 1.0, -0.5};
+  // φ4: schema match, subject/object participation, bias.
+  w.w4 = {1.5, 1.0, 1.0, -1.0};
+  // φ5: tuple hit strongly positive, cardinality violation negative.
+  w.w5 = {3.0, -1.5, -0.8};
+  return w;
+}
+
+int64_t Weights::TotalSize() const {
+  return static_cast<int64_t>(w1.size() + w2.size() + w3.size() +
+                              w4.size() + w5.size());
+}
+
+std::vector<double> Weights::Flatten() const {
+  std::vector<double> flat;
+  flat.reserve(TotalSize());
+  for (const auto* v : {&w1, &w2, &w3, &w4, &w5}) {
+    flat.insert(flat.end(), v->begin(), v->end());
+  }
+  return flat;
+}
+
+Weights Weights::FromFlat(const std::vector<double>& flat) {
+  WEBTAB_CHECK(static_cast<int>(flat.size()) ==
+               kF1Size + kF2Size + kF3Size + kF4Size + kF5Size);
+  Weights w = Zero();
+  size_t pos = 0;
+  for (auto* v : {&w.w1, &w.w2, &w.w3, &w.w4, &w.w5}) {
+    for (double& x : *v) x = flat[pos++];
+  }
+  return w;
+}
+
+Status Weights::Save(std::ostream& os) const {
+  os << "# webtab-weights v1\n";
+  for (const auto* v : {&w1, &w2, &w3, &w4, &w5}) {
+    for (size_t i = 0; i < v->size(); ++i) {
+      if (i) os << ' ';
+      os << (*v)[i];
+    }
+    os << "\n";
+  }
+  if (!os.good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Result<Weights> Weights::Load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      StripWhitespace(line) != "# webtab-weights v1") {
+    return Status::ParseError("missing weights header");
+  }
+  Weights w = Zero();
+  for (auto* v : {&w.w1, &w.w2, &w.w3, &w.w4, &w.w5}) {
+    if (!std::getline(is, line)) {
+      return Status::ParseError("truncated weights file");
+    }
+    std::istringstream ss(line);
+    for (double& x : *v) {
+      if (!(ss >> x)) return Status::ParseError("bad weight row: " + line);
+    }
+  }
+  return w;
+}
+
+std::string Weights::DebugString() const {
+  std::string out;
+  const char* names[] = {"w1", "w2", "w3", "w4", "w5"};
+  int i = 0;
+  for (const auto* v : {&w1, &w2, &w3, &w4, &w5}) {
+    out += names[i++];
+    out += " = [";
+    for (size_t j = 0; j < v->size(); ++j) {
+      if (j) out += ", ";
+      out += StrFormat("%.3f", (*v)[j]);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace webtab

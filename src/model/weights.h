@@ -1,0 +1,65 @@
+#ifndef WEBTAB_MODEL_WEIGHTS_H_
+#define WEBTAB_MODEL_WEIGHTS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webtab {
+
+/// Which type-entity compatibility feature drives φ3 (paper §4.2.3 and
+/// the Figure 8 study).
+enum class CompatMode {
+  kRecipSqrtDist = 0,  // 1/sqrt(dist(E,T)) — the paper's robust default.
+  kRecipDist = 1,      // 1/dist(E,T).
+  kIdfOnly = 2,        // Only the |E|/|E(T)| specificity signal.
+};
+
+std::string_view CompatModeName(CompatMode mode);
+
+/// Feature vector dimensions. Every family carries a trailing bias that
+/// fires on any non-na label, letting training learn how strong a signal
+/// must be to beat "no annotation".
+inline constexpr int kF1Size = 6;  // cosine, jaccard, dice, soft, exact, bias
+inline constexpr int kF2Size = 6;  // same measures on header vs type lemmas
+inline constexpr int kF3Size = 4;  // dist-feature, idf-specificity,
+                                   // missing-link, bias
+inline constexpr int kF4Size = 4;  // schema-match, particip-subj,
+                                   // particip-obj, bias
+inline constexpr int kF5Size = 3;  // tuple-exists, cardinality-violation,
+                                   // bias
+
+/// Model parameters w1..w5 of the five potential families (§4.2). The
+/// joint score of a labeling is Σ_k w_k · Σ f_k over the assignment.
+struct Weights {
+  std::vector<double> w1;
+  std::vector<double> w2;
+  std::vector<double> w3;
+  std::vector<double> w4;
+  std::vector<double> w5;
+
+  /// Correctly-sized zero weights.
+  static Weights Zero();
+
+  /// Hand-tuned starting point that behaves sensibly untrained: positive
+  /// similarity weights, negative biases, negative cardinality-violation.
+  static Weights Default();
+
+  int64_t TotalSize() const;
+
+  /// Concatenation [w1|w2|w3|w4|w5] used by the learners.
+  std::vector<double> Flatten() const;
+  static Weights FromFlat(const std::vector<double>& flat);
+
+  /// Text round-trip for persisting trained models.
+  Status Save(std::ostream& os) const;
+  static Result<Weights> Load(std::istream& is);
+
+  std::string DebugString() const;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_MODEL_WEIGHTS_H_

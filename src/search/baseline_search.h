@@ -1,0 +1,21 @@
+#ifndef WEBTAB_SEARCH_BASELINE_SEARCH_H_
+#define WEBTAB_SEARCH_BASELINE_SEARCH_H_
+
+#include <vector>
+
+#include "search/corpus_index.h"
+#include "search/query.h"
+
+namespace webtab {
+
+/// Figure 3: the no-annotation engine. All inputs are strings; tables
+/// qualify when column headers match the T1/T2 strings (context matching
+/// the relation string adds score); E2 is located by text similarity in
+/// the T2 column; the T1 column's raw cell strings are clustered, deduped
+/// and ranked. Returns unresolved strings (SearchResult::entity == kNa).
+std::vector<SearchResult> BaselineSearch(const CorpusIndex& index,
+                                         const SelectQuery& query);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_BASELINE_SEARCH_H_

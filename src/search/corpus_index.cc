@@ -1,0 +1,82 @@
+#include "search/corpus_index.h"
+
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+namespace {
+template <typename K, typename V>
+const std::vector<V>& FindOrEmpty(
+    const std::unordered_map<K, std::vector<V>>& map, const K& key) {
+  static const std::vector<V> kEmpty;
+  auto it = map.find(key);
+  return it == map.end() ? kEmpty : it->second;
+}
+}  // namespace
+
+CorpusIndex::CorpusIndex(std::vector<AnnotatedTable> tables,
+                         ClosureCache* closure)
+    : tables_(std::move(tables)) {
+  for (int i = 0; i < static_cast<int>(tables_.size()); ++i) {
+    const Table& table = tables_[i].table;
+    const TableAnnotation& ann = tables_[i].annotation;
+
+    for (const std::string& token : Tokenize(table.context())) {
+      auto& postings = context_postings_[token];
+      if (postings.empty() || postings.back() != i) postings.push_back(i);
+    }
+    for (int c = 0; c < table.cols(); ++c) {
+      for (const std::string& token : Tokenize(table.header(c))) {
+        header_postings_[token].push_back(ColumnRef{i, c});
+      }
+      TypeId t = ann.TypeOf(c);
+      if (t != kNa) {
+        if (closure != nullptr) {
+          for (TypeId anc : closure->TypeAncestorsOfType(t)) {
+            type_postings_[anc].push_back(ColumnRef{i, c});
+          }
+        } else {
+          type_postings_[t].push_back(ColumnRef{i, c});
+        }
+      }
+      for (int r = 0; r < table.rows(); ++r) {
+        EntityId e = ann.EntityOf(r, c);
+        if (e != kNa) entity_postings_[e].push_back(CellRef{i, r, c});
+      }
+    }
+    for (const auto& [pair, rel] : ann.relations) {
+      if (rel.is_na()) continue;
+      relation_postings_[rel.relation].push_back(
+          RelationRef{i, pair.first, pair.second, rel.swapped});
+    }
+  }
+}
+
+const std::vector<CorpusIndex::ColumnRef>& CorpusIndex::HeaderPostings(
+    const std::string& token) const {
+  return FindOrEmpty(header_postings_, token);
+}
+
+const std::vector<int>& CorpusIndex::ContextPostings(
+    const std::string& token) const {
+  return FindOrEmpty(context_postings_, token);
+}
+
+const std::vector<CorpusIndex::ColumnRef>& CorpusIndex::TypePostings(
+    TypeId t) const {
+  return FindOrEmpty(type_postings_, t);
+}
+
+const std::vector<CorpusIndex::RelationRef>& CorpusIndex::RelationPostings(
+    RelationId b) const {
+  return FindOrEmpty(relation_postings_, b);
+}
+
+const std::vector<CorpusIndex::CellRef>& CorpusIndex::EntityPostings(
+    EntityId e) const {
+  return FindOrEmpty(entity_postings_, e);
+}
+
+}  // namespace webtab

@@ -1,0 +1,79 @@
+#ifndef WEBTAB_SEARCH_CORPUS_INDEX_H_
+#define WEBTAB_SEARCH_CORPUS_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotate/corpus_annotator.h"
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// Postings over an annotated table corpus (the paper indexes 25M tables
+/// with Lucene; same access paths here):
+///  - header/context token postings for the string-only baseline,
+///  - column-type postings and pair-relation postings for the hardened
+///    engines,
+///  - per-table cell/annotation access.
+class CorpusIndex {
+ public:
+  struct ColumnRef {
+    int table = 0;
+    int col = 0;
+  };
+  struct RelationRef {
+    int table = 0;
+    int c1 = 0;
+    int c2 = 0;
+    bool swapped = false;
+  };
+
+  /// Builds the index; takes ownership of the annotated tables. When
+  /// `closure` is non-null, type postings are expanded to catalog
+  /// ancestors (querying T1 = person matches columns annotated actor).
+  explicit CorpusIndex(std::vector<AnnotatedTable> tables,
+                       ClosureCache* closure = nullptr);
+
+  int64_t num_tables() const {
+    return static_cast<int64_t>(tables_.size());
+  }
+  const AnnotatedTable& table(int i) const { return tables_[i]; }
+
+  /// Tables whose header row contains `token` (any column).
+  const std::vector<ColumnRef>& HeaderPostings(const std::string& token)
+      const;
+
+  /// Tables whose context contains `token`.
+  const std::vector<int>& ContextPostings(const std::string& token) const;
+
+  /// Columns annotated with type `t` — including via subtype: postings
+  /// are stored on the annotated type and every catalog ancestor.
+  const std::vector<ColumnRef>& TypePostings(TypeId t) const;
+
+  /// Column pairs annotated with relation `b`.
+  const std::vector<RelationRef>& RelationPostings(RelationId b) const;
+
+  /// Cells annotated with entity `e` as (table, row, col) triples packed
+  /// into ColumnRef+row.
+  struct CellRef {
+    int table = 0;
+    int row = 0;
+    int col = 0;
+  };
+  const std::vector<CellRef>& EntityPostings(EntityId e) const;
+
+ private:
+  std::vector<AnnotatedTable> tables_;
+  std::unordered_map<std::string, std::vector<ColumnRef>> header_postings_;
+  std::unordered_map<std::string, std::vector<int>> context_postings_;
+  std::unordered_map<TypeId, std::vector<ColumnRef>> type_postings_;
+  std::unordered_map<RelationId, std::vector<RelationRef>>
+      relation_postings_;
+  std::unordered_map<EntityId, std::vector<CellRef>> entity_postings_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_CORPUS_INDEX_H_

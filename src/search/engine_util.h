@@ -1,0 +1,68 @@
+#ifndef WEBTAB_SEARCH_ENGINE_UTIL_H_
+#define WEBTAB_SEARCH_ENGINE_UTIL_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "search/query.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace webtab {
+namespace search_internal {
+
+/// Accumulates evidence per answer (entity id or normalized text),
+/// then emits a deterministic ranked list (paper: "aggregate evidence in
+/// favor of known entities; cluster, dedup, rank").
+class EvidenceAggregator {
+ public:
+  void AddEntity(EntityId e, const std::string& text, double score) {
+    auto& slot = by_entity_[e];
+    slot.first += score;
+    if (slot.second.empty()) slot.second = text;
+  }
+
+  void AddText(const std::string& raw, double score) {
+    std::string key = NormalizeText(raw);
+    if (key.empty()) return;
+    auto& slot = by_text_[key];
+    slot.first += score;
+    if (slot.second.empty()) slot.second = raw;
+  }
+
+  std::vector<SearchResult> Ranked() const {
+    std::vector<SearchResult> out;
+    for (const auto& [e, slot] : by_entity_) {
+      out.push_back(SearchResult{e, slot.second, slot.first});
+    }
+    for (const auto& [key, slot] : by_text_) {
+      out.push_back(SearchResult{kNa, slot.second, slot.first});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SearchResult& a, const SearchResult& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.entity != b.entity) return a.entity > b.entity;
+                return a.text < b.text;
+              });
+    return out;
+  }
+
+ private:
+  std::map<EntityId, std::pair<double, std::string>> by_entity_;
+  std::map<std::string, std::pair<double, std::string>> by_text_;
+};
+
+/// Does `cell_text` plausibly mention the query's E2 string? Exact
+/// normalized match or strong token overlap (covers abbreviated forms).
+inline bool CellMatchesText(const std::string& cell_text,
+                            const std::string& e2_text) {
+  if (ExactNormalizedMatch(cell_text, e2_text)) return true;
+  return JaccardSimilarity(cell_text, e2_text) >= 0.5;
+}
+
+}  // namespace search_internal
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_ENGINE_UTIL_H_

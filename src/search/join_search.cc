@@ -1,0 +1,80 @@
+#include "search/join_search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "search/engine_util.h"
+
+namespace webtab {
+
+namespace {
+
+/// Collects bindings of the unbound side of relation `rel` given the
+/// grounded side, by scanning the relation's annotated column pairs.
+/// grounded_is_object: the grounded entity sits in the object column.
+std::map<EntityId, double> ExpandLeg(const CorpusIndex& index,
+                                     RelationId rel, EntityId grounded,
+                                     const std::string& grounded_text,
+                                     bool grounded_is_object) {
+  using search_internal::CellMatchesText;
+  std::map<EntityId, double> bindings;
+  for (const auto& ref : index.RelationPostings(rel)) {
+    const AnnotatedTable& at = index.table(ref.table);
+    int subject_col = ref.swapped ? ref.c2 : ref.c1;
+    int object_col = ref.swapped ? ref.c1 : ref.c2;
+    int grounded_col = grounded_is_object ? object_col : subject_col;
+    int free_col = grounded_is_object ? subject_col : object_col;
+    for (int r = 0; r < at.table.rows(); ++r) {
+      double row_score = 0.0;
+      EntityId cell = at.annotation.EntityOf(r, grounded_col);
+      if (grounded != kNa && cell == grounded) {
+        row_score = 1.0;
+      } else if (!grounded_text.empty() &&
+                 CellMatchesText(at.table.cell(r, grounded_col),
+                                 grounded_text)) {
+        row_score = 0.6;
+      }
+      if (row_score <= 0.0) continue;
+      EntityId answer = at.annotation.EntityOf(r, free_col);
+      if (answer != kNa) bindings[answer] += row_score;
+    }
+  }
+  return bindings;
+}
+
+}  // namespace
+
+std::vector<SearchResult> JoinSearch(const CorpusIndex& index,
+                                     const JoinQuery& query) {
+  // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped).
+  std::map<EntityId, double> join_bindings =
+      ExpandLeg(index, query.r2, query.e3, query.e3_text,
+                /*grounded_is_object=*/query.e2_is_subject);
+
+  // Keep the top-K join bindings by evidence.
+  std::vector<std::pair<EntityId, double>> ranked(join_bindings.begin(),
+                                                  join_bindings.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (static_cast<int>(ranked.size()) > query.max_join_entities) {
+    ranked.resize(query.max_join_entities);
+  }
+
+  // Leg 1: expand each binding through R1 toward e1.
+  search_internal::EvidenceAggregator agg;
+  for (const auto& [e2, e2_score] : ranked) {
+    std::map<EntityId, double> answers =
+        ExpandLeg(index, query.r1, e2, /*grounded_text=*/"",
+                  /*grounded_is_object=*/query.e1_is_subject);
+    for (const auto& [e1, evidence] : answers) {
+      // Multiplicative chaining: weak join bindings contribute less.
+      agg.AddEntity(e1, /*text=*/"", evidence * e2_score);
+    }
+  }
+  return agg.Ranked();
+}
+
+}  // namespace webtab

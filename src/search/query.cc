@@ -1,0 +1,4 @@
+#include "search/query.h"
+
+// SelectQuery and SearchResult are plain data; no out-of-line definitions
+// needed. This translation unit anchors the module.

@@ -1,0 +1,37 @@
+#ifndef WEBTAB_SEARCH_QUERY_H_
+#define WEBTAB_SEARCH_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/ids.h"
+
+namespace webtab {
+
+/// The §5 select-project query: given R, T1, T2 and a grounded E2 ∈+ T2,
+/// return ranked E1 ∈+ T1 with R(E1, E2). The string form carries what a
+/// no-annotation baseline sees; the ids carry the "hardened" query.
+struct SelectQuery {
+  RelationId relation = kNa;
+  TypeId type1 = kNa;
+  TypeId type2 = kNa;
+  EntityId e2 = kNa;        // kNa when E2 is not in the catalog.
+  std::string e2_text;      // Always present (string form of E2).
+  // String forms for the baseline (Figure 3 "interpret all inputs as
+  // strings").
+  std::string relation_text;
+  std::string type1_text;
+  std::string type2_text;
+};
+
+/// One ranked answer. `entity` is resolved for annotation-aware engines;
+/// the baseline returns raw strings (entity == kNa).
+struct SearchResult {
+  EntityId entity = kNa;
+  std::string text;
+  double score = 0.0;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_QUERY_H_

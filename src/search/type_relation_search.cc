@@ -1,0 +1,40 @@
+#include "search/type_relation_search.h"
+
+#include "search/engine_util.h"
+
+namespace webtab {
+
+std::vector<SearchResult> TypeRelationSearch(const CorpusIndex& index,
+                                             const SelectQuery& query) {
+  using search_internal::CellMatchesText;
+  using search_internal::EvidenceAggregator;
+
+  EvidenceAggregator agg;
+  for (const auto& ref : index.RelationPostings(query.relation)) {
+    const AnnotatedTable& at = index.table(ref.table);
+    const Table& table = at.table;
+    // Subject column holds E1 (answers); object column holds E2.
+    int subject_col = ref.swapped ? ref.c2 : ref.c1;
+    int object_col = ref.swapped ? ref.c1 : ref.c2;
+    for (int r = 0; r < table.rows(); ++r) {
+      double row_score = 0.0;
+      EntityId obj = at.annotation.EntityOf(r, object_col);
+      if (query.e2 != kNa && obj == query.e2) {
+        row_score = 1.2;  // Relation + entity annotated: strongest signal.
+      } else if (CellMatchesText(table.cell(r, object_col),
+                                 query.e2_text)) {
+        row_score = 0.7;
+      }
+      if (row_score <= 0.0) continue;
+      EntityId answer = at.annotation.EntityOf(r, subject_col);
+      if (answer != kNa) {
+        agg.AddEntity(answer, table.cell(r, subject_col), row_score);
+      } else {
+        agg.AddText(table.cell(r, subject_col), row_score * 0.8);
+      }
+    }
+  }
+  return agg.Ranked();
+}
+
+}  // namespace webtab

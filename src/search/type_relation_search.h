@@ -1,0 +1,20 @@
+#ifndef WEBTAB_SEARCH_TYPE_RELATION_SEARCH_H_
+#define WEBTAB_SEARCH_TYPE_RELATION_SEARCH_H_
+
+#include <vector>
+
+#include "search/corpus_index.h"
+#include "search/query.h"
+
+namespace webtab {
+
+/// Figure 4: the fully hardened engine. Locates column pairs annotated
+/// with relation R (direction-aware), reads E2 from the object column by
+/// entity annotation (text fallback per Figure 4 line 7), and collects
+/// the subject column's answers, aggregating evidence per entity.
+std::vector<SearchResult> TypeRelationSearch(const CorpusIndex& index,
+                                             const SelectQuery& query);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_TYPE_RELATION_SEARCH_H_

@@ -1,0 +1,22 @@
+#ifndef WEBTAB_SEARCH_TYPE_SEARCH_H_
+#define WEBTAB_SEARCH_TYPE_SEARCH_H_
+
+#include <vector>
+
+#include "search/corpus_index.h"
+#include "search/query.h"
+
+namespace webtab {
+
+/// The intermediate engine of Figure 9 ("Type"): uses column *type*
+/// annotations to locate candidate column pairs (c1 typed T1, c2 typed
+/// T2 in the same table) but no relation annotations. E2 is matched by
+/// cell entity annotation when the query's E2 is grounded, falling back
+/// to text similarity; answers are resolved through cell entity
+/// annotations when present.
+std::vector<SearchResult> TypeSearch(const CorpusIndex& index,
+                                     const SelectQuery& query);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_TYPE_SEARCH_H_

@@ -1,0 +1,286 @@
+#include "synth/corpus_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "synth/names.h"
+
+namespace webtab {
+
+namespace {
+
+/// Column-role description while assembling a table.
+struct ColumnPlan {
+  TypeId gold_type = kNa;    // Gold column type (theme or schema role).
+  TypeId header_type = kNa;  // Schema role driving the header wording.
+  std::vector<EntityId> entities;    // Per row; kNa for distractors.
+  std::vector<std::string> texts;    // Rendered cell text.
+  std::string header;
+  bool numeric = false;
+};
+
+/// Off-catalog header synonyms per schema type: some overlap type lemmas,
+/// some do not (the "written by" vs "author" case).
+std::vector<std::string> HeaderChoices(const World& world, TypeId t) {
+  if (t == world.movie) return {"Title", "Movie", "Film", "Feature"};
+  if (t == world.novel) return {"Title", "Book", "Novel", "Work"};
+  if (t == world.actor) return {"Actor", "Starring", "Cast", "Lead"};
+  if (t == world.director) {
+    return {"Director", "Directed by", "Helmed by"};
+  }
+  if (t == world.producer) return {"Producer", "Produced by"};
+  if (t == world.novelist) {
+    return {"Author", "Writer", "Written by", "Novelist"};
+  }
+  if (t == world.footballer) return {"Player", "Name", "Footballer"};
+  if (t == world.football_club) return {"Club", "Team", "Plays for"};
+  if (t == world.country) return {"Country", "Nation", "State"};
+  if (t == world.city) return {"City", "Town", "Birthplace"};
+  if (t == world.language) return {"Language", "Official language"};
+  if (t == world.person) return {"Name", "Person"};
+  return {"Column"};
+}
+
+std::string RenderEntityText(const World& world, EntityId e, Rng* rng,
+                             const CorpusSpec& spec) {
+  const auto& lemmas = world.catalog.entity(e).lemmas;
+  size_t pick = 0;
+  if (lemmas.size() > 1 && rng->Bernoulli(spec.cell_alt_lemma_prob)) {
+    pick = 1 + rng->Uniform(lemmas.size() - 1);
+  }
+  std::string text = lemmas[pick];
+  if (rng->Bernoulli(spec.cell_typo_prob)) {
+    text = NameFactory::ApplyTypo(text, rng);
+  }
+  if (rng->Bernoulli(spec.cell_garnish_prob)) {
+    text += StrFormat(" (%d)", static_cast<int>(rng->UniformInt(1950,
+                                                                2009)));
+  }
+  return text;
+}
+
+/// A relation usable as a table backbone, with its role types.
+struct Backbone {
+  RelationId rel;
+  TypeId subject_type;
+  TypeId object_type;
+};
+
+std::vector<Backbone> Backbones(const World& world) {
+  std::vector<Backbone> out;
+  for (const TrueRelation& tr : world.true_relations) {
+    if (tr.id == kNa || tr.tuples.empty()) continue;
+    const RelationRecord& rec = world.catalog.relation(tr.id);
+    out.push_back(Backbone{tr.id, rec.subject_type, rec.object_type});
+  }
+  return out;
+}
+
+/// Relations sharing the movie subject, for join-shaped tables.
+std::vector<RelationId> MovieJoinPartners(const World& world) {
+  return {world.acted_in, world.directed, world.produced};
+}
+
+}  // namespace
+
+std::vector<LabeledTable> GenerateCorpus(const World& world,
+                                         const CorpusSpec& spec) {
+  Rng rng(spec.seed);
+  NameFactory distractor_names(spec.seed ^ 0xABCDEF12345ULL);
+  std::vector<Backbone> backbones = Backbones(world);
+  WEBTAB_CHECK(!backbones.empty());
+  std::vector<LabeledTable> corpus;
+  corpus.reserve(spec.num_tables);
+
+  for (int table_idx = 0; table_idx < spec.num_tables; ++table_idx) {
+    int rows = static_cast<int>(
+        rng.UniformInt(spec.min_rows, spec.max_rows));
+
+    // --- Choose the backbone and sample subject rows. ---
+    bool join = rng.Bernoulli(spec.join_table_prob);
+    std::vector<ColumnPlan> plan;
+    RelationId rel1 = kNa, rel2 = kNa;
+
+    if (join) {
+      // movie | partner1-object | partner2-object.
+      std::vector<RelationId> partners = MovieJoinPartners(world);
+      rng.Shuffle(&partners);
+      rel1 = partners[0];
+      rel2 = partners[1];
+      const auto& movies = world.true_relations[rel1].tuples;
+      ColumnPlan subject, obj1, obj2;
+      subject.gold_type = world.movie;
+      obj1.gold_type = world.catalog.relation(rel1).object_type;
+      obj2.gold_type = world.catalog.relation(rel2).object_type;
+      subject.header_type = subject.gold_type;
+      obj1.header_type = obj1.gold_type;
+      obj2.header_type = obj2.gold_type;
+      int made = 0;
+      int attempts = 0;
+      while (made < rows && attempts < rows * 20) {
+        ++attempts;
+        EntityId m = movies[rng.Uniform(movies.size())].first;
+        std::vector<EntityId> o1 = world.TrueObjectsOf(rel1, m);
+        std::vector<EntityId> o2 = world.TrueObjectsOf(rel2, m);
+        if (o1.empty() || o2.empty()) continue;
+        subject.entities.push_back(m);
+        obj1.entities.push_back(o1[rng.Uniform(o1.size())]);
+        obj2.entities.push_back(o2[rng.Uniform(o2.size())]);
+        ++made;
+      }
+      rows = made;
+      plan = {std::move(subject), std::move(obj1), std::move(obj2)};
+    } else {
+      const Backbone& bb = backbones[rng.Uniform(backbones.size())];
+      rel1 = bb.rel;
+      const auto& tuples = world.true_relations[bb.rel].tuples;
+      ColumnPlan subject, object;
+      subject.gold_type = bb.subject_type;
+      object.gold_type = bb.object_type;
+      subject.header_type = bb.subject_type;
+      object.header_type = bb.object_type;
+
+      // Themed table: restrict subjects to one specific primary type
+      // ("List of mystery novels") when the relation's subjects span
+      // several; the gold column type becomes that specific type.
+      const std::vector<std::pair<EntityId, EntityId>>* pool = &tuples;
+      std::vector<std::pair<EntityId, EntityId>> themed_pool;
+      if (rng.Bernoulli(spec.themed_table_prob)) {
+        TypeId theme =
+            world.primary_type[tuples[rng.Uniform(tuples.size())].first];
+        if (theme != bb.subject_type) {
+          for (const auto& t : tuples) {
+            if (world.primary_type[t.first] == theme) {
+              themed_pool.push_back(t);
+            }
+          }
+          if (static_cast<int>(themed_pool.size()) >=
+              std::max(4, spec.min_rows / 2)) {
+            pool = &themed_pool;
+            subject.gold_type = theme;
+          }
+        }
+      }
+      // Sample rows without replacement when possible: "List of X"
+      // tables do not repeat their subject (also what the §4.4.1
+      // unique-constraint extension assumes).
+      std::vector<int> order(pool->size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int>(i);
+      }
+      rng.Shuffle(&order);
+      for (int r = 0; r < rows; ++r) {
+        const auto& [s, o] =
+            (*pool)[order[static_cast<size_t>(r) % order.size()]];
+        subject.entities.push_back(s);
+        object.entities.push_back(o);
+      }
+      plan = {std::move(subject), std::move(object)};
+    }
+    if (rows == 0) continue;
+
+    // --- Distractor cells (gold = na). ---
+    for (ColumnPlan& col : plan) {
+      for (EntityId& e : col.entities) {
+        if (rng.Bernoulli(spec.na_cell_prob)) e = kNa;
+      }
+    }
+
+    // --- Render text. ---
+    for (ColumnPlan& col : plan) {
+      col.texts.resize(rows);
+      for (int r = 0; r < rows; ++r) {
+        if (col.entities[r] == kNa) {
+          col.texts[r] = distractor_names.PersonName();
+        } else {
+          col.texts[r] = RenderEntityText(world, col.entities[r], &rng,
+                                          spec);
+        }
+      }
+      const auto choices = HeaderChoices(world, col.header_type);
+      if (rng.Bernoulli(spec.header_synonym_prob)) {
+        col.header = choices[rng.Uniform(choices.size())];
+      } else {
+        col.header = choices[0];
+      }
+      if (rng.Bernoulli(spec.header_typo_prob)) {
+        col.header = NameFactory::ApplyTypo(col.header, &rng);
+      }
+    }
+
+    // --- Optional numeric column (years). ---
+    if (rng.Bernoulli(spec.numeric_col_prob)) {
+      ColumnPlan numeric;
+      numeric.numeric = true;
+      numeric.header = "Year";
+      numeric.gold_type = kNa;
+      numeric.entities.assign(rows, kNa);
+      numeric.texts.resize(rows);
+      for (int r = 0; r < rows; ++r) {
+        numeric.texts[r] =
+            StrFormat("%d", static_cast<int>(rng.UniformInt(1950, 2009)));
+      }
+      plan.push_back(std::move(numeric));
+    }
+
+    // --- Column permutation. ---
+    std::vector<int> perm(plan.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+    if (rng.Bernoulli(spec.swap_cols_prob)) rng.Shuffle(&perm);
+
+    // --- Assemble Table + gold annotation. ---
+    int cols = static_cast<int>(plan.size());
+    LabeledTable labeled;
+    labeled.table = Table(rows, cols);
+    labeled.table.set_id(table_idx);
+    labeled.gold = TableAnnotation::Empty(rows, cols);
+    bool drop_headers = rng.Bernoulli(spec.header_drop_prob);
+    std::vector<int> where(plan.size());  // plan index -> column index.
+    for (int c = 0; c < cols; ++c) where[perm[c]] = c;
+
+    for (int c = 0; c < cols; ++c) {
+      const ColumnPlan& col = plan[perm[c]];
+      if (!drop_headers) labeled.table.set_header(c, col.header);
+      labeled.gold.column_types[c] = col.gold_type;
+      for (int r = 0; r < rows; ++r) {
+        labeled.table.set_cell(r, c, col.texts[r]);
+        labeled.gold.cell_entities[r][c] = col.entities[r];
+      }
+    }
+
+    // Gold relations on ordered pairs. Plan index 0 is always the subject
+    // column of rel1; in join tables index 1 pairs with rel1 and index 2
+    // with rel2 (both with subject at plan index 0).
+    auto add_gold_relation = [&](int subj_plan, int obj_plan,
+                                 RelationId rel) {
+      int cs = where[subj_plan];
+      int co = where[obj_plan];
+      bool swapped = cs > co;
+      int c1 = std::min(cs, co);
+      int c2 = std::max(cs, co);
+      labeled.gold.relations[{c1, c2}] =
+          RelationCandidate{rel, swapped};
+    };
+    add_gold_relation(0, 1, rel1);
+    if (join) add_gold_relation(0, 2, rel2);
+
+    // --- Context. ---
+    if (rng.Bernoulli(spec.context_prob)) {
+      const RelationRecord& rec = world.catalog.relation(rel1);
+      labeled.table.set_context(
+          StrFormat("List of %s and %s",
+                    ReplaceAll(rec.name, "_", " ").c_str(),
+                    plan[0].header.empty() ? "entries"
+                                           : ToLower(plan[0].header)
+                                                 .c_str()));
+    }
+    corpus.push_back(std::move(labeled));
+  }
+  return corpus;
+}
+
+}  // namespace webtab

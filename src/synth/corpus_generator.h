@@ -1,0 +1,53 @@
+#ifndef WEBTAB_SYNTH_CORPUS_GENERATOR_H_
+#define WEBTAB_SYNTH_CORPUS_GENERATOR_H_
+
+#include <vector>
+
+#include "synth/world_generator.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+/// Noise model for generated tables. Wiki-style presets use low noise;
+/// Web-style presets use higher noise (the paper: "cell, header, and
+/// context texts in [Web Manual] are more noisy", §6.1).
+struct CorpusSpec {
+  uint64_t seed = 7;
+  int num_tables = 100;
+  int min_rows = 5;
+  int max_rows = 60;
+
+  double header_drop_prob = 0.15;     // Whole header row omitted.
+  double header_synonym_prob = 0.5;   // Use an off-lemma header word.
+  double header_typo_prob = 0.0;      // Corrupt the header string.
+  double cell_typo_prob = 0.05;       // Corrupt cell text.
+  double cell_garnish_prob = 0.0;     // Append web junk like " (1987)".
+  double cell_alt_lemma_prob = 0.35;  // Use a non-primary lemma
+                                      // ("Einstein" vs "Albert Einstein").
+  double na_cell_prob = 0.04;         // Out-of-catalog string, gold = na.
+  double numeric_col_prob = 0.35;     // Append a year/number column.
+  double swap_cols_prob = 0.3;        // Object column before subject.
+  double join_table_prob = 0.3;       // 3-column two-relation tables.
+  double context_prob = 0.7;          // Emit textual context.
+  /// Probability that a table is *themed*: all subject rows share one
+  /// specific primary type (e.g. "List of mystery novels"), which then
+  /// becomes the gold column type. Missing ∈ links make exactly these
+  /// columns the LCA-over-generalization cases of Appendix F.
+  double themed_table_prob = 0.5;
+};
+
+/// Header strings seen on the open Web for each role; some deliberately
+/// have zero lemma overlap with the catalog type ("written by" vs
+/// "novelist" — the Figure 1 pitfall).
+struct HeaderPools;
+
+/// Generates labeled tables by sampling rows from the world's *hidden
+/// truth* (so tables also contain facts the catalog lacks). Gold labels:
+/// the sampled entity per cell (kNa for distractor cells), the schema
+/// types of the relation roles per column, and the relation per pair.
+std::vector<LabeledTable> GenerateCorpus(const World& world,
+                                         const CorpusSpec& spec);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SYNTH_CORPUS_GENERATOR_H_

@@ -1,0 +1,118 @@
+#include "synth/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace webtab {
+
+namespace {
+
+int ScaledCount(int full, double scale) {
+  return std::max(2, static_cast<int>(std::lround(full * scale)));
+}
+
+/// Blanks the parts of the gold annotation a dataset does not label.
+void RestrictGold(std::vector<LabeledTable>* tables, bool relations_only,
+                  bool entities_only) {
+  for (LabeledTable& lt : *tables) {
+    lt.relations_only = relations_only;
+    lt.entities_only = entities_only;
+    if (relations_only) {
+      for (auto& t : lt.gold.column_types) t = kNa;
+      for (auto& row : lt.gold.cell_entities) {
+        for (auto& e : row) e = kNa;
+      }
+    }
+    if (entities_only) {
+      for (auto& t : lt.gold.column_types) t = kNa;
+      lt.gold.relations.clear();
+    }
+  }
+}
+
+}  // namespace
+
+Datasets MakeDatasets(const World& world, double scale, uint64_t seed) {
+  Datasets out;
+
+  // Wiki Manual: 36 tables, avg 37 rows, clean text, headers mostly kept.
+  CorpusSpec wiki_manual;
+  wiki_manual.seed = seed + 1;
+  wiki_manual.num_tables = ScaledCount(36, scale);
+  wiki_manual.min_rows = 15;
+  wiki_manual.max_rows = 60;
+  wiki_manual.header_drop_prob = 0.05;
+  wiki_manual.cell_typo_prob = 0.02;
+  wiki_manual.cell_alt_lemma_prob = 0.25;
+  wiki_manual.na_cell_prob = 0.03;
+  out.wiki_manual = GenerateCorpus(world, wiki_manual);
+
+  // Web Manual: 371 tables, avg 35 rows, noisy cells/headers/context.
+  CorpusSpec web_manual;
+  web_manual.seed = seed + 2;
+  web_manual.num_tables = ScaledCount(371, scale);
+  web_manual.min_rows = 10;
+  web_manual.max_rows = 60;
+  web_manual.header_drop_prob = 0.4;
+  web_manual.header_synonym_prob = 0.75;
+  web_manual.header_typo_prob = 0.15;
+  web_manual.cell_typo_prob = 0.12;
+  web_manual.cell_garnish_prob = 0.12;
+  web_manual.cell_alt_lemma_prob = 0.5;
+  web_manual.na_cell_prob = 0.1;
+  out.web_manual = GenerateCorpus(world, web_manual);
+
+  // Web Relations: 30 tables, avg 51 rows, only relations labeled.
+  CorpusSpec web_relations;
+  web_relations.seed = seed + 3;
+  web_relations.num_tables = ScaledCount(30, scale);
+  web_relations.min_rows = 35;
+  web_relations.max_rows = 70;
+  web_relations.header_drop_prob = 0.4;
+  web_relations.header_synonym_prob = 0.75;
+  web_relations.header_typo_prob = 0.15;
+  web_relations.cell_typo_prob = 0.12;
+  web_relations.cell_garnish_prob = 0.12;
+  web_relations.cell_alt_lemma_prob = 0.5;
+  web_relations.join_table_prob = 0.5;
+  out.web_relations = GenerateCorpus(world, web_relations);
+  RestrictGold(&out.web_relations, /*relations_only=*/true,
+               /*entities_only=*/false);
+
+  // Wiki Link: 6085 tables, avg 20 rows, only entities labeled.
+  CorpusSpec wiki_link;
+  wiki_link.seed = seed + 4;
+  wiki_link.num_tables = ScaledCount(6085, scale);
+  wiki_link.min_rows = 8;
+  wiki_link.max_rows = 32;
+  wiki_link.header_drop_prob = 0.05;
+  wiki_link.cell_typo_prob = 0.02;
+  wiki_link.cell_alt_lemma_prob = 0.3;
+  wiki_link.na_cell_prob = 0.05;
+  out.wiki_link = GenerateCorpus(world, wiki_link);
+  RestrictGold(&out.wiki_link, /*relations_only=*/false,
+               /*entities_only=*/true);
+
+  return out;
+}
+
+DatasetSummaryRow Summarize(const std::string& name,
+                            const std::vector<LabeledTable>& tables) {
+  DatasetSummaryRow row;
+  row.name = name;
+  row.num_tables = static_cast<int64_t>(tables.size());
+  int64_t rows = 0;
+  for (const LabeledTable& lt : tables) {
+    rows += lt.table.rows();
+    row.entity_annotations += lt.gold.CountEntityLabels();
+    row.type_annotations += lt.gold.CountTypeLabels();
+    row.relation_annotations += lt.gold.CountRelationLabels();
+  }
+  row.avg_rows = row.num_tables > 0
+                     ? static_cast<double>(rows) /
+                           static_cast<double>(row.num_tables)
+                     : 0.0;
+  return row;
+}
+
+}  // namespace webtab

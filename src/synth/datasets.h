@@ -1,0 +1,42 @@
+#ifndef WEBTAB_SYNTH_DATASETS_H_
+#define WEBTAB_SYNTH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+#include "table/annotation.h"
+
+namespace webtab {
+
+/// The four labeled table sets of Figure 5. `scale` in (0,1] shrinks the
+/// table counts proportionally (Wiki Link at full scale is 6085 tables;
+/// tests use scale ~0.05).
+struct Datasets {
+  std::vector<LabeledTable> wiki_manual;    // 36 tables, clean.
+  std::vector<LabeledTable> web_manual;     // 371 tables, noisy.
+  std::vector<LabeledTable> web_relations;  // 30 tables, relations-only.
+  std::vector<LabeledTable> wiki_link;      // 6085 tables, entities-only.
+};
+
+/// Dataset presets mirroring Figure 5's sizes and noise contrast.
+Datasets MakeDatasets(const World& world, double scale = 1.0,
+                      uint64_t seed = 1234);
+
+/// Figure 5 row: name, #tables, avg rows, entity/type/relation counts.
+struct DatasetSummaryRow {
+  std::string name;
+  int64_t num_tables = 0;
+  double avg_rows = 0.0;
+  int64_t entity_annotations = 0;
+  int64_t type_annotations = 0;
+  int64_t relation_annotations = 0;
+};
+
+DatasetSummaryRow Summarize(const std::string& name,
+                            const std::vector<LabeledTable>& tables);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SYNTH_DATASETS_H_

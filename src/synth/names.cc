@@ -1,0 +1,145 @@
+#include "synth/names.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace webtab {
+
+namespace {
+
+// Intentionally compact pools: collisions are the point.
+constexpr std::array<const char*, 28> kGivenNames = {
+    "Rolan",  "Mira",   "Teodor", "Ana",    "Viktor", "Lena",  "Stefan",
+    "Ira",    "Marko",  "Dana",   "Pavel",  "Nora",   "Janek", "Vera",
+    "Tomas",  "Eliza",  "Andrei", "Sofia",  "Bogdan", "Ruta",  "Emil",
+    "Clara",  "Luka",   "Petra",  "Oskar",  "Greta",  "Milan", "Ida"};
+
+constexpr std::array<const char*, 24> kSurnames = {
+    "Vestik",  "Kelvar",  "Dorman",  "Silic",   "Armand", "Petrov",
+    "Kovac",   "Brandt",  "Lindt",   "Moravec", "Sorel",  "Varga",
+    "Dunai",   "Ferro",   "Galan",   "Holm",    "Ivanek", "Juric",
+    "Klee",    "Luther",  "Marez",   "Novak",   "Orlov",  "Prohaska"};
+
+constexpr std::array<const char*, 20> kPlaceStems = {
+    "Kelvag",  "Varsil",  "Dorna",   "Mirenz",  "Talov", "Ostrag",
+    "Bruneck", "Savria",  "Lodez",   "Quvir",   "Resko", "Tarnow",
+    "Umbra",   "Velden",  "Wissel",  "Yarvik",  "Zell",  "Arkena",
+    "Borsk",   "Cresta"};
+
+constexpr std::array<const char*, 8> kPlacePrefixes = {
+    "North", "South", "East", "West", "New", "Old", "Upper", "Lower"};
+
+constexpr std::array<const char*, 26> kTitleWords = {
+    "shadow", "river",  "crown",  "winter", "garden", "silent", "golden",
+    "last",   "first",  "hidden", "broken", "storm",  "night",  "summer",
+    "iron",   "glass",  "secret", "lost",   "king",   "queen",  "tower",
+    "bridge", "forest", "stone",  "fire",   "moon"};
+
+constexpr std::array<const char*, 6> kTitlePatterns = {
+    "The %s of %s", "Return to %s", "%s and the %s", "A %s of %s",
+    "The %s %s",    "%s"};
+
+constexpr std::array<const char*, 6> kClubSuffixes = {
+    "United", "City", "Athletic", "Rovers", "FC", "Wanderers"};
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) {
+    s[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(s[0])));
+  }
+  return s;
+}
+
+}  // namespace
+
+NameFactory::NameFactory(uint64_t seed) : rng_(seed) {}
+
+std::string NameFactory::PersonName() {
+  std::string given = kGivenNames[rng_.Uniform(kGivenNames.size())];
+  std::string surname = kSurnames[rng_.Uniform(kSurnames.size())];
+  return given + " " + surname;
+}
+
+std::string NameFactory::PlaceName() {
+  std::string stem = kPlaceStems[rng_.Uniform(kPlaceStems.size())];
+  if (rng_.Bernoulli(0.4)) {
+    return std::string(kPlacePrefixes[rng_.Uniform(kPlacePrefixes.size())]) +
+           " " + stem;
+  }
+  return stem;
+}
+
+std::string NameFactory::WorkTitle() {
+  const char* pattern = kTitlePatterns[rng_.Uniform(kTitlePatterns.size())];
+  std::string a = Capitalize(kTitleWords[rng_.Uniform(kTitleWords.size())]);
+  std::string b = Capitalize(kTitleWords[rng_.Uniform(kTitleWords.size())]);
+  // Occasionally anchor a title on a place or person surname so titles
+  // collide with other entity kinds (the "Albert" pitfall of Figure 1).
+  if (rng_.Bernoulli(0.25)) {
+    b = kPlaceStems[rng_.Uniform(kPlaceStems.size())];
+  } else if (rng_.Bernoulli(0.15)) {
+    b = kSurnames[rng_.Uniform(kSurnames.size())];
+  }
+  // kTitlePatterns entries consume at most two %s; pattern "%s" ignores b.
+  if (std::string_view(pattern) == "%s") return a;
+  if (std::string_view(pattern) == "Return to %s") {
+    return StrFormat(pattern, b.c_str());
+  }
+  return StrFormat(pattern, a.c_str(), b.c_str());
+}
+
+std::string NameFactory::ClubName() {
+  std::string stem = kPlaceStems[rng_.Uniform(kPlaceStems.size())];
+  return stem + " " + kClubSuffixes[rng_.Uniform(kClubSuffixes.size())];
+}
+
+std::string NameFactory::LanguageName() {
+  std::string stem = kPlaceStems[rng_.Uniform(kPlaceStems.size())];
+  return stem + (rng_.Bernoulli(0.5) ? "ian" : "ese");
+}
+
+std::string NameFactory::ContentWord() {
+  return kTitleWords[rng_.Uniform(kTitleWords.size())];
+}
+
+std::vector<std::string> NameFactory::PersonLemmas(const std::string& name) {
+  std::vector<std::string> lemmas{name};
+  std::vector<std::string> parts = SplitWhitespace(name);
+  if (parts.size() == 2) {
+    lemmas.push_back(parts[1]);  // Surname alone — highly ambiguous.
+    lemmas.push_back(std::string(1, parts[0][0]) + ". " + parts[1]);
+  }
+  return lemmas;
+}
+
+std::vector<std::string> NameFactory::TitleLemmas(const std::string& title) {
+  std::vector<std::string> lemmas{title};
+  if (title.rfind("The ", 0) == 0) {
+    lemmas.push_back(title.substr(4));
+  } else if (title.rfind("A ", 0) == 0) {
+    lemmas.push_back(title.substr(2));
+  }
+  return lemmas;
+}
+
+std::string NameFactory::ApplyTypo(std::string_view text, Rng* rng) {
+  std::string s(text);
+  if (s.size() < 3) return s;
+  size_t pos = 1 + rng->Uniform(s.size() - 2);
+  switch (rng->Uniform(3)) {
+    case 0:  // Swap adjacent characters.
+      std::swap(s[pos], s[pos - 1]);
+      break;
+    case 1:  // Drop a character.
+      s.erase(pos, 1);
+      break;
+    default:  // Duplicate a character.
+      s.insert(pos, 1, s[pos]);
+      break;
+  }
+  return s;
+}
+
+}  // namespace webtab

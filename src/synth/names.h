@@ -1,0 +1,56 @@
+#ifndef WEBTAB_SYNTH_NAMES_H_
+#define WEBTAB_SYNTH_NAMES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace webtab {
+
+/// Deterministic generator of human-plausible names with *controlled
+/// ambiguity*: token pools are intentionally small so that surnames,
+/// place stems and title words collide across entities — reproducing the
+/// lemma ambiguity the paper measures (7-8 candidate entities per cell).
+class NameFactory {
+ public:
+  explicit NameFactory(uint64_t seed);
+
+  /// "Rolan Vestik" — given name + surname from shared pools.
+  std::string PersonName();
+
+  /// "Kelvprogram" / "North Varsil" — city/region names.
+  std::string PlaceName();
+
+  /// "The Shadow of Varsil", "Return to Kelvag" — work titles built from
+  /// shared content words, so titles overlap across works.
+  std::string WorkTitle();
+
+  /// "Kelvag United" — club name derived from a place stem.
+  std::string ClubName();
+
+  /// "Varsilian" — language name.
+  std::string LanguageName();
+
+  /// One random content word (lowercase).
+  std::string ContentWord();
+
+  /// Lemma variants for a person name: full name, surname alone,
+  /// initialed form ("R. Vestik").
+  static std::vector<std::string> PersonLemmas(const std::string& name);
+
+  /// Lemma variants for a work title: full title and the title without a
+  /// leading article.
+  static std::vector<std::string> TitleLemmas(const std::string& title);
+
+  /// Applies a deterministic typo: swap, drop or duplicate one character.
+  static std::string ApplyTypo(std::string_view text, Rng* rng);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SYNTH_NAMES_H_

@@ -1,0 +1,83 @@
+#include "synth/page_generator.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace webtab {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out = ReplaceAll(s, "&", "&amp;");
+  out = ReplaceAll(out, "<", "&lt;");
+  out = ReplaceAll(out, ">", "&gt;");
+  return out;
+}
+
+std::string NavTable(Rng* rng) {
+  std::string out = "<table class=\"nav\"><tr>";
+  int n = 3 + static_cast<int>(rng->Uniform(4));
+  for (int i = 0; i < n; ++i) {
+    out += StrFormat(
+        "<td><a href=\"/p%d\">Link %d</a> <a href=\"/q%d\">More</a> "
+        "<a href=\"/r%d\">Extra</a></td>",
+        i, i, i, i);
+  }
+  out += "</tr></table>";
+  return out;
+}
+
+std::string SpacerTable() {
+  return "<table><tr><td>&nbsp;</td></tr></table>";
+}
+
+std::string FormTable() {
+  return "<table><tr><td><form action=\"/s\"><input name=\"q\"/></form>"
+         "</td><td>Search</td></tr>"
+         "<tr><td>Go</td><td><input type=\"submit\"/></td></tr></table>";
+}
+
+}  // namespace
+
+std::string RenderTableHtml(const Table& table) {
+  std::string out = "<table>";
+  if (table.has_headers()) {
+    out += "<tr>";
+    for (int c = 0; c < table.cols(); ++c) {
+      out += "<th>" + Escape(table.header(c)) + "</th>";
+    }
+    out += "</tr>";
+  }
+  for (int r = 0; r < table.rows(); ++r) {
+    out += "<tr>";
+    for (int c = 0; c < table.cols(); ++c) {
+      out += "<td>" + Escape(table.cell(r, c)) + "</td>";
+    }
+    out += "</tr>";
+  }
+  out += "</table>";
+  return out;
+}
+
+std::string RenderPage(const std::vector<Table>& tables,
+                       const PageSpec& spec) {
+  Rng rng(spec.seed);
+  std::string out = "<html><head><title>Generated page</title></head><body>";
+  for (int i = 0; i < spec.nav_tables_per_page; ++i) {
+    out += NavTable(&rng);
+  }
+  for (const Table& table : tables) {
+    if (!table.context().empty()) {
+      out += "<p>" + Escape(table.context()) + "</p>";
+    }
+    out += RenderTableHtml(table);
+    for (int i = 0; i < spec.spacer_tables_per_page; ++i) {
+      out += SpacerTable();
+    }
+  }
+  if (spec.include_form_table) out += FormTable();
+  out += "</body></html>";
+  return out;
+}
+
+}  // namespace webtab

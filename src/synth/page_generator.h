@@ -1,0 +1,31 @@
+#ifndef WEBTAB_SYNTH_PAGE_GENERATOR_H_
+#define WEBTAB_SYNTH_PAGE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace webtab {
+
+/// Renders tables into HTML pages sprinkled with the layout clutter that
+/// the extraction filter must reject: navigation link-farms, form tables,
+/// single-cell spacer tables. Exercises the §3.2 preprocessing pipeline
+/// end to end (crawl substitute).
+struct PageSpec {
+  uint64_t seed = 99;
+  int nav_tables_per_page = 1;
+  int spacer_tables_per_page = 1;
+  bool include_form_table = true;
+};
+
+/// Renders one page containing the given relational tables.
+std::string RenderPage(const std::vector<Table>& tables,
+                       const PageSpec& spec);
+
+/// Renders a single table element (with <th> headers when present).
+std::string RenderTableHtml(const Table& table);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SYNTH_PAGE_GENERATOR_H_

@@ -1,0 +1,492 @@
+#include "synth/world_generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_set>
+
+#include "catalog/catalog_builder.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "synth/names.h"
+
+namespace webtab {
+
+namespace {
+
+/// Per-kind bookkeeping while generating.
+struct EntityPool {
+  std::vector<EntityId> ids;
+};
+
+/// Adds `count` person entities of the given profession type, each with a
+/// nationality-flavoured secondary type (giving every entity >= 2 direct
+/// types so missing-link removal leaves it reachable).
+EntityPool MakePeople(CatalogBuilder* builder, NameFactory* names, Rng* rng,
+                      TypeId profession, TypeId person_root,
+                      const std::vector<TypeId>& nationality_types,
+                      int count, std::vector<TypeId>* primary,
+                      std::vector<std::vector<TypeId>>* true_types,
+                      std::set<std::string>* used_names) {
+  EntityPool pool;
+  (void)person_root;
+  for (int i = 0; i < count; ++i) {
+    std::string name = names->PersonName();
+    // Uniquify catalog names while keeping lemmas ambiguous.
+    while (used_names->count(name)) {
+      name += StrFormat(" %c", static_cast<char>('I' + rng->Uniform(4)));
+    }
+    used_names->insert(name);
+    EntityId e = builder->AddEntity(name);
+    for (const std::string& lemma : NameFactory::PersonLemmas(name)) {
+      WEBTAB_CHECK_OK(builder->AddEntityLemma(e, lemma));
+    }
+    TypeId nat = nationality_types[rng->Uniform(nationality_types.size())];
+    WEBTAB_CHECK_OK(builder->AddEntityType(e, profession));
+    WEBTAB_CHECK_OK(builder->AddEntityType(e, nat));
+    primary->push_back(profession);
+    true_types->push_back({profession, nat});
+    pool.ids.push_back(e);
+  }
+  return pool;
+}
+
+/// Adds `count` creative works under a genre chosen per work, plus a
+/// decade type.
+EntityPool MakeWorks(CatalogBuilder* builder, NameFactory* names, Rng* rng,
+                     TypeId base_type, const std::vector<TypeId>& genres,
+                     const std::vector<TypeId>& decades, int count,
+                     std::vector<TypeId>* primary,
+                     std::vector<std::vector<TypeId>>* true_types,
+                     std::set<std::string>* used_names) {
+  EntityPool pool;
+  (void)base_type;
+  for (int i = 0; i < count; ++i) {
+    std::string title = names->WorkTitle();
+    while (used_names->count(title)) {
+      title += " " + std::string(1, static_cast<char>('2' + rng->Uniform(7)));
+    }
+    used_names->insert(title);
+    EntityId e = builder->AddEntity(title);
+    for (const std::string& lemma : NameFactory::TitleLemmas(title)) {
+      WEBTAB_CHECK_OK(builder->AddEntityLemma(e, lemma));
+    }
+    TypeId genre = genres[rng->Uniform(genres.size())];
+    TypeId decade = decades[rng->Uniform(decades.size())];
+    WEBTAB_CHECK_OK(builder->AddEntityType(e, genre));
+    WEBTAB_CHECK_OK(builder->AddEntityType(e, decade));
+    primary->push_back(genre);
+    true_types->push_back({genre, decade});
+    pool.ids.push_back(e);
+  }
+  return pool;
+}
+
+EntityPool MakeSimpleEntities(
+    CatalogBuilder* builder, Rng* rng, TypeId type, int count,
+    const std::vector<std::string>& name_pool,
+    std::vector<TypeId>* primary,
+    std::vector<std::vector<TypeId>>* true_types,
+    std::set<std::string>* used_names) {
+  EntityPool pool;
+  (void)rng;
+  for (int i = 0; i < count; ++i) {
+    std::string name = name_pool[i];
+    while (used_names->count(name)) name += " *";
+    used_names->insert(name);
+    EntityId e = builder->AddEntity(name);
+    std::string clean = ReplaceAll(name, " *", "");
+    WEBTAB_CHECK_OK(builder->AddEntityLemma(e, clean));
+    WEBTAB_CHECK_OK(builder->AddEntityType(e, type));
+    primary->push_back(type);
+    true_types->push_back({type});
+    pool.ids.push_back(e);
+  }
+  return pool;
+}
+
+/// Samples `count` many-to-one style tuples: each subject gets exactly one
+/// object.
+void SampleFunctionalTuples(Rng* rng, const std::vector<EntityId>& subjects,
+                            const std::vector<EntityId>& objects,
+                            std::vector<std::pair<EntityId, EntityId>>* out) {
+  for (EntityId s : subjects) {
+    out->emplace_back(s, objects[rng->Uniform(objects.size())]);
+  }
+}
+
+/// Samples many-to-many tuples: each subject gets 1..max_per_subject
+/// distinct objects.
+void SampleManyTuples(Rng* rng, const std::vector<EntityId>& subjects,
+                      const std::vector<EntityId>& objects,
+                      int max_per_subject,
+                      std::vector<std::pair<EntityId, EntityId>>* out) {
+  for (EntityId s : subjects) {
+    int k = 1 + static_cast<int>(rng->Uniform(max_per_subject));
+    std::unordered_set<EntityId> chosen;
+    for (int i = 0; i < k; ++i) {
+      chosen.insert(objects[rng->Uniform(objects.size())]);
+    }
+    for (EntityId o : chosen) out->emplace_back(s, o);
+  }
+}
+
+}  // namespace
+
+bool World::TrueTupleExists(RelationId rel, EntityId e1, EntityId e2) const {
+  if (rel < 0 || rel >= static_cast<RelationId>(true_relations.size())) {
+    return false;
+  }
+  const auto& tuples = true_relations[rel].tuples;
+  return std::binary_search(tuples.begin(), tuples.end(),
+                            std::make_pair(e1, e2));
+}
+
+std::vector<EntityId> World::TrueObjectsOf(RelationId rel,
+                                           EntityId e1) const {
+  std::vector<EntityId> out;
+  if (rel < 0 || rel >= static_cast<RelationId>(true_relations.size())) {
+    return out;
+  }
+  const auto& tuples = true_relations[rel].tuples;
+  auto it = std::lower_bound(tuples.begin(), tuples.end(),
+                             std::make_pair(e1, std::numeric_limits<
+                                                    EntityId>::min()));
+  for (; it != tuples.end() && it->first == e1; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<EntityId> World::TrueSubjectsOf(RelationId rel,
+                                            EntityId e2) const {
+  std::vector<EntityId> out;
+  if (rel < 0 || rel >= static_cast<RelationId>(true_relations.size())) {
+    return out;
+  }
+  for (const auto& [s, o] : true_relations[rel].tuples) {
+    if (o == e2) out.push_back(s);
+  }
+  return out;
+}
+
+World GenerateWorld(const WorldSpec& spec) {
+  Rng rng(spec.seed);
+  NameFactory names(spec.seed ^ 0x9E3779B97F4A7C15ULL);
+  CatalogBuilder builder;
+  World world;
+
+  // ---- Type hierarchy. ----
+  auto add_type = [&](std::string_view name,
+                      std::initializer_list<std::string_view> lemmas,
+                      TypeId parent) {
+    TypeId t = builder.AddType(name);
+    for (std::string_view l : lemmas) {
+      WEBTAB_CHECK_OK(builder.AddTypeLemma(t, l));
+    }
+    if (parent != kNa) WEBTAB_CHECK_OK(builder.AddSubtype(t, parent));
+    return t;
+  };
+
+  world.person = add_type("person", {"person", "people", "name"}, kNa);
+  world.actor = add_type("actor", {"actor", "actress", "cast", "starring"},
+                         world.person);
+  world.director = add_type("director", {"director", "directed by",
+                                         "filmmaker"},
+                            world.person);
+  world.producer = add_type("producer", {"producer", "produced by"},
+                            world.person);
+  world.novelist = add_type("novelist", {"novelist", "author", "writer"},
+                            world.person);
+  world.footballer = add_type("footballer",
+                              {"footballer", "player", "soccer player"},
+                              world.person);
+  world.physicist = add_type("physicist", {"physicist", "scientist"},
+                             world.person);
+
+  world.work = add_type("creative_work", {"work", "title"}, kNa);
+  world.movie = add_type("movie", {"movie", "film", "title", "picture"},
+                         world.work);
+  world.novel = add_type("novel", {"novel", "book", "title"}, world.work);
+
+  world.organization = add_type("organization", {"organization"}, kNa);
+  world.football_club = add_type("football_club",
+                                 {"club", "football club", "team"},
+                                 world.organization);
+
+  world.place = add_type("place", {"place", "location"}, kNa);
+  world.country = add_type("country", {"country", "nation"}, world.place);
+  world.city = add_type("city", {"city", "town", "location"}, world.place);
+
+  world.language = add_type("language", {"language", "tongue"}, kNa);
+
+  // Nationality categories (secondary person types) and decade categories
+  // (secondary work types) — they deepen and widen the DAG.
+  std::vector<TypeId> nationalities;
+  for (int i = 0; i < 8; ++i) {
+    NameFactory nat_names(spec.seed * 31 + i);
+    std::string stem = nat_names.LanguageName();
+    nationalities.push_back(
+        add_type(StrFormat("%s_people", ToLower(stem).c_str()),
+                 {StrFormat("%s people", stem.c_str())}, world.person));
+  }
+  std::vector<TypeId> movie_genres;
+  for (const char* g :
+       {"action_film", "drama_film", "comedy_film", "thriller_film",
+        "horror_film", "romance_film", "western_film", "noir_film",
+        "documentary_film", "animated_film", "fantasy_film", "war_film"}) {
+    movie_genres.push_back(
+        add_type(g, {ReplaceAll(g, "_", " ")}, world.movie));
+  }
+  std::vector<TypeId> novel_genres;
+  for (const char* g :
+       {"mystery_novel", "science_fiction_novel", "historical_novel",
+        "romance_novel", "adventure_novel", "gothic_novel",
+        "satirical_novel", "childrens_novel", "crime_novel"}) {
+    novel_genres.push_back(
+        add_type(g, {ReplaceAll(g, "_", " ")}, world.novel));
+  }
+  std::vector<TypeId> movie_decades;
+  std::vector<TypeId> novel_decades;
+  for (int d = 1950; d <= 2000; d += 10) {
+    movie_decades.push_back(add_type(StrFormat("%ds_films", d),
+                                     {StrFormat("%ds films", d)},
+                                     world.movie));
+    novel_decades.push_back(add_type(StrFormat("%ds_novels", d),
+                                     {StrFormat("%ds novels", d)},
+                                     world.novel));
+  }
+
+  // ---- Entities. ----
+  std::set<std::string> used_names;
+  std::vector<TypeId>& primary = world.primary_type;
+  std::vector<std::vector<TypeId>>& true_types = world.true_direct_types;
+
+  EntityPool actors = MakePeople(&builder, &names, &rng, world.actor,
+                                 world.person, nationalities,
+                                 spec.people_per_profession, &primary,
+                                 &true_types, &used_names);
+  EntityPool directors = MakePeople(&builder, &names, &rng, world.director,
+                                    world.person, nationalities,
+                                    spec.people_per_profession, &primary,
+                                    &true_types, &used_names);
+  EntityPool producers = MakePeople(&builder, &names, &rng, world.producer,
+                                    world.person, nationalities,
+                                    spec.people_per_profession, &primary,
+                                    &true_types, &used_names);
+  EntityPool novelists = MakePeople(&builder, &names, &rng, world.novelist,
+                                    world.person, nationalities,
+                                    spec.people_per_profession, &primary,
+                                    &true_types, &used_names);
+  EntityPool footballers = MakePeople(&builder, &names, &rng,
+                                      world.footballer, world.person,
+                                      nationalities,
+                                      spec.people_per_profession, &primary,
+                                      &true_types, &used_names);
+  EntityPool physicists = MakePeople(&builder, &names, &rng,
+                                     world.physicist, world.person,
+                                     nationalities,
+                                     spec.people_per_profession, &primary,
+                                     &true_types, &used_names);
+  (void)physicists;
+
+  EntityPool movies = MakeWorks(&builder, &names, &rng, world.movie,
+                                movie_genres, movie_decades,
+                                spec.num_movies, &primary, &true_types,
+                                &used_names);
+  EntityPool novels = MakeWorks(&builder, &names, &rng, world.novel,
+                                novel_genres, novel_decades,
+                                spec.num_novels, &primary, &true_types,
+                                &used_names);
+
+  std::vector<std::string> club_names;
+  for (int i = 0; i < spec.num_clubs; ++i) {
+    club_names.push_back(names.ClubName());
+  }
+  EntityPool clubs = MakeSimpleEntities(&builder, &rng, world.football_club,
+                                        spec.num_clubs, club_names,
+                                        &primary, &true_types, &used_names);
+  // Clubs get a short lemma (place stem) too — ambiguous with the city.
+  for (size_t i = 0; i < clubs.ids.size(); ++i) {
+    std::vector<std::string> parts = SplitWhitespace(club_names[i]);
+    if (!parts.empty()) {
+      WEBTAB_CHECK_OK(builder.AddEntityLemma(clubs.ids[i], parts[0]));
+    }
+  }
+
+  std::vector<std::string> country_names;
+  NameFactory country_factory(spec.seed * 7 + 1);
+  for (int i = 0; i < spec.num_countries; ++i) {
+    country_names.push_back(country_factory.PlaceName());
+  }
+  EntityPool countries = MakeSimpleEntities(&builder, &rng, world.country,
+                                            spec.num_countries,
+                                            country_names, &primary,
+                                            &true_types, &used_names);
+
+  std::vector<std::string> city_names;
+  NameFactory city_factory(spec.seed * 7 + 2);
+  for (int i = 0; i < spec.num_cities; ++i) {
+    city_names.push_back(city_factory.PlaceName());
+  }
+  EntityPool cities = MakeSimpleEntities(&builder, &rng, world.city,
+                                         spec.num_cities, city_names,
+                                         &primary, &true_types, &used_names);
+
+  std::vector<std::string> language_names;
+  NameFactory lang_factory(spec.seed * 7 + 3);
+  for (int i = 0; i < spec.num_languages; ++i) {
+    language_names.push_back(lang_factory.LanguageName());
+  }
+  EntityPool languages = MakeSimpleEntities(&builder, &rng, world.language,
+                                            spec.num_languages,
+                                            language_names, &primary,
+                                            &true_types, &used_names);
+
+  // ---- Relations with full-truth tuple sets. ----
+  auto declare = [&](std::string_view name, TypeId t1, TypeId t2,
+                     RelationCardinality card) {
+    return builder.AddRelation(name, t1, t2, card);
+  };
+  world.acted_in = declare("acted_in", world.movie, world.actor,
+                           RelationCardinality::kManyToMany);
+  world.directed = declare("directed", world.movie, world.director,
+                           RelationCardinality::kManyToOne);
+  world.produced = declare("produced", world.movie, world.producer,
+                           RelationCardinality::kManyToMany);
+  world.official_language = declare("official_language", world.country,
+                                    world.language,
+                                    RelationCardinality::kManyToOne);
+  world.wrote = declare("wrote", world.novel, world.novelist,
+                        RelationCardinality::kManyToOne);
+  world.plays_for = declare("plays_for", world.footballer,
+                            world.football_club,
+                            RelationCardinality::kManyToOne);
+  world.born_in = declare("born_in", world.person, world.city,
+                          RelationCardinality::kManyToOne);
+  world.located_in = declare("located_in", world.city, world.country,
+                             RelationCardinality::kManyToOne);
+  // died_in shares born_in's schema exactly — tables built from either are
+  // indistinguishable by column types alone, so the relation annotation
+  // carries real information (drives the Type vs Type+Rel gap, Figure 9).
+  world.died_in = declare("died_in", world.person, world.city,
+                          RelationCardinality::kManyToOne);
+  // Same-schema confusers for each Figure 13 relation.
+  world.cameo_in = declare("cameo_in", world.movie, world.actor,
+                           RelationCardinality::kManyToMany);
+  world.second_unit_directed =
+      declare("second_unit_directed", world.movie, world.director,
+              RelationCardinality::kManyToOne);
+  world.executive_produced =
+      declare("executive_produced", world.movie, world.producer,
+              RelationCardinality::kManyToMany);
+  world.spoken_language = declare("spoken_language", world.country,
+                                  world.language,
+                                  RelationCardinality::kManyToMany);
+  world.translated = declare("translated", world.novel, world.novelist,
+                             RelationCardinality::kManyToMany);
+
+  std::vector<std::vector<std::pair<EntityId, EntityId>>> truth(14);
+  SampleManyTuples(&rng, movies.ids, actors.ids, 4, &truth[0]);
+  SampleFunctionalTuples(&rng, movies.ids, directors.ids, &truth[1]);
+  SampleManyTuples(&rng, movies.ids, producers.ids, 2, &truth[2]);
+  SampleFunctionalTuples(&rng, countries.ids, languages.ids, &truth[3]);
+  SampleFunctionalTuples(&rng, novels.ids, novelists.ids, &truth[4]);
+  SampleFunctionalTuples(&rng, footballers.ids, clubs.ids, &truth[5]);
+  {
+    // born_in / died_in over samples of people (same schema, different
+    // extensions).
+    std::vector<EntityId> born_people;
+    std::vector<EntityId> died_people;
+    for (const EntityPool* pool :
+         {&actors, &directors, &producers, &novelists, &footballers}) {
+      for (EntityId e : pool->ids) {
+        if (rng.Bernoulli(0.5)) born_people.push_back(e);
+        if (rng.Bernoulli(0.3)) died_people.push_back(e);
+      }
+    }
+    SampleFunctionalTuples(&rng, born_people, cities.ids, &truth[6]);
+    SampleFunctionalTuples(&rng, died_people, cities.ids, &truth[8]);
+  }
+  SampleFunctionalTuples(&rng, cities.ids, countries.ids, &truth[7]);
+
+  // Confuser tuples: sampled over subsets of the same pools so the
+  // extensions overlap in type but not in fact.
+  auto subset = [&](const std::vector<EntityId>& ids) {
+    std::vector<EntityId> out;
+    for (EntityId e : ids) {
+      if (rng.Bernoulli(spec.confuser_fraction)) out.push_back(e);
+    }
+    if (out.empty() && !ids.empty()) out.push_back(ids[0]);
+    return out;
+  };
+  SampleManyTuples(&rng, subset(movies.ids), actors.ids, 2, &truth[9]);
+  SampleFunctionalTuples(&rng, subset(movies.ids), directors.ids,
+                         &truth[10]);
+  SampleManyTuples(&rng, subset(movies.ids), producers.ids, 1, &truth[11]);
+  SampleManyTuples(&rng, subset(countries.ids), languages.ids, 2,
+                   &truth[12]);
+  SampleManyTuples(&rng, subset(novels.ids), novelists.ids, 1, &truth[13]);
+
+  RelationId rel_ids[14] = {
+      world.acted_in,           world.directed,
+      world.produced,           world.official_language,
+      world.wrote,              world.plays_for,
+      world.born_in,            world.located_in,
+      world.died_in,            world.cameo_in,
+      world.second_unit_directed, world.executive_produced,
+      world.spoken_language,    world.translated};
+  world.true_relations.assign(14, TrueRelation{});
+  for (int i = 0; i < 14; ++i) {
+    auto& tuples = truth[i];
+    std::sort(tuples.begin(), tuples.end());
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+    world.true_relations[rel_ids[i]].id = rel_ids[i];
+    world.true_relations[rel_ids[i]].tuples = tuples;
+    for (const auto& [s, o] : tuples) {
+      if (!rng.Bernoulli(spec.hidden_tuple_fraction)) {
+        WEBTAB_CHECK_OK(builder.AddTuple(rel_ids[i], s, o));
+      }
+    }
+  }
+
+  // ---- Inject catalog incompleteness. ----
+  // Drop ∈ links only from entities that keep >= 1 other link.
+  for (EntityId e = 0;
+       e < static_cast<EntityId>(world.true_direct_types.size()); ++e) {
+    const auto& types = world.true_direct_types[e];
+    if (types.size() >= 2 && rng.Bernoulli(spec.missing_elink_prob)) {
+      // Drop the *primary* link — the damaging case of Appendix F.
+      builder.RemoveEntityType(e, types[0]);
+    }
+  }
+  // Drop a few genre/decade ⊆ links (the type re-attaches to the root).
+  std::vector<TypeId> leaf_types;
+  leaf_types.insert(leaf_types.end(), movie_genres.begin(),
+                    movie_genres.end());
+  leaf_types.insert(leaf_types.end(), novel_genres.begin(),
+                    novel_genres.end());
+  leaf_types.insert(leaf_types.end(), movie_decades.begin(),
+                    movie_decades.end());
+  leaf_types.insert(leaf_types.end(), novel_decades.begin(),
+                    novel_decades.end());
+  for (TypeId t : leaf_types) {
+    if (rng.Bernoulli(spec.missing_subtype_prob)) {
+      TypeId parent = (std::find(movie_genres.begin(), movie_genres.end(),
+                                 t) != movie_genres.end() ||
+                       std::find(movie_decades.begin(), movie_decades.end(),
+                                 t) != movie_decades.end())
+                          ? world.movie
+                          : world.novel;
+      builder.RemoveSubtype(t, parent);
+    }
+  }
+
+  Result<Catalog> catalog = builder.Build();
+  WEBTAB_CHECK(catalog.ok()) << catalog.status().ToString();
+  world.catalog = std::move(catalog.value());
+  return world;
+}
+
+}  // namespace webtab

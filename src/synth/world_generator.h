@@ -1,0 +1,96 @@
+#ifndef WEBTAB_SYNTH_WORLD_GENERATOR_H_
+#define WEBTAB_SYNTH_WORLD_GENERATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace webtab {
+
+/// Size/noise knobs for the synthetic world (YAGO stand-in). Defaults are
+/// laptop-scale but keep the paper's ambiguity regime: shared surname /
+/// title-word pools give ~7-8 entity candidates per cell, and each entity
+/// has 2+ direct types so the ancestor union per column reaches hundreds
+/// of types.
+struct WorldSpec {
+  uint64_t seed = 42;
+
+  int people_per_profession = 250;  // actors, directors, producers,
+                                    // novelists, footballers, physicists.
+  int num_movies = 700;
+  int num_novels = 350;
+  int num_clubs = 60;
+  int num_countries = 30;
+  int num_cities = 150;
+  int num_languages = 40;
+
+  /// Probability that one of an entity's direct ∈ links is dropped from
+  /// the catalog (kept in the hidden truth) — §4.2.3 "missing links".
+  double missing_elink_prob = 0.10;
+  /// Probability that a leaf type's ⊆ link is dropped (Appendix F's
+  /// "Universities in Toronto ⊆ Universities in Ontario" case).
+  double missing_subtype_prob = 0.03;
+  /// Fraction of true relation tuples withheld from the catalog. These
+  /// appear in generated tables and serve as search ground truth (the
+  /// DBPedia substitute).
+  double hidden_tuple_fraction = 0.35;
+  /// Relative size of each confuser relation vs. its primary.
+  double confuser_fraction = 0.4;
+};
+
+/// One relation's complete extension (including tuples hidden from the
+/// catalog) for generation and search evaluation.
+struct TrueRelation {
+  RelationId id = kNa;
+  std::vector<std::pair<EntityId, EntityId>> tuples;  // Full truth.
+};
+
+/// The generated world: a deliberately *incomplete* public catalog plus
+/// the hidden truth behind it.
+struct World {
+  Catalog catalog;
+
+  // Hidden truth.
+  std::vector<TrueRelation> true_relations;           // Indexed by relation.
+  std::vector<std::vector<TypeId>> true_direct_types;  // Per entity.
+
+  // Handles to the schema for corpus generation and benches.
+  TypeId person = kNa, actor = kNa, director = kNa, producer = kNa,
+         novelist = kNa, footballer = kNa, physicist = kNa;
+  TypeId work = kNa, movie = kNa, novel = kNa;
+  TypeId organization = kNa, football_club = kNa;
+  TypeId place = kNa, country = kNa, city = kNa;
+  TypeId language = kNa;
+  RelationId acted_in = kNa, directed = kNa, produced = kNa,
+             official_language = kNa, wrote = kNa, plays_for = kNa,
+             born_in = kNa, located_in = kNa, died_in = kNa;
+  /// Same-schema "confuser" relations (cameo_in vs acted_in, translated
+  /// vs wrote, ...). Column types alone cannot tell them from their
+  /// primaries — only relation annotations can (the Figure 9 mechanism,
+  /// and the intro's "directed by vs. featuring George Clooney").
+  RelationId cameo_in = kNa, second_unit_directed = kNa,
+             executive_produced = kNa, spoken_language = kNa,
+             translated = kNa;
+
+  /// True primary type per entity (the most specific intended type) —
+  /// used as gold column types.
+  std::vector<TypeId> primary_type;
+
+  /// Does the *hidden truth* contain tuple rel(e1, e2)?
+  bool TrueTupleExists(RelationId rel, EntityId e1, EntityId e2) const;
+
+  /// All true objects for (rel, subject) from the hidden truth.
+  std::vector<EntityId> TrueObjectsOf(RelationId rel, EntityId e1) const;
+
+  /// All true subjects for (rel, object) from the hidden truth.
+  std::vector<EntityId> TrueSubjectsOf(RelationId rel, EntityId e2) const;
+};
+
+/// Builds the world deterministically from the spec.
+World GenerateWorld(const WorldSpec& spec);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SYNTH_WORLD_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "table/annotation.h"
+
+namespace webtab {
+
+TableAnnotation TableAnnotation::Empty(int rows, int cols) {
+  TableAnnotation a;
+  a.column_types.assign(cols, kNa);
+  a.cell_entities.assign(rows, std::vector<EntityId>(cols, kNa));
+  return a;
+}
+
+TypeId TableAnnotation::TypeOf(int c) const {
+  if (c < 0 || c >= static_cast<int>(column_types.size())) return kNa;
+  return column_types[c];
+}
+
+EntityId TableAnnotation::EntityOf(int r, int c) const {
+  if (r < 0 || r >= static_cast<int>(cell_entities.size())) return kNa;
+  const auto& row = cell_entities[r];
+  if (c < 0 || c >= static_cast<int>(row.size())) return kNa;
+  return row[c];
+}
+
+RelationCandidate TableAnnotation::RelationOf(int c1, int c2) const {
+  auto it = relations.find({c1, c2});
+  return it == relations.end() ? RelationCandidate{} : it->second;
+}
+
+int64_t TableAnnotation::CountEntityLabels() const {
+  int64_t n = 0;
+  for (const auto& row : cell_entities) {
+    for (EntityId e : row) {
+      if (e != kNa) ++n;
+    }
+  }
+  return n;
+}
+
+int64_t TableAnnotation::CountTypeLabels() const {
+  int64_t n = 0;
+  for (TypeId t : column_types) {
+    if (t != kNa) ++n;
+  }
+  return n;
+}
+
+int64_t TableAnnotation::CountRelationLabels() const {
+  int64_t n = 0;
+  for (const auto& [pair, rel] : relations) {
+    if (!rel.is_na()) ++n;
+  }
+  return n;
+}
+
+}  // namespace webtab

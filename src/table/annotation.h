@@ -1,0 +1,50 @@
+#ifndef WEBTAB_TABLE_ANNOTATION_H_
+#define WEBTAB_TABLE_ANNOTATION_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/ids.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// The full annotation of one table (paper §1.1): a type per column, an
+/// entity per cell, and a relation per column pair — each possibly kNa.
+/// Used both as system output and as ground truth.
+struct TableAnnotation {
+  /// column_types[c]; kNa = no type annotation.
+  std::vector<TypeId> column_types;
+  /// cell_entities[r][c]; kNa = no entity annotation.
+  std::vector<std::vector<EntityId>> cell_entities;
+  /// Relations on ordered column pairs (c < c'); absent pairs mean na.
+  std::map<std::pair<int, int>, RelationCandidate> relations;
+
+  /// Sized-out empty annotation (all na) for an r x c table.
+  static TableAnnotation Empty(int rows, int cols);
+
+  TypeId TypeOf(int c) const;
+  EntityId EntityOf(int r, int c) const;
+  RelationCandidate RelationOf(int c1, int c2) const;
+
+  int64_t CountEntityLabels() const;  // Non-na cells.
+  int64_t CountTypeLabels() const;    // Non-na columns.
+  int64_t CountRelationLabels() const;
+};
+
+/// A table paired with its ground truth — the unit of the labeled
+/// datasets (Figure 5). `relations_only` marks Web-Relations-style data
+/// where only column-pair relations were labeled; `entities_only` marks
+/// Wiki-Link-style data with only cell-entity labels.
+struct LabeledTable {
+  Table table;
+  TableAnnotation gold;
+  bool relations_only = false;
+  bool entities_only = false;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TABLE_ANNOTATION_H_

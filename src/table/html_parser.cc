@@ -1,0 +1,230 @@
+#include "table/html_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace webtab {
+
+namespace {
+
+struct Tag {
+  std::string name;     // Lowercase, no slash.
+  bool closing = false;
+  std::string attrs;    // Raw attribute text.
+};
+
+/// Scans one tag starting at `pos` (s[pos] == '<'). Returns position just
+/// past '>' (or end of string) and fills `tag`.
+size_t ScanTag(std::string_view s, size_t pos, Tag* tag) {
+  size_t i = pos + 1;
+  tag->closing = false;
+  tag->name.clear();
+  tag->attrs.clear();
+  if (i < s.size() && s[i] == '/') {
+    tag->closing = true;
+    ++i;
+  }
+  while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])))) {
+    tag->name += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(s[i])));
+    ++i;
+  }
+  size_t attr_start = i;
+  while (i < s.size() && s[i] != '>') ++i;
+  tag->attrs = std::string(s.substr(attr_start, i - attr_start));
+  return i < s.size() ? i + 1 : i;
+}
+
+/// Parses integer attribute like colspan="3" from a raw attribute string.
+int AttrInt(const std::string& attrs, std::string_view name, int def) {
+  std::string lower = ToLower(attrs);
+  size_t pos = lower.find(std::string(name));
+  if (pos == std::string::npos) return def;
+  pos = lower.find('=', pos);
+  if (pos == std::string::npos) return def;
+  ++pos;
+  while (pos < lower.size() &&
+         (lower[pos] == '"' || lower[pos] == '\'' || lower[pos] == ' ')) {
+    ++pos;
+  }
+  int v = std::atoi(lower.c_str() + pos);
+  return v > 0 ? v : def;
+}
+
+void AppendText(std::string* out, std::string_view text) {
+  std::string decoded = DecodeHtmlEntities(text);
+  std::string_view stripped = StripWhitespace(decoded);
+  if (stripped.empty()) return;
+  if (!out->empty()) *out += ' ';
+  out->append(stripped);
+}
+
+}  // namespace
+
+std::string DecodeHtmlEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size();) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 8) {
+      out += text[i++];
+      continue;
+    }
+    std::string_view ent = text.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out += '&';
+    } else if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos" || ent == "#39") {
+      out += '\'';
+    } else if (ent == "nbsp") {
+      out += ' ';
+    } else if (!ent.empty() && ent[0] == '#') {
+      int code = std::atoi(std::string(ent.substr(1)).c_str());
+      if (code >= 32 && code < 127) {
+        out += static_cast<char>(code);
+      } else {
+        out += ' ';
+      }
+    } else {
+      out += '&';
+      ++i;
+      continue;
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+bool RawTable::HasMergedCells() const {
+  for (const auto& row : rows) {
+    for (const auto& cell : row) {
+      if (cell.colspan > 1 || cell.rowspan > 1) return true;
+    }
+  }
+  return false;
+}
+
+bool RawTable::IsRegular() const {
+  if (rows.empty() || rows[0].empty()) return false;
+  size_t n = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != n) return false;
+  }
+  return true;
+}
+
+int RawTable::NumCols() const {
+  return rows.empty() ? 0 : static_cast<int>(rows[0].size());
+}
+
+std::vector<RawTable> ParseHtmlTables(std::string_view html) {
+  std::vector<RawTable> tables;
+  // Rolling window of text preceding the current table, used as context.
+  std::string recent_text;
+
+  size_t i = 0;
+  while (i < html.size()) {
+    if (html[i] != '<') {
+      size_t next = html.find('<', i);
+      if (next == std::string_view::npos) next = html.size();
+      AppendText(&recent_text, html.substr(i, next - i));
+      if (recent_text.size() > 400) {
+        recent_text.erase(0, recent_text.size() - 400);
+      }
+      i = next;
+      continue;
+    }
+    Tag tag;
+    size_t after = ScanTag(html, i, &tag);
+    if (tag.name != "table" || tag.closing) {
+      i = after;
+      continue;
+    }
+    // Inside a <table>: scan until its matching </table>, tracking depth
+    // for nested tables (their content is folded into the current cell).
+    RawTable table;
+    table.context = recent_text;
+    int depth = 1;
+    RawCell* cell = nullptr;
+    std::vector<RawCell> row;
+    bool in_row = false;
+    size_t j = after;
+    while (j < html.size() && depth > 0) {
+      if (html[j] != '<') {
+        size_t next = html.find('<', j);
+        if (next == std::string_view::npos) next = html.size();
+        if (cell != nullptr) {
+          AppendText(&cell->text, html.substr(j, next - j));
+        }
+        j = next;
+        continue;
+      }
+      Tag t;
+      size_t tag_end = ScanTag(html, j, &t);
+      if (t.name == "table") {
+        if (t.closing) {
+          --depth;
+        } else {
+          ++depth;
+          table.nested = true;
+        }
+      } else if (depth == 1) {
+        if (t.name == "tr") {
+          if (!t.closing) {
+            if (in_row && !row.empty()) {
+              table.rows.push_back(std::move(row));
+              row.clear();
+            }
+            in_row = true;
+            cell = nullptr;
+          } else {
+            if (in_row && !row.empty()) {
+              table.rows.push_back(std::move(row));
+              row.clear();
+            }
+            in_row = false;
+            cell = nullptr;
+          }
+        } else if (t.name == "td" || t.name == "th") {
+          if (!t.closing) {
+            if (!in_row) in_row = true;  // Tolerate missing <tr>.
+            row.push_back(RawCell{});
+            cell = &row.back();
+            cell->is_header = (t.name == "th");
+            cell->colspan = AttrInt(t.attrs, "colspan", 1);
+            cell->rowspan = AttrInt(t.attrs, "rowspan", 1);
+          } else {
+            cell = nullptr;
+          }
+        } else if (cell != nullptr) {
+          if (t.name == "a" && !t.closing) ++cell->link_count;
+          if (t.name == "img" && !t.closing) ++cell->image_count;
+          if ((t.name == "form" || t.name == "input" ||
+               t.name == "select") &&
+              !t.closing) {
+            ++cell->form_count;
+          }
+        }
+      }
+      j = tag_end;
+    }
+    if (in_row && !row.empty()) table.rows.push_back(std::move(row));
+    tables.push_back(std::move(table));
+    recent_text.clear();
+    i = j;
+  }
+  return tables;
+}
+
+}  // namespace webtab

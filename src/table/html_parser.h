@@ -1,0 +1,45 @@
+#ifndef WEBTAB_TABLE_HTML_PARSER_H_
+#define WEBTAB_TABLE_HTML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webtab {
+
+/// One <td>/<th> cell as parsed from markup, before screening.
+struct RawCell {
+  std::string text;
+  bool is_header = false;
+  int colspan = 1;
+  int rowspan = 1;
+  int link_count = 0;   // <a> tags inside the cell.
+  int image_count = 0;  // <img> tags inside the cell.
+  int form_count = 0;   // <form>/<input>/<select> tags inside the cell.
+};
+
+/// One <table> element: a ragged grid of raw cells plus surrounding text
+/// captured as context (paper §3.2 keeps "some amount of textual context").
+struct RawTable {
+  std::vector<std::vector<RawCell>> rows;
+  std::string context;
+  bool nested = false;  // Contains a nested <table>.
+
+  bool HasMergedCells() const;
+  /// True when every row has the same positive number of cells.
+  bool IsRegular() const;
+  int NumCols() const;
+};
+
+/// Extracts every top-level <table> from an HTML page with a small
+/// stateful scanner: no external parser, tolerant of unclosed tags,
+/// decodes the common character entities. Nested tables are flattened
+/// into text and flagged via RawTable::nested.
+std::vector<RawTable> ParseHtmlTables(std::string_view html);
+
+/// Decodes &amp; &lt; &gt; &quot; &#39; &nbsp; and numeric entities.
+std::string DecodeHtmlEntities(std::string_view text);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TABLE_HTML_PARSER_H_

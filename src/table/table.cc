@@ -1,0 +1,56 @@
+#include "table/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace webtab {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+const std::string& Table::header(int c) const {
+  WEBTAB_CHECK(c >= 0 && c < cols_);
+  if (headers_.empty()) return kEmpty;
+  return headers_[c];
+}
+
+void Table::set_header(int c, std::string text) {
+  WEBTAB_CHECK(c >= 0 && c < cols_);
+  if (headers_.empty()) headers_.resize(cols_);
+  headers_[c] = std::move(text);
+}
+
+double Table::NumericFraction(int c) const {
+  WEBTAB_CHECK(c >= 0 && c < cols_);
+  if (rows_ == 0) return 0.0;
+  int numeric = 0;
+  for (int r = 0; r < rows_; ++r) {
+    if (LooksNumeric(cell(r, c))) ++numeric;
+  }
+  return static_cast<double>(numeric) / rows_;
+}
+
+std::string Table::DebugString() const {
+  std::string out;
+  if (!context_.empty()) out += "context: " + context_ + "\n";
+  if (has_headers()) {
+    for (int c = 0; c < cols_; ++c) {
+      if (c) out += " | ";
+      out += header(c);
+    }
+    out += "\n";
+    out += std::string(40, '-');
+    out += "\n";
+  }
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (c) out += " | ";
+      out += cell(r, c);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace webtab

@@ -1,0 +1,64 @@
+#ifndef WEBTAB_TABLE_TABLE_H_
+#define WEBTAB_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace webtab {
+
+/// A source table after preprocessing (paper §3.2): very regular —
+/// #cells == rows × cols, no merged cells — with optional column headers
+/// and a short textual context captured from around the table. Rows are
+/// relation instances, columns are attributes.
+class Table {
+ public:
+  Table() = default;
+  Table(int rows, int cols)
+      : rows_(rows), cols_(cols), cells_(static_cast<size_t>(rows) * cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Cell text D_rc; r in [0, rows), c in [0, cols).
+  const std::string& cell(int r, int c) const {
+    return cells_[Index(r, c)];
+  }
+  void set_cell(int r, int c, std::string text) {
+    cells_[Index(r, c)] = std::move(text);
+  }
+
+  /// Header text H_c; empty string when the column has no header.
+  const std::string& header(int c) const;
+  void set_header(int c, std::string text);
+  bool has_headers() const { return !headers_.empty(); }
+
+  const std::string& context() const { return context_; }
+  void set_context(std::string context) { context_ = std::move(context); }
+
+  /// Stable identifier within a corpus (assigned by extractor/generator).
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  /// Fraction of cells in column c that look numeric.
+  double NumericFraction(int c) const;
+
+  /// Human-readable rendering for debugging / examples.
+  std::string DebugString() const;
+
+ private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * cols_ + c;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  int64_t id_ = -1;
+  std::string context_;
+  std::vector<std::string> headers_;  // Empty or size cols_.
+  std::vector<std::string> cells_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TABLE_TABLE_H_

@@ -1,0 +1,89 @@
+#include "table/table_extractor.h"
+
+#include "common/string_util.h"
+
+namespace webtab {
+
+std::string ExtractionStats::DebugString() const {
+  return StrFormat(
+      "raw=%lld accepted=%lld small=%lld irregular=%lld merged=%lld "
+      "layout=%lld",
+      static_cast<long long>(raw_tables), static_cast<long long>(accepted),
+      static_cast<long long>(rejected_too_small),
+      static_cast<long long>(rejected_irregular),
+      static_cast<long long>(rejected_merged),
+      static_cast<long long>(rejected_layout));
+}
+
+void ExtractionStats::Add(const ExtractionStats& other) {
+  raw_tables += other.raw_tables;
+  accepted += other.accepted;
+  rejected_too_small += other.rejected_too_small;
+  rejected_irregular += other.rejected_irregular;
+  rejected_merged += other.rejected_merged;
+  rejected_layout += other.rejected_layout;
+}
+
+Table MaterializeTable(const RawTable& raw) {
+  bool first_row_is_header = !raw.rows.empty();
+  for (const RawCell& cell : raw.rows.empty() ? std::vector<RawCell>{}
+                                              : raw.rows[0]) {
+    if (!cell.is_header) {
+      first_row_is_header = false;
+      break;
+    }
+  }
+  int header_rows = first_row_is_header ? 1 : 0;
+  int rows = static_cast<int>(raw.rows.size()) - header_rows;
+  int cols = raw.NumCols();
+  Table table(rows, cols);
+  table.set_context(raw.context);
+  if (first_row_is_header) {
+    for (int c = 0; c < cols; ++c) {
+      table.set_header(c, raw.rows[0][c].text);
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      table.set_cell(r, c, raw.rows[r + header_rows][c].text);
+    }
+  }
+  return table;
+}
+
+TableExtractor::TableExtractor(TableFilterOptions options)
+    : options_(options) {}
+
+void TableExtractor::ExtractFromPage(std::string_view html,
+                                     std::vector<Table>* out) {
+  for (const RawTable& raw : ParseHtmlTables(html)) {
+    ++stats_.raw_tables;
+    switch (ScreenTable(raw, options_)) {
+      case FilterVerdict::kRelational: {
+        Table table = MaterializeTable(raw);
+        table.set_id(next_id_++);
+        out->push_back(std::move(table));
+        ++stats_.accepted;
+        break;
+      }
+      case FilterVerdict::kTooSmall:
+      case FilterVerdict::kTooWide:
+        ++stats_.rejected_too_small;
+        break;
+      case FilterVerdict::kIrregular:
+        ++stats_.rejected_irregular;
+        break;
+      case FilterVerdict::kMergedCells:
+        ++stats_.rejected_merged;
+        break;
+      case FilterVerdict::kTooManyEmptyCells:
+      case FilterVerdict::kLinkFarm:
+      case FilterVerdict::kFormLayout:
+      case FilterVerdict::kLongText:
+        ++stats_.rejected_layout;
+        break;
+    }
+  }
+}
+
+}  // namespace webtab

@@ -1,0 +1,52 @@
+#ifndef WEBTAB_TABLE_TABLE_EXTRACTOR_H_
+#define WEBTAB_TABLE_TABLE_EXTRACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/table.h"
+#include "table/table_filter.h"
+
+namespace webtab {
+
+/// Counters describing one extraction run.
+struct ExtractionStats {
+  int64_t raw_tables = 0;
+  int64_t accepted = 0;
+  int64_t rejected_too_small = 0;
+  int64_t rejected_irregular = 0;
+  int64_t rejected_merged = 0;
+  int64_t rejected_layout = 0;  // link farm / forms / long text / empties.
+
+  std::string DebugString() const;
+  void Add(const ExtractionStats& other);
+};
+
+/// Turns HTML pages into screened relational Table objects (§3.2
+/// preprocessing): parse, screen with TableFilterOptions, promote a
+/// leading all-<th> row to column headers, attach nearby text as context.
+class TableExtractor {
+ public:
+  explicit TableExtractor(TableFilterOptions options = TableFilterOptions());
+
+  /// Extracts relational tables from one page, appending to `out`.
+  /// Assigns ids sequentially from the internal counter.
+  void ExtractFromPage(std::string_view html, std::vector<Table>* out);
+
+  const ExtractionStats& stats() const { return stats_; }
+
+ private:
+  TableFilterOptions options_;
+  ExtractionStats stats_;
+  int64_t next_id_ = 0;
+};
+
+/// Converts an accepted RawTable into a Table (header promotion, entity
+/// decoding already handled by the parser). Exposed for tests.
+Table MaterializeTable(const RawTable& raw);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TABLE_TABLE_EXTRACTOR_H_

@@ -1,0 +1,83 @@
+#include "table/table_filter.h"
+
+#include "common/string_util.h"
+
+namespace webtab {
+
+std::string_view FilterVerdictName(FilterVerdict v) {
+  switch (v) {
+    case FilterVerdict::kRelational:
+      return "relational";
+    case FilterVerdict::kTooSmall:
+      return "too-small";
+    case FilterVerdict::kTooWide:
+      return "too-wide";
+    case FilterVerdict::kIrregular:
+      return "irregular";
+    case FilterVerdict::kMergedCells:
+      return "merged-cells";
+    case FilterVerdict::kTooManyEmptyCells:
+      return "too-many-empty-cells";
+    case FilterVerdict::kLinkFarm:
+      return "link-farm";
+    case FilterVerdict::kFormLayout:
+      return "form-layout";
+    case FilterVerdict::kLongText:
+      return "long-text";
+  }
+  return "unknown";
+}
+
+FilterVerdict ScreenTable(const RawTable& raw,
+                          const TableFilterOptions& options) {
+  if (raw.rows.empty()) return FilterVerdict::kTooSmall;
+  if (!raw.IsRegular()) return FilterVerdict::kIrregular;
+  if (raw.HasMergedCells()) return FilterVerdict::kMergedCells;
+
+  int cols = raw.NumCols();
+  if (cols < options.min_cols) return FilterVerdict::kTooSmall;
+  if (cols > options.max_cols) return FilterVerdict::kTooWide;
+
+  // A leading all-header row does not count toward the data-row minimum.
+  bool first_row_is_header = true;
+  for (const RawCell& cell : raw.rows[0]) {
+    if (!cell.is_header) {
+      first_row_is_header = false;
+      break;
+    }
+  }
+  int data_rows = static_cast<int>(raw.rows.size()) -
+                  (first_row_is_header ? 1 : 0);
+  if (data_rows < options.min_rows) return FilterVerdict::kTooSmall;
+
+  int64_t cells = 0;
+  int64_t empty = 0;
+  int64_t links = 0;
+  int64_t forms = 0;
+  int64_t long_cells = 0;
+  for (const auto& row : raw.rows) {
+    for (const RawCell& cell : row) {
+      ++cells;
+      if (StripWhitespace(cell.text).empty()) ++empty;
+      links += cell.link_count;
+      forms += cell.form_count;
+      if (static_cast<int>(cell.text.size()) > options.max_cell_length) {
+        ++long_cells;
+      }
+    }
+  }
+  if (cells == 0) return FilterVerdict::kTooSmall;
+  if (static_cast<double>(empty) / cells > options.max_empty_fraction) {
+    return FilterVerdict::kTooManyEmptyCells;
+  }
+  if (static_cast<double>(links) / cells > options.max_link_density) {
+    return FilterVerdict::kLinkFarm;
+  }
+  if (forms > 0 && options.max_form_fraction <= 0.0) {
+    return FilterVerdict::kFormLayout;
+  }
+  if (long_cells > 0) return FilterVerdict::kLongText;
+  return FilterVerdict::kRelational;
+}
+
+}  // namespace webtab

@@ -1,0 +1,43 @@
+#ifndef WEBTAB_TABLE_TABLE_FILTER_H_
+#define WEBTAB_TABLE_TABLE_FILTER_H_
+
+#include <string_view>
+
+#include "table/html_parser.h"
+
+namespace webtab {
+
+/// Screening heuristics for relational vs. formatting tables, in the
+/// spirit of WebTables [6] as referenced by §3.2: discard layout tables,
+/// merged-cell tables, and irregular grids.
+struct TableFilterOptions {
+  int min_rows = 2;         // Data rows (excluding a header row).
+  int min_cols = 2;
+  int max_cols = 30;
+  double max_empty_fraction = 0.3;
+  double max_link_density = 2.0;   // Avg links per cell above this = nav bar.
+  double max_form_fraction = 0.0;  // Any form controls => layout.
+  int max_cell_length = 200;       // Very long cells = paragraphs, not data.
+};
+
+enum class FilterVerdict {
+  kRelational = 0,
+  kTooSmall,
+  kTooWide,
+  kIrregular,
+  kMergedCells,
+  kTooManyEmptyCells,
+  kLinkFarm,
+  kFormLayout,
+  kLongText,
+};
+
+std::string_view FilterVerdictName(FilterVerdict v);
+
+/// Classifies one raw table.
+FilterVerdict ScreenTable(const RawTable& raw,
+                          const TableFilterOptions& options);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TABLE_TABLE_FILTER_H_

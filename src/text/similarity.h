@@ -1,0 +1,40 @@
+#ifndef WEBTAB_TEXT_SIMILARITY_H_
+#define WEBTAB_TEXT_SIMILARITY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// All measures return values in [0,1], are symmetric, and give 1 on
+/// identical normalized inputs. They operate on the shared tokenizer's
+/// output, so "A. Einstein" vs "a einstein" compare equal.
+
+/// Token-set Jaccard: |A∩B| / |A∪B|.
+double JaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Token-set Dice: 2|A∩B| / (|A|+|B|).
+double DiceSimilarity(std::string_view a, std::string_view b);
+
+/// Character-level similarity 1 - Levenshtein(a,b)/max(|a|,|b|) computed on
+/// normalized text.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity on normalized text (prefix scale 0.1, max
+/// prefix 4) — the classic short-string matcher used inside soft-TFIDF.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+/// TF-IDF cosine using vocabulary statistics (wrapper over TfIdfVector).
+double TfIdfCosine(std::string_view a, std::string_view b, Vocabulary* vocab);
+
+/// True when the normalized forms are identical.
+bool ExactNormalizedMatch(std::string_view a, std::string_view b);
+
+/// Token containment: fraction of a's tokens present in b.
+double TokenContainment(std::string_view a, std::string_view b);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TEXT_SIMILARITY_H_

@@ -1,0 +1,60 @@
+#include "text/soft_tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+namespace {
+struct WeightedToken {
+  std::string text;
+  double weight;  // L2-normalized TF-IDF weight.
+};
+
+std::vector<WeightedToken> WeightedTokens(std::string_view text,
+                                          Vocabulary* vocab) {
+  std::map<std::string, double> tf;
+  for (const std::string& t : Tokenize(text)) tf[t] += 1.0;
+  std::vector<WeightedToken> out;
+  double norm_sq = 0.0;
+  for (auto& [tok, f] : tf) {
+    double w = f * vocab->Idf(vocab->Intern(tok));
+    out.push_back({tok, w});
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& wt : out) wt.weight *= inv;
+  }
+  return out;
+}
+}  // namespace
+
+double SoftTfIdfSimilarity(std::string_view a, std::string_view b,
+                           Vocabulary* vocab, double threshold) {
+  auto ta = WeightedTokens(a, vocab);
+  auto tb = WeightedTokens(b, vocab);
+  if (ta.empty() || tb.empty()) return ta.empty() && tb.empty() ? 1.0 : 0.0;
+  double score = 0.0;
+  for (const auto& wa : ta) {
+    double best_sim = 0.0;
+    double best_wb = 0.0;
+    for (const auto& wb : tb) {
+      double sim = wa.text == wb.text ? 1.0 : JaroWinkler(wa.text, wb.text);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_wb = wb.weight;
+      }
+    }
+    if (best_sim >= threshold) score += best_sim * wa.weight * best_wb;
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace webtab

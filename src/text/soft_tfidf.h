@@ -1,0 +1,19 @@
+#ifndef WEBTAB_TEXT_SOFT_TFIDF_H_
+#define WEBTAB_TEXT_SOFT_TFIDF_H_
+
+#include <string_view>
+
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// Soft-TFIDF of Bilenko et al. [2]: TF-IDF cosine where tokens match
+/// "softly" — two tokens count as equal when their Jaro-Winkler similarity
+/// exceeds `threshold` (default 0.9), weighted by that similarity. Catches
+/// near-miss spellings ("Einstien") that the hard cosine scores at 0.
+double SoftTfIdfSimilarity(std::string_view a, std::string_view b,
+                           Vocabulary* vocab, double threshold = 0.9);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TEXT_SOFT_TFIDF_H_

@@ -1,0 +1,51 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+TfIdfVector TfIdfVector::Make(std::string_view text, Vocabulary* vocab) {
+  TfIdfVector v;
+  std::map<TokenId, double> weights;
+  for (const std::string& token : Tokenize(text)) {
+    TokenId id = vocab->Intern(token);
+    weights[id] += 1.0;  // Raw term frequency.
+  }
+  double norm_sq = 0.0;
+  for (auto& [id, w] : weights) {
+    w *= vocab->Idf(id);
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    v.entries_.reserve(weights.size());
+    for (const auto& [id, w] : weights) v.entries_.emplace_back(id, w * inv);
+  }
+  return v;
+}
+
+double TfIdfVector::Cosine(const TfIdfVector& other) const {
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    TokenId a = entries_[i].first;
+    TokenId b = other.entries_[j].first;
+    if (a == b) {
+      dot += entries_[i].second * other.entries_[j].second;
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::clamp(dot, 0.0, 1.0);
+}
+
+}  // namespace webtab

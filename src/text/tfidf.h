@@ -1,0 +1,36 @@
+#ifndef WEBTAB_TEXT_TFIDF_H_
+#define WEBTAB_TEXT_TFIDF_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// Sparse L2-normalized TF-IDF vector over interned tokens, sorted by
+/// TokenId for linear-time dot products.
+class TfIdfVector {
+ public:
+  TfIdfVector() = default;
+
+  /// Builds the vector for `text` using the vocabulary's IDF statistics.
+  /// Unseen tokens are interned with df=0 (max IDF).
+  static TfIdfVector Make(std::string_view text, Vocabulary* vocab);
+
+  /// Cosine similarity in [0,1]; 0 when either vector is empty.
+  double Cosine(const TfIdfVector& other) const;
+
+  bool empty() const { return entries_.empty(); }
+  const std::vector<std::pair<TokenId, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<TokenId, double>> entries_;  // (id, weight), sorted.
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TEXT_TFIDF_H_

@@ -1,0 +1,21 @@
+#ifndef WEBTAB_TEXT_TOKENIZER_H_
+#define WEBTAB_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webtab {
+
+/// Splits text into lowercase alphanumeric tokens. Punctuation separates
+/// tokens; digits are kept ("2008" is a token). This is the single
+/// normalization used for cell text, headers and catalog lemmas, so that
+/// index probes and similarity measures agree.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenize + rejoin with single spaces; canonical normalized form.
+std::string NormalizeText(std::string_view text);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TEXT_TOKENIZER_H_

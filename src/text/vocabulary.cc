@@ -1,0 +1,53 @@
+#include "text/vocabulary.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace webtab {
+
+TokenId Vocabulary::Intern(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(texts_.size());
+  ids_.emplace(std::string(token), id);
+  texts_.emplace_back(token);
+  doc_freq_.push_back(0);
+  return id;
+}
+
+TokenId Vocabulary::Lookup(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kInvalidToken : it->second;
+}
+
+const std::string& Vocabulary::TokenText(TokenId id) const {
+  WEBTAB_CHECK(id >= 0 && id < size());
+  return texts_[id];
+}
+
+void Vocabulary::AddDocument(const std::vector<std::string>& tokens) {
+  std::unordered_set<TokenId> distinct;
+  for (const std::string& t : tokens) distinct.insert(Intern(t));
+  for (TokenId id : distinct) ++doc_freq_[id];
+  ++num_documents_;
+}
+
+double Vocabulary::Idf(TokenId id) const {
+  int64_t df = (id >= 0 && id < size()) ? doc_freq_[id] : 0;
+  return std::log((1.0 + static_cast<double>(num_documents_)) /
+                  (1.0 + static_cast<double>(df))) +
+         1.0;
+}
+
+double Vocabulary::IdfOf(std::string_view token) const {
+  return Idf(Lookup(token));
+}
+
+int64_t Vocabulary::DocumentFrequency(TokenId id) const {
+  if (id < 0 || id >= size()) return 0;
+  return doc_freq_[id];
+}
+
+}  // namespace webtab

@@ -1,0 +1,52 @@
+#ifndef WEBTAB_TEXT_VOCABULARY_H_
+#define WEBTAB_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace webtab {
+
+using TokenId = int32_t;
+inline constexpr TokenId kInvalidToken = -1;
+
+/// Interns tokens and tracks document frequencies over a corpus of short
+/// "documents" (lemmas, cells, headers). IDF values back the TF-IDF cosine
+/// of §4.2.1 and the specificity features of §4.2.3.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns `token`, creating an id if unseen.
+  TokenId Intern(std::string_view token);
+
+  /// Returns the id or kInvalidToken if unseen. Does not modify state.
+  TokenId Lookup(std::string_view token) const;
+
+  const std::string& TokenText(TokenId id) const;
+
+  /// Registers one document's distinct tokens for document-frequency
+  /// accounting. Call once per document while building the corpus stats.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// Smoothed inverse document frequency: log((1+N)/(1+df)) + 1.
+  /// Unknown tokens get the maximum IDF (df = 0).
+  double Idf(TokenId id) const;
+  double IdfOf(std::string_view token) const;
+
+  int64_t num_documents() const { return num_documents_; }
+  int64_t size() const { return static_cast<int64_t>(texts_.size()); }
+  int64_t DocumentFrequency(TokenId id) const;
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> texts_;
+  std::vector<int64_t> doc_freq_;
+  int64_t num_documents_ = 0;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TEXT_VOCABULARY_H_

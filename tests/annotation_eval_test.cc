@@ -1,0 +1,129 @@
+#include "eval/annotation_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+LabeledTable MakeLabeled() {
+  LabeledTable lt;
+  lt.table = Table(2, 2);
+  lt.gold = TableAnnotation::Empty(2, 2);
+  lt.gold.column_types[0] = 10;
+  lt.gold.column_types[1] = 11;
+  lt.gold.cell_entities[0][0] = 100;
+  lt.gold.cell_entities[0][1] = 101;
+  lt.gold.cell_entities[1][0] = kNa;  // True na cell (distractor).
+  lt.gold.cell_entities[1][1] = 103;
+  lt.gold.relations[{0, 1}] = RelationCandidate{5, false};
+  return lt;
+}
+
+TEST(AnnotationEvaluatorTest, PerfectScores) {
+  LabeledTable lt = MakeLabeled();
+  AnnotationEvaluator eval;
+  eval.Add(lt, lt.gold);
+  EXPECT_DOUBLE_EQ(eval.EntityAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.type_prf().F1(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.relation_prf().F1(), 1.0);
+}
+
+TEST(AnnotationEvaluatorTest, NaOnTrueEntityIsWrong) {
+  // "We lose a point ... including choosing na when ground truth was not
+  // na" (§6.1.1).
+  LabeledTable lt = MakeLabeled();
+  TableAnnotation pred = lt.gold;
+  pred.cell_entities[0][0] = kNa;
+  AnnotationEvaluator eval;
+  eval.Add(lt, pred);
+  EXPECT_DOUBLE_EQ(eval.EntityAccuracy(), 0.75);
+}
+
+TEST(AnnotationEvaluatorTest, EntityOnTrueNaIsWrong) {
+  LabeledTable lt = MakeLabeled();
+  TableAnnotation pred = lt.gold;
+  pred.cell_entities[1][0] = 999;  // Gold says na.
+  AnnotationEvaluator eval;
+  eval.Add(lt, pred);
+  EXPECT_DOUBLE_EQ(eval.EntityAccuracy(), 0.75);
+}
+
+TEST(AnnotationEvaluatorTest, TypeSetsScoredWithF1) {
+  LabeledTable lt = MakeLabeled();
+  TableAnnotation pred = lt.gold;
+  // Baseline-style sets: column 0 reports {10, 77}, column 1 reports {}.
+  std::vector<std::vector<TypeId>> sets = {{10, 77}, {}};
+  AnnotationEvaluator eval;
+  eval.Add(lt, pred, &sets);
+  // tp=1, predicted=2, gold=2 -> P=0.5, R=0.5.
+  EXPECT_DOUBLE_EQ(eval.type_prf().Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(eval.type_prf().Recall(), 0.5);
+}
+
+TEST(AnnotationEvaluatorTest, MissingGoldTypeDropped) {
+  LabeledTable lt = MakeLabeled();
+  lt.gold.column_types[1] = kNa;  // No ground truth for column 1.
+  TableAnnotation pred = lt.gold;
+  pred.column_types[1] = 42;  // Whatever the system says is ignored.
+  AnnotationEvaluator eval;
+  eval.Add(lt, pred);
+  EXPECT_EQ(eval.type_prf().gold, 1);
+  EXPECT_DOUBLE_EQ(eval.type_prf().F1(), 1.0);
+}
+
+TEST(AnnotationEvaluatorTest, WrongRelationDirectionIsWrong) {
+  LabeledTable lt = MakeLabeled();
+  TableAnnotation pred = lt.gold;
+  pred.relations[{0, 1}].swapped = true;
+  AnnotationEvaluator eval;
+  eval.Add(lt, pred);
+  EXPECT_DOUBLE_EQ(eval.relation_prf().F1(), 0.0);
+}
+
+TEST(AnnotationEvaluatorTest, NaRelationCostsRecallNotPrecision) {
+  LabeledTable lt = MakeLabeled();
+  TableAnnotation pred = lt.gold;
+  pred.relations.clear();
+  AnnotationEvaluator eval;
+  eval.Add(lt, pred);
+  EXPECT_EQ(eval.relation_prf().predicted, 0);
+  EXPECT_EQ(eval.relation_prf().gold, 1);
+  EXPECT_DOUBLE_EQ(eval.relation_prf().Recall(), 0.0);
+}
+
+TEST(AnnotationEvaluatorTest, RelationsOnlyDatasetSkipsOtherTasks) {
+  LabeledTable lt = MakeLabeled();
+  lt.relations_only = true;
+  AnnotationEvaluator eval;
+  eval.Add(lt, lt.gold);
+  EXPECT_EQ(eval.entity_counter().total, 0);
+  EXPECT_EQ(eval.type_prf().gold, 0);
+  EXPECT_EQ(eval.relation_prf().gold, 1);
+}
+
+TEST(AnnotationEvaluatorTest, EntitiesOnlyDatasetSkipsOtherTasks) {
+  LabeledTable lt = MakeLabeled();
+  lt.entities_only = true;
+  lt.gold.relations.clear();
+  lt.gold.column_types.assign(2, kNa);
+  AnnotationEvaluator eval;
+  eval.Add(lt, lt.gold);
+  EXPECT_EQ(eval.entity_counter().total, 4);
+  EXPECT_EQ(eval.type_prf().gold, 0);
+  EXPECT_EQ(eval.relation_prf().gold, 0);
+}
+
+TEST(AnnotationEvaluatorTest, AccumulatesAcrossTables) {
+  LabeledTable lt = MakeLabeled();
+  TableAnnotation wrong = TableAnnotation::Empty(2, 2);
+  AnnotationEvaluator eval;
+  eval.Add(lt, lt.gold);
+  eval.Add(lt, wrong);
+  // 4 correct from the first + 1 correct (the true-na cell) from the
+  // second.
+  EXPECT_EQ(eval.entity_counter().correct, 5);
+  EXPECT_EQ(eval.entity_counter().total, 8);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,133 @@
+#include "annotate/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "annotate/annotation.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class AnnotatorTest : public ::testing::Test {
+ protected:
+  AnnotatorTest() : w_(MakeFigure1World()), index_(&w_.catalog) {}
+  Figure1World w_;
+  LemmaIndex index_;
+};
+
+TEST_F(AnnotatorTest, Figure1EndToEnd) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  AnnotationTiming timing;
+  TableAnnotation result = annotator.Annotate(MakeFigure1Table(), &timing);
+  EXPECT_EQ(result.TypeOf(0), w_.book);
+  EXPECT_EQ(result.EntityOf(1, 1), w_.einstein);
+  EXPECT_EQ(result.RelationOf(0, 1),
+            (RelationCandidate{w_.author, false}));
+  EXPECT_GT(timing.total_seconds, 0.0);
+  EXPECT_GE(timing.total_seconds, timing.inference_seconds);
+  EXPECT_TRUE(timing.bp_converged);
+  EXPECT_GE(timing.bp_iterations, 1);
+}
+
+TEST_F(AnnotatorTest, RelationFreeMode) {
+  AnnotatorOptions options;
+  options.use_relations = false;
+  TableAnnotator annotator(&w_.catalog, &index_, options);
+  TableAnnotation result = annotator.Annotate(MakeFigure1Table());
+  EXPECT_TRUE(result.relations.empty());
+  EXPECT_EQ(result.TypeOf(0), w_.book);
+}
+
+TEST_F(AnnotatorTest, EmptyTableSafe) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  Table empty(0, 0);
+  TableAnnotation result = annotator.Annotate(empty);
+  EXPECT_TRUE(result.column_types.empty());
+}
+
+TEST_F(AnnotatorTest, AllNumericTableGetsNa) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  Table table(3, 2);
+  for (int r = 0; r < 3; ++r) {
+    table.set_cell(r, 0, std::to_string(1900 + r));
+    table.set_cell(r, 1, std::to_string(r * 10));
+  }
+  TableAnnotation result = annotator.Annotate(table);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(result.TypeOf(c), kNa);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(result.EntityOf(r, c), kNa);
+    }
+  }
+}
+
+TEST_F(AnnotatorTest, UnknownStringsGetNa) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  Table table(2, 1);
+  table.set_cell(0, 0, "complete gibberish zxqw");
+  table.set_cell(1, 0, "another unknown vbnm");
+  TableAnnotation result = annotator.Annotate(table);
+  EXPECT_EQ(result.EntityOf(0, 0), kNa);
+  EXPECT_EQ(result.EntityOf(1, 0), kNa);
+}
+
+TEST_F(AnnotatorTest, UniqueConstraintResolvesDuplicates) {
+  // Two rows with the *same* ambiguous text: plain decoding gives both
+  // the same entity; the unique-column extension must split them.
+  AnnotatorOptions options;
+  options.unique_column_constraint = true;
+  TableAnnotator annotator(&w_.catalog, &index_, options);
+  Table table(2, 1);
+  table.set_cell(0, 0, "Uncle Albert");
+  table.set_cell(1, 0, "Uncle Albert");
+  TableAnnotation result = annotator.Annotate(table);
+  EntityId a = result.EntityOf(0, 0);
+  EntityId b = result.EntityOf(1, 0);
+  if (a != kNa && b != kNa) {
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST_F(AnnotatorTest, AnnotateWithCandidatesExposesCandidateSets) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  TableCandidates cands;
+  annotator.AnnotateWithCandidates(MakeFigure1Table(), &cands);
+  ASSERT_EQ(cands.cells.size(), 2u);
+  EXPECT_FALSE(cands.cells[0][0].empty());
+  EXPECT_FALSE(cands.column_types[0].empty());
+}
+
+TEST_F(AnnotatorTest, SwappingWeightsChangesBehaviour) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  // Zero weights: everything ties at 0, decode prefers na everywhere.
+  annotator.mutable_options()->weights = Weights::Zero();
+  TableAnnotation result = annotator.Annotate(MakeFigure1Table());
+  EXPECT_EQ(result.EntityOf(0, 0), kNa);
+  EXPECT_EQ(result.TypeOf(0), kNa);
+}
+
+TEST_F(AnnotatorTest, AnnotationToStringRendersNames) {
+  TableAnnotator annotator(&w_.catalog, &index_);
+  Table table = MakeFigure1Table();
+  TableAnnotation result = annotator.Annotate(table);
+  std::string text = AnnotationToString(w_.catalog, table, result);
+  EXPECT_NE(text.find("book"), std::string::npos);
+  EXPECT_NE(text.find("Albert Einstein"), std::string::npos);
+  EXPECT_NE(text.find("author"), std::string::npos);
+}
+
+TEST(AnnotationNamesTest, NaHandling) {
+  Figure1World w = MakeFigure1World();
+  EXPECT_EQ(TypeName(w.catalog, kNa), "na");
+  EXPECT_EQ(EntityName(w.catalog, kNa), "na");
+  EXPECT_EQ(RelationName(w.catalog, RelationCandidate{}), "na");
+  EXPECT_EQ(RelationName(w.catalog, RelationCandidate{w.author, true}),
+            "author^-1");
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,126 @@
+#include "baseline/lca_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog_builder.h"
+#include "common/logging.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class LcaTest : public ::testing::Test {
+ protected:
+  LcaTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        features_(&closure_, index_.vocabulary()) {}
+
+  BaselineResult Run(const Table& table) {
+    TableCandidates cands =
+        GenerateCandidates(table, index_, &closure_, CandidateOptions());
+    return AnnotateLca(table, cands, &closure_, &features_,
+                       Weights::Default());
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+};
+
+TEST_F(LcaTest, CleanColumnGetsSpecificType) {
+  Table table = MakeFigure1Table();
+  BaselineResult result = Run(table);
+  // Column 0 cells are unambiguous books => LCA finds book.
+  const auto& set0 = result.column_type_sets[0];
+  EXPECT_NE(std::find(set0.begin(), set0.end(), w_.book), set0.end());
+}
+
+TEST_F(LcaTest, EntitiesAssignedGivenType) {
+  Table table = MakeFigure1Table();
+  BaselineResult result = Run(table);
+  EXPECT_EQ(result.annotation.EntityOf(0, 0), w_.b95);
+  EXPECT_EQ(result.annotation.EntityOf(1, 1), w_.einstein);
+}
+
+TEST_F(LcaTest, NoRelationPredictions) {
+  Table table = MakeFigure1Table();
+  BaselineResult result = Run(table);
+  EXPECT_TRUE(result.annotation.relations.empty());
+}
+
+// The Appendix F reproduction: a themed column where one entity's ∈ link
+// to the specific type is missing forces LCA up the hierarchy, while the
+// specific type still covers every *other* cell.
+TEST(LcaOverGeneralizationTest, MissingLinkForcesGeneralType) {
+  CatalogBuilder builder;
+  TypeId novel = builder.AddType("novel");
+  TypeId series = builder.AddType("nancy_drew_books");
+  WEBTAB_CHECK_OK(builder.AddSubtype(series, novel));
+  TypeId year_novels = builder.AddType("1951_novels");
+  // Deliberately NOT under novel (the missing ⊆ link of Appendix F):
+  // year categories hang off the root.
+  // Distinctive titles so each cell resolves only to its own entity.
+  const char* titles[5] = {"Hidden Staircase", "Whispering Statue",
+                           "Tolling Bell", "Black Keys Clue",
+                           "Leaning Chimney"};
+  std::vector<EntityId> books;
+  for (int i = 0; i < 5; ++i) {
+    EntityId e = builder.AddEntity(titles[i]);
+    WEBTAB_CHECK_OK(builder.AddEntityLemma(e, titles[i]));
+    books.push_back(e);
+    WEBTAB_CHECK_OK(builder.AddEntityType(e, i == 3 ? year_novels : series));
+  }
+  Result<Catalog> built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  const Catalog& catalog = built.value();
+  LemmaIndex index(&catalog);
+  ClosureCache closure(&catalog);
+  FeatureComputer features(&closure, index.vocabulary());
+
+  Table table(5, 2);
+  for (int r = 0; r < 5; ++r) {
+    table.set_cell(r, 0, titles[r]);
+    table.set_cell(r, 1, std::to_string(1950 + r));
+  }
+  TableCandidates cands =
+      GenerateCandidates(table, index, &closure, CandidateOptions());
+  BaselineResult lca = AnnotateLca(table, cands, &closure, &features,
+                                   Weights::Default());
+  // The damaged cell (row 3) cannot reach nancy_drew_books, so LCA's
+  // intersection only retains the root: maximal over-generalization.
+  const auto& set0 = lca.column_type_sets[0];
+  EXPECT_EQ(std::find(set0.begin(), set0.end(), series), set0.end());
+  ASSERT_FALSE(set0.empty());
+  EXPECT_EQ(set0[0], catalog.root_type());
+}
+
+TEST_F(LcaTest, EmptyColumnYieldsNa) {
+  Table table(2, 1);
+  table.set_cell(0, 0, "zzz");
+  table.set_cell(1, 0, "qqq");
+  BaselineResult result = Run(table);
+  EXPECT_TRUE(result.column_type_sets[0].empty());
+  EXPECT_EQ(result.annotation.TypeOf(0), kNa);
+}
+
+TEST_F(LcaTest, MostSpecificPruning) {
+  // A column of books: intersection contains {book, root}; pruning must
+  // drop root because book is its descendant.
+  Table table(2, 1);
+  table.set_cell(0, 0, "Uncle Albert and the Quantum Quest");
+  table.set_cell(1, 0, "The Time and Space of Uncle Albert");
+  BaselineResult result = Run(table);
+  const auto& set = result.column_type_sets[0];
+  EXPECT_EQ(std::find(set.begin(), set.end(), w_.catalog.root_type()),
+            set.end());
+}
+
+}  // namespace
+}  // namespace webtab

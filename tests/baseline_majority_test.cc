@@ -1,0 +1,121 @@
+#include "baseline/majority_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/lca_annotator.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class MajorityTest : public ::testing::Test {
+ protected:
+  MajorityTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        features_(&closure_, index_.vocabulary()),
+        table_(MakeFigure1Table()) {
+    candidates_ = GenerateCandidates(table_, index_, &closure_,
+                                     CandidateOptions());
+  }
+
+  BaselineResult Run(double threshold) {
+    MajorityOptions options;
+    options.threshold_percent = threshold;
+    return AnnotateMajority(table_, candidates_, &closure_, &features_,
+                            Weights::Default(), options);
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+  Table table_;
+  TableCandidates candidates_;
+};
+
+TEST_F(MajorityTest, FindsBookColumnAtFifty) {
+  BaselineResult result = Run(50.0);
+  const auto& set0 = result.column_type_sets[0];
+  EXPECT_NE(std::find(set0.begin(), set0.end(), w_.book), set0.end());
+}
+
+TEST_F(MajorityTest, EntitiesAssignedIndependently) {
+  BaselineResult result = Run(50.0);
+  // φ1-only assignment still resolves the unambiguous cells.
+  EXPECT_EQ(result.annotation.EntityOf(0, 0), w_.b95);
+  EXPECT_EQ(result.annotation.EntityOf(0, 1), w_.stannard);
+}
+
+TEST_F(MajorityTest, RelationVotingFindsAuthor) {
+  BaselineResult result = Run(50.0);
+  RelationCandidate rel = result.annotation.RelationOf(0, 1);
+  EXPECT_EQ(rel.relation, w_.author);
+  EXPECT_FALSE(rel.swapped);
+}
+
+TEST_F(MajorityTest, RelationsDisabledByOption) {
+  MajorityOptions options;
+  options.predict_relations = false;
+  BaselineResult result =
+      AnnotateMajority(table_, candidates_, &closure_, &features_,
+                       Weights::Default(), options);
+  EXPECT_TRUE(result.annotation.relations.empty());
+}
+
+TEST_F(MajorityTest, HundredPercentEqualsLcaTypeSets) {
+  // §4.5.2: "When F = 100% we get LCA".
+  BaselineResult majority100 = Run(100.0);
+  BaselineResult lca = AnnotateLca(table_, candidates_, &closure_,
+                                   &features_, Weights::Default());
+  ASSERT_EQ(majority100.column_type_sets.size(),
+            lca.column_type_sets.size());
+  for (size_t c = 0; c < lca.column_type_sets.size(); ++c) {
+    EXPECT_EQ(majority100.column_type_sets[c], lca.column_type_sets[c])
+        << "column " << c;
+  }
+}
+
+// Threshold sweep property: the qualified-type *pool* shrinks
+// monotonically with F (before most-specific pruning the sets are
+// nested; after pruning sizes can vary, but a type requiring fewer votes
+// can never disappear by lowering F below its vote share).
+class MajorityThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MajorityThresholdTest, ProducesValidAnnotations) {
+  Figure1World w = MakeFigure1World();
+  LemmaIndex index(&w.catalog);
+  ClosureCache closure(&w.catalog);
+  FeatureComputer features(&closure, index.vocabulary());
+  Table table = MakeFigure1Table();
+  TableCandidates cands =
+      GenerateCandidates(table, index, &closure, CandidateOptions());
+  MajorityOptions options;
+  options.threshold_percent = GetParam();
+  BaselineResult result = AnnotateMajority(table, cands, &closure,
+                                           &features, Weights::Default(),
+                                           options);
+  for (const auto& set : result.column_type_sets) {
+    for (TypeId t : set) {
+      EXPECT_TRUE(w.catalog.ValidType(t));
+    }
+  }
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      EntityId e = result.annotation.EntityOf(r, c);
+      EXPECT_TRUE(e == kNa || w.catalog.ValidEntity(e));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MajorityThresholdTest,
+                         ::testing::Values(50.0, 60.0, 70.0, 80.0, 90.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace webtab

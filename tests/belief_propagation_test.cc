@@ -1,0 +1,176 @@
+#include "inference/belief_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "inference/brute_force.h"
+
+namespace webtab {
+namespace {
+
+TEST(BeliefPropagationTest, SingleVariableArgmax) {
+  FactorGraph g;
+  int v = g.AddVariable(4);
+  g.SetNodeLogPotential(v, {0.0, 3.0, 1.0, 2.0});
+  BpResult result = RunBeliefPropagation(g);
+  EXPECT_EQ(result.assignment[v], 1);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.score, 3.0, 1e-12);
+}
+
+TEST(BeliefPropagationTest, ChainIsExact) {
+  // v0 - f01 - v1 - f12 - v2: a tree, so max-product is exact.
+  FactorGraph g;
+  int v0 = g.AddVariable(2);
+  int v1 = g.AddVariable(2);
+  int v2 = g.AddVariable(2);
+  g.SetNodeLogPotential(v0, {0.5, 0.0});
+  // Strong agreement potentials.
+  g.AddFactor({v0, v1}, {2.0, 0.0, 0.0, 2.0});
+  g.AddFactor({v1, v2}, {2.0, 0.0, 0.0, 2.0});
+  BpResult bp = RunBeliefPropagation(g);
+  Result<BruteForceResult> exact = SolveBruteForce(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(bp.score, exact->score, 1e-9);
+  EXPECT_EQ(bp.assignment, exact->assignment);
+  EXPECT_EQ(bp.assignment, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(BeliefPropagationTest, TernaryFactorTreeIsExact) {
+  FactorGraph g;
+  int a = g.AddVariable(3);
+  int b = g.AddVariable(2);
+  int c = g.AddVariable(2);
+  g.SetNodeLogPotential(a, {0.0, 0.2, 0.1});
+  std::vector<double> table(12, 0.0);
+  // Favor (2, 1, 0).
+  table[(2 * 2 + 1) * 2 + 0] = 3.0;
+  g.AddFactor({a, b, c}, table);
+  BpResult bp = RunBeliefPropagation(g);
+  Result<BruteForceResult> exact = SolveBruteForce(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(bp.score, exact->score, 1e-9);
+  EXPECT_EQ(bp.assignment, (std::vector<int>{2, 1, 0}));
+}
+
+FactorGraph RandomGraph(Rng* rng, int num_vars, int num_factors,
+                        int max_domain) {
+  FactorGraph g;
+  for (int i = 0; i < num_vars; ++i) {
+    int d = 2 + static_cast<int>(rng->Uniform(max_domain - 1));
+    int v = g.AddVariable(d);
+    std::vector<double> pot(d);
+    for (double& x : pot) x = rng->Gaussian() * 0.5;
+    g.SetNodeLogPotential(v, pot);
+  }
+  for (int i = 0; i < num_factors; ++i) {
+    int a = static_cast<int>(rng->Uniform(num_vars));
+    int b = static_cast<int>(rng->Uniform(num_vars));
+    if (a == b) continue;
+    std::vector<double> table(static_cast<size_t>(g.domain_size(a)) *
+                              g.domain_size(b));
+    for (double& x : table) x = rng->Gaussian() * 0.5;
+    g.AddFactor({a, b}, table);
+  }
+  return g;
+}
+
+// Property: on random *tree* graphs (chains), BP matches brute force.
+class BpChainExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BpChainExactnessTest, MatchesBruteForceOnChains) {
+  Rng rng(GetParam());
+  FactorGraph g;
+  const int n = 5;
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) {
+    int d = 2 + static_cast<int>(rng.Uniform(3));
+    int v = g.AddVariable(d);
+    std::vector<double> pot(d);
+    for (double& x : pot) x = rng.Gaussian();
+    g.SetNodeLogPotential(v, pot);
+    vars.push_back(v);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    std::vector<double> table(
+        static_cast<size_t>(g.domain_size(vars[i])) *
+        g.domain_size(vars[i + 1]));
+    for (double& x : table) x = rng.Gaussian();
+    g.AddFactor({vars[i], vars[i + 1]}, table);
+  }
+  BpOptions options;
+  options.max_iterations = 50;
+  BpResult bp = RunBeliefPropagation(g, options);
+  Result<BruteForceResult> exact = SolveBruteForce(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(bp.score, exact->score, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BpChainExactnessTest,
+                         ::testing::Range(0, 20));
+
+// Property: on small random loopy graphs, BP must be near-optimal (the
+// general problem is NP-hard, Appendix C; BP is the paper's approximate
+// answer). We tolerate rare suboptimal decodes but no large gaps.
+class BpLoopyQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BpLoopyQualityTest, NearOptimalOnRandomLoopyGraphs) {
+  Rng rng(1000 + GetParam());
+  FactorGraph g = RandomGraph(&rng, 5, 7, 3);
+  BpOptions options;
+  options.max_iterations = 30;
+  options.damping = 0.3;
+  BpResult bp = RunBeliefPropagation(g, options);
+  Result<BruteForceResult> exact = SolveBruteForce(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(bp.score, exact->score + 1e-9);
+  EXPECT_GE(bp.score, exact->score - 1.5) << "large BP gap";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BpLoopyQualityTest,
+                         ::testing::Range(0, 20));
+
+TEST(BeliefPropagationTest, ConvergesWithinFewIterationsOnTrees) {
+  Rng rng(5);
+  FactorGraph g;
+  int v0 = g.AddVariable(3);
+  int v1 = g.AddVariable(3);
+  g.SetNodeLogPotential(v0, {0.0, 1.0, 0.5});
+  std::vector<double> table(9);
+  for (double& x : table) x = rng.Gaussian();
+  g.AddFactor({v0, v1}, table);
+  BpResult result = RunBeliefPropagation(g);
+  EXPECT_TRUE(result.converged);
+  // The paper reports convergence within three iterations (§4.4.2).
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(BeliefPropagationTest, EmptyGraph) {
+  FactorGraph g;
+  BpResult result = RunBeliefPropagation(g);
+  EXPECT_TRUE(result.assignment.empty());
+  EXPECT_NEAR(result.score, 0.0, 1e-12);
+}
+
+TEST(BeliefPropagationTest, TieBreaksTowardLowestIndex) {
+  FactorGraph g;
+  int v = g.AddVariable(3);  // All-zero potential: pick label 0 (na).
+  BpResult result = RunBeliefPropagation(g);
+  EXPECT_EQ(result.assignment[v], 0);
+}
+
+TEST(BeliefPropagationTest, DampingStillDecodesExactOnTree) {
+  FactorGraph g;
+  int v0 = g.AddVariable(2);
+  int v1 = g.AddVariable(2);
+  g.SetNodeLogPotential(v0, {1.0, 0.0});
+  g.AddFactor({v0, v1}, {1.0, 0.0, 0.0, 1.0});
+  BpOptions options;
+  options.damping = 0.5;
+  options.max_iterations = 50;
+  BpResult result = RunBeliefPropagation(g, options);
+  EXPECT_EQ(result.assignment, (std::vector<int>{0, 0}));
+}
+
+}  // namespace
+}  // namespace webtab

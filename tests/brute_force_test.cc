@@ -1,0 +1,52 @@
+#include "inference/brute_force.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(BruteForceTest, FindsObviousOptimum) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  int b = g.AddVariable(3);
+  g.SetNodeLogPotential(a, {0.0, 1.0});
+  g.SetNodeLogPotential(b, {0.0, 0.0, 2.0});
+  Result<BruteForceResult> result = SolveBruteForce(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment, (std::vector<int>{1, 2}));
+  EXPECT_NEAR(result->score, 3.0, 1e-12);
+  EXPECT_EQ(result->assignments_scanned, 6);
+}
+
+TEST(BruteForceTest, FactorChangesOptimum) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  int b = g.AddVariable(2);
+  g.SetNodeLogPotential(a, {0.0, 1.0});
+  g.SetNodeLogPotential(b, {0.0, 1.0});
+  // Heavy penalty for (1,1): push optimum to (1,0) or (0,1).
+  g.AddFactor({a, b}, {0.5, 0.0, 0.0, -10.0});
+  Result<BruteForceResult> result = SolveBruteForce(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->assignment, (std::vector<int>{1, 1}));
+  EXPECT_NEAR(result->score, 1.0, 1e-12);
+}
+
+TEST(BruteForceTest, RefusesHugeSpaces) {
+  FactorGraph g;
+  for (int i = 0; i < 30; ++i) g.AddVariable(4);
+  Result<BruteForceResult> result = SolveBruteForce(g, 1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BruteForceTest, EmptyGraph) {
+  FactorGraph g;
+  Result<BruteForceResult> result = SolveBruteForce(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->assignment.empty());
+  EXPECT_NEAR(result->score, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace webtab

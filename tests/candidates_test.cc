@@ -1,0 +1,140 @@
+#include "index/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  CandidatesTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog) {}
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  CandidateOptions options_;
+};
+
+TEST_F(CandidatesTest, CellCandidatesContainTrueEntities) {
+  Table table = MakeFigure1Table();
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  ASSERT_EQ(cands.cells.size(), 2u);
+  auto contains = [](const std::vector<LemmaHit>& hits, EntityId e) {
+    for (const auto& h : hits) {
+      if (h.id == e) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(cands.cells[0][0], w_.b95));
+  EXPECT_TRUE(contains(cands.cells[1][0], w_.b41));
+  EXPECT_TRUE(contains(cands.cells[0][1], w_.stannard));
+  EXPECT_TRUE(contains(cands.cells[1][1], w_.einstein));
+}
+
+TEST_F(CandidatesTest, ColumnTypesComeFromEntityAncestors) {
+  Table table = MakeFigure1Table();
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  const auto& types0 = cands.column_types[0];
+  EXPECT_NE(std::find(types0.begin(), types0.end(), w_.book), types0.end());
+  const auto& types1 = cands.column_types[1];
+  EXPECT_NE(std::find(types1.begin(), types1.end(), w_.person),
+            types1.end());
+}
+
+TEST_F(CandidatesTest, RelationCandidatesFoundWithDirection) {
+  Table table = MakeFigure1Table();
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  auto it = cands.relations.find({0, 1});
+  ASSERT_NE(it, cands.relations.end());
+  bool found = false;
+  for (const RelationCandidate& rc : it->second) {
+    if (rc.relation == w_.author && !rc.swapped) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CandidatesTest, SwappedColumnsYieldSwappedRelation) {
+  Table table(2, 2);
+  table.set_cell(0, 0, "Russell Stannard");
+  table.set_cell(0, 1, "Uncle Albert and the Quantum Quest");
+  table.set_cell(1, 0, "A. Einstein");
+  table.set_cell(1, 1, "Relativity: The Special and the General Theory");
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  auto it = cands.relations.find({0, 1});
+  ASSERT_NE(it, cands.relations.end());
+  bool found_swapped = false;
+  for (const RelationCandidate& rc : it->second) {
+    if (rc.relation == w_.author && rc.swapped) found_swapped = true;
+  }
+  EXPECT_TRUE(found_swapped);
+}
+
+TEST_F(CandidatesTest, NumericColumnsGetNoEntityCandidates) {
+  Table table(3, 2);
+  table.set_cell(0, 0, "Albert Einstein");
+  table.set_cell(1, 0, "Russell Stannard");
+  table.set_cell(2, 0, "Albert Einstein");
+  table.set_cell(0, 1, "1905");
+  table.set_cell(1, 1, "1987");
+  table.set_cell(2, 1, "1921");
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(cands.cells[r][1].empty());
+  }
+  EXPECT_FALSE(cands.cells[0][0].empty());
+}
+
+TEST_F(CandidatesTest, MaxEntitiesCapRespected) {
+  options_.max_entities_per_cell = 1;
+  Table table(1, 1);
+  table.set_cell(0, 0, "Albert");  // Ambiguous: books + Einstein.
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  EXPECT_LE(cands.cells[0][0].size(), 1u);
+}
+
+TEST_F(CandidatesTest, MaxTypesCapRespected) {
+  options_.max_types_per_column = 2;
+  Table table = MakeFigure1Table();
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  for (const auto& types : cands.column_types) {
+    EXPECT_LE(types.size(), 2u);
+  }
+}
+
+TEST_F(CandidatesTest, MinScoreFiltersWeakHits) {
+  options_.min_entity_score = 0.99;  // Only near-perfect matches survive.
+  Table table(1, 1);
+  table.set_cell(0, 0, "the quantum");  // Partial overlap only.
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  for (const auto& hit : cands.cells[0][0]) {
+    EXPECT_GE(hit.score, 0.99);
+  }
+}
+
+TEST_F(CandidatesTest, EmptyTableHandled) {
+  Table table(0, 0);
+  TableCandidates cands =
+      GenerateCandidates(table, index_, &closure_, options_);
+  EXPECT_TRUE(cands.cells.empty());
+  EXPECT_TRUE(cands.column_types.empty());
+  EXPECT_TRUE(cands.relations.empty());
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,144 @@
+#include "catalog/catalog_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(CatalogBuilderTest, RootTypeIsZero) {
+  CatalogBuilder builder;
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root_type(), 0);
+  EXPECT_EQ(result->type(0).name, "entity");
+}
+
+TEST(CatalogBuilderTest, AddTypeIsIdempotentByName) {
+  CatalogBuilder builder;
+  TypeId a = builder.AddType("person");
+  TypeId again = builder.AddType("person");
+  EXPECT_EQ(a, again);
+}
+
+TEST(CatalogBuilderTest, ParentlessTypesAttachToRoot) {
+  CatalogBuilder builder;
+  TypeId person = builder.AddType("person");
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->type(person).parents.size(), 1u);
+  EXPECT_EQ(result->type(person).parents[0], result->root_type());
+}
+
+TEST(CatalogBuilderTest, RejectsSubtypeSelfLoop) {
+  CatalogBuilder builder;
+  TypeId t = builder.AddType("t");
+  EXPECT_FALSE(builder.AddSubtype(t, t).ok());
+}
+
+TEST(CatalogBuilderTest, RejectsCycle) {
+  CatalogBuilder builder;
+  TypeId a = builder.AddType("a");
+  TypeId b = builder.AddType("b");
+  TypeId c = builder.AddType("c");
+  ASSERT_TRUE(builder.AddSubtype(b, a).ok());
+  ASSERT_TRUE(builder.AddSubtype(c, b).ok());
+  ASSERT_TRUE(builder.AddSubtype(a, c).ok());  // Completes a cycle.
+  Result<Catalog> result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CatalogBuilderTest, DagWithSharedChildIsAccepted) {
+  CatalogBuilder builder;
+  TypeId a = builder.AddType("a");
+  TypeId b = builder.AddType("b");
+  TypeId shared = builder.AddType("shared");
+  ASSERT_TRUE(builder.AddSubtype(shared, a).ok());
+  ASSERT_TRUE(builder.AddSubtype(shared, b).ok());
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(CatalogBuilderTest, EntityLemmaDefaultsToName) {
+  CatalogBuilder builder;
+  EntityId e = builder.AddEntity("Plain Name");
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->entity(e).lemmas.size(), 1u);
+  EXPECT_EQ(result->entity(e).lemmas[0], "Plain Name");
+}
+
+TEST(CatalogBuilderTest, TypeLemmaDefaultsToUnderscoreFreeName) {
+  CatalogBuilder builder;
+  TypeId t = builder.AddType("football_club");
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->type(t).lemmas.empty());
+  EXPECT_EQ(result->type(t).lemmas[0], "football club");
+}
+
+TEST(CatalogBuilderTest, DuplicateLemmasDeduplicated) {
+  CatalogBuilder builder;
+  EntityId e = builder.AddEntity("E");
+  ASSERT_TRUE(builder.AddEntityLemma(e, "x").ok());
+  ASSERT_TRUE(builder.AddEntityLemma(e, "x").ok());
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entity(e).lemmas.size(), 1u);
+}
+
+TEST(CatalogBuilderTest, TupleValidation) {
+  CatalogBuilder builder;
+  TypeId t = builder.AddType("t");
+  EntityId e = builder.AddEntity("e");
+  RelationId r = builder.AddRelation("rel", t, t);
+  EXPECT_FALSE(builder.AddTuple(r, e, 99).ok());
+  EXPECT_FALSE(builder.AddTuple(5, e, e).ok());
+  EXPECT_TRUE(builder.AddTuple(r, e, e).ok());
+}
+
+TEST(CatalogBuilderTest, DuplicateTuplesDeduplicatedAtBuild) {
+  CatalogBuilder builder;
+  TypeId t = builder.AddType("t");
+  EntityId a = builder.AddEntity("a");
+  EntityId b = builder.AddEntity("b");
+  RelationId r = builder.AddRelation("rel", t, t);
+  ASSERT_TRUE(builder.AddTuple(r, a, b).ok());
+  ASSERT_TRUE(builder.AddTuple(r, a, b).ok());
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation(r).tuples.size(), 1u);
+}
+
+TEST(CatalogBuilderTest, RemoveEntityTypeSimulatesMissingLink) {
+  CatalogBuilder builder;
+  TypeId t1 = builder.AddType("t1");
+  TypeId t2 = builder.AddType("t2");
+  EntityId e = builder.AddEntity("e");
+  ASSERT_TRUE(builder.AddEntityType(e, t1).ok());
+  ASSERT_TRUE(builder.AddEntityType(e, t2).ok());
+  EXPECT_TRUE(builder.RemoveEntityType(e, t1));
+  EXPECT_FALSE(builder.RemoveEntityType(e, t1));  // Already gone.
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->entity(e).direct_types.size(), 1u);
+  EXPECT_EQ(result->entity(e).direct_types[0], t2);
+  // Reverse edge also removed.
+  EXPECT_TRUE(result->type(t1).direct_entities.empty());
+}
+
+TEST(CatalogBuilderTest, RemoveSubtype) {
+  CatalogBuilder builder;
+  TypeId parent = builder.AddType("parent");
+  TypeId child = builder.AddType("child");
+  ASSERT_TRUE(builder.AddSubtype(child, parent).ok());
+  EXPECT_TRUE(builder.RemoveSubtype(child, parent));
+  EXPECT_FALSE(builder.RemoveSubtype(child, parent));
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  // Orphaned child re-attaches to root.
+  ASSERT_EQ(result->type(child).parents.size(), 1u);
+  EXPECT_EQ(result->type(child).parents[0], result->root_type());
+}
+
+}  // namespace
+}  // namespace webtab

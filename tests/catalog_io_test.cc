@@ -1,0 +1,108 @@
+#include "catalog/catalog_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::MakeFigure1World;
+using testing_util::SharedWorld;
+
+TEST(CatalogIoTest, RoundTripPreservesEverything) {
+  Catalog original = MakeFigure1World().catalog;
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(original, buffer).ok());
+
+  Result<Catalog> loaded = LoadCatalog(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Catalog& copy = loaded.value();
+
+  ASSERT_EQ(copy.num_types(), original.num_types());
+  ASSERT_EQ(copy.num_entities(), original.num_entities());
+  ASSERT_EQ(copy.num_relations(), original.num_relations());
+  ASSERT_EQ(copy.num_tuples(), original.num_tuples());
+  for (TypeId t = 0; t < original.num_types(); ++t) {
+    EXPECT_EQ(copy.type(t).name, original.type(t).name);
+    EXPECT_EQ(copy.type(t).lemmas, original.type(t).lemmas);
+    EXPECT_EQ(copy.type(t).parents, original.type(t).parents);
+  }
+  for (EntityId e = 0; e < original.num_entities(); ++e) {
+    EXPECT_EQ(copy.entity(e).name, original.entity(e).name);
+    EXPECT_EQ(copy.entity(e).lemmas, original.entity(e).lemmas);
+    EXPECT_EQ(copy.entity(e).direct_types,
+              original.entity(e).direct_types);
+  }
+  for (RelationId b = 0; b < original.num_relations(); ++b) {
+    EXPECT_EQ(copy.relation(b).name, original.relation(b).name);
+    EXPECT_EQ(copy.relation(b).tuples, original.relation(b).tuples);
+    EXPECT_EQ(copy.relation(b).cardinality,
+              original.relation(b).cardinality);
+  }
+}
+
+TEST(CatalogIoTest, RoundTripGeneratedWorld) {
+  const Catalog& original = SharedWorld().catalog;
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(original, buffer).ok());
+  Result<Catalog> loaded = LoadCatalog(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_types(), original.num_types());
+  EXPECT_EQ(loaded->num_entities(), original.num_entities());
+  EXPECT_EQ(loaded->num_tuples(), original.num_tuples());
+}
+
+TEST(CatalogIoTest, MissingHeaderIsParseError) {
+  std::stringstream buffer("T\t0\tentity\n");
+  Result<Catalog> loaded = LoadCatalog(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(CatalogIoTest, UnknownTagIsParseError) {
+  std::stringstream buffer("# webtab-catalog v1\nZZ\t1\t2\n");
+  Result<Catalog> loaded = LoadCatalog(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(CatalogIoTest, BadFieldCountIsParseError) {
+  std::stringstream buffer("# webtab-catalog v1\nT\t1\n");
+  EXPECT_FALSE(LoadCatalog(buffer).ok());
+}
+
+TEST(CatalogIoTest, BadIntegerIsParseError) {
+  std::stringstream buffer("# webtab-catalog v1\nT\txx\tname\n");
+  EXPECT_FALSE(LoadCatalog(buffer).ok());
+}
+
+TEST(CatalogIoTest, CommentsAndBlankLinesIgnored) {
+  Catalog original = MakeFigure1World().catalog;
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(original, buffer).ok());
+  std::string text = "# webtab-catalog v1\n# a comment\n\n" +
+                     buffer.str().substr(buffer.str().find('\n') + 1);
+  std::stringstream patched(text);
+  EXPECT_TRUE(LoadCatalog(patched).ok());
+}
+
+TEST(CatalogIoTest, FileNotFound) {
+  Result<Catalog> loaded = LoadCatalogFromFile("/nonexistent/path.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CatalogIoTest, FileRoundTrip) {
+  Catalog original = MakeFigure1World().catalog;
+  std::string path = ::testing::TempDir() + "/catalog_io_test.tsv";
+  ASSERT_TRUE(SaveCatalogToFile(original, path).ok());
+  Result<Catalog> loaded = LoadCatalogFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_entities(), original.num_entities());
+}
+
+}  // namespace
+}  // namespace webtab

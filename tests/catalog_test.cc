@@ -1,0 +1,107 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog_builder.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : w_(MakeFigure1World()) {}
+  Figure1World w_;
+};
+
+TEST_F(CatalogTest, Counts) {
+  EXPECT_EQ(w_.catalog.num_types(), 4);  // root + person + book + physicist
+  EXPECT_EQ(w_.catalog.num_entities(), 5);
+  EXPECT_EQ(w_.catalog.num_relations(), 1);
+  EXPECT_EQ(w_.catalog.num_tuples(), 3);
+}
+
+TEST_F(CatalogTest, NameLookups) {
+  EXPECT_EQ(w_.catalog.FindTypeByName("book"), w_.book);
+  EXPECT_EQ(w_.catalog.FindEntityByName("Albert Einstein"), w_.einstein);
+  EXPECT_EQ(w_.catalog.FindRelationByName("author"), w_.author);
+  EXPECT_EQ(w_.catalog.FindTypeByName("ghost"), kNa);
+  EXPECT_EQ(w_.catalog.FindEntityByName("ghost"), kNa);
+  EXPECT_EQ(w_.catalog.FindRelationByName("ghost"), kNa);
+}
+
+TEST_F(CatalogTest, HasTuple) {
+  EXPECT_TRUE(w_.catalog.HasTuple(w_.author, w_.b41, w_.einstein));
+  EXPECT_FALSE(w_.catalog.HasTuple(w_.author, w_.b41, w_.stannard));
+  EXPECT_FALSE(w_.catalog.HasTuple(w_.author, w_.einstein, w_.b41));
+  EXPECT_FALSE(w_.catalog.HasTuple(99, w_.b41, w_.einstein));
+}
+
+TEST_F(CatalogTest, ObjectsAndSubjects) {
+  EXPECT_EQ(w_.catalog.ObjectsOf(w_.author, w_.b94),
+            std::vector<EntityId>{w_.stannard});
+  std::vector<EntityId> stannard_books =
+      w_.catalog.SubjectsOf(w_.author, w_.stannard);
+  ASSERT_EQ(stannard_books.size(), 2u);
+  EXPECT_TRUE(w_.catalog.ObjectsOf(w_.author, w_.einstein).empty());
+}
+
+TEST_F(CatalogTest, RelationsBetweenBothDirections) {
+  auto fwd = w_.catalog.RelationsBetween(w_.b41, w_.einstein);
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0].first, w_.author);
+  EXPECT_FALSE(fwd[0].second);  // Not swapped.
+
+  auto rev = w_.catalog.RelationsBetween(w_.einstein, w_.b41);
+  ASSERT_EQ(rev.size(), 1u);
+  EXPECT_TRUE(rev[0].second);  // Swapped.
+
+  EXPECT_TRUE(w_.catalog.RelationsBetween(w_.b41, w_.b94).empty());
+}
+
+TEST_F(CatalogTest, DistinctCounts) {
+  EXPECT_EQ(w_.catalog.DistinctSubjects(w_.author), 3);
+  EXPECT_EQ(w_.catalog.DistinctObjects(w_.author), 2);
+}
+
+TEST_F(CatalogTest, SubtypeEdgesBidirectional) {
+  const TypeRecord& physicist = w_.catalog.type(w_.physicist);
+  ASSERT_EQ(physicist.parents.size(), 1u);
+  EXPECT_EQ(physicist.parents[0], w_.person);
+  const TypeRecord& person = w_.catalog.type(w_.person);
+  EXPECT_NE(std::find(person.children.begin(), person.children.end(),
+                      w_.physicist),
+            person.children.end());
+}
+
+TEST_F(CatalogTest, CardinalityNames) {
+  EXPECT_EQ(RelationCardinalityName(RelationCardinality::kManyToOne),
+            "many-to-one");
+  EXPECT_EQ(RelationCardinalityName(RelationCardinality::kOneToOne),
+            "one-to-one");
+}
+
+TEST(CatalogDeathTest, InvalidAccessAborts) {
+  CatalogBuilder builder;
+  Result<Catalog> result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DEATH(result->type(99), "bad type id");
+  EXPECT_DEATH(result->entity(0), "bad entity id");
+}
+
+TEST(RelationCandidateTest, OrderingAndNa) {
+  RelationCandidate na;
+  EXPECT_TRUE(na.is_na());
+  RelationCandidate a{1, false};
+  RelationCandidate b{1, true};
+  RelationCandidate c{2, false};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (RelationCandidate{1, false}));
+}
+
+}  // namespace
+}  // namespace webtab

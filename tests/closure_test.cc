@@ -1,0 +1,130 @@
+#include "catalog/closure.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog_builder.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+using testing_util::SharedWorld;
+
+class ClosureTest : public ::testing::Test {
+ protected:
+  ClosureTest() : w_(MakeFigure1World()), closure_(&w_.catalog) {}
+  Figure1World w_;
+  ClosureCache closure_;
+};
+
+TEST_F(ClosureTest, TypeAncestorsIncludeTransitive) {
+  const auto& ancestors = closure_.TypeAncestors(w_.einstein);
+  // physicist, person, root.
+  EXPECT_EQ(ancestors.size(), 3u);
+  EXPECT_TRUE(std::binary_search(ancestors.begin(), ancestors.end(),
+                                 w_.physicist));
+  EXPECT_TRUE(std::binary_search(ancestors.begin(), ancestors.end(),
+                                 w_.person));
+  EXPECT_TRUE(std::binary_search(ancestors.begin(), ancestors.end(),
+                                 w_.catalog.root_type()));
+}
+
+TEST_F(ClosureTest, DistCountsEdges) {
+  EXPECT_EQ(closure_.Dist(w_.einstein, w_.physicist), 1);
+  EXPECT_EQ(closure_.Dist(w_.einstein, w_.person), 2);
+  EXPECT_EQ(closure_.Dist(w_.einstein, w_.catalog.root_type()), 3);
+  EXPECT_EQ(closure_.Dist(w_.einstein, w_.book), kUnreachable);
+  EXPECT_EQ(closure_.Dist(w_.stannard, w_.person), 1);
+}
+
+TEST_F(ClosureTest, EntitiesOfCollectsDescendants) {
+  const auto& people = closure_.EntitiesOf(w_.person);
+  // einstein (via physicist) + stannard.
+  EXPECT_EQ(people.size(), 2u);
+  const auto& books = closure_.EntitiesOf(w_.book);
+  EXPECT_EQ(books.size(), 3u);
+  const auto& all = closure_.EntitiesOf(w_.catalog.root_type());
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST_F(ClosureTest, EntitiesOfSorted) {
+  const auto& all = closure_.EntitiesOf(w_.catalog.root_type());
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST_F(ClosureTest, SpecificityDecreasesUpTheDag) {
+  double spec_physicist = closure_.TypeSpecificity(w_.physicist);
+  double spec_person = closure_.TypeSpecificity(w_.person);
+  double spec_root = closure_.TypeSpecificity(w_.catalog.root_type());
+  EXPECT_GT(spec_physicist, spec_person);
+  EXPECT_GT(spec_person, spec_root);
+  EXPECT_DOUBLE_EQ(spec_root, 1.0);  // |E|/|E(root)| = 1.
+}
+
+TEST_F(ClosureTest, IsSubtypeOfReflexiveTransitive) {
+  EXPECT_TRUE(closure_.IsSubtypeOf(w_.physicist, w_.physicist));
+  EXPECT_TRUE(closure_.IsSubtypeOf(w_.physicist, w_.person));
+  EXPECT_TRUE(closure_.IsSubtypeOf(w_.physicist, w_.catalog.root_type()));
+  EXPECT_FALSE(closure_.IsSubtypeOf(w_.person, w_.physicist));
+  EXPECT_FALSE(closure_.IsSubtypeOf(w_.book, w_.person));
+}
+
+TEST_F(ClosureTest, MinEntityDist) {
+  // person has a direct entity (stannard) => 1.
+  EXPECT_EQ(closure_.MinEntityDist(w_.person), 1);
+  EXPECT_EQ(closure_.MinEntityDist(w_.physicist), 1);
+}
+
+TEST_F(ClosureTest, EntityHasType) {
+  EXPECT_TRUE(closure_.EntityHasType(w_.einstein, w_.person));
+  EXPECT_FALSE(closure_.EntityHasType(w_.einstein, w_.book));
+}
+
+TEST_F(ClosureTest, CachedQueriesStayConsistent) {
+  // Repeat calls hit the cache; results must be identical.
+  const auto& first = closure_.TypeAncestors(w_.b94);
+  const auto& second = closure_.TypeAncestors(w_.b94);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(closure_.Dist(w_.b94, w_.book),
+            closure_.Dist(w_.b94, w_.book));
+}
+
+// ---- Properties on the bigger generated world. ----
+
+class ClosureWorldPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosureWorldPropertyTest, DistConsistentWithAncestors) {
+  const World& world = SharedWorld();
+  ClosureCache closure(&world.catalog);
+  EntityId e = GetParam() % world.catalog.num_entities();
+  for (TypeId t : closure.TypeAncestors(e)) {
+    int d = closure.Dist(e, t);
+    EXPECT_GE(d, 1);
+    EXPECT_LT(d, kUnreachable);
+    // Every ancestor's extension contains the entity.
+    const auto& ext = closure.EntitiesOf(t);
+    EXPECT_TRUE(std::binary_search(ext.begin(), ext.end(), e));
+  }
+}
+
+TEST_P(ClosureWorldPropertyTest, ParentExtensionContainsChildExtension) {
+  const World& world = SharedWorld();
+  ClosureCache closure(&world.catalog);
+  TypeId t = GetParam() % world.catalog.num_types();
+  const auto& child_ext = closure.EntitiesOf(t);
+  for (TypeId parent : world.catalog.type(t).parents) {
+    const auto& parent_ext = closure.EntitiesOf(parent);
+    for (EntityId e : child_ext) {
+      EXPECT_TRUE(
+          std::binary_search(parent_ext.begin(), parent_ext.end(), e));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClosureWorldPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace webtab

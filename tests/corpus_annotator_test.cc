@@ -1,0 +1,81 @@
+#include "annotate/corpus_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/corpus_generator.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+TEST(CorpusAnnotatorTest, AnnotatesEveryTableWithStats) {
+  const World& world = SharedWorld();
+  TableAnnotator annotator(&world.catalog, &SharedIndex());
+  CorpusSpec spec;
+  spec.seed = 5;
+  spec.num_tables = 8;
+  spec.min_rows = 4;
+  spec.max_rows = 8;
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  CorpusTimingStats stats;
+  std::vector<AnnotatedTable> annotated =
+      AnnotateCorpus(&annotator, tables, &stats);
+  ASSERT_EQ(annotated.size(), tables.size());
+  EXPECT_EQ(stats.per_table_millis.size(), tables.size());
+  EXPECT_EQ(stats.bp_iteration_counts.size(), tables.size());
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.MeanMillisPerTable(), 0.0);
+  // §6.1.2 cost shape: probing + similarity dominates; inference is a
+  // small fraction.
+  EXPECT_GT(stats.ProbeFraction(), stats.InferenceFraction());
+}
+
+TEST(CorpusAnnotatorTest, FractionsSumBelowOne) {
+  const World& world = SharedWorld();
+  TableAnnotator annotator(&world.catalog, &SharedIndex());
+  CorpusSpec spec;
+  spec.seed = 6;
+  spec.num_tables = 3;
+  spec.min_rows = 3;
+  spec.max_rows = 5;
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  CorpusTimingStats stats;
+  AnnotateCorpus(&annotator, tables, &stats);
+  EXPECT_LE(stats.ProbeFraction() + stats.InferenceFraction(), 1.0 + 1e-9);
+}
+
+TEST(CorpusAnnotatorTest, EmptyCorpus) {
+  const World& world = SharedWorld();
+  TableAnnotator annotator(&world.catalog, &SharedIndex());
+  CorpusTimingStats stats;
+  std::vector<AnnotatedTable> annotated =
+      AnnotateCorpus(&annotator, {}, &stats);
+  EXPECT_TRUE(annotated.empty());
+  EXPECT_DOUBLE_EQ(stats.MeanMillisPerTable(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ProbeFraction(), 0.0);
+}
+
+TEST(CorpusAnnotatorTest, NullStatsAccepted) {
+  const World& world = SharedWorld();
+  TableAnnotator annotator(&world.catalog, &SharedIndex());
+  Table t(2, 2);
+  t.set_cell(0, 0, "Vestik");
+  t.set_cell(0, 1, "Kelvag United");
+  t.set_cell(1, 0, "Dorman");
+  t.set_cell(1, 1, "Varsil City");
+  std::vector<AnnotatedTable> annotated =
+      AnnotateCorpus(&annotator, {t}, nullptr);
+  EXPECT_EQ(annotated.size(), 1u);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,185 @@
+#include "synth/corpus_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/closure.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::SharedWorld;
+
+CorpusSpec SmallSpec() {
+  CorpusSpec spec;
+  spec.seed = 21;
+  spec.num_tables = 30;
+  spec.min_rows = 5;
+  spec.max_rows = 15;
+  return spec;
+}
+
+TEST(CorpusGeneratorTest, Deterministic) {
+  const World& world = SharedWorld();
+  auto a = GenerateCorpus(world, SmallSpec());
+  auto b = GenerateCorpus(world, SmallSpec());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].table.rows(), b[i].table.rows());
+    for (int r = 0; r < a[i].table.rows(); ++r) {
+      for (int c = 0; c < a[i].table.cols(); ++c) {
+        EXPECT_EQ(a[i].table.cell(r, c), b[i].table.cell(r, c));
+        EXPECT_EQ(a[i].gold.EntityOf(r, c), b[i].gold.EntityOf(r, c));
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, GoldEntitiesConsistentWithCellText) {
+  // A cell's gold entity (when set and un-corrupted) must share at least
+  // one token with one of the entity's lemmas. With typos and garnish
+  // disabled this must hold exactly.
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  spec.cell_typo_prob = 0.0;
+  spec.cell_garnish_prob = 0.0;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    for (int r = 0; r < lt.table.rows(); ++r) {
+      for (int c = 0; c < lt.table.cols(); ++c) {
+        EntityId e = lt.gold.EntityOf(r, c);
+        if (e == kNa) continue;
+        const auto& lemmas = world.catalog.entity(e).lemmas;
+        bool match = false;
+        for (const auto& lemma : lemmas) {
+          if (lt.table.cell(r, c) == lemma) match = true;
+        }
+        EXPECT_TRUE(match) << lt.table.cell(r, c);
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, GoldRelationsHoldInHiddenTruth) {
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  spec.na_cell_prob = 0.0;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    for (const auto& [pair, rel] : lt.gold.relations) {
+      ASSERT_FALSE(rel.is_na());
+      auto [c1, c2] = pair;
+      for (int r = 0; r < lt.table.rows(); ++r) {
+        EntityId e1 = lt.gold.EntityOf(r, c1);
+        EntityId e2 = lt.gold.EntityOf(r, c2);
+        if (e1 == kNa || e2 == kNa) continue;
+        EntityId subject = rel.swapped ? e2 : e1;
+        EntityId object = rel.swapped ? e1 : e2;
+        EXPECT_TRUE(world.TrueTupleExists(rel.relation, subject, object))
+            << "row " << r;
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, GoldTypesCoverEntityAncestry) {
+  const World& world = SharedWorld();
+  ClosureCache closure(&world.catalog);
+  CorpusSpec spec = SmallSpec();
+  spec.na_cell_prob = 0.0;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    for (int c = 0; c < lt.table.cols(); ++c) {
+      TypeId t = lt.gold.TypeOf(c);
+      if (t == kNa) continue;  // Numeric column.
+      for (int r = 0; r < lt.table.rows(); ++r) {
+        EntityId e = lt.gold.EntityOf(r, c);
+        if (e == kNa) continue;
+        // The gold type must hold in the *truth* (catalog may have lost
+        // the link).
+        bool in_truth = false;
+        for (TypeId direct : world.true_direct_types[e]) {
+          if (direct == t || closure.IsSubtypeOf(direct, t)) {
+            in_truth = true;
+          }
+        }
+        EXPECT_TRUE(in_truth)
+            << world.catalog.entity(e).name << " vs "
+            << world.catalog.type(t).name;
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, RowCountsWithinBounds) {
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    EXPECT_GE(lt.table.rows(), 1);
+    EXPECT_LE(lt.table.rows(), spec.max_rows);
+    EXPECT_GE(lt.table.cols(), 2);
+    EXPECT_LE(lt.table.cols(), 4);  // subject+2 objects+numeric at most.
+  }
+}
+
+TEST(CorpusGeneratorTest, HeaderDropProbabilityRespected) {
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  spec.num_tables = 60;
+  spec.header_drop_prob = 1.0;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    EXPECT_FALSE(lt.table.has_headers());
+  }
+  spec.header_drop_prob = 0.0;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    EXPECT_TRUE(lt.table.has_headers());
+  }
+}
+
+TEST(CorpusGeneratorTest, NaCellsProduceDistractorText) {
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  spec.na_cell_prob = 1.0;  // Every cell a distractor.
+  auto corpus = GenerateCorpus(world, spec);
+  for (const LabeledTable& lt : corpus) {
+    for (int r = 0; r < lt.table.rows(); ++r) {
+      for (int c = 0; c < lt.table.cols(); ++c) {
+        EXPECT_EQ(lt.gold.EntityOf(r, c), kNa);
+        EXPECT_FALSE(lt.table.cell(r, c).empty());
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, ThemedTablesUseSpecificGoldTypes) {
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  spec.num_tables = 80;
+  spec.themed_table_prob = 1.0;
+  spec.join_table_prob = 0.0;
+  int specific = 0;
+  ClosureCache closure(&world.catalog);
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    for (int c = 0; c < lt.table.cols(); ++c) {
+      TypeId t = lt.gold.TypeOf(c);
+      if (t == kNa) continue;
+      if (t != world.movie && t != world.novel &&
+          closure.IsSubtypeOf(t, world.work)) {
+        ++specific;  // A genre-level gold type.
+      }
+    }
+  }
+  EXPECT_GT(specific, 0);
+}
+
+TEST(CorpusGeneratorTest, JoinTablesCarryTwoRelations) {
+  const World& world = SharedWorld();
+  CorpusSpec spec = SmallSpec();
+  spec.join_table_prob = 1.0;
+  spec.numeric_col_prob = 0.0;
+  int with_two = 0;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    if (lt.gold.relations.size() == 2) ++with_two;
+  }
+  EXPECT_GT(with_two, 20);
+}
+
+}  // namespace
+}  // namespace webtab

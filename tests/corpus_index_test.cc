@@ -1,0 +1,101 @@
+#include "search/corpus_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class CorpusIndexTest : public ::testing::Test {
+ protected:
+  CorpusIndexTest() : w_(MakeFigure1World()), closure_(&w_.catalog) {}
+
+  AnnotatedTable MakeAnnotated() {
+    AnnotatedTable at;
+    at.table = MakeFigure1Table();
+    at.annotation = TableAnnotation::Empty(2, 2);
+    at.annotation.column_types[0] = w_.book;
+    at.annotation.column_types[1] = w_.physicist;
+    at.annotation.cell_entities[0][0] = w_.b95;
+    at.annotation.cell_entities[1][0] = w_.b41;
+    at.annotation.cell_entities[1][1] = w_.einstein;
+    at.annotation.relations[{0, 1}] = RelationCandidate{w_.author, false};
+    return at;
+  }
+
+  Figure1World w_;
+  ClosureCache closure_;
+};
+
+TEST_F(CorpusIndexTest, HeaderPostings) {
+  CorpusIndex index({MakeAnnotated()}, &closure_);
+  const auto& hits = index.HeaderPostings("title");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].table, 0);
+  EXPECT_EQ(hits[0].col, 0);
+  EXPECT_TRUE(index.HeaderPostings("nonexistent").empty());
+}
+
+TEST_F(CorpusIndexTest, ContextPostingsDeduplicated) {
+  CorpusIndex index({MakeAnnotated()}, &closure_);
+  // "books" appears in the context once; posting lists table 0 once.
+  const auto& hits = index.ContextPostings("books");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0);
+}
+
+TEST_F(CorpusIndexTest, TypePostingsExpandToAncestors) {
+  CorpusIndex index({MakeAnnotated()}, &closure_);
+  // Column 1 annotated physicist; querying person must find it too.
+  const auto& exact = index.TypePostings(w_.physicist);
+  ASSERT_EQ(exact.size(), 1u);
+  const auto& general = index.TypePostings(w_.person);
+  ASSERT_EQ(general.size(), 1u);
+  EXPECT_EQ(general[0].col, 1);
+}
+
+TEST_F(CorpusIndexTest, NoExpansionWithoutClosure) {
+  CorpusIndex index({MakeAnnotated()}, nullptr);
+  EXPECT_EQ(index.TypePostings(w_.physicist).size(), 1u);
+  EXPECT_TRUE(index.TypePostings(w_.person).empty());
+}
+
+TEST_F(CorpusIndexTest, RelationPostingsCarryGeometry) {
+  CorpusIndex index({MakeAnnotated()}, &closure_);
+  const auto& hits = index.RelationPostings(w_.author);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].c1, 0);
+  EXPECT_EQ(hits[0].c2, 1);
+  EXPECT_FALSE(hits[0].swapped);
+}
+
+TEST_F(CorpusIndexTest, EntityPostings) {
+  CorpusIndex index({MakeAnnotated()}, &closure_);
+  const auto& hits = index.EntityPostings(w_.einstein);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].row, 1);
+  EXPECT_EQ(hits[0].col, 1);
+  EXPECT_TRUE(index.EntityPostings(w_.stannard).empty());  // Was na.
+}
+
+TEST_F(CorpusIndexTest, MultipleTables) {
+  std::vector<AnnotatedTable> tables{MakeAnnotated(), MakeAnnotated()};
+  CorpusIndex index(std::move(tables), &closure_);
+  EXPECT_EQ(index.num_tables(), 2);
+  EXPECT_EQ(index.EntityPostings(w_.einstein).size(), 2u);
+  EXPECT_EQ(index.RelationPostings(w_.author).size(), 2u);
+}
+
+TEST_F(CorpusIndexTest, EmptyCorpus) {
+  CorpusIndex index({}, &closure_);
+  EXPECT_EQ(index.num_tables(), 0);
+  EXPECT_TRUE(index.HeaderPostings("title").empty());
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,91 @@
+#include "synth/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::SharedWorld;
+
+TEST(DatasetsTest, Figure5ShapeAtFullScale) {
+  // Verify table counts only at a reduced scale for speed; the ratios
+  // must match Figure 5 (36 : 371 : 30 : 6085).
+  Datasets data = MakeDatasets(SharedWorld(), 0.1, 99);
+  EXPECT_NEAR(static_cast<double>(data.wiki_manual.size()), 3.6, 1.0);
+  EXPECT_NEAR(static_cast<double>(data.web_manual.size()), 37.1, 2.0);
+  EXPECT_NEAR(static_cast<double>(data.web_relations.size()), 3.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(data.wiki_link.size()), 608.5, 10.0);
+}
+
+TEST(DatasetsTest, AnnotationCoveragePattern) {
+  Datasets data = MakeDatasets(SharedWorld(), 0.05, 99);
+  // Web Relations: relations only.
+  for (const LabeledTable& lt : data.web_relations) {
+    EXPECT_TRUE(lt.relations_only);
+    EXPECT_EQ(lt.gold.CountEntityLabels(), 0);
+    EXPECT_EQ(lt.gold.CountTypeLabels(), 0);
+  }
+  int64_t relation_labels = 0;
+  for (const LabeledTable& lt : data.web_relations) {
+    relation_labels += lt.gold.CountRelationLabels();
+  }
+  EXPECT_GT(relation_labels, 0);
+
+  // Wiki Link: entities only.
+  int64_t entity_labels = 0;
+  for (const LabeledTable& lt : data.wiki_link) {
+    EXPECT_TRUE(lt.entities_only);
+    EXPECT_EQ(lt.gold.CountTypeLabels(), 0);
+    EXPECT_EQ(lt.gold.CountRelationLabels(), 0);
+    entity_labels += lt.gold.CountEntityLabels();
+  }
+  EXPECT_GT(entity_labels, 0);
+
+  // Manual sets label everything.
+  for (const LabeledTable& lt : data.wiki_manual) {
+    EXPECT_FALSE(lt.relations_only);
+    EXPECT_FALSE(lt.entities_only);
+    EXPECT_GT(lt.gold.CountEntityLabels(), 0);
+  }
+}
+
+TEST(DatasetsTest, WebRelationsTablesAreLonger) {
+  // Figure 5: Web Relations averages 51 rows vs ~35 for Web Manual.
+  Datasets data = MakeDatasets(SharedWorld(), 0.2, 7);
+  DatasetSummaryRow webm = Summarize("webm", data.web_manual);
+  DatasetSummaryRow webr = Summarize("webr", data.web_relations);
+  EXPECT_GT(webr.avg_rows, webm.avg_rows);
+}
+
+TEST(DatasetsTest, SummarizeCounts) {
+  Datasets data = MakeDatasets(SharedWorld(), 0.05, 99);
+  DatasetSummaryRow row = Summarize("wiki_manual", data.wiki_manual);
+  EXPECT_EQ(row.name, "wiki_manual");
+  EXPECT_EQ(row.num_tables,
+            static_cast<int64_t>(data.wiki_manual.size()));
+  EXPECT_GT(row.avg_rows, 0.0);
+  EXPECT_GT(row.entity_annotations, 0);
+  EXPECT_GT(row.type_annotations, 0);
+  EXPECT_GT(row.relation_annotations, 0);
+}
+
+TEST(DatasetsTest, SummarizeEmpty) {
+  DatasetSummaryRow row = Summarize("empty", {});
+  EXPECT_EQ(row.num_tables, 0);
+  EXPECT_DOUBLE_EQ(row.avg_rows, 0.0);
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  Datasets a = MakeDatasets(SharedWorld(), 0.05, 31);
+  Datasets b = MakeDatasets(SharedWorld(), 0.05, 31);
+  ASSERT_EQ(a.wiki_manual.size(), b.wiki_manual.size());
+  for (size_t i = 0; i < a.wiki_manual.size(); ++i) {
+    EXPECT_EQ(a.wiki_manual[i].table.DebugString(),
+              b.wiki_manual[i].table.DebugString());
+  }
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,88 @@
+#include "inference/factor_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(FactorGraphTest, VariablesAndPotentials) {
+  FactorGraph g;
+  int v0 = g.AddVariable(3);
+  int v1 = g.AddVariable(2);
+  EXPECT_EQ(v0, 0);
+  EXPECT_EQ(v1, 1);
+  EXPECT_EQ(g.num_variables(), 2);
+  EXPECT_EQ(g.domain_size(v0), 3);
+  g.SetNodeLogPotential(v0, {0.0, 1.0, 2.0});
+  g.AddToNodeLogPotential(v0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(g.node_log_potential(v0)[1], 1.5);
+}
+
+TEST(FactorGraphTest, FactorTableIndexRowMajor) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  int b = g.AddVariable(3);
+  // Table entries: t[la * 3 + lb].
+  std::vector<double> table = {0, 1, 2, 3, 4, 5};
+  g.AddFactor({a, b}, table);
+  const auto& factor = g.factor(0);
+  std::vector<int> sizes = {2, 3};
+  EXPECT_EQ(FactorGraph::TableIndex(factor, sizes, {0, 0}), 0);
+  EXPECT_EQ(FactorGraph::TableIndex(factor, sizes, {0, 2}), 2);
+  EXPECT_EQ(FactorGraph::TableIndex(factor, sizes, {1, 0}), 3);
+  EXPECT_EQ(FactorGraph::TableIndex(factor, sizes, {1, 2}), 5);
+}
+
+TEST(FactorGraphTest, ScoreAssignmentSumsEverything) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  int b = g.AddVariable(2);
+  g.SetNodeLogPotential(a, {0.1, 0.2});
+  g.SetNodeLogPotential(b, {0.3, 0.4});
+  g.AddFactor({a, b}, {0.0, 1.0, 2.0, 3.0});
+  // Assignment (1, 0): 0.2 + 0.3 + table[1*2+0]=2.0.
+  EXPECT_NEAR(g.ScoreAssignment({1, 0}), 2.5, 1e-12);
+  EXPECT_NEAR(g.ScoreAssignment({0, 0}), 0.4, 1e-12);
+}
+
+TEST(FactorGraphTest, TernaryFactor) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  int b = g.AddVariable(2);
+  int c = g.AddVariable(2);
+  std::vector<double> table(8, 0.0);
+  table[7] = 5.0;  // (1,1,1).
+  g.AddFactor({a, b, c}, table);
+  EXPECT_NEAR(g.ScoreAssignment({1, 1, 1}), 5.0, 1e-12);
+  EXPECT_NEAR(g.ScoreAssignment({1, 1, 0}), 0.0, 1e-12);
+}
+
+TEST(FactorGraphTest, FactorGroupsStored) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  g.AddFactor({a}, {0.0, 0.0}, /*group=*/7);
+  EXPECT_EQ(g.factor(0).group, 7);
+}
+
+TEST(FactorGraphDeathTest, TableSizeMismatchAborts) {
+  FactorGraph g;
+  int a = g.AddVariable(2);
+  int b = g.AddVariable(2);
+  EXPECT_DEATH(g.AddFactor({a, b}, {1.0, 2.0}), "mismatch");
+}
+
+TEST(FactorGraphDeathTest, BadVariableAborts) {
+  FactorGraph g;
+  EXPECT_DEATH(g.AddFactor({3}, {0.0, 0.0}), "Check failed");
+  EXPECT_DEATH(g.SetNodeLogPotential(0, {0.0}), "Check failed");
+}
+
+TEST(FactorGraphDeathTest, ScoreWrongArityAborts) {
+  FactorGraph g;
+  g.AddVariable(2);
+  EXPECT_DEATH(g.ScoreAssignment({}), "Check failed");
+  EXPECT_DEATH(g.ScoreAssignment({5}), "Check failed");
+}
+
+}  // namespace
+}  // namespace webtab

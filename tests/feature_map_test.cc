@@ -1,0 +1,113 @@
+#include "learn/feature_map.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/table_graph.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class FeatureMapTest : public ::testing::Test {
+ protected:
+  FeatureMapTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        features_(&closure_, index_.vocabulary()),
+        table_(MakeFigure1Table()) {
+    candidates_ = GenerateCandidates(table_, index_, &closure_,
+                                     CandidateOptions());
+    space_ = TableLabelSpace::Build(table_, candidates_);
+    gold_ = TableAnnotation::Empty(2, 2);
+    gold_.column_types[0] = w_.book;
+    gold_.column_types[1] = w_.person;
+    gold_.cell_entities[0][0] = w_.b95;
+    gold_.cell_entities[1][0] = w_.b41;
+    gold_.cell_entities[0][1] = w_.stannard;
+    gold_.cell_entities[1][1] = w_.einstein;
+    gold_.relations[{0, 1}] = RelationCandidate{w_.author, false};
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+  Table table_;
+  TableCandidates candidates_;
+  TableLabelSpace space_;
+  TableAnnotation gold_;
+};
+
+TEST_F(FeatureMapTest, DotProductEqualsGraphScore) {
+  // The defining property of Ψ: w·Ψ(x,y) == model log-score of y.
+  Weights w = Weights::Default();
+  std::vector<double> psi = JointFeatureMap(table_, gold_, &features_);
+  std::vector<double> flat = w.Flatten();
+  ASSERT_EQ(psi.size(), flat.size());
+  double dot = 0.0;
+  for (size_t i = 0; i < psi.size(); ++i) dot += flat[i] * psi[i];
+
+  TableGraph graph = BuildTableGraph(table_, space_, &features_, w);
+  std::vector<int> assignment = graph.EncodeAnnotation(gold_, space_);
+  EXPECT_NEAR(dot, graph.graph.ScoreAssignment(assignment), 1e-9);
+}
+
+TEST_F(FeatureMapTest, AllNaAnnotationGivesZeroVector) {
+  TableAnnotation empty = TableAnnotation::Empty(2, 2);
+  std::vector<double> psi = JointFeatureMap(table_, empty, &features_);
+  for (double x : psi) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST_F(FeatureMapTest, RelationsExcludedWhenDisabled) {
+  std::vector<double> with = JointFeatureMap(table_, gold_, &features_,
+                                             /*use_relations=*/true);
+  std::vector<double> without = JointFeatureMap(table_, gold_, &features_,
+                                                /*use_relations=*/false);
+  // f1..f3 blocks identical; f4/f5 blocks zero when disabled.
+  int off4 = kF1Size + kF2Size + kF3Size;
+  for (int i = 0; i < off4; ++i) {
+    EXPECT_DOUBLE_EQ(with[i], without[i]);
+  }
+  bool any_relation_feature = false;
+  for (size_t i = off4; i < with.size(); ++i) {
+    EXPECT_DOUBLE_EQ(without[i], 0.0);
+    if (with[i] != 0.0) any_relation_feature = true;
+  }
+  EXPECT_TRUE(any_relation_feature);
+}
+
+TEST_F(FeatureMapTest, LossAugmentedDecodeRecoversGoldAtZeroLoss) {
+  // With zero loss weights, loss-augmented decoding is plain MAP.
+  Weights w = Weights::Default();
+  TableAnnotation decoded =
+      LossAugmentedDecode(table_, space_, &features_, w, gold_,
+                          LossWeights{0, 0, 0}, true, BpOptions());
+  // Figure 1 decodes to gold under default weights.
+  EXPECT_EQ(decoded.EntityOf(1, 1), w_.einstein);
+  EXPECT_EQ(decoded.TypeOf(0), w_.book);
+}
+
+TEST_F(FeatureMapTest, LossAugmentationPushesAwayFromGold) {
+  // Huge loss on entities forces the decoder off the gold labels
+  // (margin-rescaling: the decode finds high-loss high-score labelings).
+  Weights w = Weights::Default();
+  TableAnnotation decoded =
+      LossAugmentedDecode(table_, space_, &features_, w, gold_,
+                          LossWeights{100.0, 100.0, 100.0}, true,
+                          BpOptions());
+  int disagreements = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      if (decoded.EntityOf(r, c) != gold_.EntityOf(r, c)) ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,177 @@
+#include "model/features.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "index/lemma_index.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  FeaturesTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        features_(&closure_, index_.vocabulary()) {}
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+};
+
+TEST_F(FeaturesTest, F1NaIsAllZero) {
+  auto f = features_.F1("anything", kNa);
+  for (double x : f) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST_F(FeaturesTest, F1ExactLemmaMatchMaxesOut) {
+  auto f = features_.F1("Albert Einstein", w_.einstein);
+  EXPECT_NEAR(f[0], 1.0, 1e-9);  // TF-IDF cosine.
+  EXPECT_NEAR(f[1], 1.0, 1e-9);  // Jaccard.
+  EXPECT_DOUBLE_EQ(f[4], 1.0);   // Exact.
+  EXPECT_DOUBLE_EQ(f[5], 1.0);   // Bias always fires for non-na.
+}
+
+TEST_F(FeaturesTest, F1TakesMaxOverLemmas) {
+  // "Einstein" alone matches the short lemma exactly.
+  auto f = features_.F1("Einstein", w_.einstein);
+  EXPECT_DOUBLE_EQ(f[4], 1.0);
+  // A poor candidate: the book whose title merely contains "Albert".
+  auto poor = features_.F1("Einstein", w_.b95);
+  EXPECT_DOUBLE_EQ(poor[4], 0.0);
+  EXPECT_LT(poor[0], f[0]);
+}
+
+TEST_F(FeaturesTest, F2EmptyHeaderFiresOnlyBias) {
+  auto f = features_.F2("", w_.book);
+  for (int i = 0; i < kF2Size - 1; ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+  EXPECT_DOUBLE_EQ(f[kF2Size - 1], 1.0);
+}
+
+TEST_F(FeaturesTest, F2HeaderMatchesTypeLemma) {
+  auto f = features_.F2("Title", w_.book);  // "title" is a book lemma.
+  EXPECT_DOUBLE_EQ(f[4], 1.0);
+  auto mismatch = features_.F2("written by", w_.book);
+  EXPECT_DOUBLE_EQ(mismatch[4], 0.0);  // The Figure 1 pitfall.
+}
+
+TEST_F(FeaturesTest, F3DistanceFeatureModes) {
+  // einstein ∈ physicist (dist 1) ⊆ person (dist 2).
+  FeatureOptions sqrt_mode;
+  sqrt_mode.compat_mode = CompatMode::kRecipSqrtDist;
+  FeatureComputer f_sqrt(&closure_, index_.vocabulary(), sqrt_mode);
+  auto f1 = f_sqrt.F3(w_.physicist, w_.einstein);
+  auto f2 = f_sqrt.F3(w_.person, w_.einstein);
+  EXPECT_DOUBLE_EQ(f1[0], 1.0);
+  EXPECT_NEAR(f2[0], 1.0 / std::sqrt(2.0), 1e-12);
+
+  FeatureOptions lin_mode;
+  lin_mode.compat_mode = CompatMode::kRecipDist;
+  FeatureComputer f_lin(&closure_, index_.vocabulary(), lin_mode);
+  EXPECT_NEAR(f_lin.F3(w_.person, w_.einstein)[0], 0.5, 1e-12);
+
+  FeatureOptions idf_mode;
+  idf_mode.compat_mode = CompatMode::kIdfOnly;
+  FeatureComputer f_idf(&closure_, index_.vocabulary(), idf_mode);
+  EXPECT_DOUBLE_EQ(f_idf.F3(w_.person, w_.einstein)[0], 0.0);
+  EXPECT_GT(f_idf.F3(w_.person, w_.einstein)[1], 0.0);
+}
+
+TEST_F(FeaturesTest, F3SpecificityHigherForNarrowTypes) {
+  auto physicist = features_.F3(w_.physicist, w_.einstein);
+  auto person = features_.F3(w_.person, w_.einstein);
+  EXPECT_GT(physicist[1], person[1]);
+}
+
+TEST_F(FeaturesTest, F3IncompatiblePairOnlyMissingLink) {
+  // einstein is not a book; without sibling evidence everything is 0.
+  auto f = features_.F3(w_.book, w_.einstein);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);  // Bias gated off for incompatible pairs.
+}
+
+TEST_F(FeaturesTest, F3MissingLinkDisabledByOption) {
+  FeatureOptions options;
+  options.use_missing_link = false;
+  FeatureComputer computer(&closure_, index_.vocabulary(), options);
+  auto f = computer.F3(w_.book, w_.einstein);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+}
+
+TEST_F(FeaturesTest, F4SchemaMatch) {
+  RelationCandidate author{w_.author, false};
+  auto f = features_.F4(author, w_.book, w_.person);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // Exact schema.
+  // physicist ⊆ person also satisfies the object role.
+  auto f_sub = features_.F4(author, w_.book, w_.physicist);
+  EXPECT_DOUBLE_EQ(f_sub[0], 1.0);
+  // Wrong way round fails.
+  auto f_bad = features_.F4(author, w_.person, w_.book);
+  EXPECT_DOUBLE_EQ(f_bad[0], 0.0);
+}
+
+TEST_F(FeaturesTest, F4SwappedRolesHonored) {
+  RelationCandidate swapped{w_.author, true};
+  // Columns are (person, book) but the relation reads book->person.
+  auto f = features_.F4(swapped, w_.person, w_.book);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+}
+
+TEST_F(FeaturesTest, F4ParticipationFractions) {
+  RelationCandidate author{w_.author, false};
+  auto f = features_.F4(author, w_.book, w_.person);
+  // All 3 books are authored; both people author something.
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  // Against physicist object role: only einstein among physicists.
+  auto f2 = features_.F4(author, w_.book, w_.physicist);
+  EXPECT_DOUBLE_EQ(f2[2], 1.0);  // 1/1 physicists participate.
+}
+
+TEST_F(FeaturesTest, F5TupleEvidence) {
+  RelationCandidate author{w_.author, false};
+  auto hit = features_.F5(author, w_.b41, w_.einstein);
+  EXPECT_DOUBLE_EQ(hit[0], 1.0);
+  EXPECT_DOUBLE_EQ(hit[1], 0.0);
+  auto miss = features_.F5(author, w_.b41, w_.stannard);
+  EXPECT_DOUBLE_EQ(miss[0], 0.0);
+  // author is many-to-one and b41 already has an author => violation.
+  EXPECT_DOUBLE_EQ(miss[1], 1.0);
+}
+
+TEST_F(FeaturesTest, F5SwappedTupleEvidence) {
+  RelationCandidate swapped{w_.author, true};
+  // Columns ordered (person, book): tuple author(b41, einstein).
+  auto hit = features_.F5(swapped, w_.einstein, w_.b41);
+  EXPECT_DOUBLE_EQ(hit[0], 1.0);
+}
+
+TEST_F(FeaturesTest, PhiLogsAreDotProducts) {
+  Weights w = Weights::Default();
+  auto f = features_.F1("Albert Einstein", w_.einstein);
+  double expected = 0.0;
+  for (int i = 0; i < kF1Size; ++i) expected += w.w1[i] * f[i];
+  EXPECT_NEAR(features_.Phi1Log(w, "Albert Einstein", w_.einstein),
+              expected, 1e-12);
+  // na scores exactly zero in every family.
+  EXPECT_DOUBLE_EQ(features_.Phi1Log(w, "x", kNa), 0.0);
+  EXPECT_DOUBLE_EQ(features_.Phi2Log(w, "x", kNa), 0.0);
+  EXPECT_DOUBLE_EQ(features_.Phi3Log(w, kNa, w_.einstein), 0.0);
+  EXPECT_DOUBLE_EQ(
+      features_.Phi4Log(w, RelationCandidate{}, w_.book, w_.person), 0.0);
+  EXPECT_DOUBLE_EQ(
+      features_.Phi5Log(w, RelationCandidate{w_.author, false}, kNa,
+                        w_.einstein),
+      0.0);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,108 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace webtab {
+namespace {
+
+// Builds an argv-like array from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(FlagsTest, ParsesAllKindsWithEquals) {
+  int64_t n = 0;
+  double d = 0;
+  std::string s;
+  bool b = false;
+  FlagSet flags;
+  flags.AddInt("n", &n, "int");
+  flags.AddDouble("d", &d, "double");
+  flags.AddString("s", &s, "string");
+  flags.AddBool("b", &b, "bool");
+  ArgvBuilder args({"--n=42", "--d=2.5", "--s=hello", "--b=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, ParsesSpaceSeparatedValues) {
+  int64_t n = 0;
+  std::string s;
+  FlagSet flags;
+  flags.AddInt("n", &n, "int");
+  flags.AddString("s", &s, "string");
+  ArgvBuilder args({"--n", "7", "--s", "x y"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 7);
+  EXPECT_EQ(s, "x y");
+}
+
+TEST(FlagsTest, BareBoolFlag) {
+  bool b = false;
+  FlagSet flags;
+  flags.AddBool("verbose", &b, "bool");
+  ArgvBuilder args({"--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, UnknownFlagsBecomePositional) {
+  FlagSet flags;
+  ArgvBuilder args({"--benchmark_filter=abc", "positional"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "--benchmark_filter=abc");
+  EXPECT_EQ(flags.positional()[1], "positional");
+}
+
+TEST(FlagsTest, BadIntegerIsError) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt("n", &n, "int");
+  ArgvBuilder args({"--n=notanumber"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, BadDoubleIsError) {
+  double d = 0;
+  FlagSet flags;
+  flags.AddDouble("d", &d, "double");
+  ArgvBuilder args({"--d=xx"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt("n", &n, "int");
+  ArgvBuilder args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.AddInt("tables", &n, "number of tables");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("tables"), std::string::npos);
+  EXPECT_NE(usage.find("number of tables"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,122 @@
+#include "table/html_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(DecodeHtmlEntitiesTest, CommonEntities) {
+  EXPECT_EQ(DecodeHtmlEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeHtmlEntities("&lt;x&gt;"), "<x>");
+  EXPECT_EQ(DecodeHtmlEntities("&quot;q&quot;"), "\"q\"");
+  EXPECT_EQ(DecodeHtmlEntities("it&#39;s"), "it's");
+  EXPECT_EQ(DecodeHtmlEntities("a&nbsp;b"), "a b");
+  EXPECT_EQ(DecodeHtmlEntities("&#65;"), "A");
+}
+
+TEST(DecodeHtmlEntitiesTest, MalformedEntitiesPassThrough) {
+  EXPECT_EQ(DecodeHtmlEntities("a & b"), "a & b");
+  EXPECT_EQ(DecodeHtmlEntities("&unknown;"), "&unknown;");
+  EXPECT_EQ(DecodeHtmlEntities("trailing &"), "trailing &");
+}
+
+TEST(ParseHtmlTablesTest, SimpleTable) {
+  auto tables = ParseHtmlTables(
+      "<html><body><p>Books by Einstein</p>"
+      "<table><tr><th>Title</th><th>Author</th></tr>"
+      "<tr><td>Relativity</td><td>A. Einstein</td></tr></table>"
+      "</body></html>");
+  ASSERT_EQ(tables.size(), 1u);
+  const RawTable& t = tables[0];
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_TRUE(t.rows[0][0].is_header);
+  EXPECT_EQ(t.rows[0][0].text, "Title");
+  EXPECT_FALSE(t.rows[1][0].is_header);
+  EXPECT_EQ(t.rows[1][1].text, "A. Einstein");
+  EXPECT_NE(t.context.find("Books by Einstein"), std::string::npos);
+  EXPECT_TRUE(t.IsRegular());
+  EXPECT_FALSE(t.HasMergedCells());
+}
+
+TEST(ParseHtmlTablesTest, ColspanDetected) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td colspan=\"2\">wide</td></tr>"
+      "<tr><td>a</td><td>b</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].HasMergedCells());
+  EXPECT_EQ(tables[0].rows[0][0].colspan, 2);
+}
+
+TEST(ParseHtmlTablesTest, RowspanDetected) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td rowspan='3'>tall</td><td>x</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows[0][0].rowspan, 3);
+}
+
+TEST(ParseHtmlTablesTest, IrregularRowsDetected) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_FALSE(tables[0].IsRegular());
+}
+
+TEST(ParseHtmlTablesTest, NestedTableFlaggedAndFlattened) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td>outer <table><tr><td>inner</td></tr></table>"
+      "</td><td>side</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].nested);
+  ASSERT_EQ(tables[0].rows.size(), 1u);
+  // Inner text folded into the outer cell.
+  EXPECT_NE(tables[0].rows[0][0].text.find("outer"), std::string::npos);
+}
+
+TEST(ParseHtmlTablesTest, MultipleTablesWithSeparateContext) {
+  auto tables = ParseHtmlTables(
+      "<p>first context</p><table><tr><td>1</td><td>2</td></tr></table>"
+      "<p>second context</p><table><tr><td>3</td><td>4</td></tr></table>");
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_NE(tables[0].context.find("first"), std::string::npos);
+  EXPECT_NE(tables[1].context.find("second"), std::string::npos);
+  EXPECT_EQ(tables[1].context.find("first"), std::string::npos);
+}
+
+TEST(ParseHtmlTablesTest, LinkAndImageCounting) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td><a href='/x'>one</a> <a href='/y'>two</a>"
+      "<img src='i.png'/></td><td><form><input/></form></td></tr>"
+      "</table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows[0][0].link_count, 2);
+  EXPECT_EQ(tables[0].rows[0][0].image_count, 1);
+  EXPECT_GE(tables[0].rows[0][1].form_count, 2);  // form + input.
+}
+
+TEST(ParseHtmlTablesTest, UnclosedTagsTolerated) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td>a<td>b<tr><td>c<td>d</table>");
+  ASSERT_EQ(tables.size(), 1u);
+  ASSERT_EQ(tables[0].rows.size(), 2u);
+  EXPECT_EQ(tables[0].rows[0].size(), 2u);
+  EXPECT_EQ(tables[0].rows[1][1].text, "d");
+}
+
+TEST(ParseHtmlTablesTest, EmptyAndGarbageInput) {
+  EXPECT_TRUE(ParseHtmlTables("").empty());
+  EXPECT_TRUE(ParseHtmlTables("no tables here at all").empty());
+  EXPECT_TRUE(ParseHtmlTables("<div><p>x</p></div>").empty());
+  // Truncated table markup must not crash.
+  auto tables = ParseHtmlTables("<table><tr><td>never closed");
+  ASSERT_EQ(tables.size(), 1u);
+}
+
+TEST(ParseHtmlTablesTest, EntityDecodingInsideCells) {
+  auto tables = ParseHtmlTables(
+      "<table><tr><td>Tom &amp; Jerry</td><td>x</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows[0][0].text, "Tom & Jerry");
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,140 @@
+#include "inference/independent.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/belief_propagation.h"
+#include "inference/brute_force.h"
+#include "inference/table_graph.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+class IndependentTest : public ::testing::Test {
+ protected:
+  IndependentTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        features_(&closure_, index_.vocabulary()),
+        table_(MakeFigure1Table()) {
+    candidates_ = GenerateCandidates(table_, index_, &closure_,
+                                     CandidateOptions());
+    space_ = TableLabelSpace::Build(table_, candidates_);
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+  Table table_;
+  TableCandidates candidates_;
+  TableLabelSpace space_;
+};
+
+TEST_F(IndependentTest, SolvesFigure1WithoutRelations) {
+  TableAnnotation annotation =
+      SolveIndependent(table_, space_, &features_, Weights::Default());
+  EXPECT_EQ(annotation.TypeOf(0), w_.book);
+  EXPECT_EQ(annotation.EntityOf(0, 0), w_.b95);
+  EXPECT_EQ(annotation.EntityOf(1, 1), w_.einstein);
+  EXPECT_TRUE(annotation.relations.empty());
+}
+
+TEST_F(IndependentTest, MatchesBpOnRelationFreeGraph) {
+  // §4.4.1: without relation variables the BP schedule reduces to the
+  // exact Figure 2 algorithm; both must find the same objective value.
+  Weights w = Weights::Default();
+  TableAnnotation independent =
+      SolveIndependent(table_, space_, &features_, w);
+
+  TableGraphOptions options;
+  options.use_relations = false;
+  TableGraph graph = BuildTableGraph(table_, space_, &features_, w,
+                                     options);
+  BpResult bp = RunBeliefPropagation(graph.graph);
+  TableAnnotation bp_annotation =
+      graph.DecodeAssignment(bp.assignment, space_);
+
+  double score_ind =
+      IndependentObjective(table_, space_, &features_, w, independent);
+  double score_bp =
+      IndependentObjective(table_, space_, &features_, w, bp_annotation);
+  EXPECT_NEAR(score_ind, score_bp, 1e-9);
+}
+
+TEST_F(IndependentTest, ObjectiveMatchesGraphScore) {
+  Weights w = Weights::Default();
+  TableAnnotation annotation =
+      SolveIndependent(table_, space_, &features_, w);
+  TableGraphOptions options;
+  options.use_relations = false;
+  TableGraph graph = BuildTableGraph(table_, space_, &features_, w,
+                                     options);
+  std::vector<int> assignment = graph.EncodeAnnotation(annotation, space_);
+  EXPECT_NEAR(graph.graph.ScoreAssignment(assignment),
+              IndependentObjective(table_, space_, &features_, w,
+                                   annotation),
+              1e-9);
+}
+
+TEST_F(IndependentTest, IndependentIsOptimalForItsObjective) {
+  Weights w = Weights::Default();
+  TableAnnotation annotation =
+      SolveIndependent(table_, space_, &features_, w);
+  TableGraphOptions options;
+  options.use_relations = false;
+  TableGraph graph = BuildTableGraph(table_, space_, &features_, w,
+                                     options);
+  Result<BruteForceResult> exact = SolveBruteForce(graph.graph, 10000000);
+  ASSERT_TRUE(exact.ok());
+  std::vector<int> assignment = graph.EncodeAnnotation(annotation, space_);
+  EXPECT_NEAR(graph.graph.ScoreAssignment(assignment), exact->score, 1e-9);
+}
+
+TEST(IndependentWorldTest, ColumnsDecodedIndependently) {
+  // Property over generated tables: restricting to one column yields the
+  // same labels for that column.
+  const World& world = SharedWorld();
+  const LemmaIndex& index = SharedIndex();
+  ClosureCache closure(&world.catalog);
+  FeatureComputer features(&closure, index.vocabulary());
+  Weights w = Weights::Default();
+
+  Table table(3, 2);
+  table.set_header(0, "Player");
+  table.set_header(1, "Club");
+  // Fill from the world's plays_for tuples.
+  const auto& tuples = world.true_relations[world.plays_for].tuples;
+  for (int r = 0; r < 3; ++r) {
+    auto [s, o] = tuples[r * 3];
+    table.set_cell(r, 0, world.catalog.entity(s).lemmas[0]);
+    table.set_cell(r, 1, world.catalog.entity(o).lemmas[0]);
+  }
+  TableCandidates cands =
+      GenerateCandidates(table, index, &closure, CandidateOptions());
+  TableLabelSpace space = TableLabelSpace::Build(table, cands);
+  TableAnnotation full = SolveIndependent(table, space, &features, w);
+
+  // One-column sub-table.
+  Table col0(3, 1);
+  col0.set_header(0, "Player");
+  for (int r = 0; r < 3; ++r) col0.set_cell(r, 0, table.cell(r, 0));
+  TableCandidates cands0 =
+      GenerateCandidates(col0, index, &closure, CandidateOptions());
+  TableLabelSpace space0 = TableLabelSpace::Build(col0, cands0);
+  TableAnnotation sub = SolveIndependent(col0, space0, &features, w);
+  EXPECT_EQ(full.TypeOf(0), sub.TypeOf(0));
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(full.EntityOf(r, 0), sub.EntityOf(r, 0));
+  }
+}
+
+}  // namespace
+}  // namespace webtab

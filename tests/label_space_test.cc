@@ -1,0 +1,119 @@
+#include "model/label_space.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/closure.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class LabelSpaceTest : public ::testing::Test {
+ protected:
+  LabelSpaceTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog) {}
+
+  TableCandidates Candidates(const Table& table) {
+    return GenerateCandidates(table, index_, &closure_, CandidateOptions());
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+};
+
+TEST_F(LabelSpaceTest, NaIsAlwaysFirst) {
+  Table table = MakeFigure1Table();
+  TableLabelSpace space = TableLabelSpace::Build(table, Candidates(table));
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      ASSERT_FALSE(space.EntityDomain(r, c).empty());
+      EXPECT_EQ(space.EntityDomain(r, c)[0], kNa);
+    }
+  }
+  for (int c = 0; c < table.cols(); ++c) {
+    ASSERT_FALSE(space.TypeDomain(c).empty());
+    EXPECT_EQ(space.TypeDomain(c)[0], kNa);
+  }
+  for (const auto& pair : space.column_pairs()) {
+    const auto& domain = space.RelationDomain(pair.first, pair.second);
+    ASSERT_FALSE(domain.empty());
+    EXPECT_TRUE(domain[0].is_na());
+  }
+}
+
+TEST_F(LabelSpaceTest, GoldInjectionAddsMissingLabels) {
+  Table table(1, 1);
+  table.set_cell(0, 0, "zzz unmatchable");
+  TableAnnotation gold = TableAnnotation::Empty(1, 1);
+  gold.cell_entities[0][0] = w_.einstein;
+  gold.column_types[0] = w_.physicist;
+  TableLabelSpace space =
+      TableLabelSpace::Build(table, Candidates(table), &gold);
+  EXPECT_GE(TableLabelSpace::IndexOfEntity(space.EntityDomain(0, 0),
+                                           w_.einstein),
+            1);
+  EXPECT_GE(TableLabelSpace::IndexOfType(space.TypeDomain(0),
+                                         w_.physicist),
+            1);
+}
+
+TEST_F(LabelSpaceTest, GoldRelationInjected) {
+  Table table(1, 2);
+  table.set_cell(0, 0, "nothing matches this");
+  table.set_cell(0, 1, "nor this");
+  TableAnnotation gold = TableAnnotation::Empty(1, 2);
+  gold.relations[{0, 1}] = RelationCandidate{w_.author, false};
+  TableLabelSpace space =
+      TableLabelSpace::Build(table, Candidates(table), &gold);
+  ASSERT_EQ(space.column_pairs().size(), 1u);
+  const auto& domain = space.RelationDomain(0, 1);
+  EXPECT_GE(TableLabelSpace::IndexOfRelation(
+                domain, RelationCandidate{w_.author, false}),
+            1);
+}
+
+TEST_F(LabelSpaceTest, NoDuplicateWhenGoldAlreadyCandidate) {
+  Table table = MakeFigure1Table();
+  TableAnnotation gold = TableAnnotation::Empty(2, 2);
+  gold.cell_entities[1][1] = w_.einstein;  // Already a candidate.
+  TableCandidates cands = Candidates(table);
+  TableLabelSpace with_gold = TableLabelSpace::Build(table, cands, &gold);
+  TableLabelSpace without = TableLabelSpace::Build(table, cands);
+  EXPECT_EQ(with_gold.EntityDomain(1, 1).size(),
+            without.EntityDomain(1, 1).size());
+}
+
+TEST_F(LabelSpaceTest, IndexOfMissingIsMinusOne) {
+  std::vector<EntityId> domain{kNa, 3, 5};
+  EXPECT_EQ(TableLabelSpace::IndexOfEntity(domain, 4), -1);
+  EXPECT_EQ(TableLabelSpace::IndexOfEntity(domain, 5), 2);
+  EXPECT_EQ(TableLabelSpace::IndexOfEntity(domain, kNa), 0);
+}
+
+TEST_F(LabelSpaceTest, PairsWithoutCandidatesAbsent) {
+  Table table(2, 2);
+  table.set_cell(0, 0, "no entity here zz");
+  table.set_cell(0, 1, "none either qq");
+  table.set_cell(1, 0, "still nothing ww");
+  table.set_cell(1, 1, "empty rr");
+  TableLabelSpace space = TableLabelSpace::Build(table, Candidates(table));
+  EXPECT_TRUE(space.column_pairs().empty());
+  EXPECT_TRUE(space.RelationDomain(0, 1).empty());
+}
+
+TEST_F(LabelSpaceTest, MeanDomainSizes) {
+  Table table = MakeFigure1Table();
+  TableLabelSpace space = TableLabelSpace::Build(table, Candidates(table));
+  EXPECT_GT(space.MeanEntityDomainSize(), 0.0);
+  EXPECT_GT(space.MeanTypeDomainSize(), 0.0);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "eval/annotation_eval.h"
+#include "learn/perceptron.h"
+#include "learn/ssvm.h"
+#include "synth/corpus_generator.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+std::vector<LabeledTable> TrainData(int n, uint64_t seed) {
+  CorpusSpec spec;
+  spec.seed = seed;
+  spec.num_tables = n;
+  spec.min_rows = 4;
+  spec.max_rows = 10;
+  return GenerateCorpus(SharedWorld(), spec);
+}
+
+TEST(PerceptronTest, TrainingReducesLoss) {
+  const World& world = SharedWorld();
+  std::vector<LabeledTable> data = TrainData(12, 77);
+  PerceptronOptions options;
+  options.epochs = 4;
+  options.initial = Weights::Zero();  // Start from nothing.
+  TrainStats stats;
+  Weights trained = TrainPerceptron(data, &world.catalog, &SharedIndex(),
+                                    CandidateOptions(), FeatureOptions(),
+                                    options, &stats);
+  ASSERT_EQ(stats.epoch_losses.size(), 4u);
+  // Later epochs must improve on the first (zero weights label all na).
+  EXPECT_LT(stats.epoch_losses.back(), stats.epoch_losses.front());
+  EXPECT_GT(stats.updates, 0);
+  // Trained weights should be non-trivial.
+  double norm = 0.0;
+  for (double x : trained.Flatten()) norm += x * x;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(PerceptronTest, DeterministicGivenSeed) {
+  const World& world = SharedWorld();
+  std::vector<LabeledTable> data = TrainData(6, 78);
+  PerceptronOptions options;
+  options.epochs = 2;
+  Weights a = TrainPerceptron(data, &world.catalog, &SharedIndex(),
+                              CandidateOptions(), FeatureOptions(),
+                              options);
+  Weights b = TrainPerceptron(data, &world.catalog, &SharedIndex(),
+                              CandidateOptions(), FeatureOptions(),
+                              options);
+  EXPECT_EQ(a.Flatten(), b.Flatten());
+}
+
+TEST(PerceptronTest, TrainedBeatsZeroWeightsOnTrainingSet) {
+  const World& world = SharedWorld();
+  const LemmaIndex& index = SharedIndex();
+  std::vector<LabeledTable> data = TrainData(12, 79);
+  PerceptronOptions options;
+  options.epochs = 5;
+  options.initial = Weights::Zero();
+  Weights trained = TrainPerceptron(data, &world.catalog, &index,
+                                    CandidateOptions(), FeatureOptions(),
+                                    options);
+
+  ClosureCache closure(&world.catalog);
+  FeatureComputer features(&closure, index.vocabulary());
+  auto total_loss = [&](const Weights& w) {
+    double loss = 0.0;
+    for (const LabeledTable& lt : data) {
+      TableCandidates cands = GenerateCandidates(
+          lt.table, index, &closure, CandidateOptions());
+      TableLabelSpace space =
+          TableLabelSpace::Build(lt.table, cands, &lt.gold);
+      TableAnnotation pred =
+          LossAugmentedDecode(lt.table, space, &features, w, lt.gold,
+                              LossWeights{0, 0, 0}, true, BpOptions());
+      loss += AnnotationLoss(lt.gold, pred, LossWeights{});
+    }
+    return loss;
+  };
+  EXPECT_LT(total_loss(trained), total_loss(Weights::Zero()));
+}
+
+TEST(SsvmTest, TrainingReducesLoss) {
+  const World& world = SharedWorld();
+  std::vector<LabeledTable> data = TrainData(12, 80);
+  SsvmOptions options;
+  options.epochs = 4;
+  options.initial = Weights::Zero();
+  TrainStats stats;
+  Weights trained = TrainSsvm(data, &world.catalog, &SharedIndex(),
+                              CandidateOptions(), FeatureOptions(),
+                              options, &stats);
+  ASSERT_EQ(stats.epoch_losses.size(), 4u);
+  EXPECT_LT(stats.epoch_losses.back(), stats.epoch_losses.front());
+  double norm = 0.0;
+  for (double x : trained.Flatten()) norm += x * x;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(SsvmTest, RegularizationShrinksWeights) {
+  const World& world = SharedWorld();
+  std::vector<LabeledTable> data = TrainData(6, 81);
+  SsvmOptions weak;
+  weak.epochs = 3;
+  weak.lambda = 1e-6;
+  SsvmOptions strong = weak;
+  strong.lambda = 1.0;
+  Weights w_weak = TrainSsvm(data, &world.catalog, &SharedIndex(),
+                             CandidateOptions(), FeatureOptions(), weak);
+  Weights w_strong = TrainSsvm(data, &world.catalog, &SharedIndex(),
+                               CandidateOptions(), FeatureOptions(),
+                               strong);
+  double norm_weak = 0.0, norm_strong = 0.0;
+  for (double x : w_weak.Flatten()) norm_weak += x * x;
+  for (double x : w_strong.Flatten()) norm_strong += x * x;
+  EXPECT_LT(norm_strong, norm_weak);
+}
+
+TEST(LearnerTest, EmptyDataIsSafe) {
+  const World& world = SharedWorld();
+  PerceptronOptions options;
+  options.epochs = 1;
+  Weights w = TrainPerceptron({}, &world.catalog, &SharedIndex(),
+                              CandidateOptions(), FeatureOptions(),
+                              options);
+  EXPECT_EQ(w.Flatten(), options.initial.Flatten());
+}
+
+}  // namespace
+}  // namespace webtab

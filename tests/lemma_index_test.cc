@@ -1,0 +1,100 @@
+#include "index/lemma_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+class LemmaIndexTest : public ::testing::Test {
+ protected:
+  LemmaIndexTest() : w_(MakeFigure1World()), index_(&w_.catalog) {}
+  Figure1World w_;
+  LemmaIndex index_;
+};
+
+TEST_F(LemmaIndexTest, ExactLemmaMatchRanksFirst) {
+  auto hits = index_.ProbeEntities("Albert Einstein", 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, w_.einstein);
+  EXPECT_GT(hits[0].score, 0.5);
+}
+
+TEST_F(LemmaIndexTest, AbbreviatedFormFindsEntity) {
+  auto hits = index_.ProbeEntities("A. Einstein", 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, w_.einstein);
+}
+
+TEST_F(LemmaIndexTest, AmbiguousTokenReturnsMultipleCandidates) {
+  // "Albert" appears in Einstein's lemmas and two book titles.
+  auto hits = index_.ProbeEntities("Albert", 10);
+  EXPECT_GE(hits.size(), 3u);
+}
+
+TEST_F(LemmaIndexTest, NoOverlapGivesNoHits) {
+  EXPECT_TRUE(index_.ProbeEntities("zzz qqq", 5).empty());
+  EXPECT_TRUE(index_.ProbeEntities("", 5).empty());
+}
+
+TEST_F(LemmaIndexTest, KLimitsResults) {
+  auto hits = index_.ProbeEntities("Albert", 1);
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(index_.ProbeEntities("Albert", 0).empty());
+}
+
+TEST_F(LemmaIndexTest, TypeProbe) {
+  auto hits = index_.ProbeTypes("book", 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, w_.book);
+  // "title" is a book lemma too.
+  auto title_hits = index_.ProbeTypes("Title", 5);
+  ASSERT_FALSE(title_hits.empty());
+  EXPECT_EQ(title_hits[0].id, w_.book);
+}
+
+TEST_F(LemmaIndexTest, ScoresSortedDescending) {
+  auto hits = index_.ProbeEntities("Uncle Albert and the Quantum Quest", 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, w_.b95);
+}
+
+TEST_F(LemmaIndexTest, DeterministicTieBreakById) {
+  auto a = index_.ProbeEntities("Albert", 10);
+  auto b = index_.ProbeEntities("Albert", 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(LemmaIndexWorldTest, AmbiguityMatchesPaperRegime) {
+  // §6.1.1: typically 7-8 candidate entities per cell. Probing bare
+  // surnames in the generated world must hit many entities.
+  const World& world = SharedWorld();
+  const LemmaIndex& index = SharedIndex();
+  auto hits = index.ProbeEntities("Vestik", 50);
+  EXPECT_GE(hits.size(), 5u);
+  // Every hit's lemma set must actually contain the probed token.
+  for (const auto& hit : hits) {
+    bool found = false;
+    for (const auto& lemma : world.catalog.entity(hit.id).lemmas) {
+      if (lemma.find("Vestik") != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << world.catalog.entity(hit.id).name;
+  }
+}
+
+TEST(LemmaIndexWorldTest, PostingsCountPositive) {
+  EXPECT_GT(SharedIndex().num_postings(), 0);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace webtab {
+namespace {
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogMacroDoesNotCrash) {
+  WEBTAB_LOG(Info) << "info line " << 42;
+  WEBTAB_LOG(Warning) << "warning line";
+  WEBTAB_LOG(Debug) << "debug line (likely filtered)";
+}
+
+TEST(CheckTest, PassingCheckContinues) {
+  WEBTAB_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(WEBTAB_CHECK(false) << "boom", "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(WEBTAB_CHECK_OK(Status::Internal("bad")), "bad");
+}
+
+TEST(CheckTest, CheckOkPassesOnOk) {
+  WEBTAB_CHECK_OK(Status::Ok());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace webtab

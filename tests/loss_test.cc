@@ -1,0 +1,72 @@
+#include "learn/loss.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TableAnnotation MakeGold() {
+  TableAnnotation a = TableAnnotation::Empty(2, 2);
+  a.column_types[0] = 10;
+  a.column_types[1] = 11;
+  a.cell_entities[0][0] = 100;
+  a.cell_entities[0][1] = 101;
+  a.cell_entities[1][0] = 102;
+  a.cell_entities[1][1] = 103;
+  a.relations[{0, 1}] = RelationCandidate{5, false};
+  return a;
+}
+
+TEST(AnnotationLossTest, PerfectPredictionZeroLoss) {
+  TableAnnotation gold = MakeGold();
+  EXPECT_DOUBLE_EQ(AnnotationLoss(gold, gold, LossWeights{}), 0.0);
+}
+
+TEST(AnnotationLossTest, CountsEachMistakeOnce) {
+  TableAnnotation gold = MakeGold();
+  TableAnnotation pred = gold;
+  pred.cell_entities[0][0] = kNa;          // 1 entity error.
+  pred.column_types[1] = kNa;              // 1 type error.
+  pred.relations[{0, 1}].swapped = true;   // 1 relation error.
+  LossWeights w{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(AnnotationLoss(gold, pred, w), 1.0 + 2.0 + 3.0);
+}
+
+TEST(AnnotationLossTest, MissingPredictedRelationCounts) {
+  TableAnnotation gold = MakeGold();
+  TableAnnotation pred = gold;
+  pred.relations.clear();
+  EXPECT_DOUBLE_EQ(AnnotationLoss(gold, pred, LossWeights{1, 1, 1}), 1.0);
+}
+
+TEST(AnnotationLossTest, SpuriousPredictedRelationCounts) {
+  TableAnnotation gold = MakeGold();
+  TableAnnotation pred = gold;
+  pred.relations[{0, 1}] = gold.relations[{0, 1}];
+  TableAnnotation gold_no_rel = gold;
+  gold_no_rel.relations.clear();
+  EXPECT_DOUBLE_EQ(AnnotationLoss(gold_no_rel, pred, LossWeights{1, 1, 1}),
+                   1.0);
+}
+
+TEST(AnnotationLossTest, EntitiesOnlyRestriction) {
+  TableAnnotation gold = MakeGold();
+  TableAnnotation pred = TableAnnotation::Empty(2, 2);  // Everything na.
+  double full = AnnotationLoss(gold, pred, LossWeights{1, 1, 1});
+  double entities_only = AnnotationLoss(gold, pred, LossWeights{1, 1, 1},
+                                        /*entities_only=*/true);
+  EXPECT_DOUBLE_EQ(full, 4 + 2 + 1);
+  EXPECT_DOUBLE_EQ(entities_only, 4);
+}
+
+TEST(AnnotationLossTest, RelationsOnlyRestriction) {
+  TableAnnotation gold = MakeGold();
+  TableAnnotation pred = TableAnnotation::Empty(2, 2);
+  double relations_only = AnnotationLoss(gold, pred, LossWeights{1, 1, 1},
+                                         /*entities_only=*/false,
+                                         /*relations_only=*/true);
+  EXPECT_DOUBLE_EQ(relations_only, 1.0);
+}
+
+}  // namespace
+}  // namespace webtab

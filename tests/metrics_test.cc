@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(PrecisionRecallF1Test, PerfectPrediction) {
+  PrecisionRecallF1 prf;
+  prf.Add(5, 5, 5);
+  EXPECT_DOUBLE_EQ(prf.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(prf.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(prf.F1(), 1.0);
+}
+
+TEST(PrecisionRecallF1Test, AsymmetricCounts) {
+  PrecisionRecallF1 prf;
+  prf.Add(2, 4, 8);  // P=0.5, R=0.25.
+  EXPECT_DOUBLE_EQ(prf.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(prf.Recall(), 0.25);
+  EXPECT_NEAR(prf.F1(), 2 * 0.5 * 0.25 / 0.75, 1e-12);
+}
+
+TEST(PrecisionRecallF1Test, ZeroDenominators) {
+  PrecisionRecallF1 prf;
+  EXPECT_DOUBLE_EQ(prf.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(prf.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(prf.F1(), 0.0);
+}
+
+TEST(PrecisionRecallF1Test, MicroAveragingAccumulates) {
+  PrecisionRecallF1 prf;
+  prf.Add(1, 1, 2);
+  prf.Add(1, 3, 2);
+  EXPECT_DOUBLE_EQ(prf.Precision(), 0.5);  // 2/4.
+  EXPECT_DOUBLE_EQ(prf.Recall(), 0.5);     // 2/4.
+}
+
+TEST(AccuracyCounterTest, CountsCorrectly) {
+  AccuracyCounter acc;
+  acc.Add(true);
+  acc.Add(false);
+  acc.Add(true);
+  EXPECT_EQ(acc.correct, 2);
+  EXPECT_EQ(acc.total, 3);
+  EXPECT_NEAR(acc.Accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(AccuracyCounterTest, EmptyIsZero) {
+  AccuracyCounter acc;
+  EXPECT_DOUBLE_EQ(acc.Accuracy(), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  // 3 relevant items ranked first.
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, true}, 3), 1.0);
+}
+
+TEST(AveragePrecisionTest, KnownValue) {
+  // Relevant at ranks 1 and 3, of 2 relevant total:
+  // AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({true, false, true}, 2),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MissedRelevantLowersScore) {
+  // Only 1 of 4 relevant retrieved, at rank 1.
+  EXPECT_DOUBLE_EQ(AveragePrecision({true}, 4), 0.25);
+}
+
+TEST(AveragePrecisionTest, NoRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, 5), 0.0);
+}
+
+TEST(MeanAveragePrecisionTest, Mean) {
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({1.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}), 0.0);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,93 @@
+#include "synth/names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace webtab {
+namespace {
+
+TEST(NameFactoryTest, Deterministic) {
+  NameFactory a(5);
+  NameFactory b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.PersonName(), b.PersonName());
+    EXPECT_EQ(a.WorkTitle(), b.WorkTitle());
+  }
+}
+
+TEST(NameFactoryTest, PersonNamesHaveTwoParts) {
+  NameFactory names(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string n = names.PersonName();
+    EXPECT_NE(n.find(' '), std::string::npos) << n;
+  }
+}
+
+TEST(NameFactoryTest, PoolsCollide) {
+  // Ambiguity is intentional: many draws must repeat surnames.
+  NameFactory names(11);
+  std::set<std::string> surnames;
+  for (int i = 0; i < 200; ++i) {
+    std::string n = names.PersonName();
+    surnames.insert(n.substr(n.find(' ') + 1));
+  }
+  EXPECT_LT(surnames.size(), 30u);
+}
+
+TEST(NameFactoryTest, TitlesNonEmpty) {
+  NameFactory names(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(names.WorkTitle().empty());
+    EXPECT_FALSE(names.PlaceName().empty());
+    EXPECT_FALSE(names.ClubName().empty());
+    EXPECT_FALSE(names.LanguageName().empty());
+    EXPECT_FALSE(names.ContentWord().empty());
+  }
+}
+
+TEST(PersonLemmasTest, FullSurnameAndInitialed) {
+  auto lemmas = NameFactory::PersonLemmas("Rolan Vestik");
+  ASSERT_EQ(lemmas.size(), 3u);
+  EXPECT_EQ(lemmas[0], "Rolan Vestik");
+  EXPECT_EQ(lemmas[1], "Vestik");
+  EXPECT_EQ(lemmas[2], "R. Vestik");
+}
+
+TEST(PersonLemmasTest, SinglePartNameGetsOnlyItself) {
+  auto lemmas = NameFactory::PersonLemmas("Cher");
+  ASSERT_EQ(lemmas.size(), 1u);
+}
+
+TEST(TitleLemmasTest, ArticleStripping) {
+  auto the = NameFactory::TitleLemmas("The Shadow of Kelvag");
+  ASSERT_EQ(the.size(), 2u);
+  EXPECT_EQ(the[1], "Shadow of Kelvag");
+  auto a = NameFactory::TitleLemmas("A River of Stone");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1], "River of Stone");
+  auto plain = NameFactory::TitleLemmas("Winter Crown");
+  EXPECT_EQ(plain.size(), 1u);
+}
+
+TEST(ApplyTypoTest, ChangesStringButStaysClose) {
+  Rng rng(17);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string original = "Einstein";
+    std::string typo = NameFactory::ApplyTypo(original, &rng);
+    if (typo != original) ++changed;
+    EXPECT_GE(typo.size(), original.size() - 1);
+    EXPECT_LE(typo.size(), original.size() + 1);
+  }
+  EXPECT_GT(changed, 30);
+}
+
+TEST(ApplyTypoTest, ShortStringsUntouched) {
+  Rng rng(19);
+  EXPECT_EQ(NameFactory::ApplyTypo("ab", &rng), "ab");
+  EXPECT_EQ(NameFactory::ApplyTypo("", &rng), "");
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,72 @@
+#include "synth/page_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_extractor.h"
+
+namespace webtab {
+namespace {
+
+Table SampleTable() {
+  Table t(3, 2);
+  t.set_header(0, "Title");
+  t.set_header(1, "Author");
+  t.set_cell(0, 0, "Relativity");
+  t.set_cell(0, 1, "A. Einstein");
+  t.set_cell(1, 0, "Uncle Albert & Co");
+  t.set_cell(1, 1, "Stannard");
+  t.set_cell(2, 0, "Black <Keys>");
+  t.set_cell(2, 1, "Keene");
+  t.set_context("List of books");
+  return t;
+}
+
+TEST(RenderTableHtmlTest, EscapesSpecialCharacters) {
+  std::string html = RenderTableHtml(SampleTable());
+  EXPECT_NE(html.find("Uncle Albert &amp; Co"), std::string::npos);
+  EXPECT_NE(html.find("Black &lt;Keys&gt;"), std::string::npos);
+  EXPECT_NE(html.find("<th>Title</th>"), std::string::npos);
+}
+
+TEST(RenderPageTest, RoundTripThroughExtractor) {
+  // The page generator and the extractor must agree: relational tables
+  // survive, clutter (nav/spacer/form tables) is screened out.
+  std::vector<Table> tables{SampleTable(), SampleTable()};
+  PageSpec spec;
+  std::string page = RenderPage(tables, spec);
+
+  TableExtractor extractor;
+  std::vector<Table> out;
+  extractor.ExtractFromPage(page, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].cell(0, 1), "A. Einstein");
+  EXPECT_EQ(out[0].header(0), "Title");
+  EXPECT_EQ(out[0].cell(2, 0), "Black <Keys>");  // Decoded back.
+  // Clutter was present and rejected.
+  EXPECT_GT(extractor.stats().raw_tables, 2);
+  EXPECT_EQ(extractor.stats().accepted, 2);
+}
+
+TEST(RenderPageTest, ContextSurvivesExtraction) {
+  std::vector<Table> tables{SampleTable()};
+  std::string page = RenderPage(tables, PageSpec{});
+  TableExtractor extractor;
+  std::vector<Table> out;
+  extractor.ExtractFromPage(page, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].context().find("List of books"), std::string::npos);
+}
+
+TEST(RenderPageTest, HeaderlessTableRendered) {
+  Table t(2, 2);
+  t.set_cell(0, 0, "a");
+  t.set_cell(0, 1, "b");
+  t.set_cell(1, 0, "c");
+  t.set_cell(1, 1, "d");
+  std::string html = RenderTableHtml(t);
+  EXPECT_EQ(html.find("<th>"), std::string::npos);
+  EXPECT_NE(html.find("<td>a</td>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webtab

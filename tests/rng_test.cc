@@ -1,0 +1,159 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace webtab {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng parent(99);
+  Rng fork1 = parent.Fork(1);
+  Rng fork1_again = Rng(99).Fork(1);
+  EXPECT_EQ(fork1.NextU64(), fork1_again.NextU64());
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng parent(99);
+  EXPECT_NE(parent.Fork(1).NextU64(), parent.Fork(2).NextU64());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(8);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(10);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 5000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(13);
+  int64_t low = 0;
+  const int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(100, 1.2) < 10) ++low;
+  }
+  // With s=1.2 the first decile carries well over half the mass.
+  EXPECT_GT(low, kDraws / 2);
+}
+
+TEST(RngTest, ZipfUniformWhenExponentZero) {
+  Rng rng(14);
+  int64_t low = 0;
+  const int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kDraws, 0.10, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(15);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.08);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyIsNoop) {
+  Rng rng(17);
+  std::vector<int> v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RngTest, ChoicePicksExistingElement) {
+  Rng rng(18);
+  std::vector<int> v{5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    int c = rng.Choice(v);
+    EXPECT_TRUE(c == 5 || c == 6 || c == 7);
+  }
+}
+
+TEST(RngDeathTest, UniformZeroAborts) {
+  Rng rng(19);
+  EXPECT_DEATH(rng.Uniform(0), "Uniform");
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "search/baseline_search.h"
+#include "search/corpus_index.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class SearchEnginesTest : public ::testing::Test {
+ protected:
+  SearchEnginesTest()
+      : w_(MakeFigure1World()),
+        closure_(&w_.catalog),
+        index_(MakeCorpus(), &closure_) {}
+
+  std::vector<AnnotatedTable> MakeCorpus() {
+    AnnotatedTable at;
+    at.table = MakeFigure1Table();
+    at.annotation = TableAnnotation::Empty(2, 2);
+    at.annotation.column_types[0] = w_.book;
+    at.annotation.column_types[1] = w_.person;
+    at.annotation.cell_entities[0][0] = w_.b95;
+    at.annotation.cell_entities[1][0] = w_.b41;
+    at.annotation.cell_entities[0][1] = w_.stannard;
+    at.annotation.cell_entities[1][1] = w_.einstein;
+    at.annotation.relations[{0, 1}] = RelationCandidate{w_.author, false};
+    return {at};
+  }
+
+  SelectQuery EinsteinQuery() {
+    // "Which books did Einstein write?"
+    SelectQuery q;
+    q.relation = w_.author;
+    q.type1 = w_.book;
+    q.type2 = w_.person;
+    q.e2 = w_.einstein;
+    q.e2_text = "A. Einstein";
+    q.relation_text = "author";
+    q.type1_text = "title";
+    q.type2_text = "written by";
+    return q;
+  }
+
+  Figure1World w_;
+  ClosureCache closure_;
+  CorpusIndex index_;
+};
+
+TEST_F(SearchEnginesTest, BaselineFindsByStringMatch) {
+  auto results = BaselineSearch(index_, EinsteinQuery());
+  // Headers: "Title" matches type1_text; "written by" matches type2_text.
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].entity, kNa);  // Baseline is string-only.
+  EXPECT_EQ(results[0].text,
+            "Relativity: The Special and the General Theory");
+}
+
+TEST_F(SearchEnginesTest, BaselineMissesWithoutHeaderOverlap) {
+  SelectQuery q = EinsteinQuery();
+  q.type1_text = "movie";      // No header matches.
+  q.type2_text = "filmmaker";
+  EXPECT_TRUE(BaselineSearch(index_, q).empty());
+}
+
+TEST_F(SearchEnginesTest, TypeSearchResolvesEntities) {
+  auto results = TypeSearch(index_, EinsteinQuery());
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].entity, w_.b41);
+}
+
+TEST_F(SearchEnginesTest, TypeSearchUsesSubtypeExpansion) {
+  // Query asks for person column; the annotation says person directly,
+  // but querying with physicist-typed E2 annotation still matches via
+  // entity annotation.
+  SelectQuery q = EinsteinQuery();
+  auto results = TypeSearch(index_, q);
+  ASSERT_FALSE(results.empty());
+}
+
+TEST_F(SearchEnginesTest, TypeRelationSearchStrictest) {
+  auto results = TypeRelationSearch(index_, EinsteinQuery());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].entity, w_.b41);
+}
+
+TEST_F(SearchEnginesTest, TypeRelationRespectsDirection) {
+  // Query the inverse direction: person as subject type. There is no
+  // relation posting with person as subject role, and E2 ("Relativity")
+  // sits in the object column of no posting, so nothing returns.
+  SelectQuery q;
+  q.relation = w_.author;
+  q.type1 = w_.person;
+  q.type2 = w_.book;
+  q.e2 = w_.stannard;  // Wrong role on purpose.
+  q.e2_text = "Stannard";
+  auto results = TypeRelationSearch(index_, q);
+  // Stannard never appears in the object column of author postings
+  // (books are subjects), so the engine must not hallucinate answers.
+  for (const auto& r : results) {
+    EXPECT_NE(r.entity, w_.b41);
+  }
+}
+
+TEST_F(SearchEnginesTest, TextFallbackWhenEntityUnknown) {
+  SelectQuery q = EinsteinQuery();
+  q.e2 = kNa;  // E2 not in catalog: text matching only (Figure 4 line 7).
+  auto results = TypeRelationSearch(index_, q);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].entity, w_.b41);
+}
+
+TEST_F(SearchEnginesTest, UnknownQueryYieldsNothing) {
+  SelectQuery q;
+  q.relation = 999;
+  q.type1 = w_.book;
+  q.type2 = w_.person;
+  q.e2_text = "nobody";
+  EXPECT_TRUE(TypeRelationSearch(index_, q).empty());
+}
+
+TEST_F(SearchEnginesTest, EvidenceAggregationAcrossTables) {
+  // Duplicate the corpus: scores should double, order stays stable.
+  std::vector<AnnotatedTable> corpus = MakeCorpus();
+  std::vector<AnnotatedTable> doubled = MakeCorpus();
+  for (auto& at : MakeCorpus()) doubled.push_back(at);
+  CorpusIndex big(std::move(doubled), &closure_);
+  auto one = TypeRelationSearch(index_, EinsteinQuery());
+  auto two = TypeRelationSearch(big, EinsteinQuery());
+  ASSERT_FALSE(one.empty());
+  ASSERT_FALSE(two.empty());
+  EXPECT_NEAR(two[0].score, 2.0 * one[0].score, 1e-9);
+}
+
+}  // namespace
+}  // namespace webtab

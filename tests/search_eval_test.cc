@@ -1,0 +1,82 @@
+#include "eval/search_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+
+class SearchEvalTest : public ::testing::Test {
+ protected:
+  SearchEvalTest() : w_(MakeFigure1World()) {}
+  Figure1World w_;
+};
+
+TEST_F(SearchEvalTest, ResolvedEntityHit) {
+  std::vector<SearchResult> results{{w_.b41, "Relativity", 1.0}};
+  double ap = JudgeAveragePrecision(results, {w_.b41}, w_.catalog);
+  EXPECT_DOUBLE_EQ(ap, 1.0);
+}
+
+TEST_F(SearchEvalTest, UnresolvedStringMatchedViaLemma) {
+  // Baseline-style result: raw string matching a lemma of the relevant
+  // entity ("Relativity" is a b41 lemma).
+  std::vector<SearchResult> results{{kNa, "Relativity", 1.0}};
+  double ap = JudgeAveragePrecision(results, {w_.b41}, w_.catalog);
+  EXPECT_DOUBLE_EQ(ap, 1.0);
+}
+
+TEST_F(SearchEvalTest, DuplicatesDoNotDoubleCount) {
+  std::vector<SearchResult> results{{w_.b41, "Relativity", 2.0},
+                                    {kNa, "Relativity", 1.0}};
+  double ap = JudgeAveragePrecision(results, {w_.b41}, w_.catalog);
+  // Second occurrence is irrelevant; AP still 1.0 because the first rank
+  // already covered the only relevant entity.
+  EXPECT_DOUBLE_EQ(ap, 1.0);
+}
+
+TEST_F(SearchEvalTest, IrrelevantPrefixLowersAp) {
+  std::vector<SearchResult> results{{w_.b94, "wrong", 2.0},
+                                    {w_.b41, "Relativity", 1.0}};
+  double ap = JudgeAveragePrecision(results, {w_.b41}, w_.catalog);
+  EXPECT_DOUBLE_EQ(ap, 0.5);
+}
+
+TEST_F(SearchEvalTest, MissedRelevantLowersAp) {
+  std::vector<SearchResult> results{{w_.b41, "Relativity", 1.0}};
+  double ap =
+      JudgeAveragePrecision(results, {w_.b41, w_.b94}, w_.catalog);
+  EXPECT_DOUBLE_EQ(ap, 0.5);
+}
+
+TEST_F(SearchEvalTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(JudgeAveragePrecision({}, {w_.b41}, w_.catalog), 0.0);
+  EXPECT_DOUBLE_EQ(JudgeAveragePrecision({{w_.b41, "x", 1.0}}, {},
+                                         w_.catalog),
+                   0.0);
+}
+
+TEST_F(SearchEvalTest, DepthTruncates) {
+  std::vector<SearchResult> results;
+  for (int i = 0; i < 10; ++i) {
+    results.push_back({w_.b94, "filler", 10.0 - i});
+  }
+  results.push_back({w_.b41, "Relativity", 0.1});
+  // With depth 5 the relevant hit at rank 11 is never seen.
+  double ap = JudgeAveragePrecision(results, {w_.b41}, w_.catalog, 5);
+  EXPECT_DOUBLE_EQ(ap, 0.0);
+}
+
+TEST_F(SearchEvalTest, NormalizedLemmaMatching) {
+  // Case and punctuation differences must not matter.
+  std::vector<SearchResult> results{{kNa, "  a. einstein ", 1.0}};
+  double ap = JudgeAveragePrecision(results, {w_.einstein}, w_.catalog);
+  EXPECT_DOUBLE_EQ(ap, 1.0);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,103 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace webtab {
+namespace {
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("a b c", "b c d"), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("x", "x"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("x", "y"), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("x", ""), 0.0);
+}
+
+TEST(DiceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity("a b c", "b c d"), 2.0 * 2 / 6);
+  EXPECT_DOUBLE_EQ(DiceSimilarity("x", "x"), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity("", ""), 1.0);
+}
+
+TEST(EditSimilarityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  // "abc" vs "abd": one substitution over length 3.
+  EXPECT_NEAR(EditSimilarity("abc", "abd"), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", ""), 0.0);
+}
+
+TEST(EditSimilarityTest, NormalizesBeforeComparing) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("A. Einstein", "a einstein"), 1.0);
+}
+
+TEST(JaroWinklerTest, KnownBehaviour) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("einstein", "einstein"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xyz"), 0.0);
+  // Typo preserves high similarity.
+  EXPECT_GT(JaroWinkler("einstein", "einstien"), 0.9);
+  // Shared prefix boosts (Winkler modification).
+  EXPECT_GT(JaroWinkler("martha", "marhta"), JaroWinkler("artha", "arhta") - 1e-9);
+}
+
+TEST(TfIdfCosineWrapperTest, MatchesIdentity) {
+  Vocabulary vocab;
+  vocab.AddDocument({"albert", "einstein"});
+  vocab.AddDocument({"russell", "stannard"});
+  EXPECT_NEAR(TfIdfCosine("Albert Einstein", "albert einstein", &vocab),
+              1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      TfIdfCosine("Albert Einstein", "Russell Stannard", &vocab), 0.0);
+}
+
+TEST(ExactNormalizedMatchTest, Basic) {
+  EXPECT_TRUE(ExactNormalizedMatch("A. Einstein", "a einstein"));
+  EXPECT_FALSE(ExactNormalizedMatch("Einstein", "A. Einstein"));
+}
+
+TEST(TokenContainmentTest, Basic) {
+  EXPECT_DOUBLE_EQ(TokenContainment("uncle albert", "uncle albert and the"
+                                    " quantum quest"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TokenContainment("a b", "b c"), 0.5);
+  EXPECT_DOUBLE_EQ(TokenContainment("", "anything"), 0.0);
+}
+
+// ---- Property sweeps: range, symmetry, identity for all measures. ----
+
+using SimilarityFn = double (*)(std::string_view, std::string_view);
+
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<SimilarityFn, const char*, const char*>> {};
+
+TEST_P(SimilarityPropertyTest, RangeAndSymmetry) {
+  auto [fn, a, b] = GetParam();
+  double ab = fn(a, b);
+  double ba = fn(b, a);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+TEST_P(SimilarityPropertyTest, IdentityScoresOne) {
+  auto [fn, a, b] = GetParam();
+  (void)b;
+  if (std::string_view(a).empty()) GTEST_SKIP();
+  EXPECT_NEAR(fn(a, a), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, SimilarityPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(&JaccardSimilarity, &DiceSimilarity,
+                          &EditSimilarity, &JaroWinkler),
+        ::testing::Values("Albert Einstein", "The Clue of the Black Keys",
+                          "Kelvag United", "x"),
+        ::testing::Values("A. Einstein", "einstein", "Black Keys Clue",
+                          "totally unrelated words")));
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,66 @@
+#include "text/soft_tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include "text/similarity.h"
+
+namespace webtab {
+namespace {
+
+class SoftTfIdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_.AddDocument({"albert", "einstein"});
+    vocab_.AddDocument({"russell", "stannard"});
+    vocab_.AddDocument({"the", "quantum", "quest"});
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(SoftTfIdfTest, ExactMatchScoresOne) {
+  EXPECT_NEAR(SoftTfIdfSimilarity("albert einstein", "Albert Einstein",
+                                  &vocab_),
+              1.0, 1e-9);
+}
+
+TEST_F(SoftTfIdfTest, TypoStillMatchesUnlikeHardCosine) {
+  double hard = TfIdfCosine("Albert Einstien", "Albert Einstein", &vocab_);
+  double soft =
+      SoftTfIdfSimilarity("Albert Einstien", "Albert Einstein", &vocab_);
+  // Hard cosine only credits "albert"; soft credits the near-miss too.
+  EXPECT_GT(soft, hard);
+  EXPECT_GT(soft, 0.9);
+}
+
+TEST_F(SoftTfIdfTest, UnrelatedScoresZero) {
+  EXPECT_DOUBLE_EQ(
+      SoftTfIdfSimilarity("quantum quest", "russell", &vocab_), 0.0);
+}
+
+TEST_F(SoftTfIdfTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity("", "", &vocab_), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity("x", "", &vocab_), 0.0);
+}
+
+TEST_F(SoftTfIdfTest, ThresholdControlsSoftness) {
+  // With threshold 1.0 only exact token matches count.
+  double strict = SoftTfIdfSimilarity("Einstien", "Einstein", &vocab_, 1.0);
+  double loose = SoftTfIdfSimilarity("Einstien", "Einstein", &vocab_, 0.8);
+  EXPECT_DOUBLE_EQ(strict, 0.0);
+  EXPECT_GT(loose, 0.8);
+}
+
+TEST_F(SoftTfIdfTest, InUnitRange) {
+  const char* samples[] = {"albert", "albert einstein quest",
+                           "the the the", "zzz"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double s = SoftTfIdfSimilarity(a, b, &vocab_);
+      EXPECT_GE(s, 0.0) << a << " vs " << b;
+      EXPECT_LE(s, 1.0) << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webtab

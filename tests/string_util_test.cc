@@ -1,0 +1,85 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("Hello World"), "hello world");
+  EXPECT_EQ(ToLower("ABC123xyz"), "abc123xyz");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("nochange"), "nochange");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("xyz", ','), (std::vector<std::string>{"xyz"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyPieces) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(JoinSplitTest, RoundTrip) {
+  std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(Split(Join(pieces, "|"), '|'), pieces);
+}
+
+TEST(LooksNumericTest, AcceptsNumbers) {
+  EXPECT_TRUE(LooksNumeric("1987"));
+  EXPECT_TRUE(LooksNumeric("-3.14"));
+  EXPECT_TRUE(LooksNumeric("1,234,567"));
+  EXPECT_TRUE(LooksNumeric("85%"));
+  EXPECT_TRUE(LooksNumeric("$12.50"));
+  EXPECT_TRUE(LooksNumeric(" 42 "));
+}
+
+TEST(LooksNumericTest, RejectsText) {
+  EXPECT_FALSE(LooksNumeric("Einstein"));
+  EXPECT_FALSE(LooksNumeric("3 apples"));
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("-"));       // No digit at all.
+  EXPECT_FALSE(LooksNumeric("1987a"));
+}
+
+TEST(ReplaceAllTest, Basic) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", " "), "a b c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // Non-overlapping scan.
+  EXPECT_EQ(ReplaceAll("none", "xx", "y"), "none");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");  // Empty pattern is identity.
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(500, 'a');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,111 @@
+#include "table/table_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+constexpr char kGoodTable[] =
+    "<p>List of books</p>"
+    "<table><tr><th>Title</th><th>Author</th></tr>"
+    "<tr><td>Relativity</td><td>Einstein</td></tr>"
+    "<tr><td>Uncle Albert</td><td>Stannard</td></tr>"
+    "<tr><td>Black Keys</td><td>Keene</td></tr></table>";
+
+TEST(MaterializeTableTest, PromotesHeaderRow) {
+  auto raw = ParseHtmlTables(kGoodTable);
+  ASSERT_EQ(raw.size(), 1u);
+  Table t = MaterializeTable(raw[0]);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_TRUE(t.has_headers());
+  EXPECT_EQ(t.header(0), "Title");
+  EXPECT_EQ(t.cell(0, 1), "Einstein");
+  EXPECT_NE(t.context().find("List of books"), std::string::npos);
+}
+
+TEST(MaterializeTableTest, NoHeaderRowKeepsAllRows) {
+  auto raw = ParseHtmlTables(
+      "<table><tr><td>a</td><td>b</td></tr>"
+      "<tr><td>c</td><td>d</td></tr></table>");
+  ASSERT_EQ(raw.size(), 1u);
+  Table t = MaterializeTable(raw[0]);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_FALSE(t.has_headers());
+}
+
+TEST(TableExtractorTest, AcceptsGoodRejectsLayout) {
+  std::string page = std::string("<html>") + kGoodTable +
+                     // A nav bar (link farm).
+                     "<table><tr>"
+                     "<td><a href='/'>A</a><a href='/'>B</a>"
+                     "<a href='/'>C</a></td>"
+                     "<td><a href='/'>D</a><a href='/'>E</a>"
+                     "<a href='/'>F</a></td></tr>"
+                     "<tr><td><a href='/'>G</a><a href='/'>H</a>"
+                     "<a href='/'>I</a></td>"
+                     "<td><a href='/'>J</a><a href='/'>K</a>"
+                     "<a href='/'>L</a></td></tr></table>"
+                     // A spacer.
+                     "<table><tr><td>&nbsp;</td></tr></table>"
+                     "</html>";
+  TableExtractor extractor;
+  std::vector<Table> out;
+  extractor.ExtractFromPage(page, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(extractor.stats().raw_tables, 3);
+  EXPECT_EQ(extractor.stats().accepted, 1);
+  EXPECT_GE(extractor.stats().rejected_too_small +
+                extractor.stats().rejected_layout,
+            2);
+}
+
+TEST(TableExtractorTest, AssignsSequentialIds) {
+  TableExtractor extractor;
+  std::vector<Table> out;
+  extractor.ExtractFromPage(kGoodTable, &out);
+  extractor.ExtractFromPage(kGoodTable, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id(), 0);
+  EXPECT_EQ(out[1].id(), 1);
+}
+
+TEST(TableExtractorTest, MergedCellsRejected) {
+  TableExtractor extractor;
+  std::vector<Table> out;
+  // Regular grid (every row has 2 cells) but with a rowspan: the merged
+  // check fires rather than the irregularity check.
+  extractor.ExtractFromPage(
+      "<table><tr><td rowspan='2'>x</td><td>y</td></tr>"
+      "<tr><td>a</td><td>b</td></tr>"
+      "<tr><td>c</td><td>d</td></tr></table>",
+      &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(extractor.stats().rejected_merged, 1);
+}
+
+TEST(TableExtractorTest, BrokenHtmlDoesNotCrash) {
+  TableExtractor extractor;
+  std::vector<Table> out;
+  extractor.ExtractFromPage("<table><tr><td>a</td", &out);
+  extractor.ExtractFromPage("<<<>>><table></table>", &out);
+  extractor.ExtractFromPage("", &out);
+  SUCCEED();
+}
+
+TEST(ExtractionStatsTest, AddAccumulates) {
+  ExtractionStats a;
+  a.raw_tables = 2;
+  a.accepted = 1;
+  ExtractionStats b;
+  b.raw_tables = 3;
+  b.rejected_merged = 1;
+  a.Add(b);
+  EXPECT_EQ(a.raw_tables, 5);
+  EXPECT_EQ(a.accepted, 1);
+  EXPECT_EQ(a.rejected_merged, 1);
+  EXPECT_NE(a.DebugString().find("raw=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,117 @@
+#include "table/table_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+RawTable MakeGrid(int rows, int cols, bool header_row = false) {
+  RawTable t;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<RawCell> row;
+    for (int c = 0; c < cols; ++c) {
+      RawCell cell;
+      cell.text = "cell " + std::to_string(r) + "," + std::to_string(c);
+      cell.is_header = header_row && r == 0;
+      row.push_back(cell);
+    }
+    t.rows.push_back(row);
+  }
+  return t;
+}
+
+TEST(TableFilterTest, AcceptsRegularDataTable) {
+  RawTable t = MakeGrid(5, 3, /*header_row=*/true);
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kRelational);
+}
+
+TEST(TableFilterTest, RejectsEmpty) {
+  RawTable t;
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kTooSmall);
+}
+
+TEST(TableFilterTest, RejectsTooFewRows) {
+  // One header row + one data row < min 2 data rows.
+  RawTable t = MakeGrid(2, 3, /*header_row=*/true);
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kTooSmall);
+}
+
+TEST(TableFilterTest, RejectsSingleColumn) {
+  RawTable t = MakeGrid(5, 1);
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kTooSmall);
+}
+
+TEST(TableFilterTest, RejectsTooWide) {
+  RawTable t = MakeGrid(3, 40);
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kTooWide);
+}
+
+TEST(TableFilterTest, RejectsIrregular) {
+  RawTable t = MakeGrid(4, 3);
+  t.rows[2].pop_back();
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kIrregular);
+}
+
+TEST(TableFilterTest, RejectsMergedCells) {
+  RawTable t = MakeGrid(4, 3);
+  t.rows[1][1].colspan = 2;
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kMergedCells);
+}
+
+TEST(TableFilterTest, RejectsMostlyEmpty) {
+  RawTable t = MakeGrid(4, 3);
+  for (auto& row : t.rows) {
+    for (auto& cell : row) cell.text = "  ";
+  }
+  t.rows[0][0].text = "only one";
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kTooManyEmptyCells);
+}
+
+TEST(TableFilterTest, RejectsLinkFarm) {
+  RawTable t = MakeGrid(4, 3);
+  for (auto& row : t.rows) {
+    for (auto& cell : row) cell.link_count = 5;
+  }
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kLinkFarm);
+}
+
+TEST(TableFilterTest, RejectsFormLayout) {
+  RawTable t = MakeGrid(4, 3);
+  t.rows[0][0].form_count = 1;
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kFormLayout);
+}
+
+TEST(TableFilterTest, RejectsLongText) {
+  RawTable t = MakeGrid(4, 3);
+  t.rows[1][1].text = std::string(500, 'x');
+  EXPECT_EQ(ScreenTable(t, TableFilterOptions()),
+            FilterVerdict::kLongText);
+}
+
+TEST(TableFilterTest, OptionsAreHonored) {
+  TableFilterOptions loose;
+  loose.min_rows = 1;
+  loose.min_cols = 1;
+  RawTable t = MakeGrid(1, 1);
+  EXPECT_EQ(ScreenTable(t, loose), FilterVerdict::kRelational);
+}
+
+TEST(FilterVerdictNameTest, AllNamed) {
+  EXPECT_EQ(FilterVerdictName(FilterVerdict::kRelational), "relational");
+  EXPECT_EQ(FilterVerdictName(FilterVerdict::kLinkFarm), "link-farm");
+  EXPECT_EQ(FilterVerdictName(FilterVerdict::kMergedCells),
+            "merged-cells");
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,160 @@
+#include "inference/table_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/belief_propagation.h"
+#include "inference/brute_force.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+class TableGraphTest : public ::testing::Test {
+ protected:
+  TableGraphTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        features_(&closure_, index_.vocabulary()),
+        table_(MakeFigure1Table()) {
+    candidates_ = GenerateCandidates(table_, index_, &closure_,
+                                     CandidateOptions());
+    space_ = TableLabelSpace::Build(table_, candidates_);
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  FeatureComputer features_;
+  Table table_;
+  TableCandidates candidates_;
+  TableLabelSpace space_;
+};
+
+TEST_F(TableGraphTest, StructureMatchesFigure10) {
+  TableGraph graph = BuildTableGraph(table_, space_, &features_,
+                                     Weights::Default());
+  // 2 type vars + 4 entity vars + 1 relation var.
+  EXPECT_EQ(graph.graph.num_variables(), 7);
+  // φ3 per (col, row) = 4; φ5 per (pair, row) = 2; φ4 per pair = 1.
+  int phi3 = 0, phi4 = 0, phi5 = 0;
+  for (int f = 0; f < graph.graph.num_factors(); ++f) {
+    switch (graph.graph.factor(f).group) {
+      case kGroupPhi3: ++phi3; break;
+      case kGroupPhi4: ++phi4; break;
+      case kGroupPhi5: ++phi5; break;
+      default: FAIL() << "unexpected group";
+    }
+  }
+  EXPECT_EQ(phi3, 4);
+  EXPECT_EQ(phi5, 2);
+  EXPECT_EQ(phi4, 1);
+}
+
+TEST_F(TableGraphTest, NoRelationsOptionOmitsRelationMachinery) {
+  TableGraphOptions options;
+  options.use_relations = false;
+  TableGraph graph = BuildTableGraph(table_, space_, &features_,
+                                     Weights::Default(), options);
+  EXPECT_TRUE(graph.relation_var.empty());
+  for (int f = 0; f < graph.graph.num_factors(); ++f) {
+    EXPECT_EQ(graph.graph.factor(f).group, kGroupPhi3);
+  }
+}
+
+TEST_F(TableGraphTest, DecodeOfBpGetsFigure1Right) {
+  TableGraph graph = BuildTableGraph(table_, space_, &features_,
+                                     Weights::Default());
+  BpResult bp = RunBeliefPropagation(graph.graph);
+  TableAnnotation annotation = bp.assignment.empty()
+                                   ? TableAnnotation::Empty(2, 2)
+                                   : graph.DecodeAssignment(bp.assignment,
+                                                            space_);
+  // The core Figure 1 claim: despite 'Title' ambiguity and "A. Einstein",
+  // the collective model labels books + person and resolves entities.
+  EXPECT_EQ(annotation.TypeOf(0), w_.book);
+  EXPECT_EQ(annotation.EntityOf(0, 0), w_.b95);
+  EXPECT_EQ(annotation.EntityOf(1, 0), w_.b41);
+  EXPECT_EQ(annotation.EntityOf(0, 1), w_.stannard);
+  EXPECT_EQ(annotation.EntityOf(1, 1), w_.einstein);
+  RelationCandidate rel = annotation.RelationOf(0, 1);
+  EXPECT_EQ(rel.relation, w_.author);
+  EXPECT_FALSE(rel.swapped);
+}
+
+TEST_F(TableGraphTest, EncodeDecodeRoundTrip) {
+  TableGraph graph = BuildTableGraph(table_, space_, &features_,
+                                     Weights::Default());
+  TableAnnotation annotation = TableAnnotation::Empty(2, 2);
+  annotation.column_types[0] = w_.book;
+  annotation.cell_entities[1][1] = w_.einstein;
+  annotation.relations[{0, 1}] = RelationCandidate{w_.author, false};
+  std::vector<int> assignment = graph.EncodeAnnotation(annotation, space_);
+  TableAnnotation back = graph.DecodeAssignment(assignment, space_);
+  EXPECT_EQ(back.TypeOf(0), w_.book);
+  EXPECT_EQ(back.EntityOf(1, 1), w_.einstein);
+  EXPECT_EQ(back.RelationOf(0, 1), (RelationCandidate{w_.author, false}));
+}
+
+TEST_F(TableGraphTest, EncodeMissingLabelFallsBackToNa) {
+  TableGraph graph = BuildTableGraph(table_, space_, &features_,
+                                     Weights::Default());
+  TableAnnotation annotation = TableAnnotation::Empty(2, 2);
+  annotation.cell_entities[0][0] = 999999;  // Not in any domain.
+  std::vector<int> assignment = graph.EncodeAnnotation(annotation, space_);
+  TableAnnotation back = graph.DecodeAssignment(assignment, space_);
+  EXPECT_EQ(back.EntityOf(0, 0), kNa);
+}
+
+TEST_F(TableGraphTest, GraphScoreMatchesManualSum) {
+  // Score of an assignment through the graph must equal summing the
+  // potentials by hand (φ1+φ2+φ3+φ4+φ5).
+  Weights w = Weights::Default();
+  TableGraph graph = BuildTableGraph(table_, space_, &features_, w);
+  TableAnnotation annotation = TableAnnotation::Empty(2, 2);
+  annotation.column_types[0] = w_.book;
+  annotation.column_types[1] = w_.person;
+  annotation.cell_entities[0][0] = w_.b95;
+  annotation.cell_entities[1][0] = w_.b41;
+  annotation.cell_entities[0][1] = w_.stannard;
+  annotation.cell_entities[1][1] = w_.einstein;
+  annotation.relations[{0, 1}] = RelationCandidate{w_.author, false};
+
+  std::vector<int> assignment = graph.EncodeAnnotation(annotation, space_);
+  double graph_score = graph.graph.ScoreAssignment(assignment);
+
+  double manual = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    manual += features_.Phi2Log(w, table_.header(c),
+                                annotation.TypeOf(c));
+    for (int r = 0; r < 2; ++r) {
+      manual += features_.Phi1Log(w, table_.cell(r, c),
+                                  annotation.EntityOf(r, c));
+      manual += features_.Phi3Log(w, annotation.TypeOf(c),
+                                  annotation.EntityOf(r, c));
+    }
+  }
+  RelationCandidate rel = annotation.RelationOf(0, 1);
+  manual += features_.Phi4Log(w, rel, w_.book, w_.person);
+  for (int r = 0; r < 2; ++r) {
+    manual += features_.Phi5Log(w, rel, annotation.EntityOf(r, 0),
+                                annotation.EntityOf(r, 1));
+  }
+  EXPECT_NEAR(graph_score, manual, 1e-9);
+}
+
+TEST_F(TableGraphTest, BpMatchesBruteForceOnFigure1) {
+  TableGraph graph = BuildTableGraph(table_, space_, &features_,
+                                     Weights::Default());
+  BpResult bp = RunBeliefPropagation(graph.graph);
+  Result<BruteForceResult> exact = SolveBruteForce(graph.graph, 10000000);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_NEAR(bp.score, exact->score, 1e-6);
+}
+
+}  // namespace
+}  // namespace webtab

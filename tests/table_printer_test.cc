@@ -1,0 +1,44 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace webtab {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"x", "1"});
+  printer.AddRow({"longer-name", "2"});
+  std::ostringstream os;
+  printer.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2     |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"1"});
+  std::ostringstream os;
+  printer.Print(os);
+  // Three header cells, one data row with empty trailing cells.
+  EXPECT_NE(os.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(0.5), "0.50");
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter printer({"solo"});
+  std::ostringstream os;
+  printer.Print(os);
+  EXPECT_NE(os.str().find("solo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,103 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include "table/annotation.h"
+
+namespace webtab {
+namespace {
+
+TEST(TableTest, CellAccess) {
+  Table t(2, 3);
+  t.set_cell(0, 0, "a");
+  t.set_cell(1, 2, "z");
+  EXPECT_EQ(t.cell(0, 0), "a");
+  EXPECT_EQ(t.cell(1, 2), "z");
+  EXPECT_EQ(t.cell(0, 1), "");
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+}
+
+TEST(TableTest, HeadersOptional) {
+  Table t(1, 2);
+  EXPECT_FALSE(t.has_headers());
+  EXPECT_EQ(t.header(0), "");
+  t.set_header(1, "Name");
+  EXPECT_TRUE(t.has_headers());
+  EXPECT_EQ(t.header(0), "");
+  EXPECT_EQ(t.header(1), "Name");
+}
+
+TEST(TableTest, NumericFraction) {
+  Table t(4, 2);
+  t.set_cell(0, 0, "1987");
+  t.set_cell(1, 0, "23");
+  t.set_cell(2, 0, "foo");
+  t.set_cell(3, 0, "5.5");
+  for (int r = 0; r < 4; ++r) t.set_cell(r, 1, "text");
+  EXPECT_DOUBLE_EQ(t.NumericFraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(t.NumericFraction(1), 0.0);
+}
+
+TEST(TableTest, ContextAndId) {
+  Table t(1, 1);
+  t.set_context("List of things");
+  t.set_id(42);
+  EXPECT_EQ(t.context(), "List of things");
+  EXPECT_EQ(t.id(), 42);
+}
+
+TEST(TableTest, DebugStringContainsCells) {
+  Table t(1, 2);
+  t.set_header(0, "H1");
+  t.set_header(1, "H2");
+  t.set_cell(0, 0, "v1");
+  t.set_cell(0, 1, "v2");
+  std::string s = t.DebugString();
+  EXPECT_NE(s.find("H1"), std::string::npos);
+  EXPECT_NE(s.find("v2"), std::string::npos);
+}
+
+TEST(TableDeathTest, HeaderOutOfRange) {
+  Table t(1, 1);
+  EXPECT_DEATH(t.header(5), "Check failed");
+}
+
+TEST(AnnotationTest, EmptyIsAllNa) {
+  TableAnnotation a = TableAnnotation::Empty(2, 3);
+  EXPECT_EQ(a.TypeOf(0), kNa);
+  EXPECT_EQ(a.EntityOf(1, 2), kNa);
+  EXPECT_TRUE(a.RelationOf(0, 1).is_na());
+  EXPECT_EQ(a.CountEntityLabels(), 0);
+  EXPECT_EQ(a.CountTypeLabels(), 0);
+  EXPECT_EQ(a.CountRelationLabels(), 0);
+}
+
+TEST(AnnotationTest, OutOfRangeAccessIsNa) {
+  TableAnnotation a = TableAnnotation::Empty(1, 1);
+  EXPECT_EQ(a.TypeOf(-1), kNa);
+  EXPECT_EQ(a.TypeOf(5), kNa);
+  EXPECT_EQ(a.EntityOf(9, 0), kNa);
+  EXPECT_EQ(a.EntityOf(0, 9), kNa);
+}
+
+TEST(AnnotationTest, Counters) {
+  TableAnnotation a = TableAnnotation::Empty(2, 2);
+  a.column_types[0] = 3;
+  a.cell_entities[0][0] = 7;
+  a.cell_entities[1][1] = 8;
+  a.relations[{0, 1}] = RelationCandidate{2, false};
+  a.relations[{0, 1}].relation = 2;
+  EXPECT_EQ(a.CountTypeLabels(), 1);
+  EXPECT_EQ(a.CountEntityLabels(), 2);
+  EXPECT_EQ(a.CountRelationLabels(), 1);
+}
+
+TEST(AnnotationTest, NaRelationEntryNotCounted) {
+  TableAnnotation a = TableAnnotation::Empty(1, 2);
+  a.relations[{0, 1}] = RelationCandidate{};  // na.
+  EXPECT_EQ(a.CountRelationLabels(), 0);
+}
+
+}  // namespace
+}  // namespace webtab

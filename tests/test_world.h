@@ -1,0 +1,119 @@
+#ifndef WEBTAB_TESTS_TEST_WORLD_H_
+#define WEBTAB_TESTS_TEST_WORLD_H_
+
+#include "catalog/catalog_builder.h"
+#include "common/logging.h"
+#include "index/lemma_index.h"
+#include "synth/world_generator.h"
+#include "table/table.h"
+
+namespace webtab {
+namespace testing_util {
+
+/// A small deterministic world shared across tests in a binary (built
+/// once). Small enough to keep any single test under a second.
+inline const World& SharedWorld() {
+  static const World* world = [] {
+    WorldSpec spec;
+    spec.seed = 42;
+    spec.people_per_profession = 60;
+    spec.num_movies = 160;
+    spec.num_novels = 90;
+    spec.num_clubs = 25;
+    spec.num_countries = 15;
+    spec.num_cities = 50;
+    spec.num_languages = 15;
+    return new World(GenerateWorld(spec));
+  }();
+  return *world;
+}
+
+inline const LemmaIndex& SharedIndex() {
+  static const LemmaIndex* index =
+      new LemmaIndex(&SharedWorld().catalog);
+  return *index;
+}
+
+/// The Figure 1 micro-world: books, physicists, and the writes relation.
+/// Hand-built so feature values can be checked by hand. Layout:
+///   types: entity(0) person book physicist
+///   entities: Albert Einstein (P22), Russell Stannard,
+///             "The Time and Space of Uncle Albert" (B94),
+///             "Uncle Albert and the Quantum Quest" (B95),
+///             "Relativity: The Special and the General Theory" (B41)
+///   relation: author(book, person)
+struct Figure1World {
+  Catalog catalog;
+  TypeId person, book, physicist;
+  EntityId einstein, stannard, b94, b95, b41;
+  RelationId author;
+};
+
+inline Figure1World MakeFigure1World() {
+  Figure1World w;
+  CatalogBuilder builder;
+  w.person = builder.AddType("person");
+  WEBTAB_CHECK_OK(builder.AddTypeLemma(w.person, "person"));
+  WEBTAB_CHECK_OK(builder.AddTypeLemma(w.person, "author"));
+  w.book = builder.AddType("book");
+  WEBTAB_CHECK_OK(builder.AddTypeLemma(w.book, "book"));
+  WEBTAB_CHECK_OK(builder.AddTypeLemma(w.book, "title"));
+  w.physicist = builder.AddType("physicist");
+  WEBTAB_CHECK_OK(builder.AddSubtype(w.physicist, w.person));
+
+  w.einstein = builder.AddEntity("Albert Einstein");
+  WEBTAB_CHECK_OK(builder.AddEntityLemma(w.einstein, "Albert Einstein"));
+  WEBTAB_CHECK_OK(builder.AddEntityLemma(w.einstein, "A. Einstein"));
+  WEBTAB_CHECK_OK(builder.AddEntityLemma(w.einstein, "Einstein"));
+  WEBTAB_CHECK_OK(builder.AddEntityType(w.einstein, w.physicist));
+
+  w.stannard = builder.AddEntity("Russell Stannard");
+  WEBTAB_CHECK_OK(builder.AddEntityLemma(w.stannard, "Russell Stannard"));
+  WEBTAB_CHECK_OK(builder.AddEntityType(w.stannard, w.person));
+
+  w.b94 = builder.AddEntity("The Time and Space of Uncle Albert");
+  WEBTAB_CHECK_OK(
+      builder.AddEntityLemma(w.b94, "The Time and Space of Uncle Albert"));
+  WEBTAB_CHECK_OK(builder.AddEntityType(w.b94, w.book));
+
+  w.b95 = builder.AddEntity("Uncle Albert and the Quantum Quest");
+  WEBTAB_CHECK_OK(
+      builder.AddEntityLemma(w.b95, "Uncle Albert and the Quantum Quest"));
+  WEBTAB_CHECK_OK(builder.AddEntityType(w.b95, w.book));
+
+  w.b41 = builder.AddEntity(
+      "Relativity: The Special and the General Theory");
+  WEBTAB_CHECK_OK(builder.AddEntityLemma(
+      w.b41, "Relativity: The Special and the General Theory"));
+  WEBTAB_CHECK_OK(builder.AddEntityLemma(w.b41, "Relativity"));
+  WEBTAB_CHECK_OK(builder.AddEntityType(w.b41, w.book));
+
+  w.author = builder.AddRelation("author", w.book, w.person,
+                                 RelationCardinality::kManyToOne);
+  WEBTAB_CHECK_OK(builder.AddTuple(w.author, w.b94, w.stannard));
+  WEBTAB_CHECK_OK(builder.AddTuple(w.author, w.b95, w.stannard));
+  WEBTAB_CHECK_OK(builder.AddTuple(w.author, w.b41, w.einstein));
+
+  Result<Catalog> result = builder.Build();
+  WEBTAB_CHECK(result.ok()) << result.status().ToString();
+  w.catalog = std::move(result.value());
+  return w;
+}
+
+/// The Figure 1 source table: Title | Author with the B95/B41 rows.
+inline Table MakeFigure1Table() {
+  Table table(2, 2);
+  table.set_header(0, "Title");
+  table.set_header(1, "written by");
+  table.set_cell(0, 0, "Uncle Albert and the Quantum Quest");
+  table.set_cell(0, 1, "Russell Stannard");
+  table.set_cell(1, 0, "Relativity: The Special and the General Theory");
+  table.set_cell(1, 1, "A. Einstein");
+  table.set_context("A list of popular science books");
+  return table;
+}
+
+}  // namespace testing_util
+}  // namespace webtab
+
+#endif  // WEBTAB_TESTS_TEST_WORLD_H_

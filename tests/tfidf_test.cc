@@ -1,0 +1,69 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace webtab {
+namespace {
+
+class TfIdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Corpus: "the" is common, content words are rare.
+    for (int i = 0; i < 20; ++i) {
+      vocab_.AddDocument({"the", "w" + std::to_string(i)});
+    }
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(TfIdfTest, IdenticalTextsHaveCosineOne) {
+  TfIdfVector a = TfIdfVector::Make("the w3 w4", &vocab_);
+  TfIdfVector b = TfIdfVector::Make("the w3 w4", &vocab_);
+  EXPECT_NEAR(a.Cosine(b), 1.0, 1e-12);
+}
+
+TEST_F(TfIdfTest, DisjointTextsHaveCosineZero) {
+  TfIdfVector a = TfIdfVector::Make("w1 w2", &vocab_);
+  TfIdfVector b = TfIdfVector::Make("w3 w4", &vocab_);
+  EXPECT_DOUBLE_EQ(a.Cosine(b), 0.0);
+}
+
+TEST_F(TfIdfTest, EmptyTextYieldsEmptyVector) {
+  TfIdfVector empty = TfIdfVector::Make("", &vocab_);
+  EXPECT_TRUE(empty.empty());
+  TfIdfVector other = TfIdfVector::Make("w1", &vocab_);
+  EXPECT_DOUBLE_EQ(empty.Cosine(other), 0.0);
+}
+
+TEST_F(TfIdfTest, RareTokenOverlapBeatsCommonTokenOverlap) {
+  // Shared rare word should score higher than shared stopword.
+  TfIdfVector q = TfIdfVector::Make("the w5", &vocab_);
+  TfIdfVector share_rare = TfIdfVector::Make("w5 w9", &vocab_);
+  TfIdfVector share_common = TfIdfVector::Make("the w9", &vocab_);
+  EXPECT_GT(q.Cosine(share_rare), q.Cosine(share_common));
+}
+
+TEST_F(TfIdfTest, VectorIsL2Normalized) {
+  TfIdfVector v = TfIdfVector::Make("the w1 w2", &vocab_);
+  double norm_sq = 0.0;
+  for (const auto& [id, w] : v.entries()) norm_sq += w * w;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST_F(TfIdfTest, CosineSymmetric) {
+  TfIdfVector a = TfIdfVector::Make("the w1 w2", &vocab_);
+  TfIdfVector b = TfIdfVector::Make("w2 w3", &vocab_);
+  EXPECT_DOUBLE_EQ(a.Cosine(b), b.Cosine(a));
+}
+
+TEST_F(TfIdfTest, RepeatedTokensIncreaseWeight) {
+  TfIdfVector once = TfIdfVector::Make("w1 w2", &vocab_);
+  TfIdfVector twice = TfIdfVector::Make("w1 w1 w2", &vocab_);
+  TfIdfVector probe = TfIdfVector::Make("w1", &vocab_);
+  EXPECT_GT(probe.Cosine(twice), probe.Cosine(once));
+}
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,54 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("A. Einstein"),
+            (std::vector<std::string>{"a", "einstein"}));
+  EXPECT_EQ(Tokenize("Relativity: The Special"),
+            (std::vector<std::string>{"relativity", "the", "special"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("1950s films"),
+            (std::vector<std::string>{"1950s", "films"}));
+  EXPECT_EQ(Tokenize("year 2008"),
+            (std::vector<std::string>{"year", "2008"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("...---!!!").empty());
+  EXPECT_TRUE(Tokenize("   ").empty());
+}
+
+TEST(TokenizerTest, HyphensAndSlashesSeparate) {
+  EXPECT_EQ(Tokenize("science-fiction/fantasy"),
+            (std::vector<std::string>{"science", "fiction", "fantasy"}));
+}
+
+TEST(NormalizeTextTest, CanonicalForm) {
+  EXPECT_EQ(NormalizeText("  A.  Einstein "), "a einstein");
+  EXPECT_EQ(NormalizeText("A Einstein"), NormalizeText("a... EINSTEIN!"));
+  EXPECT_EQ(NormalizeText(""), "");
+}
+
+// Property: normalization is idempotent.
+class NormalizeIdempotentTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NormalizeIdempotentTest, Idempotent) {
+  std::string once = NormalizeText(GetParam());
+  EXPECT_EQ(NormalizeText(once), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, NormalizeIdempotentTest,
+    ::testing::Values("Albert Einstein", "  ", "a-b-c", "The Clue of the "
+                      "Black Keys", "1,234 items", "MiXeD CaSe!!"));
+
+}  // namespace
+}  // namespace webtab

@@ -1,0 +1,75 @@
+#include "inference/unique_constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace webtab {
+namespace {
+
+TEST(UniqueConstraintTest, NoConflictKeepsBestLabels) {
+  // Two cells, disjoint candidates: both take their best.
+  std::vector<std::vector<EntityId>> domains = {{kNa, 10, 11},
+                                                {kNa, 20, 21}};
+  std::vector<std::vector<double>> scores = {{0.0, 2.0, 1.0},
+                                             {0.0, 0.5, 3.0}};
+  auto labels = AssignUniqueEntities(domains, scores);
+  EXPECT_EQ(labels, (std::vector<int>{1, 2}));
+}
+
+TEST(UniqueConstraintTest, ConflictResolvedGlobally) {
+  // Both cells prefer entity 10, but cell 0 gains more from it; cell 1
+  // takes its second choice.
+  std::vector<std::vector<EntityId>> domains = {{kNa, 10, 11},
+                                                {kNa, 10, 12}};
+  std::vector<std::vector<double>> scores = {{0.0, 5.0, 1.0},
+                                             {0.0, 4.0, 3.5}};
+  auto labels = AssignUniqueEntities(domains, scores);
+  EXPECT_EQ(domains[0][labels[0]], 10);
+  EXPECT_EQ(domains[1][labels[1]], 12);
+}
+
+TEST(UniqueConstraintTest, GlobalOptimumBeatsGreedy) {
+  // Greedy gives cell 0 entity 10 (5.0), forcing cell 1 to na (0), total
+  // 5. Optimal: cell 0 takes 11 (4.9), cell 1 takes 10 (4.8), total 9.7.
+  std::vector<std::vector<EntityId>> domains = {{kNa, 10, 11}, {kNa, 10}};
+  std::vector<std::vector<double>> scores = {{0.0, 5.0, 4.9}, {0.0, 4.8}};
+  auto labels = AssignUniqueEntities(domains, scores);
+  EXPECT_EQ(domains[0][labels[0]], 11);
+  EXPECT_EQ(domains[1][labels[1]], 10);
+}
+
+TEST(UniqueConstraintTest, NaRepeatsFreely) {
+  std::vector<std::vector<EntityId>> domains = {{kNa}, {kNa}, {kNa}};
+  std::vector<std::vector<double>> scores = {{0.0}, {0.0}, {0.0}};
+  auto labels = AssignUniqueEntities(domains, scores);
+  EXPECT_EQ(labels, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(UniqueConstraintTest, NegativeScoresPreferNa) {
+  std::vector<std::vector<EntityId>> domains = {{kNa, 10}};
+  std::vector<std::vector<double>> scores = {{0.0, -2.0}};
+  auto labels = AssignUniqueEntities(domains, scores);
+  EXPECT_EQ(labels[0], 0);
+}
+
+TEST(UniqueConstraintTest, ManyCellsFewEntities) {
+  // Three cells all wanting the same entity: exactly one gets it.
+  std::vector<std::vector<EntityId>> domains = {
+      {kNa, 10}, {kNa, 10}, {kNa, 10}};
+  std::vector<std::vector<double>> scores = {
+      {0.0, 1.0}, {0.0, 2.0}, {0.0, 3.0}};
+  auto labels = AssignUniqueEntities(domains, scores);
+  int assigned = 0;
+  for (int l : labels) {
+    if (l == 1) ++assigned;
+  }
+  EXPECT_EQ(assigned, 1);
+  EXPECT_EQ(labels[2], 1);  // Highest scorer wins.
+}
+
+TEST(UniqueConstraintTest, EmptyInput) {
+  auto labels = AssignUniqueEntities({}, {});
+  EXPECT_TRUE(labels.empty());
+}
+
+}  // namespace
+}  // namespace webtab

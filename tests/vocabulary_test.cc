@@ -1,0 +1,60 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace webtab {
+namespace {
+
+TEST(VocabularyTest, InternAssignsStableIds) {
+  Vocabulary vocab;
+  TokenId a = vocab.Intern("apple");
+  TokenId b = vocab.Intern("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.Intern("apple"), a);
+  EXPECT_EQ(vocab.TokenText(a), "apple");
+  EXPECT_EQ(vocab.size(), 2);
+}
+
+TEST(VocabularyTest, LookupDoesNotIntern) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Lookup("ghost"), kInvalidToken);
+  EXPECT_EQ(vocab.size(), 0);
+  vocab.Intern("real");
+  EXPECT_NE(vocab.Lookup("real"), kInvalidToken);
+}
+
+TEST(VocabularyTest, DocumentFrequencyCountsDistinctPerDoc) {
+  Vocabulary vocab;
+  vocab.AddDocument({"new", "york", "new"});  // "new" counted once.
+  vocab.AddDocument({"new", "jersey"});
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("new")), 2);
+  EXPECT_EQ(vocab.DocumentFrequency(vocab.Lookup("york")), 1);
+  EXPECT_EQ(vocab.num_documents(), 2);
+}
+
+TEST(VocabularyTest, IdfOrdersRareAboveCommon) {
+  Vocabulary vocab;
+  for (int i = 0; i < 50; ++i) vocab.AddDocument({"the", "word" + std::to_string(i)});
+  double idf_the = vocab.IdfOf("the");
+  double idf_rare = vocab.IdfOf("word7");
+  double idf_unknown = vocab.IdfOf("neverseen");
+  EXPECT_LT(idf_the, idf_rare);
+  EXPECT_LE(idf_rare, idf_unknown);
+  EXPECT_GT(idf_the, 0.0);  // Smoothed IDF stays positive.
+}
+
+TEST(VocabularyTest, UnknownTokenGetsMaxIdf) {
+  Vocabulary vocab;
+  vocab.AddDocument({"a"});
+  EXPECT_DOUBLE_EQ(vocab.Idf(kInvalidToken), vocab.IdfOf("unseen"));
+}
+
+TEST(VocabularyDeathTest, TokenTextBoundsChecked) {
+  Vocabulary vocab;
+  EXPECT_DEATH(vocab.TokenText(5), "Check failed");
+}
+
+}  // namespace
+}  // namespace webtab

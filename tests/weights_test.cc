@@ -1,0 +1,94 @@
+#include "model/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace webtab {
+namespace {
+
+TEST(WeightsTest, ZeroHasCorrectSizes) {
+  Weights w = Weights::Zero();
+  EXPECT_EQ(w.w1.size(), static_cast<size_t>(kF1Size));
+  EXPECT_EQ(w.w2.size(), static_cast<size_t>(kF2Size));
+  EXPECT_EQ(w.w3.size(), static_cast<size_t>(kF3Size));
+  EXPECT_EQ(w.w4.size(), static_cast<size_t>(kF4Size));
+  EXPECT_EQ(w.w5.size(), static_cast<size_t>(kF5Size));
+  EXPECT_EQ(w.TotalSize(),
+            kF1Size + kF2Size + kF3Size + kF4Size + kF5Size);
+}
+
+TEST(WeightsTest, DefaultSignStructure) {
+  Weights w = Weights::Default();
+  // Similarities positive, biases negative, cardinality violation
+  // negative — the structure the annotator relies on before training.
+  EXPECT_GT(w.w1[0], 0.0);
+  EXPECT_LT(w.w1[kF1Size - 1], 0.0);
+  EXPECT_GT(w.w5[0], 0.0);
+  EXPECT_LT(w.w5[1], 0.0);
+}
+
+TEST(WeightsTest, FlattenRoundTrip) {
+  Weights w = Weights::Default();
+  std::vector<double> flat = w.Flatten();
+  ASSERT_EQ(flat.size(), static_cast<size_t>(w.TotalSize()));
+  Weights back = Weights::FromFlat(flat);
+  EXPECT_EQ(back.w1, w.w1);
+  EXPECT_EQ(back.w2, w.w2);
+  EXPECT_EQ(back.w3, w.w3);
+  EXPECT_EQ(back.w4, w.w4);
+  EXPECT_EQ(back.w5, w.w5);
+}
+
+TEST(WeightsTest, FlattenLayoutOrder) {
+  Weights w = Weights::Zero();
+  w.w1[0] = 1.0;
+  w.w2[0] = 2.0;
+  w.w5[kF5Size - 1] = 5.0;
+  std::vector<double> flat = w.Flatten();
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[kF1Size], 2.0);
+  EXPECT_DOUBLE_EQ(flat.back(), 5.0);
+}
+
+TEST(WeightsTest, SaveLoadRoundTrip) {
+  Weights w = Weights::Default();
+  w.w3[1] = -0.123456;
+  std::stringstream buffer;
+  ASSERT_TRUE(w.Save(buffer).ok());
+  Result<Weights> loaded = Weights::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int i = 0; i < kF3Size; ++i) {
+    EXPECT_NEAR(loaded->w3[i], w.w3[i], 1e-9);
+  }
+}
+
+TEST(WeightsTest, LoadRejectsBadHeader) {
+  std::stringstream buffer("not a weights file\n1 2 3\n");
+  EXPECT_FALSE(Weights::Load(buffer).ok());
+}
+
+TEST(WeightsTest, LoadRejectsTruncated) {
+  std::stringstream buffer("# webtab-weights v1\n1 2 3 4 5 6\n");
+  EXPECT_FALSE(Weights::Load(buffer).ok());
+}
+
+TEST(WeightsTest, DebugStringMentionsAllFamilies) {
+  std::string s = Weights::Default().DebugString();
+  for (const char* name : {"w1", "w2", "w3", "w4", "w5"}) {
+    EXPECT_NE(s.find(name), std::string::npos);
+  }
+}
+
+TEST(WeightsDeathTest, FromFlatWrongSizeAborts) {
+  EXPECT_DEATH(Weights::FromFlat(std::vector<double>(3)), "Check failed");
+}
+
+TEST(CompatModeTest, Names) {
+  EXPECT_EQ(CompatModeName(CompatMode::kRecipSqrtDist), "1/sqrt(dist)");
+  EXPECT_EQ(CompatModeName(CompatMode::kRecipDist), "1/dist");
+  EXPECT_EQ(CompatModeName(CompatMode::kIdfOnly), "IDF");
+}
+
+}  // namespace
+}  // namespace webtab

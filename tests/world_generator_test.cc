@@ -1,0 +1,140 @@
+#include "synth/world_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/closure.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using testing_util::SharedWorld;
+
+TEST(WorldGeneratorTest, Deterministic) {
+  WorldSpec spec;
+  spec.people_per_profession = 20;
+  spec.num_movies = 30;
+  spec.num_novels = 15;
+  spec.num_cities = 10;
+  World a = GenerateWorld(spec);
+  World b = GenerateWorld(spec);
+  EXPECT_EQ(a.catalog.num_entities(), b.catalog.num_entities());
+  EXPECT_EQ(a.catalog.num_tuples(), b.catalog.num_tuples());
+  for (EntityId e = 0; e < a.catalog.num_entities(); ++e) {
+    EXPECT_EQ(a.catalog.entity(e).name, b.catalog.entity(e).name);
+  }
+}
+
+TEST(WorldGeneratorTest, SchemaHandlesAreValid) {
+  const World& w = SharedWorld();
+  for (TypeId t : {w.person, w.actor, w.director, w.producer, w.novelist,
+                   w.footballer, w.physicist, w.movie, w.novel,
+                   w.football_club, w.country, w.city, w.language}) {
+    EXPECT_TRUE(w.catalog.ValidType(t));
+  }
+  for (RelationId r :
+       {w.acted_in, w.directed, w.produced, w.official_language, w.wrote,
+        w.plays_for, w.born_in, w.located_in, w.died_in, w.cameo_in,
+        w.second_unit_directed, w.executive_produced, w.spoken_language,
+        w.translated}) {
+    EXPECT_TRUE(w.catalog.ValidRelation(r));
+  }
+}
+
+TEST(WorldGeneratorTest, ProfessionsAreSubtypesOfPerson) {
+  const World& w = SharedWorld();
+  ClosureCache closure(&w.catalog);
+  for (TypeId t : {w.actor, w.director, w.producer, w.novelist,
+                   w.footballer, w.physicist}) {
+    EXPECT_TRUE(closure.IsSubtypeOf(t, w.person));
+  }
+  EXPECT_TRUE(closure.IsSubtypeOf(w.movie, w.work));
+  EXPECT_TRUE(closure.IsSubtypeOf(w.novel, w.work));
+}
+
+TEST(WorldGeneratorTest, HiddenTuplesExist) {
+  const World& w = SharedWorld();
+  // The catalog must be a strict subset of the hidden truth.
+  int64_t true_total = 0;
+  for (const TrueRelation& tr : w.true_relations) {
+    true_total += static_cast<int64_t>(tr.tuples.size());
+  }
+  EXPECT_GT(true_total, w.catalog.num_tuples());
+  // And every catalog tuple must exist in the truth.
+  for (RelationId b = 0; b < w.catalog.num_relations(); ++b) {
+    for (const auto& [s, o] : w.catalog.relation(b).tuples) {
+      EXPECT_TRUE(w.TrueTupleExists(b, s, o));
+    }
+  }
+}
+
+TEST(WorldGeneratorTest, MissingLinksInjected) {
+  const World& w = SharedWorld();
+  // Some entities must have fewer catalog types than true types.
+  int damaged = 0;
+  for (EntityId e = 0; e < w.catalog.num_entities(); ++e) {
+    if (w.catalog.entity(e).direct_types.size() <
+        w.true_direct_types[e].size()) {
+      ++damaged;
+    }
+    // Catalog types are always a subset of true types.
+    for (TypeId t : w.catalog.entity(e).direct_types) {
+      EXPECT_NE(std::find(w.true_direct_types[e].begin(),
+                          w.true_direct_types[e].end(), t),
+                w.true_direct_types[e].end());
+    }
+  }
+  EXPECT_GT(damaged, 0);
+}
+
+TEST(WorldGeneratorTest, PrimaryTypeCoversEveryEntity) {
+  const World& w = SharedWorld();
+  ASSERT_EQ(static_cast<int>(w.primary_type.size()),
+            w.catalog.num_entities());
+  ClosureCache closure(&w.catalog);
+  for (EntityId e = 0; e < w.catalog.num_entities(); ++e) {
+    EXPECT_TRUE(w.catalog.ValidType(w.primary_type[e]));
+  }
+}
+
+TEST(WorldGeneratorTest, TrueObjectsAndSubjectsConsistent) {
+  const World& w = SharedWorld();
+  const TrueRelation& tr = w.true_relations[w.wrote];
+  ASSERT_FALSE(tr.tuples.empty());
+  auto [novel, novelist] = tr.tuples[0];
+  auto objects = w.TrueObjectsOf(w.wrote, novel);
+  EXPECT_NE(std::find(objects.begin(), objects.end(), novelist),
+            objects.end());
+  auto subjects = w.TrueSubjectsOf(w.wrote, novelist);
+  EXPECT_NE(std::find(subjects.begin(), subjects.end(), novel),
+            subjects.end());
+}
+
+TEST(WorldGeneratorTest, ConfusersShareSchemaWithPrimaries) {
+  const World& w = SharedWorld();
+  const RelationRecord& acted = w.catalog.relation(w.acted_in);
+  const RelationRecord& cameo = w.catalog.relation(w.cameo_in);
+  EXPECT_EQ(acted.subject_type, cameo.subject_type);
+  EXPECT_EQ(acted.object_type, cameo.object_type);
+  const RelationRecord& born = w.catalog.relation(w.born_in);
+  const RelationRecord& died = w.catalog.relation(w.died_in);
+  EXPECT_EQ(born.subject_type, died.subject_type);
+  EXPECT_EQ(born.object_type, died.object_type);
+}
+
+TEST(WorldGeneratorTest, FunctionalRelationsRespectCardinality) {
+  const World& w = SharedWorld();
+  // directed is many-to-one in the *truth* as well.
+  std::map<EntityId, int> per_subject;
+  for (const auto& [s, o] : w.true_relations[w.directed].tuples) {
+    (void)o;
+    ++per_subject[s];
+  }
+  for (const auto& [s, n] : per_subject) {
+    (void)s;
+    EXPECT_EQ(n, 1);
+  }
+}
+
+}  // namespace
+}  // namespace webtab
