@@ -120,6 +120,10 @@ void BM_CandidateGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateGeneration);
 
+/// BP on one 20-row table, parameterized by factor representation
+/// (0 = structured, 1 = dense legacy) — the before/after pair for the
+/// structure-aware kernel work; see bench/bp_kernel_bench.cc for the
+/// tracked JSON version.
 void BM_BeliefPropagation20Rows(benchmark::State& state) {
   const World& world = BenchWorld();
   const LemmaIndex& index = BenchIndex();
@@ -134,13 +138,18 @@ void BM_BeliefPropagation20Rows(benchmark::State& state) {
   TableCandidates cands =
       GenerateCandidates(table, index, &closure, CandidateOptions());
   TableLabelSpace space = TableLabelSpace::Build(table, cands);
-  TableGraph graph =
-      BuildTableGraph(table, space, &features, Weights::Default());
+  TableGraphOptions options;
+  options.factor_rep = state.range(0) == 0 ? FactorRepChoice::kStructured
+                                           : FactorRepChoice::kDense;
+  TableGraph graph = BuildTableGraph(table, space, &features,
+                                     Weights::Default(), options);
+  BpWorkspace workspace;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunBeliefPropagation(graph.graph));
+    benchmark::DoNotOptimize(
+        RunBeliefPropagation(graph.graph, BpOptions(), &workspace));
   }
 }
-BENCHMARK(BM_BeliefPropagation20Rows);
+BENCHMARK(BM_BeliefPropagation20Rows)->Arg(0)->Arg(1);
 
 void BM_GraphBuild20Rows(benchmark::State& state) {
   const World& world = BenchWorld();
@@ -156,12 +165,15 @@ void BM_GraphBuild20Rows(benchmark::State& state) {
   TableCandidates cands =
       GenerateCandidates(table, index, &closure, CandidateOptions());
   TableLabelSpace space = TableLabelSpace::Build(table, cands);
+  TableGraphOptions options;
+  options.factor_rep = state.range(0) == 0 ? FactorRepChoice::kStructured
+                                           : FactorRepChoice::kDense;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        BuildTableGraph(table, space, &features, Weights::Default()));
+    benchmark::DoNotOptimize(BuildTableGraph(table, space, &features,
+                                             Weights::Default(), options));
   }
 }
-BENCHMARK(BM_GraphBuild20Rows);
+BENCHMARK(BM_GraphBuild20Rows)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace webtab

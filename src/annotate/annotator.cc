@@ -8,12 +8,15 @@ namespace webtab {
 
 TableAnnotator::TableAnnotator(const Catalog* catalog,
                                const LemmaIndex* index,
-                               AnnotatorOptions options)
+                               AnnotatorOptions options,
+                               Vocabulary* vocabulary)
     : catalog_(catalog),
       index_(index),
       options_(std::move(options)),
       closure_(catalog),
-      features_(&closure_, index->vocabulary(), options_.features) {}
+      features_(&closure_,
+                vocabulary != nullptr ? vocabulary : index->vocabulary(),
+                options_.features) {}
 
 TableAnnotation TableAnnotator::Annotate(const Table& table,
                                          AnnotationTiming* timing) {
@@ -35,12 +38,14 @@ TableAnnotation TableAnnotator::AnnotateWithCandidates(
   TableLabelSpace space = TableLabelSpace::Build(table, *candidates_out);
   TableGraphOptions graph_options;
   graph_options.use_relations = options_.use_relations;
+  graph_options.factor_rep = options_.factor_rep;
   TableGraph graph = BuildTableGraph(table, space, &features_,
                                      options_.weights, graph_options);
   double graph_seconds = stage.ElapsedSeconds();
 
   stage.Restart();
-  BpResult bp = RunBeliefPropagation(graph.graph, options_.bp);
+  BpResult bp = RunBeliefPropagation(graph.graph, options_.bp,
+                                     &bp_workspace_);
   TableAnnotation annotation = graph.DecodeAssignment(bp.assignment, space);
 
   if (options_.unique_column_constraint) {

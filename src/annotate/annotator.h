@@ -22,6 +22,10 @@ struct AnnotatorOptions {
   Weights weights = Weights::Default();
   /// false reduces to the exact relation-free model (§4.4.1).
   bool use_relations = true;
+  /// Factor representation emitted for inference (see table_graph.h).
+  /// kStructured exploits the φ3/φ4/φ5 shapes for faster graph builds
+  /// and BP sweeps with identical results; kDense keeps full log tables.
+  FactorRepChoice factor_rep = FactorRepChoice::kStructured;
   /// Extension (§4.4.1): decode entity columns under a uniqueness
   /// constraint via min-cost flow after BP fixes column types.
   bool unique_column_constraint = false;
@@ -44,8 +48,13 @@ struct AnnotationTiming {
 /// read-only.
 class TableAnnotator {
  public:
+  /// `vocabulary` overrides the index's vocabulary for feature
+  /// similarity (which interns query tokens); pass a private copy per
+  /// worker for lock-free parallel annotation. nullptr uses the
+  /// index's. The override must outlive the annotator.
   TableAnnotator(const Catalog* catalog, const LemmaIndex* index,
-                 AnnotatorOptions options = AnnotatorOptions());
+                 AnnotatorOptions options = AnnotatorOptions(),
+                 Vocabulary* vocabulary = nullptr);
 
   TableAnnotator(const TableAnnotator&) = delete;
   TableAnnotator& operator=(const TableAnnotator&) = delete;
@@ -74,6 +83,8 @@ class TableAnnotator {
   AnnotatorOptions options_;
   ClosureCache closure_;
   FeatureComputer features_;
+  /// Reused across tables so steady-state BP performs no allocations.
+  BpWorkspace bp_workspace_;
 };
 
 }  // namespace webtab

@@ -17,7 +17,11 @@ struct AnnotatedTable {
 /// Aggregate timing over a corpus run (drives Figure 7).
 struct CorpusTimingStats {
   std::vector<double> per_table_millis;
+  /// Sum of per-table annotation time across workers (CPU cost).
   double total_seconds = 0.0;
+  /// Elapsed wall-clock for the whole corpus; equals total_seconds for
+  /// single-threaded runs, smaller under the thread pool.
+  double wall_seconds = 0.0;
   double candidate_seconds = 0.0;
   double graph_seconds = 0.0;
   double inference_seconds = 0.0;
@@ -36,6 +40,27 @@ std::vector<AnnotatedTable> AnnotateCorpus(TableAnnotator* annotator,
                                            const std::vector<Table>& tables,
                                            CorpusTimingStats* stats =
                                                nullptr);
+
+struct CorpusAnnotatorOptions {
+  AnnotatorOptions annotator;
+  /// Worker threads; <= 1 annotates inline on the calling thread.
+  /// Tables are independent (§6.1.2 annotates a 250k-table stream), so
+  /// each worker owns a private TableAnnotator (closure + feature
+  /// caches, BP workspace) and a private Vocabulary copy — similarity
+  /// probes intern query tokens, so sharing the index's vocabulary
+  /// across threads would race. The shared Catalog and LemmaIndex are
+  /// only read. Output order and annotations are identical regardless
+  /// of thread count.
+  int num_threads = 1;
+};
+
+/// Annotates a corpus on a pool of worker threads, constructing one
+/// annotator per worker. `stats` (optional) aggregates across workers;
+/// per_table_millis stays in table order.
+std::vector<AnnotatedTable> AnnotateCorpusParallel(
+    const Catalog* catalog, const LemmaIndex* index,
+    const CorpusAnnotatorOptions& options, const std::vector<Table>& tables,
+    CorpusTimingStats* stats = nullptr);
 
 }  // namespace webtab
 

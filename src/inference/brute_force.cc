@@ -6,8 +6,11 @@ namespace webtab {
 
 Result<BruteForceResult> SolveBruteForce(const FactorGraph& graph,
                                          int64_t max_assignments) {
+  // Empty-domain variables admit no label; they are fixed at -1 (the
+  // same convention BP decodes) and excluded from enumeration.
   int64_t total = 1;
   for (int v = 0; v < graph.num_variables(); ++v) {
+    if (graph.domain_size(v) == 0) continue;
     total *= graph.domain_size(v);
     if (total > max_assignments) {
       return Status::OutOfRange("assignment space too large for brute force");
@@ -17,6 +20,9 @@ Result<BruteForceResult> SolveBruteForce(const FactorGraph& graph,
   BruteForceResult best;
   best.score = -std::numeric_limits<double>::infinity();
   std::vector<int> labels(graph.num_variables(), 0);
+  for (int v = 0; v < graph.num_variables(); ++v) {
+    if (graph.domain_size(v) == 0) labels[v] = -1;
+  }
   for (int64_t i = 0; i < total; ++i) {
     double score = graph.ScoreAssignment(labels);
     ++best.assignments_scanned;
@@ -24,16 +30,12 @@ Result<BruteForceResult> SolveBruteForce(const FactorGraph& graph,
       best.score = score;
       best.assignment = labels;
     }
-    // Odometer increment.
+    // Odometer increment over non-empty domains.
     for (int v = graph.num_variables() - 1; v >= 0; --v) {
+      if (graph.domain_size(v) == 0) continue;
       if (++labels[v] < graph.domain_size(v)) break;
       labels[v] = 0;
     }
-  }
-  if (graph.num_variables() == 0) {
-    best.score = 0.0;
-    best.assignment.clear();
-    best.assignments_scanned = 1;
   }
   return best;
 }

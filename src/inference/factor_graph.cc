@@ -1,11 +1,28 @@
 #include "inference/factor_graph.h"
 
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace webtab {
 
+namespace {
+
+/// Implicit (pre-override) value of a kImplicitTernary factor at
+/// non-na labels (ls, lx, ly).
+double ImplicitValueAt(const FactorGraph::ImplicitTernarySpec& spec, int dx,
+                       int dy, int ls, int lx, int ly) {
+  bool on = spec.gate_x[ls * dx + lx] != 0 && spec.gate_y[ls * dy + ly] != 0;
+  double base = on ? spec.base_on[ls] : spec.base_off[ls];
+  return base + spec.unary_x[ls * dx + lx] + spec.unary_y[ls * dy + ly];
+}
+
+}  // namespace
+
 int FactorGraph::AddVariable(int domain_size) {
-  WEBTAB_CHECK(domain_size >= 1);
+  WEBTAB_CHECK(domain_size >= 0);
   domains_.push_back(domain_size);
   node_potentials_.emplace_back(domain_size, 0.0);
   return num_variables() - 1;
@@ -29,11 +46,100 @@ int FactorGraph::AddFactor(std::vector<int> vars, std::vector<double> table,
   int64_t expected = 1;
   for (int v : vars) {
     WEBTAB_CHECK(v >= 0 && v < num_variables());
+    WEBTAB_CHECK(domains_[v] >= 1) << "factor over empty-domain variable";
     expected *= domains_[v];
   }
   WEBTAB_CHECK(static_cast<int64_t>(table.size()) == expected)
       << "factor table size mismatch";
-  factors_.push_back(Factor{std::move(vars), std::move(table), group});
+  Factor f;
+  f.vars = std::move(vars);
+  f.rep = FactorRep::kDense;
+  f.group = group;
+  f.table = std::move(table);
+  factors_.push_back(std::move(f));
+  return num_factors() - 1;
+}
+
+int FactorGraph::AddSparsePairFactor(std::vector<int> vars,
+                                     double default_log,
+                                     std::vector<SparseEntry> entries,
+                                     int group) {
+  WEBTAB_CHECK(vars.size() == 2);
+  for (int v : vars) {
+    WEBTAB_CHECK(v >= 0 && v < num_variables());
+    WEBTAB_CHECK(domains_[v] >= 1) << "factor over empty-domain variable";
+  }
+  const int d0 = domains_[vars[0]];
+  const int d1 = domains_[vars[1]];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SparseEntry& e = entries[i];
+    WEBTAB_CHECK(e.l0 >= 0 && e.l0 < d0 && e.l1 >= 0 && e.l1 < d1)
+        << "sparse entry out of range";
+    if (i > 0) {
+      const SparseEntry& p = entries[i - 1];
+      WEBTAB_CHECK(p.l0 < e.l0 || (p.l0 == e.l0 && p.l1 < e.l1))
+          << "sparse entries must be sorted and unique";
+    }
+  }
+  Factor f;
+  f.vars = std::move(vars);
+  f.rep = FactorRep::kSparsePair;
+  f.group = group;
+  f.default_log = default_log;
+  f.entries = std::move(entries);
+  f.entries_t.reserve(f.entries.size());
+  for (const SparseEntry& e : f.entries) {
+    f.entries_t.push_back({e.l1, e.l0, e.value});
+  }
+  std::sort(f.entries_t.begin(), f.entries_t.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.l0 < b.l0 || (a.l0 == b.l0 && a.l1 < b.l1);
+            });
+  factors_.push_back(std::move(f));
+  return num_factors() - 1;
+}
+
+int FactorGraph::AddImplicitTernaryFactor(std::vector<int> vars,
+                                          ImplicitTernarySpec spec,
+                                          int group) {
+  WEBTAB_CHECK(vars.size() == 3);
+  for (int v : vars) {
+    WEBTAB_CHECK(v >= 0 && v < num_variables());
+    WEBTAB_CHECK(domains_[v] >= 1) << "factor over empty-domain variable";
+  }
+  const int b = domains_[vars[0]];
+  const int dx = domains_[vars[1]];
+  const int dy = domains_[vars[2]];
+  WEBTAB_CHECK(static_cast<int>(spec.base_on.size()) == b);
+  WEBTAB_CHECK(static_cast<int>(spec.base_off.size()) == b);
+  WEBTAB_CHECK(static_cast<int>(spec.unary_x.size()) == b * dx);
+  WEBTAB_CHECK(static_cast<int>(spec.unary_y.size()) == b * dy);
+  WEBTAB_CHECK(static_cast<int>(spec.gate_x.size()) == b * dx);
+  WEBTAB_CHECK(static_cast<int>(spec.gate_y.size()) == b * dy);
+  for (size_t i = 0; i < spec.overrides.size(); ++i) {
+    const TernaryOverride& o = spec.overrides[i];
+    WEBTAB_CHECK(o.ls >= 1 && o.ls < b && o.lx >= 1 && o.lx < dx &&
+                 o.ly >= 1 && o.ly < dy)
+        << "ternary override must be in the non-na block";
+    if (i > 0) {
+      const TernaryOverride& p = spec.overrides[i - 1];
+      bool ordered = p.ls < o.ls || (p.ls == o.ls && p.lx < o.lx) ||
+                     (p.ls == o.ls && p.lx == o.lx && p.ly < o.ly);
+      WEBTAB_CHECK(ordered) << "ternary overrides must be sorted and unique";
+    }
+    // Exactness of the class-wise kernel requires overrides to dominate
+    // the implicit value they shadow (understating a cell is safe only
+    // when an explicit candidate covers it).
+    WEBTAB_CHECK(o.value >=
+                 ImplicitValueAt(spec, dx, dy, o.ls, o.lx, o.ly))
+        << "ternary override below implicit value";
+  }
+  Factor f;
+  f.vars = std::move(vars);
+  f.rep = FactorRep::kImplicitTernary;
+  f.group = group;
+  f.implicit = std::move(spec);
+  factors_.push_back(std::move(f));
   return num_factors() - 1;
 }
 
@@ -47,17 +153,89 @@ int64_t FactorGraph::TableIndex(const Factor& factor,
   return idx;
 }
 
+double FactorGraph::FactorLogValue(int f,
+                                   const std::vector<int>& labels) const {
+  const Factor& factor = factors_[f];
+  switch (factor.rep) {
+    case FactorRep::kDense:
+      return factor.table[TableIndex(factor, domains_, labels)];
+    case FactorRep::kSparsePair: {
+      const int32_t l0 = labels[factor.vars[0]];
+      const int32_t l1 = labels[factor.vars[1]];
+      auto it = std::lower_bound(
+          factor.entries.begin(), factor.entries.end(),
+          std::make_pair(l0, l1),
+          [](const SparseEntry& e, const std::pair<int32_t, int32_t>& key) {
+            return e.l0 < key.first ||
+                   (e.l0 == key.first && e.l1 < key.second);
+          });
+      if (it != factor.entries.end() && it->l0 == l0 && it->l1 == l1) {
+        return it->value;
+      }
+      return factor.default_log;
+    }
+    case FactorRep::kImplicitTernary: {
+      const int32_t ls = labels[factor.vars[0]];
+      const int32_t lx = labels[factor.vars[1]];
+      const int32_t ly = labels[factor.vars[2]];
+      if (ls == 0 || lx == 0 || ly == 0) return 0.0;
+      const auto& spec = factor.implicit;
+      auto it = std::lower_bound(
+          spec.overrides.begin(), spec.overrides.end(),
+          std::make_tuple(ls, lx, ly),
+          [](const TernaryOverride& o,
+             const std::tuple<int32_t, int32_t, int32_t>& key) {
+            if (o.ls != std::get<0>(key)) return o.ls < std::get<0>(key);
+            if (o.lx != std::get<1>(key)) return o.lx < std::get<1>(key);
+            return o.ly < std::get<2>(key);
+          });
+      if (it != spec.overrides.end() && it->ls == ls && it->lx == lx &&
+          it->ly == ly) {
+        return it->value;
+      }
+      return ImplicitValueAt(spec, domains_[factor.vars[1]],
+                             domains_[factor.vars[2]], ls, lx, ly);
+    }
+  }
+  return 0.0;
+}
+
 double FactorGraph::ScoreAssignment(const std::vector<int>& labels) const {
   WEBTAB_CHECK(static_cast<int>(labels.size()) == num_variables());
   double score = 0.0;
   for (int v = 0; v < num_variables(); ++v) {
+    if (domains_[v] == 0) {
+      WEBTAB_CHECK(labels[v] == -1)
+          << "empty-domain variable must carry label -1";
+      continue;
+    }
     WEBTAB_CHECK(labels[v] >= 0 && labels[v] < domains_[v]);
     score += node_potentials_[v][labels[v]];
   }
-  for (const Factor& f : factors_) {
-    score += f.table[TableIndex(f, domains_, labels)];
+  for (int f = 0; f < num_factors(); ++f) {
+    score += FactorLogValue(f, labels);
   }
   return score;
+}
+
+int64_t FactorGraph::FactorMemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Factor& f : factors_) {
+    bytes += static_cast<int64_t>(f.table.capacity()) * sizeof(double);
+    bytes += static_cast<int64_t>(f.entries.capacity() +
+                                  f.entries_t.capacity()) *
+             sizeof(SparseEntry);
+    const ImplicitTernarySpec& s = f.implicit;
+    bytes += static_cast<int64_t>(s.base_on.capacity() +
+                                  s.base_off.capacity() +
+                                  s.unary_x.capacity() +
+                                  s.unary_y.capacity()) *
+             sizeof(double);
+    bytes += static_cast<int64_t>(s.gate_x.capacity() + s.gate_y.capacity());
+    bytes += static_cast<int64_t>(s.overrides.capacity()) *
+             sizeof(TernaryOverride);
+  }
+  return bytes;
 }
 
 }  // namespace webtab

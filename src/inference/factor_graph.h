@@ -7,27 +7,127 @@
 namespace webtab {
 
 /// A discrete factor graph in log domain (Appendix B). Variables carry
-/// node log-potentials; factors couple 2-3 variables through dense
-/// row-major log tables. Factor "groups" let callers impose the paper's
-/// message schedule (φ3 then φ5 then φ4, Appendix D).
+/// node log-potentials; factors couple 2-3 variables. Factor "groups" let
+/// callers impose the paper's message schedule (φ3 then φ5 then φ4,
+/// Appendix D).
+///
+/// # Factor representations
+///
+/// The paper's factors have exploitable structure: every potential family
+/// scores exactly 0 when any participating label is na (index 0), and the
+/// non-na block is either sparse (φ3: most type-entity pairs score 0) or
+/// near-separable (φ4/φ5: a per-relation base plus per-(relation, side)
+/// unary terms, an AND-gated class bonus, and a short list of overrides
+/// for catalog tuple hits). Three representations capture this:
+///
+///  * kDense — row-major log table, arbitrary arity ≤ 3. Fallback for
+///    unstructured factors and for structured factors whose density makes
+///    enumeration cheaper. Max-marginalization: O(Π domain sizes).
+///
+///  * kSparsePair — arity 2; value(l0,l1) = `default_log` everywhere
+///    except an explicit (sorted, unique) entry list. Entries may be
+///    smaller than the default; the BP kernel excises overridden cells
+///    exactly. Max-marginalization: expected O(L0 + L1 + nnz) per
+///    direction (worst case adds an O(L1) rescan per row whose entries
+///    cover the global argmax). Storage: O(nnz) instead of O(L0·L1).
+///
+///  * kImplicitTernary — arity 3 over (s, x, y) with domains (B, Dx, Dy);
+///        value = 0                      when any label is 0 (na),
+///        value = base_on[ls]  + unary_x[ls,lx] + unary_y[ls,ly]
+///                               when gate_x[ls,lx] && gate_y[ls,ly],
+///        value = base_off[ls] + unary_x[ls,lx] + unary_y[ls,ly]
+///                               otherwise,
+///    replaced by explicit overrides (each override value must be ≥ the
+///    implicit value it shadows, so class-wise maxima never overstate).
+///    This is exactly the shape of φ4 (schema AND-match over subtype
+///    gates, participation unaries) and φ5 (violation classes from
+///    per-side functional-cardinality gates, tuple hits as overrides).
+///    Max-marginalization: O(B·(Dx+Dy) + nnz) per direction instead of
+///    O(B·Dx·Dy). Storage: O(B·(Dx+Dy) + nnz).
+///
+/// ScoreAssignment and SolveBruteForce evaluate all representations
+/// through FactorLogValue, so structured and dense builds of the same
+/// model are interchangeable (see tests/factor_rep_equivalence_test.cc).
 class FactorGraph {
  public:
+  enum class FactorRep : uint8_t {
+    kDense = 0,
+    kSparsePair = 1,
+    kImplicitTernary = 2,
+  };
+
+  /// One explicit cell of a kSparsePair factor. Sorted by (l0, l1).
+  struct SparseEntry {
+    int32_t l0 = 0;
+    int32_t l1 = 0;
+    double value = 0.0;  // Absolute log-potential replacing default_log.
+  };
+
+  /// One explicit cell of a kImplicitTernary factor. Sorted by
+  /// (ls, lx, ly); all labels ≥ 1 and value ≥ the implicit value there.
+  struct TernaryOverride {
+    int32_t ls = 0;
+    int32_t lx = 0;
+    int32_t ly = 0;
+    double value = 0.0;
+  };
+
+  /// The implicit part of a kImplicitTernary factor; see class comment
+  /// for semantics. Slot 0 of each unary/gate row corresponds to na and
+  /// is never read.
+  struct ImplicitTernarySpec {
+    std::vector<double> base_on;    // [B]
+    std::vector<double> base_off;   // [B]
+    std::vector<double> unary_x;    // [B*Dx], row-major by slab.
+    std::vector<double> unary_y;    // [B*Dy]
+    std::vector<uint8_t> gate_x;    // [B*Dx]
+    std::vector<uint8_t> gate_y;    // [B*Dy]
+    std::vector<TernaryOverride> overrides;  // Sorted, unique.
+  };
+
   struct Factor {
-    std::vector<int> vars;        // Variable ids, in table axis order.
-    std::vector<double> table;    // Row-major log-potential table.
-    int group = 0;                // Schedule group (ascending order).
+    std::vector<int> vars;     // Variable ids, in table axis order.
+    FactorRep rep = FactorRep::kDense;
+    int group = 0;             // Schedule group (ascending order).
+
+    // kDense: row-major log-potential table.
+    std::vector<double> table;
+
+    // kSparsePair. `entries_t` is the transposed copy (l0/l1 swapped,
+    // re-sorted), precomputed so both BP directions stream contiguous
+    // row-grouped entries.
+    double default_log = 0.0;
+    std::vector<SparseEntry> entries;
+    std::vector<SparseEntry> entries_t;
+
+    // kImplicitTernary.
+    ImplicitTernarySpec implicit;
   };
 
   /// Adds a variable with `domain_size` labels (all-zero node potential).
+  /// A domain size of 0 is permitted for degenerate graphs; such
+  /// variables admit no assignment and may not participate in factors.
   int AddVariable(int domain_size);
 
   void SetNodeLogPotential(int var, std::vector<double> log_potential);
   void AddToNodeLogPotential(int var, int label, double delta);
 
-  /// Adds a factor over `vars` with a dense log table whose size must be
-  /// the product of the variables' domain sizes; axis order == vars order.
+  /// Adds a dense factor over `vars` with a row-major log table whose
+  /// size must be the product of the variables' domain sizes; axis order
+  /// == vars order.
   int AddFactor(std::vector<int> vars, std::vector<double> table,
                 int group = 0);
+
+  /// Adds a pairwise sparse factor: `default_log` everywhere except
+  /// `entries`, which must be sorted by (l0, l1), unique, and in range.
+  int AddSparsePairFactor(std::vector<int> vars, double default_log,
+                          std::vector<SparseEntry> entries, int group = 0);
+
+  /// Adds an implicit ternary factor (see class comment). Checks that
+  /// spec dimensions match the domains, overrides are sorted / unique /
+  /// non-na, and each override dominates the implicit value it replaces.
+  int AddImplicitTernaryFactor(std::vector<int> vars,
+                               ImplicitTernarySpec spec, int group = 0);
 
   int num_variables() const { return static_cast<int>(domains_.size()); }
   int num_factors() const { return static_cast<int>(factors_.size()); }
@@ -37,10 +137,20 @@ class FactorGraph {
   }
   const Factor& factor(int f) const { return factors_[f]; }
 
+  /// Log-potential of factor `f` at the given labels of its variables
+  /// (any representation).
+  double FactorLogValue(int f, const std::vector<int>& labels) const;
+
   /// Total log-score of a complete assignment (label index per variable).
+  /// Variables with empty domains must carry label -1.
   double ScoreAssignment(const std::vector<int>& labels) const;
 
-  /// Flat index into a factor table for the given labels of its vars.
+  /// Approximate heap footprint of the factor tables/entries, for memory
+  /// accounting in benchmarks.
+  int64_t FactorMemoryBytes() const;
+
+  /// Flat index into a dense factor table for the given labels of its
+  /// vars.
   static int64_t TableIndex(const Factor& factor,
                             const std::vector<int>& domain_sizes,
                             const std::vector<int>& labels);

@@ -37,6 +37,7 @@ class FeatureComputer {
   FeatureComputer& operator=(const FeatureComputer&) = delete;
 
   const Catalog& catalog() const { return closure_->catalog(); }
+  ClosureCache* closure() { return closure_; }
   const FeatureOptions& options() const { return options_; }
 
   /// f1(r,c,E): similarities between cell text and the entity's lemmas
@@ -73,10 +74,12 @@ class FeatureComputer {
   double Phi5Log(const Weights& w, const RelationCandidate& b, EntityId e1,
                  EntityId e2) const;
 
- private:
-  /// Fraction of E(t) that occupies the given role in relation `rel`.
+  /// Fraction of E(t) that occupies the given role in relation `rel`
+  /// (memoized). Public so the structured φ4 factor builder can reuse
+  /// the same cached values the dense path reads through F4.
   double Participation(RelationId rel, TypeId t, bool object_role);
 
+ private:
   ClosureCache* closure_;
   Vocabulary* vocab_;
   FeatureOptions options_;

@@ -64,6 +64,51 @@ TEST(CorpusAnnotatorTest, EmptyCorpus) {
   EXPECT_DOUBLE_EQ(stats.ProbeFraction(), 0.0);
 }
 
+TEST(CorpusAnnotatorTest, ParallelMatchesSerialAnyThreadCount) {
+  const World& world = SharedWorld();
+  TableAnnotator annotator(&world.catalog, &SharedIndex());
+  CorpusSpec spec;
+  spec.seed = 9;
+  spec.num_tables = 10;
+  spec.min_rows = 3;
+  spec.max_rows = 8;
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  std::vector<AnnotatedTable> serial = AnnotateCorpus(&annotator, tables);
+  for (int threads : {1, 2, 4}) {
+    CorpusAnnotatorOptions options;
+    options.num_threads = threads;
+    CorpusTimingStats stats;
+    std::vector<AnnotatedTable> parallel = AnnotateCorpusParallel(
+        &world.catalog, &SharedIndex(), options, tables, &stats);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].annotation.column_types,
+                serial[i].annotation.column_types);
+      EXPECT_EQ(parallel[i].annotation.cell_entities,
+                serial[i].annotation.cell_entities);
+      EXPECT_EQ(parallel[i].annotation.relations,
+                serial[i].annotation.relations);
+    }
+    EXPECT_EQ(stats.per_table_millis.size(), tables.size());
+    EXPECT_EQ(stats.bp_iteration_counts.size(), tables.size());
+    EXPECT_GT(stats.wall_seconds, 0.0);
+    EXPECT_GT(stats.total_seconds, 0.0);
+  }
+}
+
+TEST(CorpusAnnotatorTest, ParallelEmptyCorpus) {
+  const World& world = SharedWorld();
+  CorpusAnnotatorOptions options;
+  options.num_threads = 4;
+  CorpusTimingStats stats;
+  std::vector<AnnotatedTable> annotated = AnnotateCorpusParallel(
+      &world.catalog, &SharedIndex(), options, {}, &stats);
+  EXPECT_TRUE(annotated.empty());
+}
+
 TEST(CorpusAnnotatorTest, NullStatsAccepted) {
   const World& world = SharedWorld();
   TableAnnotator annotator(&world.catalog, &SharedIndex());
