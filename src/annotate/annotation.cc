@@ -4,23 +4,23 @@
 
 namespace webtab {
 
-std::string TypeName(const Catalog& catalog, TypeId t) {
-  return catalog.ValidType(t) ? catalog.type(t).name : "na";
+std::string TypeName(const CatalogView& catalog, TypeId t) {
+  return catalog.ValidType(t) ? std::string(catalog.TypeName(t)) : "na";
 }
 
-std::string EntityName(const Catalog& catalog, EntityId e) {
-  return catalog.ValidEntity(e) ? catalog.entity(e).name : "na";
+std::string EntityName(const CatalogView& catalog, EntityId e) {
+  return catalog.ValidEntity(e) ? std::string(catalog.EntityName(e)) : "na";
 }
 
-std::string RelationName(const Catalog& catalog,
+std::string RelationName(const CatalogView& catalog,
                          const RelationCandidate& rel) {
   if (rel.is_na() || !catalog.ValidRelation(rel.relation)) return "na";
-  std::string name = catalog.relation(rel.relation).name;
+  std::string name(catalog.RelationName(rel.relation));
   if (rel.swapped) name += "^-1";
   return name;
 }
 
-std::string AnnotationToString(const Catalog& catalog, const Table& table,
+std::string AnnotationToString(const CatalogView& catalog, const Table& table,
                                const TableAnnotation& annotation) {
   std::string out;
   for (int c = 0; c < table.cols(); ++c) {

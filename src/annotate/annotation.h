@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "catalog/catalog.h"
+#include "catalog/catalog_view.h"
 #include "table/annotation.h"
 #include "table/table.h"
 
@@ -11,13 +11,13 @@ namespace webtab {
 
 /// Human-readable rendering of an annotation with catalog names — used by
 /// the examples and debugging.
-std::string AnnotationToString(const Catalog& catalog, const Table& table,
+std::string AnnotationToString(const CatalogView& catalog, const Table& table,
                                const TableAnnotation& annotation);
 
 /// Short label helpers ("na" for missing ids).
-std::string TypeName(const Catalog& catalog, TypeId t);
-std::string EntityName(const Catalog& catalog, EntityId e);
-std::string RelationName(const Catalog& catalog,
+std::string TypeName(const CatalogView& catalog, TypeId t);
+std::string EntityName(const CatalogView& catalog, EntityId e);
+std::string RelationName(const CatalogView& catalog,
                          const RelationCandidate& rel);
 
 }  // namespace webtab

@@ -6,16 +6,22 @@
 
 namespace webtab {
 
-TableAnnotator::TableAnnotator(const Catalog* catalog,
-                               const LemmaIndex* index,
+TableAnnotator::TableAnnotator(const CatalogView* catalog,
+                               const LemmaIndexView* index,
                                AnnotatorOptions options,
                                Vocabulary* vocabulary)
     : catalog_(catalog),
       index_(index),
       options_(std::move(options)),
       closure_(catalog),
+      owned_vocab_(vocabulary == nullptr &&
+                           index->mutable_vocabulary() == nullptr
+                       ? std::make_unique<Vocabulary>(index->CopyVocabulary())
+                       : nullptr),
       features_(&closure_,
-                vocabulary != nullptr ? vocabulary : index->vocabulary(),
+                vocabulary != nullptr       ? vocabulary
+                : owned_vocab_ != nullptr   ? owned_vocab_.get()
+                                            : index->mutable_vocabulary(),
                 options_.features) {}
 
 TableAnnotation TableAnnotator::Annotate(const Table& table,

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "catalog/catalog_view.h"
 #include "catalog/closure.h"
 #include "index/candidates.h"
 #include "inference/belief_propagation.h"
@@ -50,9 +51,12 @@ class TableAnnotator {
  public:
   /// `vocabulary` overrides the index's vocabulary for feature
   /// similarity (which interns query tokens); pass a private copy per
-  /// worker for lock-free parallel annotation. nullptr uses the
-  /// index's. The override must outlive the annotator.
-  TableAnnotator(const Catalog* catalog, const LemmaIndex* index,
+  /// worker for lock-free parallel annotation. nullptr uses the index's
+  /// shared vocabulary when the backend has one (in-memory build), or a
+  /// private materialized copy for immutable snapshot backends. The
+  /// override must outlive the annotator. Both `catalog` and `index` may
+  /// be in-memory builds or mmap'd snapshot views.
+  TableAnnotator(const CatalogView* catalog, const LemmaIndexView* index,
                  AnnotatorOptions options = AnnotatorOptions(),
                  Vocabulary* vocabulary = nullptr);
 
@@ -75,13 +79,16 @@ class TableAnnotator {
 
   ClosureCache* closure() { return &closure_; }
   FeatureComputer* features() { return &features_; }
-  const LemmaIndex& index() const { return *index_; }
+  const LemmaIndexView& index() const { return *index_; }
 
  private:
-  const Catalog* catalog_;
-  const LemmaIndex* index_;
+  const CatalogView* catalog_;
+  const LemmaIndexView* index_;
   AnnotatorOptions options_;
   ClosureCache closure_;
+  /// Private vocabulary copy, materialized only when the index backend
+  /// has no mutable vocabulary (snapshot views) and none was injected.
+  std::unique_ptr<Vocabulary> owned_vocab_;
   FeatureComputer features_;
   /// Reused across tables so steady-state BP performs no allocations.
   BpWorkspace bp_workspace_;

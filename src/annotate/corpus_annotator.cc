@@ -82,7 +82,7 @@ std::vector<AnnotatedTable> AnnotateCorpus(TableAnnotator* annotator,
 }
 
 std::vector<AnnotatedTable> AnnotateCorpusParallel(
-    const Catalog* catalog, const LemmaIndex* index,
+    const CatalogView* catalog, const LemmaIndexView* index,
     const CorpusAnnotatorOptions& options, const std::vector<Table>& tables,
     CorpusTimingStats* stats) {
   const int num_threads =
@@ -104,8 +104,10 @@ std::vector<AnnotatedTable> AnnotateCorpusParallel(
   auto worker = [&](int worker_id) {
     // Private vocabulary: similarity features intern query tokens, and
     // interning never changes existing IDF statistics, so per-worker
-    // copies produce identical scores to a shared instance.
-    Vocabulary vocab = *index->vocabulary();
+    // copies produce identical scores to a shared instance. For snapshot
+    // backends this is the only materialization; catalog and postings
+    // stay in the shared mapping.
+    Vocabulary vocab = index->CopyVocabulary();
     TableAnnotator annotator(catalog, index, options.annotator, &vocab);
     WorkerStats* local = &worker_stats[worker_id];
     while (true) {

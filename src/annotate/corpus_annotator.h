@@ -56,9 +56,13 @@ struct CorpusAnnotatorOptions {
 
 /// Annotates a corpus on a pool of worker threads, constructing one
 /// annotator per worker. `stats` (optional) aggregates across workers;
-/// per_table_millis stays in table order.
+/// per_table_millis stays in table order. Both backends work: in-memory
+/// builds, or snapshot views — in which case every worker reads the same
+/// shared read-only mapping (one physical copy of the catalog and
+/// postings across the pool) and only the small mutable state (closure
+/// caches, BP workspace, vocabulary copy) is per-worker.
 std::vector<AnnotatedTable> AnnotateCorpusParallel(
-    const Catalog* catalog, const LemmaIndex* index,
+    const CatalogView* catalog, const LemmaIndexView* index,
     const CorpusAnnotatorOptions& options, const std::vector<Table>& tables,
     CorpusTimingStats* stats = nullptr);
 

@@ -95,7 +95,7 @@ BaselineResult AnnotateMajority(const Table& table,
 
   // --- Relations: per-row tuple voting. ---
   if (options.predict_relations) {
-    const Catalog& catalog = closure->catalog();
+    const CatalogView& catalog = closure->catalog();
     for (const auto& [pair, rels] : candidates.relations) {
       auto [c1, c2] = pair;
       std::map<RelationCandidate, int> votes;

@@ -71,18 +71,22 @@ bool Catalog::HasTuple(RelationId b, EntityId e1, EntityId e2) const {
   return false;
 }
 
-std::vector<EntityId> Catalog::ObjectsOf(RelationId b, EntityId e1) const {
+std::span<const EntityId> Catalog::ObjectsOf(RelationId b,
+                                             EntityId e1) const {
   if (!ValidRelation(b)) return {};
   const auto& index = objects_index_[b];
   auto it = index.find(e1);
-  return it == index.end() ? std::vector<EntityId>() : it->second;
+  return it == index.end() ? std::span<const EntityId>()
+                           : std::span<const EntityId>(it->second);
 }
 
-std::vector<EntityId> Catalog::SubjectsOf(RelationId b, EntityId e2) const {
+std::span<const EntityId> Catalog::SubjectsOf(RelationId b,
+                                              EntityId e2) const {
   if (!ValidRelation(b)) return {};
   const auto& index = subjects_index_[b];
   auto it = index.find(e2);
-  return it == index.end() ? std::vector<EntityId>() : it->second;
+  return it == index.end() ? std::span<const EntityId>()
+                           : std::span<const EntityId>(it->second);
 }
 
 std::vector<std::pair<RelationId, bool>> Catalog::RelationsBetween(

@@ -2,26 +2,17 @@
 #define WEBTAB_CATALOG_CATALOG_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "catalog/catalog_view.h"
 #include "catalog/ids.h"
 
 namespace webtab {
-
-/// Paper §3.1: relations may be declared one-to-one / many-to-one etc.;
-/// the φ5 cardinality-violation feature (§4.2.5) keys off this.
-enum class RelationCardinality {
-  kManyToMany = 0,
-  kOneToMany = 1,   // One subject, many objects per subject; object unique.
-  kManyToOne = 2,   // Each subject has at most one object.
-  kOneToOne = 3,
-};
-
-std::string_view RelationCardinalityName(RelationCardinality c);
 
 /// A type node in the subtype DAG (§3.1). Parents are supertypes
 /// (T ⊆ parent); children are subtypes and direct entity instances hang off
@@ -51,11 +42,13 @@ struct RelationRecord {
   std::vector<std::pair<EntityId, EntityId>> tuples;
 };
 
-/// Immutable catalog of types, entities and relations (paper §3.1; YAGO in
-/// the paper, synthetic world here). Built once by CatalogBuilder; all
-/// accessors are const and thread-safe. Reachability/closure queries that
-/// need memoization live in ClosureCache.
-class Catalog {
+/// Immutable in-memory catalog of types, entities and relations (paper
+/// §3.1; YAGO in the paper, synthetic world here). Built once by
+/// CatalogBuilder; all accessors are const and thread-safe. Implements
+/// CatalogView so it is interchangeable with the zero-copy snapshot
+/// backend. Reachability/closure queries that need memoization live in
+/// ClosureCache.
+class Catalog : public CatalogView {
  public:
   Catalog() = default;
 
@@ -65,52 +58,86 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  int32_t num_types() const { return static_cast<int32_t>(types_.size()); }
-  int32_t num_entities() const {
+  int32_t num_types() const override {
+    return static_cast<int32_t>(types_.size());
+  }
+  int32_t num_entities() const override {
     return static_cast<int32_t>(entities_.size());
   }
-  int32_t num_relations() const {
+  int32_t num_relations() const override {
     return static_cast<int32_t>(relations_.size());
   }
-  int64_t num_tuples() const;
-
-  bool ValidType(TypeId t) const { return t >= 0 && t < num_types(); }
-  bool ValidEntity(EntityId e) const { return e >= 0 && e < num_entities(); }
-  bool ValidRelation(RelationId b) const {
-    return b >= 0 && b < num_relations();
-  }
+  int64_t num_tuples() const override;
 
   const TypeRecord& type(TypeId t) const;
   const EntityRecord& entity(EntityId e) const;
   const RelationRecord& relation(RelationId b) const;
 
-  /// The synthetic root type reaching all others (§3.1: "we can create a
-  /// root type"). Always id 0 in catalogs produced by CatalogBuilder.
-  TypeId root_type() const { return root_type_; }
+  TypeId root_type() const override { return root_type_; }
 
-  /// Name lookups; kNa when absent.
-  TypeId FindTypeByName(std::string_view name) const;
-  EntityId FindEntityByName(std::string_view name) const;
-  RelationId FindRelationByName(std::string_view name) const;
+  // --- CatalogView record accessors (zero-cost over the records). ---
+  std::string_view TypeName(TypeId t) const override { return type(t).name; }
+  int32_t NumTypeLemmas(TypeId t) const override {
+    return static_cast<int32_t>(type(t).lemmas.size());
+  }
+  std::string_view TypeLemma(TypeId t, int32_t i) const override {
+    return type(t).lemmas[i];
+  }
+  std::span<const TypeId> TypeParents(TypeId t) const override {
+    return type(t).parents;
+  }
+  std::span<const TypeId> TypeChildren(TypeId t) const override {
+    return type(t).children;
+  }
+  std::span<const EntityId> TypeDirectEntities(TypeId t) const override {
+    return type(t).direct_entities;
+  }
 
-  /// True if relation `b` contains tuple (e1, e2).
-  bool HasTuple(RelationId b, EntityId e1, EntityId e2) const;
+  std::string_view EntityName(EntityId e) const override {
+    return entity(e).name;
+  }
+  int32_t NumEntityLemmas(EntityId e) const override {
+    return static_cast<int32_t>(entity(e).lemmas.size());
+  }
+  std::string_view EntityLemma(EntityId e, int32_t i) const override {
+    return entity(e).lemmas[i];
+  }
+  std::span<const TypeId> EntityDirectTypes(EntityId e) const override {
+    return entity(e).direct_types;
+  }
 
-  /// Objects E2 with b(e1, E2); empty if none.
-  std::vector<EntityId> ObjectsOf(RelationId b, EntityId e1) const;
+  std::string_view RelationName(RelationId b) const override {
+    return relation(b).name;
+  }
+  TypeId RelationSubjectType(RelationId b) const override {
+    return relation(b).subject_type;
+  }
+  TypeId RelationObjectType(RelationId b) const override {
+    return relation(b).object_type;
+  }
+  RelationCardinality RelationCardinalityOf(RelationId b) const override {
+    return relation(b).cardinality;
+  }
+  std::span<const EntityPair> RelationTuples(RelationId b) const override {
+    return relation(b).tuples;
+  }
 
-  /// Subjects E1 with b(E1, e2); empty if none.
-  std::vector<EntityId> SubjectsOf(RelationId b, EntityId e2) const;
+  TypeId FindTypeByName(std::string_view name) const override;
+  EntityId FindEntityByName(std::string_view name) const override;
+  RelationId FindRelationByName(std::string_view name) const override;
 
-  /// All relations containing (e1, e2) as a tuple, in either role order:
-  /// result pairs are (relation, swapped) where swapped=true means the
-  /// tuple is b(e2, e1).
+  bool HasTuple(RelationId b, EntityId e1, EntityId e2) const override;
+
+  std::span<const EntityId> ObjectsOf(RelationId b,
+                                      EntityId e1) const override;
+  std::span<const EntityId> SubjectsOf(RelationId b,
+                                       EntityId e2) const override;
+
   std::vector<std::pair<RelationId, bool>> RelationsBetween(
-      EntityId e1, EntityId e2) const;
+      EntityId e1, EntityId e2) const override;
 
-  /// Number of distinct subjects / objects appearing in relation `b`.
-  int64_t DistinctSubjects(RelationId b) const;
-  int64_t DistinctObjects(RelationId b) const;
+  int64_t DistinctSubjects(RelationId b) const override;
+  int64_t DistinctObjects(RelationId b) const override;
 
  private:
   friend class CatalogBuilder;

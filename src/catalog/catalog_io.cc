@@ -13,36 +13,34 @@ namespace {
 constexpr char kHeader[] = "# webtab-catalog v1";
 }  // namespace
 
-Status SaveCatalog(const Catalog& catalog, std::ostream& os) {
+Status SaveCatalog(const CatalogView& catalog, std::ostream& os) {
   os << kHeader << "\n";
   for (TypeId t = 0; t < catalog.num_types(); ++t) {
-    const TypeRecord& rec = catalog.type(t);
-    os << "T\t" << t << "\t" << rec.name << "\n";
-    for (const auto& lemma : rec.lemmas) {
-      os << "TL\t" << t << "\t" << lemma << "\n";
+    os << "T\t" << t << "\t" << catalog.TypeName(t) << "\n";
+    for (int32_t i = 0; i < catalog.NumTypeLemmas(t); ++i) {
+      os << "TL\t" << t << "\t" << catalog.TypeLemma(t, i) << "\n";
     }
   }
   for (TypeId t = 0; t < catalog.num_types(); ++t) {
-    for (TypeId p : catalog.type(t).parents) {
+    for (TypeId p : catalog.TypeParents(t)) {
       os << "TS\t" << t << "\t" << p << "\n";
     }
   }
   for (EntityId e = 0; e < catalog.num_entities(); ++e) {
-    const EntityRecord& rec = catalog.entity(e);
-    os << "E\t" << e << "\t" << rec.name << "\n";
-    for (const auto& lemma : rec.lemmas) {
-      os << "EL\t" << e << "\t" << lemma << "\n";
+    os << "E\t" << e << "\t" << catalog.EntityName(e) << "\n";
+    for (int32_t i = 0; i < catalog.NumEntityLemmas(e); ++i) {
+      os << "EL\t" << e << "\t" << catalog.EntityLemma(e, i) << "\n";
     }
-    for (TypeId t : rec.direct_types) {
+    for (TypeId t : catalog.EntityDirectTypes(e)) {
       os << "ET\t" << e << "\t" << t << "\n";
     }
   }
   for (RelationId b = 0; b < catalog.num_relations(); ++b) {
-    const RelationRecord& rec = catalog.relation(b);
-    os << "R\t" << b << "\t" << rec.name << "\t" << rec.subject_type << "\t"
-       << rec.object_type << "\t" << static_cast<int>(rec.cardinality)
-       << "\n";
-    for (const auto& [e1, e2] : rec.tuples) {
+    os << "R\t" << b << "\t" << catalog.RelationName(b) << "\t"
+       << catalog.RelationSubjectType(b) << "\t"
+       << catalog.RelationObjectType(b) << "\t"
+       << static_cast<int>(catalog.RelationCardinalityOf(b)) << "\n";
+    for (const auto& [e1, e2] : catalog.RelationTuples(b)) {
       os << "RT\t" << b << "\t" << e1 << "\t" << e2 << "\n";
     }
   }
@@ -50,7 +48,8 @@ Status SaveCatalog(const Catalog& catalog, std::ostream& os) {
   return Status::Ok();
 }
 
-Status SaveCatalogToFile(const Catalog& catalog, const std::string& path) {
+Status SaveCatalogToFile(const CatalogView& catalog,
+                         const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path);
   return SaveCatalog(catalog, out);

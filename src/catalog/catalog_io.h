@@ -21,8 +21,9 @@ namespace webtab {
 ///   RT <relation-id> <e1> <e2>
 /// Fields are tab-separated; ids are dense and written in order, so load
 /// preserves them exactly.
-Status SaveCatalog(const Catalog& catalog, std::ostream& os);
-Status SaveCatalogToFile(const Catalog& catalog, const std::string& path);
+Status SaveCatalog(const CatalogView& catalog, std::ostream& os);
+Status SaveCatalogToFile(const CatalogView& catalog,
+                         const std::string& path);
 
 Result<Catalog> LoadCatalog(std::istream& is);
 Result<Catalog> LoadCatalogFromFile(const std::string& path);

@@ -1,0 +1,113 @@
+#ifndef WEBTAB_CATALOG_CATALOG_VIEW_H_
+#define WEBTAB_CATALOG_CATALOG_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "catalog/ids.h"
+
+namespace webtab {
+
+/// Cardinality declarations live with the catalog records (§3.1); shared
+/// between the in-memory catalog and snapshot views.
+enum class RelationCardinality {
+  kManyToMany = 0,
+  kOneToMany = 1,   // One subject, many objects per subject; object unique.
+  kManyToOne = 2,   // Each subject has at most one object.
+  kOneToOne = 3,
+};
+
+std::string_view RelationCardinalityName(RelationCardinality c);
+
+/// A relation tuple (subject, object). Layout-compatible with the
+/// std::pair<EntityId, EntityId> the in-memory catalog stores, so both
+/// backends can expose tuple spans without copying.
+using EntityPair = std::pair<EntityId, EntityId>;
+static_assert(sizeof(EntityPair) == 2 * sizeof(EntityId),
+              "EntityPair must be two packed ids for zero-copy snapshots");
+
+/// Read-only access to a catalog of types, entities and relations
+/// (paper §3.1). Two implementations exist: the in-memory `Catalog`
+/// produced by CatalogBuilder / the synthetic world generator, and the
+/// zero-copy `SnapshotCatalogView` over an mmap'd snapshot file. Every
+/// consumer of catalog data (closure cache, feature computer, factor
+/// builder, candidate generation, search) works against this interface so
+/// the two backends are interchangeable and provably equivalent.
+///
+/// Accessors return spans / string_views into backing storage that lives
+/// as long as the view. All methods are const and thread-safe.
+class CatalogView {
+ public:
+  virtual ~CatalogView() = default;
+
+  virtual int32_t num_types() const = 0;
+  virtual int32_t num_entities() const = 0;
+  virtual int32_t num_relations() const = 0;
+  virtual int64_t num_tuples() const = 0;
+
+  /// The synthetic root type reaching all others (§3.1). Always id 0 in
+  /// catalogs produced by CatalogBuilder.
+  virtual TypeId root_type() const = 0;
+
+  bool ValidType(TypeId t) const { return t >= 0 && t < num_types(); }
+  bool ValidEntity(EntityId e) const { return e >= 0 && e < num_entities(); }
+  bool ValidRelation(RelationId b) const {
+    return b >= 0 && b < num_relations();
+  }
+
+  // --- Types ---
+  virtual std::string_view TypeName(TypeId t) const = 0;
+  virtual int32_t NumTypeLemmas(TypeId t) const = 0;
+  virtual std::string_view TypeLemma(TypeId t, int32_t i) const = 0;
+  virtual std::span<const TypeId> TypeParents(TypeId t) const = 0;
+  virtual std::span<const TypeId> TypeChildren(TypeId t) const = 0;
+  virtual std::span<const EntityId> TypeDirectEntities(TypeId t) const = 0;
+
+  // --- Entities ---
+  virtual std::string_view EntityName(EntityId e) const = 0;
+  virtual int32_t NumEntityLemmas(EntityId e) const = 0;
+  virtual std::string_view EntityLemma(EntityId e, int32_t i) const = 0;
+  virtual std::span<const TypeId> EntityDirectTypes(EntityId e) const = 0;
+
+  // --- Relations ---
+  virtual std::string_view RelationName(RelationId b) const = 0;
+  virtual TypeId RelationSubjectType(RelationId b) const = 0;
+  virtual TypeId RelationObjectType(RelationId b) const = 0;
+  virtual RelationCardinality RelationCardinalityOf(RelationId b) const = 0;
+  /// Tuples sorted lexicographically by (subject, object); unique.
+  virtual std::span<const EntityPair> RelationTuples(RelationId b) const = 0;
+  /// Number of distinct subjects / objects appearing in relation `b`.
+  virtual int64_t DistinctSubjects(RelationId b) const = 0;
+  virtual int64_t DistinctObjects(RelationId b) const = 0;
+
+  // --- Name lookups; kNa when absent. ---
+  virtual TypeId FindTypeByName(std::string_view name) const = 0;
+  virtual EntityId FindEntityByName(std::string_view name) const = 0;
+  virtual RelationId FindRelationByName(std::string_view name) const = 0;
+
+  // --- Tuple queries ---
+  /// True if relation `b` contains tuple (e1, e2).
+  virtual bool HasTuple(RelationId b, EntityId e1, EntityId e2) const = 0;
+
+  /// Objects E2 with b(e1, E2), sorted ascending; empty if none.
+  virtual std::span<const EntityId> ObjectsOf(RelationId b,
+                                              EntityId e1) const = 0;
+
+  /// Subjects E1 with b(E1, e2), sorted ascending; empty if none.
+  virtual std::span<const EntityId> SubjectsOf(RelationId b,
+                                               EntityId e2) const = 0;
+
+  /// All relations containing (e1, e2) as a tuple, in either role order:
+  /// result pairs are (relation, swapped) where swapped=true means the
+  /// tuple is b(e2, e1). Relations listed in ascending id order per
+  /// direction (forward first), matching the in-memory build order.
+  virtual std::vector<std::pair<RelationId, bool>> RelationsBetween(
+      EntityId e1, EntityId e2) const = 0;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_CATALOG_CATALOG_VIEW_H_

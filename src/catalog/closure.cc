@@ -8,7 +8,8 @@
 
 namespace webtab {
 
-ClosureCache::ClosureCache(const Catalog* catalog) : catalog_(catalog) {
+ClosureCache::ClosureCache(const CatalogView* catalog)
+    : catalog_(catalog) {
   WEBTAB_CHECK(catalog != nullptr);
 }
 
@@ -21,7 +22,7 @@ const std::unordered_map<TypeId, int>& ClosureCache::AncestorDistances(
   // 1 each. Shortest distance wins when the DAG offers multiple paths.
   std::unordered_map<TypeId, int> dists;
   std::deque<std::pair<TypeId, int>> frontier;
-  for (TypeId t : catalog_->entity(e).direct_types) {
+  for (TypeId t : catalog_->EntityDirectTypes(e)) {
     if (!dists.count(t)) {
       dists[t] = 1;
       frontier.emplace_back(t, 1);
@@ -30,7 +31,7 @@ const std::unordered_map<TypeId, int>& ClosureCache::AncestorDistances(
   while (!frontier.empty()) {
     auto [t, d] = frontier.front();
     frontier.pop_front();
-    for (TypeId p : catalog_->type(t).parents) {
+    for (TypeId p : catalog_->TypeParents(t)) {
       auto found = dists.find(p);
       if (found == dists.end() || found->second > d + 1) {
         dists[p] = d + 1;
@@ -70,9 +71,10 @@ const std::vector<EntityId>& ClosureCache::EntitiesOf(TypeId t) {
   while (!stack.empty()) {
     TypeId cur = stack.back();
     stack.pop_back();
-    const TypeRecord& rec = catalog_->type(cur);
-    for (EntityId e : rec.direct_entities) seen_entities.insert(e);
-    for (TypeId c : rec.children) {
+    for (EntityId e : catalog_->TypeDirectEntities(cur)) {
+      seen_entities.insert(e);
+    }
+    for (TypeId c : catalog_->TypeChildren(cur)) {
       if (seen_types.insert(c).second) stack.push_back(c);
     }
   }
@@ -100,7 +102,7 @@ const std::vector<TypeId>& ClosureCache::TypeAncestorsOfType(TypeId t) {
   while (!stack.empty()) {
     TypeId cur = stack.back();
     stack.pop_back();
-    for (TypeId p : catalog_->type(cur).parents) {
+    for (TypeId p : catalog_->TypeParents(cur)) {
       if (seen.insert(p).second) stack.push_back(p);
     }
   }
@@ -125,11 +127,11 @@ int ClosureCache::MinEntityDist(TypeId t) {
     auto [cur, depth] = frontier.front();
     frontier.pop_front();
     if (depth + 1 >= best) continue;
-    if (!catalog_->type(cur).direct_entities.empty()) {
+    if (!catalog_->TypeDirectEntities(cur).empty()) {
       best = std::min(best, depth + 1);
       continue;
     }
-    for (TypeId c : catalog_->type(cur).children) {
+    for (TypeId c : catalog_->TypeChildren(cur)) {
       if (seen.insert(c).second) frontier.emplace_back(c, depth + 1);
     }
   }

@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "catalog/catalog.h"
+#include "catalog/catalog_view.h"
 
 namespace webtab {
 
@@ -20,13 +20,14 @@ namespace webtab {
 /// instance per worker.
 class ClosureCache {
  public:
-  /// `catalog` must outlive this cache.
-  explicit ClosureCache(const Catalog* catalog);
+  /// `catalog` must outlive this cache. Works against any CatalogView
+  /// backend (in-memory build or mmap'd snapshot).
+  explicit ClosureCache(const CatalogView* catalog);
 
   ClosureCache(const ClosureCache&) = delete;
   ClosureCache& operator=(const ClosureCache&) = delete;
 
-  const Catalog& catalog() const { return *catalog_; }
+  const CatalogView& catalog() const { return *catalog_; }
 
   /// All type ancestors of E (every T with E ∈+ T), unsorted but stable.
   const std::vector<TypeId>& TypeAncestors(EntityId e);
@@ -63,7 +64,7 @@ class ClosureCache {
   bool EntityHasType(EntityId e, TypeId t);
 
  private:
-  const Catalog* catalog_;
+  const CatalogView* catalog_;
 
   std::unordered_map<EntityId, std::unordered_map<TypeId, int>>
       ancestor_dists_;

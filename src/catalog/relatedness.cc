@@ -35,7 +35,7 @@ double TypeOverlapRatio(ClosureCache* cache, TypeId t_prime, TypeId t) {
 }
 
 double MissingLinkScore(ClosureCache* cache, EntityId e, TypeId t) {
-  const auto& direct = cache->catalog().entity(e).direct_types;
+  const auto direct = cache->catalog().EntityDirectTypes(e);
   if (direct.empty()) return 0.0;
   int min_dist = cache->MinEntityDist(t);
   if (min_dist >= kUnreachable) return 0.0;

@@ -10,14 +10,14 @@ namespace webtab {
 
 double JudgeAveragePrecision(const std::vector<SearchResult>& results,
                              const std::unordered_set<EntityId>& relevant,
-                             const Catalog& catalog, int depth) {
+                             const CatalogView& catalog, int depth) {
   if (relevant.empty()) return 0.0;
 
   // Map normalized lemma -> relevant entities carrying it.
   std::unordered_map<std::string, std::vector<EntityId>> lemma_to_entity;
   for (EntityId e : relevant) {
-    for (const std::string& lemma : catalog.entity(e).lemmas) {
-      lemma_to_entity[NormalizeText(lemma)].push_back(e);
+    for (int32_t i = 0; i < catalog.NumEntityLemmas(e); ++i) {
+      lemma_to_entity[NormalizeText(catalog.EntityLemma(e, i))].push_back(e);
     }
   }
 

@@ -4,7 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "catalog/catalog.h"
+#include "catalog/catalog_view.h"
 #include "search/query.h"
 
 namespace webtab {
@@ -18,7 +18,7 @@ namespace webtab {
 double JudgeAveragePrecision(
     const std::vector<SearchResult>& results,
     const std::unordered_set<EntityId>& relevant,
-    const Catalog& catalog, int depth = 50);
+    const CatalogView& catalog, int depth = 50);
 
 }  // namespace webtab
 

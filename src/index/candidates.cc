@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string_view>
 #include <unordered_map>
 
 namespace webtab {
@@ -20,7 +21,7 @@ struct TypeScore {
 }  // namespace
 
 TableCandidates GenerateCandidates(const Table& table,
-                                   const LemmaIndex& index,
+                                   const LemmaIndexView& index,
                                    ClosureCache* closure,
                                    const CandidateOptions& options) {
   TableCandidates out;
@@ -29,19 +30,34 @@ TableCandidates GenerateCandidates(const Table& table,
   out.column_types.assign(table.cols(), {});
 
   // --- Entity candidates per cell (index probe, §4.3). ---
+  // The probe + TF-IDF scoring is a pure function of the cell text, and
+  // web tables repeat values heavily (countries, clubs, languages), so
+  // memoize per distinct cell string across the table. Keys view the
+  // table's own cell storage, which outlives the cache.
+  std::unordered_map<std::string_view, std::vector<LemmaHit>> probe_cache;
+  auto probe_cell = [&](const std::string& text) -> std::vector<LemmaHit> {
+    if (options.memoize_cell_probes) {
+      auto it = probe_cache.find(std::string_view(text));
+      if (it != probe_cache.end()) return it->second;
+    }
+    std::vector<LemmaHit> hits =
+        index.ProbeEntities(text, options.max_entities_per_cell);
+    hits.erase(std::remove_if(hits.begin(), hits.end(),
+                              [&](const LemmaHit& h) {
+                                return h.score < options.min_entity_score;
+                              }),
+               hits.end());
+    if (options.memoize_cell_probes) {
+      probe_cache.emplace(std::string_view(text), hits);
+    }
+    return hits;
+  };
   for (int c = 0; c < table.cols(); ++c) {
     bool numeric_column =
         table.NumericFraction(c) > options.numeric_column_threshold;
     for (int r = 0; r < table.rows(); ++r) {
       if (numeric_column) continue;
-      std::vector<LemmaHit> hits = index.ProbeEntities(
-          table.cell(r, c), options.max_entities_per_cell);
-      hits.erase(std::remove_if(hits.begin(), hits.end(),
-                                [&](const LemmaHit& h) {
-                                  return h.score < options.min_entity_score;
-                                }),
-                 hits.end());
-      out.cells[r][c] = std::move(hits);
+      out.cells[r][c] = probe_cell(table.cell(r, c));
     }
   }
 
@@ -79,7 +95,7 @@ TableCandidates GenerateCandidates(const Table& table,
   }
 
   // --- Relation candidates per column pair (catalog tuple probes). ---
-  const Catalog& catalog = closure->catalog();
+  const CatalogView& catalog = closure->catalog();
   for (int c1 = 0; c1 < table.cols(); ++c1) {
     for (int c2 = c1 + 1; c2 < table.cols(); ++c2) {
       std::map<RelationCandidate, int> votes;

@@ -22,6 +22,10 @@ struct CandidateOptions {
   /// Columns whose numeric fraction exceeds this get no entity candidates
   /// (the paper annotates non-numeric columns; §6.1.2).
   double numeric_column_threshold = 0.7;
+  /// Reuse probe results for repeated cell strings within a table (web
+  /// tables repeat values heavily: countries, clubs, languages). Probes
+  /// are pure functions of the cell text, so memoization is exact.
+  bool memoize_cell_probes = true;
 };
 
 /// Candidate label sets for one table (before adding the `na` option).
@@ -39,9 +43,10 @@ struct TableCandidates {
 
 /// Runs the §4.3 candidate generation: index probes per cell, type-space
 /// construction from entity ancestors plus header probes, and relation
-/// discovery from catalog tuples over candidate entity pairs.
+/// discovery from catalog tuples over candidate entity pairs. Works
+/// against any LemmaIndexView backend (in-memory or snapshot).
 TableCandidates GenerateCandidates(const Table& table,
-                                   const LemmaIndex& index,
+                                   const LemmaIndexView& index,
                                    ClosureCache* closure,
                                    const CandidateOptions& options);
 

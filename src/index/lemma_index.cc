@@ -1,36 +1,35 @@
 #include "index/lemma_index.h"
 
-#include <algorithm>
-#include <cmath>
-#include <unordered_map>
+#include <string>
 
+#include "index/lemma_probe.h"
 #include "text/tokenizer.h"
 
 namespace webtab {
 
-LemmaIndex::LemmaIndex(const Catalog* catalog) : catalog_(catalog) {
+LemmaIndex::LemmaIndex(const CatalogView* catalog) : catalog_(catalog) {
   // Register every lemma as a "document" first so IDF values are stable,
   // then build postings.
   for (EntityId e = 0; e < catalog_->num_entities(); ++e) {
-    for (const std::string& lemma : catalog_->entity(e).lemmas) {
-      vocab_.AddDocument(Tokenize(lemma));
+    for (int32_t i = 0; i < catalog_->NumEntityLemmas(e); ++i) {
+      vocab_.AddDocument(Tokenize(catalog_->EntityLemma(e, i)));
     }
   }
   for (TypeId t = 0; t < catalog_->num_types(); ++t) {
-    for (const std::string& lemma : catalog_->type(t).lemmas) {
-      vocab_.AddDocument(Tokenize(lemma));
+    for (int32_t i = 0; i < catalog_->NumTypeLemmas(t); ++i) {
+      vocab_.AddDocument(Tokenize(catalog_->TypeLemma(t, i)));
     }
   }
   for (EntityId e = 0; e < catalog_->num_entities(); ++e) {
-    const auto& lemmas = catalog_->entity(e).lemmas;
-    for (size_t i = 0; i < lemmas.size(); ++i) {
-      AddLemma(&entity_postings_, e, static_cast<int32_t>(i), lemmas[i]);
+    const int32_t n = catalog_->NumEntityLemmas(e);
+    for (int32_t i = 0; i < n; ++i) {
+      AddLemma(&entity_postings_, e, i, catalog_->EntityLemma(e, i));
     }
   }
   for (TypeId t = 0; t < catalog_->num_types(); ++t) {
-    const auto& lemmas = catalog_->type(t).lemmas;
-    for (size_t i = 0; i < lemmas.size(); ++i) {
-      AddLemma(&type_postings_, t, static_cast<int32_t>(i), lemmas[i]);
+    const int32_t n = catalog_->NumTypeLemmas(t);
+    for (int32_t i = 0; i < n; ++i) {
+      AddLemma(&type_postings_, t, i, catalog_->TypeLemma(t, i));
     }
   }
 }
@@ -45,80 +44,51 @@ void LemmaIndex::AddLemma(PostingsTable* table, int32_t id,
       table->by_token.resize(tid + 1);
     }
     table->by_token[tid].push_back(
-        Posting{id, lemma_ord, static_cast<int32_t>(tokens.size())});
+        LemmaPosting{id, lemma_ord, static_cast<int32_t>(tokens.size())});
   }
   ++num_postings_;
 }
 
-std::vector<LemmaHit> LemmaIndex::Probe(const PostingsTable& table,
-                                        std::string_view text, int k) const {
-  std::vector<std::string> tokens = Tokenize(text);
-  if (tokens.empty() || k <= 0) return {};
+namespace {
 
-  // Accumulate IDF-weighted overlap per (object, lemma). The score is a
-  // binary-TF cosine: sum of idf^2 over common tokens, normalized by the
-  // two vectors' norms.
-  double query_norm_sq = 0.0;
-  std::unordered_map<int64_t, double> overlap;  // (id<<16|ord) -> idf^2 sum
-  std::unordered_map<int64_t, int32_t> lemma_len;
-  for (const std::string& token : tokens) {
-    TokenId tid = vocab_.Lookup(token);
-    double idf = vocab_.Idf(tid);
-    query_norm_sq += idf * idf;
-    if (tid < 0 ||
-        static_cast<size_t>(tid) >= table.by_token.size()) {
-      continue;
-    }
-    for (const Posting& p : table.by_token[tid]) {
-      int64_t key = (static_cast<int64_t>(p.id) << 16) |
-                    static_cast<int64_t>(p.lemma_ord & 0xFFFF);
-      overlap[key] += idf * idf;
-      lemma_len[key] = p.lemma_len;
-    }
-  }
-  if (overlap.empty()) return {};
-
-  // Approximate the lemma norm by len * avg-idf^2 of the overlap; exact
-  // norms would need per-lemma storage. Using sqrt(len) keeps ranking
-  // faithful for short lemmas.
-  std::unordered_map<int32_t, LemmaHit> best_per_object;
-  double query_norm = std::sqrt(query_norm_sq);
-  for (const auto& [key, num] : overlap) {
-    int32_t id = static_cast<int32_t>(key >> 16);
-    int32_t ord = static_cast<int32_t>(key & 0xFFFF);
-    double avg_idf_sq = num;  // Upper bound proxy for matched-token mass.
-    (void)avg_idf_sq;
-    double lemma_norm =
-        std::sqrt(static_cast<double>(lemma_len[key])) * query_norm /
-        std::sqrt(static_cast<double>(tokens.size()));
-    double score = lemma_norm > 0 ? num / (query_norm * lemma_norm) : 0.0;
-    score = std::min(score, 1.0);
-    auto it = best_per_object.find(id);
-    if (it == best_per_object.end() || it->second.score < score) {
-      best_per_object[id] = LemmaHit{id, ord, score};
-    }
-  }
-
-  std::vector<LemmaHit> hits;
-  hits.reserve(best_per_object.size());
-  for (const auto& [id, hit] : best_per_object) hits.push_back(hit);
-  std::sort(hits.begin(), hits.end(), [](const LemmaHit& a,
-                                         const LemmaHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.id < b.id;  // Deterministic tie-break.
-  });
-  if (static_cast<int>(hits.size()) > k) hits.resize(k);
-  return hits;
+std::vector<LemmaHit> ProbeTable(
+    const std::vector<std::vector<LemmaPosting>>& by_token,
+    const Vocabulary& vocab, std::string_view text, int k) {
+  return lemma_probe_internal::ProbePostings(
+      text, k, [&](const std::string& token) { return vocab.Lookup(token); },
+      [&](TokenId tid) { return vocab.Idf(tid); },
+      [&](TokenId tid) -> std::span<const LemmaPosting> {
+        if (static_cast<size_t>(tid) >= by_token.size()) return {};
+        return by_token[tid];
+      });
 }
+
+}  // namespace
 
 std::vector<LemmaHit> LemmaIndex::ProbeEntities(std::string_view text,
                                                 int k) const {
-  return Probe(entity_postings_, text, k);
+  return ProbeTable(entity_postings_.by_token, vocab_, text, k);
 }
 
 std::vector<LemmaHit> LemmaIndex::ProbeTypes(std::string_view text,
                                              int k) const {
-  return Probe(type_postings_, text, k);
+  return ProbeTable(type_postings_.by_token, vocab_, text, k);
+}
+
+std::span<const LemmaPosting> LemmaIndex::EntityPostingsForToken(
+    TokenId t) const {
+  if (t < 0 || static_cast<size_t>(t) >= entity_postings_.by_token.size()) {
+    return {};
+  }
+  return entity_postings_.by_token[t];
+}
+
+std::span<const LemmaPosting> LemmaIndex::TypePostingsForToken(
+    TokenId t) const {
+  if (t < 0 || static_cast<size_t>(t) >= type_postings_.by_token.size()) {
+    return {};
+  }
+  return type_postings_.by_token[t];
 }
 
 }  // namespace webtab

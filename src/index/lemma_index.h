@@ -1,6 +1,7 @@
 #ifndef WEBTAB_INDEX_LEMMA_INDEX_H_
 #define WEBTAB_INDEX_LEMMA_INDEX_H_
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -16,52 +17,108 @@ struct LemmaHit {
   double score = 0.0;     // IDF-weighted token-overlap cosine, in [0,1].
 };
 
-/// Inverted index over catalog lemma tokens — the paper's Lucene stand-in
-/// ("use a text index to collect candidate entities based on overlap
-/// between cell and lemma tokens", §4.3/Fig 2). One index serves both
-/// entity and type lemmas; the vocabulary accumulates document frequencies
-/// over all lemmas, backing every TF-IDF computation downstream.
-class LemmaIndex {
+/// One posting: a (object, lemma) pair carrying the lemma's token count.
+/// Fixed 12-byte layout shared verbatim by the in-memory postings lists
+/// and the snapshot file's CSR arrays.
+struct LemmaPosting {
+  int32_t id;         // Entity or type id.
+  int32_t lemma_ord;  // Ordinal of the lemma within the object.
+  int32_t lemma_len;  // Token count of that lemma.
+};
+static_assert(sizeof(LemmaPosting) == 12, "postings are mmap'd verbatim");
+
+/// Read-only probe interface over catalog lemma postings — the paper's
+/// Lucene stand-in ("use a text index to collect candidate entities based
+/// on overlap between cell and lemma tokens", §4.3/Fig 2). Backed either
+/// by an in-memory LemmaIndex build or by a zero-copy snapshot view;
+/// probes produce bit-identical results on both.
+class LemmaIndexView {
+ public:
+  virtual ~LemmaIndexView() = default;
+
+  /// Top-k entities whose lemmas overlap `text`, best first.
+  virtual std::vector<LemmaHit> ProbeEntities(std::string_view text,
+                                              int k) const = 0;
+
+  /// Top-k types whose lemmas overlap `text`, best first.
+  virtual std::vector<LemmaHit> ProbeTypes(std::string_view text,
+                                           int k) const = 0;
+
+  virtual const CatalogView& catalog() const = 0;
+
+  virtual int64_t num_postings() const = 0;
+
+  /// Shared mutable vocabulary when the backend owns one (in-memory
+  /// build); nullptr for immutable snapshot views. Feature similarity
+  /// interns query tokens, so consumers that need a mutable vocabulary
+  /// against a snapshot must materialize a copy via CopyVocabulary().
+  virtual Vocabulary* mutable_vocabulary() const = 0;
+
+  /// Deep copy of the vocabulary statistics (token texts, document
+  /// frequencies, document count) — identical IDF values to the backing
+  /// store. Used for per-worker private vocabularies.
+  virtual Vocabulary CopyVocabulary() const = 0;
+};
+
+/// Returns a usable mutable vocabulary for `index`: the backend's shared
+/// instance when it has one (in-memory build), otherwise materializes a
+/// private copy into `*storage` and returns that. Shared by the trainers
+/// and any consumer that needs token interning against a snapshot.
+inline Vocabulary* EnsureMutableVocabulary(const LemmaIndexView& index,
+                                           Vocabulary* storage) {
+  Vocabulary* vocab = index.mutable_vocabulary();
+  if (vocab != nullptr) return vocab;
+  *storage = index.CopyVocabulary();
+  return storage;
+}
+
+/// Inverted index over catalog lemma tokens, built in memory from a
+/// catalog. One index serves both entity and type lemmas; the vocabulary
+/// accumulates document frequencies over all lemmas, backing every TF-IDF
+/// computation downstream.
+class LemmaIndex : public LemmaIndexView {
  public:
   /// Builds postings for `catalog` (which must outlive the index).
-  explicit LemmaIndex(const Catalog* catalog);
+  explicit LemmaIndex(const CatalogView* catalog);
 
   LemmaIndex(const LemmaIndex&) = delete;
   LemmaIndex& operator=(const LemmaIndex&) = delete;
 
-  /// Top-k entities whose lemmas overlap `text`, best first.
-  std::vector<LemmaHit> ProbeEntities(std::string_view text, int k) const;
-
-  /// Top-k types whose lemmas overlap `text`, best first.
-  std::vector<LemmaHit> ProbeTypes(std::string_view text, int k) const;
+  std::vector<LemmaHit> ProbeEntities(std::string_view text,
+                                      int k) const override;
+  std::vector<LemmaHit> ProbeTypes(std::string_view text,
+                                   int k) const override;
 
   /// Shared vocabulary (IDF source). Mutable because similarity probes
   /// intern query tokens; interning does not change existing statistics.
   Vocabulary* vocabulary() const { return &vocab_; }
+  Vocabulary* mutable_vocabulary() const override { return &vocab_; }
+  Vocabulary CopyVocabulary() const override { return vocab_; }
 
-  const Catalog& catalog() const { return *catalog_; }
+  const CatalogView& catalog() const override { return *catalog_; }
 
-  int64_t num_postings() const { return num_postings_; }
+  int64_t num_postings() const override { return num_postings_; }
+
+  // --- Serialization access (snapshot writer). ---
+  /// Token-id range covered by each postings table; tokens at or past the
+  /// table's size have no postings.
+  int64_t num_token_slots() const {
+    return static_cast<int64_t>(vocab_.size());
+  }
+  std::span<const LemmaPosting> EntityPostingsForToken(TokenId t) const;
+  std::span<const LemmaPosting> TypePostingsForToken(TokenId t) const;
 
  private:
-  struct Posting {
-    int32_t id;         // Entity or type id.
-    int32_t lemma_ord;  // Ordinal of the lemma within the object.
-    int32_t lemma_len;  // Token count of that lemma.
-  };
-
   // One postings table per object kind.
   struct PostingsTable {
     // Indexed by TokenId; parallel to vocab ids (grown on build only).
-    std::vector<std::vector<Posting>> by_token;
+    std::vector<std::vector<LemmaPosting>> by_token;
   };
 
   void AddLemma(PostingsTable* table, int32_t id, int32_t lemma_ord,
                 std::string_view lemma);
-  std::vector<LemmaHit> Probe(const PostingsTable& table,
-                              std::string_view text, int k) const;
 
-  const Catalog* catalog_;
+  const CatalogView* catalog_;
   mutable Vocabulary vocab_;
   PostingsTable entity_postings_;
   PostingsTable type_postings_;

@@ -1,0 +1,87 @@
+#ifndef WEBTAB_INDEX_LEMMA_PROBE_H_
+#define WEBTAB_INDEX_LEMMA_PROBE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/lemma_index.h"
+#include "text/tokenizer.h"
+
+namespace webtab {
+namespace lemma_probe_internal {
+
+/// The shared probe kernel: IDF-weighted token-overlap cosine over a
+/// postings table, identical for the in-memory index and the snapshot
+/// view so both backends rank bit-identically. The backend supplies two
+/// callables:
+///   lookup(token) -> TokenId (kInvalidToken when unseen),
+///   idf(TokenId)  -> double (must handle kInvalidToken as df=0),
+///   postings(TokenId) -> std::span<const LemmaPosting> (empty when the
+///                        token has none).
+template <typename LookupFn, typename IdfFn, typename PostingsFn>
+std::vector<LemmaHit> ProbePostings(std::string_view text, int k,
+                                    LookupFn&& lookup, IdfFn&& idf_of,
+                                    PostingsFn&& postings_of) {
+  std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty() || k <= 0) return {};
+
+  // Accumulate IDF-weighted overlap per (object, lemma). The score is a
+  // binary-TF cosine: sum of idf^2 over common tokens, normalized by the
+  // two vectors' norms.
+  double query_norm_sq = 0.0;
+  std::unordered_map<int64_t, double> overlap;  // (id<<16|ord) -> idf^2 sum
+  std::unordered_map<int64_t, int32_t> lemma_len;
+  for (const std::string& token : tokens) {
+    TokenId tid = lookup(token);
+    double idf = idf_of(tid);
+    query_norm_sq += idf * idf;
+    if (tid < 0) continue;
+    for (const LemmaPosting& p : postings_of(tid)) {
+      int64_t key = (static_cast<int64_t>(p.id) << 16) |
+                    static_cast<int64_t>(p.lemma_ord & 0xFFFF);
+      overlap[key] += idf * idf;
+      lemma_len[key] = p.lemma_len;
+    }
+  }
+  if (overlap.empty()) return {};
+
+  // Approximate the lemma norm by len * avg-idf^2 of the overlap; exact
+  // norms would need per-lemma storage. Using sqrt(len) keeps ranking
+  // faithful for short lemmas.
+  std::unordered_map<int32_t, LemmaHit> best_per_object;
+  double query_norm = std::sqrt(query_norm_sq);
+  for (const auto& [key, num] : overlap) {
+    int32_t id = static_cast<int32_t>(key >> 16);
+    int32_t ord = static_cast<int32_t>(key & 0xFFFF);
+    double lemma_norm =
+        std::sqrt(static_cast<double>(lemma_len[key])) * query_norm /
+        std::sqrt(static_cast<double>(tokens.size()));
+    double score = lemma_norm > 0 ? num / (query_norm * lemma_norm) : 0.0;
+    score = std::min(score, 1.0);
+    auto it = best_per_object.find(id);
+    if (it == best_per_object.end() || it->second.score < score) {
+      best_per_object[id] = LemmaHit{id, ord, score};
+    }
+  }
+
+  std::vector<LemmaHit> hits;
+  hits.reserve(best_per_object.size());
+  for (const auto& [id, hit] : best_per_object) hits.push_back(hit);
+  std::sort(hits.begin(), hits.end(), [](const LemmaHit& a,
+                                         const LemmaHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;  // Deterministic tie-break.
+  });
+  if (static_cast<int>(hits.size()) > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace lemma_probe_internal
+}  // namespace webtab
+
+#endif  // WEBTAB_INDEX_LEMMA_PROBE_H_

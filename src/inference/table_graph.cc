@@ -1,6 +1,7 @@
 #include "inference/table_graph.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -90,7 +91,7 @@ void EmitPhi5(const std::vector<RelationCandidate>& rels,
     return;
   }
 
-  const Catalog& catalog = features->catalog();
+  const CatalogView& catalog = features->catalog();
   const size_t B = rels.size();
   FactorGraph::ImplicitTernarySpec spec;
   spec.base_on.assign(B, 0.0);
@@ -110,11 +111,10 @@ void EmitPhi5(const std::vector<RelationCandidate>& rels,
 
   for (size_t lb = 1; lb < B; ++lb) {
     const RelationCandidate& b = rels[lb];
-    const RelationRecord& rel = catalog.relation(b.relation);
     // gate == 1 means "this side raises no cardinality violation".
     spec.base_on[lb] = plain_value;
     spec.base_off[lb] = viol_value;
-    const RelationCardinality card = rel.cardinality;
+    const RelationCardinality card = catalog.RelationCardinalityOf(b.relation);
     const bool functional = card == RelationCardinality::kManyToOne ||
                             card == RelationCardinality::kOneToOne;
     const bool inv_functional = card == RelationCardinality::kOneToMany ||
@@ -131,7 +131,7 @@ void EmitPhi5(const std::vector<RelationCandidate>& rels,
       }
       if (viol) spec.gate_x[lb * d1.size() + l1] = 0;
       // Tuple hits with e1 on this side become overrides.
-      const std::vector<EntityId> partners =
+      const std::span<const EntityId> partners =
           b.swapped ? catalog.SubjectsOf(b.relation, e1)
                     : catalog.ObjectsOf(b.relation, e1);
       for (EntityId partner : partners) {
@@ -197,7 +197,7 @@ void EmitPhi4(const std::vector<RelationCandidate>& rels,
     return;
   }
 
-  const Catalog& catalog = features->catalog();
+  const CatalogView& catalog = features->catalog();
   ClosureCache* closure = features->closure();
   const size_t B = rels.size();
   FactorGraph::ImplicitTernarySpec spec;
@@ -209,14 +209,15 @@ void EmitPhi4(const std::vector<RelationCandidate>& rels,
   spec.gate_y.assign(B * types2.size(), 0);
   for (size_t lb = 1; lb < B; ++lb) {
     const RelationCandidate& b = rels[lb];
-    const RelationRecord& rel = catalog.relation(b.relation);
+    const TypeId rel_subject = catalog.RelationSubjectType(b.relation);
+    const TypeId rel_object = catalog.RelationObjectType(b.relation);
     spec.base_on[lb] = w.w4[0] + w.w4[3];
     spec.base_off[lb] = w.w4[3];
     // Column 1 plays subject unless swapped (then object), mirroring
     // FeatureComputer::F4's role assignment; the participation weight
     // follows the role.
-    const TypeId x_role_type = b.swapped ? rel.object_type : rel.subject_type;
-    const TypeId y_role_type = b.swapped ? rel.subject_type : rel.object_type;
+    const TypeId x_role_type = b.swapped ? rel_object : rel_subject;
+    const TypeId y_role_type = b.swapped ? rel_subject : rel_object;
     const double wx = b.swapped ? w.w4[2] : w.w4[1];
     const double wy = b.swapped ? w.w4[1] : w.w4[2];
     for (size_t l1 = 1; l1 < types1.size(); ++l1) {

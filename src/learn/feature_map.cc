@@ -56,13 +56,14 @@ TableAnnotation LossAugmentedDecode(const Table& table,
                                     const TableAnnotation& gold,
                                     const LossWeights& loss,
                                     bool use_relations,
-                                    const BpOptions& bp_options) {
+                                    const BpOptions& bp_options,
+                                    BpWorkspace* workspace) {
   TableGraphOptions graph_options;
   graph_options.use_relations = use_relations;
   TableGraph graph =
       BuildTableGraph(table, space, features, w, graph_options);
   AddLossAugmentation(space, gold, loss, &graph);
-  BpResult bp = RunBeliefPropagation(graph.graph, bp_options);
+  BpResult bp = RunBeliefPropagation(graph.graph, bp_options, workspace);
   return graph.DecodeAssignment(bp.assignment, space);
 }
 

@@ -7,14 +7,23 @@
 namespace webtab {
 
 Weights TrainPerceptron(const std::vector<LabeledTable>& data,
-                        const Catalog* catalog, const LemmaIndex* index,
+                        const CatalogView* catalog,
+                        const LemmaIndexView* index,
                         const CandidateOptions& candidates,
                         const FeatureOptions& feature_options,
                         const PerceptronOptions& options,
                         TrainStats* stats) {
   ClosureCache closure(catalog);
-  FeatureComputer features(&closure, index->vocabulary(), feature_options);
+  // Snapshot-backed indexes have no mutable vocabulary; materialize a
+  // private copy (identical IDF statistics) for feature similarity.
+  Vocabulary vocab_storage;
+  FeatureComputer features(&closure,
+                           EnsureMutableVocabulary(*index, &vocab_storage),
+                           feature_options);
   Rng rng(options.shuffle_seed);
+  // One workspace across all examples and epochs: message buffers are
+  // reused, so steady-state decodes allocate nothing in BP.
+  BpWorkspace bp_workspace;
 
   std::vector<double> w = options.initial.Flatten();
   std::vector<double> w_sum(w.size(), 0.0);
@@ -43,7 +52,7 @@ Weights TrainPerceptron(const std::vector<LabeledTable>& data,
           options.loss_augmented ? options.loss : LossWeights{0, 0, 0};
       TableAnnotation predicted = LossAugmentedDecode(
           lt.table, spaces[idx], &features, current, lt.gold, loss,
-          options.use_relations, options.bp);
+          options.use_relations, options.bp, &bp_workspace);
       double l = AnnotationLoss(lt.gold, predicted, options.loss,
                                 lt.entities_only, lt.relations_only);
       epoch_loss += l;

@@ -33,7 +33,8 @@ struct TrainStats {
 /// w1..w5 on Wiki Manual). Gold labels are injected into every label
 /// space so the target is always reachable.
 Weights TrainPerceptron(const std::vector<LabeledTable>& data,
-                        const Catalog* catalog, const LemmaIndex* index,
+                        const CatalogView* catalog,
+                        const LemmaIndexView* index,
                         const CandidateOptions& candidates,
                         const FeatureOptions& feature_options,
                         const PerceptronOptions& options,

@@ -7,13 +7,21 @@
 namespace webtab {
 
 Weights TrainSsvm(const std::vector<LabeledTable>& data,
-                  const Catalog* catalog, const LemmaIndex* index,
+                  const CatalogView* catalog, const LemmaIndexView* index,
                   const CandidateOptions& candidates,
                   const FeatureOptions& feature_options,
                   const SsvmOptions& options, TrainStats* stats) {
   ClosureCache closure(catalog);
-  FeatureComputer features(&closure, index->vocabulary(), feature_options);
+  // Snapshot-backed indexes have no mutable vocabulary; materialize a
+  // private copy (identical IDF statistics) for feature similarity.
+  Vocabulary vocab_storage;
+  FeatureComputer features(&closure,
+                           EnsureMutableVocabulary(*index, &vocab_storage),
+                           feature_options);
   Rng rng(options.shuffle_seed);
+  // One workspace across all examples and epochs: message buffers are
+  // reused, so steady-state decodes allocate nothing in BP.
+  BpWorkspace bp_workspace;
 
   std::vector<double> w = options.initial.Flatten();
   std::vector<TableLabelSpace> spaces;
@@ -40,7 +48,7 @@ Weights TrainSsvm(const std::vector<LabeledTable>& data,
       Weights current = Weights::FromFlat(w);
       TableAnnotation predicted = LossAugmentedDecode(
           lt.table, spaces[idx], &features, current, lt.gold, options.loss,
-          options.use_relations, options.bp);
+          options.use_relations, options.bp, &bp_workspace);
       double l = AnnotationLoss(lt.gold, predicted, options.loss,
                                 lt.entities_only, lt.relations_only);
       epoch_loss += l;

@@ -23,7 +23,8 @@ struct SsvmOptions {
 /// al. [22]): per example, decode ŷ = argmax_y w·Ψ(x,y) + L(y*, y) and
 /// step along Ψ(x,y*) − Ψ(x,ŷ) with L2 shrinkage.
 Weights TrainSsvm(const std::vector<LabeledTable>& data,
-                  const Catalog* catalog, const LemmaIndex* index,
+                  const CatalogView* catalog,
+                  const LemmaIndexView* index,
                   const CandidateOptions& candidates,
                   const FeatureOptions& feature_options,
                   const SsvmOptions& options, TrainStats* stats = nullptr);

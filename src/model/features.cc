@@ -21,13 +21,16 @@ double Dot(const std::vector<double>& w, const std::array<double, N>& f) {
 }
 
 /// Max over lemmas of each similarity measure, packed as
-/// [cosine, jaccard, dice, soft-tfidf, exact, bias].
-template <size_t N>
-void TextSimilarityFeatures(std::string_view text,
-                            const std::vector<std::string>& lemmas,
-                            Vocabulary* vocab, std::array<double, N>* out) {
+/// [cosine, jaccard, dice, soft-tfidf, exact, bias]. `lemma_at(i)` yields
+/// the i-th lemma as a string_view so both catalog backends (heap records
+/// and mmap'd string arenas) feed the same code.
+template <size_t N, typename LemmaAt>
+void TextSimilarityFeatures(std::string_view text, int32_t num_lemmas,
+                            LemmaAt lemma_at, Vocabulary* vocab,
+                            std::array<double, N>* out) {
   static_assert(N >= 6);
-  for (const std::string& lemma : lemmas) {
+  for (int32_t i = 0; i < num_lemmas; ++i) {
+    std::string_view lemma = lemma_at(i);
     (*out)[0] = std::max((*out)[0], TfIdfCosine(text, lemma, vocab));
     (*out)[1] = std::max((*out)[1], JaccardSimilarity(text, lemma));
     (*out)[2] = std::max((*out)[2], DiceSimilarity(text, lemma));
@@ -50,7 +53,10 @@ std::array<double, kF1Size> FeatureComputer::F1(std::string_view cell_text,
                                                 EntityId e) const {
   std::array<double, kF1Size> f{};
   if (e == kNa) return f;
-  TextSimilarityFeatures(cell_text, catalog().entity(e).lemmas, vocab_, &f);
+  const CatalogView& cat = catalog();
+  TextSimilarityFeatures(
+      cell_text, cat.NumEntityLemmas(e),
+      [&](int32_t i) { return cat.EntityLemma(e, i); }, vocab_, &f);
   return f;
 }
 
@@ -64,7 +70,10 @@ std::array<double, kF2Size> FeatureComputer::F2(std::string_view header_text,
     f[5] = 1.0;
     return f;
   }
-  TextSimilarityFeatures(header_text, catalog().type(t).lemmas, vocab_, &f);
+  const CatalogView& cat = catalog();
+  TextSimilarityFeatures(
+      header_text, cat.NumTypeLemmas(t),
+      [&](int32_t i) { return cat.TypeLemma(t, i); }, vocab_, &f);
   return f;
 }
 
@@ -103,13 +112,14 @@ std::array<double, kF4Size> FeatureComputer::F4(const RelationCandidate& b,
                                                 TypeId t1, TypeId t2) {
   std::array<double, kF4Size> f{};
   if (b.is_na() || t1 == kNa || t2 == kNa) return f;
-  const RelationRecord& rel = catalog().relation(b.relation);
   TypeId subject_col_type = b.swapped ? t2 : t1;
   TypeId object_col_type = b.swapped ? t1 : t2;
   // Schema feature: 1 when the column types are sub-types of the declared
   // schema B(T1, T2) (exact-id equality is too brittle under a DAG).
-  if (closure_->IsSubtypeOf(subject_col_type, rel.subject_type) &&
-      closure_->IsSubtypeOf(object_col_type, rel.object_type)) {
+  if (closure_->IsSubtypeOf(subject_col_type,
+                            catalog().RelationSubjectType(b.relation)) &&
+      closure_->IsSubtypeOf(object_col_type,
+                            catalog().RelationObjectType(b.relation))) {
     f[0] = 1.0;
   }
   // Participation: fraction of entities under each column type occupying
@@ -127,14 +137,14 @@ std::array<double, kF5Size> FeatureComputer::F5(const RelationCandidate& b,
   if (b.is_na() || e1 == kNa || e2 == kNa) return f;
   EntityId subject = b.swapped ? e2 : e1;
   EntityId object = b.swapped ? e1 : e2;
-  const Catalog& cat = catalog();
+  const CatalogView& cat = catalog();
   if (cat.HasTuple(b.relation, subject, object)) {
     f[0] = 1.0;
   } else {
     // Cardinality violation (§4.2.5, second feature): a functional
     // relation already maps this subject to a *different* object (or
     // inverse-functional maps this object to a different subject).
-    RelationCardinality card = cat.relation(b.relation).cardinality;
+    RelationCardinality card = cat.RelationCardinalityOf(b.relation);
     bool functional = card == RelationCardinality::kManyToOne ||
                       card == RelationCardinality::kOneToOne;
     bool inv_functional = card == RelationCardinality::kOneToMany ||
@@ -161,7 +171,6 @@ double FeatureComputer::Participation(RelationId rel, TypeId t,
   const std::vector<EntityId>& extension = closure_->EntitiesOf(t);
   double value = 0.0;
   if (!extension.empty()) {
-    const RelationRecord& record = catalog().relation(rel);
     // Count extension entities occupying the role. Tuples are sorted by
     // subject; for the object role we use the reverse index per entity.
     int64_t hits = 0;
@@ -170,7 +179,6 @@ double FeatureComputer::Participation(RelationId rel, TypeId t,
                                  : !catalog().ObjectsOf(rel, e).empty();
       if (present) ++hits;
     }
-    (void)record;
     value = static_cast<double>(hits) / static_cast<double>(extension.size());
   }
   participation_cache_[key] = value;

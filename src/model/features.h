@@ -36,7 +36,7 @@ class FeatureComputer {
   FeatureComputer(const FeatureComputer&) = delete;
   FeatureComputer& operator=(const FeatureComputer&) = delete;
 
-  const Catalog& catalog() const { return closure_->catalog(); }
+  const CatalogView& catalog() const { return closure_->catalog(); }
   ClosureCache* closure() { return closure_; }
   const FeatureOptions& options() const { return options_; }
 

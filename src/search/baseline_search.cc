@@ -7,7 +7,7 @@
 
 namespace webtab {
 
-std::vector<SearchResult> BaselineSearch(const CorpusIndex& index,
+std::vector<SearchResult> BaselineSearch(const CorpusView& index,
                                          const SelectQuery& query) {
   using search_internal::CellMatchesText;
   using search_internal::EvidenceAggregator;
@@ -16,33 +16,35 @@ std::vector<SearchResult> BaselineSearch(const CorpusIndex& index,
   std::map<int, std::set<int>> t1_cols;
   std::map<int, std::set<int>> t2_cols;
   for (const std::string& token : Tokenize(query.type1_text)) {
-    for (const auto& ref : index.HeaderPostings(token)) {
+    for (const ColumnRef& ref : index.HeaderPostings(token)) {
       t1_cols[ref.table].insert(ref.col);
     }
   }
   for (const std::string& token : Tokenize(query.type2_text)) {
-    for (const auto& ref : index.HeaderPostings(token)) {
+    for (const ColumnRef& ref : index.HeaderPostings(token)) {
       t2_cols[ref.table].insert(ref.col);
     }
   }
   // Context-match bonus tables.
   std::set<int> context_tables;
   for (const std::string& token : Tokenize(query.relation_text)) {
-    for (int t : index.ContextPostings(token)) context_tables.insert(t);
+    for (int32_t t : index.ContextPostings(token)) context_tables.insert(t);
   }
 
   EvidenceAggregator agg;
   for (const auto& [table_idx, c1s] : t1_cols) {
     auto it2 = t2_cols.find(table_idx);
     if (it2 == t2_cols.end()) continue;
-    const Table& table = index.table(table_idx).table;
+    const int num_rows = index.rows(table_idx);
     double table_score = context_tables.count(table_idx) ? 1.5 : 1.0;
     for (int c2 : it2->second) {
-      for (int r = 0; r < table.rows(); ++r) {
-        if (!CellMatchesText(table.cell(r, c2), query.e2_text)) continue;
+      for (int r = 0; r < num_rows; ++r) {
+        if (!CellMatchesText(index.cell(table_idx, r, c2), query.e2_text)) {
+          continue;
+        }
         for (int c1 : c1s) {
           if (c1 == c2) continue;
-          agg.AddText(table.cell(r, c1), table_score);
+          agg.AddText(index.cell(table_idx, r, c1), table_score);
         }
       }
     }

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "search/corpus_index.h"
+#include "search/corpus_view.h"
 #include "search/query.h"
 
 namespace webtab {
@@ -13,7 +13,7 @@ namespace webtab {
 /// the relation string adds score); E2 is located by text similarity in
 /// the T2 column; the T1 column's raw cell strings are clustered, deduped
 /// and ranked. Returns unresolved strings (SearchResult::entity == kNa).
-std::vector<SearchResult> BaselineSearch(const CorpusIndex& index,
+std::vector<SearchResult> BaselineSearch(const CorpusView& index,
                                          const SelectQuery& query);
 
 }  // namespace webtab

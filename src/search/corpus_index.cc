@@ -1,18 +1,19 @@
 #include "search/corpus_index.h"
 
-#include <unordered_set>
-
 #include "text/tokenizer.h"
 
 namespace webtab {
 
 namespace {
-template <typename K, typename V>
-const std::vector<V>& FindOrEmpty(
-    const std::unordered_map<K, std::vector<V>>& map, const K& key) {
-  static const std::vector<V> kEmpty;
+/// Works for both the id-keyed maps and the transparent token maps;
+/// `key` may be a string_view probing a std::string-keyed map without
+/// allocating.
+template <typename Map, typename K>
+auto FindOrEmpty(const Map& map, const K& key)
+    -> std::span<const typename Map::mapped_type::value_type> {
   auto it = map.find(key);
-  return it == map.end() ? kEmpty : it->second;
+  if (it == map.end()) return {};
+  return std::span<const typename Map::mapped_type::value_type>(it->second);
 }
 }  // namespace
 
@@ -49,33 +50,31 @@ CorpusIndex::CorpusIndex(std::vector<AnnotatedTable> tables,
     for (const auto& [pair, rel] : ann.relations) {
       if (rel.is_na()) continue;
       relation_postings_[rel.relation].push_back(
-          RelationRef{i, pair.first, pair.second, rel.swapped});
+          RelationRef{i, pair.first, pair.second, rel.swapped ? 1 : 0});
     }
   }
 }
 
-const std::vector<CorpusIndex::ColumnRef>& CorpusIndex::HeaderPostings(
-    const std::string& token) const {
+std::span<const ColumnRef> CorpusIndex::HeaderPostings(
+    std::string_view token) const {
   return FindOrEmpty(header_postings_, token);
 }
 
-const std::vector<int>& CorpusIndex::ContextPostings(
-    const std::string& token) const {
+std::span<const int32_t> CorpusIndex::ContextPostings(
+    std::string_view token) const {
   return FindOrEmpty(context_postings_, token);
 }
 
-const std::vector<CorpusIndex::ColumnRef>& CorpusIndex::TypePostings(
-    TypeId t) const {
+std::span<const ColumnRef> CorpusIndex::TypePostings(TypeId t) const {
   return FindOrEmpty(type_postings_, t);
 }
 
-const std::vector<CorpusIndex::RelationRef>& CorpusIndex::RelationPostings(
+std::span<const RelationRef> CorpusIndex::RelationPostings(
     RelationId b) const {
   return FindOrEmpty(relation_postings_, b);
 }
 
-const std::vector<CorpusIndex::CellRef>& CorpusIndex::EntityPostings(
-    EntityId e) const {
+std::span<const CellRef> CorpusIndex::EntityPostings(EntityId e) const {
   return FindOrEmpty(entity_postings_, e);
 }
 

@@ -1,34 +1,42 @@
 #ifndef WEBTAB_SEARCH_CORPUS_INDEX_H_
 #define WEBTAB_SEARCH_CORPUS_INDEX_H_
 
-#include <map>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "annotate/corpus_annotator.h"
+#include "search/corpus_view.h"
 #include "text/vocabulary.h"
 
 namespace webtab {
 
-/// Postings over an annotated table corpus (the paper indexes 25M tables
-/// with Lucene; same access paths here):
-///  - header/context token postings for the string-only baseline,
-///  - column-type postings and pair-relation postings for the hardened
-///    engines,
-///  - per-table cell/annotation access.
-class CorpusIndex {
+/// Transparent string hashing so string_view lookups probe the postings
+/// maps without materializing a std::string per query token.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Token-keyed postings map with heterogeneous (string_view) lookup.
+template <typename V>
+using TokenPostingsMap =
+    std::unordered_map<std::string, std::vector<V>, TransparentStringHash,
+                       std::equal_to<>>;
+
+/// In-memory postings over an annotated table corpus; implements
+/// CorpusView so the search engines are agnostic to whether the corpus
+/// came from a fresh annotation run or an mmap'd snapshot.
+class CorpusIndex : public CorpusView {
  public:
-  struct ColumnRef {
-    int table = 0;
-    int col = 0;
-  };
-  struct RelationRef {
-    int table = 0;
-    int c1 = 0;
-    int c2 = 0;
-    bool swapped = false;
-  };
+  // Nested aliases kept for existing call sites.
+  using ColumnRef = webtab::ColumnRef;
+  using RelationRef = webtab::RelationRef;
+  using CellRef = webtab::CellRef;
 
   /// Builds the index; takes ownership of the annotated tables. When
   /// `closure` is non-null, type postings are expanded to catalog
@@ -36,38 +44,66 @@ class CorpusIndex {
   explicit CorpusIndex(std::vector<AnnotatedTable> tables,
                        ClosureCache* closure = nullptr);
 
-  int64_t num_tables() const {
+  int64_t num_tables() const override {
     return static_cast<int64_t>(tables_.size());
   }
   const AnnotatedTable& table(int i) const { return tables_[i]; }
 
-  /// Tables whose header row contains `token` (any column).
-  const std::vector<ColumnRef>& HeaderPostings(const std::string& token)
-      const;
+  int rows(int t) const override { return tables_[t].table.rows(); }
+  int cols(int t) const override { return tables_[t].table.cols(); }
+  int64_t table_id(int t) const override { return tables_[t].table.id(); }
+  std::string_view cell(int t, int r, int c) const override {
+    return tables_[t].table.cell(r, c);
+  }
+  std::string_view header(int t, int c) const override {
+    return tables_[t].table.header(c);
+  }
+  std::string_view context(int t) const override {
+    return tables_[t].table.context();
+  }
 
-  /// Tables whose context contains `token`.
-  const std::vector<int>& ContextPostings(const std::string& token) const;
+  TypeId ColumnType(int t, int c) const override {
+    return tables_[t].annotation.TypeOf(c);
+  }
+  EntityId CellEntity(int t, int r, int c) const override {
+    return tables_[t].annotation.EntityOf(r, c);
+  }
+  RelationCandidate RelationOf(int t, int c1, int c2) const override {
+    return tables_[t].annotation.RelationOf(c1, c2);
+  }
 
-  /// Columns annotated with type `t` — including via subtype: postings
-  /// are stored on the annotated type and every catalog ancestor.
-  const std::vector<ColumnRef>& TypePostings(TypeId t) const;
+  std::span<const ColumnRef> HeaderPostings(
+      std::string_view token) const override;
+  std::span<const int32_t> ContextPostings(
+      std::string_view token) const override;
+  std::span<const ColumnRef> TypePostings(TypeId t) const override;
+  std::span<const RelationRef> RelationPostings(RelationId b) const override;
+  std::span<const CellRef> EntityPostings(EntityId e) const override;
 
-  /// Column pairs annotated with relation `b`.
-  const std::vector<RelationRef>& RelationPostings(RelationId b) const;
-
-  /// Cells annotated with entity `e` as (table, row, col) triples packed
-  /// into ColumnRef+row.
-  struct CellRef {
-    int table = 0;
-    int row = 0;
-    int col = 0;
-  };
-  const std::vector<CellRef>& EntityPostings(EntityId e) const;
+  // --- Serialization access (snapshot writer): the raw postings maps. ---
+  const TokenPostingsMap<ColumnRef>& header_postings_map() const {
+    return header_postings_;
+  }
+  const TokenPostingsMap<int32_t>& context_postings_map() const {
+    return context_postings_;
+  }
+  const std::unordered_map<TypeId, std::vector<ColumnRef>>&
+  type_postings_map() const {
+    return type_postings_;
+  }
+  const std::unordered_map<RelationId, std::vector<RelationRef>>&
+  relation_postings_map() const {
+    return relation_postings_;
+  }
+  const std::unordered_map<EntityId, std::vector<CellRef>>&
+  entity_postings_map() const {
+    return entity_postings_;
+  }
 
  private:
   std::vector<AnnotatedTable> tables_;
-  std::unordered_map<std::string, std::vector<ColumnRef>> header_postings_;
-  std::unordered_map<std::string, std::vector<int>> context_postings_;
+  TokenPostingsMap<ColumnRef> header_postings_;
+  TokenPostingsMap<int32_t> context_postings_;
   std::unordered_map<TypeId, std::vector<ColumnRef>> type_postings_;
   std::unordered_map<RelationId, std::vector<RelationRef>>
       relation_postings_;

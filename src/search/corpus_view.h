@@ -1,0 +1,85 @@
+#ifndef WEBTAB_SEARCH_CORPUS_VIEW_H_
+#define WEBTAB_SEARCH_CORPUS_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "catalog/ids.h"
+
+namespace webtab {
+
+/// Posting payloads. Fixed all-int32 layouts so the same element type
+/// backs in-memory vectors and mmap'd snapshot arrays verbatim.
+struct ColumnRef {
+  int32_t table = 0;
+  int32_t col = 0;
+};
+static_assert(sizeof(ColumnRef) == 8, "postings are mmap'd verbatim");
+
+struct RelationRef {
+  int32_t table = 0;
+  int32_t c1 = 0;
+  int32_t c2 = 0;
+  int32_t swapped = 0;  // 0/1; int32 keeps the struct pad-free on disk.
+};
+static_assert(sizeof(RelationRef) == 16, "postings are mmap'd verbatim");
+
+struct CellRef {
+  int32_t table = 0;
+  int32_t row = 0;
+  int32_t col = 0;
+};
+static_assert(sizeof(CellRef) == 12, "postings are mmap'd verbatim");
+
+/// Read-only access to an annotated table corpus and its postings (the
+/// paper indexes 25M tables with Lucene; same access paths here):
+///  - header/context token postings for the string-only baseline,
+///  - column-type postings and pair-relation postings for the hardened
+///    engines,
+///  - per-table cell text and annotation access.
+///
+/// Two backends: the in-memory CorpusIndex build, and the zero-copy
+/// snapshot view over an mmap'd file. All four search engines run against
+/// this interface and produce identical rankings on both.
+class CorpusView {
+ public:
+  virtual ~CorpusView() = default;
+
+  virtual int64_t num_tables() const = 0;
+
+  // --- Per-table access (t indexes the corpus, not the source id). ---
+  virtual int rows(int t) const = 0;
+  virtual int cols(int t) const = 0;
+  virtual int64_t table_id(int t) const = 0;
+  virtual std::string_view cell(int t, int r, int c) const = 0;
+  virtual std::string_view header(int t, int c) const = 0;
+  virtual std::string_view context(int t) const = 0;
+
+  // --- Per-table annotation access. ---
+  virtual TypeId ColumnType(int t, int c) const = 0;
+  virtual EntityId CellEntity(int t, int r, int c) const = 0;
+  /// Relation on the ordered pair (c1 < c2); {kNa, false} when absent.
+  virtual RelationCandidate RelationOf(int t, int c1, int c2) const = 0;
+
+  // --- Postings. ---
+  /// Tables whose header row contains `token` (any column).
+  virtual std::span<const ColumnRef> HeaderPostings(
+      std::string_view token) const = 0;
+  /// Tables whose context contains `token`.
+  virtual std::span<const int32_t> ContextPostings(
+      std::string_view token) const = 0;
+  /// Columns annotated with type `t` — including via subtype when the
+  /// index was built with a closure: postings are stored on the annotated
+  /// type and every catalog ancestor.
+  virtual std::span<const ColumnRef> TypePostings(TypeId t) const = 0;
+  /// Column pairs annotated with relation `b`.
+  virtual std::span<const RelationRef> RelationPostings(
+      RelationId b) const = 0;
+  /// Cells annotated with entity `e`.
+  virtual std::span<const CellRef> EntityPostings(EntityId e) const = 0;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_CORPUS_VIEW_H_

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "search/query.h"
@@ -18,18 +19,18 @@ namespace search_internal {
 /// favor of known entities; cluster, dedup, rank").
 class EvidenceAggregator {
  public:
-  void AddEntity(EntityId e, const std::string& text, double score) {
+  void AddEntity(EntityId e, std::string_view text, double score) {
     auto& slot = by_entity_[e];
     slot.first += score;
-    if (slot.second.empty()) slot.second = text;
+    if (slot.second.empty()) slot.second = std::string(text);
   }
 
-  void AddText(const std::string& raw, double score) {
+  void AddText(std::string_view raw, double score) {
     std::string key = NormalizeText(raw);
     if (key.empty()) return;
     auto& slot = by_text_[key];
     slot.first += score;
-    if (slot.second.empty()) slot.second = raw;
+    if (slot.second.empty()) slot.second = std::string(raw);
   }
 
   std::vector<SearchResult> Ranked() const {
@@ -56,8 +57,8 @@ class EvidenceAggregator {
 
 /// Does `cell_text` plausibly mention the query's E2 string? Exact
 /// normalized match or strong token overlap (covers abbreviated forms).
-inline bool CellMatchesText(const std::string& cell_text,
-                            const std::string& e2_text) {
+inline bool CellMatchesText(std::string_view cell_text,
+                            std::string_view e2_text) {
   if (ExactNormalizedMatch(cell_text, e2_text)) return true;
   return JaccardSimilarity(cell_text, e2_text) >= 0.5;
 }

@@ -12,30 +12,30 @@ namespace {
 /// Collects bindings of the unbound side of relation `rel` given the
 /// grounded side, by scanning the relation's annotated column pairs.
 /// grounded_is_object: the grounded entity sits in the object column.
-std::map<EntityId, double> ExpandLeg(const CorpusIndex& index,
+std::map<EntityId, double> ExpandLeg(const CorpusView& index,
                                      RelationId rel, EntityId grounded,
                                      const std::string& grounded_text,
                                      bool grounded_is_object) {
   using search_internal::CellMatchesText;
   std::map<EntityId, double> bindings;
-  for (const auto& ref : index.RelationPostings(rel)) {
-    const AnnotatedTable& at = index.table(ref.table);
+  for (const RelationRef& ref : index.RelationPostings(rel)) {
     int subject_col = ref.swapped ? ref.c2 : ref.c1;
     int object_col = ref.swapped ? ref.c1 : ref.c2;
     int grounded_col = grounded_is_object ? object_col : subject_col;
     int free_col = grounded_is_object ? subject_col : object_col;
-    for (int r = 0; r < at.table.rows(); ++r) {
+    const int num_rows = index.rows(ref.table);
+    for (int r = 0; r < num_rows; ++r) {
       double row_score = 0.0;
-      EntityId cell = at.annotation.EntityOf(r, grounded_col);
+      EntityId cell = index.CellEntity(ref.table, r, grounded_col);
       if (grounded != kNa && cell == grounded) {
         row_score = 1.0;
       } else if (!grounded_text.empty() &&
-                 CellMatchesText(at.table.cell(r, grounded_col),
+                 CellMatchesText(index.cell(ref.table, r, grounded_col),
                                  grounded_text)) {
         row_score = 0.6;
       }
       if (row_score <= 0.0) continue;
-      EntityId answer = at.annotation.EntityOf(r, free_col);
+      EntityId answer = index.CellEntity(ref.table, r, free_col);
       if (answer != kNa) bindings[answer] += row_score;
     }
   }
@@ -44,7 +44,7 @@ std::map<EntityId, double> ExpandLeg(const CorpusIndex& index,
 
 }  // namespace
 
-std::vector<SearchResult> JoinSearch(const CorpusIndex& index,
+std::vector<SearchResult> JoinSearch(const CorpusView& index,
                                      const JoinQuery& query) {
   // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped).
   std::map<EntityId, double> join_bindings =

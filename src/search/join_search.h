@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "search/corpus_index.h"
+#include "search/corpus_view.h"
 #include "search/query.h"
 
 namespace webtab {
@@ -31,7 +31,7 @@ struct JoinQuery {
 /// Two-stage evaluation over the annotated corpus: ground e2 via the R2
 /// leg (like Figure 4), then expand each binding through the R1 leg,
 /// aggregating evidence multiplicatively per answer entity.
-std::vector<SearchResult> JoinSearch(const CorpusIndex& index,
+std::vector<SearchResult> JoinSearch(const CorpusView& index,
                                      const JoinQuery& query);
 
 }  // namespace webtab

@@ -4,33 +4,33 @@
 
 namespace webtab {
 
-std::vector<SearchResult> TypeRelationSearch(const CorpusIndex& index,
+std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
                                              const SelectQuery& query) {
   using search_internal::CellMatchesText;
   using search_internal::EvidenceAggregator;
 
   EvidenceAggregator agg;
-  for (const auto& ref : index.RelationPostings(query.relation)) {
-    const AnnotatedTable& at = index.table(ref.table);
-    const Table& table = at.table;
+  for (const RelationRef& ref : index.RelationPostings(query.relation)) {
     // Subject column holds E1 (answers); object column holds E2.
     int subject_col = ref.swapped ? ref.c2 : ref.c1;
     int object_col = ref.swapped ? ref.c1 : ref.c2;
-    for (int r = 0; r < table.rows(); ++r) {
+    const int num_rows = index.rows(ref.table);
+    for (int r = 0; r < num_rows; ++r) {
       double row_score = 0.0;
-      EntityId obj = at.annotation.EntityOf(r, object_col);
+      EntityId obj = index.CellEntity(ref.table, r, object_col);
       if (query.e2 != kNa && obj == query.e2) {
         row_score = 1.2;  // Relation + entity annotated: strongest signal.
-      } else if (CellMatchesText(table.cell(r, object_col),
+      } else if (CellMatchesText(index.cell(ref.table, r, object_col),
                                  query.e2_text)) {
         row_score = 0.7;
       }
       if (row_score <= 0.0) continue;
-      EntityId answer = at.annotation.EntityOf(r, subject_col);
+      EntityId answer = index.CellEntity(ref.table, r, subject_col);
       if (answer != kNa) {
-        agg.AddEntity(answer, table.cell(r, subject_col), row_score);
+        agg.AddEntity(answer, index.cell(ref.table, r, subject_col),
+                      row_score);
       } else {
-        agg.AddText(table.cell(r, subject_col), row_score * 0.8);
+        agg.AddText(index.cell(ref.table, r, subject_col), row_score * 0.8);
       }
     }
   }

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "search/corpus_index.h"
+#include "search/corpus_view.h"
 #include "search/query.h"
 
 namespace webtab {
@@ -12,7 +12,7 @@ namespace webtab {
 /// with relation R (direction-aware), reads E2 from the object column by
 /// entity annotation (text fallback per Figure 4 line 7), and collects
 /// the subject column's answers, aggregating evidence per entity.
-std::vector<SearchResult> TypeRelationSearch(const CorpusIndex& index,
+std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
                                              const SelectQuery& query);
 
 }  // namespace webtab

@@ -7,17 +7,17 @@
 
 namespace webtab {
 
-std::vector<SearchResult> TypeSearch(const CorpusIndex& index,
+std::vector<SearchResult> TypeSearch(const CorpusView& index,
                                      const SelectQuery& query) {
   using search_internal::CellMatchesText;
   using search_internal::EvidenceAggregator;
 
   std::map<int, std::set<int>> t1_cols;
   std::map<int, std::set<int>> t2_cols;
-  for (const auto& ref : index.TypePostings(query.type1)) {
+  for (const ColumnRef& ref : index.TypePostings(query.type1)) {
     t1_cols[ref.table].insert(ref.col);
   }
-  for (const auto& ref : index.TypePostings(query.type2)) {
+  for (const ColumnRef& ref : index.TypePostings(query.type2)) {
     t2_cols[ref.table].insert(ref.col);
   }
 
@@ -25,25 +25,25 @@ std::vector<SearchResult> TypeSearch(const CorpusIndex& index,
   for (const auto& [table_idx, c1s] : t1_cols) {
     auto it2 = t2_cols.find(table_idx);
     if (it2 == t2_cols.end()) continue;
-    const AnnotatedTable& at = index.table(table_idx);
-    const Table& table = at.table;
+    const int num_rows = index.rows(table_idx);
     for (int c2 : it2->second) {
-      for (int r = 0; r < table.rows(); ++r) {
+      for (int r = 0; r < num_rows; ++r) {
         double row_score = 0.0;
-        EntityId cell_entity = at.annotation.EntityOf(r, c2);
+        EntityId cell_entity = index.CellEntity(table_idx, r, c2);
         if (query.e2 != kNa && cell_entity == query.e2) {
           row_score = 1.0;  // Annotated hit.
-        } else if (CellMatchesText(table.cell(r, c2), query.e2_text)) {
+        } else if (CellMatchesText(index.cell(table_idx, r, c2),
+                                   query.e2_text)) {
           row_score = 0.6;  // Text fallback.
         }
         if (row_score <= 0.0) continue;
         for (int c1 : c1s) {
           if (c1 == c2) continue;
-          EntityId answer = at.annotation.EntityOf(r, c1);
+          EntityId answer = index.CellEntity(table_idx, r, c1);
           if (answer != kNa) {
-            agg.AddEntity(answer, table.cell(r, c1), row_score);
+            agg.AddEntity(answer, index.cell(table_idx, r, c1), row_score);
           } else {
-            agg.AddText(table.cell(r, c1), row_score * 0.8);
+            agg.AddText(index.cell(table_idx, r, c1), row_score * 0.8);
           }
         }
       }

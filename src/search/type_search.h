@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "search/corpus_index.h"
+#include "search/corpus_view.h"
 #include "search/query.h"
 
 namespace webtab {
@@ -14,7 +14,7 @@ namespace webtab {
 /// cell entity annotation when the query's E2 is grounded, falling back
 /// to text similarity; answers are resolved through cell entity
 /// annotations when present.
-std::vector<SearchResult> TypeSearch(const CorpusIndex& index,
+std::vector<SearchResult> TypeSearch(const CorpusView& index,
                                      const SelectQuery& query);
 
 }  // namespace webtab

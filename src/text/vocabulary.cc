@@ -7,6 +7,21 @@
 
 namespace webtab {
 
+Vocabulary Vocabulary::FromParts(std::vector<std::string> texts,
+                                 std::vector<int64_t> doc_freq,
+                                 int64_t num_documents) {
+  WEBTAB_CHECK(texts.size() == doc_freq.size());
+  Vocabulary v;
+  v.texts_ = std::move(texts);
+  v.doc_freq_ = std::move(doc_freq);
+  v.num_documents_ = num_documents;
+  v.ids_.reserve(v.texts_.size());
+  for (size_t i = 0; i < v.texts_.size(); ++i) {
+    v.ids_.emplace(v.texts_[i], static_cast<TokenId>(i));
+  }
+  return v;
+}
+
 TokenId Vocabulary::Intern(std::string_view token) {
   auto it = ids_.find(std::string(token));
   if (it != ids_.end()) return it->second;
@@ -34,11 +49,15 @@ void Vocabulary::AddDocument(const std::vector<std::string>& tokens) {
   ++num_documents_;
 }
 
-double Vocabulary::Idf(TokenId id) const {
-  int64_t df = (id >= 0 && id < size()) ? doc_freq_[id] : 0;
-  return std::log((1.0 + static_cast<double>(num_documents_)) /
+double Vocabulary::IdfValue(int64_t df, int64_t num_documents) {
+  return std::log((1.0 + static_cast<double>(num_documents)) /
                   (1.0 + static_cast<double>(df))) +
          1.0;
+}
+
+double Vocabulary::Idf(TokenId id) const {
+  int64_t df = (id >= 0 && id < size()) ? doc_freq_[id] : 0;
+  return IdfValue(df, num_documents_);
 }
 
 double Vocabulary::IdfOf(std::string_view token) const {

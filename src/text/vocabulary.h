@@ -19,6 +19,14 @@ class Vocabulary {
  public:
   Vocabulary() = default;
 
+  /// Reconstructs a vocabulary from serialized statistics: token texts in
+  /// id order, per-token document frequencies, and the document count.
+  /// The result is statistically identical to the instance that was
+  /// serialized (same ids, same IDF values).
+  static Vocabulary FromParts(std::vector<std::string> texts,
+                              std::vector<int64_t> doc_freq,
+                              int64_t num_documents);
+
   /// Interns `token`, creating an id if unseen.
   TokenId Intern(std::string_view token);
 
@@ -35,6 +43,10 @@ class Vocabulary {
   /// Unknown tokens get the maximum IDF (df = 0).
   double Idf(TokenId id) const;
   double IdfOf(std::string_view token) const;
+
+  /// The IDF formula itself, shared with the zero-copy snapshot
+  /// vocabulary so both backends compute bit-identical values.
+  static double IdfValue(int64_t df, int64_t num_documents);
 
   int64_t num_documents() const { return num_documents_; }
   int64_t size() const { return static_cast<int64_t>(texts_.size()); }

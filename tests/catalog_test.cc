@@ -41,10 +41,10 @@ TEST_F(CatalogTest, HasTuple) {
 }
 
 TEST_F(CatalogTest, ObjectsAndSubjects) {
-  EXPECT_EQ(w_.catalog.ObjectsOf(w_.author, w_.b94),
+  auto objects = w_.catalog.ObjectsOf(w_.author, w_.b94);
+  EXPECT_EQ(std::vector<EntityId>(objects.begin(), objects.end()),
             std::vector<EntityId>{w_.stannard});
-  std::vector<EntityId> stannard_books =
-      w_.catalog.SubjectsOf(w_.author, w_.stannard);
+  auto stannard_books = w_.catalog.SubjectsOf(w_.author, w_.stannard);
   ASSERT_EQ(stannard_books.size(), 2u);
   EXPECT_TRUE(w_.catalog.ObjectsOf(w_.author, w_.einstein).empty());
 }

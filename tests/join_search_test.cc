@@ -6,6 +6,7 @@
 
 #include "annotate/annotator.h"
 #include "annotate/corpus_annotator.h"
+#include "search/corpus_index.h"
 #include "synth/corpus_generator.h"
 #include "test_world.h"
 

@@ -1,0 +1,336 @@
+// Snapshot round-trip and rejection tests: text catalog -> snapshot ->
+// zero-copy views must be observationally identical to the in-memory
+// build (ids, names, lemmas, tuple indexes, closures, probes), and
+// corrupt files (truncated, bad magic, wrong version, checksum flips)
+// must be rejected at open.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog_io.h"
+#include "catalog/closure.h"
+#include "index/lemma_index.h"
+#include "storage/snapshot.h"
+#include "storage/snapshot_writer.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using storage::Snapshot;
+using storage::SnapshotBuilder;
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good());
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Round-trip through the text format first, as a downstream consumer
+    // would: text catalog -> LoadCatalog -> SnapshotBuilder -> file.
+    std::stringstream text;
+    WEBTAB_CHECK_OK(SaveCatalog(SharedWorld().catalog, text));
+    Result<Catalog> loaded = LoadCatalog(text);
+    WEBTAB_CHECK(loaded.ok()) << loaded.status().ToString();
+    loaded_ = new Catalog(std::move(loaded.value()));
+    index_ = new LemmaIndex(loaded_);
+    path_ = new std::string(TempPath("world_snapshot.bin"));
+    SnapshotBuilder builder;
+    builder.SetCatalog(loaded_).SetLemmaIndex(index_);
+    WEBTAB_CHECK_OK(builder.WriteToFile(*path_));
+    Result<Snapshot> snap = Snapshot::Open(*path_);
+    WEBTAB_CHECK(snap.ok()) << snap.status().ToString();
+    snap_ = new Snapshot(std::move(snap.value()));
+  }
+
+  static void TearDownTestSuite() {
+    delete snap_;
+    snap_ = nullptr;
+    delete index_;
+    index_ = nullptr;
+    delete loaded_;
+    loaded_ = nullptr;
+    delete path_;
+    path_ = nullptr;
+  }
+
+  const Catalog& mem() { return *loaded_; }
+  const CatalogView& view() { return *snap_->catalog(); }
+
+  static Catalog* loaded_;
+  static LemmaIndex* index_;
+  static std::string* path_;
+  static Snapshot* snap_;
+};
+
+Catalog* SnapshotTest::loaded_ = nullptr;
+LemmaIndex* SnapshotTest::index_ = nullptr;
+std::string* SnapshotTest::path_ = nullptr;
+Snapshot* SnapshotTest::snap_ = nullptr;
+
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
+}
+
+TEST_F(SnapshotTest, CatalogCountsAndNames) {
+  ASSERT_NE(snap_->catalog(), nullptr);
+  EXPECT_EQ(view().num_types(), mem().num_types());
+  EXPECT_EQ(view().num_entities(), mem().num_entities());
+  EXPECT_EQ(view().num_relations(), mem().num_relations());
+  EXPECT_EQ(view().num_tuples(), mem().num_tuples());
+  EXPECT_EQ(view().root_type(), mem().root_type());
+  for (TypeId t = 0; t < mem().num_types(); ++t) {
+    EXPECT_EQ(view().TypeName(t), mem().TypeName(t));
+  }
+  for (EntityId e = 0; e < mem().num_entities(); ++e) {
+    EXPECT_EQ(view().EntityName(e), mem().EntityName(e));
+  }
+  for (RelationId b = 0; b < mem().num_relations(); ++b) {
+    EXPECT_EQ(view().RelationName(b), mem().RelationName(b));
+  }
+}
+
+TEST_F(SnapshotTest, CatalogRecordsIdentical) {
+  for (TypeId t = 0; t < mem().num_types(); ++t) {
+    ASSERT_EQ(view().NumTypeLemmas(t), mem().NumTypeLemmas(t));
+    for (int32_t i = 0; i < mem().NumTypeLemmas(t); ++i) {
+      EXPECT_EQ(view().TypeLemma(t, i), mem().TypeLemma(t, i));
+    }
+    EXPECT_EQ(ToVec(view().TypeParents(t)), ToVec(mem().TypeParents(t)));
+    EXPECT_EQ(ToVec(view().TypeChildren(t)), ToVec(mem().TypeChildren(t)));
+    EXPECT_EQ(ToVec(view().TypeDirectEntities(t)),
+              ToVec(mem().TypeDirectEntities(t)));
+  }
+  for (EntityId e = 0; e < mem().num_entities(); ++e) {
+    ASSERT_EQ(view().NumEntityLemmas(e), mem().NumEntityLemmas(e));
+    for (int32_t i = 0; i < mem().NumEntityLemmas(e); ++i) {
+      EXPECT_EQ(view().EntityLemma(e, i), mem().EntityLemma(e, i));
+    }
+    EXPECT_EQ(ToVec(view().EntityDirectTypes(e)),
+              ToVec(mem().EntityDirectTypes(e)));
+  }
+  for (RelationId b = 0; b < mem().num_relations(); ++b) {
+    EXPECT_EQ(view().RelationSubjectType(b), mem().RelationSubjectType(b));
+    EXPECT_EQ(view().RelationObjectType(b), mem().RelationObjectType(b));
+    EXPECT_EQ(view().RelationCardinalityOf(b),
+              mem().RelationCardinalityOf(b));
+    EXPECT_EQ(ToVec(view().RelationTuples(b)),
+              ToVec(mem().RelationTuples(b)));
+    EXPECT_EQ(view().DistinctSubjects(b), mem().DistinctSubjects(b));
+    EXPECT_EQ(view().DistinctObjects(b), mem().DistinctObjects(b));
+  }
+}
+
+TEST_F(SnapshotTest, TupleQueriesIdentical) {
+  for (RelationId b = 0; b < mem().num_relations(); ++b) {
+    for (const auto& [e1, e2] : mem().RelationTuples(b)) {
+      EXPECT_TRUE(view().HasTuple(b, e1, e2));
+      EXPECT_FALSE(view().HasTuple(b, e2, e1) != mem().HasTuple(b, e2, e1));
+      EXPECT_EQ(ToVec(view().ObjectsOf(b, e1)), ToVec(mem().ObjectsOf(b, e1)));
+      EXPECT_EQ(ToVec(view().SubjectsOf(b, e2)),
+                ToVec(mem().SubjectsOf(b, e2)));
+      EXPECT_EQ(view().RelationsBetween(e1, e2),
+                mem().RelationsBetween(e1, e2));
+      EXPECT_EQ(view().RelationsBetween(e2, e1),
+                mem().RelationsBetween(e2, e1));
+    }
+  }
+  // Non-tuples and invalid relations behave the same.
+  EXPECT_FALSE(view().HasTuple(999, 0, 1));
+  EXPECT_TRUE(view().ObjectsOf(999, 0).empty());
+  EXPECT_TRUE(view().RelationsBetween(0, 0).empty() ==
+              mem().RelationsBetween(0, 0).empty());
+}
+
+TEST_F(SnapshotTest, NameLookupsIdentical) {
+  for (TypeId t = 0; t < mem().num_types(); ++t) {
+    EXPECT_EQ(view().FindTypeByName(mem().TypeName(t)), t);
+  }
+  EXPECT_EQ(view().FindTypeByName("no such type"), kNa);
+  for (EntityId e = 0; e < mem().num_entities(); e += 7) {
+    EXPECT_EQ(view().FindEntityByName(mem().EntityName(e)), e);
+  }
+  EXPECT_EQ(view().FindEntityByName("no such entity"), kNa);
+  for (RelationId b = 0; b < mem().num_relations(); ++b) {
+    EXPECT_EQ(view().FindRelationByName(mem().RelationName(b)), b);
+  }
+  EXPECT_EQ(view().FindRelationByName(""), kNa);
+}
+
+TEST_F(SnapshotTest, ClosuresIdentical) {
+  ClosureCache mem_closure(&mem());
+  ClosureCache snap_closure(&view());
+  for (TypeId t = 0; t < mem().num_types(); ++t) {
+    EXPECT_EQ(snap_closure.TypeAncestorsOfType(t),
+              mem_closure.TypeAncestorsOfType(t));
+    EXPECT_EQ(snap_closure.EntitiesOf(t), mem_closure.EntitiesOf(t));
+    EXPECT_EQ(snap_closure.TypeSpecificity(t),
+              mem_closure.TypeSpecificity(t));
+    EXPECT_EQ(snap_closure.MinEntityDist(t), mem_closure.MinEntityDist(t));
+  }
+  for (EntityId e = 0; e < mem().num_entities(); e += 3) {
+    EXPECT_EQ(snap_closure.TypeAncestors(e), mem_closure.TypeAncestors(e));
+  }
+}
+
+TEST_F(SnapshotTest, LemmaProbesBitIdentical) {
+  ASSERT_NE(snap_->lemma_index(), nullptr);
+  const LemmaIndexView& sview = *snap_->lemma_index();
+  EXPECT_EQ(sview.num_postings(), index_->num_postings());
+  // Probe with every entity lemma plus noise strings; ranked ids, ords
+  // and double scores must match bit for bit.
+  for (EntityId e = 0; e < mem().num_entities(); e += 5) {
+    for (int32_t i = 0; i < mem().NumEntityLemmas(e); ++i) {
+      std::string text(mem().EntityLemma(e, i));
+      auto a = index_->ProbeEntities(text, 8);
+      auto b = sview.ProbeEntities(text, 8);
+      ASSERT_EQ(a.size(), b.size()) << text;
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].id, b[j].id) << text;
+        EXPECT_EQ(a[j].lemma_ord, b[j].lemma_ord) << text;
+        EXPECT_EQ(a[j].score, b[j].score) << text;
+      }
+    }
+  }
+  for (const char* text :
+       {"einstein", "the club of", "xyzzy unseen tokens", ""}) {
+    auto a = index_->ProbeTypes(text, 16);
+    auto b = sview.ProbeTypes(text, 16);
+    ASSERT_EQ(a.size(), b.size()) << text;
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id);
+      EXPECT_EQ(a[j].score, b[j].score);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, VocabularyCopyIdentical) {
+  const Vocabulary& original = *index_->vocabulary();
+  Vocabulary copy = snap_->lemma_index()->CopyVocabulary();
+  ASSERT_EQ(copy.size(), original.size());
+  EXPECT_EQ(copy.num_documents(), original.num_documents());
+  for (TokenId t = 0; t < original.size(); ++t) {
+    EXPECT_EQ(copy.TokenText(t), original.TokenText(t));
+    EXPECT_EQ(copy.DocumentFrequency(t), original.DocumentFrequency(t));
+    EXPECT_EQ(copy.Idf(t), original.Idf(t));
+    EXPECT_EQ(copy.Lookup(original.TokenText(t)), t);
+  }
+  EXPECT_EQ(snap_->lemma_index()->mutable_vocabulary(), nullptr);
+}
+
+TEST_F(SnapshotTest, ResnapshotFromViewIsByteIdentical) {
+  // The writer consumes any CatalogView; serializing the mmap'd view
+  // again must reproduce the catalog section bit for bit (losslessness).
+  std::vector<uint8_t> from_memory, from_view;
+  SnapshotBuilder a;
+  a.SetCatalog(&mem());
+  WEBTAB_CHECK_OK(a.WriteTo(&from_memory));
+  SnapshotBuilder b;
+  b.SetCatalog(&view());
+  WEBTAB_CHECK_OK(b.WriteTo(&from_view));
+  EXPECT_EQ(from_memory, from_view);
+}
+
+TEST_F(SnapshotTest, SaveCatalogFromViewMatchesText) {
+  std::stringstream from_memory, from_view;
+  WEBTAB_CHECK_OK(SaveCatalog(mem(), from_memory));
+  WEBTAB_CHECK_OK(SaveCatalog(view(), from_view));
+  EXPECT_EQ(from_memory.str(), from_view.str());
+}
+
+// --- Rejection tests ------------------------------------------------------
+
+class SnapshotRejectionTest : public ::testing::Test {
+ protected:
+  SnapshotRejectionTest() {
+    SnapshotBuilder builder;
+    builder.SetCatalog(&SharedWorld().catalog);
+    WEBTAB_CHECK_OK(builder.WriteTo(&bytes_));
+  }
+
+  Status OpenBytes(const std::string& name,
+                   const std::vector<uint8_t>& bytes) {
+    std::string path = TempPath(name);
+    WriteBytes(path, bytes);
+    Result<Snapshot> result = Snapshot::Open(path);
+    std::remove(path.c_str());
+    return result.ok() ? Status::Ok() : result.status();
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotRejectionTest, AcceptsIntactFile) {
+  EXPECT_TRUE(OpenBytes("intact.bin", bytes_).ok());
+}
+
+TEST_F(SnapshotRejectionTest, RejectsMissingFile) {
+  Result<Snapshot> result = Snapshot::Open(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SnapshotRejectionTest, RejectsBadMagic) {
+  std::vector<uint8_t> corrupt = bytes_;
+  corrupt[0] = 'X';
+  Status s = OpenBytes("bad_magic.bin", corrupt);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotRejectionTest, RejectsWrongVersion) {
+  std::vector<uint8_t> corrupt = bytes_;
+  corrupt[8] = 99;  // FileHeader.version low byte.
+  Status s = OpenBytes("bad_version.bin", corrupt);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotRejectionTest, RejectsTruncation) {
+  std::vector<uint8_t> corrupt = bytes_;
+  corrupt.resize(corrupt.size() / 2);
+  Status s = OpenBytes("truncated.bin", corrupt);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+
+  std::vector<uint8_t> tiny(bytes_.begin(), bytes_.begin() + 16);
+  EXPECT_EQ(OpenBytes("tiny.bin", tiny).code(), StatusCode::kParseError);
+}
+
+TEST_F(SnapshotRejectionTest, RejectsChecksumMismatch) {
+  std::vector<uint8_t> corrupt = bytes_;
+  corrupt[corrupt.size() / 2] ^= 0xFF;  // Flip payload bits.
+  Status s = OpenBytes("bitflip.bin", corrupt);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotRejectionTest, ChecksumVerifyCanBeSkipped) {
+  // With verification off, a payload flip deep inside a string arena is
+  // not caught by structure checks (it changes characters, not offsets):
+  // the caller owns that trade.
+  Snapshot::OpenOptions options;
+  options.verify_checksum = false;
+  std::string path = TempPath("noverify.bin");
+  WriteBytes(path, bytes_);
+  Result<Snapshot> result = Snapshot::Open(path, options);
+  EXPECT_TRUE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace webtab
