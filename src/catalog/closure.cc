@@ -13,6 +13,31 @@ ClosureCache::ClosureCache(const CatalogView* catalog)
   WEBTAB_CHECK(catalog != nullptr);
 }
 
+void ClosureCache::PrecomputeTypeClosures(bool include_entity_extents) {
+  const int32_t num_types = catalog_->num_types();
+  for (TypeId t = 0; t < num_types; ++t) {
+    TypeAncestorsOfType(t);
+    MinEntityDist(t);
+    if (include_entity_extents) EntitiesOf(t);
+  }
+}
+
+void ClosureCache::SeedFrom(const ClosureCache& prototype) {
+  WEBTAB_CHECK(catalog_ == prototype.catalog_)
+      << "SeedFrom requires the same catalog view";
+  for (const auto& [e, dists] : prototype.ancestor_dists_) {
+    ancestor_dists_[e] = dists;
+  }
+  for (const auto& [e, anc] : prototype.ancestors_) ancestors_[e] = anc;
+  for (const auto& [t, es] : prototype.entities_of_) entities_of_[t] = es;
+  for (const auto& [t, anc] : prototype.type_ancestors_) {
+    type_ancestors_[t] = anc;
+  }
+  for (const auto& [t, d] : prototype.min_entity_dist_) {
+    min_entity_dist_[t] = d;
+  }
+}
+
 const std::unordered_map<TypeId, int>& ClosureCache::AncestorDistances(
     EntityId e) {
   auto it = ancestor_dists_.find(e);

@@ -29,6 +29,22 @@ class ClosureCache {
 
   const CatalogView& catalog() const { return *catalog_; }
 
+  /// Eagerly fills the type-level caches for every type in the catalog:
+  /// ancestor sets (TypeAncestorsOfType) and min entity distances, plus —
+  /// when `include_entity_extents` — the E(T) extents and counts. The
+  /// serving layer runs this once per loaded snapshot so first-request
+  /// latency matches steady state, then clones the result into each
+  /// worker via SeedFrom (ROADMAP: closures were rebuilt lazily per
+  /// worker). Entity-keyed caches stay lazy: tables touch a small slice
+  /// of the entity set.
+  void PrecomputeTypeClosures(bool include_entity_extents = false);
+
+  /// Copies every cached closure from `prototype` into this cache,
+  /// replacing same-key entries. Both caches must wrap the SAME catalog
+  /// view object (checked), so the copied vectors are exactly what this
+  /// cache would have computed. Lazy fills continue on top of the seed.
+  void SeedFrom(const ClosureCache& prototype);
+
   /// All type ancestors of E (every T with E ∈+ T), unsorted but stable.
   const std::vector<TypeId>& TypeAncestors(EntityId e);
 

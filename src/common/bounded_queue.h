@@ -1,0 +1,85 @@
+#ifndef WEBTAB_COMMON_BOUNDED_QUEUE_H_
+#define WEBTAB_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace webtab {
+
+/// A mutex-based multi-producer multi-consumer FIFO with a hard capacity.
+/// Producers never block: TryPush fails immediately when the queue is
+/// full, which is the admission-control point of the serving layer —
+/// under overload the caller gets a fast rejection instead of unbounded
+/// queueing. Consumers block in Pop until an item arrives or the queue is
+/// closed and drained, so Close() lets already-accepted work finish
+/// (nothing in flight is dropped).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed. Never blocks. On
+  /// failure `item` is NOT consumed — the caller keeps ownership (so a
+  /// rejected request can still carry its error back to the submitter).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returning it) or the queue is
+  /// closed and empty (returning nullopt). Items accepted before Close()
+  /// are always delivered.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all blocked consumers once the
+  /// backlog drains. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,48 @@
+#ifndef WEBTAB_COMMON_DEADLINE_H_
+#define WEBTAB_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace webtab {
+
+/// A point in monotonic time by which a request must finish. Requests
+/// carry a Deadline through the serving queue so workers can shed load
+/// that is no longer worth doing (the client already gave up) instead of
+/// burning annotation time on it. Default-constructed deadlines never
+/// expire.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline AfterMillis(int64_t millis) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::milliseconds(millis);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry; negative when already expired. A very
+  /// large value for infinite deadlines.
+  double remaining_millis() const {
+    if (infinite_) return 1e18;
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_DEADLINE_H_

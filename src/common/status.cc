@@ -22,6 +22,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

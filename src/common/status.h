@@ -20,6 +20,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a status code ("Ok", "InvalidArgument", ...).
@@ -57,6 +59,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

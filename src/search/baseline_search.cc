@@ -9,25 +9,34 @@ namespace webtab {
 
 std::vector<SearchResult> BaselineSearch(const CorpusView& index,
                                          const SelectQuery& query) {
+  // All query strings pass through the shared tokenizer exactly once.
+  return BaselineSearch(index, query, NormalizeSelectQuery(query));
+}
+
+std::vector<SearchResult> BaselineSearch(const CorpusView& index,
+                                         const SelectQuery& /*query*/,
+                                         const NormalizedSelectQuery& nq) {
+  // The baseline interprets all inputs as strings, so it is fully
+  // determined by the normalized form.
   using search_internal::CellMatchesText;
   using search_internal::EvidenceAggregator;
 
   // Find (table, c1-candidates, c2-candidates) via header-token postings.
   std::map<int, std::set<int>> t1_cols;
   std::map<int, std::set<int>> t2_cols;
-  for (const std::string& token : Tokenize(query.type1_text)) {
+  for (const std::string& token : nq.type1_tokens) {
     for (const ColumnRef& ref : index.HeaderPostings(token)) {
       t1_cols[ref.table].insert(ref.col);
     }
   }
-  for (const std::string& token : Tokenize(query.type2_text)) {
+  for (const std::string& token : nq.type2_tokens) {
     for (const ColumnRef& ref : index.HeaderPostings(token)) {
       t2_cols[ref.table].insert(ref.col);
     }
   }
   // Context-match bonus tables.
   std::set<int> context_tables;
-  for (const std::string& token : Tokenize(query.relation_text)) {
+  for (const std::string& token : nq.relation_tokens) {
     for (int32_t t : index.ContextPostings(token)) context_tables.insert(t);
   }
 
@@ -39,7 +48,7 @@ std::vector<SearchResult> BaselineSearch(const CorpusView& index,
     double table_score = context_tables.count(table_idx) ? 1.5 : 1.0;
     for (int c2 : it2->second) {
       for (int r = 0; r < num_rows; ++r) {
-        if (!CellMatchesText(index.cell(table_idx, r, c2), query.e2_text)) {
+        if (!CellMatchesText(index.cell(table_idx, r, c2), nq.e2_text)) {
           continue;
         }
         for (int c1 : c1s) {

@@ -13,8 +13,13 @@ namespace webtab {
 /// the relation string adds score); E2 is located by text similarity in
 /// the T2 column; the T1 column's raw cell strings are clustered, deduped
 /// and ranked. Returns unresolved strings (SearchResult::entity == kNa).
+/// The three-argument form takes a pre-normalized query (the serving
+/// layer shares one normalization between the cache key and the engine).
 std::vector<SearchResult> BaselineSearch(const CorpusView& index,
                                          const SelectQuery& query);
+std::vector<SearchResult> BaselineSearch(
+    const CorpusView& index, const SelectQuery& query,
+    const NormalizedSelectQuery& normalized);
 
 }  // namespace webtab
 

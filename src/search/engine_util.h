@@ -57,6 +57,8 @@ class EvidenceAggregator {
 
 /// Does `cell_text` plausibly mention the query's E2 string? Exact
 /// normalized match or strong token overlap (covers abbreviated forms).
+/// Callers pass the query side pre-normalized (NormalizeSelectQuery);
+/// normalization is idempotent so the measures are unchanged.
 inline bool CellMatchesText(std::string_view cell_text,
                             std::string_view e2_text) {
   if (ExactNormalizedMatch(cell_text, e2_text)) return true;

@@ -46,9 +46,13 @@ std::map<EntityId, double> ExpandLeg(const CorpusView& index,
 
 std::vector<SearchResult> JoinSearch(const CorpusView& index,
                                      const JoinQuery& query) {
+  // Normalize E3's string form once (idempotent, so scores match the
+  // raw string bit for bit).
+  const std::string e3_text = NormalizeText(query.e3_text);
+
   // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped).
   std::map<EntityId, double> join_bindings =
-      ExpandLeg(index, query.r2, query.e3, query.e3_text,
+      ExpandLeg(index, query.r2, query.e3, e3_text,
                 /*grounded_is_object=*/query.e2_is_subject);
 
   // Keep the top-K join bindings by evidence.

@@ -1,4 +1,57 @@
 #include "search/query.h"
 
-// SelectQuery and SearchResult are plain data; no out-of-line definitions
-// needed. This translation unit anchors the module.
+#include "search/join_search.h"
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+namespace {
+
+void AppendTokens(std::string* out, const std::vector<std::string>& tokens) {
+  for (const std::string& t : tokens) {
+    *out += t;
+    *out += ' ';
+  }
+}
+
+}  // namespace
+
+NormalizedSelectQuery NormalizeSelectQuery(const SelectQuery& query) {
+  NormalizedSelectQuery out;
+  out.type1_tokens = Tokenize(query.type1_text);
+  out.type2_tokens = Tokenize(query.type2_text);
+  out.relation_tokens = Tokenize(query.relation_text);
+  out.e2_text = NormalizeText(query.e2_text);
+  return out;
+}
+
+std::string SelectQueryCacheKey(const SelectQuery& query) {
+  return SelectQueryCacheKey(query, NormalizeSelectQuery(query));
+}
+
+std::string SelectQueryCacheKey(const SelectQuery& query,
+                                const NormalizedSelectQuery& nq) {
+  std::string key = "sel|r=" + std::to_string(query.relation) +
+                    "|t1=" + std::to_string(query.type1) +
+                    "|t2=" + std::to_string(query.type2) +
+                    "|e2=" + std::to_string(query.e2) + "|e2t=" +
+                    nq.e2_text + "|rt=";
+  AppendTokens(&key, nq.relation_tokens);
+  key += "|t1t=";
+  AppendTokens(&key, nq.type1_tokens);
+  key += "|t2t=";
+  AppendTokens(&key, nq.type2_tokens);
+  return key;
+}
+
+std::string JoinQueryCacheKey(const JoinQuery& query) {
+  return "join|r1=" + std::to_string(query.r1) +
+         "|s1=" + std::to_string(query.e1_is_subject ? 1 : 0) +
+         "|r2=" + std::to_string(query.r2) +
+         "|s2=" + std::to_string(query.e2_is_subject ? 1 : 0) +
+         "|e3=" + std::to_string(query.e3) + "|e3t=" +
+         NormalizeText(query.e3_text) +
+         "|k=" + std::to_string(query.max_join_entities);
+}
+
+}  // namespace webtab

@@ -32,6 +32,35 @@ struct SearchResult {
   double score = 0.0;
 };
 
+struct JoinQuery;  // join_search.h
+
+/// The query's string inputs pushed through the shared tokenizer exactly
+/// once. Every engine consumes this (instead of re-tokenizing per probe),
+/// and the serving result cache keys on the same normalization — so two
+/// textual spellings that the engines cannot distinguish ("George
+/// Clooney" / "george  clooney.") share one cache entry and one ranking.
+struct NormalizedSelectQuery {
+  std::vector<std::string> type1_tokens;
+  std::vector<std::string> type2_tokens;
+  std::vector<std::string> relation_tokens;
+  /// NormalizeText(e2_text); normalization is idempotent, so feeding
+  /// this back through the similarity measures gives bit-identical
+  /// scores to the raw string.
+  std::string e2_text;
+};
+
+NormalizedSelectQuery NormalizeSelectQuery(const SelectQuery& query);
+
+/// Canonical, collision-resistant string key for result caching: ids plus
+/// the normalized string forms, so the key distinguishes exactly what the
+/// engines distinguish. Engine choice is NOT part of the key; prepend it.
+/// The two-argument form reuses an existing normalization (one tokenizer
+/// pass per request: key and engine share it).
+std::string SelectQueryCacheKey(const SelectQuery& query);
+std::string SelectQueryCacheKey(const SelectQuery& query,
+                                const NormalizedSelectQuery& normalized);
+std::string JoinQueryCacheKey(const JoinQuery& query);
+
 }  // namespace webtab
 
 #endif  // WEBTAB_SEARCH_QUERY_H_

@@ -6,6 +6,13 @@ namespace webtab {
 
 std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
                                              const SelectQuery& query) {
+  // Normalize E2's string form once (not per cell comparison).
+  return TypeRelationSearch(index, query, NormalizeSelectQuery(query));
+}
+
+std::vector<SearchResult> TypeRelationSearch(
+    const CorpusView& index, const SelectQuery& query,
+    const NormalizedSelectQuery& nq) {
   using search_internal::CellMatchesText;
   using search_internal::EvidenceAggregator;
 
@@ -21,7 +28,7 @@ std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
       if (query.e2 != kNa && obj == query.e2) {
         row_score = 1.2;  // Relation + entity annotated: strongest signal.
       } else if (CellMatchesText(index.cell(ref.table, r, object_col),
-                                 query.e2_text)) {
+                                 nq.e2_text)) {
         row_score = 0.7;
       }
       if (row_score <= 0.0) continue;

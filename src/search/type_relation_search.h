@@ -14,6 +14,10 @@ namespace webtab {
 /// the subject column's answers, aggregating evidence per entity.
 std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
                                              const SelectQuery& query);
+/// Pre-normalized variant (cache key and engine share one tokenization).
+std::vector<SearchResult> TypeRelationSearch(
+    const CorpusView& index, const SelectQuery& query,
+    const NormalizedSelectQuery& normalized);
 
 }  // namespace webtab
 

@@ -9,6 +9,13 @@ namespace webtab {
 
 std::vector<SearchResult> TypeSearch(const CorpusView& index,
                                      const SelectQuery& query) {
+  // Normalize E2's string form once (not per cell comparison).
+  return TypeSearch(index, query, NormalizeSelectQuery(query));
+}
+
+std::vector<SearchResult> TypeSearch(const CorpusView& index,
+                                     const SelectQuery& query,
+                                     const NormalizedSelectQuery& nq) {
   using search_internal::CellMatchesText;
   using search_internal::EvidenceAggregator;
 
@@ -33,7 +40,7 @@ std::vector<SearchResult> TypeSearch(const CorpusView& index,
         if (query.e2 != kNa && cell_entity == query.e2) {
           row_score = 1.0;  // Annotated hit.
         } else if (CellMatchesText(index.cell(table_idx, r, c2),
-                                   query.e2_text)) {
+                                   nq.e2_text)) {
           row_score = 0.6;  // Text fallback.
         }
         if (row_score <= 0.0) continue;

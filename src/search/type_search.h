@@ -16,6 +16,10 @@ namespace webtab {
 /// annotations when present.
 std::vector<SearchResult> TypeSearch(const CorpusView& index,
                                      const SelectQuery& query);
+/// Pre-normalized variant (cache key and engine share one tokenization).
+std::vector<SearchResult> TypeSearch(const CorpusView& index,
+                                     const SelectQuery& query,
+                                     const NormalizedSelectQuery& normalized);
 
 }  // namespace webtab
 

@@ -1,0 +1,371 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace webtab {
+namespace serve {
+
+namespace {
+
+/// Recursive-descent parser over a cursor. Depth-capped so a hostile
+/// request line ("[[[[...") cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Run() {
+    Json value;
+    WEBTAB_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Status::ParseError("JSON nested too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        WEBTAB_RETURN_IF_ERROR(ParseString(&s));
+        *out = Json::String(s);
+        return Status::Ok();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = Json::Bool(true);
+          return Status::Ok();
+        }
+        return Status::ParseError("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = Json::Bool(false);
+          return Status::Ok();
+        }
+        return Status::ParseError("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = Json::Null();
+          return Status::Ok();
+        }
+        return Status::ParseError("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      WEBTAB_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Status::ParseError("expected ':'");
+      Json value;
+      WEBTAB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Status::ParseError("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Json value;
+      WEBTAB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Status::ParseError("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Status::ParseError("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::ParseError("bad \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::ParseError("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs pass through as two
+          // 3-byte sequences, good enough for a line protocol).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::ParseError("bad escape character");
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) return Status::ParseError("expected value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::ParseError("bad number: " + token);
+    }
+    *out = Json::Number(value);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const Json* found = nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+std::string Json::GetString(std::string_view key,
+                            std::string_view fallback) const {
+  const Json* v = Find(key);
+  if (v == nullptr || !v->is_string()) return std::string(fallback);
+  return v->string_value();
+}
+
+double Json::GetNumber(std::string_view key, double fallback) const {
+  const Json* v = Find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->number_value();
+}
+
+bool Json::GetBool(std::string_view key, bool fallback) const {
+  const Json* v = Find(key);
+  if (v == nullptr || !v->is_bool()) return fallback;
+  return v->bool_value();
+}
+
+Json& Json::Append(Json value) {
+  kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::Set(std::string_view key, Json value) {
+  kind_ = Kind::kObject;
+  members_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+void JsonEscape(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      char buf[40];
+      // Integral values (ids, counts) render as integers; everything
+      // else gets enough digits to round-trip a double.
+      if (std::nearbyint(number_) == number_ &&
+          std::fabs(number_) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      *out += buf;
+      break;
+    }
+    case Kind::kString:
+      out->push_back('"');
+      JsonEscape(string_, out);
+      out->push_back('"');
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        item.DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        JsonEscape(key, out);
+        *out += "\":";
+        value.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace webtab

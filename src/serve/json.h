@@ -1,0 +1,111 @@
+#ifndef WEBTAB_SERVE_JSON_H_
+#define WEBTAB_SERVE_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace webtab {
+namespace serve {
+
+/// A minimal JSON value for the serving wire protocol (JSON-lines over
+/// stdin/TCP). Dependency-free by design: the container bakes no JSON
+/// library and the protocol needs only objects, arrays, strings, numbers,
+/// bools and null. Object member order is preserved (stable rendering for
+/// tests and log diffing); duplicate keys keep the last value on lookup.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json Number(double v) {
+    Json j;
+    j.kind_ = Kind::kNumber;
+    j.number_ = v;
+    return j;
+  }
+  static Json String(std::string_view s) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.string_ = std::string(s);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  /// Strict single-document parse; trailing non-whitespace is an error.
+  static Result<Json> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object. Last
+  /// duplicate wins.
+  const Json* Find(std::string_view key) const;
+
+  // Typed member lookups with defaults (missing or wrong type falls
+  // back), the common case when reading requests.
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  /// Appends to an array value.
+  Json& Append(Json value);
+  /// Sets an object member (appends; lookup takes the last duplicate).
+  Json& Set(std::string_view key, Json value);
+
+  /// Compact single-line rendering (integers render without exponent or
+  /// trailing zeros; strings are escaped).
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Appends `s` JSON-escaped (without surrounding quotes) to `out`.
+void JsonEscape(std::string_view s, std::string* out);
+
+}  // namespace serve
+}  // namespace webtab
+
+#endif  // WEBTAB_SERVE_JSON_H_

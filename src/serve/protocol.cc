@@ -1,0 +1,312 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "serve/json.h"
+
+namespace webtab {
+namespace serve {
+
+namespace {
+
+Result<WireRequest::Op> ParseOp(std::string_view name) {
+  using Op = WireRequest::Op;
+  if (name == "annotate") return Op::kAnnotate;
+  if (name == "search") return Op::kSearch;
+  if (name == "join") return Op::kJoin;
+  if (name == "swap") return Op::kSwap;
+  if (name == "stats") return Op::kStats;
+  if (name == "quit") return Op::kQuit;
+  return Status::InvalidArgument("unknown op: " + std::string(name));
+}
+
+Status ParseTable(const Json& json, WireTable* out) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("\"table\" must be an object");
+  }
+  if (const Json* headers = json.Find("headers");
+      headers != nullptr && headers->is_array()) {
+    for (const Json& h : headers->items()) {
+      out->headers.push_back(h.is_string() ? h.string_value() : "");
+    }
+  }
+  const Json* rows = json.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("\"table.rows\" must be an array");
+  }
+  for (const Json& row : rows->items()) {
+    if (!row.is_array()) {
+      return Status::InvalidArgument("table rows must be arrays");
+    }
+    std::vector<std::string> cells;
+    for (const Json& cell : row.items()) {
+      cells.push_back(cell.is_string() ? cell.string_value() : "");
+    }
+    out->rows.push_back(std::move(cells));
+  }
+  out->context = json.GetString("context");
+  out->id = static_cast<int64_t>(json.GetNumber("id", -1));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<WireRequest> ParseWireRequest(std::string_view line) {
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) return parsed.status();
+  const Json& json = *parsed;
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  WireRequest request;
+  Result<WireRequest::Op> op = ParseOp(json.GetString("op"));
+  if (!op.ok()) return op.status();
+  request.op = *op;
+
+  request.top_k = static_cast<int>(json.GetNumber("k", 10));
+  request.deadline_ms =
+      static_cast<int64_t>(json.GetNumber("deadline_ms", 0));
+
+  switch (request.op) {
+    case WireRequest::Op::kSearch: {
+      Result<EngineKind> engine =
+          ParseEngineKind(json.GetString("engine", "type_relation"));
+      if (!engine.ok()) return engine.status();
+      if (*engine == EngineKind::kJoin) {
+        return Status::InvalidArgument("use \"op\":\"join\" for joins");
+      }
+      request.engine = *engine;
+      request.select.relation = json.GetString("relation");
+      request.select.type1 = json.GetString("type1");
+      request.select.type2 = json.GetString("type2");
+      request.select.e2 = json.GetString("e2");
+      break;
+    }
+    case WireRequest::Op::kJoin:
+      request.engine = EngineKind::kJoin;
+      request.join.r1 = json.GetString("r1");
+      request.join.r2 = json.GetString("r2");
+      request.join.e3 = json.GetString("e3");
+      request.join.e1_is_subject = json.GetBool("e1_is_subject", true);
+      request.join.e2_is_subject = json.GetBool("e2_is_subject", true);
+      request.join.max_join_entities =
+          static_cast<int>(json.GetNumber("max_join_entities", 20));
+      break;
+    case WireRequest::Op::kAnnotate: {
+      const Json* table = json.Find("table");
+      if (table == nullptr) {
+        return Status::InvalidArgument("annotate requires \"table\"");
+      }
+      WEBTAB_RETURN_IF_ERROR(ParseTable(*table, &request.table));
+      break;
+    }
+    case WireRequest::Op::kSwap:
+      request.path = json.GetString("path");
+      if (request.path.empty()) {
+        return Status::InvalidArgument("swap requires \"path\"");
+      }
+      break;
+    case WireRequest::Op::kStats:
+    case WireRequest::Op::kQuit:
+      break;
+  }
+  return request;
+}
+
+SelectQuery ResolveSelectQuery(const WireSelect& wire,
+                               const CatalogView& catalog) {
+  SelectQuery query;
+  query.relation = catalog.FindRelationByName(wire.relation);
+  query.type1 = catalog.FindTypeByName(wire.type1);
+  query.type2 = catalog.FindTypeByName(wire.type2);
+  query.e2 = catalog.FindEntityByName(wire.e2);
+  query.e2_text = wire.e2;
+  query.relation_text = wire.relation;
+  query.type1_text = wire.type1;
+  query.type2_text = wire.type2;
+  return query;
+}
+
+JoinQuery ResolveJoinQuery(const WireJoin& wire, const CatalogView& catalog) {
+  JoinQuery query;
+  query.r1 = catalog.FindRelationByName(wire.r1);
+  query.r2 = catalog.FindRelationByName(wire.r2);
+  query.e3 = catalog.FindEntityByName(wire.e3);
+  query.e3_text = wire.e3;
+  query.e1_is_subject = wire.e1_is_subject;
+  query.e2_is_subject = wire.e2_is_subject;
+  query.max_join_entities = wire.max_join_entities;
+  return query;
+}
+
+Result<Table> WireToTable(const WireTable& wire) {
+  const int rows = static_cast<int>(wire.rows.size());
+  const size_t cols = rows > 0 ? wire.rows[0].size()
+                               : wire.headers.size();
+  if (rows == 0 && cols == 0) {
+    return Status::InvalidArgument("table has no rows or headers");
+  }
+  for (const auto& row : wire.rows) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("table rows must be rectangular");
+    }
+  }
+  if (!wire.headers.empty() && wire.headers.size() != cols) {
+    return Status::InvalidArgument("header count must match columns");
+  }
+  Table table(rows, static_cast<int>(cols));
+  for (size_t c = 0; c < wire.headers.size(); ++c) {
+    table.set_header(static_cast<int>(c), wire.headers[c]);
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      table.set_cell(r, static_cast<int>(c), wire.rows[r][c]);
+    }
+  }
+  table.set_context(wire.context);
+  table.set_id(wire.id);
+  return table;
+}
+
+namespace {
+
+Json MetaJson(const RequestMetadata& meta) {
+  Json json = Json::Object();
+  json.Set("version", Json::Number(static_cast<double>(
+                          meta.snapshot_version)));
+  json.Set("cache_hit", Json::Bool(meta.cache_hit));
+  json.Set("queue_ms", Json::Number(meta.queue_millis));
+  json.Set("work_ms", Json::Number(meta.work_millis));
+  return json;
+}
+
+}  // namespace
+
+std::string RenderSearchResponse(const SearchResponse& response,
+                                 const CatalogView* catalog, int top_k) {
+  if (!response.status.ok()) return RenderErrorResponse(response.status);
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+  Json results = Json::Array();
+  int emitted = 0;
+  for (const SearchResult& result : response.results) {
+    if (top_k > 0 && emitted >= top_k) break;
+    Json item = Json::Object();
+    if (result.entity != kNa && catalog != nullptr &&
+        catalog->ValidEntity(result.entity)) {
+      item.Set("entity", Json::String(catalog->EntityName(result.entity)));
+    } else {
+      item.Set("entity", Json::Null());
+    }
+    item.Set("text", Json::String(result.text));
+    item.Set("score", Json::Number(result.score));
+    results.Append(std::move(item));
+    ++emitted;
+  }
+  json.Set("results", std::move(results));
+  json.Set("total_results",
+           Json::Number(static_cast<double>(response.results.size())));
+  json.Set("meta", MetaJson(response.meta));
+  return json.Dump();
+}
+
+std::string RenderAnnotateResponse(const AnnotateResponse& response,
+                                   const CatalogView* catalog) {
+  if (!response.status.ok()) return RenderErrorResponse(response.status);
+  const TableAnnotation& annotation = response.annotation;
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+
+  auto type_name = [&](TypeId t) {
+    if (t == kNa || catalog == nullptr || !catalog->ValidType(t)) {
+      return Json::Null();
+    }
+    return Json::String(catalog->TypeName(t));
+  };
+  auto entity_name = [&](EntityId e) {
+    if (e == kNa || catalog == nullptr || !catalog->ValidEntity(e)) {
+      return Json::Null();
+    }
+    return Json::String(catalog->EntityName(e));
+  };
+
+  Json column_types = Json::Array();
+  for (TypeId t : annotation.column_types) {
+    column_types.Append(type_name(t));
+  }
+  json.Set("column_types", std::move(column_types));
+
+  Json cells = Json::Array();
+  for (const auto& row : annotation.cell_entities) {
+    Json out_row = Json::Array();
+    for (EntityId e : row) out_row.Append(entity_name(e));
+    cells.Append(std::move(out_row));
+  }
+  json.Set("cell_entities", std::move(cells));
+
+  Json relations = Json::Array();
+  for (const auto& [pair, candidate] : annotation.relations) {
+    if (candidate.is_na()) continue;
+    Json rel = Json::Object();
+    rel.Set("c1", Json::Number(pair.first));
+    rel.Set("c2", Json::Number(pair.second));
+    rel.Set("relation",
+            catalog != nullptr && catalog->ValidRelation(candidate.relation)
+                ? Json::String(catalog->RelationName(candidate.relation))
+                : Json::Null());
+    rel.Set("swapped", Json::Bool(candidate.swapped));
+    relations.Append(std::move(rel));
+  }
+  json.Set("relations", std::move(relations));
+  json.Set("meta", MetaJson(response.meta));
+  return json.Dump();
+}
+
+std::string RenderErrorResponse(const Status& status) {
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(false));
+  json.Set("code", Json::String(StatusCodeName(status.code())));
+  json.Set("error", Json::String(status.message()));
+  return json.Dump();
+}
+
+std::string RenderSwapResponse(uint64_t version) {
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+  json.Set("version", Json::Number(static_cast<double>(version)));
+  return json.Dump();
+}
+
+std::string RenderStatsResponse(const ServiceStats& stats,
+                                uint64_t snapshot_version,
+                                const std::string& snapshot_path) {
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+  json.Set("snapshot_version",
+           Json::Number(static_cast<double>(snapshot_version)));
+  json.Set("snapshot_path", Json::String(snapshot_path));
+  json.Set("accepted", Json::Number(static_cast<double>(stats.accepted)));
+  json.Set("rejected_overload",
+           Json::Number(static_cast<double>(stats.rejected_overload)));
+  json.Set("expired", Json::Number(static_cast<double>(stats.expired)));
+  json.Set("completed", Json::Number(static_cast<double>(stats.completed)));
+  json.Set("annotate_requests",
+           Json::Number(static_cast<double>(stats.annotate_requests)));
+  json.Set("search_requests",
+           Json::Number(static_cast<double>(stats.search_requests)));
+  json.Set("swaps", Json::Number(static_cast<double>(stats.swaps)));
+  Json cache = Json::Object();
+  cache.Set("hits", Json::Number(static_cast<double>(stats.cache.hits)));
+  cache.Set("misses",
+            Json::Number(static_cast<double>(stats.cache.misses)));
+  cache.Set("evictions",
+            Json::Number(static_cast<double>(stats.cache.evictions)));
+  cache.Set("entries",
+            Json::Number(static_cast<double>(stats.cache.entries)));
+  json.Set("cache", std::move(cache));
+  return json.Dump();
+}
+
+}  // namespace serve
+}  // namespace webtab

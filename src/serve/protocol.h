@@ -1,0 +1,87 @@
+#ifndef WEBTAB_SERVE_PROTOCOL_H_
+#define WEBTAB_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog_view.h"
+#include "serve/service.h"
+#include "table/table.h"
+
+namespace webtab {
+namespace serve {
+
+/// The JSON-lines wire format spoken by serve_tool over stdin or TCP:
+/// one request object per line in, one response object per line out.
+/// Requests name catalog objects by string; ids are resolved against the
+/// snapshot generation that answers the request (names are stable across
+/// snapshots, ids need not be). See src/serve/README.md for the full
+/// protocol reference.
+///
+///   {"op":"search","engine":"type_relation","relation":"directed",
+///    "type1":"movie","type2":"director","e2":"george clooney","k":5}
+///   {"op":"annotate","table":{"headers":["Title","written by"],
+///    "rows":[["...","..."]],"context":"..."}}
+///   {"op":"swap","path":"/data/new.snap"}
+///   {"op":"stats"}   {"op":"quit"}
+
+struct WireSelect {
+  std::string relation, type1, type2, e2;
+};
+
+struct WireJoin {
+  std::string r1, r2, e3;
+  bool e1_is_subject = true;
+  bool e2_is_subject = true;
+  int max_join_entities = 20;
+};
+
+struct WireTable {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+  std::string context;
+  int64_t id = -1;
+};
+
+struct WireRequest {
+  enum class Op { kAnnotate, kSearch, kJoin, kSwap, kStats, kQuit };
+  Op op = Op::kStats;
+  EngineKind engine = EngineKind::kTypeRelation;
+  WireSelect select;
+  WireJoin join;
+  WireTable table;
+  std::string path;        // swap
+  int top_k = 10;          // search/join response truncation
+  int64_t deadline_ms = 0; // 0 = service default
+};
+
+/// Parses one request line. Unknown fields are ignored; a missing or
+/// unknown "op" is an error.
+Result<WireRequest> ParseWireRequest(std::string_view line);
+
+/// Resolves wire strings against a catalog: names that match become ids,
+/// everything stays available in string form for the text-fallback paths
+/// (exactly what the §5 engines expect).
+SelectQuery ResolveSelectQuery(const WireSelect& wire,
+                               const CatalogView& catalog);
+JoinQuery ResolveJoinQuery(const WireJoin& wire, const CatalogView& catalog);
+
+/// Builds a Table from the wire form; rows must be rectangular.
+Result<Table> WireToTable(const WireTable& wire);
+
+// --- Response rendering (one JSON line, no trailing newline). ---
+std::string RenderSearchResponse(const SearchResponse& response,
+                                 const CatalogView* catalog, int top_k);
+std::string RenderAnnotateResponse(const AnnotateResponse& response,
+                                   const CatalogView* catalog);
+std::string RenderErrorResponse(const Status& status);
+std::string RenderSwapResponse(uint64_t version);
+std::string RenderStatsResponse(const ServiceStats& stats,
+                                uint64_t snapshot_version,
+                                const std::string& snapshot_path);
+
+}  // namespace serve
+}  // namespace webtab
+
+#endif  // WEBTAB_SERVE_PROTOCOL_H_

@@ -1,0 +1,79 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace webtab {
+namespace serve {
+
+ResultCache::ResultCache(int num_shards, int capacity) {
+  num_shards = std::max(1, num_shards);
+  per_shard_capacity_ = static_cast<size_t>(
+      std::max(1, (capacity + num_shards - 1) / num_shards));
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+ResultCache::Value ResultCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(std::string_view(key));
+  if (it == shard.by_key.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Refresh recency: splice the node to the front (iterators and the
+  // string_view key stay valid).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return shard.lru.front().second;
+}
+
+void ResultCache::Put(const std::string& key, Value value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(std::string_view(key));
+  if (it != shard.by_key.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.by_key.emplace(std::string_view(shard.lru.front().first),
+                       shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.by_key.erase(std::string_view(shard.lru.back().first));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->by_key.clear();
+    shard->lru.clear();
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace webtab

@@ -1,0 +1,80 @@
+#ifndef WEBTAB_SERVE_RESULT_CACHE_H_
+#define WEBTAB_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/query.h"
+
+namespace webtab {
+namespace serve {
+
+/// A sharded LRU cache for ranked search results. Keys are the canonical
+/// normalized query strings (SelectQueryCacheKey et al.) prefixed with
+/// the engine and snapshot version, so a hot-swap naturally invalidates:
+/// new-version requests miss, old entries age out of the LRU. Values are
+/// shared_ptr-to-const so a hit hands back the exact vector the engine
+/// produced — byte-identical to an uncached run — without copying under
+/// the shard lock.
+///
+/// Sharding bounds contention: each key hashes to one shard with its own
+/// mutex and LRU list, so concurrent lookups for different queries never
+/// serialize on one lock.
+class ResultCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<SearchResult>>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+  };
+
+  /// `capacity` is the total entry budget, split evenly across shards
+  /// (at least one entry per shard).
+  ResultCache(int num_shards, int capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// nullptr on miss; refreshes recency on hit.
+  Value Get(const std::string& key);
+
+  /// Inserts or refreshes; evicts the shard's least-recent entry at
+  /// capacity.
+  void Put(const std::string& key, Value value);
+
+  void Clear();
+
+  Stats GetStats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used. The map's string_view keys point at
+    /// the list nodes' strings (std::list nodes never move).
+    std::list<std::pair<std::string, Value>> lru;
+    std::unordered_map<std::string_view,
+                       std::list<std::pair<std::string, Value>>::iterator>
+        by_key;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace webtab
+
+#endif  // WEBTAB_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,352 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "search/baseline_search.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+
+namespace webtab {
+namespace serve {
+
+std::string_view EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kBaseline:
+      return "baseline";
+    case EngineKind::kType:
+      return "type";
+    case EngineKind::kTypeRelation:
+      return "type_relation";
+    case EngineKind::kJoin:
+      return "join";
+  }
+  return "unknown";
+}
+
+Result<EngineKind> ParseEngineKind(std::string_view name) {
+  if (name == "baseline") return EngineKind::kBaseline;
+  if (name == "type") return EngineKind::kType;
+  if (name == "type_relation") return EngineKind::kTypeRelation;
+  if (name == "join") return EngineKind::kJoin;
+  return Status::InvalidArgument("unknown engine: " + std::string(name));
+}
+
+WebTabService::WebTabService(SnapshotManager* manager,
+                             ServiceOptions options)
+    : manager_(manager),
+      options_(options),
+      queue_(static_cast<size_t>(std::max(1, options.queue_capacity))) {
+  if (options_.result_cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.result_cache_shards,
+                                           options_.result_cache_capacity);
+  }
+}
+
+WebTabService::~WebTabService() { Stop(); }
+
+void WebTabService::Start() {
+  if (started_) return;
+  started_ = true;
+  const int n = std::max(1, options_.num_workers);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void WebTabService::Stop() {
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+Deadline WebTabService::EffectiveDeadline(Deadline deadline) const {
+  if (deadline.infinite() && options_.default_deadline_ms > 0) {
+    return Deadline::AfterMillis(options_.default_deadline_ms);
+  }
+  return deadline;
+}
+
+bool WebTabService::Enqueue(std::unique_ptr<Request> request) {
+  if (queue_.TryPush(std::move(request))) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // TryPush does not consume on failure: `request` still owns the
+  // promises, so the rejection travels through the future like any
+  // other response (fast fail, nothing dropped silently). A closed
+  // queue means the service was stopped — that is not overload and is
+  // not counted as such.
+  Status rejected;
+  if (queue_.closed()) {
+    rejected = Status::Unavailable("service stopped");
+  } else {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    rejected = Status::Unavailable("request queue full");
+  }
+  if (request->kind == RequestKind::kAnnotate) {
+    AnnotateResponse response;
+    response.status = rejected;
+    request->annotate_promise.set_value(std::move(response));
+  } else {
+    SearchResponse response;
+    response.status = rejected;
+    request->search_promise.set_value(std::move(response));
+  }
+  return false;
+}
+
+std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
+                                                        SelectQuery query,
+                                                        Deadline deadline) {
+  if (engine == EngineKind::kJoin) {
+    // Join queries carry a different payload; route through SubmitJoin.
+    std::promise<SearchResponse> mistyped;
+    SearchResponse response;
+    response.status =
+        Status::InvalidArgument("join queries go through SubmitJoin");
+    mistyped.set_value(std::move(response));
+    return mistyped.get_future();
+  }
+  auto request = std::make_unique<Request>();
+  request->kind = RequestKind::kSearch;
+  request->engine = engine;
+  request->select = std::move(query);
+  request->deadline = EffectiveDeadline(deadline);
+  std::future<SearchResponse> future = request->search_promise.get_future();
+  search_requests_.fetch_add(1, std::memory_order_relaxed);
+  Enqueue(std::move(request));
+  return future;
+}
+
+std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
+                                                      Deadline deadline) {
+  auto request = std::make_unique<Request>();
+  request->kind = RequestKind::kJoin;
+  request->engine = EngineKind::kJoin;
+  request->join = std::move(query);
+  request->deadline = EffectiveDeadline(deadline);
+  std::future<SearchResponse> future = request->search_promise.get_future();
+  search_requests_.fetch_add(1, std::memory_order_relaxed);
+  Enqueue(std::move(request));
+  return future;
+}
+
+std::future<AnnotateResponse> WebTabService::SubmitAnnotate(
+    Table table, Deadline deadline) {
+  auto request = std::make_unique<Request>();
+  request->kind = RequestKind::kAnnotate;
+  request->table = std::move(table);
+  request->deadline = EffectiveDeadline(deadline);
+  std::future<AnnotateResponse> future =
+      request->annotate_promise.get_future();
+  annotate_requests_.fetch_add(1, std::memory_order_relaxed);
+  Enqueue(std::move(request));
+  return future;
+}
+
+SearchResponse WebTabService::Search(EngineKind engine,
+                                     const SelectQuery& query,
+                                     Deadline deadline) {
+  return SubmitSearch(engine, query, deadline).get();
+}
+
+SearchResponse WebTabService::SearchJoin(const JoinQuery& query,
+                                         Deadline deadline) {
+  return SubmitJoin(query, deadline).get();
+}
+
+AnnotateResponse WebTabService::Annotate(const Table& table,
+                                         Deadline deadline) {
+  return SubmitAnnotate(table, deadline).get();
+}
+
+Status WebTabService::SwapSnapshot(const std::string& path) {
+  Result<uint64_t> version = manager_->Load(path);
+  if (!version.ok()) return version.status();
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+ServiceStats WebTabService::stats() const {
+  ServiceStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.annotate_requests =
+      annotate_requests_.load(std::memory_order_relaxed);
+  stats.search_requests = search_requests_.load(std::memory_order_relaxed);
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) stats.cache = cache_->GetStats();
+  return stats;
+}
+
+void WebTabService::WorkerLoop() {
+  WorkerState state;
+  while (auto item = queue_.Pop()) {
+    Execute(item->get(), &state);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Fails the request through the right promise.
+void Respond(Status status, RequestMetadata meta, bool is_annotate,
+             std::promise<SearchResponse>* search_promise,
+             std::promise<AnnotateResponse>* annotate_promise) {
+  if (is_annotate) {
+    AnnotateResponse response;
+    response.status = std::move(status);
+    response.meta = meta;
+    annotate_promise->set_value(std::move(response));
+  } else {
+    SearchResponse response;
+    response.status = std::move(status);
+    response.meta = meta;
+    search_promise->set_value(std::move(response));
+  }
+}
+
+}  // namespace
+
+void WebTabService::Execute(Request* request, WorkerState* state) {
+  RequestMetadata meta;
+  meta.queue_millis = request->queued.ElapsedMillis();
+  const bool is_annotate = request->kind == RequestKind::kAnnotate;
+
+  // Shed work whose deadline passed while queued; the client has already
+  // timed out, so running it would only delay live requests.
+  if (request->deadline.expired()) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    Respond(Status::DeadlineExceeded("deadline expired in queue"), meta,
+            is_annotate, &request->search_promise,
+            &request->annotate_promise);
+    return;
+  }
+
+  // One Handle per request: everything below reads exactly this
+  // generation, regardless of concurrent swaps.
+  SnapshotManager::Handle handle = manager_->Current();
+  if (handle.snapshot == nullptr) {
+    Respond(Status::FailedPrecondition("no snapshot loaded"), meta,
+            is_annotate, &request->search_promise,
+            &request->annotate_promise);
+    return;
+  }
+  meta.snapshot_version = handle.version;
+
+  if (is_annotate) {
+    ExecuteAnnotate(request, state, handle, meta);
+  } else {
+    ExecuteSearch(request, handle, meta);
+  }
+}
+
+void WebTabService::ExecuteSearch(Request* request,
+                                  const SnapshotManager::Handle& handle,
+                                  RequestMetadata meta) {
+  SearchResponse response;
+
+  const CorpusView* corpus = handle.snapshot->corpus();
+  if (corpus == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "snapshot has no corpus section; search unavailable");
+    response.meta = meta;
+    request->search_promise.set_value(std::move(response));
+    return;
+  }
+
+  // One normalization per request, shared by the cache key and the
+  // engine (the point of the shared helper in search/query.cc).
+  const bool is_join = request->kind == RequestKind::kJoin;
+  NormalizedSelectQuery normalized;
+  if (!is_join) normalized = NormalizeSelectQuery(request->select);
+
+  // Cache key: engine + generation + canonical normalized query. The
+  // version prefix makes hot-swaps self-invalidating.
+  std::string key;
+  if (cache_ != nullptr) {
+    key = std::string(EngineKindName(request->engine)) + "|v" +
+          std::to_string(handle.version) + "|" +
+          (is_join ? JoinQueryCacheKey(request->join)
+                   : SelectQueryCacheKey(request->select, normalized));
+    if (ResultCache::Value hit = cache_->Get(key)) {
+      meta.cache_hit = true;
+      response.results = *hit;
+      response.meta = meta;
+      request->search_promise.set_value(std::move(response));
+      return;
+    }
+  }
+
+  WallTimer work;
+  std::vector<SearchResult> results;
+  switch (request->engine) {
+    case EngineKind::kBaseline:
+      results = BaselineSearch(*corpus, request->select, normalized);
+      break;
+    case EngineKind::kType:
+      results = TypeSearch(*corpus, request->select, normalized);
+      break;
+    case EngineKind::kTypeRelation:
+      results = TypeRelationSearch(*corpus, request->select, normalized);
+      break;
+    case EngineKind::kJoin:
+      results = JoinSearch(*corpus, request->join);
+      break;
+  }
+  meta.work_millis = work.ElapsedMillis();
+
+  if (cache_ != nullptr) {
+    auto shared = std::make_shared<const std::vector<SearchResult>>(results);
+    cache_->Put(key, shared);
+  }
+  response.results = std::move(results);
+  response.meta = meta;
+  request->search_promise.set_value(std::move(response));
+}
+
+void WebTabService::ExecuteAnnotate(Request* request, WorkerState* state,
+                                    const SnapshotManager::Handle& handle,
+                                    RequestMetadata meta) {
+  AnnotateResponse response;
+
+  const LemmaIndexView* lemma_index = handle.snapshot->lemma_index();
+  if (lemma_index == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "snapshot has no lemma index section; annotation unavailable");
+    response.meta = meta;
+    request->annotate_promise.set_value(std::move(response));
+    return;
+  }
+
+  // First contact with a new generation: rebuild the worker's private
+  // mutable state against it. The pin keeps the old generation's views
+  // alive exactly as long as something points into them.
+  if (state->annotator == nullptr || state->version != handle.version) {
+    state->vocab =
+        std::make_unique<Vocabulary>(lemma_index->CopyVocabulary());
+    state->annotator = std::make_unique<TableAnnotator>(
+        &handle.snapshot->catalog(), lemma_index, options_.annotator,
+        state->vocab.get());
+    state->annotator->closure()->SeedFrom(
+        handle.snapshot->closure_prototype());
+    state->pinned = handle.snapshot;
+    state->version = handle.version;
+  }
+
+  WallTimer work;
+  response.annotation = state->annotator->Annotate(request->table);
+  meta.work_millis = work.ElapsedMillis();
+  response.meta = meta;
+  request->annotate_promise.set_value(std::move(response));
+}
+
+}  // namespace serve
+}  // namespace webtab

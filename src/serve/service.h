@@ -1,0 +1,205 @@
+#ifndef WEBTAB_SERVE_SERVICE_H_
+#define WEBTAB_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "annotate/annotator.h"
+#include "common/bounded_queue.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "search/join_search.h"
+#include "search/query.h"
+#include "serve/result_cache.h"
+#include "serve/snapshot_manager.h"
+
+namespace webtab {
+namespace serve {
+
+/// Which ranking engine answers a select query (Figure 9's systems, plus
+/// the join extension).
+enum class EngineKind { kBaseline, kType, kTypeRelation, kJoin };
+
+std::string_view EngineKindName(EngineKind kind);
+/// Parses "baseline" / "type" / "type_relation" / "join".
+Result<EngineKind> ParseEngineKind(std::string_view name);
+
+struct ServiceOptions {
+  /// Worker threads executing requests. Each worker owns the small
+  /// mutable state (annotator, vocabulary copy, seeded closure cache);
+  /// the snapshot itself is shared read-only.
+  int num_workers = 2;
+  /// Bounded request queue; a full queue rejects immediately
+  /// (kUnavailable) instead of queueing unboundedly under overload.
+  int queue_capacity = 64;
+  /// Applied when a request carries no deadline; 0 means none. Expired
+  /// requests are shed at dequeue (kDeadlineExceeded) without running.
+  int64_t default_deadline_ms = 0;
+  /// Result cache entries (0 disables) and shard count.
+  int result_cache_capacity = 1024;
+  int result_cache_shards = 8;
+  AnnotatorOptions annotator;
+};
+
+/// Per-request execution metadata returned with every response.
+struct RequestMetadata {
+  uint64_t snapshot_version = 0;
+  bool cache_hit = false;
+  double queue_millis = 0.0;
+  double work_millis = 0.0;
+};
+
+struct SearchResponse {
+  Status status;
+  std::vector<SearchResult> results;
+  RequestMetadata meta;
+};
+
+struct AnnotateResponse {
+  Status status;
+  TableAnnotation annotation;
+  RequestMetadata meta;
+};
+
+struct ServiceStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t expired = 0;
+  uint64_t completed = 0;
+  uint64_t annotate_requests = 0;
+  uint64_t search_requests = 0;
+  uint64_t swaps = 0;
+  ResultCache::Stats cache;
+};
+
+/// The online serving facade: answers annotate-one-table and all four
+/// search query types concurrently over the SnapshotManager's current
+/// generation.
+///
+/// Concurrency model:
+///  - Producers (any thread) enqueue into a bounded queue and get a
+///    future; a full queue fails fast with kUnavailable.
+///  - N workers pop requests. Each request takes one Handle (shared_ptr
+///    to the current ServingSnapshot) and uses only that generation, so
+///    a concurrent hot-swap never tears a request and in-flight work is
+///    never dropped: old requests finish on the old mapping, new
+///    requests start on the new one.
+///  - Search runs straight off the shared read-only CorpusView (the
+///    engines are pure functions of view + query) behind a sharded LRU
+///    keyed on (engine, version, normalized query).
+///  - Annotation needs per-worker mutable state (vocabulary interning,
+///    closure + feature caches, BP workspace); each worker lazily
+///    rebuilds that state when it first sees a new generation, seeding
+///    its closure cache from the snapshot's precomputed prototype so
+///    first-request latency matches steady state.
+///
+/// Responses are byte-identical to single-threaded engine/annotator runs
+/// on the same snapshot — asserted by tests/serve_concurrency_test.cc
+/// and bench/serving_bench.cc.
+class WebTabService {
+ public:
+  /// `manager` must outlive the service. Call Start() before submitting.
+  WebTabService(SnapshotManager* manager, ServiceOptions options);
+  ~WebTabService();
+
+  WebTabService(const WebTabService&) = delete;
+  WebTabService& operator=(const WebTabService&) = delete;
+
+  /// Spawns the worker pool. Requests submitted before Start() sit in
+  /// the queue (up to its capacity).
+  void Start();
+
+  /// Closes the queue, lets workers drain every accepted request, and
+  /// joins them. Submissions after Stop() fail with kUnavailable
+  /// ("service stopped" — not counted as overload). Idempotent; the
+  /// destructor calls it. The service is single-use: a stopped service
+  /// cannot be restarted (construct a new one against the same
+  /// SnapshotManager instead).
+  void Stop();
+
+  // --- Async API (the native shape; one future per request). ---
+  std::future<SearchResponse> SubmitSearch(EngineKind engine,
+                                           SelectQuery query,
+                                           Deadline deadline = Deadline());
+  std::future<SearchResponse> SubmitJoin(JoinQuery query,
+                                         Deadline deadline = Deadline());
+  std::future<AnnotateResponse> SubmitAnnotate(
+      Table table, Deadline deadline = Deadline());
+
+  // --- Blocking wrappers for closed-loop callers. ---
+  SearchResponse Search(EngineKind engine, const SelectQuery& query,
+                        Deadline deadline = Deadline());
+  SearchResponse SearchJoin(const JoinQuery& query,
+                            Deadline deadline = Deadline());
+  AnnotateResponse Annotate(const Table& table,
+                            Deadline deadline = Deadline());
+
+  /// Opens `path` and atomically installs it as the serving generation.
+  /// In-flight and queued requests are never dropped (old generation
+  /// pins until they finish); on failure the old generation keeps
+  /// serving.
+  Status SwapSnapshot(const std::string& path);
+
+  SnapshotManager* manager() { return manager_; }
+  const ServiceOptions& options() const { return options_; }
+  ServiceStats stats() const;
+
+ private:
+  enum class RequestKind { kSearch, kJoin, kAnnotate };
+
+  struct Request {
+    RequestKind kind;
+    EngineKind engine = EngineKind::kTypeRelation;
+    SelectQuery select;
+    JoinQuery join;
+    Table table;
+    Deadline deadline;
+    WallTimer queued;
+    std::promise<SearchResponse> search_promise;
+    std::promise<AnnotateResponse> annotate_promise;
+  };
+
+  /// Mutable per-worker state, rebuilt when the worker first touches a
+  /// new snapshot generation. Holds its own shared_ptr so the views the
+  /// annotator points into cannot unmap while the state exists.
+  struct WorkerState {
+    uint64_t version = 0;
+    std::shared_ptr<const ServingSnapshot> pinned;
+    std::unique_ptr<Vocabulary> vocab;
+    std::unique_ptr<TableAnnotator> annotator;
+  };
+
+  bool Enqueue(std::unique_ptr<Request> request);
+  void WorkerLoop();
+  void Execute(Request* request, WorkerState* state);
+  void ExecuteSearch(Request* request, const SnapshotManager::Handle& handle,
+                     RequestMetadata meta);
+  void ExecuteAnnotate(Request* request, WorkerState* state,
+                       const SnapshotManager::Handle& handle,
+                       RequestMetadata meta);
+  Deadline EffectiveDeadline(Deadline deadline) const;
+
+  SnapshotManager* manager_;
+  ServiceOptions options_;
+  BoundedQueue<std::unique_ptr<Request>> queue_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching disabled
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> annotate_requests_{0};
+  std::atomic<uint64_t> search_requests_{0};
+  std::atomic<uint64_t> swaps_{0};
+};
+
+}  // namespace serve
+}  // namespace webtab
+
+#endif  // WEBTAB_SERVE_SERVICE_H_

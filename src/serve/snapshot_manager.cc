@@ -1,0 +1,81 @@
+#include "serve/snapshot_manager.h"
+
+#include <utility>
+
+namespace webtab {
+namespace serve {
+
+void ServingSnapshot::BuildClosures(const ServingSnapshotOptions& options) {
+  closure_ = std::make_unique<ClosureCache>(catalog_);
+  if (options.precompute_closures) {
+    closure_->PrecomputeTypeClosures(options.precompute_entity_extents);
+  }
+}
+
+Result<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::Load(
+    const std::string& path, const ServingSnapshotOptions& options) {
+  Result<storage::Snapshot> opened =
+      options.validated_open ? storage::Snapshot::OpenValidated(path)
+                             : storage::Snapshot::Open(path);
+  if (!opened.ok()) return opened.status();
+
+  // make_shared needs a public constructor; new + shared_ptr keeps the
+  // constructor private to the factories.
+  std::shared_ptr<ServingSnapshot> snap(new ServingSnapshot());
+  snap->owned_.emplace(std::move(opened).value());
+  snap->catalog_ = snap->owned_->catalog();
+  snap->lemma_index_ = snap->owned_->lemma_index();
+  snap->corpus_ = snap->owned_->corpus();
+  snap->path_ = path;
+  snap->BuildClosures(options);
+  return std::shared_ptr<const ServingSnapshot>(std::move(snap));
+}
+
+std::shared_ptr<const ServingSnapshot> ServingSnapshot::Borrow(
+    const CatalogView* catalog, const LemmaIndexView* lemma_index,
+    const CorpusView* corpus, const ServingSnapshotOptions& options) {
+  std::shared_ptr<ServingSnapshot> snap(new ServingSnapshot());
+  snap->catalog_ = catalog;
+  snap->lemma_index_ = lemma_index;
+  snap->corpus_ = corpus;
+  snap->BuildClosures(options);
+  return std::shared_ptr<const ServingSnapshot>(std::move(snap));
+}
+
+Result<uint64_t> SnapshotManager::Load(const std::string& path) {
+  // Build the replacement entirely outside the lock: opening and closure
+  // precompute can take a while and requests must keep flowing against
+  // the current generation meanwhile.
+  Result<std::shared_ptr<const ServingSnapshot>> next =
+      ServingSnapshot::Load(path, options_);
+  if (!next.ok()) return next.status();
+  return Install(std::move(next).value());
+}
+
+uint64_t SnapshotManager::Install(
+    std::shared_ptr<const ServingSnapshot> snapshot) {
+  std::shared_ptr<const ServingSnapshot> retired;
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(current_);
+    current_ = std::move(snapshot);
+    version = ++version_;
+  }
+  // `retired` drops here, outside the lock; the old mapping unmaps when
+  // the last in-flight request holding a Handle to it completes.
+  return version;
+}
+
+SnapshotManager::Handle SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Handle{current_, version_};
+}
+
+uint64_t SnapshotManager::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+}  // namespace serve
+}  // namespace webtab

@@ -1,0 +1,114 @@
+#ifndef WEBTAB_SERVE_SNAPSHOT_MANAGER_H_
+#define WEBTAB_SERVE_SNAPSHOT_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "catalog/catalog_view.h"
+#include "catalog/closure.h"
+#include "index/lemma_index.h"
+#include "search/corpus_view.h"
+#include "storage/snapshot.h"
+
+namespace webtab {
+namespace serve {
+
+struct ServingSnapshotOptions {
+  /// Open with Snapshot::OpenValidated (checksum + deep semantic
+  /// validation). The serving process must survive a bad file; a crash
+  /// on swap would drop every in-flight request.
+  bool validated_open = true;
+  /// Precompute type closures (ancestor sets, min entity distances) into
+  /// the shared prototype at load, so the first request pays the same
+  /// closure cost as the thousandth (ROADMAP open item).
+  bool precompute_closures = true;
+  /// Also precompute E(T) extents — more load-time work and resident
+  /// memory for faster cold starts of extent-hungry features.
+  bool precompute_entity_extents = false;
+};
+
+/// One immutable generation of serving state: the mmap'd snapshot (or
+/// borrowed in-memory views) plus everything derived from it that every
+/// worker shares read-only — today the precomputed closure prototype.
+/// Handed out as shared_ptr; a request pins its generation for its whole
+/// lifetime, so hot-swapping to a newer file never tears an in-flight
+/// request and the old mapping unmaps exactly when its last request
+/// finishes.
+class ServingSnapshot {
+ public:
+  /// Opens `path` and builds derived state. All failures are Status.
+  static Result<std::shared_ptr<const ServingSnapshot>> Load(
+      const std::string& path, const ServingSnapshotOptions& options);
+
+  /// Wraps in-memory builds without taking ownership (tests, embedded
+  /// callers). The views must outlive the returned snapshot.
+  static std::shared_ptr<const ServingSnapshot> Borrow(
+      const CatalogView* catalog, const LemmaIndexView* lemma_index,
+      const CorpusView* corpus,
+      const ServingSnapshotOptions& options = ServingSnapshotOptions());
+
+  const CatalogView& catalog() const { return *catalog_; }
+  /// nullptr when the snapshot carries no such section.
+  const LemmaIndexView* lemma_index() const { return lemma_index_; }
+  const CorpusView* corpus() const { return corpus_; }
+
+  /// The shared closure prototype, fully built at construction and
+  /// read-only afterwards. Workers clone it via ClosureCache::SeedFrom.
+  const ClosureCache& closure_prototype() const { return *closure_; }
+
+  /// Source path; empty for borrowed views.
+  const std::string& path() const { return path_; }
+
+ private:
+  ServingSnapshot() = default;
+  void BuildClosures(const ServingSnapshotOptions& options);
+
+  std::optional<storage::Snapshot> owned_;
+  const CatalogView* catalog_ = nullptr;
+  const LemmaIndexView* lemma_index_ = nullptr;
+  const CorpusView* corpus_ = nullptr;
+  std::unique_ptr<ClosureCache> closure_;
+  std::string path_;
+};
+
+/// Publishes the current ServingSnapshot generation and hot-swaps it
+/// atomically. Readers take a Handle (shared_ptr + version) once per
+/// request; writers install a fully-built replacement under a short
+/// lock. No reader ever observes a half-loaded snapshot, and a failed
+/// load leaves the current generation serving.
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(
+      ServingSnapshotOptions options = ServingSnapshotOptions())
+      : options_(options) {}
+
+  struct Handle {
+    std::shared_ptr<const ServingSnapshot> snapshot;  // null before Load
+    uint64_t version = 0;
+  };
+
+  /// Opens and installs `path`; returns the new version. On error the
+  /// previous generation keeps serving untouched.
+  Result<uint64_t> Load(const std::string& path);
+
+  /// Installs an already-built generation (borrowed views, tests).
+  uint64_t Install(std::shared_ptr<const ServingSnapshot> snapshot);
+
+  Handle Current() const;
+  uint64_t current_version() const;
+
+  const ServingSnapshotOptions& options() const { return options_; }
+
+ private:
+  ServingSnapshotOptions options_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> current_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace serve
+}  // namespace webtab
+
+#endif  // WEBTAB_SERVE_SNAPSHOT_MANAGER_H_

@@ -127,6 +127,15 @@ Result<Snapshot> Snapshot::Open(const std::string& path,
   if (snap.catalog_ == nullptr) {
     return Status::ParseError("snapshot has no catalog section: " + path);
   }
+  if (options.deep_validate) {
+    WEBTAB_RETURN_IF_ERROR(snap.catalog_->DeepValidate());
+    if (snap.lemma_index_ != nullptr) {
+      WEBTAB_RETURN_IF_ERROR(snap.lemma_index_->DeepValidate());
+    }
+    if (snap.corpus_ != nullptr) {
+      WEBTAB_RETURN_IF_ERROR(snap.corpus_->DeepValidate());
+    }
+  }
   return snap;
 }
 

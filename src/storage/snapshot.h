@@ -30,6 +30,14 @@ class Snapshot {
     /// pass over the file; disable for fastest possible opens of
     /// already-trusted files.
     bool verify_checksum = true;
+    /// Additionally verify the semantic invariants the accessors rely on
+    /// beyond raw bounds: sortedness of every binary-searched array,
+    /// acyclicity and parent/child consistency of the type DAG, and
+    /// lemma ordinals inside each object's lemma list. A checksum only
+    /// proves the file was not corrupted in transit; these checks prove
+    /// a *hostile* file cannot make accessors read out of bounds, loop,
+    /// or silently misanswer. One extra linear pass over the payload.
+    bool deep_validate = false;
   };
 
   struct SectionInfo {
@@ -42,6 +50,18 @@ class Snapshot {
                                const OpenOptions& options);
   static Result<Snapshot> Open(const std::string& path) {
     return Open(path, OpenOptions());
+  }
+
+  /// Hardened open for untrusted files: full checksum plus deep semantic
+  /// validation (see OpenOptions::deep_validate). Every failure mode is a
+  /// returned Status, never a CHECK-crash, so a serving process can
+  /// refuse a bad snapshot and keep running (ROADMAP: serve untrusted
+  /// snapshots safely).
+  static Result<Snapshot> OpenValidated(const std::string& path) {
+    OpenOptions options;
+    options.verify_checksum = true;
+    options.deep_validate = true;
+    return Open(path, options);
   }
 
   Snapshot(Snapshot&&) = default;

@@ -281,6 +281,112 @@ Status SnapshotCatalogView::Init(const uint8_t* base, uint64_t size) {
   return Status::Ok();
 }
 
+namespace {
+
+/// Non-decreasing order under `less` — the precondition of every binary
+/// search an accessor runs over file-provided arrays.
+template <typename T, typename Less>
+Status CheckSorted(std::span<const T> values, const char* what, Less less) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (less(values[i], values[i - 1])) {
+      return Status::ParseError(std::string("unsorted array: ") + what);
+    }
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status CheckSorted(std::span<const T> values, const char* what) {
+  return CheckSorted(values, what,
+                     [](const T& a, const T& b) { return a < b; });
+}
+
+Status CheckArenaSorted(const ArenaView& arena, const char* what) {
+  for (uint64_t i = 1; i < arena.size(); ++i) {
+    if (arena.Get(i) < arena.Get(i - 1)) {
+      return Status::ParseError(std::string("unsorted arena: ") + what);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SnapshotCatalogView::DeepValidate() const {
+  // Name indexes: binary searched by name.
+  WEBTAB_RETURN_IF_ERROR(CheckSorted<TypeId>(
+      types_by_name_, "types by name", [&](TypeId a, TypeId b) {
+        return type_names_.Get(a) < type_names_.Get(b);
+      }));
+  WEBTAB_RETURN_IF_ERROR(CheckSorted<EntityId>(
+      entities_by_name_, "entities by name", [&](EntityId a, EntityId b) {
+        return entity_names_.Get(a) < entity_names_.Get(b);
+      }));
+  WEBTAB_RETURN_IF_ERROR(CheckSorted<RelationId>(
+      relations_by_name_, "relations by name",
+      [&](RelationId a, RelationId b) {
+        return relation_names_.Get(a) < relation_names_.Get(b);
+      }));
+
+  // Tuple rows and forward/reverse key runs: binary searched per
+  // relation (HasTuple, ObjectsOf, SubjectsOf).
+  for (uint64_t b = 0; b < fwd_key_ends_.size(); ++b) {
+    WEBTAB_RETURN_IF_ERROR(CheckSorted(tuples_.Row(b), "relation tuples"));
+    auto [fb, fe] = RowRange(fwd_key_ends_, b);
+    WEBTAB_RETURN_IF_ERROR(
+        CheckSorted(fwd_keys_.subspan(fb, fe - fb), "fwd keys"));
+    auto [rb, re] = RowRange(rev_key_ends_, b);
+    WEBTAB_RETURN_IF_ERROR(
+        CheckSorted(rev_keys_.subspan(rb, re - rb), "rev keys"));
+  }
+  WEBTAB_RETURN_IF_ERROR(CheckSorted(pair_keys_, "pair keys"));
+
+  // Type graph: closure traversals assume a DAG with mirrored
+  // parent/child edges. Kahn's algorithm over parent edges: if peeling
+  // zero-out-degree types (toward ancestors) cannot consume every type,
+  // the remainder is a cycle.
+  const int32_t nt = header_.num_types;
+  std::vector<int32_t> remaining_parents(nt);
+  std::vector<TypeId> ready;
+  uint64_t parent_edges = 0;
+  for (TypeId t = 0; t < nt; ++t) {
+    auto parents = type_parents_.Row(t);
+    remaining_parents[t] = static_cast<int32_t>(parents.size());
+    parent_edges += parents.size();
+    if (parents.empty()) ready.push_back(t);
+  }
+  // Child adjacency for the peel, from the mirrored children rows; first
+  // verify the mirror itself (every child edge is a parent edge and the
+  // edge counts agree).
+  uint64_t child_edges = 0;
+  for (TypeId p = 0; p < nt; ++p) {
+    for (TypeId c : type_children_.Row(p)) {
+      ++child_edges;
+      auto parents = type_parents_.Row(c);
+      if (std::find(parents.begin(), parents.end(), p) == parents.end()) {
+        return Status::ParseError(
+            "type child edge without mirrored parent edge");
+      }
+    }
+  }
+  if (child_edges != parent_edges) {
+    return Status::ParseError("type parent/child edge counts disagree");
+  }
+  int32_t peeled = 0;
+  while (!ready.empty()) {
+    TypeId p = ready.back();
+    ready.pop_back();
+    ++peeled;
+    for (TypeId c : type_children_.Row(p)) {
+      if (--remaining_parents[c] == 0) ready.push_back(c);
+    }
+  }
+  if (peeled != nt) {
+    return Status::ParseError("type graph contains a cycle");
+  }
+  return Status::Ok();
+}
+
 std::string_view SnapshotCatalogView::TypeName(TypeId t) const {
   WEBTAB_CHECK(ValidType(t)) << "bad type id " << t;
   return type_names_.Get(t);
@@ -486,6 +592,27 @@ Status SnapshotLemmaIndexView::Init(const uint8_t* base, uint64_t size,
   return Status::Ok();
 }
 
+Status SnapshotLemmaIndexView::DeepValidate() const {
+  WEBTAB_RETURN_IF_ERROR(CheckSorted<TokenId>(
+      tokens_by_text_, "tokens by text", [&](TokenId a, TokenId b) {
+        return token_texts_.Get(a) < token_texts_.Get(b);
+      }));
+  for (int64_t df : token_doc_freq_) {
+    if (df < 0) return Status::ParseError("negative document frequency");
+  }
+  for (const LemmaPosting& p : entity_postings_.values) {
+    if (p.lemma_ord >= catalog_->NumEntityLemmas(p.id)) {
+      return Status::ParseError("entity posting lemma ordinal out of range");
+    }
+  }
+  for (const LemmaPosting& p : type_postings_.values) {
+    if (p.lemma_ord >= catalog_->NumTypeLemmas(p.id)) {
+      return Status::ParseError("type posting lemma ordinal out of range");
+    }
+  }
+  return Status::Ok();
+}
+
 TokenId SnapshotLemmaIndexView::LookupToken(std::string_view token) const {
   auto it = std::lower_bound(
       tokens_by_text_.begin(), tokens_by_text_.end(), token,
@@ -648,6 +775,25 @@ Status SnapshotCorpusView::Init(const uint8_t* base, uint64_t size) {
         return Status::ParseError("ref out of range in table relations");
       }
     }
+  }
+  return Status::Ok();
+}
+
+Status SnapshotCorpusView::DeepValidate() const {
+  WEBTAB_RETURN_IF_ERROR(CheckArenaSorted(header_tokens_, "header tokens"));
+  WEBTAB_RETURN_IF_ERROR(
+      CheckArenaSorted(context_tokens_, "context tokens"));
+  WEBTAB_RETURN_IF_ERROR(CheckSorted(type_keys_, "corpus type keys"));
+  WEBTAB_RETURN_IF_ERROR(
+      CheckSorted(relation_keys_, "corpus relation keys"));
+  WEBTAB_RETURN_IF_ERROR(CheckSorted(entity_keys_, "corpus entity keys"));
+  for (int64_t t = 0; t < header_.num_tables; ++t) {
+    WEBTAB_RETURN_IF_ERROR(CheckSorted<TableRelationDisk>(
+        table_relations_.Row(t), "table relations",
+        [](const TableRelationDisk& a, const TableRelationDisk& b) {
+          if (a.c1 != b.c1) return a.c1 < b.c1;
+          return a.c2 < b.c2;
+        }));
   }
   return Status::Ok();
 }

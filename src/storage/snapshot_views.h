@@ -50,6 +50,13 @@ class SnapshotCatalogView : public CatalogView {
  public:
   Status Init(const uint8_t* base, uint64_t size);
 
+  /// Semantic invariants beyond Init's bounds checks, for hostile files
+  /// (Snapshot::OpenValidated): name/tuple/pair arrays really sorted
+  /// (binary searches would silently misanswer otherwise), and the type
+  /// graph a DAG with mirrored parent/child edges (closure traversals
+  /// assume it). O(payload) with small constants.
+  Status DeepValidate() const;
+
   int32_t num_types() const override { return header_.num_types; }
   int32_t num_entities() const override { return header_.num_entities; }
   int32_t num_relations() const override { return header_.num_relations; }
@@ -120,6 +127,12 @@ class SnapshotLemmaIndexView : public LemmaIndexView {
   Status Init(const uint8_t* base, uint64_t size,
               const CatalogView* catalog);
 
+  /// Hostile-file invariants: token array sorted (lookups binary search
+  /// it) and every posting's lemma_ord inside its object's lemma list —
+  /// an out-of-range ordinal would otherwise index past the lemma arena
+  /// row when features fetch the matched lemma.
+  Status DeepValidate() const;
+
   std::vector<LemmaHit> ProbeEntities(std::string_view text,
                                       int k) const override;
   std::vector<LemmaHit> ProbeTypes(std::string_view text,
@@ -148,6 +161,11 @@ class SnapshotLemmaIndexView : public LemmaIndexView {
 class SnapshotCorpusView : public CorpusView {
  public:
   Status Init(const uint8_t* base, uint64_t size);
+
+  /// Hostile-file invariants: token arenas and postings key arrays
+  /// sorted, and per-table relation rows sorted by (c1, c2) — all are
+  /// binary searched by the engines.
+  Status DeepValidate() const;
 
   int64_t num_tables() const override { return header_.num_tables; }
   int rows(int t) const override { return table_meta_[t].rows; }

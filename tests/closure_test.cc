@@ -126,5 +126,39 @@ TEST_P(ClosureWorldPropertyTest, ParentExtensionContainsChildExtension) {
 INSTANTIATE_TEST_SUITE_P(Sweep, ClosureWorldPropertyTest,
                          ::testing::Range(0, 25));
 
+TEST(ClosurePrecomputeTest, PrecomputedMatchesLazy) {
+  const World& world = SharedWorld();
+  ClosureCache lazy(&world.catalog);
+  ClosureCache eager(&world.catalog);
+  eager.PrecomputeTypeClosures(/*include_entity_extents=*/true);
+  for (TypeId t = 0; t < world.catalog.num_types(); ++t) {
+    EXPECT_EQ(eager.TypeAncestorsOfType(t), lazy.TypeAncestorsOfType(t));
+    EXPECT_EQ(eager.MinEntityDist(t), lazy.MinEntityDist(t));
+    EXPECT_EQ(eager.EntitiesOf(t), lazy.EntitiesOf(t));
+    EXPECT_EQ(eager.TypeSpecificity(t), lazy.TypeSpecificity(t));
+  }
+}
+
+TEST(ClosurePrecomputeTest, SeedFromClonesPrototypeAndStaysLazy) {
+  const World& world = SharedWorld();
+  ClosureCache prototype(&world.catalog);
+  prototype.PrecomputeTypeClosures();
+  // Warm an entity closure in the prototype too; it must carry over.
+  const std::vector<TypeId>& proto_anc = prototype.TypeAncestors(0);
+
+  ClosureCache worker(&world.catalog);
+  worker.SeedFrom(prototype);
+  EXPECT_EQ(worker.TypeAncestors(0), proto_anc);
+  ClosureCache fresh(&world.catalog);
+  for (TypeId t = 0; t < world.catalog.num_types(); ++t) {
+    EXPECT_EQ(worker.TypeAncestorsOfType(t), fresh.TypeAncestorsOfType(t));
+    EXPECT_EQ(worker.MinEntityDist(t), fresh.MinEntityDist(t));
+  }
+  // Entity closures beyond the seed still fill lazily on demand.
+  for (EntityId e = 1; e < world.catalog.num_entities(); e += 97) {
+    EXPECT_EQ(worker.TypeAncestors(e), fresh.TypeAncestors(e));
+  }
+}
+
 }  // namespace
 }  // namespace webtab

@@ -1,0 +1,214 @@
+// JSON value + wire protocol tests: parse/dump round trips, hostile
+// input rejection, request parsing, name resolution against a catalog,
+// and response rendering.
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace serve {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->bool_value());
+  EXPECT_FALSE(Json::Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(Json::Parse("3.5")->number_value(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("-17")->number_value(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->number_value(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonTest, ParsesNested) {
+  Result<Json> parsed =
+      Json::Parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}, "f": true})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& json = *parsed;
+  ASSERT_TRUE(json.is_object());
+  const Json* a = json.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2].GetString("b"), "c");
+  EXPECT_TRUE(json.Find("d")->Find("e")->is_null());
+  EXPECT_TRUE(json.GetBool("f"));
+}
+
+TEST(JsonTest, StringEscapes) {
+  Result<Json> parsed = Json::Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "a\"b\\c\nd\teA");
+  // Dump re-escapes; parsing the dump round-trips.
+  std::string dumped = parsed->Dump();
+  EXPECT_EQ(Json::Parse(dumped)->string_value(), parsed->string_value());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  Json obj = Json::Object();
+  obj.Set("name", Json::String("crème brûlée"));
+  obj.Set("count", Json::Number(42));
+  obj.Set("score", Json::Number(0.125));
+  obj.Set("flags", Json::Array().Append(Json::Bool(true)).Append(
+                       Json::Null()));
+  std::string dumped = obj.Dump();
+  EXPECT_EQ(dumped,
+            "{\"name\":\"crème brûlée\",\"count\":42,\"score\":0.125,"
+            "\"flags\":[true,null]}");
+  Result<Json> reparsed = Json::Parse(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->GetNumber("count"), 42.0);
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("truthy").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  // Hostile nesting cannot overflow the stack.
+  std::string deep(10000, '[');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(WireRequestTest, ParsesSearch) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      R"({"op":"search","engine":"type","relation":"author",)"
+      R"("type1":"book","type2":"person","e2":"A. Einstein","k":5})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->op, WireRequest::Op::kSearch);
+  EXPECT_EQ(parsed->engine, EngineKind::kType);
+  EXPECT_EQ(parsed->select.relation, "author");
+  EXPECT_EQ(parsed->select.e2, "A. Einstein");
+  EXPECT_EQ(parsed->top_k, 5);
+}
+
+TEST(WireRequestTest, ParsesJoinAndAnnotate) {
+  Result<WireRequest> join = ParseWireRequest(
+      R"({"op":"join","r1":"acted_in","r2":"directed","e3":"X",)"
+      R"("e1_is_subject":false,"max_join_entities":7})");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->op, WireRequest::Op::kJoin);
+  EXPECT_FALSE(join->join.e1_is_subject);
+  EXPECT_EQ(join->join.max_join_entities, 7);
+
+  Result<WireRequest> annotate = ParseWireRequest(
+      R"({"op":"annotate","table":{"headers":["a","b"],)"
+      R"("rows":[["1","2"],["3","4"]],"context":"ctx"}})");
+  ASSERT_TRUE(annotate.ok());
+  EXPECT_EQ(annotate->table.headers.size(), 2u);
+  EXPECT_EQ(annotate->table.rows.size(), 2u);
+  EXPECT_EQ(annotate->table.context, "ctx");
+}
+
+TEST(WireRequestTest, RejectsBadRequests) {
+  EXPECT_FALSE(ParseWireRequest("not json").ok());
+  EXPECT_FALSE(ParseWireRequest("{}").ok());                    // no op
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"dance"})").ok());     // bad op
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"annotate"})").ok());  // no table
+  EXPECT_FALSE(ParseWireRequest(R"({"op":"swap"})").ok());      // no path
+  EXPECT_FALSE(
+      ParseWireRequest(R"({"op":"search","engine":"warp"})").ok());
+}
+
+TEST(WireToTableTest, BuildsAndValidates) {
+  WireTable wire;
+  wire.headers = {"h1", "h2"};
+  wire.rows = {{"a", "b"}, {"c", "d"}};
+  wire.context = "ctx";
+  Result<Table> table = WireToTable(wire);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows(), 2);
+  EXPECT_EQ(table->cols(), 2);
+  EXPECT_EQ(table->cell(1, 0), "c");
+  EXPECT_EQ(table->header(1), "h2");
+  EXPECT_EQ(table->context(), "ctx");
+
+  wire.rows.push_back({"only one"});
+  EXPECT_FALSE(WireToTable(wire).ok());  // Ragged.
+  WireTable empty;
+  EXPECT_FALSE(WireToTable(empty).ok());
+}
+
+TEST(ResolveTest, ResolvesNamesAgainstCatalog) {
+  Figure1World w = MakeFigure1World();
+  WireSelect wire;
+  wire.relation = "author";
+  wire.type1 = "book";
+  wire.type2 = "person";
+  wire.e2 = "Albert Einstein";
+  SelectQuery q = ResolveSelectQuery(wire, w.catalog);
+  EXPECT_EQ(q.relation, w.author);
+  EXPECT_EQ(q.type1, w.book);
+  EXPECT_EQ(q.type2, w.person);
+  EXPECT_EQ(q.e2, w.einstein);
+  EXPECT_EQ(q.e2_text, "Albert Einstein");
+
+  // Unknown names stay text-only (baseline fallback path).
+  wire.e2 = "Nobody Special";
+  wire.type1 = "starship";
+  SelectQuery fallback = ResolveSelectQuery(wire, w.catalog);
+  EXPECT_EQ(fallback.e2, kNa);
+  EXPECT_EQ(fallback.type1, kNa);
+  EXPECT_EQ(fallback.type1_text, "starship");
+}
+
+TEST(RenderTest, SearchAndErrorShapes) {
+  Figure1World w = MakeFigure1World();
+  SearchResponse response;
+  response.results.push_back(SearchResult{w.einstein, "A. Einstein", 1.5});
+  response.results.push_back(SearchResult{kNa, "raw text", 0.5});
+  response.meta.snapshot_version = 3;
+  std::string line = RenderSearchResponse(response, &w.catalog, 10);
+  Result<Json> json = Json::Parse(line);
+  ASSERT_TRUE(json.ok()) << line;
+  EXPECT_TRUE(json->GetBool("ok"));
+  ASSERT_EQ(json->Find("results")->items().size(), 2u);
+  EXPECT_EQ(json->Find("results")->items()[0].GetString("entity"),
+            "Albert Einstein");
+  EXPECT_TRUE(json->Find("results")->items()[1].Find("entity")->is_null());
+  EXPECT_EQ(json->Find("meta")->GetNumber("version"), 3.0);
+
+  // top_k truncation reports the full total.
+  std::string truncated = RenderSearchResponse(response, &w.catalog, 1);
+  Result<Json> tjson = Json::Parse(truncated);
+  ASSERT_TRUE(tjson.ok());
+  EXPECT_EQ(tjson->Find("results")->items().size(), 1u);
+  EXPECT_EQ(tjson->GetNumber("total_results"), 2.0);
+
+  response.status = Status::DeadlineExceeded("too slow");
+  std::string error = RenderSearchResponse(response, &w.catalog, 10);
+  Result<Json> ejson = Json::Parse(error);
+  ASSERT_TRUE(ejson.ok());
+  EXPECT_FALSE(ejson->GetBool("ok", true));
+  EXPECT_EQ(ejson->GetString("code"), "DeadlineExceeded");
+}
+
+TEST(RenderTest, AnnotateShape) {
+  Figure1World w = MakeFigure1World();
+  AnnotateResponse response;
+  response.annotation = TableAnnotation::Empty(1, 2);
+  response.annotation.column_types[0] = w.book;
+  response.annotation.cell_entities[0][1] = w.einstein;
+  response.annotation.relations[{0, 1}] =
+      RelationCandidate{w.author, false};
+  std::string line = RenderAnnotateResponse(response, &w.catalog);
+  Result<Json> json = Json::Parse(line);
+  ASSERT_TRUE(json.ok()) << line;
+  EXPECT_EQ(json->Find("column_types")->items()[0].string_value(), "book");
+  EXPECT_TRUE(json->Find("column_types")->items()[1].is_null());
+  EXPECT_EQ(
+      json->Find("cell_entities")->items()[0].items()[1].string_value(),
+      "Albert Einstein");
+  EXPECT_EQ(json->Find("relations")->items()[0].GetString("relation"),
+            "author");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace webtab

@@ -1,0 +1,336 @@
+// WebTabService unit tests over borrowed in-memory views: queue and
+// deadline semantics, overload rejection, result-cache behavior, and
+// equality with direct single-threaded engine/annotator calls.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/deadline.h"
+#include "index/lemma_index.h"
+#include "search/baseline_search.h"
+#include "search/corpus_index.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+#include "serve/result_cache.h"
+#include "serve/service.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace serve {
+namespace {
+
+using testing_util::Figure1World;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeFigure1World;
+
+// --- BoundedQueue ---------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(3);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_FALSE(queue.TryPush(4));  // Full: fast rejection.
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_TRUE(queue.TryPush(4));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(4));
+}
+
+TEST(BoundedQueueTest, TryPushDoesNotConsumeOnFailure) {
+  BoundedQueue<std::unique_ptr<int>> queue(1);
+  EXPECT_TRUE(queue.TryPush(std::make_unique<int>(1)));
+  auto second = std::make_unique<int>(2);
+  EXPECT_FALSE(queue.TryPush(std::move(second)));
+  ASSERT_NE(second, nullptr);  // Rejection left ownership with caller.
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsAcceptedItems) {
+  BoundedQueue<int> queue(4);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));  // Closed.
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // Drained + closed.
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(1);
+  std::optional<int> got;
+  std::thread consumer([&] { got = queue.Pop(); });
+  queue.TryPush(42);
+  consumer.join();
+  EXPECT_EQ(got, std::optional<int>(42));
+}
+
+// --- Deadline -------------------------------------------------------------
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 1e12);
+}
+
+TEST(DeadlineTest, ZeroMillisExpiresImmediately) {
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 0.0);
+  EXPECT_LE(d.remaining_millis(), 60'000.0);
+}
+
+// --- ResultCache ----------------------------------------------------------
+
+ResultCache::Value MakeValue(double score) {
+  auto v = std::make_shared<std::vector<SearchResult>>();
+  v->push_back(SearchResult{kNa, "r", score});
+  return v;
+}
+
+TEST(ResultCacheTest, HitMissAndSharedValue) {
+  ResultCache cache(/*num_shards=*/2, /*capacity=*/8);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ResultCache::Value value = MakeValue(1.0);
+  cache.Put("a", value);
+  ResultCache::Value hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), value.get());  // Same vector, not a copy.
+  ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so recency order is deterministic.
+  ResultCache cache(/*num_shards=*/1, /*capacity=*/2);
+  cache.Put("a", MakeValue(1));
+  cache.Put("b", MakeValue(2));
+  ASSERT_NE(cache.Get("a"), nullptr);  // Refreshes "a"; "b" is now LRU.
+  cache.Put("c", MakeValue(3));        // Evicts "b".
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, ClearEmptiesAllShards) {
+  ResultCache cache(4, 16);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("key" + std::to_string(i), MakeValue(i));
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.Get("key3"), nullptr);
+}
+
+// --- WebTabService over borrowed in-memory views --------------------------
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  ServeServiceTest()
+      : w_(MakeFigure1World()),
+        index_(&w_.catalog),
+        closure_(&w_.catalog),
+        corpus_(MakeCorpus(), &closure_) {
+    manager_.Install(ServingSnapshot::Borrow(&w_.catalog, &index_,
+                                             &corpus_));
+  }
+
+  std::vector<AnnotatedTable> MakeCorpus() {
+    AnnotatedTable at;
+    at.table = MakeFigure1Table();
+    at.annotation = TableAnnotation::Empty(2, 2);
+    at.annotation.column_types[0] = w_.book;
+    at.annotation.column_types[1] = w_.person;
+    at.annotation.cell_entities[0][0] = w_.b95;
+    at.annotation.cell_entities[1][0] = w_.b41;
+    at.annotation.cell_entities[0][1] = w_.stannard;
+    at.annotation.cell_entities[1][1] = w_.einstein;
+    at.annotation.relations[{0, 1}] = RelationCandidate{w_.author, false};
+    return {at};
+  }
+
+  SelectQuery EinsteinQuery() {
+    SelectQuery q;
+    q.relation = w_.author;
+    q.type1 = w_.book;
+    q.type2 = w_.person;
+    q.e2 = w_.einstein;
+    q.e2_text = "A. Einstein";
+    q.relation_text = "author";
+    q.type1_text = "title";
+    q.type2_text = "written by";
+    return q;
+  }
+
+  Figure1World w_;
+  LemmaIndex index_;
+  ClosureCache closure_;
+  CorpusIndex corpus_;
+  SnapshotManager manager_;
+};
+
+void ExpectSameResults(const std::vector<SearchResult>& got,
+                       const std::vector<SearchResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].entity, want[i].entity);
+    EXPECT_EQ(got[i].text, want[i].text);
+    EXPECT_EQ(got[i].score, want[i].score);  // Bit-identical doubles.
+  }
+}
+
+TEST_F(ServeServiceTest, SearchMatchesDirectEngineCalls) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  SelectQuery q = EinsteinQuery();
+
+  SearchResponse tr = service.Search(EngineKind::kTypeRelation, q);
+  ASSERT_TRUE(tr.status.ok()) << tr.status.ToString();
+  EXPECT_EQ(tr.meta.snapshot_version, 1u);
+  ExpectSameResults(tr.results, TypeRelationSearch(corpus_, q));
+
+  SearchResponse type = service.Search(EngineKind::kType, q);
+  ASSERT_TRUE(type.status.ok());
+  ExpectSameResults(type.results, TypeSearch(corpus_, q));
+
+  SearchResponse base = service.Search(EngineKind::kBaseline, q);
+  ASSERT_TRUE(base.status.ok());
+  ExpectSameResults(base.results, BaselineSearch(corpus_, q));
+}
+
+TEST_F(ServeServiceTest, RepeatedQueryHitsCacheWithIdenticalResults) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  SelectQuery q = EinsteinQuery();
+  SearchResponse first = service.Search(EngineKind::kTypeRelation, q);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.meta.cache_hit);
+
+  // A differently-spelled but identically-normalized query also hits:
+  // the cache key uses the shared normalization.
+  SelectQuery respelled = q;
+  respelled.e2_text = "  A.  EINSTEIN ";
+  SearchResponse second =
+      service.Search(EngineKind::kTypeRelation, respelled);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.meta.cache_hit);
+  ExpectSameResults(second.results, first.results);
+  EXPECT_GE(service.stats().cache.hits, 1u);
+
+  // Different engine, same query: distinct cache slot.
+  SearchResponse other = service.Search(EngineKind::kType, q);
+  EXPECT_FALSE(other.meta.cache_hit);
+}
+
+TEST_F(ServeServiceTest, AnnotateMatchesDirectAnnotator) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  Table table = MakeFigure1Table();
+  AnnotateResponse response = service.Annotate(table);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  TableAnnotator direct(&w_.catalog, &index_);
+  TableAnnotation want = direct.Annotate(table);
+  EXPECT_EQ(response.annotation.column_types, want.column_types);
+  EXPECT_EQ(response.annotation.cell_entities, want.cell_entities);
+  EXPECT_EQ(response.annotation.relations, want.relations);
+}
+
+TEST_F(ServeServiceTest, ExpiredDeadlineIsShedWithoutRunning) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  SearchResponse response = service.Search(
+      EngineKind::kTypeRelation, EinsteinQuery(), Deadline::AfterMillis(0));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST_F(ServeServiceTest, OverloadRejectsFastAndDrainsOnStart) {
+  ServiceOptions options;
+  options.queue_capacity = 2;
+  options.num_workers = 1;
+  WebTabService service(&manager_, options);
+  // Not started: accepted requests sit in the queue, so admission
+  // control is deterministic.
+  auto f1 = service.SubmitSearch(EngineKind::kTypeRelation,
+                                 EinsteinQuery());
+  auto f2 = service.SubmitSearch(EngineKind::kType, EinsteinQuery());
+  auto f3 = service.SubmitSearch(EngineKind::kBaseline, EinsteinQuery());
+  // Third rejected immediately, without a worker.
+  SearchResponse rejected = f3.get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().rejected_overload, 1u);
+
+  service.Start();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+  EXPECT_EQ(service.stats().accepted, 2u);
+}
+
+TEST_F(ServeServiceTest, StopDrainsAcceptedWorkAndRejectsAfter) {
+  WebTabService service(&manager_, ServiceOptions());
+  auto f1 = service.SubmitAnnotate(MakeFigure1Table());
+  service.Start();
+  service.Stop();
+  EXPECT_TRUE(f1.get().status.ok());  // Accepted before stop: completed.
+  SearchResponse late =
+      service.Search(EngineKind::kTypeRelation, EinsteinQuery());
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(ServeServiceNoSnapshotTest, FailsPreconditionWithoutSnapshot) {
+  SnapshotManager manager;
+  WebTabService service(&manager, ServiceOptions());
+  service.Start();
+  SearchResponse response =
+      service.Search(EngineKind::kTypeRelation, SelectQuery());
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeServiceTest, FailedSwapKeepsServing) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  Status swap = service.SwapSnapshot("/nonexistent/path.snap");
+  EXPECT_FALSE(swap.ok());
+  EXPECT_EQ(service.stats().swaps, 0u);
+  SearchResponse response =
+      service.Search(EngineKind::kTypeRelation, EinsteinQuery());
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.meta.snapshot_version, 1u);  // Old generation.
+}
+
+TEST_F(ServeServiceTest, JoinQueriesServed) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  // Books by the author of B95 (joins through the author variable).
+  JoinQuery jq;
+  jq.r1 = w_.author;
+  jq.e1_is_subject = true;   // R1(book, person): books of e2.
+  jq.r2 = w_.author;
+  jq.e2_is_subject = false;  // R2(E3=b95, e2): ground e2 as b95's author.
+  jq.e3 = w_.b95;
+  SearchResponse response = service.SearchJoin(jq);
+  ASSERT_TRUE(response.status.ok());
+  ExpectSameResults(response.results, JoinSearch(corpus_, jq));
+  ASSERT_FALSE(response.results.empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace webtab

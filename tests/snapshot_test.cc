@@ -5,7 +5,9 @@
 // must be rejected at open.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,6 +16,7 @@
 #include "catalog/catalog_io.h"
 #include "catalog/closure.h"
 #include "index/lemma_index.h"
+#include "storage/format.h"
 #include "storage/snapshot.h"
 #include "storage/snapshot_writer.h"
 #include "test_world.h"
@@ -330,6 +333,255 @@ TEST_F(SnapshotRejectionTest, ChecksumVerifyCanBeSkipped) {
   Result<Snapshot> result = Snapshot::Open(path, options);
   EXPECT_TRUE(result.ok());
   std::remove(path.c_str());
+}
+
+// --- Hostile-file (OpenValidated) tests -----------------------------------
+//
+// A hostile snapshot is not corrupted in transit — the checksum is
+// valid — but encodes data that violates invariants the accessors rely
+// on. Plain Open accepts such files; OpenValidated must reject them.
+
+/// Reads a POD header out of a byte buffer.
+template <typename T>
+T ReadPod(const std::vector<uint8_t>& bytes, uint64_t offset) {
+  T out;
+  std::memcpy(&out, bytes.data() + offset, sizeof(T));
+  return out;
+}
+
+/// Absolute offset of the first section of `kind`; 0 when absent.
+uint64_t SectionOffsetOf(const std::vector<uint8_t>& bytes, uint32_t kind) {
+  auto header = ReadPod<storage::FileHeader>(bytes, 0);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    auto entry = ReadPod<storage::SectionEntry>(
+        bytes, header.section_table_offset +
+                   i * sizeof(storage::SectionEntry));
+    if (entry.kind == kind) return entry.offset;
+  }
+  return 0;
+}
+
+/// Recomputes the payload checksum after a surgical mutation, so the
+/// file models an attacker-authored snapshot rather than bit rot.
+void FixChecksum(std::vector<uint8_t>* bytes) {
+  const uint64_t payload = sizeof(storage::FileHeader);
+  uint64_t checksum = storage::Checksum64(bytes->data() + payload,
+                                          bytes->size() - payload);
+  std::memcpy(bytes->data() + offsetof(storage::FileHeader,
+                                       payload_checksum),
+              &checksum, sizeof(checksum));
+}
+
+class SnapshotHostileTest : public ::testing::Test {
+ protected:
+  SnapshotHostileTest() : index_(&SharedWorld().catalog) {
+    SnapshotBuilder builder;
+    builder.SetCatalog(&SharedWorld().catalog).SetLemmaIndex(&index_);
+    WEBTAB_CHECK_OK(builder.WriteTo(&bytes_));
+  }
+
+  /// Writes `bytes`, opens it both ways, and asserts the hostile gap:
+  /// plain Open accepts, OpenValidated rejects mentioning `what`.
+  void ExpectValidatedRejects(const std::string& name,
+                              const std::vector<uint8_t>& bytes,
+                              const std::string& what) {
+    std::string path = TempPath(name);
+    WriteBytes(path, bytes);
+    EXPECT_TRUE(Snapshot::Open(path).ok())
+        << "mutation should pass plain open";
+    Result<Snapshot> validated = Snapshot::OpenValidated(path);
+    ASSERT_FALSE(validated.ok());
+    EXPECT_EQ(validated.status().code(), StatusCode::kParseError);
+    EXPECT_NE(validated.status().message().find(what), std::string::npos)
+        << validated.status().ToString();
+    std::remove(path.c_str());
+  }
+
+  LemmaIndex index_;
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotHostileTest, OpenValidatedAcceptsIntactFile) {
+  std::string path = TempPath("valid_intact.bin");
+  WriteBytes(path, bytes_);
+  Result<Snapshot> snap = Snapshot::OpenValidated(path);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotHostileTest, RejectsUnsortedNameIndex) {
+  // Swap the first two entries of the sorted-by-name type index; the
+  // binary-searched FindTypeByName would silently misanswer.
+  std::vector<uint8_t> hostile = bytes_;
+  uint64_t section = SectionOffsetOf(hostile, storage::kCatalogSection);
+  auto cat = ReadPod<storage::CatalogHeader>(hostile, section);
+  ASSERT_GE(cat.types_by_name.count, 2u);
+  uint64_t array = section + cat.types_by_name.offset;
+  int32_t a = ReadPod<int32_t>(hostile, array);
+  int32_t b = ReadPod<int32_t>(hostile, array + sizeof(int32_t));
+  ASSERT_NE(SharedWorld().catalog.TypeName(a),
+            SharedWorld().catalog.TypeName(b));
+  std::memcpy(hostile.data() + array, &b, sizeof(b));
+  std::memcpy(hostile.data() + array + sizeof(int32_t), &a, sizeof(a));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("unsorted_names.bin", hostile, "unsorted");
+}
+
+TEST_F(SnapshotHostileTest, RejectsLemmaOrdinalOutOfRange) {
+  // A posting whose lemma_ord points past its entity's lemma list would
+  // read a neighboring entity's lemma bytes (or past the arena row) when
+  // features fetch the matched lemma.
+  std::vector<uint8_t> hostile = bytes_;
+  uint64_t section = SectionOffsetOf(hostile, storage::kLemmaIndexSection);
+  ASSERT_NE(section, 0u);
+  auto lemma = ReadPod<storage::LemmaIndexHeader>(hostile, section);
+  ASSERT_GE(lemma.entity_postings.values.count, 1u);
+  uint64_t posting = section + lemma.entity_postings.values.offset;
+  int32_t huge = 1 << 20;
+  std::memcpy(hostile.data() + posting + offsetof(LemmaPosting, lemma_ord),
+              &huge, sizeof(huge));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("bad_lemma_ord.bin", hostile, "ordinal");
+}
+
+TEST_F(SnapshotHostileTest, RejectsUnmirroredParentEdge) {
+  // Replace a type's first parent edge with a self-loop. Ranges stay
+  // valid (plain Open accepts) but the children rows no longer mirror
+  // the parent rows.
+  std::vector<uint8_t> hostile = bytes_;
+  uint64_t section = SectionOffsetOf(hostile, storage::kCatalogSection);
+  auto cat = ReadPod<storage::CatalogHeader>(hostile, section);
+  // Find the first type with a parent via the CSR row ends.
+  uint64_t ends = section + cat.type_parents.row_ends.offset;
+  int32_t victim = -1;
+  uint64_t prev = 0;
+  for (int32_t t = 0; t < cat.num_types; ++t) {
+    uint64_t end = ReadPod<uint64_t>(hostile, ends + t * sizeof(uint64_t));
+    if (end > prev) {
+      victim = t;
+      break;
+    }
+    prev = end;
+  }
+  ASSERT_NE(victim, -1);
+  uint64_t values = section + cat.type_parents.values.offset;
+  std::memcpy(hostile.data() + values + prev * sizeof(int32_t), &victim,
+              sizeof(victim));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("self_parent.bin", hostile, "mirror");
+}
+
+/// A catalog view reporting a consistent (mirrored) type cycle:
+/// parents(root) = [accomplice] on top of the base's accomplice->root
+/// edge. Serialized through SnapshotBuilder it yields a checksum-valid
+/// snapshot whose type graph is not a DAG.
+class CycledCatalog : public CatalogView {
+ public:
+  explicit CycledCatalog(const CatalogView* base) : base_(base) {
+    accomplice_ = base->TypeChildren(base->root_type()).front();
+    fake_root_parents_ = {accomplice_};
+    auto kids = base->TypeChildren(accomplice_);
+    fake_accomplice_children_.assign(kids.begin(), kids.end());
+    fake_accomplice_children_.push_back(base->root_type());
+  }
+
+  int32_t num_types() const override { return base_->num_types(); }
+  int32_t num_entities() const override { return base_->num_entities(); }
+  int32_t num_relations() const override { return base_->num_relations(); }
+  int64_t num_tuples() const override { return base_->num_tuples(); }
+  TypeId root_type() const override { return base_->root_type(); }
+  std::string_view TypeName(TypeId t) const override {
+    return base_->TypeName(t);
+  }
+  int32_t NumTypeLemmas(TypeId t) const override {
+    return base_->NumTypeLemmas(t);
+  }
+  std::string_view TypeLemma(TypeId t, int32_t i) const override {
+    return base_->TypeLemma(t, i);
+  }
+  std::span<const TypeId> TypeParents(TypeId t) const override {
+    if (t == base_->root_type()) return fake_root_parents_;
+    return base_->TypeParents(t);
+  }
+  std::span<const TypeId> TypeChildren(TypeId t) const override {
+    if (t == accomplice_) return fake_accomplice_children_;
+    return base_->TypeChildren(t);
+  }
+  std::span<const EntityId> TypeDirectEntities(TypeId t) const override {
+    return base_->TypeDirectEntities(t);
+  }
+  std::string_view EntityName(EntityId e) const override {
+    return base_->EntityName(e);
+  }
+  int32_t NumEntityLemmas(EntityId e) const override {
+    return base_->NumEntityLemmas(e);
+  }
+  std::string_view EntityLemma(EntityId e, int32_t i) const override {
+    return base_->EntityLemma(e, i);
+  }
+  std::span<const TypeId> EntityDirectTypes(EntityId e) const override {
+    return base_->EntityDirectTypes(e);
+  }
+  std::string_view RelationName(RelationId b) const override {
+    return base_->RelationName(b);
+  }
+  TypeId RelationSubjectType(RelationId b) const override {
+    return base_->RelationSubjectType(b);
+  }
+  TypeId RelationObjectType(RelationId b) const override {
+    return base_->RelationObjectType(b);
+  }
+  RelationCardinality RelationCardinalityOf(RelationId b) const override {
+    return base_->RelationCardinalityOf(b);
+  }
+  std::span<const EntityPair> RelationTuples(RelationId b) const override {
+    return base_->RelationTuples(b);
+  }
+  int64_t DistinctSubjects(RelationId b) const override {
+    return base_->DistinctSubjects(b);
+  }
+  int64_t DistinctObjects(RelationId b) const override {
+    return base_->DistinctObjects(b);
+  }
+  TypeId FindTypeByName(std::string_view name) const override {
+    return base_->FindTypeByName(name);
+  }
+  EntityId FindEntityByName(std::string_view name) const override {
+    return base_->FindEntityByName(name);
+  }
+  RelationId FindRelationByName(std::string_view name) const override {
+    return base_->FindRelationByName(name);
+  }
+  bool HasTuple(RelationId b, EntityId e1, EntityId e2) const override {
+    return base_->HasTuple(b, e1, e2);
+  }
+  std::span<const EntityId> ObjectsOf(RelationId b,
+                                      EntityId e1) const override {
+    return base_->ObjectsOf(b, e1);
+  }
+  std::span<const EntityId> SubjectsOf(RelationId b,
+                                       EntityId e2) const override {
+    return base_->SubjectsOf(b, e2);
+  }
+  std::vector<std::pair<RelationId, bool>> RelationsBetween(
+      EntityId e1, EntityId e2) const override {
+    return base_->RelationsBetween(e1, e2);
+  }
+
+ private:
+  const CatalogView* base_;
+  TypeId accomplice_;
+  std::vector<TypeId> fake_root_parents_;
+  std::vector<TypeId> fake_accomplice_children_;
+};
+
+TEST_F(SnapshotHostileTest, RejectsTypeCycle) {
+  CycledCatalog cycled(&SharedWorld().catalog);
+  SnapshotBuilder builder;
+  builder.SetCatalog(&cycled);
+  std::vector<uint8_t> hostile;
+  WEBTAB_CHECK_OK(builder.WriteTo(&hostile));
+  ExpectValidatedRejects("type_cycle.bin", hostile, "cycle");
 }
 
 }  // namespace

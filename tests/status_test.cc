@@ -30,11 +30,17 @@ TEST(StatusTest, AllFactoryFunctionsSetDistinctCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusCodeNameTest, NamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "Ok");
   EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,313 @@
+// serve_tool: the online serving entry point. Loads a snapshot (hardened
+// OpenValidated by default — a hostile file is a refused swap, not a
+// dead server) and answers the JSON-lines protocol over stdin or TCP.
+//
+//   serve_tool --snapshot world.snap                     # stdin/stdout
+//   serve_tool --snapshot world.snap --port 7870         # TCP, line per
+//                                                        # request
+//   serve_tool --synth-tables 50 --snapshot /tmp/w.snap  # build demo
+//                                                        # snapshot first
+//
+// Protocol (one JSON object per line; see src/serve/README.md):
+//   {"op":"search","engine":"type_relation","relation":"directed",
+//    "type1":"movie","type2":"director","e2":"<name>","k":5}
+//   {"op":"join","r1":"acted_in","r2":"directed","e3":"<name>", ...}
+//   {"op":"annotate","table":{"headers":[...],"rows":[[...]],...}}
+//   {"op":"swap","path":"new.snap"}    {"op":"stats"}    {"op":"quit"}
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "annotate/corpus_annotator.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "search/corpus_index.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "storage/snapshot_writer.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+namespace webtab {
+namespace {
+
+using serve::ServiceOptions;
+using serve::SnapshotManager;
+using serve::WebTabService;
+using serve::WireRequest;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Builds a demo snapshot (synthetic world + annotated corpus) so the
+/// tool is drivable end-to-end without any external data.
+Status BuildDemoSnapshot(int num_tables, uint64_t seed,
+                         const std::string& path) {
+  World world = GenerateWorld(WorldSpec{.seed = seed});
+  LemmaIndex index(&world.catalog);
+  CorpusSpec spec;
+  spec.seed = seed + 1;
+  spec.num_tables = num_tables;
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  std::vector<AnnotatedTable> annotated = AnnotateCorpusParallel(
+      &world.catalog, &index, CorpusAnnotatorOptions(), tables);
+  ClosureCache closure(&world.catalog);
+  CorpusIndex corpus(std::move(annotated), &closure);
+  storage::SnapshotBuilder builder;
+  builder.SetCatalog(&world.catalog).SetLemmaIndex(&index).SetCorpus(
+      &corpus);
+  return builder.WriteToFile(path);
+}
+
+/// Handles one request line; returns false when the connection should
+/// close (quit).
+bool HandleLine(WebTabService* service, const std::string& line,
+                std::string* out) {
+  Result<WireRequest> parsed = serve::ParseWireRequest(line);
+  if (!parsed.ok()) {
+    *out = serve::RenderErrorResponse(parsed.status());
+    return true;
+  }
+  const WireRequest& request = *parsed;
+  Deadline deadline = request.deadline_ms > 0
+                          ? Deadline::AfterMillis(request.deadline_ms)
+                          : Deadline();
+
+  // Pin a generation for name resolution and rendering. Ids are only
+  // meaningful within one generation, so if a hot-swap lands between
+  // resolution and execution (the answering version differs from the
+  // resolving one), re-resolve against the newer generation and retry —
+  // ids must never cross generations, where they could alias different
+  // objects. Bounded attempts: swaps are rare, requests are short.
+  serve::SnapshotManager::Handle handle = service->manager()->Current();
+  const CatalogView* catalog =
+      handle.snapshot != nullptr ? &handle.snapshot->catalog() : nullptr;
+
+  switch (request.op) {
+    case WireRequest::Op::kQuit:
+      *out = "{\"ok\":true,\"bye\":true}";
+      return false;
+    case WireRequest::Op::kStats:
+      *out = serve::RenderStatsResponse(
+          service->stats(), handle.version,
+          handle.snapshot != nullptr ? handle.snapshot->path() : "");
+      return true;
+    case WireRequest::Op::kSwap: {
+      Status status = service->SwapSnapshot(request.path);
+      *out = status.ok() ? serve::RenderSwapResponse(
+                               service->manager()->current_version())
+                         : serve::RenderErrorResponse(status);
+      return true;
+    }
+    case WireRequest::Op::kSearch:
+    case WireRequest::Op::kJoin: {
+      if (catalog == nullptr) {
+        *out = serve::RenderErrorResponse(
+            Status::FailedPrecondition("no snapshot loaded"));
+        return true;
+      }
+      serve::SearchResponse response;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        response =
+            request.op == WireRequest::Op::kSearch
+                ? service->Search(
+                      request.engine,
+                      serve::ResolveSelectQuery(request.select, *catalog),
+                      deadline)
+                : service->SearchJoin(
+                      serve::ResolveJoinQuery(request.join, *catalog),
+                      deadline);
+        if (!response.status.ok() ||
+            response.meta.snapshot_version == handle.version) {
+          break;  // Same generation resolved and answered (or hard error).
+        }
+        handle = service->manager()->Current();
+        catalog = &handle.snapshot->catalog();
+      }
+      *out = serve::RenderSearchResponse(response, catalog, request.top_k);
+      return true;
+    }
+    case WireRequest::Op::kAnnotate: {
+      Result<Table> table = serve::WireToTable(request.table);
+      if (!table.ok()) {
+        *out = serve::RenderErrorResponse(table.status());
+        return true;
+      }
+      // Annotation carries no catalog ids inward; only rendering needs a
+      // catalog, which must be the generation that answered (its ids are
+      // what the annotation holds).
+      serve::AnnotateResponse response =
+          service->Annotate(*table, deadline);
+      if (response.status.ok() &&
+          response.meta.snapshot_version != handle.version) {
+        handle = service->manager()->Current();
+        catalog = (handle.snapshot != nullptr &&
+                   handle.version == response.meta.snapshot_version)
+                      ? &handle.snapshot->catalog()
+                      : nullptr;  // Rare double-swap: render ids as null.
+      }
+      *out = serve::RenderAnnotateResponse(response, catalog);
+      return true;
+    }
+  }
+  *out = serve::RenderErrorResponse(Status::Internal("unhandled op"));
+  return true;
+}
+
+void ServeStdin(WebTabService* service) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::string out;
+    bool keep_going = HandleLine(service, line, &out);
+    std::cout << out << "\n" << std::flush;
+    if (!keep_going) break;
+  }
+}
+
+/// One connection: newline-delimited requests, newline-delimited
+/// responses.
+void ServeConnection(WebTabService* service, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      std::string out;
+      open = HandleLine(service, line, &out);
+      out += '\n';
+      if (::send(fd, out.data(), out.size(), MSG_NOSIGNAL) < 0) {
+        open = false;
+      }
+      if (!open) break;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+int ServeTcp(WebTabService* service, int port) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Fail(Status::IoError("socket() failed"));
+  int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listener);
+    return Fail(Status::IoError("bind() failed on port " +
+                                std::to_string(port)));
+  }
+  if (::listen(listener, 64) != 0) {
+    ::close(listener);
+    return Fail(Status::IoError("listen() failed"));
+  }
+  std::fprintf(stderr, "serving on 127.0.0.1:%d (one JSON request per line)\n",
+               port);
+  std::vector<std::thread> connections;
+  while (true) {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    connections.emplace_back(ServeConnection, service, fd);
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listener);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  std::string snapshot_path;
+  int64_t port = 0, workers = 4, queue_cap = 256, deadline_ms = 0;
+  int64_t cache_cap = 1024, synth_tables = 0, seed = 42;
+  bool no_validate = false, no_precompute = false;
+  FlagSet flags;
+  flags.AddString("snapshot", &snapshot_path, "snapshot file to serve");
+  flags.AddInt("port", &port, "TCP port (0 = stdin/stdout)");
+  flags.AddInt("workers", &workers, "worker threads");
+  flags.AddInt("queue-cap", &queue_cap, "bounded request queue capacity");
+  flags.AddInt("deadline-ms", &deadline_ms,
+               "default per-request deadline (0 = none)");
+  flags.AddInt("cache-cap", &cache_cap, "result cache entries (0 = off)");
+  flags.AddInt("synth-tables", &synth_tables,
+               "build a demo snapshot with N annotated tables first");
+  flags.AddInt("seed", &seed, "demo snapshot seed");
+  flags.AddBool("no-validate", &no_validate,
+                "open snapshots with plain Open instead of OpenValidated");
+  flags.AddBool("no-precompute", &no_precompute,
+                "skip type-closure precompute at load");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "usage: serve_tool --snapshot world.snap "
+                         "[--port P] [--workers W]\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (synth_tables > 0) {
+    std::fprintf(stderr, "building demo snapshot %s (%lld tables)...\n",
+                 snapshot_path.c_str(),
+                 static_cast<long long>(synth_tables));
+    Status built = BuildDemoSnapshot(static_cast<int>(synth_tables),
+                                     static_cast<uint64_t>(seed),
+                                     snapshot_path);
+    if (!built.ok()) return Fail(built);
+  }
+
+  serve::ServingSnapshotOptions snapshot_options;
+  snapshot_options.validated_open = !no_validate;
+  snapshot_options.precompute_closures = !no_precompute;
+  SnapshotManager manager(snapshot_options);
+  Result<uint64_t> loaded = manager.Load(snapshot_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  ServiceOptions options;
+  options.num_workers = static_cast<int>(workers);
+  options.queue_capacity = static_cast<int>(queue_cap);
+  options.default_deadline_ms = deadline_ms;
+  options.result_cache_capacity = static_cast<int>(cache_cap);
+  WebTabService service(&manager, options);
+  service.Start();
+
+  std::fprintf(stderr,
+               "loaded %s (version %llu), %lld workers, queue %lld\n",
+               snapshot_path.c_str(),
+               static_cast<unsigned long long>(*loaded),
+               static_cast<long long>(workers),
+               static_cast<long long>(queue_cap));
+
+  int rc = port > 0 ? ServeTcp(&service, static_cast<int>(port))
+                    : (ServeStdin(&service), 0);
+  service.Stop();
+  return rc;
+}
+
+}  // namespace
+}  // namespace webtab
+
+int main(int argc, char** argv) { return webtab::Run(argc, argv); }
