@@ -1,0 +1,223 @@
+// Candidate-pipeline benchmark: per-table candidate-generation time
+// (retired per-cell reference prober vs the column-major batched
+// pipeline) and F1-scoring time (direct similarity calls vs the
+// memoizing SimilarityScratch) on a repeated-value synthetic corpus —
+// the countries/clubs regime where web tables repeat cell strings
+// heavily. Emits BENCH_candidates.json with before/after numbers and
+// CHECKs the ≥2x candidate-generation acceptance bar plus bit-identical
+// outputs between the compared paths.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "index/candidates.h"
+#include "index/lemma_index.h"
+#include "model/features.h"
+#include "reference_candidates.h"
+#include "synth/corpus_generator.h"
+#include "synth/world_generator.h"
+
+using namespace webtab;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Re-emits `source` with `rows` rows cycled from a small distinct pool,
+/// reproducing the repeated-value profile of web tables (countries,
+/// clubs, languages): many rows, few distinct strings per column.
+Table RepeatRows(const Table& source, int rows, int distinct_pool) {
+  Table out(rows, source.cols());
+  const int distinct =
+      std::max(1, std::min(source.rows(), distinct_pool));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < source.cols(); ++c) {
+      out.set_cell(r, c, source.cell(r % distinct, c));
+    }
+  }
+  if (source.has_headers()) {
+    for (int c = 0; c < source.cols(); ++c) {
+      out.set_header(c, source.header(c));
+    }
+  }
+  out.set_context(source.context());
+  return out;
+}
+
+void CheckSameCandidates(const TableCandidates& a,
+                         const TableCandidates& b) {
+  WEBTAB_CHECK(a.cells == b.cells) << "cell candidates diverged";
+  WEBTAB_CHECK(a.column_types == b.column_types) << "types diverged";
+  WEBTAB_CHECK(a.relations == b.relations) << "relations diverged";
+}
+
+/// Sum of Phi1 over every (cell, candidate entity) pair — the F1 hot
+/// loop of graph materialization, summed so the work cannot be elided
+/// and the two configurations can be checked for bit-equality.
+double ScoreAllF1(const std::vector<Table>& tables,
+                  const std::vector<TableCandidates>& candidates,
+                  FeatureComputer* features, const Weights& weights) {
+  double sum = 0.0;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const Table& table = tables[i];
+    for (int r = 0; r < table.rows(); ++r) {
+      for (int c = 0; c < table.cols(); ++c) {
+        for (const LemmaHit& hit : candidates[i].cells[r][c]) {
+          sum += features->Phi1Log(weights, table.cell(r, c), hit.id);
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t seed = 42;
+  int64_t num_tables = 40;
+  int64_t rows = 50;
+  int64_t distinct_pool = 6;
+  int64_t reps = 5;
+  std::string out = "BENCH_candidates.json";
+  FlagSet flags;
+  flags.AddInt("seed", &seed, "world seed");
+  flags.AddInt("tables", &num_tables, "number of tables");
+  flags.AddInt("rows", &rows, "rows per repeated-value table");
+  flags.AddInt("distinct_pool", &distinct_pool,
+               "distinct source rows cycled per table");
+  flags.AddInt("reps", &reps, "timing repetitions");
+  flags.AddString("out", &out, "JSON output path (empty = stdout only)");
+  WEBTAB_CHECK_OK(flags.Parse(argc, argv));
+
+  WorldSpec wspec;
+  wspec.seed = static_cast<uint64_t>(seed);
+  World world = GenerateWorld(wspec);
+  LemmaIndex index(&world.catalog);
+  ClosureCache closure(&world.catalog);
+  CandidateOptions options;
+
+  CorpusSpec spec;
+  spec.seed = static_cast<uint64_t>(seed) + 11;
+  spec.num_tables = static_cast<int>(num_tables);
+  spec.min_rows = 8;
+  spec.max_rows = 16;
+  spec.join_table_prob = 0.5;
+  spec.numeric_col_prob = 0.2;
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(RepeatRows(lt.table, static_cast<int>(rows),
+                                static_cast<int>(distinct_pool)));
+  }
+  int64_t total_cells = 0;
+  for (const Table& t : tables) total_cells += t.rows() * t.cols();
+
+  // --- Candidate generation: per-cell reference vs batched pipeline.
+  // One warm-up pass apiece fills the shared closure cache and sizes the
+  // workspace, so the timed reps compare steady states.
+  CandidateWorkspace workspace;
+  std::vector<TableCandidates> batched(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    TableCandidates reference = testing_util::ReferenceGenerateCandidates(
+        tables[i], index, &closure, options);
+    batched[i] =
+        GenerateCandidates(tables[i], index, &closure, options, &workspace);
+    CheckSameCandidates(reference, batched[i]);
+  }
+
+  WallTimer timer;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    for (const Table& table : tables) {
+      testing_util::ReferenceGenerateCandidates(table, index, &closure,
+                                                options);
+    }
+  }
+  const double per_cell_ms =
+      timer.ElapsedMillis() / static_cast<double>(reps * tables.size());
+
+  timer.Restart();
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    for (const Table& table : tables) {
+      GenerateCandidates(table, index, &closure, options, &workspace);
+    }
+  }
+  const double batched_ms =
+      timer.ElapsedMillis() / static_cast<double>(reps * tables.size());
+  const double candidate_speedup =
+      batched_ms > 0 ? per_cell_ms / batched_ms : 0.0;
+
+  // --- F1 scoring: direct similarity calls vs SimilarityScratch.
+  // Fresh computers per configuration; scratch-off reps pay full cost
+  // every pass, scratch-on reps run at steady state after the first
+  // (warm-up) pass — the profile annotation and training actually see.
+  FeatureOptions no_scratch;
+  no_scratch.use_similarity_scratch = false;
+  FeatureComputer plain(&closure, index.vocabulary(), no_scratch);
+  FeatureComputer memoized(&closure, index.vocabulary());
+  const Weights weights = Weights::Default();
+
+  const double plain_sum = ScoreAllF1(tables, batched, &plain, weights);
+  timer.Restart();
+  double check = 0.0;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    check = ScoreAllF1(tables, batched, &plain, weights);
+  }
+  const double f1_plain_ms =
+      timer.ElapsedMillis() / static_cast<double>(reps * tables.size());
+  WEBTAB_CHECK(check == plain_sum) << "unmemoized F1 scoring unstable";
+
+  const double scratch_sum = ScoreAllF1(tables, batched, &memoized, weights);
+  timer.Restart();
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    check = ScoreAllF1(tables, batched, &memoized, weights);
+  }
+  const double f1_scratch_ms =
+      timer.ElapsedMillis() / static_cast<double>(reps * tables.size());
+  const double f1_speedup =
+      f1_scratch_ms > 0 ? f1_plain_ms / f1_scratch_ms : 0.0;
+  WEBTAB_CHECK(scratch_sum == plain_sum && check == plain_sum)
+      << "similarity scratch changed F1 scores";
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"candidates\",\n"
+      "  \"tables\": %d,\n"
+      "  \"rows_per_table\": %d,\n"
+      "  \"distinct_pool\": %d,\n"
+      "  \"total_cells\": %lld,\n"
+      "  \"candidate_generation\": {\n"
+      "    \"per_cell_ms_per_table\": %.4f,\n"
+      "    \"batched_ms_per_table\": %.4f,\n"
+      "    \"speedup\": %.2f\n"
+      "  },\n"
+      "  \"f1_scoring\": {\n"
+      "    \"unmemoized_ms_per_table\": %.4f,\n"
+      "    \"scratch_ms_per_table\": %.4f,\n"
+      "    \"speedup\": %.2f\n"
+      "  }\n"
+      "}\n",
+      static_cast<int>(tables.size()), static_cast<int>(rows),
+      static_cast<int>(distinct_pool),
+      static_cast<long long>(total_cells), per_cell_ms, batched_ms,
+      candidate_speedup, f1_plain_ms, f1_scratch_ms, f1_speedup);
+
+  std::cout << buf;
+  if (!out.empty()) {
+    std::ofstream f(out);
+    f << buf;
+    std::cout << "wrote " << out << "\n";
+  }
+
+  // Acceptance: the batched pipeline must at least halve candidate
+  // generation time in the repeated-value regime.
+  WEBTAB_CHECK(candidate_speedup >= 2.0)
+      << "candidate generation speedup " << candidate_speedup << " < 2x";
+  return 0;
+}

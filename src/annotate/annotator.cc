@@ -36,8 +36,9 @@ TableAnnotation TableAnnotator::AnnotateWithCandidates(
   WallTimer total;
   WallTimer stage;
 
-  *candidates_out =
-      GenerateCandidates(table, *index_, &closure_, options_.candidates);
+  *candidates_out = GenerateCandidates(table, *index_, &closure_,
+                                       options_.candidates,
+                                       &candidate_workspace_);
   double candidate_seconds = stage.ElapsedSeconds();
 
   stage.Restart();

@@ -92,6 +92,10 @@ class TableAnnotator {
   FeatureComputer features_;
   /// Reused across tables so steady-state BP performs no allocations.
   BpWorkspace bp_workspace_;
+  /// Column-probe batch + candidate scratch, reused across tables like
+  /// the BP workspace (and, through the annotator, across serving
+  /// requests and corpus-annotation work items).
+  CandidateWorkspace candidate_workspace_;
 };
 
 }  // namespace webtab

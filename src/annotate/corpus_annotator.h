@@ -46,11 +46,11 @@ struct CorpusAnnotatorOptions {
   /// Worker threads; <= 1 annotates inline on the calling thread.
   /// Tables are independent (§6.1.2 annotates a 250k-table stream), so
   /// each worker owns a private TableAnnotator (closure + feature
-  /// caches, BP workspace) and a private Vocabulary copy — similarity
-  /// probes intern query tokens, so sharing the index's vocabulary
-  /// across threads would race. The shared Catalog and LemmaIndex are
-  /// only read. Output order and annotations are identical regardless
-  /// of thread count.
+  /// caches, similarity scratch, BP + column-probe workspaces) and a
+  /// private Vocabulary copy — similarity probes intern query tokens,
+  /// so sharing the index's vocabulary across threads would race. The
+  /// shared Catalog and LemmaIndex are only read. Output order and
+  /// annotations are identical regardless of thread count.
   int num_threads = 1;
 };
 

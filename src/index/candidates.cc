@@ -1,9 +1,11 @@
 #include "index/candidates.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
-#include <string_view>
 #include <unordered_map>
+
+#include "common/logging.h"
 
 namespace webtab {
 
@@ -18,60 +20,91 @@ struct TypeScore {
   double specificity;
 };
 
+/// The flag used to toggle per-cell probe memoization; the batch probe
+/// dedupes structurally, so a caller turning it off gets the same
+/// (deduped) results. Logged once per process so old configs keep
+/// working without silent surprises.
+void WarnMemoizeDeprecatedOnce() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    WEBTAB_LOG(Warning)
+        << "CandidateOptions::memoize_cell_probes is deprecated and "
+           "ignored: the column-major batch probe dedupes repeated cell "
+           "strings unconditionally";
+  }
+}
+
+/// Dense distinct-pair multiplicity counting is quadratic in distinct
+/// cells; past this bound fall back to a hash map (huge tables only).
+constexpr int64_t kDensePairLimit = int64_t{1} << 20;
+
 }  // namespace
 
 TableCandidates GenerateCandidates(const Table& table,
                                    const LemmaIndexView& index,
                                    ClosureCache* closure,
-                                   const CandidateOptions& options) {
+                                   const CandidateOptions& options,
+                                   CandidateWorkspace* workspace) {
+  CandidateWorkspace transient;
+  CandidateWorkspace* ws = workspace != nullptr ? workspace : &transient;
+  if (!options.memoize_cell_probes) WarnMemoizeDeprecatedOnce();
+
   TableCandidates out;
   out.cells.assign(table.rows(),
                    std::vector<std::vector<LemmaHit>>(table.cols()));
   out.column_types.assign(table.cols(), {});
 
-  // --- Entity candidates per cell (index probe, §4.3). ---
-  // The probe + TF-IDF scoring is a pure function of the cell text, and
-  // web tables repeat values heavily (countries, clubs, languages), so
-  // memoize per distinct cell string across the table. Keys view the
-  // table's own cell storage, which outlives the cache.
-  std::unordered_map<std::string_view, std::vector<LemmaHit>> probe_cache;
-  auto probe_cell = [&](const std::string& text) -> std::vector<LemmaHit> {
-    if (options.memoize_cell_probes) {
-      auto it = probe_cache.find(std::string_view(text));
-      if (it != probe_cache.end()) return it->second;
-    }
-    std::vector<LemmaHit> hits =
-        index.ProbeEntities(text, options.max_entities_per_cell);
-    hits.erase(std::remove_if(hits.begin(), hits.end(),
-                              [&](const LemmaHit& h) {
-                                return h.score < options.min_entity_score;
-                              }),
-               hits.end());
-    if (options.memoize_cell_probes) {
-      probe_cache.emplace(std::string_view(text), hits);
-    }
-    return hits;
-  };
+  // --- Entity candidates per cell: one batched probe per column (§4.3).
+  // The batch dedupes repeated cell strings, fetches each distinct
+  // token's postings once, and scores every distinct cell in one sweep;
+  // the distinct structure is retained per column so the type and
+  // relation phases below work over distinct cells instead of rows.
+  ws->columns.resize(table.cols());
   for (int c = 0; c < table.cols(); ++c) {
+    CandidateWorkspace::ColumnDistincts& col = ws->columns[c];
+    col.num_distinct = 0;
+    col.row_distinct.clear();
+    col.row_count.clear();
+    col.first_row.clear();
     bool numeric_column =
         table.NumericFraction(c) > options.numeric_column_threshold;
+    if (numeric_column) {
+      col.row_distinct.assign(table.rows(), -1);
+      continue;
+    }
+    ws->batch.ProbeColumn(table, c, index, options.max_entities_per_cell,
+                          options.min_entity_score);
+    col.num_distinct = ws->batch.num_distinct();
+    col.row_count.assign(col.num_distinct, 0);
+    col.first_row.assign(col.num_distinct, -1);
+    col.row_distinct.resize(table.rows());
     for (int r = 0; r < table.rows(); ++r) {
-      if (numeric_column) continue;
-      out.cells[r][c] = probe_cell(table.cell(r, c));
+      const int d = ws->batch.DistinctOfRow(r);
+      col.row_distinct[r] = d;
+      ++col.row_count[d];
+      if (col.first_row[d] < 0) {
+        col.first_row[d] = r;
+        out.cells[r][c] = ws->batch.Hits(d);
+      } else {
+        out.cells[r][c] = out.cells[col.first_row[d]][c];
+      }
     }
   }
 
-  // --- Type candidates per column: ∪_{E ∈ Erc} T(E), scored. ---
+  // --- Type candidates per column: ∪_{E ∈ Erc} T(E), scored. Support
+  // counts rows, computed once per distinct cell and weighted by its
+  // multiplicity — integer-identical to the per-row accumulation.
   for (int c = 0; c < table.cols(); ++c) {
+    const CandidateWorkspace::ColumnDistincts& col = ws->columns[c];
     std::unordered_map<TypeId, int> support;
-    for (int r = 0; r < table.rows(); ++r) {
+    for (int d = 0; d < col.num_distinct; ++d) {
       std::set<TypeId> cell_types;
-      for (const LemmaHit& hit : out.cells[r][c]) {
+      for (const LemmaHit& hit : out.cells[col.first_row[d]][c]) {
         for (TypeId t : closure->TypeAncestors(hit.id)) {
           cell_types.insert(t);
         }
       }
-      for (TypeId t : cell_types) ++support[t];
+      for (TypeId t : cell_types) support[t] += col.row_count[d];
     }
     std::vector<TypeScore> scored;
     scored.reserve(support.size());
@@ -94,21 +127,62 @@ TableCandidates GenerateCandidates(const Table& table,
     }
   }
 
-  // --- Relation candidates per column pair (catalog tuple probes). ---
+  // --- Relation candidates per column pair (catalog tuple probes).
+  // Votes run over distinct row-pairs weighted by how many rows carry
+  // the pair, so RelationsBetween is probed once per distinct entity
+  // pairing instead of once per row.
   const CatalogView& catalog = closure->catalog();
   for (int c1 = 0; c1 < table.cols(); ++c1) {
+    const CandidateWorkspace::ColumnDistincts& col1 = ws->columns[c1];
+    if (col1.num_distinct == 0) continue;
     for (int c2 = c1 + 1; c2 < table.cols(); ++c2) {
+      const CandidateWorkspace::ColumnDistincts& col2 = ws->columns[c2];
+      if (col2.num_distinct == 0) continue;
+      const int nd2 = col2.num_distinct;
+      const int64_t cells =
+          static_cast<int64_t>(col1.num_distinct) * nd2;
+
       std::map<RelationCandidate, int> votes;
-      for (int r = 0; r < table.rows(); ++r) {
-        for (const LemmaHit& h1 : out.cells[r][c1]) {
-          for (const LemmaHit& h2 : out.cells[r][c2]) {
+      auto vote_pair = [&](int d1, int d2, int multiplicity) {
+        for (const LemmaHit& h1 : out.cells[col1.first_row[d1]][c1]) {
+          for (const LemmaHit& h2 : out.cells[col2.first_row[d2]][c2]) {
             for (const auto& [rel, swapped] :
                  catalog.RelationsBetween(h1.id, h2.id)) {
-              ++votes[RelationCandidate{rel, swapped}];
+              votes[RelationCandidate{rel, swapped}] += multiplicity;
             }
           }
         }
+      };
+      if (cells <= kDensePairLimit) {
+        // The count matrix stays all-zero between pairs (entries are
+        // reset as they are consumed below), so growing it is the only
+        // initialization and each pair costs O(rows + distinct pairs).
+        if (static_cast<int64_t>(ws->pair_count.size()) < cells) {
+          ws->pair_count.resize(cells, 0);
+        }
+        ws->pair_touched.clear();
+        for (int r = 0; r < table.rows(); ++r) {
+          const int32_t key =
+              col1.row_distinct[r] * nd2 + col2.row_distinct[r];
+          if (ws->pair_count[key]++ == 0) ws->pair_touched.push_back(key);
+        }
+        for (const int32_t key : ws->pair_touched) {
+          const int m = ws->pair_count[key];
+          ws->pair_count[key] = 0;
+          vote_pair(key / nd2, key % nd2, m);
+        }
+      } else {
+        std::unordered_map<int64_t, int> sparse_pairs;
+        for (int r = 0; r < table.rows(); ++r) {
+          ++sparse_pairs[static_cast<int64_t>(col1.row_distinct[r]) * nd2 +
+                         col2.row_distinct[r]];
+        }
+        for (const auto& [key, m] : sparse_pairs) {
+          vote_pair(static_cast<int>(key / nd2),
+                    static_cast<int>(key % nd2), m);
+        }
       }
+
       if (votes.empty()) continue;
       std::vector<std::pair<RelationCandidate, int>> ranked(votes.begin(),
                                                             votes.end());

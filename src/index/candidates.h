@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/closure.h"
+#include "index/column_probe.h"
 #include "index/lemma_index.h"
 #include "table/table.h"
 
@@ -22,9 +23,9 @@ struct CandidateOptions {
   /// Columns whose numeric fraction exceeds this get no entity candidates
   /// (the paper annotates non-numeric columns; §6.1.2).
   double numeric_column_threshold = 0.7;
-  /// Reuse probe results for repeated cell strings within a table (web
-  /// tables repeat values heavily: countries, clubs, languages). Probes
-  /// are pure functions of the cell text, so memoization is exact.
+  /// Deprecated: the column-major batch probe dedupes repeated cell
+  /// strings unconditionally (the memoization this flag toggled is now
+  /// structural). The value is ignored; setting it to false logs once.
   bool memoize_cell_probes = true;
 };
 
@@ -41,14 +42,49 @@ struct TableCandidates {
   std::map<std::pair<int, int>, std::vector<RelationCandidate>> relations;
 };
 
-/// Runs the §4.3 candidate generation: index probes per cell, type-space
-/// construction from entity ancestors plus header probes, and relation
-/// discovery from catalog tuples over candidate entity pairs. Works
-/// against any LemmaIndexView backend (in-memory or snapshot).
+/// Reusable scratch for GenerateCandidates: the column probe batch plus
+/// the per-column distinct structure that the type-space and relation
+/// phases consume, and flat vote/support scratch. One per worker
+/// (annotators, trainers and serving workers each own one); reuse across
+/// tables keeps steady-state candidate generation free of per-cell
+/// allocations. A default-constructed instance is ready to use.
+struct CandidateWorkspace {
+  ColumnProbeBatch batch;
+
+  /// Distinct-cell structure of each probed column, retained for the
+  /// type and relation phases. Columns without entity candidates
+  /// (numeric) have num_distinct == 0.
+  struct ColumnDistincts {
+    int num_distinct = 0;
+    std::vector<int> row_distinct;   // Row -> distinct index, or -1.
+    std::vector<int> row_count;      // Distinct -> multiplicity.
+    std::vector<int> first_row;      // Distinct -> first row carrying it.
+  };
+  std::vector<ColumnDistincts> columns;
+
+  /// Relation phase: pair-multiplicity matrix over distinct indices of
+  /// the two columns plus the touched keys, reused across pairs. The
+  /// matrix is kept all-zero between uses so only touched entries are
+  /// ever written or read.
+  std::vector<int> pair_count;
+  std::vector<int32_t> pair_touched;
+};
+
+/// Runs the §4.3 candidate generation as a column-major batched
+/// pipeline: each column's cells are deduped and probed in one
+/// ColumnProbeBatch sweep (each distinct token's postings fetched once),
+/// the type space is scored over distinct cells weighted by multiplicity,
+/// and relation discovery votes over distinct row-pairs. Results are
+/// identical to probing every cell independently (asserted against a
+/// reference per-cell prober in tests/candidate_equivalence_test.cc).
+/// Works against any LemmaIndexView backend (in-memory or snapshot).
+/// `workspace` may be null (a transient one is used); passing a
+/// persistent workspace avoids rebuilding scratch per table.
 TableCandidates GenerateCandidates(const Table& table,
                                    const LemmaIndexView& index,
                                    ClosureCache* closure,
-                                   const CandidateOptions& options);
+                                   const CandidateOptions& options,
+                                   CandidateWorkspace* workspace = nullptr);
 
 }  // namespace webtab
 

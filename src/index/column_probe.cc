@@ -1,0 +1,178 @@
+#include "index/column_probe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+int ColumnProbeBatch::InternToken(const std::string& token,
+                                  const LemmaIndexView& index) {
+  auto [it, inserted] =
+      token_local_.try_emplace(token, static_cast<int>(tokens_.size()));
+  if (!inserted) return it->second;
+
+  // First sighting in this column: one lookup + IDF + postings fetch,
+  // and one slot assignment per posting so scoring never hashes.
+  LocalToken local;
+  ResolvedToken resolved = index.ResolveEntityToken(token);
+  local.idf = resolved.idf;
+  local.postings = resolved.postings;
+  local.slots_begin = slot_of_posting_.size();
+  for (const LemmaPosting& p : resolved.postings) {
+    // Same (id, ord) key layout as the per-cell probe kernel, so the
+    // recovered id/ord (and any truncation of oversized ordinals) match
+    // it exactly.
+    int64_t key = (static_cast<int64_t>(p.id) << 16) |
+                  static_cast<int64_t>(p.lemma_ord & 0xFFFF);
+    auto [sit, fresh] =
+        slot_of_key_.try_emplace(key, static_cast<int32_t>(slot_id_.size()));
+    if (fresh) {
+      slot_id_.push_back(static_cast<int32_t>(key >> 16));
+      slot_ord_.push_back(static_cast<int32_t>(key & 0xFFFF));
+      slot_len_.push_back(p.lemma_len);
+    }
+    slot_of_posting_.push_back(sit->second);
+    posting_len_.push_back(p.lemma_len);
+  }
+  tokens_.push_back(local);
+  return it->second;
+}
+
+void ColumnProbeBatch::ProbeColumn(const Table& table, int c,
+                                   const LemmaIndexView& index, int max_hits,
+                                   double min_score) {
+  num_distinct_ = 0;
+  row_distinct_.clear();
+  distinct_of_text_.clear();
+  cell_tokens_.clear();
+  cell_token_begin_.assign(1, 0);
+  token_local_.clear();
+  tokens_.clear();
+  slot_of_key_.clear();
+  slot_of_posting_.clear();
+  posting_len_.clear();
+  slot_id_.clear();
+  slot_ord_.clear();
+  slot_len_.clear();
+
+  // Pass 1: dedupe cells, tokenize each distinct string once, resolve
+  // each distinct token once.
+  const int rows = table.rows();
+  row_distinct_.reserve(rows);
+  for (int r = 0; r < rows; ++r) {
+    const std::string& text = table.cell(r, c);
+    auto [it, inserted] =
+        distinct_of_text_.try_emplace(std::string_view(text), num_distinct_);
+    if (inserted) {
+      ++num_distinct_;
+      for (const std::string& token : Tokenize(text)) {
+        cell_tokens_.push_back(InternToken(token, index));
+      }
+      cell_token_begin_.push_back(cell_tokens_.size());
+    }
+    row_distinct_.push_back(it->second);
+  }
+
+  // Grow the stamped scratch to cover this column's slots and objects.
+  // Epochs only increase, so stale stamps from earlier columns can never
+  // collide with a fresh epoch.
+  if (acc_.size() < slot_id_.size()) {
+    acc_.resize(slot_id_.size(), 0.0);
+    stamp_.resize(slot_id_.size(), 0);
+  }
+  int32_t max_object = -1;
+  for (int32_t id : slot_id_) max_object = std::max(max_object, id);
+  if (static_cast<int64_t>(object_stamp_.size()) <= max_object) {
+    object_stamp_.resize(max_object + 1, 0);
+    object_best_.resize(max_object + 1, 0);
+  }
+
+  // Pass 2: score each distinct cell in one sweep.
+  if (static_cast<int>(hits_.size()) < num_distinct_) {
+    hits_.resize(num_distinct_);
+  }
+  for (int d = 0; d < num_distinct_; ++d) {
+    ScoreDistinct(d, max_hits, min_score);
+  }
+}
+
+void ColumnProbeBatch::ScoreDistinct(int d, int max_hits, double min_score) {
+  std::vector<LemmaHit>& out = hits_[d];
+  out.clear();
+  const size_t begin = cell_token_begin_[d];
+  const size_t end = cell_token_begin_[d + 1];
+  const size_t ntokens = end - begin;
+  if (ntokens == 0 || max_hits <= 0) return;
+
+  // Accumulate the IDF-weighted overlap per lemma slot, visiting token
+  // occurrences and postings in exactly the order the per-cell kernel
+  // does, so every floating-point sum is bit-identical. slot_len_ is
+  // refreshed per visit to mirror the kernel's last-write-wins map.
+  double query_norm_sq = 0.0;
+  ++epoch_;
+  touched_.clear();
+  for (size_t i = begin; i < end; ++i) {
+    const LocalToken& tok = tokens_[cell_tokens_[i]];
+    const double idf = tok.idf;
+    query_norm_sq += idf * idf;
+    const size_t n = tok.postings.size();
+    for (size_t j = 0; j < n; ++j) {
+      const size_t p = tok.slots_begin + j;
+      const int32_t slot = slot_of_posting_[p];
+      if (stamp_[slot] != epoch_) {
+        stamp_[slot] = epoch_;
+        acc_[slot] = 0.0;
+        touched_.push_back(slot);
+      }
+      acc_[slot] += idf * idf;
+      slot_len_[slot] = posting_len_[p];
+    }
+  }
+  if (touched_.empty()) return;
+
+  // Reduce slots to the canonical best hit per object (max score, then
+  // lowest lemma ordinal — the documented LemmaHit tie-break), then rank
+  // by (score desc, id asc) and apply the top-k + min-score policy of
+  // candidate generation. Formula identical to the per-cell kernel.
+  ++object_epoch_;
+  best_.clear();
+  const double query_norm = std::sqrt(query_norm_sq);
+  for (int32_t slot : touched_) {
+    const double num = acc_[slot];
+    const int32_t id = slot_id_[slot];
+    const int32_t ord = slot_ord_[slot];
+    double lemma_norm =
+        std::sqrt(static_cast<double>(slot_len_[slot])) * query_norm /
+        std::sqrt(static_cast<double>(ntokens));
+    double score = lemma_norm > 0 ? num / (query_norm * lemma_norm) : 0.0;
+    score = std::min(score, 1.0);
+    if (object_stamp_[id] != object_epoch_) {
+      object_stamp_[id] = object_epoch_;
+      object_best_[id] = static_cast<int32_t>(best_.size());
+      best_.push_back(LemmaHit{id, ord, score});
+    } else {
+      LemmaHit& cur = best_[object_best_[id]];
+      if (cur.score < score ||
+          (cur.score == score && ord < cur.lemma_ord)) {
+        cur = LemmaHit{id, ord, score};
+      }
+    }
+  }
+
+  out.assign(best_.begin(), best_.end());
+  std::sort(out.begin(), out.end(), [](const LemmaHit& a,
+                                       const LemmaHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;  // Deterministic tie-break.
+  });
+  if (static_cast<int>(out.size()) > max_hits) out.resize(max_hits);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const LemmaHit& h) {
+                             return h.score < min_score;
+                           }),
+            out.end());
+}
+
+}  // namespace webtab

@@ -1,0 +1,114 @@
+#ifndef WEBTAB_INDEX_COLUMN_PROBE_H_
+#define WEBTAB_INDEX_COLUMN_PROBE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/lemma_index.h"
+#include "table/table.h"
+
+namespace webtab {
+
+/// Column-major batched lemma probe — the §4.3 entity probe restructured
+/// around the redundancy real web tables exhibit (cells in a column
+/// repeat values heavily, and distinct cells of one column share tokens):
+///
+///   1. every cell of the column is deduped to a distinct string,
+///   2. every distinct string is tokenized exactly once,
+///   3. every distinct token is resolved against the LemmaIndexView
+///      exactly once (one lookup + IDF + postings fetch per token,
+///      shared by all cells containing it), with each posting mapped to
+///      a column-local lemma slot up front,
+///   4. every distinct cell is scored in one sweep over its token
+///      occurrences using epoch-stamped flat accumulators.
+///
+/// Scores, ranking and tie-breaks are bit-identical to per-cell
+/// LemmaIndexView::ProbeEntities on both backends (asserted by
+/// tests/candidate_equivalence_test.cc). All storage lives in the batch
+/// and is reused across columns and tables, so steady-state probing
+/// performs no per-cell allocations — the flat-workspace style of the
+/// BP kernel applied to candidate generation. Not thread-safe; use one
+/// per worker.
+class ColumnProbeBatch {
+ public:
+  ColumnProbeBatch() = default;
+  ColumnProbeBatch(const ColumnProbeBatch&) = delete;
+  ColumnProbeBatch& operator=(const ColumnProbeBatch&) = delete;
+
+  /// Probes column `c` of `table`: top-`max_hits` entity hits per
+  /// distinct cell string, then drops hits scoring below `min_score`
+  /// (the ProbeEntities-then-filter order of candidate generation).
+  /// Results stay valid until the next ProbeColumn call.
+  void ProbeColumn(const Table& table, int c, const LemmaIndexView& index,
+                   int max_hits, double min_score);
+
+  /// Distinct cell strings seen in the probed column.
+  int num_distinct() const { return num_distinct_; }
+
+  /// Distinct index of row `r`'s cell.
+  int DistinctOfRow(int r) const { return row_distinct_[r]; }
+
+  /// Scored hits for distinct cell `d`, best first.
+  const std::vector<LemmaHit>& Hits(int d) const { return hits_[d]; }
+
+ private:
+  /// One distinct token of the column, resolved once against the index.
+  struct LocalToken {
+    double idf = 0.0;
+    std::span<const LemmaPosting> postings;
+    size_t slots_begin = 0;  // Into slot_of_posting_, |postings| entries.
+  };
+
+  /// Interns `token`, resolving it against `index` when first seen.
+  int InternToken(const std::string& token, const LemmaIndexView& index);
+
+  /// Scores distinct cell `d` into hits_[d].
+  void ScoreDistinct(int d, int max_hits, double min_score);
+
+  // --- Per-column state (cleared by ProbeColumn). ---
+  int num_distinct_ = 0;
+  std::vector<int> row_distinct_;
+  /// Keys view the table's cell storage, which outlives the probe.
+  std::unordered_map<std::string_view, int> distinct_of_text_;
+
+  /// Token occurrences per distinct cell, flattened: distinct `d` owns
+  /// cell_tokens_[cell_token_begin_[d] .. cell_token_begin_[d+1]).
+  std::vector<int> cell_tokens_;
+  std::vector<size_t> cell_token_begin_;
+
+  /// Column-local token table. Map keys own their text (tokens are
+  /// transient Tokenize output).
+  std::unordered_map<std::string, int> token_local_;
+  std::vector<LocalToken> tokens_;
+
+  /// Column-local lemma slots: one per distinct (object, lemma) pair
+  /// reachable from the column's tokens. slot_of_posting_ and
+  /// posting_len_ parallel the concatenated postings of tokens_, so the
+  /// scoring inner loop is a flat gather with no hashing.
+  std::unordered_map<int64_t, int32_t> slot_of_key_;
+  std::vector<int32_t> slot_of_posting_;
+  std::vector<int32_t> posting_len_;
+  std::vector<int32_t> slot_id_;
+  std::vector<int32_t> slot_ord_;
+  std::vector<int32_t> slot_len_;
+
+  // --- Scoring scratch (epoch-stamped; grows monotonically). ---
+  int64_t epoch_ = 0;
+  std::vector<double> acc_;        // Per slot: idf^2 overlap sum.
+  std::vector<int64_t> stamp_;     // Per slot: epoch of last touch.
+  std::vector<int32_t> touched_;   // Slots touched by the current cell.
+  int64_t object_epoch_ = 0;
+  std::vector<int64_t> object_stamp_;  // Per object id.
+  std::vector<int32_t> object_best_;   // Per object id: index into best_.
+  std::vector<LemmaHit> best_;         // Per-cell best hit per object.
+
+  std::vector<std::vector<LemmaHit>> hits_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_INDEX_COLUMN_PROBE_H_

@@ -75,6 +75,11 @@ std::vector<LemmaHit> LemmaIndex::ProbeTypes(std::string_view text,
   return ProbeTable(type_postings_.by_token, vocab_, text, k);
 }
 
+ResolvedToken LemmaIndex::ResolveEntityToken(std::string_view token) const {
+  TokenId tid = vocab_.Lookup(token);
+  return ResolvedToken{vocab_.Idf(tid), EntityPostingsForToken(tid)};
+}
+
 std::span<const LemmaPosting> LemmaIndex::EntityPostingsForToken(
     TokenId t) const {
   if (t < 0 || static_cast<size_t>(t) >= entity_postings_.by_token.size()) {

@@ -10,11 +10,17 @@
 
 namespace webtab {
 
-/// A scored hit from the lemma index.
+/// A scored hit from the lemma index. Hit lists are ordered by
+/// (score desc, id asc); within one object the reported lemma is the
+/// best-scoring one, ties broken toward the lowest lemma ordinal — the
+/// documented tie-break that keeps per-cell probes, the batched column
+/// prober, and reruns stably identical.
 struct LemmaHit {
   int32_t id = kNa;       // EntityId or TypeId depending on the probe.
   int32_t lemma_ord = 0;  // Which lemma of that object matched best.
   double score = 0.0;     // IDF-weighted token-overlap cosine, in [0,1].
+
+  friend bool operator==(const LemmaHit&, const LemmaHit&) = default;
 };
 
 /// One posting: a (object, lemma) pair carrying the lemma's token count.
@@ -26,6 +32,17 @@ struct LemmaPosting {
   int32_t lemma_len;  // Token count of that lemma.
 };
 static_assert(sizeof(LemmaPosting) == 12, "postings are mmap'd verbatim");
+
+/// One query token resolved against a lemma-index backend: its IDF (the
+/// maximum IDF when the token is unseen, matching Vocabulary::Idf on
+/// df=0) and its entity postings. The span points into backend storage
+/// (heap postings or the mmap'd CSR arrays) and stays valid for the
+/// view's lifetime, so batched probes can hold resolved tokens across a
+/// whole column without copying.
+struct ResolvedToken {
+  double idf = 0.0;
+  std::span<const LemmaPosting> postings;
+};
 
 /// Read-only probe interface over catalog lemma postings — the paper's
 /// Lucene stand-in ("use a text index to collect candidate entities based
@@ -43,6 +60,14 @@ class LemmaIndexView {
   /// Top-k types whose lemmas overlap `text`, best first.
   virtual std::vector<LemmaHit> ProbeTypes(std::string_view text,
                                            int k) const = 0;
+
+  /// Resolves one normalized token against the entity postings table —
+  /// the batched building block behind ColumnProbeBatch, which fetches
+  /// each distinct token of a column exactly once and reuses the span
+  /// for every cell containing the token. Scoring from these postings
+  /// is bit-identical to ProbeEntities on both backends.
+  virtual ResolvedToken ResolveEntityToken(
+      std::string_view token) const = 0;
 
   virtual const CatalogView& catalog() const = 0;
 
@@ -88,6 +113,7 @@ class LemmaIndex : public LemmaIndexView {
                                       int k) const override;
   std::vector<LemmaHit> ProbeTypes(std::string_view text,
                                    int k) const override;
+  ResolvedToken ResolveEntityToken(std::string_view token) const override;
 
   /// Shared vocabulary (IDF source). Mutable because similarity probes
   /// intern query tokens; interning does not change existing statistics.

@@ -53,6 +53,11 @@ std::vector<LemmaHit> ProbePostings(std::string_view text, int k,
   // Approximate the lemma norm by len * avg-idf^2 of the overlap; exact
   // norms would need per-lemma storage. Using sqrt(len) keeps ranking
   // faithful for short lemmas.
+  //
+  // Per object, the reported lemma is the canonical argmax: highest
+  // score, ties broken toward the lowest lemma ordinal. The tie-break
+  // makes the result independent of the hash-map iteration order here,
+  // so reruns, backends, and the batched column prober all agree.
   std::unordered_map<int32_t, LemmaHit> best_per_object;
   double query_norm = std::sqrt(query_norm_sq);
   for (const auto& [key, num] : overlap) {
@@ -64,7 +69,8 @@ std::vector<LemmaHit> ProbePostings(std::string_view text, int k,
     double score = lemma_norm > 0 ? num / (query_norm * lemma_norm) : 0.0;
     score = std::min(score, 1.0);
     auto it = best_per_object.find(id);
-    if (it == best_per_object.end() || it->second.score < score) {
+    if (it == best_per_object.end() || it->second.score < score ||
+        (it->second.score == score && ord < it->second.lemma_ord)) {
       best_per_object[id] = LemmaHit{id, ord, score};
     }
   }

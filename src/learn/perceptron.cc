@@ -30,12 +30,16 @@ Weights TrainPerceptron(const std::vector<LabeledTable>& data,
   int64_t steps = 0;
   int updates = 0;
 
-  // Precompute label spaces once (candidates don't depend on weights).
+  // Precompute label spaces once (candidates don't depend on weights),
+  // sharing one candidate workspace across the set; the feature
+  // computer's similarity scratch then persists across every epoch's
+  // decode loop, so repeated (cell, label) evaluations are lookups.
   std::vector<TableLabelSpace> spaces;
   spaces.reserve(data.size());
+  CandidateWorkspace candidate_workspace;
   for (const LabeledTable& lt : data) {
-    TableCandidates cand =
-        GenerateCandidates(lt.table, *index, &closure, candidates);
+    TableCandidates cand = GenerateCandidates(
+        lt.table, *index, &closure, candidates, &candidate_workspace);
     spaces.push_back(TableLabelSpace::Build(lt.table, cand, &lt.gold));
   }
 

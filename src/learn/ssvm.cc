@@ -26,9 +26,14 @@ Weights TrainSsvm(const std::vector<LabeledTable>& data,
   std::vector<double> w = options.initial.Flatten();
   std::vector<TableLabelSpace> spaces;
   spaces.reserve(data.size());
+  // One candidate workspace across the training set: the column-probe
+  // batch and vote scratch are reused table to table. The feature
+  // computer's similarity scratch then persists across every epoch's
+  // decode loop, so repeated (cell, label) evaluations are lookups.
+  CandidateWorkspace candidate_workspace;
   for (const LabeledTable& lt : data) {
-    TableCandidates cand =
-        GenerateCandidates(lt.table, *index, &closure, candidates);
+    TableCandidates cand = GenerateCandidates(
+        lt.table, *index, &closure, candidates, &candidate_workspace);
     spaces.push_back(TableLabelSpace::Build(lt.table, cand, &lt.gold));
   }
 

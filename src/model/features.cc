@@ -44,19 +44,77 @@ void TextSimilarityFeatures(std::string_view text, int32_t num_lemmas,
 
 FeatureComputer::FeatureComputer(ClosureCache* closure, Vocabulary* vocab,
                                  FeatureOptions options)
-    : closure_(closure), vocab_(vocab), options_(options) {
+    : closure_(closure),
+      vocab_(vocab),
+      options_(options),
+      similarity_(vocab) {
   WEBTAB_CHECK(closure != nullptr);
   WEBTAB_CHECK(vocab != nullptr);
 }
+
+void FeatureComputer::SyncScratch() const {
+  similarity_.MaybeCompact();
+  if (similarity_.epoch() != similarity_epoch_) {
+    f1_cache_.clear();
+    f2_cache_.clear();
+    similarity_epoch_ = similarity_.epoch();
+  }
+}
+
+namespace {
+
+/// Max over lemma measure bundles — the scratch-backed twin of
+/// TextSimilarityFeatures, consuming memoized per-(string, lemma)
+/// bundles instead of recomputing each measure. Streaming max over the
+/// same per-lemma values in the same order gives identical doubles.
+template <size_t N, typename LemmaAt>
+void BundleSimilarityFeatures(SimilarityScratch* scratch, int32_t query,
+                              int32_t num_lemmas, LemmaAt lemma_at,
+                              std::array<double, N>* out) {
+  static_assert(N >= 6);
+  for (int32_t i = 0; i < num_lemmas; ++i) {
+    int32_t lemma = scratch->Prepare(lemma_at(i));
+    const auto& m = scratch->Measures(query, lemma);
+    (*out)[0] = std::max((*out)[0], m[SimilarityScratch::kCosine]);
+    (*out)[1] = std::max((*out)[1], m[SimilarityScratch::kJaccard]);
+    (*out)[2] = std::max((*out)[2], m[SimilarityScratch::kDice]);
+    (*out)[3] = std::max((*out)[3], m[SimilarityScratch::kSoftTfIdf]);
+    if (m[SimilarityScratch::kExact] == 1.0) (*out)[4] = 1.0;
+  }
+  (*out)[5] = 1.0;  // Bias: fires on any non-na label.
+}
+
+}  // namespace
 
 std::array<double, kF1Size> FeatureComputer::F1(std::string_view cell_text,
                                                 EntityId e) const {
   std::array<double, kF1Size> f{};
   if (e == kNa) return f;
   const CatalogView& cat = catalog();
-  TextSimilarityFeatures(
-      cell_text, cat.NumEntityLemmas(e),
-      [&](int32_t i) { return cat.EntityLemma(e, i); }, vocab_, &f);
+  if (!options_.use_similarity_scratch) {
+    TextSimilarityFeatures(
+        cell_text, cat.NumEntityLemmas(e),
+        [&](int32_t i) { return cat.EntityLemma(e, i); }, vocab_, &f);
+    return f;
+  }
+  const int32_t n = cat.NumEntityLemmas(e);
+  if (n == 0) {
+    // No lemmas: only the bias fires — and no query tokens are interned,
+    // matching the streaming path's no-op loop.
+    f[5] = 1.0;
+    return f;
+  }
+  SyncScratch();
+  const int32_t query = similarity_.Prepare(cell_text);
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(query)) << 32) |
+      static_cast<uint32_t>(e);
+  auto it = f1_cache_.find(key);
+  if (it != f1_cache_.end()) return it->second;
+  BundleSimilarityFeatures(
+      &similarity_, query, n,
+      [&](int32_t i) { return cat.EntityLemma(e, i); }, &f);
+  f1_cache_.emplace(key, f);
   return f;
 }
 
@@ -71,9 +129,28 @@ std::array<double, kF2Size> FeatureComputer::F2(std::string_view header_text,
     return f;
   }
   const CatalogView& cat = catalog();
-  TextSimilarityFeatures(
-      header_text, cat.NumTypeLemmas(t),
-      [&](int32_t i) { return cat.TypeLemma(t, i); }, vocab_, &f);
+  if (!options_.use_similarity_scratch) {
+    TextSimilarityFeatures(
+        header_text, cat.NumTypeLemmas(t),
+        [&](int32_t i) { return cat.TypeLemma(t, i); }, vocab_, &f);
+    return f;
+  }
+  const int32_t n = cat.NumTypeLemmas(t);
+  if (n == 0) {
+    f[5] = 1.0;
+    return f;
+  }
+  SyncScratch();
+  const int32_t query = similarity_.Prepare(header_text);
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(query)) << 32) |
+      static_cast<uint32_t>(t);
+  auto it = f2_cache_.find(key);
+  if (it != f2_cache_.end()) return it->second;
+  BundleSimilarityFeatures(
+      &similarity_, query, n,
+      [&](int32_t i) { return cat.TypeLemma(t, i); }, &f);
+  f2_cache_.emplace(key, f);
   return f;
 }
 

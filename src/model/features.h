@@ -8,6 +8,7 @@
 #include "catalog/closure.h"
 #include "model/weights.h"
 #include "table/table.h"
+#include "text/similarity_scratch.h"
 #include "text/vocabulary.h"
 
 namespace webtab {
@@ -17,6 +18,12 @@ struct FeatureOptions {
   CompatMode compat_mode = CompatMode::kRecipSqrtDist;
   /// Disables the φ3 missing-link hint (ablation A3 in DESIGN.md).
   bool use_missing_link = true;
+  /// Memoize f1/f2 similarity vectors per distinct (string, label) via
+  /// a SimilarityScratch, reused across rows, BP feature evaluation and
+  /// training epochs. Results are bit-identical either way (asserted in
+  /// tests/candidate_equivalence_test.cc); disabling exists for
+  /// ablation and the before/after numbers in bench/candidate_bench.cc.
+  bool use_similarity_scratch = true;
 };
 
 /// Computes the feature families f1..f5 of §4.2 and their weighted scores
@@ -80,12 +87,28 @@ class FeatureComputer {
   double Participation(RelationId rel, TypeId t, bool object_role);
 
  private:
+  /// Reconciles the f1/f2 memos with the scratch's epoch (the scratch
+  /// drops prepared ids when it compacts) — called before any Prepare.
+  void SyncScratch() const;
+
   ClosureCache* closure_;
   Vocabulary* vocab_;
   FeatureOptions options_;
 
   // Cache: (rel, t, role) -> participation fraction.
   std::unordered_map<uint64_t, double> participation_cache_;
+
+  /// Shared prepared-string + pair-measure memo behind F1/F2. Mutable:
+  /// F1/F2 are logically const lookups (the computer is documented
+  /// single-worker, not thread-safe).
+  mutable SimilarityScratch similarity_;
+  mutable int64_t similarity_epoch_ = 0;
+  /// (prepared text id << 32 | label id) -> feature vector, valid for
+  /// the scratch epoch above.
+  mutable std::unordered_map<uint64_t, std::array<double, kF1Size>>
+      f1_cache_;
+  mutable std::unordered_map<uint64_t, std::array<double, kF2Size>>
+      f2_cache_;
 };
 
 }  // namespace webtab

@@ -166,7 +166,11 @@ class WebTabService {
 
   /// Mutable per-worker state, rebuilt when the worker first touches a
   /// new snapshot generation. Holds its own shared_ptr so the views the
-  /// annotator points into cannot unmap while the state exists.
+  /// annotator points into cannot unmap while the state exists. The
+  /// annotator carries the per-worker scratch that amortizes across
+  /// requests within a generation: BP workspace, column-probe candidate
+  /// workspace, and the similarity scratch memoizing f1/f2 vectors —
+  /// repeated cell strings across requests hit warm caches.
   struct WorkerState {
     uint64_t version = 0;
     std::shared_ptr<const ServingSnapshot> pinned;

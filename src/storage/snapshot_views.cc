@@ -639,6 +639,15 @@ std::vector<LemmaHit> SnapshotLemmaIndexView::ProbeEntities(
       [&](TokenId tid) { return entity_postings_.Row(tid); });
 }
 
+ResolvedToken SnapshotLemmaIndexView::ResolveEntityToken(
+    std::string_view token) const {
+  ResolvedToken resolved;
+  TokenId tid = LookupToken(token);
+  resolved.idf = TokenIdf(tid);
+  if (tid >= 0) resolved.postings = entity_postings_.Row(tid);
+  return resolved;
+}
+
 std::vector<LemmaHit> SnapshotLemmaIndexView::ProbeTypes(
     std::string_view text, int k) const {
   return lemma_probe_internal::ProbePostings(

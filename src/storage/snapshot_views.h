@@ -137,6 +137,7 @@ class SnapshotLemmaIndexView : public LemmaIndexView {
                                       int k) const override;
   std::vector<LemmaHit> ProbeTypes(std::string_view text,
                                    int k) const override;
+  ResolvedToken ResolveEntityToken(std::string_view token) const override;
   const CatalogView& catalog() const override { return *catalog_; }
   int64_t num_postings() const override { return header_.num_postings; }
 

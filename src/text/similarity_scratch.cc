@@ -1,0 +1,94 @@
+#include "text/similarity_scratch.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+SimilarityScratch::SimilarityScratch(Vocabulary* vocab, Options options)
+    : vocab_(vocab), options_(options) {}
+
+void SimilarityScratch::MaybeCompact() {
+  if (prepared_.size() <= options_.max_prepared &&
+      pairs_.size() <= options_.max_pairs) {
+    return;
+  }
+  id_of_text_.clear();
+  prepared_.clear();
+  pairs_.clear();
+  ++epoch_;
+}
+
+int32_t SimilarityScratch::Prepare(std::string_view text) {
+  auto it = id_of_text_.find(text);
+  if (it != id_of_text_.end()) return it->second;
+
+  PreparedText p;
+  // The TF-IDF vector is built first so query tokens intern in Tokenize
+  // order — the same vocabulary evolution as the streaming path, where
+  // TfIdfCosine ran before the other measures. Later builders re-intern
+  // the same tokens, which is a no-op.
+  p.tfidf = TfIdfVector::Make(text, vocab_);
+  p.normalized = NormalizeText(text);
+  p.unique_tokens = Tokenize(text);
+  std::sort(p.unique_tokens.begin(), p.unique_tokens.end());
+  p.unique_tokens.erase(
+      std::unique(p.unique_tokens.begin(), p.unique_tokens.end()),
+      p.unique_tokens.end());
+  p.soft = SoftTfIdfWeights(text, vocab_);
+
+  const int32_t id = static_cast<int32_t>(prepared_.size());
+  prepared_.push_back(std::move(p));
+  id_of_text_.emplace(std::string(text), id);
+  return id;
+}
+
+const std::array<double, SimilarityScratch::kNumMeasures>&
+SimilarityScratch::Measures(int32_t a, int32_t b) {
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a))
+                        << 32) |
+                       static_cast<uint32_t>(b);
+  auto it = pairs_.find(key);
+  if (it != pairs_.end()) return it->second;
+
+  const PreparedText& pa = prepared_[a];
+  const PreparedText& pb = prepared_[b];
+  std::array<double, kNumMeasures> m{};
+  m[kCosine] = pa.tfidf.Cosine(pb.tfidf);
+
+  // Token-set measures from the sorted distinct tokens; the counts are
+  // integers, so the resulting doubles match the hash-set originals.
+  const size_t na = pa.unique_tokens.size();
+  const size_t nb = pb.unique_tokens.size();
+  if (na == 0 && nb == 0) {
+    m[kJaccard] = 1.0;
+    m[kDice] = 1.0;
+  } else if (na != 0 && nb != 0) {
+    size_t inter = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < na && j < nb) {
+      const int cmp = pa.unique_tokens[i].compare(pb.unique_tokens[j]);
+      if (cmp == 0) {
+        ++inter;
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    m[kJaccard] = static_cast<double>(inter) /
+                  static_cast<double>(na + nb - inter);
+    m[kDice] =
+        2.0 * static_cast<double>(inter) / static_cast<double>(na + nb);
+  }
+
+  m[kSoftTfIdf] = SoftTfIdfFromWeights(pa.soft, pb.soft);
+  m[kExact] = pa.normalized == pb.normalized ? 1.0 : 0.0;
+  return pairs_.emplace(key, m).first->second;
+}
+
+}  // namespace webtab

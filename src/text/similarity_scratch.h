@@ -1,0 +1,104 @@
+#ifndef WEBTAB_TEXT_SIMILARITY_SCRATCH_H_
+#define WEBTAB_TEXT_SIMILARITY_SCRATCH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/soft_tfidf.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace webtab {
+
+/// Reusable memoizing scratch for the f1/f2 text-similarity bundle
+/// (§4.2.1/4.2.2): TF-IDF cosine, Jaccard, Dice, soft-TFIDF and exact
+/// normalized match. Each distinct string is *prepared* once —
+/// tokenized, TF-IDF weighted, normalized — and each distinct
+/// (string, string) pair is scored once; repeats are O(1) lookups.
+/// Web-table cells repeat heavily within a column and catalog lemmas
+/// repeat across every row that considers the entity, so preparing and
+/// pairing by distinct string removes the dominant redundancy of
+/// feature materialization. Values are bit-identical to the direct
+/// similarity calls (the measures are computed by the same underlying
+/// implementations on identically-constructed inputs).
+///
+/// Memory is bounded: when either cache exceeds its cap the scratch
+/// drops everything and bumps `epoch()`, signalling holders of prepared
+/// ids (FeatureComputer's f1/f2 memos) to drop theirs too. Not
+/// thread-safe; one per worker, like the Vocabulary it interns into.
+class SimilarityScratch {
+ public:
+  struct Options {
+    size_t max_prepared;
+    size_t max_pairs;
+    // Explicit constructor (not default member initializers) so the
+    // struct is usable as a default argument below under GCC.
+    Options() : max_prepared(size_t{1} << 18), max_pairs(size_t{1} << 20) {}
+  };
+
+  /// `vocab` must outlive the scratch; preparation interns query tokens
+  /// exactly like the direct TfIdfCosine / SoftTfIdfSimilarity calls.
+  explicit SimilarityScratch(Vocabulary* vocab,
+                             Options options = Options());
+
+  SimilarityScratch(const SimilarityScratch&) = delete;
+  SimilarityScratch& operator=(const SimilarityScratch&) = delete;
+
+  /// Clears all caches when over budget. Call between evaluations, not
+  /// between Prepare and Measures (ids are stable only within an epoch).
+  void MaybeCompact();
+
+  /// Incremented on every compaction; prepared ids from older epochs
+  /// are invalid.
+  int64_t epoch() const { return epoch_; }
+
+  /// Interns `text`, preparing it on first sight. The id is stable
+  /// until the next compaction.
+  int32_t Prepare(std::string_view text);
+
+  /// Measure order within the bundle (matching the f1/f2 layout).
+  static constexpr int kCosine = 0;
+  static constexpr int kJaccard = 1;
+  static constexpr int kDice = 2;
+  static constexpr int kSoftTfIdf = 3;
+  static constexpr int kExact = 4;
+  static constexpr int kNumMeasures = 5;
+
+  /// The similarity bundle for the prepared pair (a, b), memoized.
+  const std::array<double, kNumMeasures>& Measures(int32_t a, int32_t b);
+
+  size_t num_prepared() const { return prepared_.size(); }
+  size_t num_pairs() const { return pairs_.size(); }
+
+ private:
+  struct PreparedText {
+    std::string normalized;
+    std::vector<std::string> unique_tokens;  // Sorted distinct tokens.
+    TfIdfVector tfidf;
+    std::vector<SoftWeightedToken> soft;
+  };
+
+  /// Heterogeneous string hashing so Prepare never copies on a hit.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+
+  Vocabulary* vocab_;
+  Options options_;
+  int64_t epoch_ = 0;
+  std::unordered_map<std::string, int32_t, StringHash, std::equal_to<>>
+      id_of_text_;
+  std::vector<PreparedText> prepared_;
+  std::unordered_map<uint64_t, std::array<double, kNumMeasures>> pairs_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_TEXT_SIMILARITY_SCRATCH_H_

@@ -3,25 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <string>
-#include <vector>
 
 #include "text/similarity.h"
 #include "text/tokenizer.h"
 
 namespace webtab {
 
-namespace {
-struct WeightedToken {
-  std::string text;
-  double weight;  // L2-normalized TF-IDF weight.
-};
-
-std::vector<WeightedToken> WeightedTokens(std::string_view text,
-                                          Vocabulary* vocab) {
+std::vector<SoftWeightedToken> SoftTfIdfWeights(std::string_view text,
+                                                Vocabulary* vocab) {
   std::map<std::string, double> tf;
   for (const std::string& t : Tokenize(text)) tf[t] += 1.0;
-  std::vector<WeightedToken> out;
+  std::vector<SoftWeightedToken> out;
   double norm_sq = 0.0;
   for (auto& [tok, f] : tf) {
     double w = f * vocab->Idf(vocab->Intern(tok));
@@ -34,18 +26,16 @@ std::vector<WeightedToken> WeightedTokens(std::string_view text,
   }
   return out;
 }
-}  // namespace
 
-double SoftTfIdfSimilarity(std::string_view a, std::string_view b,
-                           Vocabulary* vocab, double threshold) {
-  auto ta = WeightedTokens(a, vocab);
-  auto tb = WeightedTokens(b, vocab);
-  if (ta.empty() || tb.empty()) return ta.empty() && tb.empty() ? 1.0 : 0.0;
+double SoftTfIdfFromWeights(const std::vector<SoftWeightedToken>& a,
+                            const std::vector<SoftWeightedToken>& b,
+                            double threshold) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
   double score = 0.0;
-  for (const auto& wa : ta) {
+  for (const auto& wa : a) {
     double best_sim = 0.0;
     double best_wb = 0.0;
-    for (const auto& wb : tb) {
+    for (const auto& wb : b) {
       double sim = wa.text == wb.text ? 1.0 : JaroWinkler(wa.text, wb.text);
       if (sim > best_sim) {
         best_sim = sim;
@@ -55,6 +45,12 @@ double SoftTfIdfSimilarity(std::string_view a, std::string_view b,
     if (best_sim >= threshold) score += best_sim * wa.weight * best_wb;
   }
   return std::clamp(score, 0.0, 1.0);
+}
+
+double SoftTfIdfSimilarity(std::string_view a, std::string_view b,
+                           Vocabulary* vocab, double threshold) {
+  return SoftTfIdfFromWeights(SoftTfIdfWeights(a, vocab),
+                              SoftTfIdfWeights(b, vocab), threshold);
 }
 
 }  // namespace webtab

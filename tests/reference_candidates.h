@@ -1,0 +1,131 @@
+#ifndef WEBTAB_TESTS_REFERENCE_CANDIDATES_H_
+#define WEBTAB_TESTS_REFERENCE_CANDIDATES_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/candidates.h"
+
+namespace webtab {
+namespace testing_util {
+
+/// The retired per-cell candidate generator, retained verbatim as the
+/// reference the column-major batched pipeline is checked against: one
+/// LemmaIndexView::ProbeEntities call per distinct cell string (the
+/// memoized per-cell path of PR 2), per-row type support accumulation
+/// and per-row relation voting. GenerateCandidates must reproduce its
+/// output exactly — same hits (id, lemma ordinal and bit-identical
+/// score), same type ranking, same relation votes — on both index
+/// backends. Also used by bench/candidate_bench.cc as the "before"
+/// timing.
+inline TableCandidates ReferenceGenerateCandidates(
+    const Table& table, const LemmaIndexView& index, ClosureCache* closure,
+    const CandidateOptions& options) {
+  TableCandidates out;
+  out.cells.assign(table.rows(),
+                   std::vector<std::vector<LemmaHit>>(table.cols()));
+  out.column_types.assign(table.cols(), {});
+
+  // --- Entity candidates per cell (index probe, §4.3). ---
+  std::unordered_map<std::string_view, std::vector<LemmaHit>> probe_cache;
+  auto probe_cell = [&](const std::string& text) -> std::vector<LemmaHit> {
+    auto it = probe_cache.find(std::string_view(text));
+    if (it != probe_cache.end()) return it->second;
+    std::vector<LemmaHit> hits =
+        index.ProbeEntities(text, options.max_entities_per_cell);
+    hits.erase(std::remove_if(hits.begin(), hits.end(),
+                              [&](const LemmaHit& h) {
+                                return h.score < options.min_entity_score;
+                              }),
+               hits.end());
+    probe_cache.emplace(std::string_view(text), hits);
+    return hits;
+  };
+  for (int c = 0; c < table.cols(); ++c) {
+    bool numeric_column =
+        table.NumericFraction(c) > options.numeric_column_threshold;
+    for (int r = 0; r < table.rows(); ++r) {
+      if (numeric_column) continue;
+      out.cells[r][c] = probe_cell(table.cell(r, c));
+    }
+  }
+
+  // --- Type candidates per column: ∪_{E ∈ Erc} T(E), scored. ---
+  struct TypeScore {
+    TypeId type;
+    int support;
+    double specificity;
+  };
+  for (int c = 0; c < table.cols(); ++c) {
+    std::unordered_map<TypeId, int> support;
+    for (int r = 0; r < table.rows(); ++r) {
+      std::set<TypeId> cell_types;
+      for (const LemmaHit& hit : out.cells[r][c]) {
+        for (TypeId t : closure->TypeAncestors(hit.id)) {
+          cell_types.insert(t);
+        }
+      }
+      for (TypeId t : cell_types) ++support[t];
+    }
+    std::vector<TypeScore> scored;
+    scored.reserve(support.size());
+    for (const auto& [t, s] : support) {
+      scored.push_back(TypeScore{t, s, closure->TypeSpecificity(t)});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const TypeScore& a, const TypeScore& b) {
+                if (a.support != b.support) return a.support > b.support;
+                if (a.specificity != b.specificity) {
+                  return a.specificity > b.specificity;
+                }
+                return a.type < b.type;
+              });
+    int keep = std::min<int>(static_cast<int>(scored.size()),
+                             options.max_types_per_column);
+    out.column_types[c].reserve(keep);
+    for (int i = 0; i < keep; ++i) {
+      out.column_types[c].push_back(scored[i].type);
+    }
+  }
+
+  // --- Relation candidates per column pair (catalog tuple probes). ---
+  const CatalogView& catalog = closure->catalog();
+  for (int c1 = 0; c1 < table.cols(); ++c1) {
+    for (int c2 = c1 + 1; c2 < table.cols(); ++c2) {
+      std::map<RelationCandidate, int> votes;
+      for (int r = 0; r < table.rows(); ++r) {
+        for (const LemmaHit& h1 : out.cells[r][c1]) {
+          for (const LemmaHit& h2 : out.cells[r][c2]) {
+            for (const auto& [rel, swapped] :
+                 catalog.RelationsBetween(h1.id, h2.id)) {
+              ++votes[RelationCandidate{rel, swapped}];
+            }
+          }
+        }
+      }
+      if (votes.empty()) continue;
+      std::vector<std::pair<RelationCandidate, int>> ranked(votes.begin(),
+                                                            votes.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      std::vector<RelationCandidate>& list = out.relations[{c1, c2}];
+      int keep = std::min<int>(static_cast<int>(ranked.size()),
+                               options.max_relations_per_pair);
+      list.reserve(keep);
+      for (int i = 0; i < keep; ++i) list.push_back(ranked[i].first);
+    }
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace webtab
+
+#endif  // WEBTAB_TESTS_REFERENCE_CANDIDATES_H_
