@@ -60,6 +60,10 @@ int main(int argc, char** argv) {
                         "#queries"});
   Rng rng(seed + 77);
   double sum_base = 0, sum_type = 0, sum_tr = 0;
+  // One search workspace for the whole MAP sweep (the serving worker's
+  // steady state); evaluation judges the full exact ranking (k unset).
+  SearchWorkspace ws;
+  std::vector<SearchResult> results;
   for (const QueryRelation& qr : rels) {
     const RelationRecord& rec = world.catalog.relation(qr.rel);
     const auto& tuples = world.true_relations[qr.rel].tuples;
@@ -80,12 +84,16 @@ int main(int argc, char** argv) {
         relevant.insert(s);
       }
       if (relevant.empty()) continue;
-      ap_base.push_back(JudgeAveragePrecision(BaselineSearch(cindex, q),
-                                              relevant, world.catalog));
-      ap_type.push_back(JudgeAveragePrecision(TypeSearch(cindex, q),
-                                              relevant, world.catalog));
-      ap_tr.push_back(JudgeAveragePrecision(TypeRelationSearch(cindex, q),
-                                            relevant, world.catalog));
+      NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+      BaselineSearch(cindex, q, nq, TopKOptions{}, &ws, &results);
+      ap_base.push_back(
+          JudgeAveragePrecision(results, relevant, world.catalog));
+      TypeSearch(cindex, q, nq, TopKOptions{}, &ws, &results);
+      ap_type.push_back(
+          JudgeAveragePrecision(results, relevant, world.catalog));
+      TypeRelationSearch(cindex, q, nq, TopKOptions{}, &ws, &results);
+      ap_tr.push_back(
+          JudgeAveragePrecision(results, relevant, world.catalog));
     }
     double m_base = MeanAveragePrecision(ap_base);
     double m_type = MeanAveragePrecision(ap_type);

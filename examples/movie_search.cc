@@ -93,6 +93,18 @@ int main(int argc, char** argv) {
   PrintTop("Type annotations only", type, world.catalog, 5);
   PrintTop("Type + relation annotations (Figure 4)", tr, world.catalog, 5);
 
+  // The serving-style call: reusable workspace + top-k with pruning —
+  // the kernel skips tables that provably cannot crack the top 5 and
+  // returns exactly the full ranking's prefix.
+  SearchWorkspace ws;
+  std::vector<SearchResult> top5;
+  NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+  TypeRelationSearch(cindex, q, nq, TopKOptions{5, true}, &ws, &top5);
+  std::cout << "\nTop-5 (pruned kernel; scanned "
+            << ws.stats().tables_scored << "/"
+            << ws.stats().tables_planned << " candidate tables):\n";
+  PrintTop("Type + relation, k=5", top5, world.catalog, 5);
+
   std::cout << "\nAverage precision vs hidden truth:\n";
   std::cout << "  Baseline:  "
             << JudgeAveragePrecision(base, relevant, world.catalog) << "\n";

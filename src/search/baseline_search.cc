@@ -1,11 +1,39 @@
 #include "search/baseline_search.h"
 
-#include <map>
-#include <set>
+#include <algorithm>
 
-#include "search/engine_util.h"
+#include "search/select_kernel.h"
 
 namespace webtab {
+
+namespace {
+
+/// Collects the union of one query side's header-token postings into
+/// `side` (reused), sorted by (table, col) with duplicates removed —
+/// the scratch replacement for the retired std::map<int, std::set<int>>
+/// materialization. Each token's postings arrive table-sorted; the
+/// union across tokens needs one sort of the combined (small) list.
+void CollectHeaderSide(const CorpusView& index,
+                       const std::vector<std::string>& tokens,
+                       std::vector<ColumnRef>* side) {
+  side->clear();
+  for (const std::string& token : tokens) {
+    std::span<const ColumnRef> postings = index.HeaderPostings(token);
+    side->insert(side->end(), postings.begin(), postings.end());
+  }
+  std::sort(side->begin(), side->end(),
+            [](const ColumnRef& a, const ColumnRef& b) {
+              if (a.table != b.table) return a.table < b.table;
+              return a.col < b.col;
+            });
+  side->erase(std::unique(side->begin(), side->end(),
+                          [](const ColumnRef& a, const ColumnRef& b) {
+                            return a.table == b.table && a.col == b.col;
+                          }),
+              side->end());
+}
+
+}  // namespace
 
 std::vector<SearchResult> BaselineSearch(const CorpusView& index,
                                          const SelectQuery& query) {
@@ -14,51 +42,85 @@ std::vector<SearchResult> BaselineSearch(const CorpusView& index,
 }
 
 std::vector<SearchResult> BaselineSearch(const CorpusView& index,
-                                         const SelectQuery& /*query*/,
+                                         const SelectQuery& query,
                                          const NormalizedSelectQuery& nq) {
+  std::vector<SearchResult> out;
+  BaselineSearch(index, query, nq, TopKOptions{},
+             &ThreadLocalSearchWorkspace(), &out);
+  return out;
+}
+
+void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
+                    const NormalizedSelectQuery& nq, const TopKOptions& topk,
+                    SearchWorkspace* ws, std::vector<SearchResult>* out) {
   // The baseline interprets all inputs as strings, so it is fully
   // determined by the normalized form.
-  using search_internal::CellMatchesText;
-  using search_internal::EvidenceAggregator;
+  using search_internal::AppendUniqueCols;
+  using search_internal::IntersectByTable;
+  using search_internal::PlannedTable;
 
-  // Find (table, c1-candidates, c2-candidates) via header-token postings.
-  std::map<int, std::set<int>> t1_cols;
-  std::map<int, std::set<int>> t2_cols;
-  for (const std::string& token : nq.type1_tokens) {
-    for (const ColumnRef& ref : index.HeaderPostings(token)) {
-      t1_cols[ref.table].insert(ref.col);
-    }
-  }
-  for (const std::string& token : nq.type2_tokens) {
-    for (const ColumnRef& ref : index.HeaderPostings(token)) {
-      t2_cols[ref.table].insert(ref.col);
-    }
-  }
-  // Context-match bonus tables.
-  std::set<int> context_tables;
+  ws->BeginSelect(nq.e2_text);
+
+  // Candidate columns per side via header-token postings.
+  CollectHeaderSide(index, nq.type1_tokens, &ws->side_a);
+  CollectHeaderSide(index, nq.type2_tokens, &ws->side_b);
+
+  // Context-match bonus tables (sorted unique; binary searched below).
+  ws->context_tables.clear();
   for (const std::string& token : nq.relation_tokens) {
-    for (int32_t t : index.ContextPostings(token)) context_tables.insert(t);
+    std::span<const int32_t> postings = index.ContextPostings(token);
+    ws->context_tables.insert(ws->context_tables.end(), postings.begin(),
+                              postings.end());
   }
+  std::sort(ws->context_tables.begin(), ws->context_tables.end());
+  ws->context_tables.erase(
+      std::unique(ws->context_tables.begin(), ws->context_tables.end()),
+      ws->context_tables.end());
 
-  EvidenceAggregator agg;
-  for (const auto& [table_idx, c1s] : t1_cols) {
-    auto it2 = t2_cols.find(table_idx);
-    if (it2 == t2_cols.end()) continue;
-    const int num_rows = index.rows(table_idx);
-    double table_score = context_tables.count(table_idx) ? 1.5 : 1.0;
-    for (int c2 : it2->second) {
-      for (int r = 0; r < num_rows; ++r) {
-        if (!CellMatchesText(index.cell(table_idx, r, c2), nq.e2_text)) {
-          continue;
+  ws->plan.clear();
+  ws->col_pool.clear();
+  IntersectByTable(
+      std::span<const ColumnRef>(ws->side_a),
+      std::span<const ColumnRef>(ws->side_b),
+      [&](int32_t table, std::span<const ColumnRef> run1,
+          std::span<const ColumnRef> run2) {
+        PlannedTable p;
+        p.table = table;
+        std::tie(p.a_begin, p.a_end) = AppendUniqueCols(run1, &ws->col_pool);
+        std::tie(p.b_begin, p.b_end) = AppendUniqueCols(run2, &ws->col_pool);
+        ws->plan.push_back(p);
+      });
+  auto table_score = [&](int32_t table) {
+    return std::binary_search(ws->context_tables.begin(),
+                              ws->context_tables.end(), table)
+               ? 1.5
+               : 1.0;
+  };
+
+  search_internal::RunPlannedTables(
+      ws, topk,
+      [&](const PlannedTable& p) {
+        return static_cast<double>(index.rows(p.table)) *
+               table_score(p.table) * (p.a_end - p.a_begin) *
+               (p.b_end - p.b_begin);
+      },
+      [&](const PlannedTable& p) {
+        const int table = p.table;
+        const int num_rows = index.rows(table);
+        const double score = table_score(table);
+        for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+          const int c2 = ws->col_pool[bi];
+          for (int r = 0; r < num_rows; ++r) {
+            if (!ws->CellMatches(index.cell(table, r, c2))) continue;
+            for (uint32_t ai = p.a_begin; ai < p.a_end; ++ai) {
+              const int c1 = ws->col_pool[ai];
+              if (c1 == c2) continue;
+              ws->AddText(table, index.cell(table, r, c1), score);
+            }
+          }
         }
-        for (int c1 : c1s) {
-          if (c1 == c2) continue;
-          agg.AddText(index.cell(table_idx, r, c1), table_score);
-        }
-      }
-    }
-  }
-  return agg.Ranked();
+      });
+  ws->EmitRanked(topk, out);
 }
 
 }  // namespace webtab

@@ -5,6 +5,7 @@
 
 #include "search/corpus_view.h"
 #include "search/query.h"
+#include "search/search_workspace.h"
 
 namespace webtab {
 
@@ -20,6 +21,11 @@ std::vector<SearchResult> BaselineSearch(const CorpusView& index,
 std::vector<SearchResult> BaselineSearch(
     const CorpusView& index, const SelectQuery& query,
     const NormalizedSelectQuery& normalized);
+/// Kernel form: reusable workspace, results into `out`, top-k pruning.
+void BaselineSearch(const CorpusView& index, const SelectQuery& query,
+                    const NormalizedSelectQuery& normalized,
+                    const TopKOptions& topk, SearchWorkspace* workspace,
+                    std::vector<SearchResult>* out);
 
 }  // namespace webtab
 

@@ -1,5 +1,7 @@
 #include "search/corpus_index.h"
 
+#include "common/logging.h"
+#include "search/posting_cursor.h"
 #include "text/tokenizer.h"
 
 namespace webtab {
@@ -53,6 +55,29 @@ CorpusIndex::CorpusIndex(std::vector<AnnotatedTable> tables,
           RelationRef{i, pair.first, pair.second, rel.swapped ? 1 : 0});
     }
   }
+
+  // Every postings list is table-sorted by construction (tables are
+  // indexed in ascending order), which the search kernel's galloping
+  // cursors rely on (posting_cursor.h) and the snapshot writer
+  // serializes verbatim. Verify the invariant once at build time so a
+  // future build-order change fails loudly here instead of silently
+  // corrupting rankings.
+  auto check = [](auto& map, const char* what) {
+    for (const auto& [key, postings] : map) {
+      int32_t prev = -1;
+      for (const auto& ref : postings) {
+        int32_t table = search_internal::PostingTable(ref);
+        WEBTAB_CHECK(table >= prev)
+            << what << " postings out of table order";
+        prev = table;
+      }
+    }
+  };
+  check(header_postings_, "header");
+  check(context_postings_, "context");
+  check(type_postings_, "type");
+  check(relation_postings_, "relation");
+  check(entity_postings_, "entity");
 }
 
 std::span<const ColumnRef> CorpusIndex::HeaderPostings(

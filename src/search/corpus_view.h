@@ -63,6 +63,15 @@ class CorpusView {
   virtual RelationCandidate RelationOf(int t, int c1, int c2) const = 0;
 
   // --- Postings. ---
+  //
+  // Ordering contract: every postings list is sorted by non-decreasing
+  // table index. The search kernel's galloping cursors
+  // (posting_cursor.h) binary-search inside the spans, so an
+  // out-of-order list would silently drop or double-count evidence.
+  // The in-memory build guarantees it by construction (checked at
+  // build time); snapshot files are checked by
+  // SnapshotCorpusView::DeepValidate under Snapshot::OpenValidated.
+  //
   /// Tables whose header row contains `token` (any column).
   virtual std::span<const ColumnRef> HeaderPostings(
       std::string_view token) const = 0;

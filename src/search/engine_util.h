@@ -1,64 +1,29 @@
 #ifndef WEBTAB_SEARCH_ENGINE_UTIL_H_
 #define WEBTAB_SEARCH_ENGINE_UTIL_H_
 
-#include <algorithm>
-#include <map>
-#include <string>
 #include <string_view>
-#include <vector>
 
-#include "search/query.h"
 #include "text/similarity.h"
-#include "text/tokenizer.h"
 
 namespace webtab {
 namespace search_internal {
 
-/// Accumulates evidence per answer (entity id or normalized text),
-/// then emits a deterministic ranked list (paper: "aggregate evidence in
-/// favor of known entities; cluster, dedup, rank").
-class EvidenceAggregator {
- public:
-  void AddEntity(EntityId e, std::string_view text, double score) {
-    auto& slot = by_entity_[e];
-    slot.first += score;
-    if (slot.second.empty()) slot.second = std::string(text);
-  }
-
-  void AddText(std::string_view raw, double score) {
-    std::string key = NormalizeText(raw);
-    if (key.empty()) return;
-    auto& slot = by_text_[key];
-    slot.first += score;
-    if (slot.second.empty()) slot.second = std::string(raw);
-  }
-
-  std::vector<SearchResult> Ranked() const {
-    std::vector<SearchResult> out;
-    for (const auto& [e, slot] : by_entity_) {
-      out.push_back(SearchResult{e, slot.second, slot.first});
-    }
-    for (const auto& [key, slot] : by_text_) {
-      out.push_back(SearchResult{kNa, slot.second, slot.first});
-    }
-    std::sort(out.begin(), out.end(),
-              [](const SearchResult& a, const SearchResult& b) {
-                if (a.score != b.score) return a.score > b.score;
-                if (a.entity != b.entity) return a.entity > b.entity;
-                return a.text < b.text;
-              });
-    return out;
-  }
-
- private:
-  std::map<EntityId, std::pair<double, std::string>> by_entity_;
-  std::map<std::string, std::pair<double, std::string>> by_text_;
-};
+// The map-backed EvidenceAggregator that used to live here was replaced
+// by the flat epoch-stamped EvidenceMap in search_workspace.h (its
+// descending-id tie-break is also fixed there: ties now rank by
+// ascending id, consistent with the repo-wide (score desc, id asc)
+// convention). The retired implementation is retained verbatim — with
+// the tie-break corrected — as the equivalence reference in
+// tests/reference_search.h.
 
 /// Does `cell_text` plausibly mention the query's E2 string? Exact
 /// normalized match or strong token overlap (covers abbreviated forms).
 /// Callers pass the query side pre-normalized (NormalizeSelectQuery);
 /// normalization is idempotent so the measures are unchanged.
+///
+/// This is the semantic ground truth for the kernel's memoized
+/// TextMatchMemo (search_workspace.h), which must return bit-identical
+/// results — asserted by tests/search_equivalence_test.cc.
 inline bool CellMatchesText(std::string_view cell_text,
                             std::string_view e2_text) {
   if (ExactNormalizedMatch(cell_text, e2_text)) return true;

@@ -1,9 +1,9 @@
 #include "search/join_search.h"
 
 #include <algorithm>
-#include <map>
 
-#include "search/engine_util.h"
+#include "search/select_kernel.h"
+#include "text/tokenizer.h"
 
 namespace webtab {
 
@@ -12,12 +12,16 @@ namespace {
 /// Collects bindings of the unbound side of relation `rel` given the
 /// grounded side, by scanning the relation's annotated column pairs.
 /// grounded_is_object: the grounded entity sits in the object column.
-std::map<EntityId, double> ExpandLeg(const CorpusView& index,
-                                     RelationId rel, EntityId grounded,
-                                     const std::string& grounded_text,
-                                     bool grounded_is_object) {
-  using search_internal::CellMatchesText;
-  std::map<EntityId, double> bindings;
+/// Accumulates into the workspace's flat entity accumulator (the scratch
+/// replacement for the retired per-call std::map). `grounded_text` must
+/// be pre-normalized and already set as the workspace match target when
+/// non-empty.
+void ExpandLeg(const CorpusView& index, RelationId rel, EntityId grounded,
+               std::string_view grounded_text, bool grounded_is_object,
+               SearchWorkspace* ws,
+               search_internal::EntityAccumulator* acc) {
+  acc->Begin();
+  const bool has_text = !grounded_text.empty();
   for (const RelationRef& ref : index.RelationPostings(rel)) {
     int subject_col = ref.swapped ? ref.c2 : ref.c1;
     int object_col = ref.swapped ? ref.c1 : ref.c2;
@@ -29,56 +33,57 @@ std::map<EntityId, double> ExpandLeg(const CorpusView& index,
       EntityId cell = index.CellEntity(ref.table, r, grounded_col);
       if (grounded != kNa && cell == grounded) {
         row_score = 1.0;
-      } else if (!grounded_text.empty() &&
-                 CellMatchesText(index.cell(ref.table, r, grounded_col),
-                                 grounded_text)) {
+      } else if (has_text &&
+                 ws->CellMatches(index.cell(ref.table, r, grounded_col))) {
         row_score = 0.6;
       }
       if (row_score <= 0.0) continue;
       EntityId answer = index.CellEntity(ref.table, r, free_col);
-      if (answer != kNa) bindings[answer] += row_score;
+      if (answer != kNa) acc->Add(answer) += row_score;
     }
   }
-  return bindings;
 }
 
 }  // namespace
 
 std::vector<SearchResult> JoinSearch(const CorpusView& index,
                                      const JoinQuery& query) {
+  std::vector<SearchResult> out;
+  JoinSearch(index, query, TopKOptions{},
+             &ThreadLocalSearchWorkspace(), &out);
+  return out;
+}
+
+void JoinSearch(const CorpusView& index, const JoinQuery& query,
+                const TopKOptions& topk, SearchWorkspace* ws,
+                std::vector<SearchResult>* out) {
   // Normalize E3's string form once (idempotent, so scores match the
-  // raw string bit for bit).
-  const std::string e3_text = NormalizeText(query.e3_text);
+  // raw string bit for bit); it doubles as the leg-2 match target.
+  NormalizeTextInto(query.e3_text, &ws->norm_scratch);
+  ws->BeginSelect(ws->norm_scratch);
 
-  // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped).
-  std::map<EntityId, double> join_bindings =
-      ExpandLeg(index, query.r2, query.e3, e3_text,
-                /*grounded_is_object=*/query.e2_is_subject);
+  // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped),
+  // then keep the top-K bindings by evidence (score desc, id asc).
+  ExpandLeg(index, query.r2, query.e3, ws->norm_scratch,
+            /*grounded_is_object=*/query.e2_is_subject, ws, &ws->leg_acc);
+  ws->leg_acc.ExtractRanked(std::max(0, query.max_join_entities),
+                            &ws->binding_list);
 
-  // Keep the top-K join bindings by evidence.
-  std::vector<std::pair<EntityId, double>> ranked(join_bindings.begin(),
-                                                  join_bindings.end());
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
-  if (static_cast<int>(ranked.size()) > query.max_join_entities) {
-    ranked.resize(query.max_join_entities);
-  }
-
-  // Leg 1: expand each binding through R1 toward e1.
-  search_internal::EvidenceAggregator agg;
-  for (const auto& [e2, e2_score] : ranked) {
-    std::map<EntityId, double> answers =
-        ExpandLeg(index, query.r1, e2, /*grounded_text=*/"",
-                  /*grounded_is_object=*/query.e1_is_subject);
-    for (const auto& [e1, evidence] : answers) {
+  // Leg 1: expand each binding through R1 toward e1. Per-binding
+  // evidence sums are completed before the multiplicative chaining so
+  // the doubles match the reference's map-then-multiply exactly.
+  for (const auto& [e2, e2_score] : ws->binding_list) {
+    ExpandLeg(index, query.r1, e2, /*grounded_text=*/{},
+              /*grounded_is_object=*/query.e1_is_subject, ws,
+              &ws->leg_acc);
+    const double binding_score = e2_score;
+    ws->leg_acc.ForEach([&](EntityId e1, double evidence) {
       // Multiplicative chaining: weak join bindings contribute less.
-      agg.AddEntity(e1, /*text=*/"", evidence * e2_score);
-    }
+      ws->AddEntity(/*table=*/0, e1, /*raw=*/{},
+                    evidence * binding_score);
+    });
   }
-  return agg.Ranked();
+  ws->EmitRanked(topk, out);
 }
 
 }  // namespace webtab

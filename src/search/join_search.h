@@ -6,6 +6,7 @@
 
 #include "search/corpus_view.h"
 #include "search/query.h"
+#include "search/search_workspace.h"
 
 namespace webtab {
 
@@ -33,6 +34,12 @@ struct JoinQuery {
 /// aggregating evidence multiplicatively per answer entity.
 std::vector<SearchResult> JoinSearch(const CorpusView& index,
                                      const JoinQuery& query);
+/// Kernel form: reusable workspace, results into `out`. Top-k applies
+/// to the final ranking; the legs themselves are already bounded by
+/// max_join_entities, so no table pruning runs inside them.
+void JoinSearch(const CorpusView& index, const JoinQuery& query,
+                const TopKOptions& topk, SearchWorkspace* workspace,
+                std::vector<SearchResult>* out);
 
 }  // namespace webtab
 

@@ -44,6 +44,46 @@ std::string SelectQueryCacheKey(const SelectQuery& query,
   return key;
 }
 
+namespace {
+
+Status BadId(const char* field, const char* what, int32_t id) {
+  return Status::InvalidArgument(std::string(field) + ": unknown " + what +
+                                 " id " + std::to_string(id));
+}
+
+}  // namespace
+
+Status ValidateSelectQuery(const SelectQuery& query,
+                           const CatalogView& catalog) {
+  if (query.relation != kNa && !catalog.ValidRelation(query.relation)) {
+    return BadId("relation", "relation", query.relation);
+  }
+  if (query.type1 != kNa && !catalog.ValidType(query.type1)) {
+    return BadId("type1", "type", query.type1);
+  }
+  if (query.type2 != kNa && !catalog.ValidType(query.type2)) {
+    return BadId("type2", "type", query.type2);
+  }
+  if (query.e2 != kNa && !catalog.ValidEntity(query.e2)) {
+    return BadId("e2", "entity", query.e2);
+  }
+  return Status::Ok();
+}
+
+Status ValidateJoinQuery(const JoinQuery& query,
+                         const CatalogView& catalog) {
+  if (query.r1 != kNa && !catalog.ValidRelation(query.r1)) {
+    return BadId("r1", "relation", query.r1);
+  }
+  if (query.r2 != kNa && !catalog.ValidRelation(query.r2)) {
+    return BadId("r2", "relation", query.r2);
+  }
+  if (query.e3 != kNa && !catalog.ValidEntity(query.e3)) {
+    return BadId("e3", "entity", query.e3);
+  }
+  return Status::Ok();
+}
+
 std::string JoinQueryCacheKey(const JoinQuery& query) {
   return "join|r1=" + std::to_string(query.r1) +
          "|s1=" + std::to_string(query.e1_is_subject ? 1 : 0) +

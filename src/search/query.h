@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog_view.h"
 #include "catalog/ids.h"
+#include "common/status.h"
 
 namespace webtab {
 
@@ -33,6 +35,36 @@ struct SearchResult {
 };
 
 struct JoinQuery;  // join_search.h
+
+/// How much of the ranking a caller wants. Every engine accepts one:
+///  - k <= 0: the full exact ranking (byte-identical to the retained
+///    reference engines — same answers, same doubles, same order).
+///  - k > 0, prune = false: the exact full ranking truncated to its
+///    first k entries (still score-exact).
+///  - k > 0, prune = true: the same top-k *prefix* (same answers in the
+///    same order, under the documented (score desc, entity id asc, text
+///    asc) tie-break), computed with safe early termination: the kernel
+///    tracks a per-table upper bound on any single answer's remaining
+///    evidence and stops scanning once no unscanned table can change the
+///    prefix. Reported scores are the evidence accumulated up to the
+///    proof point — exact lower bounds, not the full-rank totals — and
+///    an *entity* answer's display text is resolved from scanned tables
+///    only (it can be empty in the pathological case where the entity's
+///    every scanned cell is blank; the ranking itself is unaffected,
+///    since ties between distinct entities break on id before text).
+struct TopKOptions {
+  int k = 0;
+  bool prune = true;
+};
+
+/// Validates catalog ids carried by a query against `catalog`: kNa means
+/// "absent" and is always legal (engines fall back to text matching),
+/// but any other out-of-range id returns kInvalidArgument naming the
+/// field — the serving layer echoes this to clients instead of letting
+/// snapshot accessors CHECK-fail on garbage ids.
+Status ValidateSelectQuery(const SelectQuery& query,
+                           const CatalogView& catalog);
+Status ValidateJoinQuery(const JoinQuery& query, const CatalogView& catalog);
 
 /// The query's string inputs pushed through the shared tokenizer exactly
 /// once. Every engine consumes this (instead of re-tokenizing per probe),

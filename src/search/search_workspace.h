@@ -1,0 +1,247 @@
+#ifndef WEBTAB_SEARCH_SEARCH_WORKSPACE_H_
+#define WEBTAB_SEARCH_SEARCH_WORKSPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "search/corpus_view.h"
+#include "search/query.h"
+
+namespace webtab {
+namespace search_internal {
+
+/// Flat epoch-stamped EntityId -> score accumulator (open addressing,
+/// power-of-two capacity). Begin() is O(touched of the previous use);
+/// steady state performs no allocations. Used for the join engine's leg
+/// expansions, where answers are always resolved entities.
+class EntityAccumulator {
+ public:
+  void Begin();
+  /// Insert-or-find; returns the slot's score for `+=`.
+  double& Add(EntityId e);
+  size_t size() const { return touched_.size(); }
+
+  /// Extracts (entity, score) pairs sorted by (score desc, id asc) into
+  /// `out` (reused), truncated to `limit` when limit >= 0.
+  void ExtractRanked(int limit,
+                     std::vector<std::pair<EntityId, double>>* out) const;
+
+  /// Unordered access to this epoch's entries (insertion order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t i : touched_) fn(slots_[i].entity, slots_[i].score);
+  }
+
+ private:
+  struct Slot {
+    uint64_t epoch = 0;
+    EntityId entity = kNa;
+    double score = 0.0;
+  };
+  void Grow();
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> touched_;
+  // Starts at 1: slot epoch 0 means "never used", so the probe loops
+  // terminate even if an accumulator is used before its first Begin().
+  uint64_t epoch_ = 1;
+};
+
+/// The evidence accumulator behind every engine's ranking — the flat
+/// replacement for the retired map-backed EvidenceAggregator. Answers
+/// are keyed either by resolved entity id or by normalized answer text
+/// (paper: "aggregate evidence in favor of known entities; cluster,
+/// dedup, rank"); scores accumulate; the display string is the first
+/// non-empty raw form from the lowest-indexed table (identical to
+/// first-seen under the engines' ascending table scan). Text keys and
+/// display strings live in a per-query arena, so steady state performs
+/// no allocations.
+class EvidenceMap {
+ public:
+  void Begin();
+  void AddEntity(int32_t table, EntityId e, std::string_view raw_text,
+                 double score);
+  /// `normalized` must already be NormalizeText'd (empty keys are
+  /// dropped, matching the reference aggregator); `raw` is the display
+  /// form.
+  void AddText(int32_t table, std::string_view normalized,
+               std::string_view raw, double score);
+
+  size_t size() const { return touched_.size(); }
+  double max_score() const { return max_score_; }
+
+  /// Emits the ranking into `out` (reused; zero steady-state
+  /// allocations — surplus element strings are recycled through an
+  /// internal spare pool when the result count shrinks, so their
+  /// capacity survives). k <= 0 emits everything; k > 0 emits the
+  /// first k under the documented (score desc, entity id asc —
+  /// unresolved text answers carry kNa and sort first among ties —,
+  /// text asc) tie-break.
+  void EmitRanked(int k, std::vector<SearchResult>* out);
+
+  /// Copies this epoch's scores into `scratch` (reused) for the prune
+  /// rule's gap test.
+  void CopyScores(std::vector<double>* scratch) const;
+
+ private:
+  struct Slot {
+    uint64_t epoch = 0;
+    uint64_t hash = 0;
+    EntityId entity = kNa;  // kNa: text-keyed answer
+    uint32_t key_off = 0, key_len = 0;    // text key (arena)
+    uint32_t disp_off = 0, disp_len = 0;  // display string (arena)
+    int32_t disp_table = 0;
+    double score = 0.0;
+  };
+
+  std::string_view KeyOf(const Slot& s) const {
+    return {arena_.data() + s.key_off, s.key_len};
+  }
+  std::string_view DisplayOf(const Slot& s) const {
+    return {arena_.data() + s.disp_off, s.disp_len};
+  }
+  Slot& FindOrInsert(uint64_t hash, EntityId entity,
+                     std::string_view text_key);
+  void MaybeTakeDisplay(Slot* slot, int32_t table, std::string_view raw);
+  void Grow();
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> touched_;
+  std::string arena_;
+  uint64_t epoch_ = 1;  // Slot epoch 0 = never used (see EntityAccumulator).
+  double max_score_ = 0.0;
+  std::vector<uint32_t> order_;            // EmitRanked scratch
+  std::vector<std::string> spare_strings_;  // recycled result texts
+};
+
+/// Memoizes the engines' shared E2 text predicate (engine_util.h's
+/// CellMatchesText: exact normalized match, else token-set Jaccard >=
+/// 0.5) against one target string per query. Distinct cell strings are
+/// evaluated once; repeats — the common case in entity columns — cost a
+/// hash probe. Results are bit-identical to CellMatchesText: same
+/// normalization, same distinct-token counts, same double division.
+/// Keys are string_views into the corpus mapping (stable for the
+/// query's duration); stale entries die with the epoch stamp.
+class TextMatchMemo {
+ public:
+  /// `normalized_target` must already be NormalizeText'd (idempotent,
+  /// so engines pass the query's pre-normalized E2 form). Begins a new
+  /// epoch.
+  void SetTarget(std::string_view normalized_target);
+  bool Matches(std::string_view cell);
+
+ private:
+  struct Slot {
+    uint64_t epoch = 0;
+    uint64_t hash = 0;
+    const char* ptr = nullptr;
+    uint32_t len = 0;
+    bool value = false;
+  };
+  bool Compute(std::string_view cell);
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+  uint64_t epoch_ = 1;  // Slot epoch 0 = never used (see EntityAccumulator).
+  std::string target_;
+  std::vector<std::string> target_tokens_;  // sorted unique, first n
+  size_t target_token_count_ = 0;
+  // Per-cell scratch.
+  std::string norm_;
+  std::vector<std::string> tokens_;
+};
+
+/// One candidate table of a select query's plan: the column runs (ranges
+/// into SearchWorkspace::col_pool, or posting-run bounds for the
+/// relation engine) plus the prune bound — an upper bound on the
+/// evidence any single answer can still gain from this table.
+struct PlannedTable {
+  int32_t table = 0;
+  uint32_t a_begin = 0, a_end = 0;  // answer-side columns / run begin-end
+  uint32_t b_begin = 0, b_end = 0;  // E2-side columns
+  double bound = 0.0;
+};
+
+}  // namespace search_internal
+
+/// Reusable per-worker scratch for the table-at-a-time search kernel —
+/// the search-side twin of PR 4's CandidateWorkspace. Holds the flat
+/// evidence accumulator, the memoized E2 text matcher, the query plan
+/// and column pools, and the top-k prune state. One instance serves any
+/// number of sequential queries against any CorpusView backend; all
+/// internal storage is epoch-stamped or cleared-in-place, so steady
+/// state allocates nothing. Not thread-safe: one workspace per worker.
+class SearchWorkspace {
+ public:
+  struct QueryStats {
+    int64_t tables_planned = 0;
+    int64_t tables_scored = 0;
+    bool stopped_early = false;
+  };
+
+  /// Begins a select-style query: resets the evidence map and seeds the
+  /// text memo with the query's normalized E2 form.
+  void BeginSelect(std::string_view normalized_e2);
+
+  /// Memoized CellMatchesText(cell, target) against the BeginSelect /
+  /// SetMatchTarget string.
+  bool CellMatches(std::string_view cell) { return memo_.Matches(cell); }
+  /// Retargets the memo mid-query (join legs ground different strings).
+  void SetMatchTarget(std::string_view normalized_target) {
+    memo_.SetTarget(normalized_target);
+  }
+
+  void AddEntity(int32_t table, EntityId e, std::string_view raw,
+                 double score) {
+    evidence_.AddEntity(table, e, raw, score);
+  }
+  void AddText(int32_t table, std::string_view raw, double score);
+
+  /// The safe early-termination rule. `remaining` is the sum over
+  /// unscanned tables of PlannedTable::bound — an upper bound on any
+  /// single answer's missing evidence. Stopping is allowed only when
+  /// more than k answers exist and every adjacent gap among the current
+  /// top k+1 scores strictly exceeds `remaining`: then no unscanned
+  /// table can reorder the prefix or promote an outside answer into it,
+  /// so the pruned prefix equals the full ranking's. Ties (gap 0) block
+  /// stopping, which is what keeps the documented tie-break exact.
+  bool ShouldStop(int k, double remaining);
+
+  /// Ranks the accumulated evidence into `out` (reused).
+  void EmitRanked(const TopKOptions& topk, std::vector<SearchResult>* out);
+
+  const QueryStats& stats() const { return query_stats; }
+
+  // --- Engine-facing scratch (internal to src/search/). ---
+  std::vector<search_internal::PlannedTable> plan;
+  std::vector<double> suffix_bound;       // suffix sums over `plan`
+  std::vector<int32_t> col_pool;          // planned column ranges
+  std::vector<ColumnRef> side_a, side_b;  // baseline header-union sides
+  std::vector<int32_t> context_tables;    // baseline context bonus
+  search_internal::EntityAccumulator leg_acc;  // join leg expansion
+  std::vector<std::pair<EntityId, double>> binding_list;  // join bindings
+  std::string norm_scratch;  // join E3 normalization
+  QueryStats query_stats;   // written by the engines per query
+
+ private:
+  search_internal::EvidenceMap evidence_;
+  search_internal::TextMatchMemo memo_;
+  std::string text_key_scratch_;
+  std::vector<double> score_scratch_;
+  // Exponential backoff for the O(answers) gap test (see ShouldStop).
+  int64_t stop_check_skip_ = 0;
+  int64_t stop_check_backoff_ = 1;
+};
+
+/// Per-thread workspace backing the convenience engine wrappers (the
+/// engines never nest, so all four share one instance per thread).
+/// Hot-path callers should own a workspace instead.
+SearchWorkspace& ThreadLocalSearchWorkspace();
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_SEARCH_WORKSPACE_H_

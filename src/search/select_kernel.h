@@ -1,0 +1,67 @@
+#ifndef WEBTAB_SEARCH_SELECT_KERNEL_H_
+#define WEBTAB_SEARCH_SELECT_KERNEL_H_
+
+#include <algorithm>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "search/posting_cursor.h"
+#include "search/search_workspace.h"
+
+namespace webtab {
+namespace search_internal {
+
+/// Appends `run`'s distinct column indices to `pool` in ascending order
+/// (the reference engines' std::set semantics) and returns the appended
+/// [begin, end) range. Runs are one table's worth of postings, so the
+/// sort is tiny.
+inline std::pair<uint32_t, uint32_t> AppendUniqueCols(
+    std::span<const ColumnRef> run, std::vector<int32_t>* pool) {
+  const uint32_t begin = static_cast<uint32_t>(pool->size());
+  for (const ColumnRef& ref : run) pool->push_back(ref.col);
+  std::sort(pool->begin() + begin, pool->end());
+  pool->erase(std::unique(pool->begin() + begin, pool->end()),
+              pool->end());
+  return {begin, static_cast<uint32_t>(pool->size())};
+}
+
+/// Fills ws->suffix_bound: suffix_bound[i] = Σ plan[j].bound for j > i —
+/// the prune rule's "remaining evidence mass" after scoring table i.
+inline void ComputeSuffixBounds(SearchWorkspace* ws) {
+  ws->suffix_bound.resize(ws->plan.size());
+  double acc = 0.0;
+  for (size_t i = ws->plan.size(); i-- > 0;) {
+    ws->suffix_bound[i] = acc;
+    acc += ws->plan[i].bound;
+  }
+}
+
+/// The shared execution skeleton every select engine runs after
+/// building its plan: record plan stats, compute per-table bounds and
+/// suffix sums when pruning applies (`bound_of(p)` is the engine's
+/// upper bound on one answer's evidence from table p), then score
+/// tables in ascending order with the safe early-stop check after each.
+/// Keeping this in one place keeps the stop condition and stats
+/// accounting from drifting apart across engines.
+template <typename BoundFn, typename ScoreFn>
+void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
+                      BoundFn&& bound_of, ScoreFn&& score_table) {
+  ws->query_stats.tables_planned = static_cast<int64_t>(ws->plan.size());
+  const bool prune = topk.k > 0 && topk.prune;
+  if (prune) {
+    for (PlannedTable& p : ws->plan) p.bound = bound_of(p);
+    ComputeSuffixBounds(ws);
+  }
+  for (size_t pi = 0; pi < ws->plan.size(); ++pi) {
+    score_table(ws->plan[pi]);
+    ++ws->query_stats.tables_scored;
+    if (prune && ws->ShouldStop(topk.k, ws->suffix_bound[pi])) break;
+  }
+}
+
+}  // namespace search_internal
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_SELECT_KERNEL_H_

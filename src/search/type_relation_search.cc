@@ -1,6 +1,6 @@
 #include "search/type_relation_search.h"
 
-#include "search/engine_util.h"
+#include "search/select_kernel.h"
 
 namespace webtab {
 
@@ -13,35 +13,74 @@ std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
 std::vector<SearchResult> TypeRelationSearch(
     const CorpusView& index, const SelectQuery& query,
     const NormalizedSelectQuery& nq) {
-  using search_internal::CellMatchesText;
-  using search_internal::EvidenceAggregator;
+  std::vector<SearchResult> out;
+  TypeRelationSearch(index, query, nq, TopKOptions{},
+             &ThreadLocalSearchWorkspace(), &out);
+  return out;
+}
 
-  EvidenceAggregator agg;
-  for (const RelationRef& ref : index.RelationPostings(query.relation)) {
-    // Subject column holds E1 (answers); object column holds E2.
-    int subject_col = ref.swapped ? ref.c2 : ref.c1;
-    int object_col = ref.swapped ? ref.c1 : ref.c2;
-    const int num_rows = index.rows(ref.table);
-    for (int r = 0; r < num_rows; ++r) {
-      double row_score = 0.0;
-      EntityId obj = index.CellEntity(ref.table, r, object_col);
-      if (query.e2 != kNa && obj == query.e2) {
-        row_score = 1.2;  // Relation + entity annotated: strongest signal.
-      } else if (CellMatchesText(index.cell(ref.table, r, object_col),
-                                 nq.e2_text)) {
-        row_score = 0.7;
-      }
-      if (row_score <= 0.0) continue;
-      EntityId answer = index.CellEntity(ref.table, r, subject_col);
-      if (answer != kNa) {
-        agg.AddEntity(answer, index.cell(ref.table, r, subject_col),
-                      row_score);
-      } else {
-        agg.AddText(index.cell(ref.table, r, subject_col), row_score * 0.8);
-      }
-    }
+void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
+                        const NormalizedSelectQuery& nq,
+                        const TopKOptions& topk, SearchWorkspace* ws,
+                        std::vector<SearchResult>* out) {
+  using search_internal::PlannedTable;
+  using search_internal::PostingCursor;
+
+  ws->BeginSelect(nq.e2_text);
+
+  // Plan: group the relation's table-sorted postings into per-table
+  // runs (a_begin/a_end index the postings span itself).
+  std::span<const RelationRef> postings =
+      index.RelationPostings(query.relation);
+  ws->plan.clear();
+  PostingCursor<RelationRef> cursor(postings);
+  while (!cursor.done()) {
+    PlannedTable p;
+    p.table = cursor.table();
+    std::span<const RelationRef> run = cursor.TakeRun();
+    p.a_begin = static_cast<uint32_t>(run.data() - postings.data());
+    p.a_end = p.a_begin + static_cast<uint32_t>(run.size());
+    ws->plan.push_back(p);
   }
-  return agg.Ranked();
+  search_internal::RunPlannedTables(
+      ws, topk,
+      // Max row_score is 1.2; one answer can gain it once per (row,
+      // annotated pair) of the table.
+      [&](const PlannedTable& p) {
+        return static_cast<double>(index.rows(p.table)) * 1.2 *
+               (p.a_end - p.a_begin);
+      },
+      [&](const PlannedTable& p) {
+        for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
+          const RelationRef& ref = postings[ri];
+          // Subject column holds E1 (answers); object column holds E2.
+          int subject_col = ref.swapped ? ref.c2 : ref.c1;
+          int object_col = ref.swapped ? ref.c1 : ref.c2;
+          const int num_rows = index.rows(ref.table);
+          for (int r = 0; r < num_rows; ++r) {
+            double row_score = 0.0;
+            EntityId obj = index.CellEntity(ref.table, r, object_col);
+            if (query.e2 != kNa && obj == query.e2) {
+              row_score = 1.2;  // Relation + entity annotated: strongest.
+            } else if (ws->CellMatches(
+                           index.cell(ref.table, r, object_col))) {
+              row_score = 0.7;
+            }
+            if (row_score <= 0.0) continue;
+            EntityId answer = index.CellEntity(ref.table, r, subject_col);
+            if (answer != kNa) {
+              ws->AddEntity(ref.table, answer,
+                            index.cell(ref.table, r, subject_col),
+                            row_score);
+            } else {
+              ws->AddText(ref.table,
+                          index.cell(ref.table, r, subject_col),
+                          row_score * 0.8);
+            }
+          }
+        }
+      });
+  ws->EmitRanked(topk, out);
 }
 
 }  // namespace webtab

@@ -5,6 +5,7 @@
 
 #include "search/corpus_view.h"
 #include "search/query.h"
+#include "search/search_workspace.h"
 
 namespace webtab {
 
@@ -18,6 +19,11 @@ std::vector<SearchResult> TypeRelationSearch(const CorpusView& index,
 std::vector<SearchResult> TypeRelationSearch(
     const CorpusView& index, const SelectQuery& query,
     const NormalizedSelectQuery& normalized);
+/// Kernel form: reusable workspace, results into `out`, top-k pruning.
+void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
+                        const NormalizedSelectQuery& normalized,
+                        const TopKOptions& topk, SearchWorkspace* workspace,
+                        std::vector<SearchResult>* out);
 
 }  // namespace webtab
 

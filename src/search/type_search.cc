@@ -1,9 +1,6 @@
 #include "search/type_search.h"
 
-#include <map>
-#include <set>
-
-#include "search/engine_util.h"
+#include "search/select_kernel.h"
 
 namespace webtab {
 
@@ -16,47 +13,73 @@ std::vector<SearchResult> TypeSearch(const CorpusView& index,
 std::vector<SearchResult> TypeSearch(const CorpusView& index,
                                      const SelectQuery& query,
                                      const NormalizedSelectQuery& nq) {
-  using search_internal::CellMatchesText;
-  using search_internal::EvidenceAggregator;
+  std::vector<SearchResult> out;
+  TypeSearch(index, query, nq, TopKOptions{},
+             &ThreadLocalSearchWorkspace(), &out);
+  return out;
+}
 
-  std::map<int, std::set<int>> t1_cols;
-  std::map<int, std::set<int>> t2_cols;
-  for (const ColumnRef& ref : index.TypePostings(query.type1)) {
-    t1_cols[ref.table].insert(ref.col);
-  }
-  for (const ColumnRef& ref : index.TypePostings(query.type2)) {
-    t2_cols[ref.table].insert(ref.col);
-  }
+void TypeSearch(const CorpusView& index, const SelectQuery& query,
+                const NormalizedSelectQuery& nq, const TopKOptions& topk,
+                SearchWorkspace* ws, std::vector<SearchResult>* out) {
+  using search_internal::AppendUniqueCols;
+  using search_internal::IntersectByTable;
+  using search_internal::PlannedTable;
 
-  EvidenceAggregator agg;
-  for (const auto& [table_idx, c1s] : t1_cols) {
-    auto it2 = t2_cols.find(table_idx);
-    if (it2 == t2_cols.end()) continue;
-    const int num_rows = index.rows(table_idx);
-    for (int c2 : it2->second) {
-      for (int r = 0; r < num_rows; ++r) {
-        double row_score = 0.0;
-        EntityId cell_entity = index.CellEntity(table_idx, r, c2);
-        if (query.e2 != kNa && cell_entity == query.e2) {
-          row_score = 1.0;  // Annotated hit.
-        } else if (CellMatchesText(index.cell(table_idx, r, c2),
-                                   nq.e2_text)) {
-          row_score = 0.6;  // Text fallback.
-        }
-        if (row_score <= 0.0) continue;
-        for (int c1 : c1s) {
-          if (c1 == c2) continue;
-          EntityId answer = index.CellEntity(table_idx, r, c1);
-          if (answer != kNa) {
-            agg.AddEntity(answer, index.cell(table_idx, r, c1), row_score);
-          } else {
-            agg.AddText(index.cell(table_idx, r, c1), row_score * 0.8);
+  ws->BeginSelect(nq.e2_text);
+
+  // Plan: leapfrog the two table-sorted type posting lists; a candidate
+  // table needs a T1-typed column and a T2-typed column.
+  ws->plan.clear();
+  ws->col_pool.clear();
+  IntersectByTable(
+      index.TypePostings(query.type1), index.TypePostings(query.type2),
+      [&](int32_t table, std::span<const ColumnRef> run1,
+          std::span<const ColumnRef> run2) {
+        PlannedTable p;
+        p.table = table;
+        std::tie(p.a_begin, p.a_end) = AppendUniqueCols(run1, &ws->col_pool);
+        std::tie(p.b_begin, p.b_end) = AppendUniqueCols(run2, &ws->col_pool);
+        ws->plan.push_back(p);
+      });
+  search_internal::RunPlannedTables(
+      ws, topk,
+      // Any single answer gains at most one row_score (max 1.0) per
+      // (row, answer cell, matching E2 column) triple.
+      [&](const PlannedTable& p) {
+        return static_cast<double>(index.rows(p.table)) *
+               (p.a_end - p.a_begin) * (p.b_end - p.b_begin);
+      },
+      [&](const PlannedTable& p) {
+        const int table = p.table;
+        const int num_rows = index.rows(table);
+        for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+          const int c2 = ws->col_pool[bi];
+          for (int r = 0; r < num_rows; ++r) {
+            double row_score = 0.0;
+            EntityId cell_entity = index.CellEntity(table, r, c2);
+            if (query.e2 != kNa && cell_entity == query.e2) {
+              row_score = 1.0;  // Annotated hit.
+            } else if (ws->CellMatches(index.cell(table, r, c2))) {
+              row_score = 0.6;  // Text fallback.
+            }
+            if (row_score <= 0.0) continue;
+            for (uint32_t ai = p.a_begin; ai < p.a_end; ++ai) {
+              const int c1 = ws->col_pool[ai];
+              if (c1 == c2) continue;
+              EntityId answer = index.CellEntity(table, r, c1);
+              if (answer != kNa) {
+                ws->AddEntity(table, answer, index.cell(table, r, c1),
+                              row_score);
+              } else {
+                ws->AddText(table, index.cell(table, r, c1),
+                            row_score * 0.8);
+              }
+            }
           }
         }
-      }
-    }
-  }
-  return agg.Ranked();
+      });
+  ws->EmitRanked(topk, out);
 }
 
 }  // namespace webtab

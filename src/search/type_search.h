@@ -5,6 +5,7 @@
 
 #include "search/corpus_view.h"
 #include "search/query.h"
+#include "search/search_workspace.h"
 
 namespace webtab {
 
@@ -20,6 +21,13 @@ std::vector<SearchResult> TypeSearch(const CorpusView& index,
 std::vector<SearchResult> TypeSearch(const CorpusView& index,
                                      const SelectQuery& query,
                                      const NormalizedSelectQuery& normalized);
+/// The kernel form every caller on a hot path uses: reusable workspace
+/// (zero steady-state allocations), results emitted into `out`
+/// (reused), top-k with safe pruning per TopKOptions.
+void TypeSearch(const CorpusView& index, const SelectQuery& query,
+                const NormalizedSelectQuery& normalized,
+                const TopKOptions& topk, SearchWorkspace* workspace,
+                std::vector<SearchResult>* out);
 
 }  // namespace webtab
 

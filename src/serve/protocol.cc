@@ -64,7 +64,11 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
   if (!op.ok()) return op.status();
   request.op = *op;
 
-  request.top_k = static_cast<int>(json.GetNumber("k", 10));
+  // "k" is an opt-in: absent (<= 0) keeps the engines on the exact
+  // full ranking (scores and total_results as before; the renderer
+  // still truncates the *displayed* list); present, it flows into the
+  // engines as a pruned top-k request.
+  request.top_k = static_cast<int>(json.GetNumber("k", 0));
   request.deadline_ms =
       static_cast<int64_t>(json.GetNumber("deadline_ms", 0));
 
@@ -126,6 +130,47 @@ SelectQuery ResolveSelectQuery(const WireSelect& wire,
   query.type1_text = wire.type1;
   query.type2_text = wire.type2;
   return query;
+}
+
+namespace {
+
+Status UnknownName(const char* field, const char* what,
+                   const std::string& name) {
+  return Status::InvalidArgument(std::string(field) + ": unknown " + what +
+                                 " \"" + name + "\"");
+}
+
+}  // namespace
+
+Status ValidateResolvedSelect(EngineKind engine, const WireSelect& wire,
+                              const SelectQuery& query) {
+  // Only names the chosen engine actually reads are required: the type
+  // engine locates columns by type1/type2; the type_relation engine by
+  // relation alone (it never reads the type ids); the baseline treats
+  // everything as strings.
+  if (engine == EngineKind::kType) {
+    if (!wire.type1.empty() && query.type1 == kNa) {
+      return UnknownName("type1", "type", wire.type1);
+    }
+    if (!wire.type2.empty() && query.type2 == kNa) {
+      return UnknownName("type2", "type", wire.type2);
+    }
+  }
+  if (engine == EngineKind::kTypeRelation && !wire.relation.empty() &&
+      query.relation == kNa) {
+    return UnknownName("relation", "relation", wire.relation);
+  }
+  return Status::Ok();
+}
+
+Status ValidateResolvedJoin(const WireJoin& wire, const JoinQuery& query) {
+  if (!wire.r1.empty() && query.r1 == kNa) {
+    return UnknownName("r1", "relation", wire.r1);
+  }
+  if (!wire.r2.empty() && query.r2 == kNa) {
+    return UnknownName("r2", "relation", wire.r2);
+  }
+  return Status::Ok();
 }
 
 JoinQuery ResolveJoinQuery(const WireJoin& wire, const CatalogView& catalog) {

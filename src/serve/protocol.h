@@ -52,7 +52,12 @@ struct WireRequest {
   WireJoin join;
   WireTable table;
   std::string path;        // swap
-  int top_k = 10;          // search/join response truncation
+  /// <= 0 (wire "k" absent): engines compute the exact full ranking
+  /// and only the rendered list is truncated (to 10). > 0: flows into
+  /// the engines as TopKOptions{k, prune=true} — bounded selection
+  /// with safe pruning; scores are then lower bounds and
+  /// total_results <= k.
+  int top_k = 0;
   int64_t deadline_ms = 0; // 0 = service default
 };
 
@@ -66,6 +71,18 @@ Result<WireRequest> ParseWireRequest(std::string_view line);
 SelectQuery ResolveSelectQuery(const WireSelect& wire,
                                const CatalogView& catalog);
 JoinQuery ResolveJoinQuery(const WireJoin& wire, const CatalogView& catalog);
+
+/// Post-resolution validation: kInvalidArgument naming the offending
+/// field when a name the chosen engine relies on did not resolve —
+/// the type engine needs type1/type2, the type_relation engine needs
+/// relation (it reads nothing else), joins need r1/r2. The baseline
+/// treats all inputs as strings so nothing is required, and e2/e3
+/// always keep their free-text fallback (the paper's "E2 not in the
+/// catalog" case). This is how a typo'd name surfaces as a JSON error
+/// instead of a silently empty ranking.
+Status ValidateResolvedSelect(EngineKind engine, const WireSelect& wire,
+                              const SelectQuery& query);
+Status ValidateResolvedJoin(const WireJoin& wire, const JoinQuery& query);
 
 /// Builds a Table from the wire form; rows must be rectangular.
 Result<Table> WireToTable(const WireTable& wire);

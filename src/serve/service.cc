@@ -101,6 +101,7 @@ bool WebTabService::Enqueue(std::unique_ptr<Request> request) {
 
 std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
                                                         SelectQuery query,
+                                                        TopKOptions topk,
                                                         Deadline deadline) {
   if (engine == EngineKind::kJoin) {
     // Join queries carry a different payload; route through SubmitJoin.
@@ -115,6 +116,7 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
   request->kind = RequestKind::kSearch;
   request->engine = engine;
   request->select = std::move(query);
+  request->topk = topk;
   request->deadline = EffectiveDeadline(deadline);
   std::future<SearchResponse> future = request->search_promise.get_future();
   search_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -123,11 +125,13 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
 }
 
 std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
+                                                      TopKOptions topk,
                                                       Deadline deadline) {
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kJoin;
   request->engine = EngineKind::kJoin;
   request->join = std::move(query);
+  request->topk = topk;
   request->deadline = EffectiveDeadline(deadline);
   std::future<SearchResponse> future = request->search_promise.get_future();
   search_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -150,13 +154,14 @@ std::future<AnnotateResponse> WebTabService::SubmitAnnotate(
 
 SearchResponse WebTabService::Search(EngineKind engine,
                                      const SelectQuery& query,
-                                     Deadline deadline) {
-  return SubmitSearch(engine, query, deadline).get();
+                                     TopKOptions topk, Deadline deadline) {
+  return SubmitSearch(engine, query, topk, deadline).get();
 }
 
 SearchResponse WebTabService::SearchJoin(const JoinQuery& query,
+                                         TopKOptions topk,
                                          Deadline deadline) {
-  return SubmitJoin(query, deadline).get();
+  return SubmitJoin(query, topk, deadline).get();
 }
 
 AnnotateResponse WebTabService::Annotate(const Table& table,
@@ -244,11 +249,11 @@ void WebTabService::Execute(Request* request, WorkerState* state) {
   if (is_annotate) {
     ExecuteAnnotate(request, state, handle, meta);
   } else {
-    ExecuteSearch(request, handle, meta);
+    ExecuteSearch(request, state, handle, meta);
   }
 }
 
-void WebTabService::ExecuteSearch(Request* request,
+void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
                                   const SnapshotManager::Handle& handle,
                                   RequestMetadata meta) {
   SearchResponse response;
@@ -262,18 +267,36 @@ void WebTabService::ExecuteSearch(Request* request,
     return;
   }
 
+  // Reject out-of-range catalog ids up front (kInvalidArgument echoed
+  // to the client) instead of letting per-accessor CHECKs trip deeper
+  // in the stack on garbage ids.
+  const bool is_join = request->kind == RequestKind::kJoin;
+  const CatalogView& catalog = handle.snapshot->catalog();
+  Status valid = is_join ? ValidateJoinQuery(request->join, catalog)
+                         : ValidateSelectQuery(request->select, catalog);
+  if (!valid.ok()) {
+    response.status = std::move(valid);
+    response.meta = meta;
+    request->search_promise.set_value(std::move(response));
+    return;
+  }
+
   // One normalization per request, shared by the cache key and the
   // engine (the point of the shared helper in search/query.cc).
-  const bool is_join = request->kind == RequestKind::kJoin;
   NormalizedSelectQuery normalized;
   if (!is_join) normalized = NormalizeSelectQuery(request->select);
 
-  // Cache key: engine + generation + canonical normalized query. The
-  // version prefix makes hot-swaps self-invalidating.
+  // Cache key: engine + generation + canonical normalized query + the
+  // top-k contract. The version prefix makes hot-swaps
+  // self-invalidating; k and prune are part of the key because a
+  // pruned top-k ranking is a different payload (shorter, lower-bound
+  // scores) than the full ranking.
   std::string key;
   if (cache_ != nullptr) {
     key = std::string(EngineKindName(request->engine)) + "|v" +
-          std::to_string(handle.version) + "|" +
+          std::to_string(handle.version) + "|k" +
+          std::to_string(request->topk.k) +
+          (request->topk.prune ? "" : "|noprune") + "|" +
           (is_join ? JoinQueryCacheKey(request->join)
                    : SelectQueryCacheKey(request->select, normalized));
     if (ResultCache::Value hit = cache_->Get(key)) {
@@ -287,18 +310,22 @@ void WebTabService::ExecuteSearch(Request* request,
 
   WallTimer work;
   std::vector<SearchResult> results;
+  SearchWorkspace* ws = &state->search_workspace;
   switch (request->engine) {
     case EngineKind::kBaseline:
-      results = BaselineSearch(*corpus, request->select, normalized);
+      BaselineSearch(*corpus, request->select, normalized, request->topk,
+                     ws, &results);
       break;
     case EngineKind::kType:
-      results = TypeSearch(*corpus, request->select, normalized);
+      TypeSearch(*corpus, request->select, normalized, request->topk, ws,
+                 &results);
       break;
     case EngineKind::kTypeRelation:
-      results = TypeRelationSearch(*corpus, request->select, normalized);
+      TypeRelationSearch(*corpus, request->select, normalized,
+                         request->topk, ws, &results);
       break;
     case EngineKind::kJoin:
-      results = JoinSearch(*corpus, request->join);
+      JoinSearch(*corpus, request->join, request->topk, ws, &results);
       break;
   }
   meta.work_millis = work.ElapsedMillis();

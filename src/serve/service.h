@@ -123,18 +123,26 @@ class WebTabService {
   void Stop();
 
   // --- Async API (the native shape; one future per request). ---
+  // `topk` flows into the engines (bounded selection + safe pruning;
+  // see search/query.h); the default asks for the full ranking. The
+  // result cache keys on (engine, version, normalized query, k, prune),
+  // so differently-truncated rankings never alias.
   std::future<SearchResponse> SubmitSearch(EngineKind engine,
                                            SelectQuery query,
+                                           TopKOptions topk = TopKOptions(),
                                            Deadline deadline = Deadline());
   std::future<SearchResponse> SubmitJoin(JoinQuery query,
+                                         TopKOptions topk = TopKOptions(),
                                          Deadline deadline = Deadline());
   std::future<AnnotateResponse> SubmitAnnotate(
       Table table, Deadline deadline = Deadline());
 
   // --- Blocking wrappers for closed-loop callers. ---
   SearchResponse Search(EngineKind engine, const SelectQuery& query,
+                        TopKOptions topk = TopKOptions(),
                         Deadline deadline = Deadline());
   SearchResponse SearchJoin(const JoinQuery& query,
+                            TopKOptions topk = TopKOptions(),
                             Deadline deadline = Deadline());
   AnnotateResponse Annotate(const Table& table,
                             Deadline deadline = Deadline());
@@ -157,6 +165,7 @@ class WebTabService {
     EngineKind engine = EngineKind::kTypeRelation;
     SelectQuery select;
     JoinQuery join;
+    TopKOptions topk;
     Table table;
     Deadline deadline;
     WallTimer queued;
@@ -176,12 +185,17 @@ class WebTabService {
     std::shared_ptr<const ServingSnapshot> pinned;
     std::unique_ptr<Vocabulary> vocab;
     std::unique_ptr<TableAnnotator> annotator;
+    /// Search kernel scratch, reused across requests and generations
+    /// (its contents are epoch-stamped per query, so a hot-swap needs
+    /// no reset — stale corpus string_views are never dereferenced).
+    SearchWorkspace search_workspace;
   };
 
   bool Enqueue(std::unique_ptr<Request> request);
   void WorkerLoop();
   void Execute(Request* request, WorkerState* state);
-  void ExecuteSearch(Request* request, const SnapshotManager::Handle& handle,
+  void ExecuteSearch(Request* request, WorkerState* state,
+                     const SnapshotManager::Handle& handle,
                      RequestMetadata meta);
   void ExecuteAnnotate(Request* request, WorkerState* state,
                        const SnapshotManager::Handle& handle,

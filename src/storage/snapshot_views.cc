@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "index/lemma_probe.h"
+#include "search/posting_cursor.h"
 
 namespace webtab {
 namespace storage {
@@ -788,6 +789,30 @@ Status SnapshotCorpusView::Init(const uint8_t* base, uint64_t size) {
   return Status::Ok();
 }
 
+namespace {
+
+/// Every postings row non-decreasing by table — the search kernel's
+/// galloping cursors (search/posting_cursor.h) binary-search these
+/// spans via the same PostingTable accessor, so an out-of-order row
+/// would silently skip or double-count evidence rather than crash.
+template <typename T>
+Status CheckPostingsTableOrder(const CsrView<T>& csr, const char* what) {
+  for (uint64_t row = 0; row < csr.row_ends.size(); ++row) {
+    int32_t prev = -1;
+    for (const T& ref : csr.Row(row)) {
+      int32_t table = search_internal::PostingTable(ref);
+      if (table < prev) {
+        return Status::ParseError(std::string(what) +
+                                  " postings out of table order");
+      }
+      prev = table;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status SnapshotCorpusView::DeepValidate() const {
   WEBTAB_RETURN_IF_ERROR(CheckArenaSorted(header_tokens_, "header tokens"));
   WEBTAB_RETURN_IF_ERROR(
@@ -796,6 +821,15 @@ Status SnapshotCorpusView::DeepValidate() const {
   WEBTAB_RETURN_IF_ERROR(
       CheckSorted(relation_keys_, "corpus relation keys"));
   WEBTAB_RETURN_IF_ERROR(CheckSorted(entity_keys_, "corpus entity keys"));
+  WEBTAB_RETURN_IF_ERROR(
+      CheckPostingsTableOrder(header_postings_, "header"));
+  WEBTAB_RETURN_IF_ERROR(
+      CheckPostingsTableOrder(context_postings_, "context"));
+  WEBTAB_RETURN_IF_ERROR(CheckPostingsTableOrder(type_postings_, "type"));
+  WEBTAB_RETURN_IF_ERROR(
+      CheckPostingsTableOrder(relation_postings_, "relation"));
+  WEBTAB_RETURN_IF_ERROR(
+      CheckPostingsTableOrder(entity_postings_, "entity"));
   for (int64_t t = 0; t < header_.num_tables; ++t) {
     WEBTAB_RETURN_IF_ERROR(CheckSorted<TableRelationDisk>(
         table_relations_.Row(t), "table relations",

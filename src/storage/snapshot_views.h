@@ -164,8 +164,10 @@ class SnapshotCorpusView : public CorpusView {
   Status Init(const uint8_t* base, uint64_t size);
 
   /// Hostile-file invariants: token arenas and postings key arrays
-  /// sorted, and per-table relation rows sorted by (c1, c2) — all are
-  /// binary searched by the engines.
+  /// sorted, per-table relation rows sorted by (c1, c2), and every
+  /// postings row table-sorted (the CorpusView ordering contract the
+  /// search kernel's galloping cursors rely on) — all are binary
+  /// searched by the engines.
   Status DeepValidate() const;
 
   int64_t num_tables() const override { return header_.num_tables; }

@@ -292,7 +292,9 @@ std::vector<uint8_t> BuildLemmaIndexSection(const LemmaIndex& index) {
 }
 
 /// Serializes an unordered postings map with sortable keys: emits
-/// (sorted keys, CSR of the per-key vectors in stored order).
+/// (sorted keys, CSR of the per-key vectors in stored order). Stored
+/// order is the CorpusIndex build order, i.e. table-sorted — the
+/// CorpusView ordering contract OpenValidated re-checks on open.
 template <typename K, typename V>
 void AddKeyedPostings(SectionBuilder* sb,
                       const std::unordered_map<K, std::vector<V>>& map,

@@ -7,23 +7,58 @@
 namespace webtab {
 
 std::vector<std::string> Tokenize(std::string_view text) {
+  // Thin wrapper over the buffer-reusing variant so the tokenization
+  // rules live in one loop (the search kernel's memoized text matching
+  // depends on the two staying bit-identical).
   std::vector<std::string> tokens;
-  std::string current;
-  for (char c : text) {
-    unsigned char u = static_cast<unsigned char>(c);
-    if (std::isalnum(u)) {
-      current += static_cast<char>(std::tolower(u));
-    } else if (!current.empty()) {
-      tokens.push_back(std::move(current));
-      current.clear();
-    }
-  }
-  if (!current.empty()) tokens.push_back(std::move(current));
+  tokens.resize(TokenizeInto(text, &tokens));
   return tokens;
 }
 
 std::string NormalizeText(std::string_view text) {
-  return Join(Tokenize(text), " ");
+  std::string out;
+  NormalizeTextInto(text, &out);
+  return out;
+}
+
+void NormalizeTextInto(std::string_view text, std::string* out) {
+  // Equivalent to Join(Tokenize(text), " ") without the token vector:
+  // emit a separating space before every token after the first.
+  out->clear();
+  bool in_token = false;
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      if (!in_token && !out->empty()) out->push_back(' ');
+      in_token = true;
+      out->push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      in_token = false;
+    }
+  }
+}
+
+size_t TokenizeInto(std::string_view text, std::vector<std::string>* out) {
+  size_t count = 0;
+  auto slot = [&]() -> std::string& {
+    if (count == out->size()) out->emplace_back();
+    return (*out)[count];
+  };
+  bool in_token = false;
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      std::string& token = slot();
+      if (!in_token) token.clear();
+      in_token = true;
+      token.push_back(static_cast<char>(std::tolower(u)));
+    } else if (in_token) {
+      in_token = false;
+      ++count;
+    }
+  }
+  if (in_token) ++count;
+  return count;
 }
 
 }  // namespace webtab

@@ -16,6 +16,17 @@ std::vector<std::string> Tokenize(std::string_view text);
 /// Tokenize + rejoin with single spaces; canonical normalized form.
 std::string NormalizeText(std::string_view text);
 
+/// Allocation-reusing variants for hot loops (the search kernel calls
+/// these once per distinct cell string). Outputs are bit-identical to
+/// NormalizeText/Tokenize; the caller-owned buffers keep their capacity
+/// across calls so steady state performs no allocations.
+void NormalizeTextInto(std::string_view text, std::string* out);
+
+/// Tokenizes into `out`[0..return), reusing each element's capacity.
+/// Elements past the returned count hold stale data; callers must treat
+/// the vector as sized by the return value.
+size_t TokenizeInto(std::string_view text, std::vector<std::string>* out);
+
 }  // namespace webtab
 
 #endif  // WEBTAB_TEXT_TOKENIZER_H_

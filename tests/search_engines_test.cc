@@ -2,6 +2,7 @@
 
 #include "search/baseline_search.h"
 #include "search/corpus_index.h"
+#include "search/join_search.h"
 #include "search/type_relation_search.h"
 #include "search/type_search.h"
 #include "test_world.h"
@@ -123,6 +124,69 @@ TEST_F(SearchEnginesTest, UnknownQueryYieldsNothing) {
   q.type2 = w_.person;
   q.e2_text = "nobody";
   EXPECT_TRUE(TypeRelationSearch(index_, q).empty());
+}
+
+TEST_F(SearchEnginesTest, ScoreTiesRankByAscendingEntityId) {
+  // Both books appear once with the same row score, so they tie; the
+  // documented convention (score desc, id asc — consistent with PR 4's
+  // LemmaHit ordering) must rank the smaller id first. The retired
+  // aggregator ranked ties by *descending* id; this pins the fix.
+  std::vector<AnnotatedTable> corpus = MakeCorpus();
+  // Rewrite both rows to the same E2 so each answer scores once.
+  corpus[0].annotation.cell_entities[0][1] = w_.einstein;
+  corpus[0].annotation.cell_entities[1][1] = w_.einstein;
+  CorpusIndex tied(std::move(corpus), &closure_);
+  SelectQuery q = EinsteinQuery();
+  auto results = TypeSearch(tied, q);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].score, results[1].score);
+  EXPECT_LT(results[0].entity, results[1].entity);
+  EXPECT_EQ(results[0].entity, std::min(w_.b95, w_.b41));
+}
+
+TEST_F(SearchEnginesTest, TopKReturnsExactPrefix) {
+  SearchWorkspace ws;
+  std::vector<SearchResult> topk;
+  SelectQuery q = EinsteinQuery();
+  NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+  auto full = TypeSearch(index_, q, nq);
+  ASSERT_FALSE(full.empty());
+  for (bool prune : {false, true}) {
+    TypeSearch(index_, q, nq, TopKOptions{1, prune}, &ws, &topk);
+    ASSERT_EQ(topk.size(), 1u);
+    EXPECT_EQ(topk[0].entity, full[0].entity);
+    EXPECT_EQ(topk[0].text, full[0].text);
+  }
+  // k larger than the result set: identical to the full ranking.
+  TypeSearch(index_, q, nq, TopKOptions{100, true}, &ws, &topk);
+  ASSERT_EQ(topk.size(), full.size());
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(topk[i].entity, full[i].entity);
+    EXPECT_EQ(topk[i].score, full[i].score);  // Nothing was skipped.
+  }
+}
+
+TEST_F(SearchEnginesTest, ValidateSelectQueryRejectsGarbageIds) {
+  SelectQuery ok = EinsteinQuery();
+  EXPECT_TRUE(ValidateSelectQuery(ok, w_.catalog).ok());
+  ok.e2 = kNa;  // Absent ids are legal (text fallback).
+  EXPECT_TRUE(ValidateSelectQuery(ok, w_.catalog).ok());
+
+  SelectQuery bad = EinsteinQuery();
+  bad.relation = 9999;
+  Status status = ValidateSelectQuery(bad, w_.catalog);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  bad = EinsteinQuery();
+  bad.type1 = -7;
+  EXPECT_EQ(ValidateSelectQuery(bad, w_.catalog).code(),
+            StatusCode::kInvalidArgument);
+
+  JoinQuery join;
+  join.r1 = w_.author;
+  join.r2 = 12345;
+  EXPECT_EQ(ValidateJoinQuery(join, w_.catalog).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(SearchEnginesTest, EvidenceAggregationAcrossTables) {

@@ -158,6 +158,56 @@ TEST(ResolveTest, ResolvesNamesAgainstCatalog) {
   EXPECT_EQ(fallback.type1_text, "starship");
 }
 
+TEST(ResolveTest, StrictValidationPerEngine) {
+  Figure1World w = MakeFigure1World();
+  WireSelect wire;
+  wire.relation = "author";
+  wire.type1 = "starship";  // Not in the catalog.
+  wire.type2 = "person";
+  wire.e2 = "Nobody Special";
+  SelectQuery q = ResolveSelectQuery(wire, w.catalog);
+
+  // The baseline treats all inputs as strings: nothing to validate.
+  EXPECT_TRUE(
+      ValidateResolvedSelect(EngineKind::kBaseline, wire, q).ok());
+  // Annotation-aware engines need the type to have resolved: the typo
+  // surfaces as kInvalidArgument naming the field, not as an empty
+  // ranking.
+  Status type_status = ValidateResolvedSelect(EngineKind::kType, wire, q);
+  EXPECT_EQ(type_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(type_status.message().find("type1"), std::string::npos);
+  // type_relation never reads the type ids, so the typo'd type name
+  // must not block a query it can answer (its relation resolved).
+  EXPECT_TRUE(
+      ValidateResolvedSelect(EngineKind::kTypeRelation, wire, q).ok());
+
+  // Unknown E2 is never an error (the paper's not-in-catalog case).
+  wire.type1 = "book";
+  q = ResolveSelectQuery(wire, w.catalog);
+  EXPECT_TRUE(ValidateResolvedSelect(EngineKind::kType, wire, q).ok());
+  EXPECT_TRUE(
+      ValidateResolvedSelect(EngineKind::kTypeRelation, wire, q).ok());
+
+  // type_relation additionally needs the relation.
+  wire.relation = "frenemy of";
+  q = ResolveSelectQuery(wire, w.catalog);
+  EXPECT_TRUE(ValidateResolvedSelect(EngineKind::kType, wire, q).ok());
+  EXPECT_EQ(
+      ValidateResolvedSelect(EngineKind::kTypeRelation, wire, q).code(),
+      StatusCode::kInvalidArgument);
+
+  WireJoin join_wire;
+  join_wire.r1 = "author";
+  join_wire.r2 = "frenemy of";
+  JoinQuery jq = ResolveJoinQuery(join_wire, w.catalog);
+  Status join_status = ValidateResolvedJoin(join_wire, jq);
+  EXPECT_EQ(join_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(join_status.message().find("r2"), std::string::npos);
+  join_wire.r2 = "author";
+  jq = ResolveJoinQuery(join_wire, w.catalog);
+  EXPECT_TRUE(ValidateResolvedJoin(join_wire, jq).ok());
+}
+
 TEST(RenderTest, SearchAndErrorShapes) {
   Figure1World w = MakeFigure1World();
   SearchResponse response;

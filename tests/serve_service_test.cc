@@ -255,8 +255,9 @@ TEST_F(ServeServiceTest, AnnotateMatchesDirectAnnotator) {
 TEST_F(ServeServiceTest, ExpiredDeadlineIsShedWithoutRunning) {
   WebTabService service(&manager_, ServiceOptions());
   service.Start();
-  SearchResponse response = service.Search(
-      EngineKind::kTypeRelation, EinsteinQuery(), Deadline::AfterMillis(0));
+  SearchResponse response =
+      service.Search(EngineKind::kTypeRelation, EinsteinQuery(),
+                     TopKOptions(), Deadline::AfterMillis(0));
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(service.stats().expired, 1u);
 }
@@ -313,6 +314,61 @@ TEST_F(ServeServiceTest, FailedSwapKeepsServing) {
       service.Search(EngineKind::kTypeRelation, EinsteinQuery());
   EXPECT_TRUE(response.status.ok());
   EXPECT_EQ(response.meta.snapshot_version, 1u);  // Old generation.
+}
+
+TEST_F(ServeServiceTest, GarbageIdsRejectedAsInvalidArgument) {
+  // Out-of-range catalog ids surface as kInvalidArgument through the
+  // response instead of tripping per-accessor CHECKs (ROADMAP item).
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  SelectQuery bad = EinsteinQuery();
+  bad.type2 = 424242;
+  SearchResponse response = service.Search(EngineKind::kType, bad);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+
+  JoinQuery bad_join;
+  bad_join.r1 = w_.author;
+  bad_join.r2 = -12;
+  SearchResponse join_response = service.SearchJoin(bad_join);
+  EXPECT_EQ(join_response.status.code(), StatusCode::kInvalidArgument);
+
+  // kNa stays legal: the engines' documented text-fallback path.
+  SelectQuery ungrounded = EinsteinQuery();
+  ungrounded.e2 = kNa;
+  EXPECT_TRUE(service.Search(EngineKind::kType, ungrounded).status.ok());
+}
+
+TEST_F(ServeServiceTest, TopKFlowsIntoEnginesAndCacheKeys) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  // E2 grounded as Einstein (row 1, score 1.0) with a text form that
+  // also matches Stannard's row (0.6): two ranked answers.
+  SelectQuery q = EinsteinQuery();
+  q.e2_text = "Stannard";
+
+  SearchResponse full = service.Search(EngineKind::kType, q);
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_GE(full.results.size(), 2u);
+
+  // k truncates engine-side; the cache key carries k, so the top-1
+  // entry must not alias the full ranking (and vice versa).
+  SearchResponse top1 = service.Search(EngineKind::kType, q,
+                                       TopKOptions{1, true});
+  ASSERT_TRUE(top1.status.ok());
+  EXPECT_FALSE(top1.meta.cache_hit);
+  ASSERT_EQ(top1.results.size(), 1u);
+  EXPECT_EQ(top1.results[0].entity, full.results[0].entity);
+  EXPECT_EQ(top1.results[0].text, full.results[0].text);
+
+  SearchResponse full_again = service.Search(EngineKind::kType, q);
+  ASSERT_TRUE(full_again.status.ok());
+  EXPECT_TRUE(full_again.meta.cache_hit);
+  ExpectSameResults(full_again.results, full.results);
+
+  SearchResponse top1_again = service.Search(EngineKind::kType, q,
+                                             TopKOptions{1, true});
+  EXPECT_TRUE(top1_again.meta.cache_hit);
+  ASSERT_EQ(top1_again.results.size(), 1u);
 }
 
 TEST_F(ServeServiceTest, JoinQueriesServed) {

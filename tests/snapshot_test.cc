@@ -16,6 +16,7 @@
 #include "catalog/catalog_io.h"
 #include "catalog/closure.h"
 #include "index/lemma_index.h"
+#include "search/corpus_index.h"
 #include "storage/format.h"
 #include "storage/snapshot.h"
 #include "storage/snapshot_writer.h"
@@ -582,6 +583,59 @@ TEST_F(SnapshotHostileTest, RejectsTypeCycle) {
   std::vector<uint8_t> hostile;
   WEBTAB_CHECK_OK(builder.WriteTo(&hostile));
   ExpectValidatedRejects("type_cycle.bin", hostile, "cycle");
+}
+
+// --- Hostile corpus postings ----------------------------------------------
+
+TEST(SnapshotCorpusHostileTest, RejectsPostingsOutOfTableOrder) {
+  // The search kernel's galloping cursors require table-sorted postings
+  // (the CorpusView ordering contract); a hostile file violating it
+  // would silently skip or double-count evidence. Plain Open accepts
+  // the file; OpenValidated must reject it.
+  testing_util::Figure1World w = testing_util::MakeFigure1World();
+  // Two tables, both with a book-typed column: the book type's postings
+  // row spans both tables, giving adjacent refs to swap out of order.
+  std::vector<AnnotatedTable> corpus;
+  for (int i = 0; i < 2; ++i) {
+    AnnotatedTable at;
+    at.table = testing_util::MakeFigure1Table();
+    at.annotation = TableAnnotation::Empty(2, 2);
+    at.annotation.column_types[0] = w.book;
+    at.annotation.column_types[1] = w.person;
+    corpus.push_back(at);
+  }
+  CorpusIndex corpus_index(std::move(corpus), nullptr);
+  LemmaIndex lemma_index(&w.catalog);
+  SnapshotBuilder builder;
+  builder.SetCatalog(&w.catalog)
+      .SetLemmaIndex(&lemma_index)
+      .SetCorpus(&corpus_index);
+  std::vector<uint8_t> hostile;
+  WEBTAB_CHECK_OK(builder.WriteTo(&hostile));
+
+  uint64_t section = SectionOffsetOf(hostile, storage::kCorpusSection);
+  ASSERT_NE(section, 0u);
+  auto corpus_header = ReadPod<storage::CorpusHeader>(hostile, section);
+  ASSERT_GE(corpus_header.type_postings.values.count, 2u);
+  uint64_t values = section + corpus_header.type_postings.values.offset;
+  ColumnRef a = ReadPod<ColumnRef>(hostile, values);
+  ColumnRef b = ReadPod<ColumnRef>(hostile, values + sizeof(ColumnRef));
+  ASSERT_NE(a.table, b.table);  // One type's row spanning both tables.
+  std::memcpy(hostile.data() + values, &b, sizeof(b));
+  std::memcpy(hostile.data() + values + sizeof(ColumnRef), &a, sizeof(a));
+  FixChecksum(&hostile);
+
+  std::string path = TempPath("corpus_unsorted.bin");
+  WriteBytes(path, hostile);
+  EXPECT_TRUE(Snapshot::Open(path).ok())
+      << "mutation should pass plain open";
+  Result<Snapshot> validated = Snapshot::OpenValidated(path);
+  ASSERT_FALSE(validated.ok());
+  EXPECT_EQ(validated.status().code(), StatusCode::kParseError);
+  EXPECT_NE(validated.status().message().find("table order"),
+            std::string::npos)
+      << validated.status().ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -119,17 +120,32 @@ bool HandleLine(WebTabService* service, const std::string& line,
             Status::FailedPrecondition("no snapshot loaded"));
         return true;
       }
+      // An explicit wire "k" flows into the engines (bounded selection
+      // with safe pruning); without it the engines run the exact full
+      // ranking and only the rendered list is truncated below.
+      TopKOptions topk{std::max(0, request.top_k), /*prune=*/true};
       serve::SearchResponse response;
       for (int attempt = 0; attempt < 3; ++attempt) {
-        response =
-            request.op == WireRequest::Op::kSearch
-                ? service->Search(
-                      request.engine,
-                      serve::ResolveSelectQuery(request.select, *catalog),
-                      deadline)
-                : service->SearchJoin(
-                      serve::ResolveJoinQuery(request.join, *catalog),
-                      deadline);
+        if (request.op == WireRequest::Op::kSearch) {
+          SelectQuery query =
+              serve::ResolveSelectQuery(request.select, *catalog);
+          Status resolved = serve::ValidateResolvedSelect(
+              request.engine, request.select, query);
+          if (!resolved.ok()) {
+            *out = serve::RenderErrorResponse(resolved);
+            return true;
+          }
+          response = service->Search(request.engine, query, topk, deadline);
+        } else {
+          JoinQuery query = serve::ResolveJoinQuery(request.join, *catalog);
+          Status resolved =
+              serve::ValidateResolvedJoin(request.join, query);
+          if (!resolved.ok()) {
+            *out = serve::RenderErrorResponse(resolved);
+            return true;
+          }
+          response = service->SearchJoin(query, topk, deadline);
+        }
         if (!response.status.ok() ||
             response.meta.snapshot_version == handle.version) {
           break;  // Same generation resolved and answered (or hard error).
@@ -137,7 +153,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
         handle = service->manager()->Current();
         catalog = &handle.snapshot->catalog();
       }
-      *out = serve::RenderSearchResponse(response, catalog, request.top_k);
+      *out = serve::RenderSearchResponse(
+          response, catalog, request.top_k > 0 ? request.top_k : 10);
       return true;
     }
     case WireRequest::Op::kAnnotate: {
