@@ -162,8 +162,14 @@ int main(int argc, char** argv) {
       q.relation_text = f.rel_text;
       q.type1_text = f.t1_text;
       q.type2_text = f.t2_text;
+      // Grounded queries are entity-linked E2s with no string form (the
+      // paper's relational query shape — the text form is the fallback
+      // when linking fails), text-only queries the opposite.
       q.e2 = ground ? tuples[i].second : kNa;
-      q.e2_text = std::string(world.catalog.EntityName(tuples[i].second));
+      if (!ground) {
+        q.e2_text =
+            std::string(world.catalog.EntityName(tuples[i].second));
+      }
       queries.push_back(q);
       ground = !ground;
     }
@@ -301,6 +307,8 @@ int main(int argc, char** argv) {
     }
   }
   double join_reference_ms = 0.0, join_kernel_ms = 0.0;
+  double join_p50_ms = 0.0;
+  Timings join_t;
   {
     for (const JoinQuery& jq : join_queries) {
       std::vector<SearchResult> want =
@@ -309,6 +317,9 @@ int main(int argc, char** argv) {
       CheckExact(got, want, "join");
       JoinSearch(corpus, jq, topk, &ws, &got);
       CheckPrefix(got, want, static_cast<int>(top_k), "join");
+      join_t.stopped_early += ws.stats().stopped_early ? 1 : 0;
+      join_t.tables_planned += ws.stats().tables_planned;
+      join_t.tables_scored += ws.stats().tables_scored;
     }
     WallTimer timer;
     for (int64_t rep = 0; rep < reps; ++rep) {
@@ -320,14 +331,21 @@ int main(int argc, char** argv) {
     }
     join_reference_ms = timer.ElapsedMillis() /
                         static_cast<double>(reps * join_queries.size());
-    timer.Restart();
+    std::vector<double> join_samples;
+    join_samples.reserve(reps * join_queries.size());
     for (int64_t rep = 0; rep < reps; ++rep) {
       for (const JoinQuery& jq : join_queries) {
+        WallTimer one;
         JoinSearch(corpus, jq, topk, &ws, &got);
+        join_samples.push_back(one.ElapsedMillis());
       }
     }
-    join_kernel_ms = timer.ElapsedMillis() /
-                     static_cast<double>(reps * join_queries.size());
+    join_kernel_ms = [&] {
+      double sum = 0;
+      for (double s : join_samples) sum += s;
+      return sum / join_samples.size();
+    }();
+    join_p50_ms = Median(&join_samples);
   }
 
   const double allocs_per_query =
@@ -387,13 +405,23 @@ int main(int argc, char** argv) {
                      "  \"join\": {\n"
                      "    \"reference_full_ms_per_query\": %.4f,\n"
                      "    \"kernel_top%d_ms_per_query\": %.4f,\n"
-                     "    \"speedup\": %.2f\n"
+                     "    \"kernel_top%d_p50_ms\": %.4f,\n"
+                     "    \"kernel_top%d_qps\": %.1f,\n"
+                     "    \"speedup\": %.2f,\n"
+                     "    \"prune_stops\": %lld,\n"
+                     "    \"tables_scored\": %lld,\n"
+                     "    \"tables_planned\": %lld\n"
                      "  }\n"
                      "}\n",
                      join_reference_ms, static_cast<int>(top_k),
-                     join_kernel_ms,
+                     join_kernel_ms, static_cast<int>(top_k), join_p50_ms,
+                     static_cast<int>(top_k),
+                     join_kernel_ms > 0 ? 1000.0 / join_kernel_ms : 0.0,
                      join_kernel_ms > 0 ? join_reference_ms / join_kernel_ms
-                                        : 0.0);
+                                        : 0.0,
+                     static_cast<long long>(join_t.stopped_early),
+                     static_cast<long long>(join_t.tables_scored),
+                     static_cast<long long>(join_t.tables_planned));
   check_fits(n);
   std::cout << buf;
   if (!out.empty()) {
@@ -417,5 +445,18 @@ int main(int argc, char** argv) {
   WEBTAB_CHECK(allocs_per_query == 0.0)
       << "kernel hot path allocated " << allocs_per_query
       << " times per query at steady state";
+  // The block-max bounds must make the top-k prune actually fire: some
+  // queries stop early, and across the workload each select engine
+  // scores under 20% of the tables its plan admits (the rest are
+  // eliminated by zero bounds, the suffix-bound break, or the gap
+  // stop — all exact, as the prefix checks above prove).
+  for (int e = 0; e < 3; ++e) {
+    const Timings& t = timings[e];
+    WEBTAB_CHECK(t.stopped_early > 0)
+        << engines[e].name << ": pruning never stopped a scan early";
+    WEBTAB_CHECK(t.tables_scored < 0.2 * t.tables_planned)
+        << engines[e].name << ": scanned " << t.tables_scored << "/"
+        << t.tables_planned << " planned tables (>= 20%)";
+  }
   return 0;
 }

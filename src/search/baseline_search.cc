@@ -60,6 +60,10 @@ void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
   using search_internal::PlannedTable;
 
   ws->BeginSelect(nq.e2_text);
+  // The baseline's only match path is CellMatchesText against E2's
+  // string, so a table outside the match-support set scores nothing.
+  const bool refine =
+      topk.k > 0 && topk.prune && ws->BuildMatchSupport(index);
 
   // Candidate columns per side via header-token postings.
   CollectHeaderSide(index, nq.type1_tokens, &ws->side_a);
@@ -99,10 +103,21 @@ void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
 
   search_internal::RunPlannedTables(
       ws, topk,
+      // Only E2-side columns that can text-match the target contribute
+      // (the baseline has no entity path), so b shrinks to the
+      // supported count — 0 eliminates the table outright.
       [&](const PlannedTable& p) {
+        double b = p.b_end - p.b_begin;
+        if (refine) {
+          b = 0.0;
+          for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+            if (ws->ColumnHasMatchSupport(p.table, ws->col_pool[bi])) {
+              b += 1.0;
+            }
+          }
+        }
         return static_cast<double>(index.rows(p.table)) *
-               table_score(p.table) * (p.a_end - p.a_begin) *
-               (p.b_end - p.b_begin);
+               table_score(p.table) * (p.a_end - p.a_begin) * b;
       },
       [&](const PlannedTable& p) {
         const int table = p.table;

@@ -1,0 +1,58 @@
+#ifndef WEBTAB_SEARCH_BLOCK_MAX_H_
+#define WEBTAB_SEARCH_BLOCK_MAX_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "search/corpus_view.h"
+#include "search/posting_cursor.h"
+
+namespace webtab {
+namespace search_internal {
+
+/// Builds the block summaries for one table-sorted posting list:
+/// ceil(len / kPostingBlockSize) blocks, each carrying the exact last
+/// table plus tight upper bounds over the tables it covers. `rows_of`
+/// maps a table index to its row count. Shared by the in-memory
+/// CorpusIndex build and the snapshot writer so both backends emit
+/// identical summaries for identical lists.
+template <typename Ref, typename RowsFn>
+void AppendPostingBlocks(std::span<const Ref> postings, RowsFn&& rows_of,
+                         std::vector<PostingBlockMax>* out) {
+  for (size_t begin = 0; begin < postings.size();
+       begin += kPostingBlockSize) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(kPostingBlockSize),
+                 postings.size());
+    PostingBlockMax block;
+    block.last_table = PostingTable(postings[end - 1]);
+    // Walk the block's per-table runs. A run split across a block edge
+    // is counted per block, which only lowers the declared max_run /
+    // max_bound toward the in-block truth — still an upper bound for
+    // any cursor that consumes whole blocks.
+    size_t i = begin;
+    while (i < end) {
+      const int32_t table = PostingTable(postings[i]);
+      size_t j = i;
+      while (j < end && PostingTable(postings[j]) == table) ++j;
+      const int32_t run = static_cast<int32_t>(j - i);
+      const int32_t rows = rows_of(table);
+      block.max_rows = std::max(block.max_rows, rows);
+      block.max_run = std::max(block.max_run, run);
+      block.max_bound = std::max(block.max_bound, rows * run);
+      i = j;
+    }
+    out->push_back(block);
+  }
+}
+
+/// Number of blocks covering a list of `count` postings.
+inline uint64_t NumPostingBlocks(uint64_t count) {
+  return (count + kPostingBlockSize - 1) / kPostingBlockSize;
+}
+
+}  // namespace search_internal
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_BLOCK_MAX_H_

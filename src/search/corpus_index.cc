@@ -1,6 +1,9 @@
 #include "search/corpus_index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "search/block_max.h"
 #include "search/posting_cursor.h"
 #include "text/tokenizer.h"
 
@@ -33,6 +36,39 @@ CorpusIndex::CorpusIndex(std::vector<AnnotatedTable> tables,
     for (int c = 0; c < table.cols(); ++c) {
       for (const std::string& token : Tokenize(table.header(c))) {
         header_postings_[token].push_back(ColumnRef{i, c});
+      }
+      for (int r = 0; r < table.rows(); ++r) {
+        // Distinct tokens only: `min_tokens` must be the same
+        // distinct-token count CellMatchesText's Jaccard uses.
+        std::vector<std::string> toks = Tokenize(table.cell(r, c));
+        std::sort(toks.begin(), toks.end());
+        toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+        const int32_t na = static_cast<int32_t>(toks.size());
+        if (na == 0) {
+          // Sentinel row under the empty token: this column has a cell
+          // that normalizes to "", the only thing an empty-text target
+          // can exact-match. min_tokens is unused here but must pass
+          // the >= 1 snapshot validation.
+          auto& support = cell_token_postings_[std::string()];
+          if (support.empty() || support.back().table != i ||
+              support.back().col != c) {
+            support.push_back(CellTokenRef{i, c, 1, 0, 0});
+          }
+          continue;
+        }
+        for (const std::string& token : toks) {
+          auto& support = cell_token_postings_[token];
+          if (support.empty() || support.back().table != i ||
+              support.back().col != c) {
+            support.push_back(CellTokenRef{i, c, na, 0, 0});
+          } else if (na < support.back().min_tokens) {
+            support.back().min_tokens = na;
+          }
+          CellTokenRef& entry = support.back();
+          for (const std::string& other : toks) {
+            if (other != token) entry.cooc |= CellTokenMask(other);
+          }
+        }
       }
       TypeId t = ann.TypeOf(c);
       if (t != kNa) {
@@ -78,6 +114,22 @@ CorpusIndex::CorpusIndex(std::vector<AnnotatedTable> tables,
   check(type_postings_, "type");
   check(relation_postings_, "relation");
   check(entity_postings_, "entity");
+  check(cell_token_postings_, "cell token");
+
+  // Block-max summaries over every search-facing posting list, via the
+  // same helper the snapshot writer uses (block_max.h).
+  auto rows_of = [this](int32_t t) { return tables_[t].table.rows(); };
+  auto build_blocks = [&](const auto& postings_map, auto* blocks_map) {
+    for (const auto& [key, postings] : postings_map) {
+      search_internal::AppendPostingBlocks(
+          std::span(postings), rows_of, &(*blocks_map)[key]);
+    }
+  };
+  build_blocks(header_postings_, &header_blocks_);
+  build_blocks(context_postings_, &context_blocks_);
+  build_blocks(type_postings_, &type_blocks_);
+  build_blocks(relation_postings_, &relation_blocks_);
+  build_blocks(entity_postings_, &entity_blocks_);
 }
 
 std::span<const ColumnRef> CorpusIndex::HeaderPostings(
@@ -101,6 +153,33 @@ std::span<const RelationRef> CorpusIndex::RelationPostings(
 
 std::span<const CellRef> CorpusIndex::EntityPostings(EntityId e) const {
   return FindOrEmpty(entity_postings_, e);
+}
+
+std::span<const CellTokenRef> CorpusIndex::CellTokenPostings(
+    std::string_view token) const {
+  return FindOrEmpty(cell_token_postings_, token);
+}
+
+PostingBlockSpan CorpusIndex::HeaderPostingBlocks(
+    std::string_view token) const {
+  return FindOrEmpty(header_blocks_, token);
+}
+
+PostingBlockSpan CorpusIndex::ContextPostingBlocks(
+    std::string_view token) const {
+  return FindOrEmpty(context_blocks_, token);
+}
+
+PostingBlockSpan CorpusIndex::TypePostingBlocks(TypeId t) const {
+  return FindOrEmpty(type_blocks_, t);
+}
+
+PostingBlockSpan CorpusIndex::RelationPostingBlocks(RelationId b) const {
+  return FindOrEmpty(relation_blocks_, b);
+}
+
+PostingBlockSpan CorpusIndex::EntityPostingBlocks(EntityId e) const {
+  return FindOrEmpty(entity_blocks_, e);
 }
 
 }  // namespace webtab

@@ -80,6 +80,20 @@ class CorpusIndex : public CorpusView {
   std::span<const RelationRef> RelationPostings(RelationId b) const override;
   std::span<const CellRef> EntityPostings(EntityId e) const override;
 
+  // Block-max index: the in-memory build always carries it, computed
+  // with the same shared helper (block_max.h) the snapshot writer uses,
+  // so both backends expose identical summaries for identical lists.
+  bool HasMatchSupport() const override { return true; }
+  std::span<const CellTokenRef> CellTokenPostings(
+      std::string_view token) const override;
+  PostingBlockSpan HeaderPostingBlocks(
+      std::string_view token) const override;
+  PostingBlockSpan ContextPostingBlocks(
+      std::string_view token) const override;
+  PostingBlockSpan TypePostingBlocks(TypeId t) const override;
+  PostingBlockSpan RelationPostingBlocks(RelationId b) const override;
+  PostingBlockSpan EntityPostingBlocks(EntityId e) const override;
+
   // --- Serialization access (snapshot writer): the raw postings maps. ---
   const TokenPostingsMap<ColumnRef>& header_postings_map() const {
     return header_postings_;
@@ -99,6 +113,9 @@ class CorpusIndex : public CorpusView {
   entity_postings_map() const {
     return entity_postings_;
   }
+  const TokenPostingsMap<CellTokenRef>& cell_token_postings_map() const {
+    return cell_token_postings_;
+  }
 
  private:
   std::vector<AnnotatedTable> tables_;
@@ -108,6 +125,18 @@ class CorpusIndex : public CorpusView {
   std::unordered_map<RelationId, std::vector<RelationRef>>
       relation_postings_;
   std::unordered_map<EntityId, std::vector<CellRef>> entity_postings_;
+  // Match-support index: cell token -> (table, col, min cell tokens),
+  // sorted unique by (table, col) — column-granular so engine bounds
+  // track where E2 text can actually match, with the min cell size
+  // feeding the Jaccard feasibility test.
+  TokenPostingsMap<CellTokenRef> cell_token_postings_;
+  // Block-max summaries, keyed in parallel with the postings maps.
+  TokenPostingsMap<PostingBlockMax> header_blocks_;
+  TokenPostingsMap<PostingBlockMax> context_blocks_;
+  std::unordered_map<TypeId, std::vector<PostingBlockMax>> type_blocks_;
+  std::unordered_map<RelationId, std::vector<PostingBlockMax>>
+      relation_blocks_;
+  std::unordered_map<EntityId, std::vector<PostingBlockMax>> entity_blocks_;
 };
 
 }  // namespace webtab

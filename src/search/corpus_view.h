@@ -32,6 +32,64 @@ struct CellRef {
 };
 static_assert(sizeof(CellRef) == 12, "postings are mmap'd verbatim");
 
+/// Cell-token posting: one column that contains the token in at least
+/// one cell. `min_tokens` is the smallest distinct-token count of any
+/// such cell — the match-support probe needs it because a single shared
+/// token only satisfies Jaccard >= 0.5 against a short enough cell
+/// (3*inter >= na + nb), so e.g. a two-token person name cannot match a
+/// full-name cell that shares just the given name. `cooc` is a 64-bit
+/// bloom over the *other* distinct tokens sharing a cell with this one
+/// in this column (union across cells): a multi-token overlap needs two
+/// target tokens in one cell, which requires their mutual bloom bits —
+/// a column holding "Pavel Novak" and "Maria Kovac" has both tokens of
+/// "Pavel Kovac" but no co-occurring pair, so it is provably dead.
+struct CellTokenRef {
+  int32_t table = 0;
+  int32_t col = 0;
+  int32_t min_tokens = 0;
+  uint32_t reserved = 0;  // Zero on disk; keeps cooc 8-byte aligned.
+  uint64_t cooc = 0;
+};
+static_assert(sizeof(CellTokenRef) == 24, "postings are mmap'd verbatim");
+
+/// Bloom mask for a token's appearance in CellTokenRef::cooc — two
+/// bits from independent slices of an FNV-1a hash (membership requires
+/// both, squaring the false-positive rate). A fixed inline hash so the
+/// build side (corpus_index, snapshot writer) and the query side
+/// (BuildMatchSupport) agree across processes — std::hash is not
+/// guaranteed stable between binaries.
+inline uint64_t CellTokenMask(std::string_view token) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : token) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return (1ull << (h & 63)) | (1ull << ((h >> 6) & 63));
+}
+
+/// Postings are chunked into fixed-size blocks of kPostingBlockSize
+/// elements (the last block of a list may be short).
+inline constexpr int kPostingBlockSize = 64;
+
+/// Per-block summary of one posting list — the block-max index (the
+/// WAND / Block-Max-WAND treatment adapted to table-at-a-time search).
+/// Declared bounds may overestimate (slack is sound) but never
+/// underestimate; both directions of the contract are validated by
+/// SnapshotCorpusView::DeepValidate for untrusted files.
+struct PostingBlockMax {
+  int32_t last_table = -1;  // table of the block's final posting
+  int32_t max_rows = 0;     // max rows(t) over tables in the block
+  int32_t max_run = 0;      // max per-table posting count in the block
+  int32_t max_bound = 0;    // max rows(t) * run(t): one table's largest
+                            // per-answer contribution (up to the
+                            // engine's constant weight)
+};
+static_assert(sizeof(PostingBlockMax) == 16, "blocks are mmap'd verbatim");
+
+/// One posting list's block summaries; empty() when the backend carries
+/// no block-max index (pre-minor-1 snapshots).
+using PostingBlockSpan = std::span<const PostingBlockMax>;
+
 /// Read-only access to an annotated table corpus and its postings (the
 /// paper indexes 25M tables with Lucene; same access paths here):
 ///  - header/context token postings for the string-only baseline,
@@ -87,6 +145,48 @@ class CorpusView {
       RelationId b) const = 0;
   /// Cells annotated with entity `e`.
   virtual std::span<const CellRef> EntityPostings(EntityId e) const = 0;
+
+  // --- Block-max index (optional capability). ---
+  //
+  // Per-list block summaries (kPostingBlockSize postings per block) with
+  // upper bounds on what any table inside the block can contribute, plus
+  // a cell-token match-support index: for every token appearing in any
+  // cell, the (table, column) pairs whose column contains it. The select
+  // engines use match support to prove a candidate column contributes
+  // zero text evidence (CellMatchesText requires enough shared tokens)
+  // and drop it from their bounds exactly; the cursors use block
+  // last-tables to seek. Both default to "absent" so alternative
+  // CorpusView implementations keep working — engines then fall back to
+  // the unrefined ascending scan.
+
+  /// True when CellTokenPostings is populated (block-max index built).
+  virtual bool HasMatchSupport() const { return false; }
+  /// Columns with at least one cell containing `token`, sorted by
+  /// (table, col), unique, each carrying the min distinct-token count
+  /// among the containing cells. Column-granular on purpose: engines
+  /// match E2 text only against specific columns, and a token common
+  /// elsewhere in the table must not keep the column alive.
+  virtual std::span<const CellTokenRef> CellTokenPostings(
+      std::string_view /*token*/) const {
+    return {};
+  }
+  virtual PostingBlockSpan HeaderPostingBlocks(
+      std::string_view /*token*/) const {
+    return {};
+  }
+  virtual PostingBlockSpan ContextPostingBlocks(
+      std::string_view /*token*/) const {
+    return {};
+  }
+  virtual PostingBlockSpan TypePostingBlocks(TypeId /*t*/) const {
+    return {};
+  }
+  virtual PostingBlockSpan RelationPostingBlocks(RelationId /*b*/) const {
+    return {};
+  }
+  virtual PostingBlockSpan EntityPostingBlocks(EntityId /*e*/) const {
+    return {};
+  }
 };
 
 }  // namespace webtab

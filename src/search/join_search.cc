@@ -16,30 +16,75 @@ namespace {
 /// replacement for the retired per-call std::map). `grounded_text` must
 /// be pre-normalized and already set as the workspace match target when
 /// non-empty.
+///
+/// With a match-support backend, whole table runs are skipped when no
+/// annotated pair's grounded column holds the grounded entity or (text
+/// path) can text-match the target — both row conditions are then
+/// provably false for every row, so the skip generates the exact same
+/// Add calls as the full scan. `support_valid` says the workspace's
+/// support set covers the current match target; without it, text-bearing
+/// legs scan everything.
 void ExpandLeg(const CorpusView& index, RelationId rel, EntityId grounded,
                std::string_view grounded_text, bool grounded_is_object,
-               SearchWorkspace* ws,
+               bool support_valid, SearchWorkspace* ws,
                search_internal::EntityAccumulator* acc) {
   acc->Begin();
   const bool has_text = !grounded_text.empty();
-  for (const RelationRef& ref : index.RelationPostings(rel)) {
-    int subject_col = ref.swapped ? ref.c2 : ref.c1;
-    int object_col = ref.swapped ? ref.c1 : ref.c2;
-    int grounded_col = grounded_is_object ? object_col : subject_col;
-    int free_col = grounded_is_object ? subject_col : object_col;
-    const int num_rows = index.rows(ref.table);
-    for (int r = 0; r < num_rows; ++r) {
-      double row_score = 0.0;
-      EntityId cell = index.CellEntity(ref.table, r, grounded_col);
-      if (grounded != kNa && cell == grounded) {
-        row_score = 1.0;
-      } else if (has_text &&
-                 ws->CellMatches(index.cell(ref.table, r, grounded_col))) {
-        row_score = 0.6;
+  const bool can_skip =
+      index.HasMatchSupport() && (!has_text || support_valid);
+  search_internal::PostingRunCounter<CellRef> grounded_runs(
+      grounded != kNa ? index.EntityPostings(grounded)
+                      : std::span<const CellRef>(),
+      grounded != kNa ? index.EntityPostingBlocks(grounded)
+                      : PostingBlockSpan());
+  search_internal::PostingCursor<RelationRef> cursor(
+      index.RelationPostings(rel), index.RelationPostingBlocks(rel));
+  while (!cursor.done()) {
+    const int32_t table = cursor.table();
+    std::span<const RelationRef> run = cursor.TakeRun();
+    ++ws->query_stats.tables_planned;
+    if (can_skip) {
+      bool possible = false;
+      for (const RelationRef& ref : run) {
+        int subject_col = ref.swapped ? ref.c2 : ref.c1;
+        int object_col = ref.swapped ? ref.c1 : ref.c2;
+        int grounded_col = grounded_is_object ? object_col : subject_col;
+        // Per pair: the grounded entity must be annotated in the
+        // grounded column itself, or (text path) that column must be
+        // able to text-match the target.
+        if (grounded != kNa &&
+            grounded_runs.CountAtCol(table, grounded_col) > 0) {
+          possible = true;
+          break;
+        }
+        if (has_text && ws->ColumnHasMatchSupport(table, grounded_col)) {
+          possible = true;
+          break;
+        }
       }
-      if (row_score <= 0.0) continue;
-      EntityId answer = index.CellEntity(ref.table, r, free_col);
-      if (answer != kNa) acc->Add(answer) += row_score;
+      if (!possible) continue;
+    }
+    ++ws->query_stats.tables_scored;
+    for (const RelationRef& ref : run) {
+      int subject_col = ref.swapped ? ref.c2 : ref.c1;
+      int object_col = ref.swapped ? ref.c1 : ref.c2;
+      int grounded_col = grounded_is_object ? object_col : subject_col;
+      int free_col = grounded_is_object ? subject_col : object_col;
+      const int num_rows = index.rows(ref.table);
+      for (int r = 0; r < num_rows; ++r) {
+        double row_score = 0.0;
+        EntityId cell = index.CellEntity(ref.table, r, grounded_col);
+        if (grounded != kNa && cell == grounded) {
+          row_score = 1.0;
+        } else if (has_text &&
+                   ws->CellMatches(
+                       index.cell(ref.table, r, grounded_col))) {
+          row_score = 0.6;
+        }
+        if (row_score <= 0.0) continue;
+        EntityId answer = index.CellEntity(ref.table, r, free_col);
+        if (answer != kNa) acc->Add(answer) += row_score;
+      }
     }
   }
 }
@@ -61,21 +106,28 @@ void JoinSearch(const CorpusView& index, const JoinQuery& query,
   // raw string bit for bit); it doubles as the leg-2 match target.
   NormalizeTextInto(query.e3_text, &ws->norm_scratch);
   ws->BeginSelect(ws->norm_scratch);
+  // Run skipping is a provable no-op elimination (not a lossy prune),
+  // so it stays on even for full-rank queries; stats count relation
+  // runs rather than select-plan tables.
+  const bool support_valid = ws->BuildMatchSupport(index);
 
   // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped),
   // then keep the top-K bindings by evidence (score desc, id asc).
   ExpandLeg(index, query.r2, query.e3, ws->norm_scratch,
-            /*grounded_is_object=*/query.e2_is_subject, ws, &ws->leg_acc);
+            /*grounded_is_object=*/query.e2_is_subject, support_valid,
+            ws, &ws->leg_acc);
   ws->leg_acc.ExtractRanked(std::max(0, query.max_join_entities),
                             &ws->binding_list);
 
   // Leg 1: expand each binding through R1 toward e1. Per-binding
   // evidence sums are completed before the multiplicative chaining so
   // the doubles match the reference's map-then-multiply exactly.
+  // Bindings are grounded entities with no text form, so every
+  // unsupported run dies on the entity check alone.
   for (const auto& [e2, e2_score] : ws->binding_list) {
     ExpandLeg(index, query.r1, e2, /*grounded_text=*/{},
-              /*grounded_is_object=*/query.e1_is_subject, ws,
-              &ws->leg_acc);
+              /*grounded_is_object=*/query.e1_is_subject, support_valid,
+              ws, &ws->leg_acc);
     const double binding_score = e2_score;
     ws->leg_acc.ForEach([&](EntityId e1, double evidence) {
       // Multiplicative chaining: weak join bindings contribute less.
@@ -83,6 +135,8 @@ void JoinSearch(const CorpusView& index, const JoinQuery& query,
                     evidence * binding_score);
     });
   }
+  ws->query_stats.stopped_early =
+      ws->query_stats.tables_scored < ws->query_stats.tables_planned;
   ws->EmitRanked(topk, out);
 }
 

@@ -1,7 +1,9 @@
 #ifndef WEBTAB_SEARCH_SEARCH_WORKSPACE_H_
 #define WEBTAB_SEARCH_SEARCH_WORKSPACE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -133,6 +135,15 @@ class TextMatchMemo {
   void SetTarget(std::string_view normalized_target);
   bool Matches(std::string_view cell);
 
+  /// The target's distinct normalized tokens (sorted). A cell can match
+  /// only if it shares at least one of these (Jaccard >= 0.5 needs an
+  /// intersection; exact match is a superset of that) — the soundness
+  /// basis of the match-support prune. Empty when the target normalizes
+  /// to zero tokens, in which case no token-based elimination is valid.
+  std::span<const std::string> TargetTokens() const {
+    return {target_tokens_.data(), target_token_count_};
+  }
+
  private:
   struct Slot {
     uint64_t epoch = 0;
@@ -214,6 +225,34 @@ class SearchWorkspace {
   /// Ranks the accumulated evidence into `out` (reused).
   void EmitRanked(const TopKOptions& topk, std::vector<SearchResult>* out);
 
+  /// Builds `support_cols` — the columns where a cell could possibly
+  /// text-match the current target, from the corpus's column-granular
+  /// CellTokenPostings: a matching cell needs at least ceil(nb/2) of
+  /// the target's nb tokens (CellMatchesText's Jaccard >= 0.5 forces
+  /// it), so a column containing fewer distinct target tokens is
+  /// provably matchless. Returns true when the support set is valid
+  /// for pruning; false when the backend lacks match support or the
+  /// target has no tokens (then token absence proves nothing and
+  /// engines must not eliminate anything on it).
+  bool BuildMatchSupport(const CorpusView& corpus);
+
+  /// Membership tests against the last BuildMatchSupport result
+  /// (sorted by (table, col)).
+  bool ColumnHasMatchSupport(int32_t table, int32_t col) const {
+    auto cmp = [](const ColumnRef& r, const ColumnRef& key) {
+      if (r.table != key.table) return r.table < key.table;
+      return r.col < key.col;
+    };
+    return std::binary_search(support_cols.begin(), support_cols.end(),
+                              ColumnRef{table, col}, cmp);
+  }
+  bool TableHasMatchSupport(int32_t table) const {
+    auto it = std::lower_bound(
+        support_cols.begin(), support_cols.end(), table,
+        [](const ColumnRef& r, int32_t t) { return r.table < t; });
+    return it != support_cols.end() && it->table == table;
+  }
+
   const QueryStats& stats() const { return query_stats; }
 
   // --- Engine-facing scratch (internal to src/search/). ---
@@ -222,6 +261,18 @@ class SearchWorkspace {
   std::vector<int32_t> col_pool;          // planned column ranges
   std::vector<ColumnRef> side_a, side_b;  // baseline header-union sides
   std::vector<int32_t> context_tables;    // baseline context bonus
+  std::vector<ColumnRef> support_cols;    // BuildMatchSupport result
+  /// One cell-token posting tagged with its target token's bloom bit —
+  /// the (table, col) groups below need to know which token each entry
+  /// came from to run the pairwise co-occurrence test.
+  struct SupportEntry {
+    int32_t table;
+    int32_t col;
+    int32_t min_tokens;
+    uint64_t bit;   // CellTokenMask(target token)
+    uint64_t cooc;  // posting's co-occurrence bloom
+  };
+  std::vector<SupportEntry> support_scratch;  // token-posting union
   search_internal::EntityAccumulator leg_acc;  // join leg expansion
   std::vector<std::pair<EntityId, double>> binding_list;  // join bindings
   std::string norm_scratch;  // join E3 normalization

@@ -27,6 +27,51 @@ inline std::pair<uint32_t, uint32_t> AppendUniqueCols(
   return {begin, static_cast<uint32_t>(pool->size())};
 }
 
+/// Counts one posting list's entries at successive tables via a
+/// forward block-aware cursor — the engines' per-table n_e2 probe for
+/// the refined bounds. Tables must be asked in ascending order, which
+/// is exactly the order bound_of runs over the plan.
+template <typename Ref>
+class PostingRunCounter {
+ public:
+  PostingRunCounter(std::span<const Ref> postings, PostingBlockSpan blocks)
+      : cursor_(postings, blocks) {}
+
+  int32_t CountAt(int32_t table) {
+    return static_cast<int32_t>(Run(table).size());
+  }
+
+  /// Entries at (table, col). Entity postings are built column-major
+  /// within a table (corpus_index.cc's c-then-r loop, serialized
+  /// verbatim by the snapshot writer), so each run is col-sorted.
+  /// Repeated probes of one table reuse the cached run.
+  int32_t CountAtCol(int32_t table, int32_t col) {
+    std::span<const Ref> run = Run(table);
+    auto lo = std::lower_bound(
+        run.begin(), run.end(), col,
+        [](const Ref& r, int32_t c) { return r.col < c; });
+    auto hi = std::upper_bound(
+        lo, run.end(), col,
+        [](int32_t c, const Ref& r) { return c < r.col; });
+    return static_cast<int32_t>(hi - lo);
+  }
+
+ private:
+  std::span<const Ref> Run(int32_t table) {
+    if (table == run_table_) return run_;
+    cursor_.SeekTable(table);
+    run_table_ = table;
+    run_ = (!cursor_.done() && cursor_.table() == table)
+               ? cursor_.TakeRun()
+               : std::span<const Ref>();
+    return run_;
+  }
+
+  PostingCursor<Ref> cursor_;
+  int32_t run_table_ = -1;
+  std::span<const Ref> run_;
+};
+
 /// Fills ws->suffix_bound: suffix_bound[i] = Σ plan[j].bound for j > i —
 /// the prune rule's "remaining evidence mass" after scoring table i.
 inline void ComputeSuffixBounds(SearchWorkspace* ws) {
@@ -45,6 +90,18 @@ inline void ComputeSuffixBounds(SearchWorkspace* ws) {
 /// tables in ascending order with the safe early-stop check after each.
 /// Keeping this in one place keeps the stop condition and stats
 /// accounting from drifting apart across engines.
+///
+/// Two exact eliminations besides the PR 5 gap test:
+///   - A table whose bound is 0 is skipped without scoring: a zero
+///     upper bound proves it contributes no Add call at all, so the
+///     reference scan of the same table is a no-op and skipping it
+///     leaves every accumulated double bit-identical.
+///   - When the suffix bound after table pi is exactly 0, every
+///     remaining table is a proven no-op and the scan ends with the
+///     ranking equal to the full one (ShouldStop never fires on
+///     remaining == 0, so this stop must live here).
+/// Scan order stays ascending — reordering would change double
+/// summation order and break bit-identity with the reference.
 template <typename BoundFn, typename ScoreFn>
 void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
                       BoundFn&& bound_of, ScoreFn&& score_table) {
@@ -55,9 +112,18 @@ void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
     ComputeSuffixBounds(ws);
   }
   for (size_t pi = 0; pi < ws->plan.size(); ++pi) {
+    if (prune && ws->plan[pi].bound <= 0.0) continue;
     score_table(ws->plan[pi]);
     ++ws->query_stats.tables_scored;
-    if (prune && ws->ShouldStop(topk.k, ws->suffix_bound[pi])) break;
+    if (!prune) continue;
+    if (ws->suffix_bound[pi] <= 0.0) break;  // proven-zero tail
+    if (ws->ShouldStop(topk.k, ws->suffix_bound[pi])) break;
+  }
+  if (prune) {
+    // Any table the scan never scored — skipped as zero-bound or left
+    // behind a stop — counts as pruned work.
+    ws->query_stats.stopped_early =
+        ws->query_stats.tables_scored < ws->query_stats.tables_planned;
   }
 }
 

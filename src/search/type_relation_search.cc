@@ -25,8 +25,18 @@ void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
                         std::vector<SearchResult>* out) {
   using search_internal::PlannedTable;
   using search_internal::PostingCursor;
+  using search_internal::PostingRunCounter;
 
   ws->BeginSelect(nq.e2_text);
+  // See type_search.cc: entity postings bound the annotated E2 hits,
+  // the cell-token support set bounds where text fallback can fire.
+  const bool refine =
+      topk.k > 0 && topk.prune && ws->BuildMatchSupport(index);
+  PostingRunCounter<CellRef> e2_runs(
+      query.e2 != kNa ? index.EntityPostings(query.e2)
+                      : std::span<const CellRef>(),
+      query.e2 != kNa ? index.EntityPostingBlocks(query.e2)
+                      : PostingBlockSpan());
 
   // Plan: group the relation's table-sorted postings into per-table
   // runs (a_begin/a_end index the postings span itself).
@@ -45,10 +55,28 @@ void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
   search_internal::RunPlannedTables(
       ws, topk,
       // Max row_score is 1.2; one answer can gain it once per (row,
-      // annotated pair) of the table.
+      // annotated pair) of the table. Refined: per pair at most the
+      // object column's E2-annotated cell count (1.2 each) plus, only
+      // when that object column can text-match the target, rows text
+      // fallbacks (0.7).
       [&](const PlannedTable& p) {
-        return static_cast<double>(index.rows(p.table)) * 1.2 *
-               (p.a_end - p.a_begin);
+        const double rows = index.rows(p.table);
+        const double runs = p.a_end - p.a_begin;
+        double bound = rows * 1.2 * runs;
+        if (refine) {
+          double refined = 0.0;
+          for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
+            const RelationRef& ref = postings[ri];
+            const int object_col = ref.swapped ? ref.c1 : ref.c2;
+            // Only E2 annotations in this pair's object column count.
+            refined += 1.2 * e2_runs.CountAtCol(p.table, object_col);
+            if (ws->ColumnHasMatchSupport(p.table, object_col)) {
+              refined += 0.7 * rows;
+            }
+          }
+          bound = std::min(bound, refined);
+        }
+        return bound;
       },
       [&](const PlannedTable& p) {
         for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {

@@ -25,8 +25,20 @@ void TypeSearch(const CorpusView& index, const SelectQuery& query,
   using search_internal::AppendUniqueCols;
   using search_internal::IntersectByTable;
   using search_internal::PlannedTable;
+  using search_internal::PostingRunCounter;
 
   ws->BeginSelect(nq.e2_text);
+  // Match-support refinement: with the cell-token index we know exactly
+  // which tables can text-match E2 (CellMatchesText needs a shared
+  // token), and the entity postings say how many cells are annotated
+  // with E2. A table with neither contributes zero evidence.
+  const bool refine =
+      topk.k > 0 && topk.prune && ws->BuildMatchSupport(index);
+  PostingRunCounter<CellRef> e2_runs(
+      query.e2 != kNa ? index.EntityPostings(query.e2)
+                      : std::span<const CellRef>(),
+      query.e2 != kNa ? index.EntityPostingBlocks(query.e2)
+                      : PostingBlockSpan());
 
   // Plan: leapfrog the two table-sorted type posting lists; a candidate
   // table needs a T1-typed column and a T2-typed column.
@@ -45,10 +57,30 @@ void TypeSearch(const CorpusView& index, const SelectQuery& query,
   search_internal::RunPlannedTables(
       ws, topk,
       // Any single answer gains at most one row_score (max 1.0) per
-      // (row, answer cell, matching E2 column) triple.
+      // (row, answer cell, matching E2 column) triple. With match
+      // support the E2 side tightens: per b-column, at most its count
+      // of E2-annotated cells at 1.0 each, plus text fallbacks (0.6)
+      // only when that column actually contains enough of the
+      // target's tokens.
       [&](const PlannedTable& p) {
-        return static_cast<double>(index.rows(p.table)) *
-               (p.a_end - p.a_begin) * (p.b_end - p.b_begin);
+        const double rows = index.rows(p.table);
+        const double a = p.a_end - p.a_begin;
+        const double b = p.b_end - p.b_begin;
+        double bound = rows * a * b;
+        if (refine) {
+          // Annotated hits count only in the E2-side columns, so sum
+          // the entity postings per b-column instead of per table.
+          double refined = 0.0;
+          for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+            const int col = ws->col_pool[bi];
+            refined += e2_runs.CountAtCol(p.table, col);
+            if (ws->ColumnHasMatchSupport(p.table, col)) {
+              refined += 0.6 * rows;
+            }
+          }
+          bound = std::min(bound, a * refined);
+        }
+        return bound;
       },
       [&](const PlannedTable& p) {
         const int table = p.table;

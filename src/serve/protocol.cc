@@ -85,10 +85,12 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.select.type1 = json.GetString("type1");
       request.select.type2 = json.GetString("type2");
       request.select.e2 = json.GetString("e2");
+      request.want_stats = json.GetBool("stats", false);
       break;
     }
     case WireRequest::Op::kJoin:
       request.engine = EngineKind::kJoin;
+      request.want_stats = json.GetBool("stats", false);
       request.join.r1 = json.GetString("r1");
       request.join.r2 = json.GetString("r2");
       request.join.e3 = json.GetString("e3");
@@ -229,7 +231,8 @@ Json MetaJson(const RequestMetadata& meta) {
 }  // namespace
 
 std::string RenderSearchResponse(const SearchResponse& response,
-                                 const CatalogView* catalog, int top_k) {
+                                 const CatalogView* catalog, int top_k,
+                                 bool want_stats) {
   if (!response.status.ok()) return RenderErrorResponse(response.status);
   Json json = Json::Object();
   json.Set("ok", Json::Bool(true));
@@ -252,6 +255,17 @@ std::string RenderSearchResponse(const SearchResponse& response,
   json.Set("results", std::move(results));
   json.Set("total_results",
            Json::Number(static_cast<double>(response.results.size())));
+  if (want_stats && response.has_stats) {
+    Json stats = Json::Object();
+    stats.Set("tables_planned",
+              Json::Number(static_cast<double>(
+                  response.stats.tables_planned)));
+    stats.Set("tables_scored",
+              Json::Number(static_cast<double>(
+                  response.stats.tables_scored)));
+    stats.Set("stopped_early", Json::Bool(response.stats.stopped_early));
+    json.Set("stats", std::move(stats));
+  }
   json.Set("meta", MetaJson(response.meta));
   return json.Dump();
 }

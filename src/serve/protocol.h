@@ -59,6 +59,11 @@ struct WireRequest {
   /// total_results <= k.
   int top_k = 0;
   int64_t deadline_ms = 0; // 0 = service default
+  /// Wire "stats": true — opt-in on search/join requests. The response
+  /// then carries a "stats" object with the engine's pruning counters
+  /// (tables_planned / tables_scored / stopped_early) when the engine
+  /// actually ran; cache hits answer without one.
+  bool want_stats = false;
 };
 
 /// Parses one request line. Unknown fields are ignored; a missing or
@@ -88,8 +93,11 @@ Status ValidateResolvedJoin(const WireJoin& wire, const JoinQuery& query);
 Result<Table> WireToTable(const WireTable& wire);
 
 // --- Response rendering (one JSON line, no trailing newline). ---
+/// `want_stats` echoes the request's "stats" flag: when set and the
+/// response carries engine stats, a "stats" object is emitted.
 std::string RenderSearchResponse(const SearchResponse& response,
-                                 const CatalogView* catalog, int top_k);
+                                 const CatalogView* catalog, int top_k,
+                                 bool want_stats = false);
 std::string RenderAnnotateResponse(const AnnotateResponse& response,
                                    const CatalogView* catalog);
 std::string RenderErrorResponse(const Status& status);

@@ -329,6 +329,8 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
       break;
   }
   meta.work_millis = work.ElapsedMillis();
+  response.stats = ws->stats();
+  response.has_stats = true;
 
   if (cache_ != nullptr) {
     auto shared = std::make_shared<const std::vector<SearchResult>>(results);

@@ -58,6 +58,12 @@ struct SearchResponse {
   Status status;
   std::vector<SearchResult> results;
   RequestMetadata meta;
+  /// Pruning counters from the engine run that produced `results`.
+  /// has_stats is false for cache hits (the engine did not run) and for
+  /// error responses; the wire layer only renders stats when the client
+  /// opted in, so cached and computed responses stay interchangeable.
+  SearchWorkspace::QueryStats stats;
+  bool has_stats = false;
 };
 
 struct AnnotateResponse {

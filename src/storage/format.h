@@ -27,11 +27,17 @@ namespace storage {
 
 inline constexpr char kMagic[8] = {'W', 'T', 'S', 'N', 'A', 'P', '0', '1'};
 inline constexpr uint32_t kFormatVersion = 1;
+/// Backward-compatible revision within kFormatVersion. Minor 1 adds the
+/// block-max section; readers accept any minor (new sections are
+/// skipped by old readers, and new readers fall back when the section
+/// is absent).
+inline constexpr uint64_t kFormatVersionMinor = 1;
 
 enum SectionKind : uint32_t {
   kCatalogSection = 1,
   kLemmaIndexSection = 2,
   kCorpusSection = 3,
+  kBlockMaxSection = 4,
 };
 
 struct FileHeader {
@@ -43,7 +49,10 @@ struct FileHeader {
   uint64_t payload_checksum = 0;
   /// Absolute offset of the SectionEntry array.
   uint64_t section_table_offset = 0;
-  uint64_t reserved[3] = {0, 0, 0};
+  /// Was reserved[0] (always written 0) before minor versioning, so
+  /// minor-0 files decode as minor 0 without a layout change.
+  uint64_t version_minor = 0;
+  uint64_t reserved[2] = {0, 0};
 };
 static_assert(sizeof(FileHeader) == 64);
 
@@ -207,6 +216,32 @@ struct CorpusHeader {
   CsrRef relation_postings;       // RelationRef values.
   BlobRef entity_keys;            // EntityId[], sorted.
   CsrRef entity_postings;         // CellRef values.
+};
+
+// --- Block-max section (format minor 1) -----------------------------------
+
+static_assert(std::is_trivially_copyable_v<PostingBlockMax>);
+
+/// Block-max summaries for every search-facing posting list of the
+/// corpus section, plus the cell-token match-support index. Each block
+/// CSR is row-aligned with the corresponding corpus postings CSR (row i
+/// here summarizes row i there, ceil(len / kPostingBlockSize) blocks
+/// per row). Written only alongside a corpus section; readers that
+/// predate it skip the unknown kind, and new readers fall back to the
+/// unpruned scan when it is absent.
+struct BlockMaxHeader {
+  int64_t block_size = kPostingBlockSize;
+
+  CsrRef header_blocks;    // PostingBlockMax, one row per header token.
+  CsrRef context_blocks;   // One row per context token.
+  CsrRef type_blocks;      // One row per type key.
+  CsrRef relation_blocks;  // One row per relation key.
+  CsrRef entity_blocks;    // One row per entity key.
+
+  StringArenaRef cell_tokens;  // Distinct cell tokens, sorted by text.
+  CsrRef cell_token_postings;  // CellTokenRef values, one row per
+                               // token, sorted by (table, col), unique;
+                               // min_tokens >= 1.
 };
 
 /// Payload checksum: a word-at-a-time multiply-xor hash (FNV-style

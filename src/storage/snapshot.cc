@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "common/logging.h"
 #include "storage/format.h"
 
 namespace webtab {
@@ -76,6 +77,7 @@ Result<Snapshot> Snapshot::Open(const std::string& path,
   }
   snap.size_ = file_size;
   snap.version_ = header.version;
+  snap.version_minor_ = header.version_minor;
   snap.checksum_ = header.payload_checksum;
 
   const SectionEntry* entries = reinterpret_cast<const SectionEntry*>(
@@ -122,6 +124,31 @@ Result<Snapshot> Snapshot::Open(const std::string& path,
       default:
         // Unknown sections are ignored for forward compatibility.
         break;
+    }
+  }
+  // The block-max section augments the corpus view, so attach it only
+  // after every corpus section is resolved.
+  for (const SectionInfo& info : snap.sections_) {
+    if (info.kind != kBlockMaxSection) continue;
+    if (snap.corpus_ == nullptr) {
+      return Status::ParseError(
+          "block-max section requires a corpus section");
+    }
+    WEBTAB_RETURN_IF_ERROR(
+        snap.corpus_->AttachBlockMax(base + info.offset, info.size));
+  }
+  if (snap.corpus_ != nullptr && !snap.corpus_->has_block_max()) {
+    // Pre-minor-1 snapshot: search still works, but top-k pruning
+    // cannot fire. Warn once per process, not per open — hot-swap
+    // reloads would otherwise spam the log.
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      WEBTAB_LOG(Warning)
+          << "snapshot " << path
+          << " predates the block-max index (format minor "
+          << snap.version_minor_
+          << "); search falls back to unpruned scans";
     }
   }
   if (snap.catalog_ == nullptr) {

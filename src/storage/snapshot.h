@@ -80,6 +80,7 @@ class Snapshot {
 
   uint64_t file_size() const { return size_; }
   uint32_t version() const { return version_; }
+  uint64_t version_minor() const { return version_minor_; }
   uint64_t checksum() const { return checksum_; }
   const std::vector<SectionInfo>& sections() const { return sections_; }
 
@@ -96,6 +97,7 @@ class Snapshot {
   std::unique_ptr<Mapping> mapping_;
   uint64_t size_ = 0;
   uint32_t version_ = 0;
+  uint64_t version_minor_ = 0;
   uint64_t checksum_ = 0;
   std::vector<SectionInfo> sections_;
   std::unique_ptr<SnapshotCatalogView> catalog_;

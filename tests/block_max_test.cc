@@ -1,0 +1,422 @@
+// Block-max index tests: (a) the pruned top-k property — for any k, on
+// either backend and on both flat and skewed corpora, the pruned prefix
+// is identical to the reference full ranking's prefix; (b) hostile
+// block-max sections — checksum-valid files whose block summaries or
+// cell-token index lie are rejected (plain Open accepts everything
+// structurally sound; OpenValidated must catch content lies, because
+// the engines *skip* work based on these sections and a lying bound
+// silently drops evidence instead of crashing).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "annotate/annotator.h"
+#include "annotate/corpus_annotator.h"
+#include "reference_search.h"
+#include "search/baseline_search.h"
+#include "search/corpus_index.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+#include "storage/format.h"
+#include "storage/snapshot.h"
+#include "storage/snapshot_writer.h"
+#include "synth/corpus_generator.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using storage::Snapshot;
+using storage::SnapshotBuilder;
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good());
+}
+
+template <typename T>
+T ReadPod(const std::vector<uint8_t>& bytes, uint64_t offset) {
+  T out;
+  std::memcpy(&out, bytes.data() + offset, sizeof(T));
+  return out;
+}
+
+uint64_t SectionOffsetOf(const std::vector<uint8_t>& bytes, uint32_t kind) {
+  auto header = ReadPod<storage::FileHeader>(bytes, 0);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    auto entry = ReadPod<storage::SectionEntry>(
+        bytes, header.section_table_offset +
+                   i * sizeof(storage::SectionEntry));
+    if (entry.kind == kind) return entry.offset;
+  }
+  return 0;
+}
+
+/// Recomputes the payload checksum after a surgical mutation, so the
+/// file models an attacker-authored snapshot rather than bit rot.
+void FixChecksum(std::vector<uint8_t>* bytes) {
+  const uint64_t payload = sizeof(storage::FileHeader);
+  uint64_t checksum = storage::Checksum64(bytes->data() + payload,
+                                          bytes->size() - payload);
+  std::memcpy(bytes->data() + offsetof(storage::FileHeader,
+                                       payload_checksum),
+              &checksum, sizeof(checksum));
+}
+
+// --- Pruned-prefix property -----------------------------------------------
+
+/// Asserts got == the first min(k, |full|) entries of `full` under the
+/// identity contract: entity id when resolved; text when not. Display
+/// text of entity answers is best-effort under pruning (query.h).
+void ExpectPrefix(const std::vector<SearchResult>& got,
+                  const std::vector<SearchResult>& full, int k,
+                  const char* what) {
+  const size_t want = std::min(full.size(), static_cast<size_t>(k));
+  ASSERT_EQ(got.size(), want) << what;
+  for (size_t i = 0; i < want; ++i) {
+    EXPECT_EQ(got[i].entity, full[i].entity) << what << " at " << i;
+    if (full[i].entity == kNa) {
+      EXPECT_EQ(got[i].text, full[i].text) << what << " at " << i;
+    }
+  }
+}
+
+struct Backend {
+  const char* name;
+  const CorpusView* view;
+};
+
+class BlockMaxPrefixTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Parameter: skewed row distribution. Flat corpora exercise the
+  // uniform-bound case (pruning must come from zero-support
+  // elimination); skewed corpora give the suffix-bound break and the
+  // gap stop big tables to act on.
+  void SetUp() override {
+    const World& world = SharedWorld();
+    CorpusSpec spec;
+    spec.seed = GetParam() ? 502 : 501;
+    spec.num_tables = 48;
+    spec.min_rows = GetParam() ? 2 : 6;
+    spec.max_rows = GetParam() ? 24 : 6;
+    std::vector<Table> tables;
+    for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+      tables.push_back(lt.table);
+    }
+    TableAnnotator annotator(&world.catalog, &SharedIndex());
+    ClosureCache closure(&world.catalog);
+    corpus_ = std::make_unique<CorpusIndex>(
+        AnnotateCorpus(&annotator, tables), &closure);
+
+    path_ = TempPath(GetParam() ? "blockmax_skewed.snap"
+                                : "blockmax_flat.snap");
+    SnapshotBuilder builder;
+    builder.SetCatalog(&world.catalog).SetCorpus(corpus_.get());
+    WEBTAB_CHECK_OK(builder.WriteToFile(path_));
+    Result<Snapshot> snap = Snapshot::OpenValidated(path_);
+    WEBTAB_CHECK(snap.ok()) << snap.status().ToString();
+    snap_ = std::make_unique<Snapshot>(std::move(snap.value()));
+    EXPECT_TRUE(snap_->corpus()->has_block_max());
+    EXPECT_EQ(snap_->version_minor(), storage::kFormatVersionMinor);
+  }
+
+  void TearDown() override {
+    snap_.reset();
+    std::remove(path_.c_str());
+  }
+
+  std::vector<SelectQuery> Queries() const {
+    const World& world = SharedWorld();
+    std::vector<SelectQuery> queries;
+    const auto& tuples = world.true_relations[world.acted_in].tuples;
+    const size_t stride = std::max<size_t>(1, tuples.size() / 6);
+    bool ground = true;
+    for (size_t i = 0; i < tuples.size(); i += stride) {
+      SelectQuery q;
+      q.relation = world.acted_in;
+      q.type1 = world.actor;
+      q.type2 = world.movie;
+      q.relation_text = "acted in";
+      q.type1_text = "actor";
+      q.type2_text = "movie";
+      q.e2 = ground ? tuples[i].second : kNa;
+      if (!ground) {
+        q.e2_text = std::string(world.catalog.EntityName(tuples[i].second));
+      }
+      queries.push_back(q);
+      ground = !ground;
+    }
+    return queries;
+  }
+
+  std::unique_ptr<CorpusIndex> corpus_;
+  std::string path_;
+  std::unique_ptr<Snapshot> snap_;
+};
+
+TEST_P(BlockMaxPrefixTest, PrunedPrefixMatchesFullRankForAnyK) {
+  struct EngineCase {
+    const char* name;
+    std::vector<SearchResult> (*reference)(const CorpusView&,
+                                           const SelectQuery&,
+                                           const NormalizedSelectQuery&);
+    void (*kernel)(const CorpusView&, const SelectQuery&,
+                   const NormalizedSelectQuery&, const TopKOptions&,
+                   SearchWorkspace*, std::vector<SearchResult>*);
+  };
+  const EngineCase engines[] = {
+      {"baseline", &testing_util::ReferenceBaselineSearch, &BaselineSearch},
+      {"type", &testing_util::ReferenceTypeSearch, &TypeSearch},
+      {"type_relation", &testing_util::ReferenceTypeRelationSearch,
+       &TypeRelationSearch},
+  };
+  const Backend backends[] = {
+      {"memory", corpus_.get()},
+      {"snapshot", snap_->corpus()},
+  };
+  SearchWorkspace ws;
+  std::vector<SearchResult> got;
+  for (const SelectQuery& q : Queries()) {
+    NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+    for (const EngineCase& engine : engines) {
+      for (const Backend& backend : backends) {
+        std::vector<SearchResult> full =
+            engine.reference(*backend.view, q, nq);
+        for (int k : {1, 5, 10, 50}) {
+          engine.kernel(*backend.view, q, nq, TopKOptions{k, true}, &ws,
+                        &got);
+          std::string what = std::string(engine.name) + "/" +
+                             backend.name + "/k=" + std::to_string(k);
+          ExpectPrefix(got, full, k, what.c_str());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlatAndSkewed, BlockMaxPrefixTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Skewed" : "Flat";
+                         });
+
+// --- Hostile block-max sections -------------------------------------------
+
+class BlockMaxHostileTest : public ::testing::Test {
+ protected:
+  // Built once: annotating enough tables for a multi-block posting list
+  // (> kPostingBlockSize type postings) is the expensive part.
+  static void SetUpTestSuite() {
+    const World& world = SharedWorld();
+    CorpusSpec spec;
+    spec.seed = 503;
+    spec.num_tables = 90;
+    spec.min_rows = 3;
+    spec.max_rows = 6;
+    std::vector<Table> tables;
+    for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+      tables.push_back(lt.table);
+    }
+    TableAnnotator annotator(&world.catalog, &SharedIndex());
+    ClosureCache closure(&world.catalog);
+    corpus_ = new CorpusIndex(AnnotateCorpus(&annotator, tables), &closure);
+    bytes_ = new std::vector<uint8_t>();
+    SnapshotBuilder builder;
+    builder.SetCatalog(&world.catalog).SetCorpus(corpus_);
+    WEBTAB_CHECK_OK(builder.WriteTo(bytes_));
+  }
+
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  uint64_t Section() const {
+    uint64_t s = SectionOffsetOf(*bytes_, storage::kBlockMaxSection);
+    WEBTAB_CHECK(s != 0) << "snapshot lacks a block-max section";
+    return s;
+  }
+
+  /// Row bounds [begin, end) of `row` in a CSR, in elements.
+  std::pair<uint64_t, uint64_t> RowRange(uint64_t section,
+                                         const storage::CsrRef& csr,
+                                         uint64_t row) const {
+    uint64_t ends = section + csr.row_ends.offset;
+    uint64_t begin =
+        row == 0 ? 0
+                 : ReadPod<uint64_t>(*bytes_,
+                                     ends + (row - 1) * sizeof(uint64_t));
+    uint64_t end =
+        ReadPod<uint64_t>(*bytes_, ends + row * sizeof(uint64_t));
+    return {begin, end};
+  }
+
+  void ExpectValidatedRejects(const std::string& name,
+                              const std::vector<uint8_t>& bytes,
+                              const std::string& what) {
+    std::string path = TempPath(name);
+    WriteBytes(path, bytes);
+    EXPECT_TRUE(Snapshot::Open(path).ok())
+        << "mutation should pass plain open";
+    Result<Snapshot> validated = Snapshot::OpenValidated(path);
+    ASSERT_FALSE(validated.ok());
+    EXPECT_EQ(validated.status().code(), StatusCode::kParseError);
+    EXPECT_NE(validated.status().message().find(what), std::string::npos)
+        << validated.status().ToString();
+    std::remove(path.c_str());
+  }
+
+  static CorpusIndex* corpus_;
+  static std::vector<uint8_t>* bytes_;
+};
+
+CorpusIndex* BlockMaxHostileTest::corpus_ = nullptr;
+std::vector<uint8_t>* BlockMaxHostileTest::bytes_ = nullptr;
+
+TEST_F(BlockMaxHostileTest, OpenValidatedAcceptsIntactFile) {
+  std::string path = TempPath("blockmax_intact.snap");
+  WriteBytes(path, *bytes_);
+  Result<Snapshot> snap = Snapshot::OpenValidated(path);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(snap->corpus()->has_block_max());
+  std::remove(path.c_str());
+}
+
+TEST_F(BlockMaxHostileTest, RejectsBlockRefsOutOfTableOrder) {
+  // A cursor seeks by binary search over block last-tables; an
+  // out-of-order pair would make it skip live blocks. Needs a posting
+  // list spanning >= 2 blocks — the type postings of a common type do.
+  std::vector<uint8_t> hostile = *bytes_;
+  uint64_t section = Section();
+  auto h = ReadPod<storage::BlockMaxHeader>(hostile, section);
+  uint64_t row = static_cast<uint64_t>(-1);
+  for (uint64_t r = 0; r < h.type_blocks.row_ends.count; ++r) {
+    auto [begin, end] = RowRange(section, h.type_blocks, r);
+    if (end - begin >= 2) {
+      row = r;
+      break;
+    }
+  }
+  ASSERT_NE(row, static_cast<uint64_t>(-1))
+      << "no multi-block type postings row; grow the corpus";
+  auto [begin, end] = RowRange(section, h.type_blocks, row);
+  uint64_t second = section + h.type_blocks.values.offset +
+                    (begin + 1) * sizeof(PostingBlockMax) +
+                    offsetof(PostingBlockMax, last_table);
+  int32_t bogus = -1;  // Strictly below any real predecessor.
+  std::memcpy(hostile.data() + second, &bogus, sizeof(bogus));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("blockmax_unordered.snap", hostile,
+                         "block refs out of table order");
+}
+
+TEST_F(BlockMaxHostileTest, RejectsBlockLastTableMismatch) {
+  // The declared last table must equal the block's final posting's
+  // table — the cursor uses it to decide which block holds a target.
+  std::vector<uint8_t> hostile = *bytes_;
+  uint64_t section = Section();
+  auto h = ReadPod<storage::BlockMaxHeader>(hostile, section);
+  ASSERT_GE(h.entity_blocks.values.count, 1u);
+  uint64_t first = section + h.entity_blocks.values.offset +
+                   offsetof(PostingBlockMax, last_table);
+  int32_t declared = ReadPod<int32_t>(hostile, first);
+  int32_t lied = declared + 1;
+  std::memcpy(hostile.data() + first, &lied, sizeof(lied));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("blockmax_lasttable.snap", hostile,
+                         "block last table mismatch");
+}
+
+TEST_F(BlockMaxHostileTest, RejectsBoundBelowContainedPostings) {
+  // A zeroed max_bound would let the engines skip a table that holds
+  // real evidence — the exactness-breaking lie.
+  std::vector<uint8_t> hostile = *bytes_;
+  uint64_t section = Section();
+  auto h = ReadPod<storage::BlockMaxHeader>(hostile, section);
+  ASSERT_GE(h.relation_blocks.values.count, 1u);
+  uint64_t first = section + h.relation_blocks.values.offset +
+                   offsetof(PostingBlockMax, max_bound);
+  int32_t zero = 0;
+  std::memcpy(hostile.data() + first, &zero, sizeof(zero));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("blockmax_bound.snap", hostile,
+                         "block bound below contained postings");
+}
+
+TEST_F(BlockMaxHostileTest, RejectsCellTokenPostingsOutOfTableOrder) {
+  // Match support is binary-searched by (table, col); out-of-order rows
+  // would make BuildMatchSupport miss live columns and engines would
+  // prune tables that still match. Swap two entries from different
+  // tables in one token's row.
+  std::vector<uint8_t> hostile = *bytes_;
+  uint64_t section = Section();
+  auto h = ReadPod<storage::BlockMaxHeader>(hostile, section);
+  uint64_t values = section + h.cell_token_postings.values.offset;
+  uint64_t victim = static_cast<uint64_t>(-1);
+  for (uint64_t r = 0; r < h.cell_token_postings.row_ends.count; ++r) {
+    auto [begin, end] = RowRange(section, h.cell_token_postings, r);
+    for (uint64_t i = begin; i + 1 < end; ++i) {
+      auto a = ReadPod<CellTokenRef>(hostile,
+                                     values + i * sizeof(CellTokenRef));
+      auto b = ReadPod<CellTokenRef>(
+          hostile, values + (i + 1) * sizeof(CellTokenRef));
+      if (a.table != b.table) {
+        victim = i;
+        break;
+      }
+    }
+    if (victim != static_cast<uint64_t>(-1)) break;
+  }
+  ASSERT_NE(victim, static_cast<uint64_t>(-1))
+      << "no token spans two tables; grow the corpus";
+  auto a = ReadPod<CellTokenRef>(hostile,
+                                 values + victim * sizeof(CellTokenRef));
+  auto b = ReadPod<CellTokenRef>(
+      hostile, values + (victim + 1) * sizeof(CellTokenRef));
+  std::memcpy(hostile.data() + values + victim * sizeof(CellTokenRef), &b,
+              sizeof(b));
+  std::memcpy(hostile.data() + values + (victim + 1) * sizeof(CellTokenRef),
+              &a, sizeof(a));
+  FixChecksum(&hostile);
+  ExpectValidatedRejects("blockmax_celltoken_order.snap", hostile,
+                         "cell token postings out of table order");
+}
+
+TEST_F(BlockMaxHostileTest, NonPositiveMinTokensRejectedAtOpen) {
+  // min_tokens >= 1 is structural (a zero would divide the Jaccard
+  // feasibility cap), so even plain Open rejects it at attach time.
+  std::vector<uint8_t> hostile = *bytes_;
+  uint64_t section = Section();
+  auto h = ReadPod<storage::BlockMaxHeader>(hostile, section);
+  ASSERT_GE(h.cell_token_postings.values.count, 1u);
+  uint64_t first = section + h.cell_token_postings.values.offset +
+                   offsetof(CellTokenRef, min_tokens);
+  int32_t zero = 0;
+  std::memcpy(hostile.data() + first, &zero, sizeof(zero));
+  FixChecksum(&hostile);
+  std::string path = TempPath("blockmax_mintokens.snap");
+  WriteBytes(path, hostile);
+  Result<Snapshot> opened = Snapshot::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("non-positive min_tokens"),
+            std::string::npos)
+      << opened.status().ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace webtab

@@ -239,6 +239,51 @@ TEST(RenderTest, SearchAndErrorShapes) {
   EXPECT_EQ(ejson->GetString("code"), "DeadlineExceeded");
 }
 
+TEST(RenderTest, OptionalStatsObject) {
+  Figure1World w = MakeFigure1World();
+  SearchResponse response;
+  response.results.push_back(SearchResult{w.einstein, "A. Einstein", 1.5});
+  response.stats.tables_planned = 40;
+  response.stats.tables_scored = 7;
+  response.stats.stopped_early = true;
+  response.has_stats = true;
+
+  // Not requested: no stats key, even though the engine recorded them.
+  std::string silent = RenderSearchResponse(response, &w.catalog, 10);
+  Result<Json> sjson = Json::Parse(silent);
+  ASSERT_TRUE(sjson.ok());
+  EXPECT_EQ(sjson->Find("stats"), nullptr);
+
+  // Requested and present.
+  std::string line =
+      RenderSearchResponse(response, &w.catalog, 10, /*want_stats=*/true);
+  Result<Json> json = Json::Parse(line);
+  ASSERT_TRUE(json.ok()) << line;
+  const Json* stats = json->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->GetNumber("tables_planned"), 40.0);
+  EXPECT_EQ(stats->GetNumber("tables_scored"), 7.0);
+  EXPECT_TRUE(stats->GetBool("stopped_early"));
+
+  // Requested but the response carries none (cache hit): omitted.
+  response.has_stats = false;
+  std::string cached =
+      RenderSearchResponse(response, &w.catalog, 10, /*want_stats=*/true);
+  Result<Json> cjson = Json::Parse(cached);
+  ASSERT_TRUE(cjson.ok());
+  EXPECT_EQ(cjson->Find("stats"), nullptr);
+
+  // The wire flag parses off search requests.
+  Result<WireRequest> parsed = ParseWireRequest(
+      R"({"op":"search","engine":"baseline","e2":"x","stats":true})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->want_stats);
+  Result<WireRequest> off = ParseWireRequest(
+      R"({"op":"search","engine":"baseline","e2":"x"})");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->want_stats);
+}
+
 TEST(RenderTest, AnnotateShape) {
   Figure1World w = MakeFigure1World();
   AnnotateResponse response;

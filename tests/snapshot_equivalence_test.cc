@@ -256,5 +256,57 @@ TEST_F(SnapshotEquivalenceTest, AllFourEnginesIdentical) {
   ExpectSameResults(JoinSearch(*mem_corpus_, jq), JoinSearch(sv, jq));
 }
 
+TEST_F(SnapshotEquivalenceTest, CurrentFormatCarriesBlockMax) {
+  EXPECT_EQ(snap_->version_minor(), storage::kFormatVersionMinor);
+  EXPECT_TRUE(snap_->corpus()->has_block_max());
+  EXPECT_TRUE(snap_->corpus()->HasMatchSupport());
+}
+
+TEST_F(SnapshotEquivalenceTest, LegacySnapshotWithoutBlockMaxStillSearches) {
+  // Pre-minor-1 files carry no block-max section. They must keep
+  // opening (with a one-time warning), report no match support, and
+  // produce the same rankings — the engines just cannot prune, so the
+  // pruned top-k path must still equal the full ranking's prefix.
+  const World& world = SharedWorld();
+  std::string path = ::testing::TempDir() + "/legacy_no_blockmax.snap";
+  SnapshotBuilder builder;
+  builder.SetCatalog(&world.catalog)
+      .SetCorpus(mem_corpus_)
+      .SetWriteBlockMax(false);
+  WEBTAB_CHECK_OK(builder.WriteToFile(path));
+  Result<Snapshot> legacy = Snapshot::OpenValidated(path);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->version_minor(), 0u);
+  ASSERT_NE(legacy->corpus(), nullptr);
+  EXPECT_FALSE(legacy->corpus()->has_block_max());
+  EXPECT_FALSE(legacy->corpus()->HasMatchSupport());
+
+  const CorpusView& lv = *legacy->corpus();
+  SelectQuery q;
+  q.relation = world.acted_in;
+  q.type1 = world.actor;
+  q.type2 = world.movie;
+  q.relation_text = "acted in";
+  q.type1_text = "actor";
+  q.type2_text = "movie";
+  q.e2 = 10;
+  q.e2_text = std::string(world.catalog.EntityName(10));
+  ExpectSameResults(TypeRelationSearch(*mem_corpus_, q),
+                    TypeRelationSearch(lv, q));
+  ExpectSameResults(TypeSearch(*mem_corpus_, q), TypeSearch(lv, q));
+  ExpectSameResults(BaselineSearch(*mem_corpus_, q), BaselineSearch(lv, q));
+
+  std::vector<SearchResult> full = TypeRelationSearch(lv, q);
+  NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+  SearchWorkspace ws;
+  std::vector<SearchResult> pruned;
+  TypeRelationSearch(lv, q, nq, TopKOptions{5, true}, &ws, &pruned);
+  ASSERT_EQ(pruned.size(), std::min<size_t>(5, full.size()));
+  for (size_t i = 0; i < pruned.size(); ++i) {
+    EXPECT_EQ(pruned[i].entity, full[i].entity);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace webtab

@@ -154,7 +154,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
         catalog = &handle.snapshot->catalog();
       }
       *out = serve::RenderSearchResponse(
-          response, catalog, request.top_k > 0 ? request.top_k : 10);
+          response, catalog, request.top_k > 0 ? request.top_k : 10,
+          request.want_stats);
       return true;
     }
     case WireRequest::Op::kAnnotate: {
