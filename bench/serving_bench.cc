@@ -8,6 +8,11 @@
 // Acceptance (ISSUE 3): >= 4 concurrent clients served from one mmap'd
 // snapshot with byte-identical results, hot-swap under load with zero
 // lost in-flight requests.
+//
+// Latency percentiles come from the shared obs::Histogram (recorded
+// concurrently by the client threads, shard-local and lock-free); the
+// JSON carries the full bucket breakdown alongside p50/p95/p99, plus
+// the service's own serve.queue_wait_ms histogram.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -22,6 +27,7 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "search/baseline_search.h"
 #include "search/corpus_index.h"
 #include "search/type_relation_search.h"
@@ -95,20 +101,35 @@ bool SameResults(const std::vector<SearchResult>& a,
   return true;
 }
 
-double Percentile(std::vector<double>* sorted_in_place, double p) {
-  if (sorted_in_place->empty()) return 0.0;
-  std::sort(sorted_in_place->begin(), sorted_in_place->end());
-  size_t idx = static_cast<size_t>(p * (sorted_in_place->size() - 1));
-  return (*sorted_in_place)[idx];
-}
-
 struct ClientLog {
-  std::vector<double> search_latency_ms;
-  std::vector<double> annotate_latency_ms;
   int64_t responses = 0;
   int64_t failures = 0;
   int64_t served_v1 = 0, served_v2 = 0;
 };
+
+/// One histogram as a JSON object: count/p50/p95/p99/mean plus the
+/// non-empty buckets as [upper_bound, count] pairs.
+std::string HistogramJson(const obs::HistogramSnapshot& snap) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"p50\": %.3f, \"p95\": %.3f, "
+                "\"p99\": %.3f, \"mean\": %.3f, \"buckets\": [",
+                static_cast<unsigned long long>(snap.count),
+                snap.Percentile(0.5), snap.Percentile(0.95),
+                snap.Percentile(0.99), snap.Mean());
+  std::string out = buf;
+  bool first = true;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s[%.6g, %llu]", first ? "" : ", ",
+                  obs::Histogram::BucketUpperBound(static_cast<int>(i)),
+                  static_cast<unsigned long long>(snap.buckets[i]));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
 
 }  // namespace
 
@@ -181,6 +202,15 @@ int main(int argc, char** argv) {
   std::atomic<int64_t> issued{0};
   std::vector<ClientLog> logs(static_cast<size_t>(clients));
 
+  // Client-observed latency histograms (the shared obs type; clients
+  // record concurrently, shard-local).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Histogram* search_hist =
+      registry.GetHistogram("serving_bench.search_ms");
+  obs::Histogram* annotate_hist =
+      registry.GetHistogram("serving_bench.annotate_ms");
+  obs::Histogram* all_hist = registry.GetHistogram("serving_bench.all_ms");
+
   std::cout << "Driving " << clients << " closed-loop clients x "
             << requests_per_client << " requests (" << workers
             << " workers), hot-swap at 1/3...\n";
@@ -198,7 +228,9 @@ int main(int argc, char** argv) {
         const size_t t = pick % annotate_tables.size();
         serve::AnnotateResponse response =
             service.Annotate(annotate_tables[t]);
-        log->annotate_latency_ms.push_back(latency.ElapsedMillis());
+        const double ms = latency.ElapsedMillis();
+        annotate_hist->Record(ms);
+        all_hist->Record(ms);
         ++log->responses;
         const TableAnnotation& want = expected_annotations[t];
         const TableAnnotation& got = response.annotation;
@@ -213,7 +245,9 @@ int main(int argc, char** argv) {
       const SelectQuery& query = queries[pick % queries.size()];
       serve::EngineKind engine = engines[pick % 3];
       serve::SearchResponse response = service.Search(engine, query);
-      log->search_latency_ms.push_back(latency.ElapsedMillis());
+      const double ms = latency.ElapsedMillis();
+      search_hist->Record(ms);
+      all_hist->Record(ms);
       ++log->responses;
       const uint64_t v = response.meta.snapshot_version;
       if (v == 1) ++log->served_v1;
@@ -257,20 +291,19 @@ int main(int argc, char** argv) {
   service.Stop();
 
   // Aggregate.
-  std::vector<double> search_ms, annotate_ms, all_ms;
   int64_t responses = 0, failures = 0, served_v1 = 0, served_v2 = 0;
   for (const ClientLog& log : logs) {
     responses += log.responses;
     failures += log.failures;
     served_v1 += log.served_v1;
     served_v2 += log.served_v2;
-    search_ms.insert(search_ms.end(), log.search_latency_ms.begin(),
-                     log.search_latency_ms.end());
-    annotate_ms.insert(annotate_ms.end(), log.annotate_latency_ms.begin(),
-                       log.annotate_latency_ms.end());
   }
-  all_ms = search_ms;
-  all_ms.insert(all_ms.end(), annotate_ms.begin(), annotate_ms.end());
+  obs::HistogramSnapshot all_snap = all_hist->Snapshot();
+  obs::HistogramSnapshot search_snap = search_hist->Snapshot();
+  obs::HistogramSnapshot annotate_snap = annotate_hist->Snapshot();
+  // The service-side queue-wait histogram the workers recorded.
+  obs::HistogramSnapshot queue_snap =
+      registry.GetHistogram("serve.queue_wait_ms")->Snapshot();
 
   serve::ServiceStats stats = service.stats();
   const double throughput =
@@ -289,31 +322,31 @@ int main(int argc, char** argv) {
       "  \"wall_seconds\": %.3f,\n"
       "  \"throughput_rps\": %.1f,\n"
       "  \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n"
-      "  \"search_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n"
-      "  \"annotate_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n"
       "  \"served_by_version\": {\"v1\": %lld, \"v2\": %lld},\n"
       "  \"hot_swap_ms\": %.3f,\n"
       "  \"cache\": {\"hits\": %llu, \"misses\": %llu},\n"
       "  \"rejected_overload\": %llu,\n"
-      "  \"byte_identical_verified\": %s\n"
-      "}\n",
+      "  \"byte_identical_verified\": %s,\n",
       static_cast<long long>(clients), static_cast<long long>(workers),
       static_cast<long long>(total_requests),
       static_cast<long long>(responses), static_cast<long long>(failures),
-      wall_seconds, throughput, Percentile(&all_ms, 0.5),
-      Percentile(&all_ms, 0.99), Percentile(&search_ms, 0.5),
-      Percentile(&search_ms, 0.99), Percentile(&annotate_ms, 0.5),
-      Percentile(&annotate_ms, 0.99), static_cast<long long>(served_v1),
+      wall_seconds, throughput, all_snap.Percentile(0.5),
+      all_snap.Percentile(0.99), static_cast<long long>(served_v1),
       static_cast<long long>(served_v2), swap_ms,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.rejected_overload),
       failures == 0 ? "true" : "false");
+  std::string json = buf;
+  json += "  \"search_latency_ms\": " + HistogramJson(search_snap) + ",\n";
+  json +=
+      "  \"annotate_latency_ms\": " + HistogramJson(annotate_snap) + ",\n";
+  json += "  \"queue_wait_ms\": " + HistogramJson(queue_snap) + "\n}\n";
 
-  std::cout << buf;
+  std::cout << json;
   if (!out.empty()) {
     std::ofstream f(out);
-    f << buf;
+    f << json;
     std::cout << "wrote " << out << "\n";
   }
 
@@ -327,5 +360,11 @@ int main(int argc, char** argv) {
   WEBTAB_CHECK(served_v1 > 0 && served_v2 > 0)
       << "hot-swap did not land under load (v1=" << served_v1
       << ", v2=" << served_v2 << ")";
+  // Every executed request recorded its queue wait (the satellite fix:
+  // Request::queued used to be measured and dropped).
+  WEBTAB_CHECK(queue_snap.count ==
+               static_cast<uint64_t>(responses) - stats.rejected_overload)
+      << "queue-wait histogram count " << queue_snap.count
+      << " != executed requests";
   return 0;
 }

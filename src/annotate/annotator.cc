@@ -3,6 +3,8 @@
 #include "common/timer.h"
 #include "inference/unique_constraint.h"
 #include "model/label_space.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace webtab {
 
@@ -36,52 +38,46 @@ TableAnnotation TableAnnotator::AnnotateWithCandidates(
   WallTimer total;
   WallTimer stage;
 
-  *candidates_out = GenerateCandidates(table, *index_, &closure_,
-                                       options_.candidates,
-                                       &candidate_workspace_);
-  double candidate_seconds = stage.ElapsedSeconds();
+  TableAnnotation annotation;
+  {
+    obs::TraceSpan span("annotate.candidates");
+    *candidates_out = GenerateCandidates(table, *index_, &closure_,
+                                         options_.candidates,
+                                         &candidate_workspace_);
+  }
+  const double candidate_seconds = stage.ElapsedSeconds();
 
   stage.Restart();
+  obs::TraceSpan graph_span("annotate.graph_build");
   TableLabelSpace space = TableLabelSpace::Build(table, *candidates_out);
   TableGraphOptions graph_options;
   graph_options.use_relations = options_.use_relations;
   graph_options.factor_rep = options_.factor_rep;
   TableGraph graph = BuildTableGraph(table, space, &features_,
                                      options_.weights, graph_options);
-  double graph_seconds = stage.ElapsedSeconds();
+  graph_span.End();
+  const double graph_seconds = stage.ElapsedSeconds();
 
   stage.Restart();
-  BpResult bp = RunBeliefPropagation(graph.graph, options_.bp,
-                                     &bp_workspace_);
-  TableAnnotation annotation = graph.DecodeAssignment(bp.assignment, space);
-
-  if (options_.unique_column_constraint) {
-    // Re-decode each column's entities under a uniqueness constraint,
-    // keeping the BP-chosen column type fixed (min-cost-flow extension).
-    for (int c = 0; c < table.cols(); ++c) {
-      TypeId t = annotation.column_types[c];
-      std::vector<std::vector<EntityId>> domains(table.rows());
-      std::vector<std::vector<double>> scores(table.rows());
-      for (int r = 0; r < table.rows(); ++r) {
-        const auto& domain = space.EntityDomain(r, c);
-        domains[r] = domain;
-        scores[r].resize(domain.size(), 0.0);
-        for (size_t l = 1; l < domain.size(); ++l) {
-          scores[r][l] =
-              features_.Phi1Log(options_.weights, table.cell(r, c),
-                                domain[l]) +
-              (t != kNa
-                   ? features_.Phi3Log(options_.weights, t, domain[l])
-                   : 0.0);
-        }
-      }
-      std::vector<int> labels = AssignUniqueEntities(domains, scores);
-      for (int r = 0; r < table.rows(); ++r) {
-        annotation.cell_entities[r][c] = domains[r][labels[r]];
-      }
-    }
+  BpResult bp;
+  {
+    obs::TraceSpan bp_span("annotate.bp");
+    bp = RunBeliefPropagation(graph.graph, options_.bp, &bp_workspace_);
   }
-  double inference_seconds = stage.ElapsedSeconds();
+  {
+    obs::TraceSpan decode_span("annotate.decode");
+    annotation = graph.DecodeAssignment(bp.assignment, space);
+    ApplyUniqueConstraint(table, space, &annotation);
+  }
+  const double inference_seconds = stage.ElapsedSeconds();
+
+  static obs::Counter* tables_annotated =
+      obs::MetricsRegistry::Get().GetCounter("annotate.tables");
+  static obs::Counter* bp_iterations_total =
+      obs::MetricsRegistry::Get().GetCounter("annotate.bp_iterations");
+  tables_annotated->Add(1);
+  bp_iterations_total->Add(bp.iterations);
+  obs::TraceAddCounter("bp_iterations", bp.iterations);
 
   if (timing != nullptr) {
     timing->candidate_seconds = candidate_seconds;
@@ -92,6 +88,36 @@ TableAnnotation TableAnnotator::AnnotateWithCandidates(
     timing->bp_converged = bp.converged;
   }
   return annotation;
+}
+
+void TableAnnotator::ApplyUniqueConstraint(const Table& table,
+                                           const TableLabelSpace& space,
+                                           TableAnnotation* annotation) {
+  if (!options_.unique_column_constraint) return;
+  // Re-decode each column's entities under a uniqueness constraint,
+  // keeping the BP-chosen column type fixed (min-cost-flow extension).
+  for (int c = 0; c < table.cols(); ++c) {
+    TypeId t = annotation->column_types[c];
+    std::vector<std::vector<EntityId>> domains(table.rows());
+    std::vector<std::vector<double>> scores(table.rows());
+    for (int r = 0; r < table.rows(); ++r) {
+      const auto& domain = space.EntityDomain(r, c);
+      domains[r] = domain;
+      scores[r].resize(domain.size(), 0.0);
+      for (size_t l = 1; l < domain.size(); ++l) {
+        scores[r][l] =
+            features_.Phi1Log(options_.weights, table.cell(r, c),
+                              domain[l]) +
+            (t != kNa
+                 ? features_.Phi3Log(options_.weights, t, domain[l])
+                 : 0.0);
+      }
+    }
+    std::vector<int> labels = AssignUniqueEntities(domains, scores);
+    for (int r = 0; r < table.rows(); ++r) {
+      annotation->cell_entities[r][c] = domains[r][labels[r]];
+    }
+  }
 }
 
 }  // namespace webtab

@@ -15,6 +15,8 @@
 
 namespace webtab {
 
+class TableLabelSpace;  // model/label_space.h
+
 /// Everything configurable about the collective annotator.
 struct AnnotatorOptions {
   CandidateOptions candidates;
@@ -82,6 +84,12 @@ class TableAnnotator {
   const LemmaIndexView& index() const { return *index_; }
 
  private:
+  /// Optional §4.4.1 min-cost-flow re-decode (no-op unless
+  /// options_.unique_column_constraint); runs inside the decode span.
+  void ApplyUniqueConstraint(const Table& table,
+                             const TableLabelSpace& space,
+                             TableAnnotation* annotation);
+
   const CatalogView* catalog_;
   const LemmaIndexView* index_;
   AnnotatorOptions options_;

@@ -30,6 +30,38 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* value = std::getenv("WEBTAB_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return;
+  LogLevel level;
+  if (ParseLogLevel(value, &level)) {
+    SetLogLevel(level);
+  } else {
+    WEBTAB_LOG(Warning) << "ignoring unparsable WEBTAB_LOG_LEVEL=\""
+                        << value << "\" (want debug|info|warning|error)";
+  }
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)

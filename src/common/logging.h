@@ -14,6 +14,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error",
+/// case-insensitively. Returns false (and leaves `out` alone) on
+/// anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Applies the WEBTAB_LOG_LEVEL environment variable, if set and valid
+/// (see ParseLogLevel). Called once at tool startup; an unparsable
+/// value logs a Warning and keeps the default.
+void InitLogLevelFromEnv();
+
 namespace internal {
 
 /// Accumulates one log line and flushes it to stderr on destruction.

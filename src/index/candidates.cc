@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace webtab {
 
@@ -198,6 +199,16 @@ TableCandidates GenerateCandidates(const Table& table,
       for (int i = 0; i < keep; ++i) list.push_back(ranked[i].first);
     }
   }
+
+  // Per-table accounting (the candidate stage dominates annotation cost
+  // — the paper's Figure 7); shard-local adds, once per table, so the
+  // batched probe loop itself stays untouched.
+  static obs::Counter* tables =
+      obs::MetricsRegistry::Get().GetCounter("candidates.tables");
+  static obs::Counter* cells =
+      obs::MetricsRegistry::Get().GetCounter("candidates.cells");
+  tables->Add(1);
+  cells->Add(static_cast<int64_t>(table.rows()) * table.cols());
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace webtab {
 
@@ -475,6 +477,24 @@ BpResult RunBeliefPropagation(const FactorGraph& graph,
     result.assignment[v] = best;
   }
   result.score = graph.ScoreAssignment(result.assignment);
+
+  // Sweep/update accounting: cheap (once per BP run, not per sweep) and
+  // the substrate for verifying residual scheduling keeps paying off as
+  // corpora grow. Trace counters land in the per-request breakdown.
+  static obs::Counter* bp_runs =
+      obs::MetricsRegistry::Get().GetCounter("bp.runs");
+  static obs::Counter* bp_sweeps =
+      obs::MetricsRegistry::Get().GetCounter("bp.sweeps");
+  static obs::Counter* bp_factor_updates =
+      obs::MetricsRegistry::Get().GetCounter("bp.factor_updates");
+  static obs::Counter* bp_factor_skips =
+      obs::MetricsRegistry::Get().GetCounter("bp.factor_skips");
+  bp_runs->Add(1);
+  bp_sweeps->Add(result.iterations);
+  bp_factor_updates->Add(result.factor_updates);
+  bp_factor_skips->Add(result.factor_skips);
+  obs::TraceAddCounter("bp_sweeps", result.iterations);
+  obs::TraceAddCounter("bp_factor_updates", result.factor_updates);
   return result;
 }
 

@@ -1,0 +1,319 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace webtab {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+int ThreadShard() {
+  // One stripe per thread, assigned round-robin at first use. Threads
+  // outliving kMetricShards alias, which only costs occasional cache
+  // line sharing — correctness never depends on exclusivity.
+  static std::atomic<int> next{0};
+  thread_local int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+// --- Histogram geometry ----------------------------------------------------
+//
+// Finite bucket i (1 <= i <= kBuckets - 2) covers
+//   [kMinValue * G^(i-1), kMinValue * G^i)  with G = sqrt(2).
+// The index is computed from the IEEE-754 exponent: with G = 2^(1/2),
+// two buckets tile each power of two, so
+//   i = floor(2 * log2(v / kMinValue)) + 1
+// and log2 reduces to frexp plus one mantissa comparison — no libm
+// transcendental on the record path.
+
+namespace {
+
+constexpr double kGrowth = 1.4142135623730951;  // sqrt(2)
+
+/// Precomputed upper bounds, so queries and dumps agree bit-for-bit
+/// with BucketIndex's arithmetic.
+struct BucketTable {
+  double upper[Histogram::kBuckets];
+  BucketTable() {
+    double edge = Histogram::kMinValue;
+    upper[0] = Histogram::kMinValue;
+    for (int i = 1; i < Histogram::kBuckets - 1; ++i) {
+      edge = Histogram::kMinValue * std::pow(kGrowth, i);
+      upper[i] = edge;
+    }
+    // Overflow bucket: report its lower edge (the largest finite bound);
+    // anything in it is ">= this".
+    upper[Histogram::kBuckets - 1] = upper[Histogram::kBuckets - 2];
+  }
+};
+const BucketTable& Buckets() {
+  static const BucketTable table;
+  return table;
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double value) {
+  if (!(value >= kMinValue)) return 0;  // also catches NaN
+  // value = m * 2^e with m in [0.5, 1). Two buckets per octave: the
+  // half-octave boundary within [0.5, 1) sits at 1/sqrt(2).
+  int exp = 0;
+  const double mantissa = std::frexp(value / kMinValue, &exp);
+  // value/kMin in [2^(exp-1), 2^exp); index of log2*2:
+  //   lower half (m < 1/sqrt2): 2*(exp-1)
+  //   upper half              : 2*(exp-1) + 1
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  int idx = 2 * (exp - 1) + (mantissa >= kInvSqrt2 ? 1 : 0) + 1;
+  if (idx < 1) idx = 1;
+  if (idx > kBuckets - 1) idx = kBuckets - 1;
+  return idx;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i < 0) i = 0;
+  if (i > kBuckets - 1) i = kBuckets - 1;
+  return Buckets().upper[i];
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += static_cast<double>(
+                    s.sum_micro.load(std::memory_order_relaxed)) *
+                1e-6;
+  }
+  // A dump racing a record can see the bucket increment before the
+  // count increment (or vice versa); reconcile so Percentile's rank
+  // arithmetic never walks past the bucket mass.
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  snap.count = bucket_total;
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank: the ceil(p * count)'th sample, 1-based (p = 0 -> 1st).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * count));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return Histogram::BucketUpperBound(static_cast<int>(i));
+    }
+  }
+  return Histogram::BucketUpperBound(Histogram::kBuckets - 1);
+}
+
+// --- Registry --------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;
+  // deques: grow without moving existing elements, so handed-out
+  // pointers stay valid for the process lifetime.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*, std::less<>> counter_by_name;
+  std::map<std::string, Gauge*, std::less<>> gauge_by_name;
+  std::map<std::string, Histogram*, std::less<>> histogram_by_name;
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  // Leaked singleton: metrics outlive static destruction order, so
+  // worker threads may record during shutdown without UB.
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->counter_by_name.find(name);
+  if (it != i->counter_by_name.end()) return it->second;
+  i->counters.emplace_back();
+  Counter* c = &i->counters.back();
+  i->counter_by_name.emplace(std::string(name), c);
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->gauge_by_name.find(name);
+  if (it != i->gauge_by_name.end()) return it->second;
+  i->gauges.emplace_back();
+  Gauge* g = &i->gauges.back();
+  i->gauge_by_name.emplace(std::string(name), g);
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->histogram_by_name.find(name);
+  if (it != i->histogram_by_name.end()) return it->second;
+  i->histograms.emplace_back();
+  Histogram* h = &i->histograms.back();
+  i->histogram_by_name.emplace(std::string(name), h);
+  return h;
+}
+
+std::vector<MetricDump> MetricsRegistry::Dump() const {
+  Impl* i = impl();
+  // Copy the name maps under the lock, read the metrics outside it
+  // (reads are lock-free; registration never invalidates pointers).
+  std::vector<std::pair<std::string, Counter*>> counters;
+  std::vector<std::pair<std::string, Gauge*>> gauges;
+  std::vector<std::pair<std::string, Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(i->mu);
+    counters.assign(i->counter_by_name.begin(), i->counter_by_name.end());
+    gauges.assign(i->gauge_by_name.begin(), i->gauge_by_name.end());
+    histograms.assign(i->histogram_by_name.begin(),
+                      i->histogram_by_name.end());
+  }
+  std::vector<MetricDump> out;
+  out.reserve(counters.size() + gauges.size() + histograms.size());
+  for (auto& [name, c] : counters) {
+    MetricDump d;
+    d.name = name;
+    d.kind = MetricDump::Kind::kCounter;
+    d.value = c->Value();
+    out.push_back(std::move(d));
+  }
+  for (auto& [name, g] : gauges) {
+    MetricDump d;
+    d.name = name;
+    d.kind = MetricDump::Kind::kGauge;
+    d.value = g->Value();
+    out.push_back(std::move(d));
+  }
+  for (auto& [name, h] : histograms) {
+    MetricDump d;
+    d.name = name;
+    d.kind = MetricDump::Kind::kHistogram;
+    d.histogram = h->Snapshot();
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricDump& a, const MetricDump& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+size_t MetricsRegistry::MetricCount() const {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  return i->counter_by_name.size() + i->gauge_by_name.size() +
+         i->histogram_by_name.size();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "webtab_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendNumber(double v, std::string* out) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  for (const MetricDump& d : Dump()) {
+    const std::string name = PromName(d.name);
+    switch (d.kind) {
+      case MetricDump::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n" + name + " ";
+        AppendNumber(static_cast<double>(d.value), &out);
+        out += "\n";
+        break;
+      case MetricDump::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + " ";
+        AppendNumber(static_cast<double>(d.value), &out);
+        out += "\n";
+        break;
+      case MetricDump::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < d.histogram.buckets.size(); ++i) {
+          cumulative += d.histogram.buckets[i];
+          if (d.histogram.buckets[i] == 0 &&
+              i + 1 != d.histogram.buckets.size()) {
+            continue;  // sparse exposition: only buckets with mass
+          }
+          out += name + "_bucket{le=\"";
+          if (i + 1 == d.histogram.buckets.size()) {
+            out += "+Inf";
+          } else {
+            AppendNumber(Histogram::BucketUpperBound(static_cast<int>(i)),
+                         &out);
+          }
+          out += "\"} ";
+          AppendNumber(static_cast<double>(cumulative), &out);
+          out += "\n";
+        }
+        out += name + "_sum ";
+        AppendNumber(d.histogram.sum, &out);
+        out += "\n" + name + "_count ";
+        AppendNumber(static_cast<double>(d.histogram.count), &out);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace webtab

@@ -1,0 +1,210 @@
+#ifndef WEBTAB_OBS_METRICS_H_
+#define WEBTAB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webtab {
+namespace obs {
+
+/// Process-wide observability primitives (see src/obs/README.md for the
+/// naming scheme and the overhead contract). Design constraints, in
+/// order:
+///  - the record path (Counter::Add, Histogram::Record) never allocates,
+///    never locks, and touches only a shard-local cache line — safe in
+///    the zero-allocation search kernel and under TSan from any thread;
+///  - readers (stats dumps, Prometheus exposition) merge shards on
+///    demand; a dump racing a record sees each increment either before
+///    or after, never torn (all slots are relaxed atomics);
+///  - registration (name -> metric) takes a mutex exactly once per
+///    name; hot paths hold the returned pointer, which stays valid for
+///    the process lifetime.
+
+/// Number of independent shards per metric. Threads are striped across
+/// shards by a cheap thread-local id, so concurrent writers from
+/// different threads rarely share a cache line.
+inline constexpr int kMetricShards = 16;
+
+namespace internal {
+/// Stable per-thread stripe in [0, kMetricShards).
+int ThreadShard();
+
+/// Global record-path switch (see MetricsRegistry::SetEnabled). A
+/// relaxed load on every Record/Add; disabled means the record path
+/// does nothing at all (the overhead-measurement baseline).
+extern std::atomic<bool> g_metrics_enabled;
+inline bool Enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace internal
+
+/// Monotonic counter. Add is a shard-local relaxed fetch_add.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    if (!internal::Enabled()) return;
+    shards_[internal::ThreadShard()].v.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (queue depth, generation, ...).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!internal::Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Mergeable, read-time view of one histogram (or a merge of several):
+/// per-bucket counts plus count/sum. Percentile queries answer from the
+/// bucket boundaries, so the estimate is conservative: the returned
+/// value is the *upper* bound of the bucket holding the requested rank,
+/// and the exact sample is guaranteed to lie within one bucket growth
+/// factor (sqrt(2)) below it. Buckets are shared by every Histogram:
+/// bucket 0 holds values < kMinValue, bucket i covers
+/// [kMinValue * G^(i-1), kMinValue * G^i), the last bucket is overflow.
+struct HistogramSnapshot {
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Folds `other` in (shard merge / cross-worker aggregation).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Nearest-rank percentile over the buckets; p in [0, 1]. Returns the
+  /// upper bound of the bucket containing the rank'th sample (0 when
+  /// empty). The exact sample s satisfies result / G <= s <= result
+  /// except in the underflow/overflow buckets, where the bound is
+  /// one-sided.
+  double Percentile(double p) const;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+/// Log-bucketed latency/size histogram. Record is two shard-local
+/// relaxed adds plus a branch-free bucket index (frexp-based — no libm
+/// call); no allocation, no locks. Values are unit-agnostic; by
+/// convention every *_ms metric records milliseconds.
+class Histogram {
+ public:
+  /// Bucket geometry: 0.001 (1us when recording ms) growing by sqrt(2)
+  /// per bucket; 62 finite buckets span ~1us .. ~2.3e6 ms, plus one
+  /// underflow (index 0) and one overflow (index kBuckets - 1).
+  static constexpr int kBuckets = 64;
+  static constexpr double kMinValue = 1e-3;
+
+  /// Index of the bucket covering `value` (clamped into range).
+  static int BucketIndex(double value);
+  /// Upper bound of bucket `i` (inclusive upper edge used by
+  /// Percentile; the overflow bucket reports its lower edge).
+  static double BucketUpperBound(int i);
+
+  void Record(double value) {
+    if (!internal::Enabled()) return;
+    Shard& s = shards_[internal::ThreadShard()];
+    s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    // Sum as fixed-point nanos-of-unit to keep the add lock-free and
+    // exact enough for a mean (doubles have no atomic fetch_add
+    // pre-C++20 on all targets; 1e-6 resolution loses nothing at ms
+    // granularity).
+    s.sum_micro.fetch_add(static_cast<int64_t>(value * 1e6),
+                          std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Convenience single-value queries (merge shards internally).
+  uint64_t Count() const { return Snapshot().count; }
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum_micro{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// One named metric in a registry dump.
+struct MetricDump {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;           // counter / gauge
+  HistogramSnapshot histogram; // histogram
+};
+
+/// Process-wide name -> metric table. Lookup interns the name under a
+/// mutex (first call per name constructs the metric); the returned
+/// pointer never moves or dies, so call sites cache it:
+///
+///   static obs::Counter* hits =
+///       obs::MetricsRegistry::Get().GetCounter("serve.cache_hits");
+///   hits->Add();
+///
+/// Metric names are lowercase dot-separated paths ("serve.annotate_ms");
+/// the Prometheus exposition maps '.' to '_' and prefixes "webtab_".
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Kills or revives every record path in the process (reads still
+  /// work). Used by the benches to measure instrumentation overhead:
+  /// enabled-vs-disabled runs differ only by the record-path work.
+  static void SetEnabled(bool enabled) {
+    internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  static bool Enabled() { return internal::Enabled(); }
+
+  /// Consistent-enough dump of every registered metric, sorted by name.
+  std::vector<MetricDump> Dump() const;
+
+  /// Prometheus text exposition (one `# TYPE` block per metric;
+  /// histograms emit cumulative `_bucket{le=...}` series plus _sum and
+  /// _count).
+  std::string RenderPrometheus() const;
+
+  /// Zeroes nothing but forgets nothing: tests that need isolation
+  /// should use unique metric names instead — registered metrics are
+  /// process-lifetime by design. (Provided only to reset the enabled
+  /// flag and assert registry invariants in tests.)
+  size_t MetricCount() const;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl* impl() const;
+};
+
+}  // namespace obs
+}  // namespace webtab
+
+#endif  // WEBTAB_OBS_METRICS_H_

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace webtab {
+namespace obs {
+
+namespace {
+thread_local RequestTrace* t_current_trace = nullptr;
+}  // namespace
+
+RequestTrace* CurrentTrace() { return t_current_trace; }
+
+ScopedTraceAttach::ScopedTraceAttach(RequestTrace* trace)
+    : previous_(t_current_trace) {
+  t_current_trace = trace;
+}
+
+ScopedTraceAttach::~ScopedTraceAttach() { t_current_trace = previous_; }
+
+void RequestTrace::Clear() {
+  num_stages_ = 0;
+  num_counters_ = 0;
+  depth_ = 0;
+  balanced_ = true;
+  overflowed_ = false;
+}
+
+void RequestTrace::Leave(const char* name, int depth, double ms) {
+  if (depth_ != depth + 1) {
+    // A span closed at a depth its Enter never established — only
+    // possible when spans are destroyed out of construction order
+    // (manual misuse; RAII scoping cannot produce it).
+    balanced_ = false;
+  }
+  depth_ = depth;
+  // Merge by (name, depth): instrumentation sites use static strings,
+  // so pointer equality is the fast path; strcmp catches identical
+  // names from distinct translation units.
+  for (int i = 0; i < num_stages_; ++i) {
+    Stage& s = stages_[i];
+    if (s.depth == depth &&
+        (s.name == name || std::strcmp(s.name, name) == 0)) {
+      s.ms += ms;
+      ++s.count;
+      return;
+    }
+  }
+  if (num_stages_ >= kMaxStages) {
+    overflowed_ = true;
+    return;
+  }
+  stages_[num_stages_++] = Stage{name, depth, ms, 1};
+}
+
+void RequestTrace::AddCounter(const char* name, int64_t delta) {
+  for (int i = 0; i < num_counters_; ++i) {
+    CounterEntry& c = counters_[i];
+    if (c.name == name || std::strcmp(c.name, name) == 0) {
+      c.value += delta;
+      return;
+    }
+  }
+  if (num_counters_ >= kMaxCounters) {
+    overflowed_ = true;
+    return;
+  }
+  counters_[num_counters_++] = CounterEntry{name, delta};
+}
+
+double RequestTrace::RootStageMillis() const {
+  double sum = 0.0;
+  for (int i = 0; i < num_stages_; ++i) {
+    if (stages_[i].depth == 0) sum += stages_[i].ms;
+  }
+  return sum;
+}
+
+TraceSummary TraceSummary::From(const RequestTrace& trace,
+                                double total_ms) {
+  TraceSummary summary;
+  summary.stages.reserve(trace.num_stages());
+  for (int i = 0; i < trace.num_stages(); ++i) {
+    summary.stages.push_back(trace.stage(i));
+  }
+  summary.counters.reserve(trace.num_counters());
+  for (int i = 0; i < trace.num_counters(); ++i) {
+    summary.counters.push_back(trace.counter(i));
+  }
+  summary.total_ms = total_ms;
+  summary.balanced = trace.balanced();
+  summary.overflowed = trace.overflowed();
+  return summary;
+}
+
+}  // namespace obs
+}  // namespace webtab

@@ -1,0 +1,155 @@
+#ifndef WEBTAB_OBS_TRACE_H_
+#define WEBTAB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace webtab {
+namespace obs {
+
+/// Per-request trace: a fixed-capacity set of named stages (wall-clock
+/// durations, merged by (name, depth)) plus a fixed-capacity set of
+/// named integer counters. Everything lives inline — attaching a trace
+/// to a request and recording spans through the annotation pipeline or
+/// the search kernel performs zero allocations, which is why the
+/// search_bench zero-steady-state-allocation CHECK holds with tracing
+/// enabled.
+///
+/// A trace is attached to the current thread with ScopedTraceAttach;
+/// TraceSpan and TraceAddCounter find it through a thread-local, so the
+/// instrumented layers (annotate/, inference/, search/) need no
+/// plumbing changes and cost one thread-local load + branch when no
+/// trace is attached.
+///
+/// Not thread-safe: one trace belongs to the one worker thread
+/// executing the request.
+class RequestTrace {
+ public:
+  static constexpr int kMaxStages = 24;
+  static constexpr int kMaxCounters = 12;
+
+  struct Stage {
+    const char* name = nullptr;  // static string (instrumentation site)
+    int depth = 0;               // nesting depth at entry (root = 0)
+    double ms = 0.0;             // summed wall time across merged spans
+    int64_t count = 0;           // number of spans merged in
+  };
+  struct CounterEntry {
+    const char* name = nullptr;
+    int64_t value = 0;
+  };
+
+  /// Forgets stages/counters and rearms the balance check. Reuse across
+  /// requests (worker-state member) instead of constructing per request.
+  void Clear();
+
+  // --- Span bookkeeping (called by TraceSpan). ---
+  /// Returns the depth the span runs at.
+  int Enter() { return depth_++; }
+  void Leave(const char* name, int depth, double ms);
+
+  /// Adds `delta` to the named counter (merged by name pointer, then by
+  /// string content for distinct instantiation sites).
+  void AddCounter(const char* name, int64_t delta);
+
+  /// True while Enter/Leave calls have balanced and neither table
+  /// overflowed. A trace that finished with open spans (depth() != 0)
+  /// is reported unbalanced by the serving layer rather than trusted.
+  bool balanced() const { return balanced_ && depth_ == 0; }
+  int depth() const { return depth_; }
+  /// True when a stage or counter was dropped for lack of capacity.
+  bool overflowed() const { return overflowed_; }
+
+  int num_stages() const { return num_stages_; }
+  const Stage& stage(int i) const { return stages_[i]; }
+  int num_counters() const { return num_counters_; }
+  const CounterEntry& counter(int i) const { return counters_[i]; }
+
+  /// Sum of root-level (depth 0) stage durations — nested spans are
+  /// already contained in their parents, so this is the traced fraction
+  /// of the request without double counting.
+  double RootStageMillis() const;
+
+ private:
+  Stage stages_[kMaxStages];
+  CounterEntry counters_[kMaxCounters];
+  int num_stages_ = 0;
+  int num_counters_ = 0;
+  int depth_ = 0;
+  bool balanced_ = true;
+  bool overflowed_ = false;
+};
+
+/// The trace the current thread is recording into; nullptr when none.
+RequestTrace* CurrentTrace();
+
+/// Attaches `trace` to the current thread for the scope's lifetime,
+/// restoring the previous attachment on destruction (attachments nest).
+class ScopedTraceAttach {
+ public:
+  explicit ScopedTraceAttach(RequestTrace* trace);
+  ~ScopedTraceAttach();
+
+  ScopedTraceAttach(const ScopedTraceAttach&) = delete;
+  ScopedTraceAttach& operator=(const ScopedTraceAttach&) = delete;
+
+ private:
+  RequestTrace* previous_;
+};
+
+/// RAII stage span. `name` must be a static string. When no trace is
+/// attached, construction is a thread-local load and a branch — no
+/// clock read.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : trace_(CurrentTrace()), name_(name) {
+    if (trace_ != nullptr) {
+      depth_ = trace_->Enter();
+      timer_.Restart();
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  /// Closes the span before scope exit (idempotent; the destructor
+  /// then no-ops). For stages that end mid-block.
+  void End() {
+    if (trace_ != nullptr) {
+      trace_->Leave(name_, depth_, timer_.ElapsedMillis());
+      trace_ = nullptr;
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  RequestTrace* trace_;
+  const char* name_;
+  int depth_ = 0;
+  WallTimer timer_;
+};
+
+/// Counter convenience mirroring TraceSpan's no-trace fast path.
+inline void TraceAddCounter(const char* name, int64_t delta) {
+  if (RequestTrace* trace = CurrentTrace()) trace->AddCounter(name, delta);
+}
+
+/// Wire/bench-facing copy of a finished trace (responses own their
+/// data; the RequestTrace itself is worker-state and gets reused).
+struct TraceSummary {
+  std::vector<RequestTrace::Stage> stages;
+  std::vector<RequestTrace::CounterEntry> counters;
+  double total_ms = 0.0;
+  bool balanced = true;
+  bool overflowed = false;
+
+  static TraceSummary From(const RequestTrace& trace, double total_ms);
+};
+
+}  // namespace obs
+}  // namespace webtab
+
+#endif  // WEBTAB_OBS_TRACE_H_

@@ -66,6 +66,7 @@ void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
       topk.k > 0 && topk.prune && ws->BuildMatchSupport(index);
 
   // Candidate columns per side via header-token postings.
+  obs::TraceSpan plan_span("search.plan");
   CollectHeaderSide(index, nq.type1_tokens, &ws->side_a);
   CollectHeaderSide(index, nq.type2_tokens, &ws->side_b);
 
@@ -94,6 +95,7 @@ void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
         std::tie(p.b_begin, p.b_end) = AppendUniqueCols(run2, &ws->col_pool);
         ws->plan.push_back(p);
       });
+  plan_span.End();
   auto table_score = [&](int32_t table) {
     return std::binary_search(ws->context_tables.begin(),
                               ws->context_tables.end(), table)

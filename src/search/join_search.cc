@@ -113,30 +113,38 @@ void JoinSearch(const CorpusView& index, const JoinQuery& query,
 
   // Leg 2: ground the join variable e2 from R2(e2, E3) (or swapped),
   // then keep the top-K bindings by evidence (score desc, id asc).
+  // Trace-wise the binding leg is the plan (it fixes what leg 1 scans)
+  // and the expansion loop is the scoring scan.
+  obs::TraceSpan plan_span("search.plan");
   ExpandLeg(index, query.r2, query.e3, ws->norm_scratch,
             /*grounded_is_object=*/query.e2_is_subject, support_valid,
             ws, &ws->leg_acc);
   ws->leg_acc.ExtractRanked(std::max(0, query.max_join_entities),
                             &ws->binding_list);
+  plan_span.End();
 
   // Leg 1: expand each binding through R1 toward e1. Per-binding
   // evidence sums are completed before the multiplicative chaining so
   // the doubles match the reference's map-then-multiply exactly.
   // Bindings are grounded entities with no text form, so every
   // unsupported run dies on the entity check alone.
-  for (const auto& [e2, e2_score] : ws->binding_list) {
-    ExpandLeg(index, query.r1, e2, /*grounded_text=*/{},
-              /*grounded_is_object=*/query.e1_is_subject, support_valid,
-              ws, &ws->leg_acc);
-    const double binding_score = e2_score;
-    ws->leg_acc.ForEach([&](EntityId e1, double evidence) {
-      // Multiplicative chaining: weak join bindings contribute less.
-      ws->AddEntity(/*table=*/0, e1, /*raw=*/{},
-                    evidence * binding_score);
-    });
+  {
+    obs::TraceSpan score_span("search.score");
+    for (const auto& [e2, e2_score] : ws->binding_list) {
+      ExpandLeg(index, query.r1, e2, /*grounded_text=*/{},
+                /*grounded_is_object=*/query.e1_is_subject, support_valid,
+                ws, &ws->leg_acc);
+      const double binding_score = e2_score;
+      ws->leg_acc.ForEach([&](EntityId e1, double evidence) {
+        // Multiplicative chaining: weak join bindings contribute less.
+        ws->AddEntity(/*table=*/0, e1, /*raw=*/{},
+                      evidence * binding_score);
+      });
+    }
   }
   ws->query_stats.stopped_early =
       ws->query_stats.tables_scored < ws->query_stats.tables_planned;
+  search_internal::RecordQueryStatsMetrics(ws->query_stats);
   ws->EmitRanked(topk, out);
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace webtab {
@@ -328,6 +329,7 @@ void SearchWorkspace::AddText(int32_t table, std::string_view raw,
 }
 
 bool SearchWorkspace::BuildMatchSupport(const CorpusView& corpus) {
+  obs::TraceSpan span("search.match_support");
   support_cols.clear();
   if (!corpus.HasMatchSupport()) return false;
   std::span<const std::string> tokens = memo_.TargetTokens();
@@ -456,6 +458,7 @@ bool SearchWorkspace::ShouldStop(int k, double remaining) {
 
 void SearchWorkspace::EmitRanked(const TopKOptions& topk,
                                  std::vector<SearchResult>* out) {
+  obs::TraceSpan span("search.emit");
   evidence_.EmitRanked(topk.k, out);
 }
 

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/posting_cursor.h"
 #include "search/search_workspace.h"
 
@@ -83,6 +85,28 @@ inline void ComputeSuffixBounds(SearchWorkspace* ws) {
   }
 }
 
+/// Folds one finished query's plan/scan stats into the process-wide
+/// registry and the attached trace (if any). Once per query, off the
+/// per-table loop: the registry totals mirror the per-query stats the
+/// serving layer already reports. Called by RunPlannedTables for the
+/// select engines and by JoinSearch directly (its stats count relation
+/// runs rather than select-plan tables).
+inline void RecordQueryStatsMetrics(
+    const SearchWorkspace::QueryStats& stats) {
+  static obs::Counter* planned =
+      obs::MetricsRegistry::Get().GetCounter("search.tables_planned");
+  static obs::Counter* scored =
+      obs::MetricsRegistry::Get().GetCounter("search.tables_scored");
+  static obs::Counter* stops =
+      obs::MetricsRegistry::Get().GetCounter("search.prune_stops");
+  planned->Add(stats.tables_planned);
+  scored->Add(stats.tables_scored);
+  if (stats.stopped_early) stops->Add(1);
+  obs::TraceAddCounter("tables_planned", stats.tables_planned);
+  obs::TraceAddCounter("tables_scored", stats.tables_scored);
+  if (stats.stopped_early) obs::TraceAddCounter("prune_stops", 1);
+}
+
 /// The shared execution skeleton every select engine runs after
 /// building its plan: record plan stats, compute per-table bounds and
 /// suffix sums when pruning applies (`bound_of(p)` is the engine's
@@ -108,16 +132,20 @@ void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
   ws->query_stats.tables_planned = static_cast<int64_t>(ws->plan.size());
   const bool prune = topk.k > 0 && topk.prune;
   if (prune) {
+    obs::TraceSpan bound_span("search.bounds");
     for (PlannedTable& p : ws->plan) p.bound = bound_of(p);
     ComputeSuffixBounds(ws);
   }
-  for (size_t pi = 0; pi < ws->plan.size(); ++pi) {
-    if (prune && ws->plan[pi].bound <= 0.0) continue;
-    score_table(ws->plan[pi]);
-    ++ws->query_stats.tables_scored;
-    if (!prune) continue;
-    if (ws->suffix_bound[pi] <= 0.0) break;  // proven-zero tail
-    if (ws->ShouldStop(topk.k, ws->suffix_bound[pi])) break;
+  {
+    obs::TraceSpan score_span("search.score");
+    for (size_t pi = 0; pi < ws->plan.size(); ++pi) {
+      if (prune && ws->plan[pi].bound <= 0.0) continue;
+      score_table(ws->plan[pi]);
+      ++ws->query_stats.tables_scored;
+      if (!prune) continue;
+      if (ws->suffix_bound[pi] <= 0.0) break;  // proven-zero tail
+      if (ws->ShouldStop(topk.k, ws->suffix_bound[pi])) break;
+    }
   }
   if (prune) {
     // Any table the scan never scored — skipped as zero-bound or left
@@ -125,6 +153,7 @@ void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
     ws->query_stats.stopped_early =
         ws->query_stats.tables_scored < ws->query_stats.tables_planned;
   }
+  RecordQueryStatsMetrics(ws->query_stats);
 }
 
 }  // namespace search_internal

@@ -40,6 +40,7 @@ void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
 
   // Plan: group the relation's table-sorted postings into per-table
   // runs (a_begin/a_end index the postings span itself).
+  obs::TraceSpan plan_span("search.plan");
   std::span<const RelationRef> postings =
       index.RelationPostings(query.relation);
   ws->plan.clear();
@@ -52,6 +53,7 @@ void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
     p.a_end = p.a_begin + static_cast<uint32_t>(run.size());
     ws->plan.push_back(p);
   }
+  plan_span.End();
   search_internal::RunPlannedTables(
       ws, topk,
       // Max row_score is 1.2; one answer can gain it once per (row,

@@ -42,6 +42,7 @@ void TypeSearch(const CorpusView& index, const SelectQuery& query,
 
   // Plan: leapfrog the two table-sorted type posting lists; a candidate
   // table needs a T1-typed column and a T2-typed column.
+  obs::TraceSpan plan_span("search.plan");
   ws->plan.clear();
   ws->col_pool.clear();
   IntersectByTable(
@@ -54,6 +55,7 @@ void TypeSearch(const CorpusView& index, const SelectQuery& query,
         std::tie(p.b_begin, p.b_end) = AppendUniqueCols(run2, &ws->col_pool);
         ws->plan.push_back(p);
       });
+  plan_span.End();
   search_internal::RunPlannedTables(
       ws, topk,
       // Any single answer gains at most one row_score (max 1.0) per

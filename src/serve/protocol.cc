@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "serve/json.h"
 
 namespace webtab {
@@ -16,6 +17,7 @@ Result<WireRequest::Op> ParseOp(std::string_view name) {
   if (name == "join") return Op::kJoin;
   if (name == "swap") return Op::kSwap;
   if (name == "stats") return Op::kStats;
+  if (name == "metrics") return Op::kMetrics;
   if (name == "quit") return Op::kQuit;
   return Status::InvalidArgument("unknown op: " + std::string(name));
 }
@@ -86,11 +88,13 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.select.type2 = json.GetString("type2");
       request.select.e2 = json.GetString("e2");
       request.want_stats = json.GetBool("stats", false);
+      request.want_trace = json.GetBool("trace", false);
       break;
     }
     case WireRequest::Op::kJoin:
       request.engine = EngineKind::kJoin;
       request.want_stats = json.GetBool("stats", false);
+      request.want_trace = json.GetBool("trace", false);
       request.join.r1 = json.GetString("r1");
       request.join.r2 = json.GetString("r2");
       request.join.e3 = json.GetString("e3");
@@ -100,6 +104,7 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
           static_cast<int>(json.GetNumber("max_join_entities", 20));
       break;
     case WireRequest::Op::kAnnotate: {
+      request.want_trace = json.GetBool("trace", false);
       const Json* table = json.Find("table");
       if (table == nullptr) {
         return Status::InvalidArgument("annotate requires \"table\"");
@@ -114,6 +119,7 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       }
       break;
     case WireRequest::Op::kStats:
+    case WireRequest::Op::kMetrics:
     case WireRequest::Op::kQuit:
       break;
   }
@@ -220,12 +226,73 @@ namespace {
 
 Json MetaJson(const RequestMetadata& meta) {
   Json json = Json::Object();
+  json.Set("request_id",
+           Json::Number(static_cast<double>(meta.request_id)));
   json.Set("version", Json::Number(static_cast<double>(
                           meta.snapshot_version)));
   json.Set("cache_hit", Json::Bool(meta.cache_hit));
   json.Set("queue_ms", Json::Number(meta.queue_millis));
   json.Set("work_ms", Json::Number(meta.work_millis));
   return json;
+}
+
+Json TraceJson(const obs::TraceSummary& trace) {
+  Json json = Json::Object();
+  json.Set("total_ms", Json::Number(trace.total_ms));
+  json.Set("balanced", Json::Bool(trace.balanced));
+  if (trace.overflowed) json.Set("overflowed", Json::Bool(true));
+  Json stages = Json::Array();
+  for (const auto& stage : trace.stages) {
+    Json item = Json::Object();
+    item.Set("name", Json::String(stage.name));
+    item.Set("depth", Json::Number(stage.depth));
+    item.Set("ms", Json::Number(stage.ms));
+    item.Set("count", Json::Number(static_cast<double>(stage.count)));
+    stages.Append(std::move(item));
+  }
+  json.Set("stages", std::move(stages));
+  Json counters = Json::Object();
+  for (const auto& counter : trace.counters) {
+    counters.Set(counter.name,
+                 Json::Number(static_cast<double>(counter.value)));
+  }
+  json.Set("counters", std::move(counters));
+  return json;
+}
+
+/// Every registered metric: counters/gauges as plain numbers,
+/// histograms as {count, sum, mean, p50, p95, p99, buckets:[{le,n}]}
+/// with empty buckets elided (they carry no information and the full
+/// 64-bucket array would dominate the stats line).
+Json MetricsJson() {
+  Json metrics = Json::Object();
+  for (const obs::MetricDump& dump : obs::MetricsRegistry::Get().Dump()) {
+    if (dump.kind != obs::MetricDump::Kind::kHistogram) {
+      metrics.Set(dump.name,
+                  Json::Number(static_cast<double>(dump.value)));
+      continue;
+    }
+    const obs::HistogramSnapshot& snap = dump.histogram;
+    Json h = Json::Object();
+    h.Set("count", Json::Number(static_cast<double>(snap.count)));
+    h.Set("sum", Json::Number(snap.sum));
+    h.Set("mean", Json::Number(snap.Mean()));
+    h.Set("p50", Json::Number(snap.Percentile(0.50)));
+    h.Set("p95", Json::Number(snap.Percentile(0.95)));
+    h.Set("p99", Json::Number(snap.Percentile(0.99)));
+    Json buckets = Json::Array();
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      Json bucket = Json::Object();
+      bucket.Set("le", Json::Number(obs::Histogram::BucketUpperBound(
+                           static_cast<int>(i))));
+      bucket.Set("n", Json::Number(static_cast<double>(snap.buckets[i])));
+      buckets.Append(std::move(bucket));
+    }
+    h.Set("buckets", std::move(buckets));
+    metrics.Set(dump.name, std::move(h));
+  }
+  return metrics;
 }
 
 }  // namespace
@@ -266,6 +333,7 @@ std::string RenderSearchResponse(const SearchResponse& response,
     stats.Set("stopped_early", Json::Bool(response.stats.stopped_early));
     json.Set("stats", std::move(stats));
   }
+  if (response.has_trace) json.Set("trace", TraceJson(response.trace));
   json.Set("meta", MetaJson(response.meta));
   return json.Dump();
 }
@@ -318,6 +386,7 @@ std::string RenderAnnotateResponse(const AnnotateResponse& response,
     relations.Append(std::move(rel));
   }
   json.Set("relations", std::move(relations));
+  if (response.has_trace) json.Set("trace", TraceJson(response.trace));
   json.Set("meta", MetaJson(response.meta));
   return json.Dump();
 }
@@ -364,6 +433,16 @@ std::string RenderStatsResponse(const ServiceStats& stats,
   cache.Set("entries",
             Json::Number(static_cast<double>(stats.cache.entries)));
   json.Set("cache", std::move(cache));
+  json.Set("metrics", MetricsJson());
+  return json.Dump();
+}
+
+std::string RenderMetricsResponse() {
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+  json.Set("content_type", Json::String("text/plain; version=0.0.4"));
+  json.Set("metrics",
+           Json::String(obs::MetricsRegistry::Get().RenderPrometheus()));
   return json.Dump();
 }
 

@@ -24,7 +24,7 @@ namespace serve {
 ///   {"op":"annotate","table":{"headers":["Title","written by"],
 ///    "rows":[["...","..."]],"context":"..."}}
 ///   {"op":"swap","path":"/data/new.snap"}
-///   {"op":"stats"}   {"op":"quit"}
+///   {"op":"stats"}   {"op":"metrics"}   {"op":"quit"}
 
 struct WireSelect {
   std::string relation, type1, type2, e2;
@@ -45,7 +45,9 @@ struct WireTable {
 };
 
 struct WireRequest {
-  enum class Op { kAnnotate, kSearch, kJoin, kSwap, kStats, kQuit };
+  enum class Op {
+    kAnnotate, kSearch, kJoin, kSwap, kStats, kMetrics, kQuit
+  };
   Op op = Op::kStats;
   EngineKind engine = EngineKind::kTypeRelation;
   WireSelect select;
@@ -64,6 +66,10 @@ struct WireRequest {
   /// (tables_planned / tables_scored / stopped_early) when the engine
   /// actually ran; cache hits answer without one.
   bool want_stats = false;
+  /// Wire "trace": true — opt-in on search/join/annotate requests. The
+  /// response then carries a "trace" object with the per-stage wall
+  /// time breakdown; cache hits answer with an empty stage list.
+  bool want_trace = false;
 };
 
 /// Parses one request line. Unknown fields are ignored; a missing or
@@ -94,7 +100,9 @@ Result<Table> WireToTable(const WireTable& wire);
 
 // --- Response rendering (one JSON line, no trailing newline). ---
 /// `want_stats` echoes the request's "stats" flag: when set and the
-/// response carries engine stats, a "stats" object is emitted.
+/// response carries engine stats, a "stats" object is emitted. Traces
+/// render whenever the response carries one (the service only fills it
+/// for opted-in requests).
 std::string RenderSearchResponse(const SearchResponse& response,
                                  const CatalogView* catalog, int top_k,
                                  bool want_stats = false);
@@ -102,9 +110,15 @@ std::string RenderAnnotateResponse(const AnnotateResponse& response,
                                    const CatalogView* catalog);
 std::string RenderErrorResponse(const Status& status);
 std::string RenderSwapResponse(uint64_t version);
+/// Service counters plus the full process metrics registry: every
+/// counter/gauge value and every histogram with count, sum, mean,
+/// p50/p95/p99 and its non-empty buckets (upper bound + count).
 std::string RenderStatsResponse(const ServiceStats& stats,
                                 uint64_t snapshot_version,
                                 const std::string& snapshot_path);
+/// {"ok":true,"metrics":"<Prometheus text exposition>"} — the payload
+/// is the same text `serve_tool --metrics-dump` prints at exit.
+std::string RenderMetricsResponse();
 
 }  // namespace serve
 }  // namespace webtab

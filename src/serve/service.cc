@@ -1,8 +1,11 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "common/logging.h"
+#include "obs/metrics.h"
 #include "search/baseline_search.h"
 #include "search/type_relation_search.h"
 #include "search/type_search.h"
@@ -102,7 +105,8 @@ bool WebTabService::Enqueue(std::unique_ptr<Request> request) {
 std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
                                                         SelectQuery query,
                                                         TopKOptions topk,
-                                                        Deadline deadline) {
+                                                        Deadline deadline,
+                                                        bool want_trace) {
   if (engine == EngineKind::kJoin) {
     // Join queries carry a different payload; route through SubmitJoin.
     std::promise<SearchResponse> mistyped;
@@ -118,6 +122,8 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
   request->select = std::move(query);
   request->topk = topk;
   request->deadline = EffectiveDeadline(deadline);
+  request->want_trace = want_trace;
+  request->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<SearchResponse> future = request->search_promise.get_future();
   search_requests_.fetch_add(1, std::memory_order_relaxed);
   Enqueue(std::move(request));
@@ -126,13 +132,16 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
 
 std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
                                                       TopKOptions topk,
-                                                      Deadline deadline) {
+                                                      Deadline deadline,
+                                                      bool want_trace) {
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kJoin;
   request->engine = EngineKind::kJoin;
   request->join = std::move(query);
   request->topk = topk;
   request->deadline = EffectiveDeadline(deadline);
+  request->want_trace = want_trace;
+  request->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<SearchResponse> future = request->search_promise.get_future();
   search_requests_.fetch_add(1, std::memory_order_relaxed);
   Enqueue(std::move(request));
@@ -140,11 +149,13 @@ std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
 }
 
 std::future<AnnotateResponse> WebTabService::SubmitAnnotate(
-    Table table, Deadline deadline) {
+    Table table, Deadline deadline, bool want_trace) {
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kAnnotate;
   request->table = std::move(table);
   request->deadline = EffectiveDeadline(deadline);
+  request->want_trace = want_trace;
+  request->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<AnnotateResponse> future =
       request->annotate_promise.get_future();
   annotate_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -154,19 +165,22 @@ std::future<AnnotateResponse> WebTabService::SubmitAnnotate(
 
 SearchResponse WebTabService::Search(EngineKind engine,
                                      const SelectQuery& query,
-                                     TopKOptions topk, Deadline deadline) {
-  return SubmitSearch(engine, query, topk, deadline).get();
+                                     TopKOptions topk, Deadline deadline,
+                                     bool want_trace) {
+  return SubmitSearch(engine, query, topk, deadline, want_trace).get();
 }
 
 SearchResponse WebTabService::SearchJoin(const JoinQuery& query,
                                          TopKOptions topk,
-                                         Deadline deadline) {
-  return SubmitJoin(query, topk, deadline).get();
+                                         Deadline deadline,
+                                         bool want_trace) {
+  return SubmitJoin(query, topk, deadline, want_trace).get();
 }
 
 AnnotateResponse WebTabService::Annotate(const Table& table,
-                                         Deadline deadline) {
-  return SubmitAnnotate(table, deadline).get();
+                                         Deadline deadline,
+                                         bool want_trace) {
+  return SubmitAnnotate(table, deadline, want_trace).get();
 }
 
 Status WebTabService::SwapSnapshot(const std::string& path) {
@@ -218,17 +232,77 @@ void Respond(Status status, RequestMetadata meta, bool is_annotate,
   }
 }
 
+/// Per-engine serving latency histogram, resolved once per process.
+obs::Histogram* EngineLatencyHistogram(EngineKind engine) {
+  static obs::Histogram* histograms[4] = {
+      obs::MetricsRegistry::Get().GetHistogram("serve.search.baseline_ms"),
+      obs::MetricsRegistry::Get().GetHistogram("serve.search.type_ms"),
+      obs::MetricsRegistry::Get().GetHistogram(
+          "serve.search.type_relation_ms"),
+      obs::MetricsRegistry::Get().GetHistogram("serve.search.join_ms"),
+  };
+  return histograms[static_cast<int>(engine)];
+}
+
+const char* RequestKindName(bool is_annotate, bool is_join) {
+  return is_annotate ? "annotate" : is_join ? "join" : "search";
+}
+
 }  // namespace
+
+void WebTabService::MaybeLogSlow(const Request& request,
+                                 const RequestMetadata& meta,
+                                 const obs::RequestTrace& trace) const {
+  if (options_.slow_request_ms <= 0.0) return;
+  const double total = meta.queue_millis + meta.work_millis;
+  if (total < options_.slow_request_ms) return;
+  static obs::Counter* slow =
+      obs::MetricsRegistry::Get().GetCounter("serve.slow_requests");
+  slow->Add(1);
+  const bool is_annotate = request.kind == RequestKind::kAnnotate;
+  const bool is_join = request.kind == RequestKind::kJoin;
+  char buf[64];
+  std::string line;
+  line.reserve(256);
+  line += "slow request id=";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(meta.request_id));
+  line += buf;
+  line += " kind=";
+  line += RequestKindName(is_annotate, is_join);
+  if (!is_annotate) {
+    line += " engine=";
+    line += EngineKindName(request.engine);
+  }
+  std::snprintf(buf, sizeof(buf),
+                " gen=%llu queue_ms=%.3f work_ms=%.3f",
+                static_cast<unsigned long long>(meta.snapshot_version),
+                meta.queue_millis, meta.work_millis);
+  line += buf;
+  for (int i = 0; i < trace.num_stages(); ++i) {
+    const obs::RequestTrace::Stage& stage = trace.stage(i);
+    std::snprintf(buf, sizeof(buf), " %s=%.3f", stage.name, stage.ms);
+    line += buf;
+  }
+  WEBTAB_LOG(Warning) << line;
+}
 
 void WebTabService::Execute(Request* request, WorkerState* state) {
   RequestMetadata meta;
+  meta.request_id = request->id;
   meta.queue_millis = request->queued.ElapsedMillis();
+  static obs::Histogram* queue_wait =
+      obs::MetricsRegistry::Get().GetHistogram("serve.queue_wait_ms");
+  queue_wait->Record(meta.queue_millis);
   const bool is_annotate = request->kind == RequestKind::kAnnotate;
 
   // Shed work whose deadline passed while queued; the client has already
   // timed out, so running it would only delay live requests.
   if (request->deadline.expired()) {
     expired_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* expired =
+        obs::MetricsRegistry::Get().GetCounter("serve.expired");
+    expired->Add(1);
     Respond(Status::DeadlineExceeded("deadline expired in queue"), meta,
             is_annotate, &request->search_promise,
             &request->annotate_promise);
@@ -301,36 +375,62 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
                    : SelectQueryCacheKey(request->select, normalized));
     if (ResultCache::Value hit = cache_->Get(key)) {
       meta.cache_hit = true;
+      static obs::Counter* hits =
+          obs::MetricsRegistry::Get().GetCounter("serve.cache_hits");
+      hits->Add(1);
       response.results = *hit;
       response.meta = meta;
+      if (request->want_trace) {
+        // The engine never ran, so the trace is honest about it: no
+        // stages, zero traced time — a cached answer is indistinguishable
+        // from a computed one except through meta.cache_hit.
+        response.trace = obs::TraceSummary{};
+        response.has_trace = true;
+      }
       request->search_promise.set_value(std::move(response));
       return;
     }
+    static obs::Counter* misses =
+        obs::MetricsRegistry::Get().GetCounter("serve.cache_misses");
+    misses->Add(1);
   }
 
   WallTimer work;
   std::vector<SearchResult> results;
   SearchWorkspace* ws = &state->search_workspace;
-  switch (request->engine) {
-    case EngineKind::kBaseline:
-      BaselineSearch(*corpus, request->select, normalized, request->topk,
-                     ws, &results);
-      break;
-    case EngineKind::kType:
-      TypeSearch(*corpus, request->select, normalized, request->topk, ws,
-                 &results);
-      break;
-    case EngineKind::kTypeRelation:
-      TypeRelationSearch(*corpus, request->select, normalized,
-                         request->topk, ws, &results);
-      break;
-    case EngineKind::kJoin:
-      JoinSearch(*corpus, request->join, request->topk, ws, &results);
-      break;
+  state->trace.Clear();
+  {
+    // Attached for every executed request (not just traced ones): the
+    // slow-request log needs stage timings for exactly the requests
+    // nobody thought to trace in advance.
+    obs::ScopedTraceAttach attach(&state->trace);
+    switch (request->engine) {
+      case EngineKind::kBaseline:
+        BaselineSearch(*corpus, request->select, normalized, request->topk,
+                       ws, &results);
+        break;
+      case EngineKind::kType:
+        TypeSearch(*corpus, request->select, normalized, request->topk, ws,
+                   &results);
+        break;
+      case EngineKind::kTypeRelation:
+        TypeRelationSearch(*corpus, request->select, normalized,
+                           request->topk, ws, &results);
+        break;
+      case EngineKind::kJoin:
+        JoinSearch(*corpus, request->join, request->topk, ws, &results);
+        break;
+    }
   }
   meta.work_millis = work.ElapsedMillis();
+  EngineLatencyHistogram(request->engine)->Record(meta.work_millis);
   response.stats = ws->stats();
   response.has_stats = true;
+  if (request->want_trace) {
+    response.trace = obs::TraceSummary::From(state->trace, meta.work_millis);
+    response.has_trace = true;
+  }
+  MaybeLogSlow(*request, meta, state->trace);
 
   if (cache_ != nullptr) {
     auto shared = std::make_shared<const std::vector<SearchResult>>(results);
@@ -371,8 +471,20 @@ void WebTabService::ExecuteAnnotate(Request* request, WorkerState* state,
   }
 
   WallTimer work;
-  response.annotation = state->annotator->Annotate(request->table);
+  state->trace.Clear();
+  {
+    obs::ScopedTraceAttach attach(&state->trace);
+    response.annotation = state->annotator->Annotate(request->table);
+  }
   meta.work_millis = work.ElapsedMillis();
+  static obs::Histogram* annotate_ms =
+      obs::MetricsRegistry::Get().GetHistogram("serve.annotate_ms");
+  annotate_ms->Record(meta.work_millis);
+  if (request->want_trace) {
+    response.trace = obs::TraceSummary::From(state->trace, meta.work_millis);
+    response.has_trace = true;
+  }
+  MaybeLogSlow(*request, meta, state->trace);
   response.meta = meta;
   request->annotate_promise.set_value(std::move(response));
 }

@@ -13,6 +13,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "search/join_search.h"
 #include "search/query.h"
 #include "serve/result_cache.h"
@@ -43,11 +44,19 @@ struct ServiceOptions {
   /// Result cache entries (0 disables) and shard count.
   int result_cache_capacity = 1024;
   int result_cache_shards = 8;
+  /// Requests whose queue + work time reaches this many milliseconds
+  /// are logged at Warning with their per-stage trace breakdown
+  /// (request kind, id, generation, stage timings). 0 disables.
+  double slow_request_ms = 0.0;
   AnnotatorOptions annotator;
 };
 
 /// Per-request execution metadata returned with every response.
 struct RequestMetadata {
+  /// Process-unique id assigned at submission; serve_tool tags its
+  /// per-request log lines with it so a wire response and the server
+  /// log correlate.
+  uint64_t request_id = 0;
   uint64_t snapshot_version = 0;
   bool cache_hit = false;
   double queue_millis = 0.0;
@@ -64,12 +73,19 @@ struct SearchResponse {
   /// opted in, so cached and computed responses stay interchangeable.
   SearchWorkspace::QueryStats stats;
   bool has_stats = false;
+  /// Per-stage trace breakdown, filled when the request opted in with
+  /// want_trace. Cache hits carry an empty trace (no engine stages ran);
+  /// the wire layer renders it only when the client asked.
+  obs::TraceSummary trace;
+  bool has_trace = false;
 };
 
 struct AnnotateResponse {
   Status status;
   TableAnnotation annotation;
   RequestMetadata meta;
+  obs::TraceSummary trace;
+  bool has_trace = false;
 };
 
 struct ServiceStats {
@@ -133,25 +149,34 @@ class WebTabService {
   // see search/query.h); the default asks for the full ranking. The
   // result cache keys on (engine, version, normalized query, k, prune),
   // so differently-truncated rankings never alias.
+  // `want_trace` opts the request into the per-stage trace breakdown
+  // (SearchResponse::trace / AnnotateResponse::trace); recording costs
+  // a handful of clock reads per stage and never allocates.
   std::future<SearchResponse> SubmitSearch(EngineKind engine,
                                            SelectQuery query,
                                            TopKOptions topk = TopKOptions(),
-                                           Deadline deadline = Deadline());
+                                           Deadline deadline = Deadline(),
+                                           bool want_trace = false);
   std::future<SearchResponse> SubmitJoin(JoinQuery query,
                                          TopKOptions topk = TopKOptions(),
-                                         Deadline deadline = Deadline());
+                                         Deadline deadline = Deadline(),
+                                         bool want_trace = false);
   std::future<AnnotateResponse> SubmitAnnotate(
-      Table table, Deadline deadline = Deadline());
+      Table table, Deadline deadline = Deadline(),
+      bool want_trace = false);
 
   // --- Blocking wrappers for closed-loop callers. ---
   SearchResponse Search(EngineKind engine, const SelectQuery& query,
                         TopKOptions topk = TopKOptions(),
-                        Deadline deadline = Deadline());
+                        Deadline deadline = Deadline(),
+                        bool want_trace = false);
   SearchResponse SearchJoin(const JoinQuery& query,
                             TopKOptions topk = TopKOptions(),
-                            Deadline deadline = Deadline());
+                            Deadline deadline = Deadline(),
+                            bool want_trace = false);
   AnnotateResponse Annotate(const Table& table,
-                            Deadline deadline = Deadline());
+                            Deadline deadline = Deadline(),
+                            bool want_trace = false);
 
   /// Opens `path` and atomically installs it as the serving generation.
   /// In-flight and queued requests are never dropped (old generation
@@ -175,6 +200,8 @@ class WebTabService {
     Table table;
     Deadline deadline;
     WallTimer queued;
+    uint64_t id = 0;
+    bool want_trace = false;
     std::promise<SearchResponse> search_promise;
     std::promise<AnnotateResponse> annotate_promise;
   };
@@ -195,6 +222,11 @@ class WebTabService {
     /// (its contents are epoch-stamped per query, so a hot-swap needs
     /// no reset — stale corpus string_views are never dereferenced).
     SearchWorkspace search_workspace;
+    /// Per-request stage trace, Clear()ed and attached for every
+    /// executed request (inline storage — attaching costs nothing when
+    /// no span fires). Feeds the slow-request log unconditionally and
+    /// the response when the client opted in.
+    obs::RequestTrace trace;
   };
 
   bool Enqueue(std::unique_ptr<Request> request);
@@ -207,6 +239,10 @@ class WebTabService {
                        const SnapshotManager::Handle& handle,
                        RequestMetadata meta);
   Deadline EffectiveDeadline(Deadline deadline) const;
+  /// Emits the threshold-gated slow-request Warning line (request kind,
+  /// id, generation, queue/work split, per-stage timings).
+  void MaybeLogSlow(const Request& request, const RequestMetadata& meta,
+                    const obs::RequestTrace& trace) const;
 
   SnapshotManager* manager_;
   ServiceOptions options_;
@@ -221,6 +257,7 @@ class WebTabService {
   std::atomic<uint64_t> annotate_requests_{0};
   std::atomic<uint64_t> search_requests_{0};
   std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> next_request_id_{0};
 };
 
 }  // namespace serve

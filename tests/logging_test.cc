@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/status.h"
 
 namespace webtab {
@@ -20,6 +22,45 @@ TEST(LoggingTest, LogMacroDoesNotCrash) {
   WEBTAB_LOG(Info) << "info line " << 42;
   WEBTAB_LOG(Warning) << "warning line";
   WEBTAB_LOG(Debug) << "debug line (likely filtered)";
+}
+
+TEST(LoggingTest, ParseLogLevelNamesAndCase) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));  // Common short form.
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+
+  level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // Unparsed input leaves *out alone.
+}
+
+TEST(LoggingTest, InitLogLevelFromEnvReadsVariable) {
+  LogLevel original = GetLogLevel();
+  setenv("WEBTAB_LOG_LEVEL", "debug", /*overwrite=*/1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  // Garbage keeps the current level (and warns, which we can't assert
+  // here) instead of silently changing behavior.
+  SetLogLevel(LogLevel::kWarning);
+  setenv("WEBTAB_LOG_LEVEL", "shouty", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+
+  // Unset: no-op.
+  unsetenv("WEBTAB_LOG_LEVEL");
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(original);
 }
 
 TEST(CheckTest, PassingCheckContinues) {

@@ -1,0 +1,425 @@
+// Observability primitive tests: histogram bucket geometry and the
+// percentile-vs-exact guarantee (including merged shards), registry
+// identity/enable semantics, Prometheus exposition shape, a
+// multi-threaded record hammer with concurrent dumps (the TSan
+// coverage for the lock-free record path), and request-trace
+// nesting/merging/imbalance/overflow behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace webtab {
+namespace obs {
+namespace {
+
+constexpr double kGrowth = 1.4142135623730951;  // sqrt(2)
+
+/// Deterministic 64-bit mix (splitmix64) — tests must not use rand().
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Log-uniform values in [lo, hi] — every bucket octave gets traffic.
+std::vector<double> LogUniform(int n, uint64_t seed, double lo, double hi) {
+  std::vector<double> values;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = static_cast<double>(Mix(seed + i) >> 11) /
+                     static_cast<double>(1ULL << 53);
+    values.push_back(lo * std::pow(hi / lo, u));
+  }
+  return values;
+}
+
+/// Nearest-rank percentile over the raw samples — the exact reference
+/// the bucketed estimate is checked against.
+double ExactPercentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * values.size()));
+  if (rank < 1) rank = 1;
+  return values[rank - 1];
+}
+
+TEST(HistogramTest, BucketGeometry) {
+  // Underflow, every finite bucket boundary, overflow.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinValue * 0.5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1e18), Histogram::kBuckets - 1);
+
+  double prev_upper = 0.0;
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+    const double upper = Histogram::BucketUpperBound(i);
+    EXPECT_GT(upper, prev_upper) << "bucket " << i;
+    prev_upper = upper;
+  }
+  // Every recordable value lands in a bucket whose bounds contain it:
+  // prev upper <= v < this upper, with the growth-factor width.
+  for (double v :
+       LogUniform(2000, /*seed=*/7, Histogram::kMinValue * 1.01, 1e5)) {
+    const int idx = Histogram::BucketIndex(v);
+    ASSERT_GT(idx, 0) << v;
+    ASSERT_LT(idx, Histogram::kBuckets - 1) << v;
+    const double upper = Histogram::BucketUpperBound(idx);
+    const double lower = Histogram::BucketUpperBound(idx - 1);
+    EXPECT_LE(v, upper * (1 + 1e-9)) << "bucket " << idx;
+    EXPECT_GE(v, lower * (1 - 1e-9)) << "bucket " << idx;
+    EXPECT_NEAR(upper / lower, kGrowth, 1e-9);
+  }
+}
+
+TEST(HistogramTest, PercentileWithinOneGrowthFactorOfExact) {
+  Histogram* h = MetricsRegistry::Get().GetHistogram(
+      "test.obs.percentile_exact_ms");
+  const std::vector<double> values =
+      LogUniform(5000, /*seed=*/11, 0.01, 2000.0);
+  for (double v : values) h->Record(v);
+
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  double exact_sum = 0.0;
+  for (double v : values) exact_sum += v;
+  EXPECT_NEAR(snap.sum, exact_sum, values.size() * 1e-5);
+  EXPECT_NEAR(snap.Mean(), exact_sum / values.size(), 1e-4);
+
+  // The documented guarantee: the estimate is the upper edge of the
+  // bucket holding the nearest-rank sample, so
+  //   exact <= estimate <= exact * sqrt(2).
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = ExactPercentile(values, p);
+    const double est = snap.Percentile(p);
+    EXPECT_LE(exact, est * (1 + 1e-9)) << "p=" << p;
+    EXPECT_GE(exact, est / kGrowth * (1 - 1e-9)) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergedShardsMatchSingleHistogram) {
+  // Record one stream split across two histograms (two workers), merge
+  // the snapshots, and require the merge to be indistinguishable from
+  // one histogram that saw everything.
+  Histogram* a = MetricsRegistry::Get().GetHistogram("test.obs.merge_a_ms");
+  Histogram* b = MetricsRegistry::Get().GetHistogram("test.obs.merge_b_ms");
+  Histogram* all =
+      MetricsRegistry::Get().GetHistogram("test.obs.merge_all_ms");
+  const std::vector<double> values =
+      LogUniform(3000, /*seed=*/23, 0.005, 800.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : b)->Record(values[i]);
+    all->Record(values[i]);
+  }
+
+  HistogramSnapshot merged = a->Snapshot();
+  merged.Merge(b->Snapshot());
+  const HistogramSnapshot want = all->Snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.buckets, want.buckets);
+  EXPECT_NEAR(merged.sum, want.sum, 1e-6 * values.size());
+  for (double p : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.Percentile(p), want.Percentile(p)) << "p=" << p;
+    const double exact = ExactPercentile(values, p);
+    EXPECT_LE(exact, merged.Percentile(p) * (1 + 1e-9));
+    EXPECT_GE(exact, merged.Percentile(p) / kGrowth * (1 - 1e-9));
+  }
+}
+
+TEST(HistogramTest, EmptyAndSingleValue) {
+  Histogram* h = MetricsRegistry::Get().GetHistogram("test.obs.empty_ms");
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(h->Percentile(0.5), 0.0);
+  h->Record(3.0);
+  // One sample: every percentile reports its bucket's upper edge.
+  const double est = h->Percentile(0.5);
+  EXPECT_EQ(est, h->Percentile(0.99));
+  EXPECT_LE(3.0, est);
+  EXPECT_GE(3.0, est / kGrowth * (1 - 1e-9));
+}
+
+TEST(RegistryTest, NamesResolveToStableDistinctMetrics) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Counter* c1 = reg.GetCounter("test.obs.identity");
+  Counter* c2 = reg.GetCounter("test.obs.identity");
+  Counter* c3 = reg.GetCounter("test.obs.identity_other");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  // A histogram under the same name is a distinct metric slot (kinds
+  // have separate namespaces; the wire layer keeps names disjoint by
+  // convention).
+  EXPECT_NE(static_cast<void*>(reg.GetHistogram("test.obs.identity")),
+            static_cast<void*>(c1));
+
+  const size_t before = reg.MetricCount();
+  reg.GetCounter("test.obs.identity");  // Known: no growth.
+  EXPECT_EQ(reg.MetricCount(), before);
+  reg.GetGauge("test.obs.fresh_gauge");
+  EXPECT_EQ(reg.MetricCount(), before + 1);
+}
+
+TEST(RegistryTest, DisabledRecordPathDoesNothing) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Counter* c = reg.GetCounter("test.obs.killswitch");
+  Histogram* h = reg.GetHistogram("test.obs.killswitch_ms");
+  Gauge* g = reg.GetGauge("test.obs.killswitch_gauge");
+  c->Add(2);
+  h->Record(1.0);
+  g->Set(5);
+
+  MetricsRegistry::SetEnabled(false);
+  EXPECT_FALSE(MetricsRegistry::Enabled());
+  c->Add(100);
+  h->Record(50.0);
+  g->Set(99);
+  MetricsRegistry::SetEnabled(true);
+  EXPECT_TRUE(MetricsRegistry::Enabled());
+
+  EXPECT_EQ(c->Value(), 2);       // Reads still work; nothing recorded.
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_EQ(g->Value(), 5);
+}
+
+TEST(RegistryTest, DumpAndPrometheusShapes) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetCounter("test.obs.prom_counter")->Add(3);
+  reg.GetGauge("test.obs.prom_gauge")->Set(-7);
+  reg.GetHistogram("test.obs.prom_ms")->Record(1.5);
+
+  bool saw_counter = false, saw_histogram = false;
+  std::string prev_name;
+  for (const MetricDump& d : reg.Dump()) {
+    EXPECT_LE(prev_name, d.name) << "dump not sorted";
+    prev_name = d.name;
+    if (d.name == "test.obs.prom_counter") {
+      saw_counter = true;
+      EXPECT_EQ(d.kind, MetricDump::Kind::kCounter);
+      EXPECT_EQ(d.value, 3);
+    }
+    if (d.name == "test.obs.prom_ms") {
+      saw_histogram = true;
+      EXPECT_EQ(d.kind, MetricDump::Kind::kHistogram);
+      EXPECT_EQ(d.histogram.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE webtab_test_obs_prom_counter counter\n"
+                      "webtab_test_obs_prom_counter 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("webtab_test_obs_prom_gauge -7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE webtab_test_obs_prom_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("webtab_test_obs_prom_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("webtab_test_obs_prom_ms_count 1"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentRecordersWithConcurrentDumps) {
+  // The TSan target: hammer one counter + one histogram from many
+  // threads while a reader loops full dumps and Prometheus renders.
+  // Nothing may race, and no increment may be lost once writers join.
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  Counter* c = reg.GetCounter("test.obs.hammer");
+  Histogram* h = reg.GetHistogram("test.obs.hammer_ms");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Mid-flight snapshots must be internally consistent (count
+      // equals bucket mass — Snapshot reconciles), monotone reads.
+      HistogramSnapshot snap = h->Snapshot();
+      uint64_t mass = 0;
+      for (uint64_t b : snap.buckets) mass += b;
+      EXPECT_EQ(snap.count, mass);
+      (void)reg.Dump();
+      (void)reg.RenderPrometheus();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      // Per-thread traces exercise the thread-local attach under TSan.
+      RequestTrace trace;
+      ScopedTraceAttach attach(&trace);
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("hammer.iter");
+        c->Add(1);
+        h->Record(0.001 * ((t * kPerThread + i) % 1000 + 1));
+        TraceAddCounter("hammer.count", 1);
+      }
+      EXPECT_TRUE(trace.balanced());
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(c->Value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kPerThread);
+}
+
+// --- RequestTrace ---------------------------------------------------------
+
+TEST(TraceTest, NoTraceAttachedIsANoOp) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  TraceSpan span("orphan");  // Must not crash or record anywhere.
+  TraceAddCounter("orphan.count", 5);
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceTest, AttachmentsNestAndRestore) {
+  RequestTrace outer_trace, inner_trace;
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  {
+    ScopedTraceAttach outer(&outer_trace);
+    EXPECT_EQ(CurrentTrace(), &outer_trace);
+    {
+      ScopedTraceAttach inner(&inner_trace);
+      EXPECT_EQ(CurrentTrace(), &inner_trace);
+    }
+    EXPECT_EQ(CurrentTrace(), &outer_trace);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+TEST(TraceTest, SpansNestMergeAndSumAtRoot) {
+  RequestTrace trace;
+  ScopedTraceAttach attach(&trace);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan outer("stage.outer");
+    {
+      TraceSpan inner("stage.inner");
+    }
+    TraceAddCounter("items", 10);
+  }
+  {
+    TraceSpan other("stage.other");
+  }
+  EXPECT_TRUE(trace.balanced());
+  EXPECT_FALSE(trace.overflowed());
+  ASSERT_EQ(trace.num_stages(), 3);
+
+  const RequestTrace::Stage* outer = nullptr;
+  const RequestTrace::Stage* inner = nullptr;
+  const RequestTrace::Stage* other = nullptr;
+  for (int i = 0; i < trace.num_stages(); ++i) {
+    const RequestTrace::Stage& s = trace.stage(i);
+    if (std::string(s.name) == "stage.outer") outer = &s;
+    if (std::string(s.name) == "stage.inner") inner = &s;
+    if (std::string(s.name) == "stage.other") other = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);  // Recorded at its nesting depth.
+  EXPECT_EQ(other->depth, 0);
+  EXPECT_EQ(outer->count, 3);  // Three spans merged into one stage.
+  EXPECT_EQ(inner->count, 3);
+  EXPECT_GE(outer->ms, inner->ms);  // Parent contains the child.
+
+  // Root sum counts only depth-0 stages: nested time is already inside
+  // its parent.
+  EXPECT_NEAR(trace.RootStageMillis(), outer->ms + other->ms, 1e-9);
+
+  ASSERT_EQ(trace.num_counters(), 1);
+  EXPECT_EQ(std::string(trace.counter(0).name), "items");
+  EXPECT_EQ(trace.counter(0).value, 30);
+}
+
+TEST(TraceTest, EndClosesEarlyAndIsIdempotent) {
+  RequestTrace trace;
+  ScopedTraceAttach attach(&trace);
+  {
+    TraceSpan span("early");
+    span.End();
+    span.End();  // Second End and the destructor must both no-op.
+    EXPECT_EQ(trace.depth(), 0);
+    TraceSpan sibling("after_end");  // Runs at root, not nested.
+  }
+  ASSERT_EQ(trace.num_stages(), 2);
+  EXPECT_EQ(trace.stage(0).count, 1);
+  EXPECT_EQ(trace.stage(1).depth, 0);
+  EXPECT_TRUE(trace.balanced());
+}
+
+TEST(TraceTest, ImbalanceIsReportedAndClearRearms) {
+  RequestTrace trace;
+  EXPECT_TRUE(trace.balanced());
+  trace.Enter();  // A span that never left (crashed stage / bug).
+  EXPECT_FALSE(trace.balanced());
+  EXPECT_EQ(trace.depth(), 1);
+  trace.Clear();
+  EXPECT_TRUE(trace.balanced());
+  EXPECT_EQ(trace.depth(), 0);
+  EXPECT_EQ(trace.num_stages(), 0);
+  EXPECT_EQ(trace.num_counters(), 0);
+}
+
+TEST(TraceTest, StageAndCounterOverflowSetsFlagInsteadOfGrowing) {
+  RequestTrace trace;
+  ScopedTraceAttach attach(&trace);
+  // Distinct stage names beyond capacity: the table stays full-size and
+  // the trace is flagged, never reallocated (zero-allocation contract).
+  std::vector<std::string> names;
+  for (int i = 0; i < RequestTrace::kMaxStages + 4; ++i) {
+    names.push_back("stage." + std::to_string(i));
+  }
+  for (const std::string& name : names) {
+    TraceSpan span(name.c_str());
+  }
+  EXPECT_TRUE(trace.overflowed());
+  EXPECT_EQ(trace.num_stages(), RequestTrace::kMaxStages);
+  EXPECT_TRUE(trace.balanced());  // Dropped spans still balance.
+
+  trace.Clear();
+  EXPECT_FALSE(trace.overflowed());
+  std::vector<std::string> counter_names;
+  for (int i = 0; i < RequestTrace::kMaxCounters + 2; ++i) {
+    counter_names.push_back("ctr." + std::to_string(i));
+  }
+  for (const std::string& name : counter_names) {
+    TraceAddCounter(name.c_str(), 1);
+  }
+  EXPECT_TRUE(trace.overflowed());
+  EXPECT_EQ(trace.num_counters(), RequestTrace::kMaxCounters);
+}
+
+TEST(TraceTest, SummaryCopiesEverything) {
+  RequestTrace trace;
+  {
+    ScopedTraceAttach attach(&trace);
+    TraceSpan span("only");
+    TraceAddCounter("n", 4);
+  }
+  TraceSummary summary = TraceSummary::From(trace, 12.5);
+  ASSERT_EQ(summary.stages.size(), 1u);
+  EXPECT_EQ(std::string(summary.stages[0].name), "only");
+  ASSERT_EQ(summary.counters.size(), 1u);
+  EXPECT_EQ(summary.counters[0].value, 4);
+  EXPECT_EQ(summary.total_ms, 12.5);
+  EXPECT_TRUE(summary.balanced);
+  EXPECT_FALSE(summary.overflowed);
+
+  // The summary owns its data: clearing the trace (worker reuse) must
+  // not disturb it.
+  trace.Clear();
+  EXPECT_EQ(summary.stages.size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace webtab

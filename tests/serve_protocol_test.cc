@@ -3,6 +3,7 @@
 // and response rendering.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "test_world.h"
@@ -282,6 +283,126 @@ TEST(RenderTest, OptionalStatsObject) {
       R"({"op":"search","engine":"baseline","e2":"x"})");
   ASSERT_TRUE(off.ok());
   EXPECT_FALSE(off->want_stats);
+}
+
+TEST(WireRequestTest, ParsesMetricsOpAndTraceFlag) {
+  Result<WireRequest> metrics = ParseWireRequest(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->op, WireRequest::Op::kMetrics);
+
+  Result<WireRequest> traced = ParseWireRequest(
+      R"({"op":"search","engine":"baseline","e2":"x","trace":true})");
+  ASSERT_TRUE(traced.ok());
+  EXPECT_TRUE(traced->want_trace);
+  Result<WireRequest> untraced = ParseWireRequest(
+      R"({"op":"search","engine":"baseline","e2":"x"})");
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_FALSE(untraced->want_trace);
+
+  Result<WireRequest> annotate = ParseWireRequest(
+      R"({"op":"annotate","trace":true,"table":{"rows":[["a"]]}})");
+  ASSERT_TRUE(annotate.ok());
+  EXPECT_TRUE(annotate->want_trace);
+}
+
+TEST(RenderTest, TraceObjectShape) {
+  Figure1World w = MakeFigure1World();
+  SearchResponse response;
+  response.results.push_back(SearchResult{w.einstein, "A. Einstein", 1.5});
+
+  // No trace carried: no trace key.
+  Result<Json> silent =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(silent.ok());
+  EXPECT_EQ(silent->Find("trace"), nullptr);
+
+  response.trace.stages.push_back(
+      obs::RequestTrace::Stage{"search.plan", 0, 0.25, 1});
+  response.trace.stages.push_back(
+      obs::RequestTrace::Stage{"search.score", 0, 1.75, 3});
+  response.trace.counters.push_back(
+      obs::RequestTrace::CounterEntry{"search.tables_scored", 7});
+  response.trace.total_ms = 2.25;
+  response.has_trace = true;
+  Result<Json> json =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(json.ok());
+  const Json* trace = json->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->GetNumber("total_ms"), 2.25);
+  EXPECT_TRUE(trace->GetBool("balanced"));
+  EXPECT_EQ(trace->Find("overflowed"), nullptr);  // Elided when false.
+  ASSERT_EQ(trace->Find("stages")->items().size(), 2u);
+  const Json& stage = trace->Find("stages")->items()[1];
+  EXPECT_EQ(stage.GetString("name"), "search.score");
+  EXPECT_EQ(stage.GetNumber("depth"), 0.0);
+  EXPECT_EQ(stage.GetNumber("ms"), 1.75);
+  EXPECT_EQ(stage.GetNumber("count"), 3.0);
+  EXPECT_EQ(trace->Find("counters")->GetNumber("search.tables_scored"),
+            7.0);
+
+  // A cache hit's trace is present but empty — the honest "the engine
+  // never ran" shape.
+  response.trace = obs::TraceSummary{};
+  response.has_trace = true;
+  Result<Json> cached =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(cached.ok());
+  const Json* empty = cached->Find("trace");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->Find("stages")->items().size(), 0u);
+  EXPECT_EQ(empty->GetNumber("total_ms"), 0.0);
+}
+
+TEST(RenderTest, MetricsOpRendersPrometheusText) {
+  obs::MetricsRegistry::Get().GetCounter("test.proto.metrics_op")->Add(5);
+  Result<Json> json = Json::Parse(RenderMetricsResponse());
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(json->GetBool("ok"));
+  EXPECT_EQ(json->GetString("content_type"), "text/plain; version=0.0.4");
+  const std::string text = json->GetString("metrics");
+  EXPECT_NE(text.find("# TYPE webtab_test_proto_metrics_op counter\n"
+                      "webtab_test_proto_metrics_op 5\n"),
+            std::string::npos);
+}
+
+TEST(RenderTest, StatsResponseCarriesRegistryHistograms) {
+  obs::MetricsRegistry::Get().GetCounter("test.proto.stats_counter")->Add(
+      2);
+  obs::Histogram* h =
+      obs::MetricsRegistry::Get().GetHistogram("test.proto.stats_ms");
+  h->Record(1.0);
+  h->Record(4.0);
+
+  ServiceStats stats;
+  stats.accepted = 3;
+  Result<Json> json =
+      Json::Parse(RenderStatsResponse(stats, 9, "/tmp/x.snap"));
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(json->GetBool("ok"));
+  EXPECT_EQ(json->GetNumber("accepted"), 3.0);
+  const Json* metrics = json->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->GetNumber("test.proto.stats_counter"), 2.0);
+  const Json* hist = metrics->Find("test.proto.stats_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->GetNumber("count"), 2.0);
+  EXPECT_NEAR(hist->GetNumber("sum"), 5.0, 1e-6);
+  EXPECT_NEAR(hist->GetNumber("mean"), 2.5, 1e-6);
+  // Percentile fields answer from bucket upper bounds: p50 covers the
+  // 1.0 sample, p99 the 4.0 sample, within one growth factor above.
+  EXPECT_GE(hist->GetNumber("p50"), 1.0);
+  EXPECT_LE(hist->GetNumber("p50"), 1.0 * 1.4143);
+  EXPECT_GE(hist->GetNumber("p99"), 4.0);
+  EXPECT_LE(hist->GetNumber("p99"), 4.0 * 1.4143);
+  // Only buckets with mass are emitted: two samples, two buckets.
+  const Json* buckets = hist->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->items().size(), 2u);
+  for (const Json& bucket : buckets->items()) {
+    EXPECT_EQ(bucket.GetNumber("n"), 1.0);
+    EXPECT_GT(bucket.GetNumber("le"), 0.0);
+  }
 }
 
 TEST(RenderTest, AnnotateShape) {

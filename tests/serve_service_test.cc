@@ -11,6 +11,7 @@
 #include "common/bounded_queue.h"
 #include "common/deadline.h"
 #include "index/lemma_index.h"
+#include "obs/metrics.h"
 #include "search/baseline_search.h"
 #include "search/corpus_index.h"
 #include "search/type_relation_search.h"
@@ -369,6 +370,114 @@ TEST_F(ServeServiceTest, TopKFlowsIntoEnginesAndCacheKeys) {
                                              TopKOptions{1, true});
   EXPECT_TRUE(top1_again.meta.cache_hit);
   ASSERT_EQ(top1_again.results.size(), 1u);
+}
+
+TEST_F(ServeServiceTest, TraceOptInOnSearchAndHonestCacheHits) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  SelectQuery q = EinsteinQuery();
+
+  // Untraced requests carry no trace, even though the worker recorded
+  // one for the slow-request log.
+  SearchResponse plain = service.Search(EngineKind::kTypeRelation, q);
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_FALSE(plain.has_trace);
+  EXPECT_GT(plain.meta.request_id, 0u);
+
+  // Same query, traced, different engine (fresh cache slot): the
+  // engine ran, so the trace carries balanced root-level stages whose
+  // sum stays within the measured work time.
+  SearchResponse traced =
+      service.Search(EngineKind::kType, q, TopKOptions(), Deadline(),
+                     /*want_trace=*/true);
+  ASSERT_TRUE(traced.status.ok());
+  EXPECT_FALSE(traced.meta.cache_hit);
+  ASSERT_TRUE(traced.has_trace);
+  EXPECT_TRUE(traced.trace.balanced);
+  EXPECT_FALSE(traced.trace.overflowed);
+  EXPECT_EQ(traced.trace.total_ms, traced.meta.work_millis);
+  ASSERT_FALSE(traced.trace.stages.empty());
+  bool saw_plan = false;
+  double root_ms = 0.0;
+  for (const auto& stage : traced.trace.stages) {
+    EXPECT_EQ(std::string(stage.name).rfind("search.", 0), 0u)
+        << stage.name;
+    if (std::string(stage.name) == "search.plan") saw_plan = true;
+    if (stage.depth == 0) root_ms += stage.ms;
+  }
+  EXPECT_TRUE(saw_plan);
+  EXPECT_LE(root_ms, traced.trace.total_ms * 1.10 + 0.01);
+  EXPECT_GT(traced.meta.request_id, plain.meta.request_id);
+
+  // The traced cache hit answers with an empty stage list: the engine
+  // never ran, and the trace must not pretend otherwise.
+  SearchResponse hit =
+      service.Search(EngineKind::kType, q, TopKOptions(), Deadline(),
+                     /*want_trace=*/true);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.meta.cache_hit);
+  ASSERT_TRUE(hit.has_trace);
+  EXPECT_TRUE(hit.trace.stages.empty());
+  EXPECT_EQ(hit.trace.total_ms, 0.0);
+}
+
+TEST_F(ServeServiceTest, AnnotateTraceStagesCoverRequestTime) {
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  // Enough rows that annotation takes long enough for stage wall times
+  // to dominate the (tiny) untraced bookkeeping between stages.
+  Table source = MakeFigure1Table();
+  Table table(16, 2);
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      table.set_cell(r, c, source.cell(r % source.rows(), c));
+    }
+  }
+  table.set_header(0, source.header(0));
+  table.set_header(1, source.header(1));
+  table.set_context(source.context());
+
+  obs::Histogram* queue_wait =
+      obs::MetricsRegistry::Get().GetHistogram("serve.queue_wait_ms");
+  obs::Histogram* annotate_ms =
+      obs::MetricsRegistry::Get().GetHistogram("serve.annotate_ms");
+  const uint64_t queue_before = queue_wait->Count();
+  const uint64_t annotate_before = annotate_ms->Count();
+
+  AnnotateResponse response =
+      service.Annotate(table, Deadline(), /*want_trace=*/true);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_TRUE(response.has_trace);
+  EXPECT_TRUE(response.trace.balanced);
+
+  // All four pipeline stages, all root-level.
+  const char* kStages[] = {"annotate.candidates", "annotate.graph_build",
+                           "annotate.bp", "annotate.decode"};
+  double root_ms = 0.0;
+  for (const auto& stage : response.trace.stages) {
+    if (stage.depth == 0) root_ms += stage.ms;
+  }
+  for (const char* want : kStages) {
+    bool found = false;
+    for (const auto& stage : response.trace.stages) {
+      if (std::string(stage.name) == want) {
+        EXPECT_EQ(stage.depth, 0) << want;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << want;
+  }
+  // The acceptance bar: the traced stages account for the request's
+  // work time to within 10%.
+  EXPECT_GT(response.trace.total_ms, 0.0);
+  EXPECT_GE(root_ms, response.trace.total_ms * 0.9);
+  EXPECT_LE(root_ms, response.trace.total_ms * 1.10 + 0.01);
+
+  // Every executed request feeds the serving histograms (the
+  // queue-wait satellite: Request::queued now lands somewhere).
+  EXPECT_GE(queue_wait->Count(), queue_before + 1);
+  EXPECT_EQ(annotate_ms->Count(), annotate_before + 1);
+  EXPECT_GE(response.meta.queue_millis, 0.0);
 }
 
 TEST_F(ServeServiceTest, JoinQueriesServed) {

@@ -30,6 +30,7 @@
 #include "annotate/corpus_annotator.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "search/corpus_index.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
@@ -106,6 +107,9 @@ bool HandleLine(WebTabService* service, const std::string& line,
           service->stats(), handle.version,
           handle.snapshot != nullptr ? handle.snapshot->path() : "");
       return true;
+    case WireRequest::Op::kMetrics:
+      *out = serve::RenderMetricsResponse();
+      return true;
     case WireRequest::Op::kSwap: {
       Status status = service->SwapSnapshot(request.path);
       *out = status.ok() ? serve::RenderSwapResponse(
@@ -135,7 +139,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
             *out = serve::RenderErrorResponse(resolved);
             return true;
           }
-          response = service->Search(request.engine, query, topk, deadline);
+          response = service->Search(request.engine, query, topk, deadline,
+                                     request.want_trace);
         } else {
           JoinQuery query = serve::ResolveJoinQuery(request.join, *catalog);
           Status resolved =
@@ -144,7 +149,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
             *out = serve::RenderErrorResponse(resolved);
             return true;
           }
-          response = service->SearchJoin(query, topk, deadline);
+          response = service->SearchJoin(query, topk, deadline,
+                                         request.want_trace);
         }
         if (!response.status.ok() ||
             response.meta.snapshot_version == handle.version) {
@@ -156,6 +162,11 @@ bool HandleLine(WebTabService* service, const std::string& line,
       *out = serve::RenderSearchResponse(
           response, catalog, request.top_k > 0 ? request.top_k : 10,
           request.want_stats);
+      WEBTAB_LOG(Debug) << "req id=" << response.meta.request_id
+                        << " op=search queue_ms="
+                        << response.meta.queue_millis
+                        << " work_ms=" << response.meta.work_millis
+                        << " cache_hit=" << response.meta.cache_hit;
       return true;
     }
     case WireRequest::Op::kAnnotate: {
@@ -168,7 +179,7 @@ bool HandleLine(WebTabService* service, const std::string& line,
       // catalog, which must be the generation that answered (its ids are
       // what the annotation holds).
       serve::AnnotateResponse response =
-          service->Annotate(*table, deadline);
+          service->Annotate(*table, deadline, request.want_trace);
       if (response.status.ok() &&
           response.meta.snapshot_version != handle.version) {
         handle = service->manager()->Current();
@@ -178,6 +189,10 @@ bool HandleLine(WebTabService* service, const std::string& line,
                       : nullptr;  // Rare double-swap: render ids as null.
       }
       *out = serve::RenderAnnotateResponse(response, catalog);
+      WEBTAB_LOG(Debug) << "req id=" << response.meta.request_id
+                        << " op=annotate queue_ms="
+                        << response.meta.queue_millis
+                        << " work_ms=" << response.meta.work_millis;
       return true;
     }
   }
@@ -258,10 +273,12 @@ int ServeTcp(WebTabService* service, int port) {
 }
 
 int Run(int argc, char** argv) {
+  InitLogLevelFromEnv();
   std::string snapshot_path;
   int64_t port = 0, workers = 4, queue_cap = 256, deadline_ms = 0;
   int64_t cache_cap = 1024, synth_tables = 0, seed = 42;
-  bool no_validate = false, no_precompute = false;
+  int64_t slow_ms = 0;
+  bool no_validate = false, no_precompute = false, metrics_dump = false;
   FlagSet flags;
   flags.AddString("snapshot", &snapshot_path, "snapshot file to serve");
   flags.AddInt("port", &port, "TCP port (0 = stdin/stdout)");
@@ -277,6 +294,12 @@ int Run(int argc, char** argv) {
                 "open snapshots with plain Open instead of OpenValidated");
   flags.AddBool("no-precompute", &no_precompute,
                 "skip type-closure precompute at load");
+  flags.AddInt("slow-ms", &slow_ms,
+               "log requests slower than this with their stage trace "
+               "(0 = off)");
+  flags.AddBool("metrics-dump", &metrics_dump,
+                "print the Prometheus metrics exposition to stderr on "
+                "exit");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (snapshot_path.empty()) {
@@ -309,6 +332,7 @@ int Run(int argc, char** argv) {
   options.queue_capacity = static_cast<int>(queue_cap);
   options.default_deadline_ms = deadline_ms;
   options.result_cache_capacity = static_cast<int>(cache_cap);
+  options.slow_request_ms = static_cast<double>(slow_ms);
   WebTabService service(&manager, options);
   service.Start();
 
@@ -322,6 +346,10 @@ int Run(int argc, char** argv) {
   int rc = port > 0 ? ServeTcp(&service, static_cast<int>(port))
                     : (ServeStdin(&service), 0);
   service.Stop();
+  if (metrics_dump) {
+    std::string text = obs::MetricsRegistry::Get().RenderPrometheus();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
   return rc;
 }
 

@@ -21,6 +21,7 @@
 #include "annotate/corpus_annotator.h"
 #include "catalog/catalog_io.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "index/lemma_index.h"
 #include "search/corpus_index.h"
 #include "storage/snapshot.h"
@@ -188,6 +189,7 @@ int Verify(const std::string& path) {
 }
 
 int Run(int argc, char** argv) {
+  InitLogLevelFromEnv();
   std::string catalog_path, out = "world.snap";
   bool no_index = false;
   int64_t synth_tables = 0, seed = 42, threads = 1;
