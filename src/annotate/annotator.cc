@@ -27,14 +27,15 @@ TableAnnotator::TableAnnotator(const CatalogView* catalog,
                 options_.features) {}
 
 TableAnnotation TableAnnotator::Annotate(const Table& table,
-                                         AnnotationTiming* timing) {
+                                         AnnotationTiming* timing,
+                                         AnnotateExplain* explain) {
   TableCandidates candidates;
-  return AnnotateWithCandidates(table, &candidates, timing);
+  return AnnotateWithCandidates(table, &candidates, timing, explain);
 }
 
 TableAnnotation TableAnnotator::AnnotateWithCandidates(
     const Table& table, TableCandidates* candidates_out,
-    AnnotationTiming* timing) {
+    AnnotationTiming* timing, AnnotateExplain* explain) {
   WallTimer total;
   WallTimer stage;
 
@@ -62,7 +63,9 @@ TableAnnotation TableAnnotator::AnnotateWithCandidates(
   BpResult bp;
   {
     obs::TraceSpan bp_span("annotate.bp");
-    bp = RunBeliefPropagation(graph.graph, options_.bp, &bp_workspace_);
+    BpOptions bp_options = options_.bp;
+    if (explain != nullptr) bp_options.capture_convergence = true;
+    bp = RunBeliefPropagation(graph.graph, bp_options, &bp_workspace_);
   }
   {
     obs::TraceSpan decode_span("annotate.decode");
@@ -78,6 +81,36 @@ TableAnnotation TableAnnotator::AnnotateWithCandidates(
   tables_annotated->Add(1);
   bp_iterations_total->Add(bp.iterations);
   obs::TraceAddCounter("bp_iterations", bp.iterations);
+
+  if (explain != nullptr) {
+    explain->columns.clear();
+    explain->columns.reserve(table.cols());
+    for (int c = 0; c < table.cols(); ++c) {
+      AnnotateExplain::ColumnExplain col;
+      col.column = c;
+      col.type_candidates =
+          static_cast<int>(candidates_out->column_types[c].size());
+      for (int r = 0; r < table.rows(); ++r) {
+        col.entity_candidates +=
+            static_cast<int64_t>(candidates_out->cells[r][c].size());
+      }
+      col.decoded_type = annotation.column_types[c];
+      const int tv = graph.type_var[c];
+      if (tv >= 0 &&
+          tv < static_cast<int>(bp.decode_margins.size())) {
+        col.decode_margin = bp.decode_margins[tv];
+      }
+      explain->columns.push_back(col);
+    }
+    explain->relation_pairs =
+        static_cast<int>(candidates_out->relations.size());
+    explain->bp_iterations = bp.iterations;
+    explain->bp_converged = bp.converged;
+    explain->bp_max_residual = bp.max_residual;
+    explain->bp_residual_trail = std::move(bp.residual_trail);
+    explain->bp_factor_updates = bp.factor_updates;
+    explain->bp_factor_skips = bp.factor_skips;
+  }
 
   if (timing != nullptr) {
     timing->candidate_seconds = candidate_seconds;

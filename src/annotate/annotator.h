@@ -34,6 +34,37 @@ struct AnnotatorOptions {
   bool unique_column_constraint = false;
 };
 
+/// EXPLAIN payload for one annotate request: what the pipeline had to
+/// choose from (per-column candidate counts) and how certain inference
+/// was (BP convergence curve, per-column decode margins). Filled only
+/// on request — capturing allocates, so the serving fast path never
+/// pays for it.
+struct AnnotateExplain {
+  struct ColumnExplain {
+    int column = 0;
+    /// Σ over rows of the cell's scored entity candidates (Erc sizes).
+    int64_t entity_candidates = 0;
+    /// Candidate types for the column (∪ T(E), §4.3).
+    int type_candidates = 0;
+    TypeId decoded_type = kNa;
+    /// Best-minus-runner-up belief of the column's type variable; 0
+    /// when the domain was trivial or the column had no type variable.
+    /// Small margins flag near-tie type decisions.
+    double decode_margin = 0.0;
+  };
+  std::vector<ColumnExplain> columns;
+  /// Column pairs with at least one candidate relation.
+  int relation_pairs = 0;
+  int bp_iterations = 0;
+  bool bp_converged = false;
+  double bp_max_residual = 0.0;
+  /// Max message residual after each BP iteration (the convergence
+  /// curve; size == bp_iterations).
+  std::vector<double> bp_residual_trail;
+  int64_t bp_factor_updates = 0;
+  int64_t bp_factor_skips = 0;
+};
+
 /// Per-table cost breakdown backing Figure 7 / §6.1.2 (the paper: ~80% of
 /// time in lemma probes + similarity, <1% in inference).
 struct AnnotationTiming {
@@ -65,15 +96,18 @@ class TableAnnotator {
   TableAnnotator(const TableAnnotator&) = delete;
   TableAnnotator& operator=(const TableAnnotator&) = delete;
 
-  /// Annotates one table. `timing` is optional.
+  /// Annotates one table. `timing` and `explain` are optional; passing
+  /// `explain` turns on BP convergence capture for this run only.
   TableAnnotation Annotate(const Table& table,
-                           AnnotationTiming* timing = nullptr);
+                           AnnotationTiming* timing = nullptr,
+                           AnnotateExplain* explain = nullptr);
 
   /// Like Annotate but also returns the label space / candidates, for
   /// evaluation drivers that need the baselines on identical candidates.
   TableAnnotation AnnotateWithCandidates(const Table& table,
                                          TableCandidates* candidates_out,
-                                         AnnotationTiming* timing = nullptr);
+                                         AnnotationTiming* timing = nullptr,
+                                         AnnotateExplain* explain = nullptr);
 
   const AnnotatorOptions& options() const { return options_; }
   /// Mutable so experiment drivers can swap trained weights in place.

@@ -454,6 +454,7 @@ BpResult RunBeliefPropagation(const FactorGraph& graph,
     }
     result.iterations = iter;
     result.max_residual = residual;
+    if (options.capture_convergence) result.residual_trail.push_back(residual);
     if (residual < options.tolerance) {
       result.converged = true;
       break;
@@ -463,6 +464,9 @@ BpResult RunBeliefPropagation(const FactorGraph& graph,
   // Decode: argmax belief per variable; ties break toward the lowest
   // label index (na first) for determinism. Empty domains decode to -1.
   result.assignment.resize(num_vars);
+  if (options.capture_convergence) {
+    result.decode_margins.assign(num_vars, 0.0);
+  }
   for (int v = 0; v < num_vars; ++v) {
     const int d = graph.domain_size(v);
     if (d == 0) {
@@ -475,6 +479,14 @@ BpResult RunBeliefPropagation(const FactorGraph& graph,
       if (bel[l] > bel[best]) best = l;
     }
     result.assignment[v] = best;
+    if (options.capture_convergence && d > 1) {
+      // Decode margin: distance from the winner to the runner-up.
+      double second = kNegInf;
+      for (int l = 0; l < d; ++l) {
+        if (l != best) second = std::max(second, bel[l]);
+      }
+      result.decode_margins[v] = bel[best] - second;
+    }
   }
   result.score = graph.ScoreAssignment(result.assignment);
 

@@ -22,6 +22,13 @@ struct BpOptions {
   /// previous delta exactly zero), so results are identical to running
   /// every factor every sweep — only converged work is elided.
   bool residual_scheduling = true;
+  /// EXPLAIN support: record the per-iteration max residual
+  /// (BpResult::residual_trail) and per-variable decode margins
+  /// (BpResult::decode_margins). Off by default — capturing fills two
+  /// vectors per run, which the zero-steady-state-allocation paths must
+  /// not pay for. Messages, schedule, and the decoded assignment are
+  /// unaffected either way.
+  bool capture_convergence = false;
 };
 
 struct BpResult {
@@ -32,6 +39,15 @@ struct BpResult {
   double max_residual = 0.0;    // Last iteration's message change.
   int64_t factor_updates = 0;   // Kernel executions across all sweeps.
   int64_t factor_skips = 0;     // Factors elided by residual scheduling.
+
+  // Filled only when BpOptions::capture_convergence:
+  /// Max message residual after each iteration (size == iterations) —
+  /// the convergence curve EXPLAIN reports.
+  std::vector<double> residual_trail;
+  /// Per-variable decode margin: best belief minus runner-up belief
+  /// (0 for domains of size <= 1, where decoding is trivial). Small
+  /// margins flag near-tie decodes.
+  std::vector<double> decode_margins;
 };
 
 /// Reusable scratch for RunBeliefPropagation: message arena, beliefs,

@@ -1,0 +1,51 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace webtab {
+namespace obs {
+
+namespace {
+double SteadyNowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ExemplarBuffer::ExemplarBuffer(int capacity)
+    : capacity_(std::max(1, capacity)) {}
+
+void ExemplarBuffer::Record(RequestExemplar exemplar) {
+  exemplar.recorded_at_ms = SteadyNowMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < static_cast<size_t>(capacity_)) {
+    ring_.push_back(std::move(exemplar));
+  } else {
+    ring_[static_cast<size_t>(total_ % capacity_)] = std::move(exemplar);
+  }
+  ++total_;
+}
+
+std::vector<RequestExemplar> ExemplarBuffer::Snapshot() const {
+  const double now_ms = SteadyNowMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestExemplar> out;
+  out.reserve(ring_.size());
+  // Newest first: walk back from the last written slot.
+  for (int64_t i = total_ - 1; i >= total_ - static_cast<int64_t>(ring_.size());
+       --i) {
+    out.push_back(ring_[static_cast<size_t>(i % capacity_)]);
+    out.back().age_s = (now_ms - out.back().recorded_at_ms) / 1000.0;
+  }
+  return out;
+}
+
+int64_t ExemplarBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace obs
+}  // namespace webtab

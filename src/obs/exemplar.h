@@ -1,0 +1,61 @@
+#ifndef WEBTAB_OBS_EXEMPLAR_H_
+#define WEBTAB_OBS_EXEMPLAR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace webtab {
+namespace obs {
+
+/// One retained slow request: identity, timing, and the full trace
+/// breakdown that was recorded while it ran. Stage/counter names inside
+/// the TraceSummary are static instrumentation-site strings, so keeping
+/// the summary past the request is safe.
+struct RequestExemplar {
+  uint64_t request_id = 0;
+  std::string kind;    // "search:<engine>" / "annotate"
+  std::string detail;  // normalized query / table name
+  uint64_t snapshot_version = 0;
+  double queue_ms = 0.0;
+  double work_ms = 0.0;
+  /// Steady-clock milliseconds at Record() time; Snapshot() converts it
+  /// to an age so callers see "how long ago", immune to wall-clock
+  /// jumps.
+  double recorded_at_ms = 0.0;
+  double age_s = 0.0;  // filled by Snapshot()
+  TraceSummary trace;
+};
+
+/// Ring of the last `capacity` over-threshold request traces, so a slow
+/// p99 event is still inspectable minutes after it happened (the wire
+/// {"op":"debug"}). Record() is mutex-guarded and allocates — it runs
+/// only on the already-slow path, never on fast requests.
+class ExemplarBuffer {
+ public:
+  explicit ExemplarBuffer(int capacity = 32);
+
+  void Record(RequestExemplar exemplar);
+
+  /// Retained exemplars, newest first, with age_s filled in.
+  std::vector<RequestExemplar> Snapshot() const;
+
+  /// Exemplars ever recorded (>= retained size; the difference is how
+  /// many the ring has already forgotten).
+  int64_t total_recorded() const;
+  int capacity() const { return capacity_; }
+
+ private:
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::vector<RequestExemplar> ring_;
+  int64_t total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace webtab
+
+#endif  // WEBTAB_OBS_EXEMPLAR_H_

@@ -245,12 +245,48 @@ size_t MetricsRegistry::MetricCount() const {
 
 namespace {
 
+/// Maps a dotted metric name onto the exposition grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*. The "webtab_" prefix guarantees a legal
+/// first character even for names starting with a digit; every other
+/// out-of-alphabet byte becomes '_'. Sanitization can collide distinct
+/// dotted names ("a.b" and "a_b"); RenderPrometheus de-duplicates so
+/// the exposition never declares the same family twice.
 std::string PromName(const std::string& name) {
   std::string out = "webtab_";
   for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_';
     out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Escapes a label value per the text exposition format: backslash,
+/// double quote, and line feed.
+std::string PromEscapeLabel(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Escapes HELP text: backslash and line feed (quotes are legal there).
+std::string PromEscapeHelp(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
   }
   return out;
 }
@@ -270,8 +306,21 @@ void AppendNumber(double v, std::string* out) {
 
 std::string MetricsRegistry::RenderPrometheus() const {
   std::string out;
+  // Sanitized family names already emitted; a second dotted name
+  // mapping to the same sanitized name gets a _dupN suffix (Dump() is
+  // name-sorted, so suffixes are deterministic across renders).
+  std::map<std::string, int> used;
   for (const MetricDump& d : Dump()) {
-    const std::string name = PromName(d.name);
+    std::string name = PromName(d.name);
+    int& uses = used[name];
+    ++uses;
+    if (uses > 1) name += "_dup" + std::to_string(uses);
+    // One HELP + TYPE block per family. For histograms the family
+    // declaration covers the _bucket/_sum/_count series that follow —
+    // that is the exposition-format contract, and the conformance test
+    // checks all three stay inside the declared block.
+    out += "# HELP " + name + " webtab metric " + PromEscapeHelp(d.name) +
+           "\n";
     switch (d.kind) {
       case MetricDump::Kind::kCounter:
         out += "# TYPE " + name + " counter\n" + name + " ";
@@ -292,14 +341,14 @@ std::string MetricsRegistry::RenderPrometheus() const {
               i + 1 != d.histogram.buckets.size()) {
             continue;  // sparse exposition: only buckets with mass
           }
-          out += name + "_bucket{le=\"";
+          std::string le;
           if (i + 1 == d.histogram.buckets.size()) {
-            out += "+Inf";
+            le = "+Inf";
           } else {
             AppendNumber(Histogram::BucketUpperBound(static_cast<int>(i)),
-                         &out);
+                         &le);
           }
-          out += "\"} ";
+          out += name + "_bucket{le=\"" + PromEscapeLabel(le) + "\"} ";
           AppendNumber(static_cast<double>(cumulative), &out);
           out += "\n";
         }

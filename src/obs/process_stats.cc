@@ -1,0 +1,130 @@
+#include "obs/process_stats.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+namespace webtab {
+namespace obs {
+
+namespace {
+
+/// Fallback uptime anchor: first call to ReadProcessStats(). On Linux
+/// the real process start from /proc wins; elsewhere uptime is "since
+/// observability first looked".
+std::chrono::steady_clock::time_point ProcessAnchor() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return anchor;
+}
+
+#if defined(__linux__)
+int64_t ReadRssBytes() {
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0, resident_pages = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<int64_t>(resident_pages) * sysconf(_SC_PAGESIZE);
+}
+
+double ReadUptimeSeconds() {
+  // System uptime minus this process's start time (both in seconds;
+  // starttime is field 22 of /proc/self/stat, in clock ticks).
+  double system_uptime = 0.0;
+  {
+    FILE* f = std::fopen("/proc/uptime", "r");
+    if (f == nullptr) return -1.0;
+    const int got = std::fscanf(f, "%lf", &system_uptime);
+    std::fclose(f);
+    if (got != 1) return -1.0;
+  }
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return -1.0;
+  char buf[1024];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // comm (field 2) may contain spaces; fields 3.. start after "') '".
+  const char* p = nullptr;
+  for (size_t i = n; i > 0; --i) {
+    if (buf[i - 1] == ')') {
+      p = buf + i;
+      break;
+    }
+  }
+  if (p == nullptr) return -1.0;
+  long long starttime_ticks = 0;
+  int field = 2;  // fields already consumed: pid, comm
+  while (*p != '\0' && field < 22) {
+    while (*p == ' ') ++p;
+    ++field;
+    if (field == 22) {
+      if (std::sscanf(p, "%lld", &starttime_ticks) != 1) return -1.0;
+      break;
+    }
+    while (*p != '\0' && *p != ' ') ++p;
+  }
+  if (field != 22) return -1.0;
+  const long ticks_per_s = sysconf(_SC_CLK_TCK);
+  if (ticks_per_s <= 0) return -1.0;
+  const double start_s =
+      static_cast<double>(starttime_ticks) / static_cast<double>(ticks_per_s);
+  const double uptime = system_uptime - start_s;
+  return uptime >= 0.0 ? uptime : -1.0;
+}
+
+int64_t ReadOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  int64_t count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  // Minus ".", "..", and the fd opendir itself holds.
+  return count >= 3 ? count - 3 : 0;
+}
+#endif  // __linux__
+
+}  // namespace
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+  const auto anchor = ProcessAnchor();
+#if defined(__linux__)
+  stats.rss_bytes = ReadRssBytes();
+  stats.open_fds = ReadOpenFds();
+  stats.uptime_s = ReadUptimeSeconds();
+  if (stats.uptime_s < 0.0)
+#endif
+  {
+    stats.uptime_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - anchor)
+                         .count();
+  }
+  return stats;
+}
+
+void UpdateProcessGauges() {
+  static Gauge* rss =
+      MetricsRegistry::Get().GetGauge("process.rss_bytes");
+  static Gauge* uptime =
+      MetricsRegistry::Get().GetGauge("process.uptime_s");
+  static Gauge* fds =
+      MetricsRegistry::Get().GetGauge("process.open_fds");
+  const ProcessStats stats = ReadProcessStats();
+  rss->Set(stats.rss_bytes);
+  uptime->Set(static_cast<int64_t>(stats.uptime_s));
+  fds->Set(stats.open_fds);
+}
+
+}  // namespace obs
+}  // namespace webtab

@@ -1,0 +1,29 @@
+#ifndef WEBTAB_OBS_PROCESS_STATS_H_
+#define WEBTAB_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace webtab {
+namespace obs {
+
+/// Point-in-time liveness signals for this process, read from /proc on
+/// Linux (fields report 0 on platforms or sandboxes where the source is
+/// unavailable — absence of /proc must not break serving).
+struct ProcessStats {
+  int64_t rss_bytes = 0;  // resident set size
+  double uptime_s = 0.0;  // seconds since process start
+  int64_t open_fds = 0;   // open file descriptors
+};
+
+ProcessStats ReadProcessStats();
+
+/// Reads ProcessStats and publishes them as registry gauges:
+/// process.rss_bytes, process.uptime_s (whole seconds),
+/// process.open_fds. Called by the stats response and the time-series
+/// collector tick; cheap enough for a 1s cadence (three /proc reads).
+void UpdateProcessGauges();
+
+}  // namespace obs
+}  // namespace webtab
+
+#endif  // WEBTAB_OBS_PROCESS_STATS_H_

@@ -1,0 +1,138 @@
+#ifndef WEBTAB_OBS_TIMESERIES_H_
+#define WEBTAB_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace webtab {
+namespace obs {
+
+/// Fixed-memory historical store over MetricsRegistry dumps (see
+/// src/obs/README.md for the retention math). A collector calls Tick()
+/// at a fixed cadence with the current registry dump; the store rolls
+/// each metric into a per-series ring buffer:
+///  - counters are stored as per-tick deltas (a raw value lower than
+///    the previous tick's is treated as a counter reset, and the new
+///    raw value becomes the delta);
+///  - gauges are stored as last-observed values;
+///  - histograms are stored as per-tick bucket deltas, so any window of
+///    ticks can be merged back into an exact HistogramSnapshot of just
+///    that window (same sqrt(2) percentile guarantee as live
+///    snapshots).
+///
+/// Memory is fixed after warm-up: every series preallocates its full
+/// ring at creation, the ring never grows, and at most max_series
+/// series are ever created (later names are dropped and counted).
+/// Tick() and Query() take an internal mutex — the store is for the
+/// collector thread and wire-protocol readers, never the request hot
+/// path.
+struct TimeSeriesOptions {
+  /// Seconds between collector ticks; only used to convert a queried
+  /// window_s into a slot count and deltas into rates. The store does
+  /// not read clocks — cadence is the caller's contract.
+  double tick_seconds = 1.0;
+  /// Ring slots per series. 600 slots at 1s ticks = a 10-minute window.
+  int capacity = 600;
+  /// Hard cap on distinct series; keeps worst-case memory fixed even if
+  /// something registers unbounded metric names.
+  int max_series = 256;
+};
+
+/// Windowed aggregate of one series, as returned by Query().
+struct SeriesRollup {
+  std::string name;
+  MetricDump::Kind kind = MetricDump::Kind::kCounter;
+  /// Ticks that contributed (less than requested when the series is
+  /// younger than the window).
+  int samples = 0;
+  /// The window actually covered, in seconds (samples * tick_seconds).
+  double window_s = 0.0;
+
+  // Counters: sum of per-tick deltas over the window and its rate.
+  int64_t delta = 0;
+  double rate_per_s = 0.0;
+
+  // Gauges: last / min / max / mean of the per-tick observed values.
+  // (For counters these describe the per-tick deltas; last is the
+  // latest raw counter value.)
+  int64_t last = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double avg = 0.0;
+
+  // Histograms: bucket-exact merge of the window's per-tick deltas;
+  // query percentiles with hist.Percentile(p).
+  HistogramSnapshot hist;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(const TimeSeriesOptions& options = {});
+
+  /// Rolls one registry dump into the rings. Call at a fixed cadence
+  /// (options().tick_seconds); ticks are the store's only clock.
+  void Tick(const std::vector<MetricDump>& dump);
+
+  /// Rollups for every series over the trailing `window_s` seconds
+  /// (clamped to the retained window), sorted by name.
+  std::vector<SeriesRollup> Query(double window_s) const;
+
+  /// Single-series variant; returns false when the name was never
+  /// ticked. Cheaper than Query() for dashboards polling a fixed set.
+  bool QueryOne(std::string_view name, double window_s,
+                SeriesRollup* out) const;
+
+  /// Total ticks observed since construction.
+  int64_t ticks() const;
+  /// Distinct series currently retained (bounded by max_series).
+  size_t series_count() const;
+  /// Dump entries ignored because max_series was already reached.
+  int64_t dropped_updates() const;
+  /// Actual bytes held by ring storage (fixed once every live metric
+  /// has been seen once).
+  size_t MemoryBytes() const;
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  /// One ring. Slot for absolute tick t lives at t % capacity; a slot
+  /// is valid for the trailing min(capacity, ticks_ - first_tick)
+  /// ticks. Counter/gauge series use `slots`; histogram series use the
+  /// flat `hbuckets` (capacity * Histogram::kBuckets) plus per-tick
+  /// `hsum`, and keep the previous raw snapshot for delta computation.
+  struct Series {
+    MetricDump::Kind kind = MetricDump::Kind::kCounter;
+    int64_t first_tick = 0;
+    bool has_prev = false;
+
+    std::vector<int64_t> slots;   // counter deltas / gauge values
+    int64_t prev_raw = 0;         // counters: last raw value seen
+
+    std::vector<uint32_t> hbuckets;     // per-tick bucket deltas, flat
+    std::vector<double> hsum;           // per-tick sum deltas
+    std::vector<uint64_t> prev_buckets; // last raw bucket counts
+    double prev_sum = 0.0;
+  };
+
+  /// Converts window_s into a slot count in [1, retained ticks].
+  int WindowSlots(double window_s) const;
+  void RollupLocked(const std::string& name, const Series& s, int slots,
+                    SeriesRollup* out) const;
+
+  TimeSeriesOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series, std::less<>> series_;
+  int64_t ticks_ = 0;
+  int64_t dropped_updates_ = 0;
+};
+
+}  // namespace obs
+}  // namespace webtab
+
+#endif  // WEBTAB_OBS_TIMESERIES_H_

@@ -39,6 +39,7 @@ void ExpandLeg(const CorpusView& index, RelationId rel, EntityId grounded,
                       : PostingBlockSpan());
   search_internal::PostingCursor<RelationRef> cursor(
       index.RelationPostings(rel), index.RelationPostingBlocks(rel));
+  const bool explain = ws->explain_enabled();
   while (!cursor.done()) {
     const int32_t table = cursor.table();
     std::span<const RelationRef> run = cursor.TakeRun();
@@ -62,9 +63,26 @@ void ExpandLeg(const CorpusView& index, RelationId rel, EntityId grounded,
           break;
         }
       }
-      if (!possible) continue;
+      if (!possible) {
+        // The support proof shows every row contributes zero — same
+        // exact-elimination class as a zero select bound (the join
+        // engine computes no numeric bounds; decision_bounds_valid
+        // stays false).
+        if (explain) {
+          ws->decision_log.push_back(
+              {table,
+               SearchWorkspace::TableDecision::Verdict::kPrunedZeroBound,
+               0.0, 0.0});
+        }
+        continue;
+      }
     }
     ++ws->query_stats.tables_scored;
+    if (explain) {
+      ws->decision_log.push_back(
+          {table, SearchWorkspace::TableDecision::Verdict::kScored, 0.0,
+           0.0});
+    }
     for (const RelationRef& ref : run) {
       int subject_col = ref.swapped ? ref.c2 : ref.c1;
       int object_col = ref.swapped ? ref.c1 : ref.c2;

@@ -318,6 +318,8 @@ void SearchWorkspace::BeginSelect(std::string_view normalized_e2) {
   evidence_.Begin();
   memo_.SetTarget(normalized_e2);
   query_stats = QueryStats{};
+  decision_log.clear();
+  decision_bounds_valid = false;
   stop_check_skip_ = 0;
   stop_check_backoff_ = 1;
 }

@@ -194,6 +194,38 @@ class SearchWorkspace {
     bool stopped_early = false;
   };
 
+  /// One planned table's fate in the EXPLAIN decision log. The log is
+  /// the counters' ledger: one entry per planned table (or per relation
+  /// run for the join engine), in scan order, so
+  ///   log.size()      == stats().tables_planned
+  ///   count(kScored)  == stats().tables_scored
+  ///   any non-scored  == stats().stopped_early
+  /// hold exactly — asserted by the serving layer and the equivalence
+  /// sweep.
+  struct TableDecision {
+    enum class Verdict : uint8_t {
+      /// The table was scored (bound survived, or pruning was off).
+      kScored,
+      /// The per-table upper bound proved zero contribution, so the
+      /// scan skipped it (exact elimination). The join engine uses this
+      /// verdict for relation runs proven matchless.
+      kPrunedZeroBound,
+      /// Left unscanned behind a proven-safe early stop (zero suffix
+      /// bound or the top-k gap test).
+      kPrunedSuffix,
+    };
+    int32_t table = 0;
+    Verdict verdict = Verdict::kScored;
+    /// The table's per-answer upper bound — the number that justified a
+    /// kPrunedZeroBound verdict. Meaningful only when
+    /// decision_bounds_valid.
+    double bound = 0.0;
+    /// Remaining suffix mass after this table — the number the stop
+    /// rule compared against. Meaningful only when
+    /// decision_bounds_valid.
+    double suffix_after = 0.0;
+  };
+
   /// Begins a select-style query: resets the evidence map and seeds the
   /// text memo with the query's normalized E2 form.
   void BeginSelect(std::string_view normalized_e2);
@@ -255,6 +287,14 @@ class SearchWorkspace {
 
   const QueryStats& stats() const { return query_stats; }
 
+  /// Arms EXPLAIN capture for subsequent queries (sticky across
+  /// queries; BeginSelect clears the log, not the flag). Off — the
+  /// default — costs one branch per planned table and keeps the
+  /// zero-allocation contract; on, the kernel appends one
+  /// TableDecision per planned table, growing decision_log.
+  void EnableExplain(bool on) { explain_enabled_ = on; }
+  bool explain_enabled() const { return explain_enabled_; }
+
   // --- Engine-facing scratch (internal to src/search/). ---
   std::vector<search_internal::PlannedTable> plan;
   std::vector<double> suffix_bound;       // suffix sums over `plan`
@@ -277,6 +317,13 @@ class SearchWorkspace {
   std::vector<std::pair<EntityId, double>> binding_list;  // join bindings
   std::string norm_scratch;  // join E3 normalization
   QueryStats query_stats;   // written by the engines per query
+  /// EXPLAIN decision log for the last query (empty unless
+  /// explain_enabled()); one entry per planned table in scan order.
+  std::vector<TableDecision> decision_log;
+  /// True when decision_log's bound/suffix_after fields were really
+  /// computed (pruned select scan); false for prune-off scans and the
+  /// join engine, whose eliminations are support proofs, not bounds.
+  bool decision_bounds_valid = false;
 
  private:
   search_internal::EvidenceMap evidence_;
@@ -286,6 +333,7 @@ class SearchWorkspace {
   // Exponential backoff for the O(answers) gap test (see ShouldStop).
   int64_t stop_check_skip_ = 0;
   int64_t stop_check_backoff_ = 1;
+  bool explain_enabled_ = false;
 };
 
 /// Per-thread workspace backing the convenience engine wrappers (the

@@ -129,8 +129,15 @@ inline void RecordQueryStatsMetrics(
 template <typename BoundFn, typename ScoreFn>
 void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
                       BoundFn&& bound_of, ScoreFn&& score_table) {
+  using Decision = SearchWorkspace::TableDecision;
   ws->query_stats.tables_planned = static_cast<int64_t>(ws->plan.size());
   const bool prune = topk.k > 0 && topk.prune;
+  // EXPLAIN capture: one branch per table when off (the serving
+  // default), so the zero-allocation / <=2% overhead contract holds;
+  // when on, every planned table lands in the decision log with the
+  // bound that decided its fate.
+  const bool explain = ws->explain_enabled();
+  if (explain) ws->decision_bounds_valid = prune;
   if (prune) {
     obs::TraceSpan bound_span("search.bounds");
     for (PlannedTable& p : ws->plan) p.bound = bound_of(p);
@@ -139,12 +146,36 @@ void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
   {
     obs::TraceSpan score_span("search.score");
     for (size_t pi = 0; pi < ws->plan.size(); ++pi) {
-      if (prune && ws->plan[pi].bound <= 0.0) continue;
+      const double bound = prune ? ws->plan[pi].bound : 0.0;
+      const double suffix = prune ? ws->suffix_bound[pi] : 0.0;
+      if (prune && bound <= 0.0) {
+        if (explain) {
+          ws->decision_log.push_back({ws->plan[pi].table,
+                                      Decision::Verdict::kPrunedZeroBound,
+                                      bound, suffix});
+        }
+        continue;
+      }
       score_table(ws->plan[pi]);
       ++ws->query_stats.tables_scored;
+      if (explain) {
+        ws->decision_log.push_back(
+            {ws->plan[pi].table, Decision::Verdict::kScored, bound, suffix});
+      }
       if (!prune) continue;
-      if (ws->suffix_bound[pi] <= 0.0) break;  // proven-zero tail
-      if (ws->ShouldStop(topk.k, ws->suffix_bound[pi])) break;
+      // Stop when the remaining tail is a proven no-op (suffix == 0) or
+      // the top-k gap test proves the prefix final.
+      if (suffix <= 0.0 || ws->ShouldStop(topk.k, suffix)) {
+        if (explain) {
+          for (size_t pj = pi + 1; pj < ws->plan.size(); ++pj) {
+            ws->decision_log.push_back({ws->plan[pj].table,
+                                        Decision::Verdict::kPrunedSuffix,
+                                        ws->plan[pj].bound,
+                                        ws->suffix_bound[pj]});
+          }
+        }
+        break;
+      }
     }
   }
   if (prune) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "serve/json.h"
 
 namespace webtab {
@@ -18,6 +19,8 @@ Result<WireRequest::Op> ParseOp(std::string_view name) {
   if (name == "swap") return Op::kSwap;
   if (name == "stats") return Op::kStats;
   if (name == "metrics") return Op::kMetrics;
+  if (name == "timeseries") return Op::kTimeseries;
+  if (name == "debug") return Op::kDebug;
   if (name == "quit") return Op::kQuit;
   return Status::InvalidArgument("unknown op: " + std::string(name));
 }
@@ -89,12 +92,14 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.select.e2 = json.GetString("e2");
       request.want_stats = json.GetBool("stats", false);
       request.want_trace = json.GetBool("trace", false);
+      request.want_explain = json.GetBool("explain", false);
       break;
     }
     case WireRequest::Op::kJoin:
       request.engine = EngineKind::kJoin;
       request.want_stats = json.GetBool("stats", false);
       request.want_trace = json.GetBool("trace", false);
+      request.want_explain = json.GetBool("explain", false);
       request.join.r1 = json.GetString("r1");
       request.join.r2 = json.GetString("r2");
       request.join.e3 = json.GetString("e3");
@@ -105,6 +110,7 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       break;
     case WireRequest::Op::kAnnotate: {
       request.want_trace = json.GetBool("trace", false);
+      request.want_explain = json.GetBool("explain", false);
       const Json* table = json.Find("table");
       if (table == nullptr) {
         return Status::InvalidArgument("annotate requires \"table\"");
@@ -118,8 +124,15 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
         return Status::InvalidArgument("swap requires \"path\"");
       }
       break;
+    case WireRequest::Op::kTimeseries:
+      request.window_s = json.GetNumber("window_s", 60.0);
+      if (request.window_s <= 0.0) {
+        return Status::InvalidArgument("\"window_s\" must be > 0");
+      }
+      break;
     case WireRequest::Op::kStats:
     case WireRequest::Op::kMetrics:
+    case WireRequest::Op::kDebug:
     case WireRequest::Op::kQuit:
       break;
   }
@@ -295,6 +308,93 @@ Json MetricsJson() {
   return metrics;
 }
 
+const char* VerdictName(SearchWorkspace::TableDecision::Verdict verdict) {
+  switch (verdict) {
+    case SearchWorkspace::TableDecision::Verdict::kScored:
+      return "scored";
+    case SearchWorkspace::TableDecision::Verdict::kPrunedZeroBound:
+      return "pruned_zero_bound";
+    case SearchWorkspace::TableDecision::Verdict::kPrunedSuffix:
+      return "pruned_suffix";
+  }
+  return "unknown";
+}
+
+/// The search EXPLAIN payload: one entry per planned table in scan
+/// order, plus the counter cross-check (planned/scored/stopped_early
+/// recomputed from the log itself must match the engine's stats —
+/// "consistent" says whether they did).
+Json SearchExplainJson(const SearchResponse& response) {
+  using Verdict = SearchWorkspace::TableDecision::Verdict;
+  Json explain = Json::Object();
+  Json tables = Json::Array();
+  int scored = 0;
+  for (const SearchWorkspace::TableDecision& d : response.explain_log) {
+    Json item = Json::Object();
+    item.Set("table", Json::Number(static_cast<double>(d.table)));
+    item.Set("verdict", Json::String(VerdictName(d.verdict)));
+    if (response.explain_bounds_valid) {
+      item.Set("bound", Json::Number(d.bound));
+      item.Set("suffix_after", Json::Number(d.suffix_after));
+    }
+    if (d.verdict == Verdict::kScored) ++scored;
+    tables.Append(std::move(item));
+  }
+  explain.Set("tables", std::move(tables));
+  explain.Set("bounds_valid", Json::Bool(response.explain_bounds_valid));
+  const int planned = static_cast<int>(response.explain_log.size());
+  explain.Set("tables_planned",
+              Json::Number(static_cast<double>(planned)));
+  explain.Set("tables_scored", Json::Number(static_cast<double>(scored)));
+  explain.Set("stopped_early", Json::Bool(scored < planned));
+  const bool consistent =
+      !response.has_stats ||
+      (planned == response.stats.tables_planned &&
+       scored == response.stats.tables_scored &&
+       (scored < planned) == response.stats.stopped_early);
+  explain.Set("consistent", Json::Bool(consistent));
+  return explain;
+}
+
+/// The annotate EXPLAIN payload: per-column candidate mass and decode
+/// margins, the relation pair count, and the BP convergence curve.
+Json AnnotateExplainJson(const AnnotateExplain& explain,
+                         const CatalogView* catalog) {
+  Json json = Json::Object();
+  Json columns = Json::Array();
+  for (const AnnotateExplain::ColumnExplain& col : explain.columns) {
+    Json item = Json::Object();
+    item.Set("column", Json::Number(col.column));
+    item.Set("entity_candidates",
+             Json::Number(static_cast<double>(col.entity_candidates)));
+    item.Set("type_candidates", Json::Number(col.type_candidates));
+    item.Set("decoded_type",
+             col.decoded_type != kNa && catalog != nullptr &&
+                     catalog->ValidType(col.decoded_type)
+                 ? Json::String(catalog->TypeName(col.decoded_type))
+                 : Json::Null());
+    item.Set("decode_margin", Json::Number(col.decode_margin));
+    columns.Append(std::move(item));
+  }
+  json.Set("columns", std::move(columns));
+  json.Set("relation_pairs", Json::Number(explain.relation_pairs));
+  Json bp = Json::Object();
+  bp.Set("iterations", Json::Number(explain.bp_iterations));
+  bp.Set("converged", Json::Bool(explain.bp_converged));
+  bp.Set("max_residual", Json::Number(explain.bp_max_residual));
+  Json trail = Json::Array();
+  for (double r : explain.bp_residual_trail) {
+    trail.Append(Json::Number(r));
+  }
+  bp.Set("residual_trail", std::move(trail));
+  bp.Set("factor_updates",
+         Json::Number(static_cast<double>(explain.bp_factor_updates)));
+  bp.Set("factor_skips",
+         Json::Number(static_cast<double>(explain.bp_factor_skips)));
+  json.Set("bp", std::move(bp));
+  return json;
+}
+
 }  // namespace
 
 std::string RenderSearchResponse(const SearchResponse& response,
@@ -332,6 +432,9 @@ std::string RenderSearchResponse(const SearchResponse& response,
                   response.stats.tables_scored)));
     stats.Set("stopped_early", Json::Bool(response.stats.stopped_early));
     json.Set("stats", std::move(stats));
+  }
+  if (response.has_explain) {
+    json.Set("explain", SearchExplainJson(response));
   }
   if (response.has_trace) json.Set("trace", TraceJson(response.trace));
   json.Set("meta", MetaJson(response.meta));
@@ -386,6 +489,9 @@ std::string RenderAnnotateResponse(const AnnotateResponse& response,
     relations.Append(std::move(rel));
   }
   json.Set("relations", std::move(relations));
+  if (response.has_explain) {
+    json.Set("explain", AnnotateExplainJson(response.explain, catalog));
+  }
   if (response.has_trace) json.Set("trace", TraceJson(response.trace));
   json.Set("meta", MetaJson(response.meta));
   return json.Dump();
@@ -433,6 +539,16 @@ std::string RenderStatsResponse(const ServiceStats& stats,
   cache.Set("entries",
             Json::Number(static_cast<double>(stats.cache.entries)));
   json.Set("cache", std::move(cache));
+  const obs::ProcessStats process = obs::ReadProcessStats();
+  Json proc = Json::Object();
+  proc.Set("rss_bytes",
+           Json::Number(static_cast<double>(process.rss_bytes)));
+  proc.Set("uptime_s", Json::Number(process.uptime_s));
+  proc.Set("open_fds",
+           Json::Number(static_cast<double>(process.open_fds)));
+  proc.Set("generation",
+           Json::Number(static_cast<double>(snapshot_version)));
+  json.Set("process", std::move(proc));
   json.Set("metrics", MetricsJson());
   return json.Dump();
 }
@@ -443,6 +559,90 @@ std::string RenderMetricsResponse() {
   json.Set("content_type", Json::String("text/plain; version=0.0.4"));
   json.Set("metrics",
            Json::String(obs::MetricsRegistry::Get().RenderPrometheus()));
+  return json.Dump();
+}
+
+std::string RenderTimeseriesResponse(const obs::TimeSeriesStore& store,
+                                     double window_s) {
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+  json.Set("tick_s", Json::Number(store.options().tick_seconds));
+  json.Set("retention_s",
+           Json::Number(store.options().tick_seconds *
+                        store.options().capacity));
+  json.Set("ticks", Json::Number(static_cast<double>(store.ticks())));
+  json.Set("series_count",
+           Json::Number(static_cast<double>(store.series_count())));
+  json.Set("dropped_updates",
+           Json::Number(static_cast<double>(store.dropped_updates())));
+  json.Set("memory_bytes",
+           Json::Number(static_cast<double>(store.MemoryBytes())));
+  json.Set("window_s", Json::Number(window_s));
+  Json series = Json::Array();
+  for (const obs::SeriesRollup& rollup : store.Query(window_s)) {
+    Json item = Json::Object();
+    item.Set("name", Json::String(rollup.name));
+    item.Set("samples", Json::Number(rollup.samples));
+    item.Set("covered_s", Json::Number(rollup.window_s));
+    switch (rollup.kind) {
+      case obs::MetricDump::Kind::kCounter:
+        item.Set("kind", Json::String("counter"));
+        item.Set("delta",
+                 Json::Number(static_cast<double>(rollup.delta)));
+        item.Set("rate_per_s", Json::Number(rollup.rate_per_s));
+        item.Set("last",
+                 Json::Number(static_cast<double>(rollup.last)));
+        break;
+      case obs::MetricDump::Kind::kGauge:
+        item.Set("kind", Json::String("gauge"));
+        item.Set("last",
+                 Json::Number(static_cast<double>(rollup.last)));
+        item.Set("min", Json::Number(static_cast<double>(rollup.min)));
+        item.Set("max", Json::Number(static_cast<double>(rollup.max)));
+        item.Set("avg", Json::Number(rollup.avg));
+        break;
+      case obs::MetricDump::Kind::kHistogram: {
+        item.Set("kind", Json::String("histogram"));
+        item.Set("count", Json::Number(
+                              static_cast<double>(rollup.hist.count)));
+        item.Set("sum", Json::Number(rollup.hist.sum));
+        item.Set("mean", Json::Number(rollup.hist.Mean()));
+        item.Set("p50", Json::Number(rollup.hist.Percentile(0.50)));
+        item.Set("p95", Json::Number(rollup.hist.Percentile(0.95)));
+        item.Set("p99", Json::Number(rollup.hist.Percentile(0.99)));
+        break;
+      }
+    }
+    series.Append(std::move(item));
+  }
+  json.Set("series", std::move(series));
+  return json.Dump();
+}
+
+std::string RenderDebugResponse(const obs::ExemplarBuffer& exemplars,
+                                double threshold_ms) {
+  Json json = Json::Object();
+  json.Set("ok", Json::Bool(true));
+  json.Set("slow_request_threshold_ms", Json::Number(threshold_ms));
+  json.Set("capacity", Json::Number(exemplars.capacity()));
+  json.Set("total_recorded",
+           Json::Number(static_cast<double>(exemplars.total_recorded())));
+  Json items = Json::Array();
+  for (const obs::RequestExemplar& ex : exemplars.Snapshot()) {
+    Json item = Json::Object();
+    item.Set("request_id",
+             Json::Number(static_cast<double>(ex.request_id)));
+    item.Set("kind", Json::String(ex.kind));
+    item.Set("detail", Json::String(ex.detail));
+    item.Set("version",
+             Json::Number(static_cast<double>(ex.snapshot_version)));
+    item.Set("queue_ms", Json::Number(ex.queue_ms));
+    item.Set("work_ms", Json::Number(ex.work_ms));
+    item.Set("age_s", Json::Number(ex.age_s));
+    item.Set("trace", TraceJson(ex.trace));
+    items.Append(std::move(item));
+  }
+  json.Set("exemplars", std::move(items));
   return json.Dump();
 }
 

@@ -24,6 +24,7 @@ namespace serve {
 ///   {"op":"annotate","table":{"headers":["Title","written by"],
 ///    "rows":[["...","..."]],"context":"..."}}
 ///   {"op":"swap","path":"/data/new.snap"}
+///   {"op":"timeseries","window_s":60}   {"op":"debug"}
 ///   {"op":"stats"}   {"op":"metrics"}   {"op":"quit"}
 
 struct WireSelect {
@@ -46,7 +47,8 @@ struct WireTable {
 
 struct WireRequest {
   enum class Op {
-    kAnnotate, kSearch, kJoin, kSwap, kStats, kMetrics, kQuit
+    kAnnotate, kSearch, kJoin, kSwap, kStats, kMetrics,
+    kTimeseries, kDebug, kQuit
   };
   Op op = Op::kStats;
   EngineKind engine = EngineKind::kTypeRelation;
@@ -70,6 +72,16 @@ struct WireRequest {
   /// response then carries a "trace" object with the per-stage wall
   /// time breakdown; cache hits answer with an empty stage list.
   bool want_trace = false;
+  /// Wire "explain": true — opt-in on search/join/annotate requests.
+  /// Search/join responses gain an "explain" object with the per-table
+  /// decision log (scored / pruned and the bounds that justified it);
+  /// annotate responses gain per-column candidate counts and the BP
+  /// convergence curve. Explained requests bypass the result cache
+  /// lookup so the decision log always reflects a real engine run.
+  bool want_explain = false;
+  /// Wire "window_s" on {"op":"timeseries"}: rollup window in seconds
+  /// (clamped to the store's retention). Default 60.
+  double window_s = 60.0;
 };
 
 /// Parses one request line. Unknown fields are ignored; a missing or
@@ -119,6 +131,18 @@ std::string RenderStatsResponse(const ServiceStats& stats,
 /// {"ok":true,"metrics":"<Prometheus text exposition>"} — the payload
 /// is the same text `serve_tool --metrics-dump` prints at exit.
 std::string RenderMetricsResponse();
+/// {"op":"timeseries"} response: the store's rollups over the trailing
+/// `window_s` seconds — counters as delta + rate_per_s, gauges as
+/// last/min/max/avg, histograms as count/sum/p50/p95/p99 reconstructed
+/// from the window's bucket deltas. Also reports the store's tick,
+/// retention, series count and fixed memory footprint.
+std::string RenderTimeseriesResponse(const obs::TimeSeriesStore& store,
+                                     double window_s);
+/// {"op":"debug"} response: the retained slow-request exemplars,
+/// newest first — request id, kind, queue/work split and the full
+/// stage trace of each over-threshold request.
+std::string RenderDebugResponse(const obs::ExemplarBuffer& exemplars,
+                                double threshold_ms);
 
 }  // namespace serve
 }  // namespace webtab

@@ -1,11 +1,13 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "search/baseline_search.h"
 #include "search/type_relation_search.h"
 #include "search/type_search.h"
@@ -35,11 +37,25 @@ Result<EngineKind> ParseEngineKind(std::string_view name) {
   return Status::InvalidArgument("unknown engine: " + std::string(name));
 }
 
+namespace {
+/// Derives the store's tick length from the collector cadence so
+/// rates/windows stay truthful whatever cadence the caller picks.
+obs::TimeSeriesOptions ResolveTimeSeriesOptions(const ServiceOptions& o) {
+  obs::TimeSeriesOptions ts = o.timeseries;
+  if (o.timeseries_tick_ms > 0) {
+    ts.tick_seconds = static_cast<double>(o.timeseries_tick_ms) / 1000.0;
+  }
+  return ts;
+}
+}  // namespace
+
 WebTabService::WebTabService(SnapshotManager* manager,
                              ServiceOptions options)
     : manager_(manager),
       options_(options),
-      queue_(static_cast<size_t>(std::max(1, options.queue_capacity))) {
+      queue_(static_cast<size_t>(std::max(1, options.queue_capacity))),
+      timeseries_(ResolveTimeSeriesOptions(options)),
+      exemplars_(options.slow_exemplar_capacity) {
   if (options_.result_cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.result_cache_shards,
                                            options_.result_cache_capacity);
@@ -56,6 +72,9 @@ void WebTabService::Start() {
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.timeseries_tick_ms > 0) {
+    collector_ = std::thread([this] { CollectorLoop(); });
+  }
 }
 
 void WebTabService::Stop() {
@@ -64,6 +83,34 @@ void WebTabService::Stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(collector_mu_);
+    collector_stop_ = true;
+  }
+  collector_cv_.notify_all();
+  if (collector_.joinable()) collector_.join();
+}
+
+void WebTabService::CollectorLoop() {
+  std::unique_lock<std::mutex> lock(collector_mu_);
+  while (!collector_stop_) {
+    collector_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.timeseries_tick_ms),
+        [this] { return collector_stop_; });
+    if (collector_stop_) break;
+    lock.unlock();
+    CollectTelemetrySample();
+    lock.lock();
+  }
+}
+
+void WebTabService::CollectTelemetrySample() {
+  obs::UpdateProcessGauges();
+  static obs::Gauge* generation =
+      obs::MetricsRegistry::Get().GetGauge("serve.snapshot_generation");
+  generation->Set(
+      static_cast<int64_t>(manager_->Current().version));
+  timeseries_.Tick(obs::MetricsRegistry::Get().Dump());
 }
 
 Deadline WebTabService::EffectiveDeadline(Deadline deadline) const {
@@ -106,7 +153,8 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
                                                         SelectQuery query,
                                                         TopKOptions topk,
                                                         Deadline deadline,
-                                                        bool want_trace) {
+                                                        bool want_trace,
+                                                        bool want_explain) {
   if (engine == EngineKind::kJoin) {
     // Join queries carry a different payload; route through SubmitJoin.
     std::promise<SearchResponse> mistyped;
@@ -123,6 +171,7 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
   request->topk = topk;
   request->deadline = EffectiveDeadline(deadline);
   request->want_trace = want_trace;
+  request->want_explain = want_explain;
   request->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<SearchResponse> future = request->search_promise.get_future();
   search_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +182,8 @@ std::future<SearchResponse> WebTabService::SubmitSearch(EngineKind engine,
 std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
                                                       TopKOptions topk,
                                                       Deadline deadline,
-                                                      bool want_trace) {
+                                                      bool want_trace,
+                                                      bool want_explain) {
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kJoin;
   request->engine = EngineKind::kJoin;
@@ -141,6 +191,7 @@ std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
   request->topk = topk;
   request->deadline = EffectiveDeadline(deadline);
   request->want_trace = want_trace;
+  request->want_explain = want_explain;
   request->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<SearchResponse> future = request->search_promise.get_future();
   search_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -149,12 +200,13 @@ std::future<SearchResponse> WebTabService::SubmitJoin(JoinQuery query,
 }
 
 std::future<AnnotateResponse> WebTabService::SubmitAnnotate(
-    Table table, Deadline deadline, bool want_trace) {
+    Table table, Deadline deadline, bool want_trace, bool want_explain) {
   auto request = std::make_unique<Request>();
   request->kind = RequestKind::kAnnotate;
   request->table = std::move(table);
   request->deadline = EffectiveDeadline(deadline);
   request->want_trace = want_trace;
+  request->want_explain = want_explain;
   request->id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<AnnotateResponse> future =
       request->annotate_promise.get_future();
@@ -166,27 +218,34 @@ std::future<AnnotateResponse> WebTabService::SubmitAnnotate(
 SearchResponse WebTabService::Search(EngineKind engine,
                                      const SelectQuery& query,
                                      TopKOptions topk, Deadline deadline,
-                                     bool want_trace) {
-  return SubmitSearch(engine, query, topk, deadline, want_trace).get();
+                                     bool want_trace, bool want_explain) {
+  return SubmitSearch(engine, query, topk, deadline, want_trace,
+                      want_explain)
+      .get();
 }
 
 SearchResponse WebTabService::SearchJoin(const JoinQuery& query,
                                          TopKOptions topk,
                                          Deadline deadline,
-                                         bool want_trace) {
-  return SubmitJoin(query, topk, deadline, want_trace).get();
+                                         bool want_trace,
+                                         bool want_explain) {
+  return SubmitJoin(query, topk, deadline, want_trace, want_explain).get();
 }
 
 AnnotateResponse WebTabService::Annotate(const Table& table,
                                          Deadline deadline,
-                                         bool want_trace) {
-  return SubmitAnnotate(table, deadline, want_trace).get();
+                                         bool want_trace,
+                                         bool want_explain) {
+  return SubmitAnnotate(table, deadline, want_trace, want_explain).get();
 }
 
 Status WebTabService::SwapSnapshot(const std::string& path) {
   Result<uint64_t> version = manager_->Load(path);
   if (!version.ok()) return version.status();
   swaps_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* swap_counter =
+      obs::MetricsRegistry::Get().GetCounter("serve.swaps");
+  swap_counter->Add(1);
   return Status::Ok();
 }
 
@@ -252,7 +311,7 @@ const char* RequestKindName(bool is_annotate, bool is_join) {
 
 void WebTabService::MaybeLogSlow(const Request& request,
                                  const RequestMetadata& meta,
-                                 const obs::RequestTrace& trace) const {
+                                 const obs::RequestTrace& trace) {
   if (options_.slow_request_ms <= 0.0) return;
   const double total = meta.queue_millis + meta.work_millis;
   if (total < options_.slow_request_ms) return;
@@ -261,6 +320,33 @@ void WebTabService::MaybeLogSlow(const Request& request,
   slow->Add(1);
   const bool is_annotate = request.kind == RequestKind::kAnnotate;
   const bool is_join = request.kind == RequestKind::kJoin;
+
+  // Retain the full trace for {"op":"debug"} — the log line below is
+  // transient, the exemplar buffer is what makes a slow p99 event
+  // inspectable minutes later. Allocation is fine here: this is the
+  // already-slow path.
+  {
+    obs::RequestExemplar exemplar;
+    exemplar.request_id = meta.request_id;
+    exemplar.kind = RequestKindName(is_annotate, is_join);
+    if (!is_annotate) {
+      exemplar.kind += ":";
+      exemplar.kind += EngineKindName(request.engine);
+    }
+    if (is_annotate) {
+      exemplar.detail = std::to_string(request.table.rows()) + "x" +
+                        std::to_string(request.table.cols()) + " table";
+    } else if (is_join) {
+      exemplar.detail = request.join.e3_text;
+    } else {
+      exemplar.detail = request.select.e2_text;
+    }
+    exemplar.snapshot_version = meta.snapshot_version;
+    exemplar.queue_ms = meta.queue_millis;
+    exemplar.work_ms = meta.work_millis;
+    exemplar.trace = obs::TraceSummary::From(trace, meta.work_millis);
+    exemplars_.Record(std::move(exemplar));
+  }
   char buf[64];
   std::string line;
   line.reserve(256);
@@ -373,22 +459,29 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
           (request->topk.prune ? "" : "|noprune") + "|" +
           (is_join ? JoinQueryCacheKey(request->join)
                    : SelectQueryCacheKey(request->select, normalized));
-    if (ResultCache::Value hit = cache_->Get(key)) {
-      meta.cache_hit = true;
-      static obs::Counter* hits =
-          obs::MetricsRegistry::Get().GetCounter("serve.cache_hits");
-      hits->Add(1);
-      response.results = *hit;
-      response.meta = meta;
-      if (request->want_trace) {
-        // The engine never ran, so the trace is honest about it: no
-        // stages, zero traced time — a cached answer is indistinguishable
-        // from a computed one except through meta.cache_hit.
-        response.trace = obs::TraceSummary{};
-        response.has_trace = true;
+    // EXPLAIN requests bypass the lookup (never the Put): a cached
+    // answer has no decision log, and the point of explain is to watch
+    // this execution. The computed result still lands in the cache for
+    // the next plain request.
+    if (!request->want_explain) {
+      if (ResultCache::Value hit = cache_->Get(key)) {
+        meta.cache_hit = true;
+        static obs::Counter* hits =
+            obs::MetricsRegistry::Get().GetCounter("serve.cache_hits");
+        hits->Add(1);
+        response.results = *hit;
+        response.meta = meta;
+        if (request->want_trace) {
+          // The engine never ran, so the trace is honest about it: no
+          // stages, zero traced time — a cached answer is
+          // indistinguishable from a computed one except through
+          // meta.cache_hit.
+          response.trace = obs::TraceSummary{};
+          response.has_trace = true;
+        }
+        request->search_promise.set_value(std::move(response));
+        return;
       }
-      request->search_promise.set_value(std::move(response));
-      return;
     }
     static obs::Counter* misses =
         obs::MetricsRegistry::Get().GetCounter("serve.cache_misses");
@@ -398,6 +491,7 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
   WallTimer work;
   std::vector<SearchResult> results;
   SearchWorkspace* ws = &state->search_workspace;
+  ws->EnableExplain(request->want_explain);
   state->trace.Clear();
   {
     // Attached for every executed request (not just traced ones): the
@@ -426,6 +520,30 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
   EngineLatencyHistogram(request->engine)->Record(meta.work_millis);
   response.stats = ws->stats();
   response.has_stats = true;
+  if (request->want_explain) {
+    // The decision log is the counters' ledger: one entry per planned
+    // table, scored entries matching tables_scored. A divergence means
+    // the kernel's accounting drifted — surfaced loudly rather than
+    // silently shipping a log that contradicts the stats.
+    int64_t scored_entries = 0;
+    for (const auto& d : ws->decision_log) {
+      if (d.verdict == SearchWorkspace::TableDecision::Verdict::kScored) {
+        ++scored_entries;
+      }
+    }
+    if (static_cast<int64_t>(ws->decision_log.size()) !=
+            response.stats.tables_planned ||
+        scored_entries != response.stats.tables_scored) {
+      WEBTAB_LOG(Warning)
+          << "explain decision log inconsistent with query stats: "
+          << ws->decision_log.size() << " entries / " << scored_entries
+          << " scored vs planned=" << response.stats.tables_planned
+          << " scored=" << response.stats.tables_scored;
+    }
+    response.explain_log = ws->decision_log;
+    response.explain_bounds_valid = ws->decision_bounds_valid;
+    response.has_explain = true;
+  }
   if (request->want_trace) {
     response.trace = obs::TraceSummary::From(state->trace, meta.work_millis);
     response.has_trace = true;
@@ -474,7 +592,13 @@ void WebTabService::ExecuteAnnotate(Request* request, WorkerState* state,
   state->trace.Clear();
   {
     obs::ScopedTraceAttach attach(&state->trace);
-    response.annotation = state->annotator->Annotate(request->table);
+    if (request->want_explain) {
+      response.annotation = state->annotator->Annotate(
+          request->table, /*timing=*/nullptr, &response.explain);
+      response.has_explain = true;
+    } else {
+      response.annotation = state->annotator->Annotate(request->table);
+    }
   }
   meta.work_millis = work.ElapsedMillis();
   static obs::Histogram* annotate_ms =

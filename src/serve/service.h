@@ -2,8 +2,10 @@
 #define WEBTAB_SERVE_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +15,8 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "obs/exemplar.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "search/join_search.h"
 #include "search/query.h"
@@ -46,8 +50,20 @@ struct ServiceOptions {
   int result_cache_shards = 8;
   /// Requests whose queue + work time reaches this many milliseconds
   /// are logged at Warning with their per-stage trace breakdown
-  /// (request kind, id, generation, stage timings). 0 disables.
+  /// (request kind, id, generation, stage timings) and retained in the
+  /// slow-request exemplar buffer ({"op":"debug"}). 0 disables both.
   double slow_request_ms = 0.0;
+  /// Telemetry collector cadence: every tick the service publishes
+  /// process gauges and rolls a MetricsRegistry dump into the
+  /// TimeSeriesStore ({"op":"timeseries"}, --dashboard). 0 disables
+  /// the collector thread (tests then drive CollectTelemetrySample()
+  /// directly).
+  int64_t timeseries_tick_ms = 1000;
+  /// Ring geometry for the time-series store; tick_seconds is derived
+  /// from timeseries_tick_ms when the collector is enabled.
+  obs::TimeSeriesOptions timeseries;
+  /// Slow-request exemplars retained for {"op":"debug"}.
+  int slow_exemplar_capacity = 32;
   AnnotatorOptions annotator;
 };
 
@@ -78,6 +94,13 @@ struct SearchResponse {
   /// the wire layer renders it only when the client asked.
   obs::TraceSummary trace;
   bool has_trace = false;
+  /// EXPLAIN decision log (one entry per planned table, scan order),
+  /// filled when the request opted in with want_explain. Explain
+  /// requests bypass the cache lookup so the engine really runs and
+  /// the log describes *this* execution.
+  std::vector<SearchWorkspace::TableDecision> explain_log;
+  bool explain_bounds_valid = false;
+  bool has_explain = false;
 };
 
 struct AnnotateResponse {
@@ -86,6 +109,10 @@ struct AnnotateResponse {
   RequestMetadata meta;
   obs::TraceSummary trace;
   bool has_trace = false;
+  /// EXPLAIN payload (per-column candidates, BP convergence, decode
+  /// margins), filled when the request opted in with want_explain.
+  AnnotateExplain explain;
+  bool has_explain = false;
 };
 
 struct ServiceStats {
@@ -152,31 +179,40 @@ class WebTabService {
   // `want_trace` opts the request into the per-stage trace breakdown
   // (SearchResponse::trace / AnnotateResponse::trace); recording costs
   // a handful of clock reads per stage and never allocates.
+  // `want_explain` additionally returns the EXPLAIN payload (search:
+  // per-table decision log; annotate: candidate counts + BP
+  // convergence); explain requests bypass the cache lookup and pay for
+  // the capture, so they are a debugging tool, not a serving default.
   std::future<SearchResponse> SubmitSearch(EngineKind engine,
                                            SelectQuery query,
                                            TopKOptions topk = TopKOptions(),
                                            Deadline deadline = Deadline(),
-                                           bool want_trace = false);
+                                           bool want_trace = false,
+                                           bool want_explain = false);
   std::future<SearchResponse> SubmitJoin(JoinQuery query,
                                          TopKOptions topk = TopKOptions(),
                                          Deadline deadline = Deadline(),
-                                         bool want_trace = false);
+                                         bool want_trace = false,
+                                         bool want_explain = false);
   std::future<AnnotateResponse> SubmitAnnotate(
       Table table, Deadline deadline = Deadline(),
-      bool want_trace = false);
+      bool want_trace = false, bool want_explain = false);
 
   // --- Blocking wrappers for closed-loop callers. ---
   SearchResponse Search(EngineKind engine, const SelectQuery& query,
                         TopKOptions topk = TopKOptions(),
                         Deadline deadline = Deadline(),
-                        bool want_trace = false);
+                        bool want_trace = false,
+                        bool want_explain = false);
   SearchResponse SearchJoin(const JoinQuery& query,
                             TopKOptions topk = TopKOptions(),
                             Deadline deadline = Deadline(),
-                            bool want_trace = false);
+                            bool want_trace = false,
+                            bool want_explain = false);
   AnnotateResponse Annotate(const Table& table,
                             Deadline deadline = Deadline(),
-                            bool want_trace = false);
+                            bool want_trace = false,
+                            bool want_explain = false);
 
   /// Opens `path` and atomically installs it as the serving generation.
   /// In-flight and queued requests are never dropped (old generation
@@ -187,6 +223,18 @@ class WebTabService {
   SnapshotManager* manager() { return manager_; }
   const ServiceOptions& options() const { return options_; }
   ServiceStats stats() const;
+
+  /// One telemetry tick: publishes process gauges (RSS, uptime, open
+  /// fds) and the serving generation, then rolls a full registry dump
+  /// into the time-series store. The collector thread calls this every
+  /// timeseries_tick_ms; tests and tools may call it directly (it is
+  /// safe from any thread).
+  void CollectTelemetrySample();
+
+  /// Historical metric rollups ({"op":"timeseries"}, --dashboard).
+  const obs::TimeSeriesStore& timeseries() const { return timeseries_; }
+  /// Retained slow-request traces ({"op":"debug"}).
+  const obs::ExemplarBuffer& exemplars() const { return exemplars_; }
 
  private:
   enum class RequestKind { kSearch, kJoin, kAnnotate };
@@ -202,6 +250,7 @@ class WebTabService {
     WallTimer queued;
     uint64_t id = 0;
     bool want_trace = false;
+    bool want_explain = false;
     std::promise<SearchResponse> search_promise;
     std::promise<AnnotateResponse> annotate_promise;
   };
@@ -240,15 +289,23 @@ class WebTabService {
                        RequestMetadata meta);
   Deadline EffectiveDeadline(Deadline deadline) const;
   /// Emits the threshold-gated slow-request Warning line (request kind,
-  /// id, generation, queue/work split, per-stage timings).
+  /// id, generation, queue/work split, per-stage timings) and records
+  /// the trace into the exemplar buffer.
   void MaybeLogSlow(const Request& request, const RequestMetadata& meta,
-                    const obs::RequestTrace& trace) const;
+                    const obs::RequestTrace& trace);
+  void CollectorLoop();
 
   SnapshotManager* manager_;
   ServiceOptions options_;
   BoundedQueue<std::unique_ptr<Request>> queue_;
   std::unique_ptr<ResultCache> cache_;  // null when caching disabled
+  obs::TimeSeriesStore timeseries_;
+  obs::ExemplarBuffer exemplars_;
   std::vector<std::thread> workers_;
+  std::thread collector_;
+  std::mutex collector_mu_;
+  std::condition_variable collector_cv_;
+  bool collector_stop_ = false;
   bool started_ = false;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_overload_{0};

@@ -1,0 +1,80 @@
+// ExemplarBuffer tests: ring retention of the last N slow-request
+// traces, newest-first snapshots, and the recorded-vs-retained
+// accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/exemplar.h"
+
+namespace webtab {
+namespace obs {
+namespace {
+
+RequestExemplar Make(uint64_t id, const std::string& kind) {
+  RequestExemplar ex;
+  ex.request_id = id;
+  ex.kind = kind;
+  ex.detail = "detail-" + std::to_string(id);
+  ex.queue_ms = static_cast<double>(id);
+  ex.work_ms = static_cast<double>(id) * 2.0;
+  return ex;
+}
+
+TEST(ExemplarBufferTest, EmptyBuffer) {
+  ExemplarBuffer buffer(4);
+  EXPECT_TRUE(buffer.Snapshot().empty());
+  EXPECT_EQ(buffer.total_recorded(), 0);
+  EXPECT_EQ(buffer.capacity(), 4);
+}
+
+TEST(ExemplarBufferTest, NewestFirstUnderCapacity) {
+  ExemplarBuffer buffer(4);
+  buffer.Record(Make(1, "annotate"));
+  buffer.Record(Make(2, "search:type"));
+  buffer.Record(Make(3, "join:join"));
+  std::vector<RequestExemplar> snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].request_id, 3u);
+  EXPECT_EQ(snap[1].request_id, 2u);
+  EXPECT_EQ(snap[2].request_id, 1u);
+  EXPECT_EQ(snap[0].kind, "join:join");
+  EXPECT_EQ(snap[2].detail, "detail-1");
+  EXPECT_EQ(buffer.total_recorded(), 3);
+}
+
+TEST(ExemplarBufferTest, RingKeepsOnlyTheLastCapacity) {
+  ExemplarBuffer buffer(3);
+  for (uint64_t id = 1; id <= 10; ++id) {
+    buffer.Record(Make(id, "annotate"));
+  }
+  std::vector<RequestExemplar> snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].request_id, 10u);
+  EXPECT_EQ(snap[1].request_id, 9u);
+  EXPECT_EQ(snap[2].request_id, 8u);
+  EXPECT_EQ(buffer.total_recorded(), 10);
+}
+
+TEST(ExemplarBufferTest, AgeIsFilledAndNonNegative) {
+  ExemplarBuffer buffer(2);
+  buffer.Record(Make(1, "annotate"));
+  std::vector<RequestExemplar> snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_GE(snap[0].age_s, 0.0);
+  EXPECT_LT(snap[0].age_s, 60.0);  // recorded moments ago
+}
+
+TEST(ExemplarBufferTest, MinimumCapacityIsOne) {
+  ExemplarBuffer buffer(0);  // clamped up; never a zero-size ring
+  buffer.Record(Make(1, "annotate"));
+  buffer.Record(Make(2, "annotate"));
+  std::vector<RequestExemplar> snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].request_id, 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace webtab

@@ -235,6 +235,102 @@ TEST_F(SearchEquivalenceTest, TopKPrefixMatchesReferenceForAllK) {
   }
 }
 
+TEST_F(SearchEquivalenceTest, ExplainLogAgreesWithCountersEverywhere) {
+  // The EXPLAIN invariants, swept across k x engine x backend x prune:
+  //   log.size()        == stats().tables_planned
+  //   count(kScored)    == stats().tables_scored
+  //   any non-scored    == stats().stopped_early
+  // and the bounds are flagged meaningful exactly when pruning ran.
+  using Verdict = SearchWorkspace::TableDecision::Verdict;
+  SearchWorkspace ws;
+  ws.EnableExplain(true);
+  std::vector<SearchResult> got;
+  const CorpusView& snap_view = *snap_->corpus();
+  const CorpusView* backends[] = {mem_corpus_, &snap_view};
+  const char* backend_names[] = {"mem", "snap"};
+  const int ks[] = {0, 1, 5, 1000};
+  int64_t pruned_entries = 0;
+  for (const SelectQuery& q : SelectQueries()) {
+    NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+    for (const EngineCase& engine : kEngines) {
+      for (int b = 0; b < 2; ++b) {
+        for (int k : ks) {
+          for (bool prune : {false, true}) {
+            std::string context = std::string(engine.name) + " e2=" +
+                                  q.e2_text + " k=" + std::to_string(k) +
+                                  (prune ? " pruned " : " unpruned ") +
+                                  backend_names[b];
+            engine.kernel(*backends[b], q, nq, TopKOptions{k, prune},
+                          &ws, &got);
+            const SearchWorkspace::QueryStats& stats = ws.stats();
+            ASSERT_EQ(ws.decision_log.size(),
+                      static_cast<size_t>(stats.tables_planned))
+                << context;
+            int scored = 0;
+            bool any_pruned = false;
+            for (const SearchWorkspace::TableDecision& d :
+                 ws.decision_log) {
+              if (d.verdict == Verdict::kScored) {
+                ++scored;
+              } else {
+                any_pruned = true;
+                ++pruned_entries;
+              }
+            }
+            EXPECT_EQ(scored, stats.tables_scored) << context;
+            EXPECT_EQ(any_pruned, stats.stopped_early) << context;
+            // Bounds are meaningful exactly when pruning actually ran.
+            EXPECT_EQ(ws.decision_bounds_valid, k > 0 && prune)
+                << context;
+          }
+        }
+      }
+    }
+  }
+  // Non-vacuity: the sweep must have exercised pruned verdicts, not
+  // only full scans. (The crafted-corpus test below pins down the
+  // specific kPrunedSuffix early-stop shape.)
+  EXPECT_GT(pruned_entries, 0);
+
+  // Turning explain off leaves the log empty again — the serving
+  // default pays nothing.
+  ws.EnableExplain(false);
+  const SelectQuery q = SelectQueries().front();
+  NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+  kEngines[0].kernel(*mem_corpus_, q, nq, TopKOptions{5, true}, &ws,
+                     &got);
+  EXPECT_TRUE(ws.decision_log.empty());
+}
+
+TEST_F(SearchEquivalenceTest, JoinExplainCountsRelationRuns) {
+  using Verdict = SearchWorkspace::TableDecision::Verdict;
+  const World& world = SharedWorld();
+  SearchWorkspace ws;
+  ws.EnableExplain(true);
+  std::vector<SearchResult> got;
+  JoinQuery jq;
+  jq.r1 = world.acted_in;
+  jq.e1_is_subject = true;
+  jq.r2 = world.directed;
+  jq.e2_is_subject = false;
+  jq.e3 = 5;
+  jq.e3_text = std::string(world.catalog.EntityName(5));
+  JoinSearch(*mem_corpus_, jq, TopKOptions{3, true}, &ws, &got);
+  ASSERT_EQ(ws.decision_log.size(),
+            static_cast<size_t>(ws.stats().tables_planned));
+  int scored = 0;
+  for (const SearchWorkspace::TableDecision& d : ws.decision_log) {
+    // The join engine's eliminations are support proofs, not bound
+    // comparisons: only these two verdicts can appear, and the bounds
+    // stay flagged meaningless.
+    EXPECT_TRUE(d.verdict == Verdict::kScored ||
+                d.verdict == Verdict::kPrunedZeroBound);
+    if (d.verdict == Verdict::kScored) ++scored;
+  }
+  EXPECT_EQ(scored, ws.stats().tables_scored);
+  EXPECT_FALSE(ws.decision_bounds_valid);
+}
+
 TEST_F(SearchEquivalenceTest, JoinMatchesReferenceOnBothBackends) {
   const World& world = SharedWorld();
   SearchWorkspace ws;
@@ -363,6 +459,51 @@ TEST_F(SearchPruneTest, StopsEarlyAndPrefixStaysExact) {
   EXPECT_EQ(ws.stats().tables_scored, ws.stats().tables_planned);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].score, full[0].score);
+}
+
+TEST_F(SearchPruneTest, ExplainRecordsSuffixPrunesOnEarlyStop) {
+  // The crafted early stop, through the EXPLAIN lens: the hot table is
+  // scored, everything behind the stop point is logged kPrunedSuffix
+  // with the suffix bound that justified the stop.
+  using Verdict = SearchWorkspace::TableDecision::Verdict;
+  SearchWorkspace ws;
+  ws.EnableExplain(true);
+  std::vector<SearchResult> got;
+  SelectQuery q = Query();
+  NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+
+  TypeSearch(index_, q, nq, TopKOptions{1, true}, &ws, &got);
+  ASSERT_TRUE(ws.stats().stopped_early);
+  ASSERT_EQ(ws.decision_log.size(),
+            static_cast<size_t>(ws.stats().tables_planned));
+  EXPECT_TRUE(ws.decision_bounds_valid);
+  // Scan order: the scored prefix comes first, then the pruned tail —
+  // once a table is pruned by the stop, no later entry is scored.
+  int suffix_pruned = 0;
+  bool seen_pruned = false;
+  for (const SearchWorkspace::TableDecision& d : ws.decision_log) {
+    if (d.verdict == Verdict::kPrunedSuffix) {
+      ++suffix_pruned;
+      seen_pruned = true;
+      // The justifying bounds: each pruned table's own bound fits under
+      // the suffix mass that proved the tail a no-op for the ranking.
+      EXPECT_GE(d.suffix_after, 0.0);
+      EXPECT_LE(d.bound, ws.decision_log.front().suffix_after);
+    } else {
+      EXPECT_FALSE(seen_pruned) << "scored entry after the stop point";
+    }
+  }
+  EXPECT_GT(suffix_pruned, 0);
+  EXPECT_EQ(ws.decision_log.front().verdict, Verdict::kScored);
+
+  // Pruning off: every table scored, bounds flagged meaningless.
+  TypeSearch(index_, q, nq, TopKOptions{1, false}, &ws, &got);
+  ASSERT_EQ(ws.decision_log.size(),
+            static_cast<size_t>(ws.stats().tables_planned));
+  EXPECT_FALSE(ws.decision_bounds_valid);
+  for (const SearchWorkspace::TableDecision& d : ws.decision_log) {
+    EXPECT_EQ(d.verdict, Verdict::kScored);
+  }
 }
 
 TEST_F(SearchPruneTest, TiedScoresBlockStopping) {

@@ -3,7 +3,9 @@
 // and response rendering.
 #include <gtest/gtest.h>
 
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "test_world.h"
@@ -423,6 +425,281 @@ TEST(RenderTest, AnnotateShape) {
       "Albert Einstein");
   EXPECT_EQ(json->Find("relations")->items()[0].GetString("relation"),
             "author");
+}
+
+TEST(WireRequestTest, ParsesTimeseriesAndDebugOps) {
+  Result<WireRequest> ts = ParseWireRequest(R"({"op":"timeseries"})");
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+  EXPECT_EQ(ts->op, WireRequest::Op::kTimeseries);
+  EXPECT_DOUBLE_EQ(ts->window_s, 60.0);  // The documented default.
+
+  Result<WireRequest> windowed =
+      ParseWireRequest(R"({"op":"timeseries","window_s":12.5})");
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_DOUBLE_EQ(windowed->window_s, 12.5);
+
+  // A non-positive window can never cover a tick: rejected up front.
+  EXPECT_FALSE(
+      ParseWireRequest(R"({"op":"timeseries","window_s":0})").ok());
+  EXPECT_FALSE(
+      ParseWireRequest(R"({"op":"timeseries","window_s":-5})").ok());
+
+  Result<WireRequest> debug = ParseWireRequest(R"({"op":"debug"})");
+  ASSERT_TRUE(debug.ok());
+  EXPECT_EQ(debug->op, WireRequest::Op::kDebug);
+}
+
+TEST(WireRequestTest, ParsesExplainFlag) {
+  Result<WireRequest> search = ParseWireRequest(
+      R"({"op":"search","engine":"baseline","e2":"x","explain":true})");
+  ASSERT_TRUE(search.ok());
+  EXPECT_TRUE(search->want_explain);
+  Result<WireRequest> off = ParseWireRequest(
+      R"({"op":"search","engine":"baseline","e2":"x"})");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->want_explain);
+
+  Result<WireRequest> join = ParseWireRequest(
+      R"({"op":"join","r1":"a","r2":"b","e3":"X","explain":true})");
+  ASSERT_TRUE(join.ok());
+  EXPECT_TRUE(join->want_explain);
+
+  Result<WireRequest> annotate = ParseWireRequest(
+      R"({"op":"annotate","explain":true,"table":{"rows":[["a"]]}})");
+  ASSERT_TRUE(annotate.ok());
+  EXPECT_TRUE(annotate->want_explain);
+}
+
+TEST(RenderTest, SearchExplainObjectShape) {
+  using Verdict = SearchWorkspace::TableDecision::Verdict;
+  Figure1World w = MakeFigure1World();
+  SearchResponse response;
+  response.results.push_back(SearchResult{w.einstein, "A. Einstein", 2.0});
+  response.explain_log = {
+      {7, Verdict::kScored, 3.5, 2.0},
+      {9, Verdict::kPrunedZeroBound, 0.0, 2.0},
+      {11, Verdict::kPrunedSuffix, 1.0, 0.5},
+  };
+  response.explain_bounds_valid = true;
+  response.has_explain = true;
+  response.stats.tables_planned = 3;
+  response.stats.tables_scored = 1;
+  response.stats.stopped_early = true;
+  response.has_stats = true;
+
+  Result<Json> json =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(json.ok());
+  const Json* explain = json->Find("explain");
+  ASSERT_NE(explain, nullptr);
+  const Json* tables = explain->Find("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->items().size(), 3u);
+  EXPECT_EQ(tables->items()[0].GetString("verdict"), "scored");
+  EXPECT_EQ(tables->items()[0].GetNumber("table"), 7.0);
+  EXPECT_EQ(tables->items()[0].GetNumber("bound"), 3.5);
+  EXPECT_EQ(tables->items()[1].GetString("verdict"), "pruned_zero_bound");
+  EXPECT_EQ(tables->items()[2].GetString("verdict"), "pruned_suffix");
+  EXPECT_EQ(tables->items()[2].GetNumber("suffix_after"), 0.5);
+  EXPECT_TRUE(explain->GetBool("bounds_valid"));
+  EXPECT_EQ(explain->GetNumber("tables_planned"), 3.0);
+  EXPECT_EQ(explain->GetNumber("tables_scored"), 1.0);
+  EXPECT_TRUE(explain->GetBool("stopped_early"));
+  // The log agrees with the engine's counters.
+  EXPECT_TRUE(explain->GetBool("consistent"));
+
+  // A mismatched counter flips the cross-check, loudly.
+  response.stats.tables_scored = 2;
+  Result<Json> bad =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->Find("explain")->GetBool("consistent", true));
+
+  // Unpruned run: bounds are meaningless and therefore absent.
+  response.stats.tables_scored = 1;
+  response.explain_bounds_valid = false;
+  Result<Json> unbounded =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(unbounded.ok());
+  const Json& entry = unbounded->Find("explain")->Find("tables")->items()[0];
+  EXPECT_EQ(entry.Find("bound"), nullptr);
+  EXPECT_EQ(entry.Find("suffix_after"), nullptr);
+
+  // Not requested: no explain key at all.
+  response.has_explain = false;
+  Result<Json> silent =
+      Json::Parse(RenderSearchResponse(response, &w.catalog, 10));
+  ASSERT_TRUE(silent.ok());
+  EXPECT_EQ(silent->Find("explain"), nullptr);
+}
+
+TEST(RenderTest, AnnotateExplainObjectShape) {
+  Figure1World w = MakeFigure1World();
+  AnnotateResponse response;
+  response.annotation = TableAnnotation::Empty(1, 2);
+  AnnotateExplain::ColumnExplain col0;
+  col0.column = 0;
+  col0.entity_candidates = 12;
+  col0.type_candidates = 4;
+  col0.decoded_type = w.book;
+  col0.decode_margin = 0.75;
+  AnnotateExplain::ColumnExplain col1;
+  col1.column = 1;
+  col1.entity_candidates = 0;
+  col1.type_candidates = 0;
+  col1.decoded_type = kNa;
+  col1.decode_margin = 0.0;
+  response.explain.columns = {col0, col1};
+  response.explain.relation_pairs = 1;
+  response.explain.bp_iterations = 5;
+  response.explain.bp_converged = true;
+  response.explain.bp_max_residual = 1e-4;
+  response.explain.bp_residual_trail = {0.5, 0.1, 1e-4};
+  response.explain.bp_factor_updates = 20;
+  response.explain.bp_factor_skips = 3;
+  response.has_explain = true;
+
+  Result<Json> json =
+      Json::Parse(RenderAnnotateResponse(response, &w.catalog));
+  ASSERT_TRUE(json.ok());
+  const Json* explain = json->Find("explain");
+  ASSERT_NE(explain, nullptr);
+  const Json* columns = explain->Find("columns");
+  ASSERT_NE(columns, nullptr);
+  ASSERT_EQ(columns->items().size(), 2u);
+  EXPECT_EQ(columns->items()[0].GetNumber("entity_candidates"), 12.0);
+  EXPECT_EQ(columns->items()[0].GetString("decoded_type"), "book");
+  EXPECT_EQ(columns->items()[0].GetNumber("decode_margin"), 0.75);
+  EXPECT_TRUE(columns->items()[1].Find("decoded_type")->is_null());
+  EXPECT_EQ(explain->GetNumber("relation_pairs"), 1.0);
+  const Json* bp = explain->Find("bp");
+  ASSERT_NE(bp, nullptr);
+  EXPECT_EQ(bp->GetNumber("iterations"), 5.0);
+  EXPECT_TRUE(bp->GetBool("converged"));
+  ASSERT_EQ(bp->Find("residual_trail")->items().size(), 3u);
+  EXPECT_EQ(bp->Find("residual_trail")->items()[0].number_value(), 0.5);
+  EXPECT_EQ(bp->GetNumber("factor_updates"), 20.0);
+
+  response.has_explain = false;
+  Result<Json> silent =
+      Json::Parse(RenderAnnotateResponse(response, &w.catalog));
+  ASSERT_TRUE(silent.ok());
+  EXPECT_EQ(silent->Find("explain"), nullptr);
+}
+
+TEST(RenderTest, TimeseriesResponseShape) {
+  obs::TimeSeriesOptions options;
+  options.tick_seconds = 1.0;
+  options.capacity = 60;
+  obs::TimeSeriesStore store(options);
+  // The histogram dump is cumulative across ticks, like a registry
+  // snapshot: t new samples land in tick t (1+2+3+4 = 10 total).
+  obs::MetricDump hist;
+  hist.name = "ts.latency_ms";
+  hist.kind = obs::MetricDump::Kind::kHistogram;
+  hist.histogram.buckets.assign(obs::Histogram::kBuckets, 0);
+  for (int t = 1; t <= 4; ++t) {
+    obs::MetricDump counter;
+    counter.name = "ts.requests";
+    counter.kind = obs::MetricDump::Kind::kCounter;
+    counter.value = 10 * t;
+    obs::MetricDump gauge;
+    gauge.name = "ts.depth";
+    gauge.kind = obs::MetricDump::Kind::kGauge;
+    gauge.value = t;
+    for (int s = 0; s < t; ++s) {
+      hist.histogram.buckets[obs::Histogram::BucketIndex(2.0)] += 1;
+      hist.histogram.count += 1;
+      hist.histogram.sum += 2.0;
+    }
+    store.Tick({counter, gauge, hist});
+  }
+
+  Result<Json> json = Json::Parse(RenderTimeseriesResponse(store, 30.0));
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(json->GetBool("ok"));
+  EXPECT_EQ(json->GetNumber("tick_s"), 1.0);
+  EXPECT_EQ(json->GetNumber("retention_s"), 60.0);
+  EXPECT_EQ(json->GetNumber("ticks"), 4.0);
+  EXPECT_EQ(json->GetNumber("series_count"), 3.0);
+  EXPECT_EQ(json->GetNumber("window_s"), 30.0);
+  EXPECT_GT(json->GetNumber("memory_bytes"), 0.0);
+  const Json* series = json->Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->items().size(), 3u);
+  // Name-sorted: depth (gauge), latency (histogram), requests (counter).
+  const Json& gauge = series->items()[0];
+  EXPECT_EQ(gauge.GetString("name"), "ts.depth");
+  EXPECT_EQ(gauge.GetString("kind"), "gauge");
+  EXPECT_EQ(gauge.GetNumber("last"), 4.0);
+  EXPECT_EQ(gauge.GetNumber("min"), 1.0);
+  EXPECT_EQ(gauge.GetNumber("max"), 4.0);
+  const Json& hist_series = series->items()[1];
+  EXPECT_EQ(hist_series.GetString("kind"), "histogram");
+  EXPECT_EQ(hist_series.GetNumber("count"), 10.0);  // 1+2+3+4 samples
+  EXPECT_NEAR(hist_series.GetNumber("sum"), 20.0, 1e-6);
+  EXPECT_GE(hist_series.GetNumber("p50"), 2.0);
+  EXPECT_LE(hist_series.GetNumber("p99"), 2.0 * 1.4143);
+  const Json& counter = series->items()[2];
+  EXPECT_EQ(counter.GetString("kind"), "counter");
+  EXPECT_EQ(counter.GetNumber("delta"), 40.0);
+  EXPECT_EQ(counter.GetNumber("last"), 40.0);
+  EXPECT_EQ(counter.GetNumber("rate_per_s"), 10.0);
+}
+
+TEST(RenderTest, DebugResponseShape) {
+  obs::ExemplarBuffer buffer(4);
+  obs::RequestExemplar ex;
+  ex.request_id = 42;
+  ex.kind = "search:type";
+  ex.detail = "e2=einstein k=5";
+  ex.snapshot_version = 3;
+  ex.queue_ms = 0.5;
+  ex.work_ms = 120.0;
+  ex.trace.total_ms = 120.5;
+  ex.trace.stages.push_back(
+      obs::RequestTrace::Stage{"search.score", 0, 119.0, 1});
+  buffer.Record(ex);
+
+  Result<Json> json =
+      Json::Parse(RenderDebugResponse(buffer, 100.0));
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(json->GetBool("ok"));
+  EXPECT_EQ(json->GetNumber("slow_request_threshold_ms"), 100.0);
+  EXPECT_EQ(json->GetNumber("capacity"), 4.0);
+  EXPECT_EQ(json->GetNumber("total_recorded"), 1.0);
+  const Json* items = json->Find("exemplars");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->items().size(), 1u);
+  const Json& item = items->items()[0];
+  EXPECT_EQ(item.GetNumber("request_id"), 42.0);
+  EXPECT_EQ(item.GetString("kind"), "search:type");
+  EXPECT_EQ(item.GetString("detail"), "e2=einstein k=5");
+  EXPECT_EQ(item.GetNumber("version"), 3.0);
+  EXPECT_EQ(item.GetNumber("work_ms"), 120.0);
+  EXPECT_GE(item.GetNumber("age_s"), 0.0);
+  const Json* trace = item.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->GetNumber("total_ms"), 120.5);
+  ASSERT_EQ(trace->Find("stages")->items().size(), 1u);
+}
+
+TEST(RenderTest, StatsResponseCarriesProcessGauges) {
+  ServiceStats stats;
+  Result<Json> json =
+      Json::Parse(RenderStatsResponse(stats, 9, "/tmp/x.snap"));
+  ASSERT_TRUE(json.ok());
+  const Json* process = json->Find("process");
+  ASSERT_NE(process, nullptr);
+  // Read from /proc on Linux; elsewhere the fields degrade to zero but
+  // stay present and non-negative.
+  EXPECT_GE(process->GetNumber("rss_bytes"), 0.0);
+  EXPECT_GE(process->GetNumber("uptime_s"), 0.0);
+  EXPECT_GE(process->GetNumber("open_fds"), 0.0);
+  EXPECT_EQ(process->GetNumber("generation"), 9.0);
+#ifdef __linux__
+  EXPECT_GT(process->GetNumber("rss_bytes"), 0.0);
+#endif
 }
 
 }  // namespace

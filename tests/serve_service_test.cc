@@ -496,6 +496,114 @@ TEST_F(ServeServiceTest, JoinQueriesServed) {
   ASSERT_FALSE(response.results.empty());
 }
 
+TEST_F(ServeServiceTest, ExplainOptInBypassesCacheAndAgreesWithCounters) {
+  using Verdict = SearchWorkspace::TableDecision::Verdict;
+  WebTabService service(&manager_, ServiceOptions());
+  service.Start();
+  SelectQuery q = EinsteinQuery();
+
+  // Warm the cache with a plain request, then ask for EXPLAIN: the
+  // engine must really run again (the log describes *this* execution),
+  // so the response is not a cache hit.
+  SearchResponse plain = service.Search(EngineKind::kType, q);
+  ASSERT_TRUE(plain.status.ok());
+  SearchResponse explained =
+      service.Search(EngineKind::kType, q, TopKOptions(), Deadline(),
+                     /*want_trace=*/false, /*want_explain=*/true);
+  ASSERT_TRUE(explained.status.ok());
+  EXPECT_FALSE(explained.meta.cache_hit);
+  ASSERT_TRUE(explained.has_explain);
+  ASSERT_TRUE(explained.has_stats);
+  ASSERT_EQ(explained.explain_log.size(),
+            static_cast<size_t>(explained.stats.tables_planned));
+  int scored = 0;
+  for (const SearchWorkspace::TableDecision& d : explained.explain_log) {
+    if (d.verdict == Verdict::kScored) ++scored;
+  }
+  EXPECT_EQ(scored, explained.stats.tables_scored);
+  // Identical ranking either way — EXPLAIN observes, never perturbs.
+  ExpectSameResults(explained.results, plain.results);
+
+  // The plain path stays explain-free.
+  EXPECT_FALSE(plain.has_explain);
+  EXPECT_TRUE(plain.explain_log.empty());
+
+  // Annotate EXPLAIN: one entry per column, BP convergence captured.
+  Table table = MakeFigure1Table();
+  AnnotateResponse annotated =
+      service.Annotate(table, Deadline(), /*want_trace=*/false,
+                       /*want_explain=*/true);
+  ASSERT_TRUE(annotated.status.ok());
+  ASSERT_TRUE(annotated.has_explain);
+  EXPECT_EQ(annotated.explain.columns.size(),
+            static_cast<size_t>(table.cols()));
+  EXPECT_GE(annotated.explain.bp_iterations, 1);
+  EXPECT_FALSE(annotated.explain.bp_residual_trail.empty());
+  AnnotateResponse plain_annotate = service.Annotate(table);
+  ASSERT_TRUE(plain_annotate.status.ok());
+  EXPECT_FALSE(plain_annotate.has_explain);
+  // EXPLAIN capture leaves the annotation itself untouched.
+  EXPECT_EQ(annotated.annotation.column_types,
+            plain_annotate.annotation.column_types);
+  EXPECT_EQ(annotated.annotation.cell_entities,
+            plain_annotate.annotation.cell_entities);
+}
+
+TEST_F(ServeServiceTest, TelemetrySamplesFeedTheTimeSeriesStore) {
+  ServiceOptions options;
+  options.timeseries_tick_ms = 0;  // No collector; tests drive ticks.
+  WebTabService service(&manager_, options);
+  service.Start();
+  EXPECT_EQ(service.timeseries().ticks(), 0);
+
+  SearchResponse response =
+      service.Search(EngineKind::kType, EinsteinQuery());
+  ASSERT_TRUE(response.status.ok());
+  service.CollectTelemetrySample();
+  service.CollectTelemetrySample();
+  EXPECT_EQ(service.timeseries().ticks(), 2);
+
+  // The sample published the serving generation and process gauges.
+  obs::SeriesRollup rollup;
+  ASSERT_TRUE(service.timeseries().QueryOne("serve.snapshot_generation",
+                                            600.0, &rollup));
+  EXPECT_EQ(rollup.kind, obs::MetricDump::Kind::kGauge);
+  EXPECT_EQ(rollup.last, 1);  // Borrowed snapshot is generation 1.
+  ASSERT_TRUE(
+      service.timeseries().QueryOne("process.rss_bytes", 600.0, &rollup));
+#ifdef __linux__
+  EXPECT_GT(rollup.last, 0);
+#endif
+}
+
+TEST_F(ServeServiceTest, SlowRequestExemplarsRetained) {
+  ServiceOptions options;
+  options.slow_request_ms = 0.0001;  // Everything counts as slow.
+  options.timeseries_tick_ms = 0;
+  options.slow_exemplar_capacity = 4;
+  WebTabService service(&manager_, options);
+  service.Start();
+
+  SearchResponse search =
+      service.Search(EngineKind::kType, EinsteinQuery());
+  ASSERT_TRUE(search.status.ok());
+  AnnotateResponse annotate = service.Annotate(MakeFigure1Table());
+  ASSERT_TRUE(annotate.status.ok());
+
+  std::vector<obs::RequestExemplar> exemplars =
+      service.exemplars().Snapshot();
+  ASSERT_EQ(exemplars.size(), 2u);
+  // Newest first: the annotate, then the search.
+  EXPECT_EQ(exemplars[0].kind, "annotate");
+  EXPECT_EQ(exemplars[0].request_id, annotate.meta.request_id);
+  EXPECT_EQ(exemplars[1].kind, "search:type");
+  EXPECT_EQ(exemplars[1].request_id, search.meta.request_id);
+  EXPECT_GE(exemplars[1].work_ms, 0.0);
+  EXPECT_EQ(exemplars[1].snapshot_version, 1u);
+  // The retained trace is the full per-stage breakdown, not a stub.
+  EXPECT_FALSE(exemplars[1].trace.stages.empty());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace webtab

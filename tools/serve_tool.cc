@@ -14,11 +14,14 @@
 //   {"op":"join","r1":"acted_in","r2":"directed","e3":"<name>", ...}
 //   {"op":"annotate","table":{"headers":[...],"rows":[[...]],...}}
 //   {"op":"swap","path":"new.snap"}    {"op":"stats"}    {"op":"quit"}
+//   {"op":"timeseries","window_s":60}  {"op":"debug"}    {"op":"metrics"}
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -110,6 +113,14 @@ bool HandleLine(WebTabService* service, const std::string& line,
     case WireRequest::Op::kMetrics:
       *out = serve::RenderMetricsResponse();
       return true;
+    case WireRequest::Op::kTimeseries:
+      *out = serve::RenderTimeseriesResponse(service->timeseries(),
+                                             request.window_s);
+      return true;
+    case WireRequest::Op::kDebug:
+      *out = serve::RenderDebugResponse(
+          service->exemplars(), service->options().slow_request_ms);
+      return true;
     case WireRequest::Op::kSwap: {
       Status status = service->SwapSnapshot(request.path);
       *out = status.ok() ? serve::RenderSwapResponse(
@@ -140,7 +151,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
             return true;
           }
           response = service->Search(request.engine, query, topk, deadline,
-                                     request.want_trace);
+                                     request.want_trace,
+                                     request.want_explain);
         } else {
           JoinQuery query = serve::ResolveJoinQuery(request.join, *catalog);
           Status resolved =
@@ -150,7 +162,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
             return true;
           }
           response = service->SearchJoin(query, topk, deadline,
-                                         request.want_trace);
+                                         request.want_trace,
+                                         request.want_explain);
         }
         if (!response.status.ok() ||
             response.meta.snapshot_version == handle.version) {
@@ -179,7 +192,8 @@ bool HandleLine(WebTabService* service, const std::string& line,
       // catalog, which must be the generation that answered (its ids are
       // what the annotation holds).
       serve::AnnotateResponse response =
-          service->Annotate(*table, deadline, request.want_trace);
+          service->Annotate(*table, deadline, request.want_trace,
+                            request.want_explain);
       if (response.status.ok() &&
           response.meta.snapshot_version != handle.version) {
         handle = service->manager()->Current();
@@ -198,6 +212,110 @@ bool HandleLine(WebTabService* service, const std::string& line,
   }
   *out = serve::RenderErrorResponse(Status::Internal("unhandled op"));
   return true;
+}
+
+/// One rendered dashboard frame: a rollup of the trailing window from
+/// the service's time-series store. Pure read — never touches the
+/// request path.
+std::string DashboardFrame(WebTabService* service, double window_s) {
+  const obs::TimeSeriesStore& ts = service->timeseries();
+  std::string out;
+  char line[256];
+  auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  obs::SeriesRollup r;
+  auto counter_delta = [&](const char* name) -> long long {
+    return ts.QueryOne(name, window_s, &r)
+               ? static_cast<long long>(r.delta)
+               : 0;
+  };
+  auto gauge_last = [&](const char* name) -> long long {
+    return ts.QueryOne(name, window_s, &r)
+               ? static_cast<long long>(r.last)
+               : 0;
+  };
+
+  add("webtab dashboard  window=%.0fs  ticks=%lld  series=%zu  "
+      "mem=%.1fKB\n",
+      window_s, static_cast<long long>(ts.ticks()), ts.series_count(),
+      ts.MemoryBytes() / 1024.0);
+  add("gen=%lld  uptime=%llds  rss=%.1fMB  fds=%lld  swaps(+%lld)  "
+      "slow(+%lld)\n",
+      gauge_last("serve.snapshot_generation"),
+      gauge_last("process.uptime_s"),
+      gauge_last("process.rss_bytes") / (1024.0 * 1024.0),
+      gauge_last("process.open_fds"), counter_delta("serve.swaps"),
+      counter_delta("serve.slow_requests"));
+
+  if (ts.QueryOne("serve.queue_wait_ms", window_s, &r) &&
+      r.window_s > 0.0) {
+    add("req rate %.2f/s   queue wait p50=%.2fms p99=%.2fms\n",
+        static_cast<double>(r.hist.count) / r.window_s,
+        r.hist.Percentile(0.50), r.hist.Percentile(0.99));
+  } else {
+    add("req rate -   (no requests in window)\n");
+  }
+
+  static const struct { const char* metric; const char* label; } kOps[] = {
+      {"serve.search.baseline_ms", "search:baseline"},
+      {"serve.search.type_ms", "search:type"},
+      {"serve.search.type_relation_ms", "search:type_relation"},
+      {"serve.search.join_ms", "join"},
+      {"serve.annotate_ms", "annotate"},
+  };
+  for (const auto& op : kOps) {
+    if (!ts.QueryOne(op.metric, window_s, &r) || r.hist.count == 0) {
+      continue;
+    }
+    add("  %-21s n=%-6llu p50=%8.2fms  p99=%8.2fms\n", op.label,
+        static_cast<unsigned long long>(r.hist.count),
+        r.hist.Percentile(0.50), r.hist.Percentile(0.99));
+  }
+
+  const long long hits = counter_delta("serve.cache_hits");
+  const long long misses = counter_delta("serve.cache_misses");
+  if (hits + misses > 0) {
+    add("cache hit rate %.1f%%  (%lld hits / %lld lookups)\n",
+        100.0 * static_cast<double>(hits) /
+            static_cast<double>(hits + misses),
+        hits, hits + misses);
+  }
+
+  const long long planned = counter_delta("search.tables_planned");
+  const long long scored = counter_delta("search.tables_scored");
+  const long long stops = counter_delta("search.prune_stops");
+  if (planned > 0) {
+    add("prune efficiency %.1f%%  (scored %lld of %lld planned, "
+        "%lld stops)\n",
+        100.0 * (1.0 - static_cast<double>(scored) /
+                           static_cast<double>(planned)),
+        scored, planned, stops);
+  }
+  return out;
+}
+
+/// --dashboard: redraws DashboardFrame on stderr at a fixed interval
+/// until told to stop. ANSI home+clear only when stderr is a terminal,
+/// so piping it (or the CI smoke run) just appends frames.
+void DashboardLoop(WebTabService* service, std::atomic<bool>* stop,
+                   int64_t interval_ms, double window_s) {
+  const bool tty = ::isatty(2) != 0;
+  while (!stop->load(std::memory_order_relaxed)) {
+    std::string frame = DashboardFrame(service, window_s);
+    if (tty) {
+      std::fputs("\x1b[H\x1b[J", stderr);
+    }
+    std::fwrite(frame.data(), 1, frame.size(), stderr);
+    std::fflush(stderr);
+    // Sleep in short slices so shutdown never waits a full interval.
+    for (int64_t waited = 0;
+         waited < interval_ms && !stop->load(std::memory_order_relaxed);
+         waited += 100) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
 }
 
 void ServeStdin(WebTabService* service) {
@@ -277,8 +395,10 @@ int Run(int argc, char** argv) {
   std::string snapshot_path;
   int64_t port = 0, workers = 4, queue_cap = 256, deadline_ms = 0;
   int64_t cache_cap = 1024, synth_tables = 0, seed = 42;
-  int64_t slow_ms = 0;
+  int64_t slow_ms = 0, slow_exemplars = 32;
+  int64_t dashboard_interval_ms = 2000, dashboard_window_s = 60;
   bool no_validate = false, no_precompute = false, metrics_dump = false;
+  bool dashboard = false;
   FlagSet flags;
   flags.AddString("snapshot", &snapshot_path, "snapshot file to serve");
   flags.AddInt("port", &port, "TCP port (0 = stdin/stdout)");
@@ -297,9 +417,18 @@ int Run(int argc, char** argv) {
   flags.AddInt("slow-ms", &slow_ms,
                "log requests slower than this with their stage trace "
                "(0 = off)");
+  flags.AddInt("slow-exemplars", &slow_exemplars,
+               "slow-request traces retained for {\"op\":\"debug\"}");
   flags.AddBool("metrics-dump", &metrics_dump,
                 "print the Prometheus metrics exposition to stderr on "
                 "exit");
+  flags.AddBool("dashboard", &dashboard,
+                "live terminal telemetry view on stderr (qps, per-op "
+                "latency, cache/prune rates)");
+  flags.AddInt("dashboard-interval-ms", &dashboard_interval_ms,
+               "dashboard redraw interval");
+  flags.AddInt("dashboard-window-s", &dashboard_window_s,
+               "trailing window the dashboard aggregates over");
   Status status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (snapshot_path.empty()) {
@@ -333,6 +462,7 @@ int Run(int argc, char** argv) {
   options.default_deadline_ms = deadline_ms;
   options.result_cache_capacity = static_cast<int>(cache_cap);
   options.slow_request_ms = static_cast<double>(slow_ms);
+  options.slow_exemplar_capacity = static_cast<int>(slow_exemplars);
   WebTabService service(&manager, options);
   service.Start();
 
@@ -343,8 +473,21 @@ int Run(int argc, char** argv) {
                static_cast<long long>(workers),
                static_cast<long long>(queue_cap));
 
+  std::atomic<bool> dashboard_stop{false};
+  std::thread dashboard_thread;
+  if (dashboard) {
+    dashboard_thread = std::thread(
+        DashboardLoop, &service, &dashboard_stop,
+        std::max<int64_t>(100, dashboard_interval_ms),
+        static_cast<double>(std::max<int64_t>(1, dashboard_window_s)));
+  }
+
   int rc = port > 0 ? ServeTcp(&service, static_cast<int>(port))
                     : (ServeStdin(&service), 0);
+  if (dashboard_thread.joinable()) {
+    dashboard_stop.store(true, std::memory_order_relaxed);
+    dashboard_thread.join();
+  }
   service.Stop();
   if (metrics_dump) {
     std::string text = obs::MetricsRegistry::Get().RenderPrometheus();
