@@ -9,6 +9,7 @@
 #include "inference/belief_propagation.h"
 #include "inference/table_graph.h"
 #include "model/label_space.h"
+#include "search/select_kernel.h"
 #include "synth/corpus_generator.h"
 #include "synth/world_generator.h"
 #include "text/similarity.h"
@@ -102,6 +103,30 @@ void BM_ClosureEntitiesOfMidType(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClosureEntitiesOfMidType);
+
+/// AppendUniqueCols on one table-run of postings, parameterized by run
+/// length. Short runs (the overwhelming case — a handful of columns,
+/// heavy duplication) take the fixed stack-ring insertion path; runs
+/// past the 64-entry ring fall back to sort+unique. The pool is reused
+/// across iterations like the engines' per-query col_pool, so the
+/// steady state has no allocation.
+void BM_AppendUniqueCols(benchmark::State& state) {
+  const int run_len = static_cast<int>(state.range(0));
+  std::vector<ColumnRef> run(run_len);
+  // Repeated-value column profile: few distinct columns, many postings.
+  for (int i = 0; i < run_len; ++i) {
+    run[i].table = 7;
+    run[i].col = (i * 5) % std::max(1, run_len / 4);
+  }
+  std::vector<int32_t> pool;
+  pool.reserve(1024);
+  for (auto _ : state) {
+    pool.clear();
+    benchmark::DoNotOptimize(
+        search_internal::AppendUniqueCols(run, &pool));
+  }
+}
+BENCHMARK(BM_AppendUniqueCols)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_CandidateGeneration(benchmark::State& state) {
   const World& world = BenchWorld();

@@ -103,6 +103,19 @@ std::vector<std::pair<RelationId, bool>> Catalog::RelationsBetween(
   return out;
 }
 
+void Catalog::ForEachRelationBetween(
+    EntityId e1, EntityId e2,
+    const std::function<void(RelationId, bool)>& fn) const {
+  auto fwd = tuples_by_pair_.find(PairKey(e1, e2));
+  if (fwd != tuples_by_pair_.end()) {
+    for (RelationId r : fwd->second) fn(r, false);
+  }
+  auto rev = tuples_by_pair_.find(PairKey(e2, e1));
+  if (rev != tuples_by_pair_.end()) {
+    for (RelationId r : rev->second) fn(r, true);
+  }
+}
+
 int64_t Catalog::DistinctSubjects(RelationId b) const {
   WEBTAB_CHECK(ValidRelation(b));
   return static_cast<int64_t>(objects_index_[b].size());

@@ -135,6 +135,9 @@ class Catalog : public CatalogView {
 
   std::vector<std::pair<RelationId, bool>> RelationsBetween(
       EntityId e1, EntityId e2) const override;
+  void ForEachRelationBetween(
+      EntityId e1, EntityId e2,
+      const std::function<void(RelationId, bool)>& fn) const override;
 
   int64_t DistinctSubjects(RelationId b) const override;
   int64_t DistinctObjects(RelationId b) const override;

@@ -2,6 +2,7 @@
 #define WEBTAB_CATALOG_CATALOG_VIEW_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string_view>
 #include <utility>
@@ -106,6 +107,18 @@ class CatalogView {
   /// direction (forward first), matching the in-memory build order.
   virtual std::vector<std::pair<RelationId, bool>> RelationsBetween(
       EntityId e1, EntityId e2) const = 0;
+
+  /// Visits each (relation, swapped) of RelationsBetween(e1, e2) in the
+  /// same order without materializing a vector — the hot-path form the
+  /// candidate relation-vote sweep batches over. Backends override to
+  /// walk their tuple indexes directly.
+  virtual void ForEachRelationBetween(
+      EntityId e1, EntityId e2,
+      const std::function<void(RelationId, bool)>& fn) const {
+    for (const auto& [rel, swapped] : RelationsBetween(e1, e2)) {
+      fn(rel, swapped);
+    }
+  }
 };
 
 }  // namespace webtab

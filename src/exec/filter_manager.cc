@@ -1,0 +1,89 @@
+#include "exec/filter_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace webtab {
+namespace exec {
+
+int FilterManager::RegisterClass(const char* name,
+                                 std::span<const ConditionDef> conds) {
+  WEBTAB_CHECK(!conds.empty() &&
+               conds.size() <= static_cast<size_t>(kMaxConditions))
+      << "FilterManager class needs 1.." << kMaxConditions
+      << " conditions, got " << conds.size();
+  ClassState c;
+  c.name = name;
+  c.num_conditions = static_cast<int>(conds.size());
+  for (size_t i = 0; i < conds.size(); ++i) {
+    c.conditions[i].name = conds[i].name;
+    c.conditions[i].cost = conds[i].cost;
+    c.order[i] = static_cast<uint8_t>(i);
+  }
+  classes_.push_back(c);
+  return static_cast<int>(classes_.size()) - 1;
+}
+
+uint64_t FilterManager::NextRandom() {
+  // xorshift64* — deterministic from the constructor seed; state
+  // advances only on exploration draws, so the stream is a pure
+  // function of the call sequence.
+  rng_ ^= rng_ >> 12;
+  rng_ ^= rng_ << 25;
+  rng_ ^= rng_ >> 27;
+  return rng_ * 0x2545f4914f6cdd1dull;
+}
+
+void FilterManager::Reorder(ClassState* c) {
+  ++c->resamples;
+  if (c->num_conditions < 2) return;
+  if (c->resamples % kExplorePeriod == 0) {
+    // Exploration: a seeded-random permutation for the next window, so
+    // conditions stuck in late positions get measured on unfiltered
+    // populations again (late conditions only see lanes earlier ones
+    // failed, which biases their measured rates).
+    for (int i = c->num_conditions - 1; i > 0; --i) {
+      const int j = static_cast<int>(NextRandom() % (i + 1));
+      std::swap(c->order[i], c->order[j]);
+    }
+    c->exploring = true;
+    return;
+  }
+  // Exploit: for a disjunctive screen every passing lane skips all
+  // later conditions, so evaluate the highest pass-rate-per-cost
+  // condition first. Stable tie-break on condition index keeps the
+  // order deterministic when rates tie.
+  c->exploring = false;
+  // Insertion sort over at most kMaxConditions entries; the comparator
+  // is a total order (index tie-break), so the result is the unique
+  // sorted permutation.
+  const auto before = [&](uint8_t a, uint8_t b) {
+    const ConditionState& ca = c->conditions[a];
+    const ConditionState& cb = c->conditions[b];
+    const double ra = ca.PassRate() / ca.cost;
+    const double rb = cb.PassRate() / cb.cost;
+    if (ra != rb) return ra > rb;
+    return a < b;
+  };
+  std::array<uint8_t, kMaxConditions>& order = c->order;
+  const int n = std::min(c->num_conditions, kMaxConditions);
+  for (int i = 1; i < n; ++i) {
+    const uint8_t v = order[i];
+    int j = i;
+    while (j > 0 && before(v, order[j - 1])) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = v;
+  }
+}
+
+void FilterManager::EndBatch(int cls) {
+  ClassState& c = classes_[cls];
+  ++c.batches;
+  if (c.batches % kResamplePeriod == 0) Reorder(&c);
+}
+
+}  // namespace exec
+}  // namespace webtab

@@ -1,0 +1,116 @@
+#ifndef WEBTAB_EXEC_FILTER_MANAGER_H_
+#define WEBTAB_EXEC_FILTER_MANAGER_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace webtab {
+namespace exec {
+
+/// Adaptive predicate reorderer for columnar screens — the
+/// FilterManager treatment adapted to this kernel's disjunctive bound
+/// screens. A "query class" is one registered set of conditions (e.g.
+/// the type engine's zero-bound screen); per class the manager tracks
+/// each condition's measured pass rate and static cost hint, and
+/// periodically permutes evaluation order so the condition that peels
+/// off the most lanes per unit cost runs first.
+///
+/// Screens here are disjunctive (a lane survives if ANY condition
+/// passes; each passing lane skips the remaining conditions), so the
+/// preferred order is descending pass-rate / cost — the opposite of
+/// the conjunctive textbook order, same machinery.
+///
+/// Determinism contract: reordering decisions depend only on the
+/// sequence of Record/EndBatch calls and the constructor seed — no
+/// wall-clock sampling anywhere. A fixed seed and a fixed query
+/// sequence produce a fixed permutation trace (asserted by
+/// exec_batch_test via EXPLAIN). Rates are measured from integer
+/// counters; periodic exploration rounds (seeded xorshift) evaluate a
+/// random permutation so later-positioned conditions keep getting
+/// measured on unfiltered populations.
+///
+/// Not thread-safe; one instance per workspace/worker.
+class FilterManager {
+ public:
+  static constexpr int kMaxConditions = 4;
+  /// Reconsider the permutation every this many batches per class.
+  static constexpr uint64_t kResamplePeriod = 32;
+  /// Every this many resamples, explore a random permutation instead
+  /// of exploiting the measured best.
+  static constexpr uint64_t kExplorePeriod = 8;
+  static constexpr uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ull;
+
+  struct ConditionDef {
+    const char* name;
+    /// Relative evaluation cost per lane (any consistent unit).
+    double cost;
+  };
+
+  struct ConditionState {
+    const char* name = nullptr;
+    double cost = 1.0;
+    uint64_t evaluated = 0;  // lanes this condition was evaluated on
+    uint64_t passed = 0;     // lanes it proved alive
+    /// Laplace-smoothed pass-rate estimate (0.5 prior when unseen).
+    double PassRate() const {
+      return static_cast<double>(passed + 1) /
+             static_cast<double>(evaluated + 2);
+    }
+  };
+
+  struct ClassState {
+    const char* name = nullptr;
+    int num_conditions = 0;
+    std::array<ConditionState, kMaxConditions> conditions;
+    /// Current evaluation order (condition indices).
+    std::array<uint8_t, kMaxConditions> order{};
+    uint64_t batches = 0;
+    uint64_t resamples = 0;
+    /// True while the current order is an exploration round.
+    bool exploring = false;
+  };
+
+  explicit FilterManager(uint64_t seed = kDefaultSeed) : rng_(seed) {}
+
+  /// Registers a condition set; returns the class id. Call once per
+  /// class at workspace setup.
+  int RegisterClass(const char* name, std::span<const ConditionDef> conds);
+
+  /// Current evaluation order for `cls` (condition indices).
+  std::span<const uint8_t> Order(int cls) const {
+    const ClassState& c = classes_[cls];
+    return {c.order.data(), static_cast<size_t>(c.num_conditions)};
+  }
+
+  /// Reports one columnar pass: `cond` was evaluated on `evaluated`
+  /// lanes and passed `passed` of them.
+  void Record(int cls, int cond, uint64_t evaluated, uint64_t passed) {
+    ConditionState& s = classes_[cls].conditions[cond];
+    s.evaluated += evaluated;
+    s.passed += passed;
+  }
+
+  /// Marks one batch finished; every kResamplePeriod batches the order
+  /// is re-derived from the measured rates (or explored).
+  void EndBatch(int cls);
+
+  const ClassState& state(int cls) const { return classes_[cls]; }
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  /// All registered classes, indexed by class id — the snapshot the
+  /// serving layer copies out for {"op":"stats"} and EXPLAIN.
+  std::span<const ClassState> classes() const { return classes_; }
+
+ private:
+  uint64_t NextRandom();  // xorshift64*, deterministic from seed
+  void Reorder(ClassState* c);
+
+  std::vector<ClassState> classes_;
+  uint64_t rng_;
+};
+
+}  // namespace exec
+}  // namespace webtab
+
+#endif  // WEBTAB_EXEC_FILTER_MANAGER_H_

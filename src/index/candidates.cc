@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <set>
+#include <functional>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -11,15 +11,6 @@
 namespace webtab {
 
 namespace {
-
-/// Scores candidate types for a column: primary key is how many cells have
-/// at least one candidate entity under the type ("support"), secondary is
-/// specificity (prefer narrower types), tertiary id for determinism.
-struct TypeScore {
-  TypeId type;
-  int support;
-  double specificity;
-};
 
 /// The flag used to toggle per-cell probe memoization; the batch probe
 /// dedupes structurally, so a caller turning it off gets the same
@@ -61,6 +52,8 @@ TableCandidates GenerateCandidates(const Table& table,
   // the distinct structure is retained per column so the type and
   // relation phases below work over distinct cells instead of rows.
   ws->columns.resize(table.cols());
+  const int64_t walked_before = ws->batch.postings_walked();
+  const int64_t pruned_before = ws->batch.postings_pruned();
   for (int c = 0; c < table.cols(); ++c) {
     CandidateWorkspace::ColumnDistincts& col = ws->columns[c];
     col.num_distinct = 0;
@@ -74,7 +67,8 @@ TableCandidates GenerateCandidates(const Table& table,
       continue;
     }
     ws->batch.ProbeColumn(table, c, index, options.max_entities_per_cell,
-                          options.min_entity_score);
+                          options.min_entity_score,
+                          options.idf_upper_bound_prune);
     col.num_distinct = ws->batch.num_distinct();
     col.row_count.assign(col.num_distinct, 0);
     col.first_row.assign(col.num_distinct, -1);
@@ -95,44 +89,78 @@ TableCandidates GenerateCandidates(const Table& table,
   // --- Type candidates per column: ∪_{E ∈ Erc} T(E), scored. Support
   // counts rows, computed once per distinct cell and weighted by its
   // multiplicity — integer-identical to the per-row accumulation.
+  // Accumulation is a dense per-TypeId array with two stamp lanes: the
+  // column epoch validates support entries, the per-cell seq dedupes a
+  // type within one distinct cell. Integer adds commute and the final
+  // sort is a total order, so the output matches the old set+hash-map
+  // path exactly.
+  const CatalogView& catalog = closure->catalog();
+  const int32_t num_types = catalog.num_types();
+  if (static_cast<int32_t>(ws->type_support.size()) < num_types) {
+    ws->type_support.resize(num_types, 0);
+    ws->type_sup_stamp.resize(num_types, 0);
+    ws->type_cell_stamp.resize(num_types, 0);
+  }
   for (int c = 0; c < table.cols(); ++c) {
     const CandidateWorkspace::ColumnDistincts& col = ws->columns[c];
-    std::unordered_map<TypeId, int> support;
+    if (++ws->type_epoch == 0) {
+      std::fill(ws->type_sup_stamp.begin(), ws->type_sup_stamp.end(), 0u);
+      ws->type_epoch = 1;
+    }
+    ws->type_touched.clear();
     for (int d = 0; d < col.num_distinct; ++d) {
-      std::set<TypeId> cell_types;
+      if (++ws->type_cell_seq == 0) {
+        std::fill(ws->type_cell_stamp.begin(), ws->type_cell_stamp.end(),
+                  0u);
+        ws->type_cell_seq = 1;
+      }
       for (const LemmaHit& hit : out.cells[col.first_row[d]][c]) {
         for (TypeId t : closure->TypeAncestors(hit.id)) {
-          cell_types.insert(t);
+          if (ws->type_cell_stamp[t] == ws->type_cell_seq) continue;
+          ws->type_cell_stamp[t] = ws->type_cell_seq;
+          if (ws->type_sup_stamp[t] != ws->type_epoch) {
+            ws->type_sup_stamp[t] = ws->type_epoch;
+            ws->type_support[t] = 0;
+            ws->type_touched.push_back(t);
+          }
+          ws->type_support[t] += col.row_count[d];
         }
       }
-      for (TypeId t : cell_types) support[t] += col.row_count[d];
     }
-    std::vector<TypeScore> scored;
-    scored.reserve(support.size());
-    for (const auto& [t, s] : support) {
-      scored.push_back(TypeScore{t, s, closure->TypeSpecificity(t)});
+    ws->type_scored.clear();
+    for (TypeId t : ws->type_touched) {
+      ws->type_scored.push_back(CandidateWorkspace::ScoredType{
+          t, ws->type_support[t], closure->TypeSpecificity(t)});
     }
-    std::sort(scored.begin(), scored.end(),
-              [](const TypeScore& a, const TypeScore& b) {
+    std::sort(ws->type_scored.begin(), ws->type_scored.end(),
+              [](const CandidateWorkspace::ScoredType& a,
+                 const CandidateWorkspace::ScoredType& b) {
                 if (a.support != b.support) return a.support > b.support;
                 if (a.specificity != b.specificity) {
                   return a.specificity > b.specificity;
                 }
                 return a.type < b.type;
               });
-    int keep = std::min<int>(static_cast<int>(scored.size()),
+    int keep = std::min<int>(static_cast<int>(ws->type_scored.size()),
                              options.max_types_per_column);
     out.column_types[c].reserve(keep);
     for (int i = 0; i < keep; ++i) {
-      out.column_types[c].push_back(scored[i].type);
+      out.column_types[c].push_back(ws->type_scored[i].type);
     }
   }
 
   // --- Relation candidates per column pair (catalog tuple probes).
   // Votes run over distinct row-pairs weighted by how many rows carry
-  // the pair, so RelationsBetween is probed once per distinct entity
-  // pairing instead of once per row.
-  const CatalogView& catalog = closure->catalog();
+  // the pair, so the tuple index is probed once per distinct entity
+  // pairing instead of once per row. ForEachRelationBetween visits the
+  // backend's index in place (no per-call vector), and votes accumulate
+  // in a dense rel*2+swapped array under the stamp discipline; the
+  // ranked sort is a total order, so output matches the std::map path.
+  const int32_t num_rel_keys = catalog.num_relations() * 2;
+  if (static_cast<int32_t>(ws->rel_votes.size()) < num_rel_keys) {
+    ws->rel_votes.resize(num_rel_keys, 0);
+    ws->rel_stamp.resize(num_rel_keys, 0);
+  }
   for (int c1 = 0; c1 < table.cols(); ++c1) {
     const CandidateWorkspace::ColumnDistincts& col1 = ws->columns[c1];
     if (col1.num_distinct == 0) continue;
@@ -143,14 +171,28 @@ TableCandidates GenerateCandidates(const Table& table,
       const int64_t cells =
           static_cast<int64_t>(col1.num_distinct) * nd2;
 
-      std::map<RelationCandidate, int> votes;
+      if (++ws->rel_epoch == 0) {
+        std::fill(ws->rel_stamp.begin(), ws->rel_stamp.end(), 0u);
+        ws->rel_epoch = 1;
+      }
+      ws->rel_touched.clear();
+      int vote_multiplicity = 0;
+      const std::function<void(RelationId, bool)> vote_fn =
+          [&](RelationId rel, bool swapped) {
+            const int32_t key =
+                static_cast<int32_t>(rel) * 2 + (swapped ? 1 : 0);
+            if (ws->rel_stamp[key] != ws->rel_epoch) {
+              ws->rel_stamp[key] = ws->rel_epoch;
+              ws->rel_votes[key] = 0;
+              ws->rel_touched.push_back(key);
+            }
+            ws->rel_votes[key] += vote_multiplicity;
+          };
       auto vote_pair = [&](int d1, int d2, int multiplicity) {
+        vote_multiplicity = multiplicity;
         for (const LemmaHit& h1 : out.cells[col1.first_row[d1]][c1]) {
           for (const LemmaHit& h2 : out.cells[col2.first_row[d2]][c2]) {
-            for (const auto& [rel, swapped] :
-                 catalog.RelationsBetween(h1.id, h2.id)) {
-              votes[RelationCandidate{rel, swapped}] += multiplicity;
-            }
+            catalog.ForEachRelationBetween(h1.id, h2.id, vote_fn);
           }
         }
       };
@@ -184,19 +226,22 @@ TableCandidates GenerateCandidates(const Table& table,
         }
       }
 
-      if (votes.empty()) continue;
-      std::vector<std::pair<RelationCandidate, int>> ranked(votes.begin(),
-                                                            votes.end());
-      std::sort(ranked.begin(), ranked.end(),
+      if (ws->rel_touched.empty()) continue;
+      ws->rel_ranked.clear();
+      for (const int32_t key : ws->rel_touched) {
+        ws->rel_ranked.emplace_back(
+            RelationCandidate{key / 2, (key & 1) != 0}, ws->rel_votes[key]);
+      }
+      std::sort(ws->rel_ranked.begin(), ws->rel_ranked.end(),
                 [](const auto& a, const auto& b) {
                   if (a.second != b.second) return a.second > b.second;
                   return a.first < b.first;
                 });
       std::vector<RelationCandidate>& list = out.relations[{c1, c2}];
-      int keep = std::min<int>(static_cast<int>(ranked.size()),
+      int keep = std::min<int>(static_cast<int>(ws->rel_ranked.size()),
                                options.max_relations_per_pair);
       list.reserve(keep);
-      for (int i = 0; i < keep; ++i) list.push_back(ranked[i].first);
+      for (int i = 0; i < keep; ++i) list.push_back(ws->rel_ranked[i].first);
     }
   }
 
@@ -207,8 +252,14 @@ TableCandidates GenerateCandidates(const Table& table,
       obs::MetricsRegistry::Get().GetCounter("candidates.tables");
   static obs::Counter* cells =
       obs::MetricsRegistry::Get().GetCounter("candidates.cells");
+  static obs::Counter* postings_walked =
+      obs::MetricsRegistry::Get().GetCounter("candidates.postings_walked");
+  static obs::Counter* postings_pruned =
+      obs::MetricsRegistry::Get().GetCounter("candidates.postings_pruned");
   tables->Add(1);
   cells->Add(static_cast<int64_t>(table.rows()) * table.cols());
+  postings_walked->Add(ws->batch.postings_walked() - walked_before);
+  postings_pruned->Add(ws->batch.postings_pruned() - pruned_before);
   return out;
 }
 

@@ -27,6 +27,13 @@ struct CandidateOptions {
   /// strings unconditionally (the memoization this flag toggled is now
   /// structural). The value is ignored; setting it to false logs once.
   bool memoize_cell_probes = true;
+  /// Enables the probe's IDF-upper-bound elimination lane: (cell, lemma)
+  /// pairs whose best-possible score provably cannot reach
+  /// min_entity_score are skipped before any scoring work runs. Exact —
+  /// candidates are bit-identical with the lane on or off (the off
+  /// setting is the retained equivalence reference; asserted by
+  /// tests/candidate_equivalence_test.cc).
+  bool idf_upper_bound_prune = true;
 };
 
 /// Candidate label sets for one table (before adding the `na` option).
@@ -68,6 +75,32 @@ struct CandidateWorkspace {
   /// ever written or read.
   std::vector<int> pair_count;
   std::vector<int32_t> pair_touched;
+
+  /// Type phase: dense per-TypeId support with epoch stamps instead of a
+  /// per-cell std::set + per-column hash map. `type_sup_stamp` validates
+  /// `type_support` entries for the current column epoch; `type_cell_stamp`
+  /// dedupes a type within one distinct cell (the set's old job). Stamps
+  /// never equal 0, so freshly grown entries read as untouched.
+  std::vector<int> type_support;
+  std::vector<uint32_t> type_sup_stamp;
+  std::vector<uint32_t> type_cell_stamp;
+  uint32_t type_epoch = 0;
+  uint32_t type_cell_seq = 0;
+  std::vector<TypeId> type_touched;
+  struct ScoredType {
+    TypeId type;
+    int support;
+    double specificity;
+  };
+  std::vector<ScoredType> type_scored;
+
+  /// Relation-vote phase: dense votes indexed rel*2+swapped with the same
+  /// stamping discipline, replacing the std::map accumulator.
+  std::vector<int> rel_votes;
+  std::vector<uint32_t> rel_stamp;
+  uint32_t rel_epoch = 0;
+  std::vector<int32_t> rel_touched;
+  std::vector<std::pair<RelationCandidate, int>> rel_ranked;
 };
 
 /// Runs the §4.3 candidate generation as a column-major batched

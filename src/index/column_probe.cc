@@ -1,11 +1,78 @@
 #include "index/column_probe.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
+#include <utility>
 
+#include "exec/tid_list.h"
 #include "text/tokenizer.h"
 
 namespace webtab {
+
+namespace {
+
+/// Below this postings width a token can never be worth Low-classifying:
+/// the bookkeeping would cost more than the walk it avoids.
+constexpr size_t kLowMinPostings = 32;
+
+/// Heterogeneous comparator for binary-searching a postings list (sorted
+/// by (id, lemma_ord) by construction — verified before use) with an
+/// (id, ord) key.
+struct PostingKeyLess {
+  bool operator()(const LemmaPosting& p,
+                  std::pair<int32_t, int32_t> k) const {
+    if (p.id != k.first) return p.id < k.first;
+    return p.lemma_ord < k.second;
+  }
+  bool operator()(std::pair<int32_t, int32_t> k,
+                  const LemmaPosting& p) const {
+    if (p.id != k.first) return k.first < p.id;
+    return k.second < p.lemma_ord;
+  }
+};
+
+bool PostingsSortedByIdOrd(std::span<const LemmaPosting> ps) {
+  for (size_t i = 1; i < ps.size(); ++i) {
+    if (ps[i - 1].id > ps[i].id ||
+        (ps[i - 1].id == ps[i].id &&
+         ps[i - 1].lemma_ord > ps[i].lemma_ord)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void ColumnProbeBatch::EnsureDenseAccumulator(const LemmaIndexView& index) {
+  const CatalogView* cat = &index.catalog();
+  if (cat == dense_catalog_) return;
+  dense_catalog_ = cat;
+  const int32_t n = cat->num_entities();
+  entity_lemma_start_.assign(static_cast<size_t>(n) + 1, 0);
+  low_lane_sound_ = true;
+  for (int32_t e = 0; e < n; ++e) {
+    const int32_t nl = cat->NumEntityLemmas(e);
+    // Ordinals past 16 bits collide under the kernel's packed-key
+    // truncation. The dense slot merges those aliases identically, but
+    // the Low lane's (id, ord) binary search would miss them — disable
+    // the Low lane (never the accumulator) in that regime.
+    if (nl > (1 << 16)) low_lane_sound_ = false;
+    entity_lemma_start_[e + 1] =
+        entity_lemma_start_[e] + std::min(nl, 1 << 16);
+  }
+  const size_t total =
+      static_cast<size_t>(entity_lemma_start_[static_cast<size_t>(n)]);
+  acc_.assign(total, 0.0);
+  stamp_.assign(total, 0);
+  len_.assign(total, 0);
+  epoch_ = 0;
+  object_stamp_.assign(static_cast<size_t>(n), 0);
+  object_best_.assign(static_cast<size_t>(n), 0);
+  object_epoch_ = 0;
+}
 
 int ColumnProbeBatch::InternToken(const std::string& token,
                                   const LemmaIndexView& index) {
@@ -13,36 +80,18 @@ int ColumnProbeBatch::InternToken(const std::string& token,
       token_local_.try_emplace(token, static_cast<int>(tokens_.size()));
   if (!inserted) return it->second;
 
-  // First sighting in this column: one lookup + IDF + postings fetch,
-  // and one slot assignment per posting so scoring never hashes.
-  LocalToken local;
+  // First sighting in this column: one lookup + IDF + postings fetch.
+  // No per-posting work happens here — postings map to dense slots by
+  // arithmetic during scoring.
   ResolvedToken resolved = index.ResolveEntityToken(token);
-  local.idf = resolved.idf;
-  local.postings = resolved.postings;
-  local.slots_begin = slot_of_posting_.size();
-  for (const LemmaPosting& p : resolved.postings) {
-    // Same (id, ord) key layout as the per-cell probe kernel, so the
-    // recovered id/ord (and any truncation of oversized ordinals) match
-    // it exactly.
-    int64_t key = (static_cast<int64_t>(p.id) << 16) |
-                  static_cast<int64_t>(p.lemma_ord & 0xFFFF);
-    auto [sit, fresh] =
-        slot_of_key_.try_emplace(key, static_cast<int32_t>(slot_id_.size()));
-    if (fresh) {
-      slot_id_.push_back(static_cast<int32_t>(key >> 16));
-      slot_ord_.push_back(static_cast<int32_t>(key & 0xFFFF));
-      slot_len_.push_back(p.lemma_len);
-    }
-    slot_of_posting_.push_back(sit->second);
-    posting_len_.push_back(p.lemma_len);
-  }
-  tokens_.push_back(local);
+  tokens_.push_back(LocalToken{resolved.idf, resolved.postings});
   return it->second;
 }
 
 void ColumnProbeBatch::ProbeColumn(const Table& table, int c,
                                    const LemmaIndexView& index, int max_hits,
-                                   double min_score) {
+                                   double min_score, bool idf_upper_bound) {
+  EnsureDenseAccumulator(index);
   num_distinct_ = 0;
   row_distinct_.clear();
   distinct_of_text_.clear();
@@ -50,12 +99,6 @@ void ColumnProbeBatch::ProbeColumn(const Table& table, int c,
   cell_token_begin_.assign(1, 0);
   token_local_.clear();
   tokens_.clear();
-  slot_of_key_.clear();
-  slot_of_posting_.clear();
-  posting_len_.clear();
-  slot_id_.clear();
-  slot_ord_.clear();
-  slot_len_.clear();
 
   // Pass 1: dedupe cells, tokenize each distinct string once, resolve
   // each distinct token once.
@@ -67,38 +110,32 @@ void ColumnProbeBatch::ProbeColumn(const Table& table, int c,
         distinct_of_text_.try_emplace(std::string_view(text), num_distinct_);
     if (inserted) {
       ++num_distinct_;
-      for (const std::string& token : Tokenize(text)) {
-        cell_tokens_.push_back(InternToken(token, index));
+      const size_t ntok = TokenizeInto(text, &tokenize_scratch_);
+      for (size_t i = 0; i < ntok; ++i) {
+        cell_tokens_.push_back(InternToken(tokenize_scratch_[i], index));
       }
       cell_token_begin_.push_back(cell_tokens_.size());
     }
     row_distinct_.push_back(it->second);
   }
 
-  // Grow the stamped scratch to cover this column's slots and objects.
-  // Epochs only increase, so stale stamps from earlier columns can never
-  // collide with a fresh epoch.
-  if (acc_.size() < slot_id_.size()) {
-    acc_.resize(slot_id_.size(), 0.0);
-    stamp_.resize(slot_id_.size(), 0);
-  }
-  int32_t max_object = -1;
-  for (int32_t id : slot_id_) max_object = std::max(max_object, id);
-  if (static_cast<int64_t>(object_stamp_.size()) <= max_object) {
-    object_stamp_.resize(max_object + 1, 0);
-    object_best_.resize(max_object + 1, 0);
-  }
+  // Per-column classification scratch over the column's local tokens.
+  tok_seen_.assign(tokens_.size(), 0);
+  tok_low_.assign(tokens_.size(), 0);
+  tok_sorted_.assign(tokens_.size(), -1);
+  cell_seq_ = 0;
 
   // Pass 2: score each distinct cell in one sweep.
   if (static_cast<int>(hits_.size()) < num_distinct_) {
     hits_.resize(num_distinct_);
   }
   for (int d = 0; d < num_distinct_; ++d) {
-    ScoreDistinct(d, max_hits, min_score);
+    ScoreDistinct(d, max_hits, min_score, idf_upper_bound);
   }
 }
 
-void ColumnProbeBatch::ScoreDistinct(int d, int max_hits, double min_score) {
+void ColumnProbeBatch::ScoreDistinct(int d, int max_hits, double min_score,
+                                     bool idf_upper_bound) {
   std::vector<LemmaHit>& out = hits_[d];
   out.clear();
   const size_t begin = cell_token_begin_[d];
@@ -106,68 +143,306 @@ void ColumnProbeBatch::ScoreDistinct(int d, int max_hits, double min_score) {
   const size_t ntokens = end - begin;
   if (ntokens == 0 || max_hits <= 0) return;
 
-  // Accumulate the IDF-weighted overlap per lemma slot, visiting token
-  // occurrences and postings in exactly the order the per-cell kernel
-  // does, so every floating-point sum is bit-identical. slot_len_ is
-  // refreshed per visit to mirror the kernel's last-write-wins map.
+  // Query norm in token-occurrence order — the exact FP sum the
+  // per-cell kernel accumulates interleaved with its postings walk.
   double query_norm_sq = 0.0;
-  ++epoch_;
-  touched_.clear();
   for (size_t i = begin; i < end; ++i) {
-    const LocalToken& tok = tokens_[cell_tokens_[i]];
-    const double idf = tok.idf;
+    const double idf = tokens_[cell_tokens_[i]].idf;
     query_norm_sq += idf * idf;
-    const size_t n = tok.postings.size();
-    for (size_t j = 0; j < n; ++j) {
-      const size_t p = tok.slots_begin + j;
-      const int32_t slot = slot_of_posting_[p];
-      if (stamp_[slot] != epoch_) {
-        stamp_[slot] = epoch_;
-        acc_[slot] = 0.0;
-        touched_.push_back(slot);
-      }
-      acc_[slot] += idf * idf;
-      slot_len_[slot] = posting_len_[p];
+  }
+  const double query_norm = std::sqrt(query_norm_sq);
+
+  // Distinct tokens of this cell (stamped, allocation-free).
+  ++cell_seq_;
+  cell_tok_.clear();
+  for (size_t i = begin; i < end; ++i) {
+    const int t = cell_tokens_[i];
+    if (tok_seen_[t] != cell_seq_) {
+      tok_seen_[t] = cell_seq_;
+      tok_low_[t] = 0;
+      cell_tok_.push_back(t);
     }
   }
-  if (touched_.empty()) return;
 
-  // Reduce slots to the canonical best hit per object (max score, then
-  // lowest lemma ordinal — the documented LemmaHit tie-break), then rank
-  // by (score desc, id asc) and apply the top-k + min-score policy of
-  // candidate generation. Formula identical to the per-cell kernel.
+  // --- IDF-upper-bound classification. A lemma touched only by tokens
+  // of the Low set has, in the kernel's own expression tree,
+  //   score = min(num / (qn * lemma_norm), 1.0),
+  //   lemma_norm = sqrt(len) * qn / sqrt(ntokens),
+  // with num a subsequence sum of the Low occurrences' idf^2 (so
+  // num <= S_low under round-to-nearest — nonnegative terms, same
+  // relative order) and len >= 1. Evaluating the bound with S_low and
+  // len = 1 through the same tree therefore dominates the computed
+  // double, and bound < min_score proves the hit would be erased by the
+  // final min-score filter; sub-threshold hits sort after every
+  // surviving hit, so truncate-then-erase equals filter-then-truncate
+  // and skipping the lemma entirely is exact. Greedy: widest postings
+  // first, keep a token Low only while the bound still clears.
+  const bool try_low = idf_upper_bound && min_score > 0.0 &&
+                       query_norm > 0.0 && cell_tok_.size() > 1;
+  if (try_low) {
+    std::sort(cell_tok_.begin(), cell_tok_.end(), [&](int a, int b) {
+      const size_t na = tokens_[a].postings.size();
+      const size_t nb = tokens_[b].postings.size();
+      if (na != nb) return na > nb;
+      return a < b;  // Deterministic order.
+    });
+    const double lemma_norm_lb = std::sqrt(1.0) * query_norm /
+                                 std::sqrt(static_cast<double>(ntokens));
+    for (int t : cell_tok_) {
+      if (tokens_[t].postings.size() < kLowMinPostings) break;  // Sorted.
+      tok_low_[t] = 1;
+      double s_low = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        const int u = cell_tokens_[i];
+        if (tok_low_[u] != 0) {
+          const double idf = tokens_[u].idf;
+          s_low += idf * idf;
+        }
+      }
+      const double bound = s_low / (query_norm * lemma_norm_lb);
+      if (!(bound < min_score)) tok_low_[t] = 0;  // Keep High.
+    }
+  }
+
+  bool has_low = false;
+  for (int t : cell_tok_) {
+    if (tok_low_[t] != 0) {
+      has_low = true;
+      break;
+    }
+  }
+
+  ++epoch_;
+  touched_g_.clear();
+  touched_id_.clear();
+  touched_ord_.clear();
+
+  if (!has_low) {
+    // No Low tokens: a single occurrence-order walk stamps and
+    // accumulates at once — the kernel's exact add order, at half the
+    // posting traffic of the two-phase form below.
+    for (size_t i = begin; i < end; ++i) {
+      const LocalToken& tok = tokens_[cell_tokens_[i]];
+      if (tok.postings.empty()) continue;
+      const double idf2 = tok.idf * tok.idf;
+      for (const LemmaPosting& p : tok.postings) {
+        const int64_t g =
+            entity_lemma_start_[p.id] + (p.lemma_ord & 0xFFFF);
+        if (stamp_[g] != epoch_) {
+          stamp_[g] = epoch_;
+          acc_[g] = idf2;  // 0.0 + idf2 is exact.
+          touched_g_.push_back(g);
+          touched_id_.push_back(p.id);
+          touched_ord_.push_back(p.lemma_ord & 0xFFFF);
+        } else {
+          acc_[g] += idf2;
+        }
+        len_[g] = p.lemma_len;  // Last-write-wins, as in the kernel.
+      }
+      postings_walked_ += static_cast<int64_t>(tok.postings.size());
+    }
+    if (touched_g_.empty()) return;
+    ReduceTouched(d, max_hits, min_score, idf_upper_bound, query_norm,
+                  ntokens);
+    return;
+  }
+
+  // --- Phase A: stamp the candidate lemma batch from High tokens. No
+  // accumulation here — adds must interleave with Low contributions in
+  // occurrence order, which phase B replays.
+  for (int t : cell_tok_) {
+    if (tok_low_[t] != 0) continue;
+    const LocalToken& tok = tokens_[t];
+    for (const LemmaPosting& p : tok.postings) {
+      const int64_t g =
+          entity_lemma_start_[p.id] + (p.lemma_ord & 0xFFFF);
+      if (stamp_[g] != epoch_) {
+        stamp_[g] = epoch_;
+        acc_[g] = 0.0;
+        touched_g_.push_back(g);
+        touched_id_.push_back(p.id);
+        touched_ord_.push_back(p.lemma_ord & 0xFFFF);
+      }
+    }
+  }
+  if (touched_g_.empty()) {
+    // Either no token has postings, or every posting-bearing token is
+    // Low — in which case every reachable lemma is provably
+    // sub-threshold and the kernel's output would be fully erased.
+    for (size_t i = begin; i < end; ++i) {
+      const int t = cell_tokens_[i];
+      if (tok_low_[t] != 0) {
+        postings_pruned_ +=
+            static_cast<int64_t>(tokens_[t].postings.size());
+      }
+    }
+    return;
+  }
+
+  // --- Phase B: accumulate in token-occurrence order — the kernel's
+  // exact FP addition order per lemma. High tokens walk their postings;
+  // Low tokens contribute only to the stamped batch, by (id, ord)
+  // binary search when the batch is much narrower than the postings
+  // (requires a verified-sorted list and no ordinal truncation),
+  // otherwise by a stamp-filtered walk. Both replay the same adds.
+  const size_t num_touched = touched_g_.size();
+  for (size_t i = begin; i < end; ++i) {
+    const int t = cell_tokens_[i];
+    const LocalToken& tok = tokens_[t];
+    if (tok.postings.empty()) continue;
+    const double idf2 = tok.idf * tok.idf;
+    if (tok_low_[t] == 0) {
+      for (const LemmaPosting& p : tok.postings) {
+        const int64_t g =
+            entity_lemma_start_[p.id] + (p.lemma_ord & 0xFFFF);
+        acc_[g] += idf2;
+        len_[g] = p.lemma_len;  // Last-write-wins, as in the kernel.
+      }
+      postings_walked_ += static_cast<int64_t>(tok.postings.size());
+      continue;
+    }
+    if (tok_sorted_[t] < 0) {
+      tok_sorted_[t] = PostingsSortedByIdOrd(tok.postings) ? 1 : 0;
+    }
+    const bool use_binary = low_lane_sound_ && tok_sorted_[t] == 1 &&
+                            num_touched * 8 < tok.postings.size();
+    if (use_binary) {
+      for (size_t j = 0; j < num_touched; ++j) {
+        auto [lo, hi] = std::equal_range(
+            tok.postings.begin(), tok.postings.end(),
+            std::make_pair(touched_id_[j], touched_ord_[j]),
+            PostingKeyLess{});
+        const int64_t g = touched_g_[j];
+        for (auto it = lo; it != hi; ++it) {
+          acc_[g] += idf2;  // Duplicates add once each, kernel order.
+          len_[g] = it->lemma_len;
+        }
+      }
+      postings_pruned_ += static_cast<int64_t>(tok.postings.size());
+    } else {
+      for (const LemmaPosting& p : tok.postings) {
+        const int64_t g =
+            entity_lemma_start_[p.id] + (p.lemma_ord & 0xFFFF);
+        if (stamp_[g] == epoch_) {
+          acc_[g] += idf2;
+          len_[g] = p.lemma_len;
+        }
+      }
+      postings_walked_ += static_cast<int64_t>(tok.postings.size());
+    }
+  }
+
+  ReduceTouched(d, max_hits, min_score, idf_upper_bound, query_norm,
+                ntokens);
+}
+
+// Reduction over the touched batch, in selection-vector chunks: score
+// lane, then a branch-free keep of hits that can survive the min-score
+// filter (exact — sub-threshold hits sort last and are erased
+// regardless, see the classification note), then the canonical
+// per-object best fold (max score, ties toward the lowest lemma
+// ordinal). The reference path keeps every hit so it exercises the
+// original reduction.
+void ColumnProbeBatch::ReduceTouched(int d, int max_hits, double min_score,
+                                     bool idf_upper_bound,
+                                     double query_norm, size_t ntokens) {
+  std::vector<LemmaHit>& out = hits_[d];
+  const size_t num_touched = touched_g_.size();
   ++object_epoch_;
   best_.clear();
-  const double query_norm = std::sqrt(query_norm_sq);
-  for (int32_t slot : touched_) {
-    const double num = acc_[slot];
-    const int32_t id = slot_id_[slot];
-    const int32_t ord = slot_ord_[slot];
-    double lemma_norm =
-        std::sqrt(static_cast<double>(slot_len_[slot])) * query_norm /
-        std::sqrt(static_cast<double>(ntokens));
-    double score = lemma_norm > 0 ? num / (query_norm * lemma_norm) : 0.0;
-    score = std::min(score, 1.0);
-    if (object_stamp_[id] != object_epoch_) {
-      object_stamp_[id] = object_epoch_;
-      object_best_[id] = static_cast<int32_t>(best_.size());
-      best_.push_back(LemmaHit{id, ord, score});
-    } else {
-      LemmaHit& cur = best_[object_best_[id]];
-      if (cur.score < score ||
-          (cur.score == score && ord < cur.lemma_ord)) {
-        cur = LemmaHit{id, ord, score};
+  const double keep_threshold = idf_upper_bound ? min_score : -1.0;
+
+  // The kernel's per-hit expression
+  //   s = min(fl(num / fl(qn * ln)), 1),
+  //   ln = fl(fl(sqrt(len) * qn) / sqrt(nt)),
+  // depends on the lemma only through (num, len), and len takes few
+  // distinct values per cell — so ln, the denominator fl(qn * ln), and
+  // a prescreen threshold are cached per len under the cell's epoch
+  // (pure reuse of identical subexpressions: every cached double is the
+  // value the kernel would compute in place). The prescreen is a
+  // conservative bound on the raw overlap sum: s >= num / (qn * ln) *
+  // (1 - 2u)^2 under round-to-nearest (unit roundoff u), so
+  //   T(len) = fl(fl(fl(min_score * qn) * ln) * (1 - 16u))
+  //          <= min_score * qn * ln * (1 - 8u)
+  // and num < T(len) proves s < min_score: the hit would be erased by
+  // the final filter regardless (sub-threshold hits sort last), so the
+  // element skips the divide and the fold without changing any output
+  // bit. Screening is off on the reference path, which keeps every hit.
+  const double sqrt_ntokens = std::sqrt(static_cast<double>(ntokens));
+  const bool screen = keep_threshold > 0.0 && query_norm > 0.0;
+  const double mq = min_score * query_norm;
+  constexpr double kScreenSlack =
+      1.0 - 16.0 * std::numeric_limits<double>::epsilon();
+  if (len_cache_.empty()) {
+    len_cache_.assign(kLenCacheSize, LenCache{});
+  }
+
+  exec::TidList sel;
+  std::array<double, exec::kBatchSize> score_lane;
+  for (size_t cb = 0; cb < num_touched; cb += exec::kBatchSize) {
+    const uint32_t n = static_cast<uint32_t>(
+        std::min<size_t>(exec::kBatchSize, num_touched - cb));
+    for (uint32_t j = 0; j < n; ++j) {
+      const int64_t g = touched_g_[cb + j];
+      const double num = acc_[g];
+      const int32_t len = len_[g];
+      double score;
+      if (len < kLenCacheSize) {
+        LenCache& lc = len_cache_[len];
+        if (lc.stamp != epoch_) {
+          lc.stamp = epoch_;
+          lc.ln = std::sqrt(static_cast<double>(len)) * query_norm /
+                  sqrt_ntokens;
+          lc.denom = query_norm * lc.ln;
+          lc.screen = screen ? mq * lc.ln * kScreenSlack : -1.0;
+        }
+        if (num < lc.screen) {
+          score_lane[j] = -1.0;  // Provably below keep_threshold.
+          continue;
+        }
+        score = lc.ln > 0 ? num / lc.denom : 0.0;
+      } else {
+        const double lemma_norm = std::sqrt(static_cast<double>(len)) *
+                                  query_norm / sqrt_ntokens;
+        score = lemma_norm > 0 ? num / (query_norm * lemma_norm) : 0.0;
+      }
+      score_lane[j] = std::min(score, 1.0);
+    }
+    uint32_t* keep = sel.mutable_data();
+    uint32_t m = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      keep[m] = j;
+      m += static_cast<uint32_t>(score_lane[j] >= keep_threshold);
+    }
+    sel.SetSize(m);
+    for (uint32_t jj = 0; jj < m; ++jj) {
+      const uint32_t j = keep[jj];
+      const double score = score_lane[j];
+      const int32_t id = touched_id_[cb + j];
+      const int32_t ord = touched_ord_[cb + j];
+      if (object_stamp_[id] != object_epoch_) {
+        object_stamp_[id] = object_epoch_;
+        object_best_[id] = static_cast<int32_t>(best_.size());
+        best_.push_back(LemmaHit{id, ord, score});
+      } else {
+        LemmaHit& cur = best_[object_best_[id]];
+        if (cur.score < score ||
+            (cur.score == score && ord < cur.lemma_ord)) {
+          cur = LemmaHit{id, ord, score};
+        }
       }
     }
   }
 
-  out.assign(best_.begin(), best_.end());
-  std::sort(out.begin(), out.end(), [](const LemmaHit& a,
-                                       const LemmaHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.id < b.id;  // Deterministic tie-break.
-  });
-  if (static_cast<int>(out.size()) > max_hits) out.resize(max_hits);
+  // best_ holds one hit per object (unique ids), so (score desc, id asc)
+  // is a total order and a partial top-max_hits copy is identical to the
+  // kernel's full sort + truncate.
+  out.resize(std::min<size_t>(best_.size(), static_cast<size_t>(max_hits)));
+  std::partial_sort_copy(best_.begin(), best_.end(), out.begin(), out.end(),
+                         [](const LemmaHit& a, const LemmaHit& b) {
+                           if (a.score != b.score) return a.score > b.score;
+                           return a.id < b.id;  // Deterministic tie-break.
+                         });
   out.erase(std::remove_if(out.begin(), out.end(),
                            [&](const LemmaHit& h) {
                              return h.score < min_score;

@@ -21,18 +21,30 @@ namespace webtab {
 ///   2. every distinct string is tokenized exactly once,
 ///   3. every distinct token is resolved against the LemmaIndexView
 ///      exactly once (one lookup + IDF + postings fetch per token,
-///      shared by all cells containing it), with each posting mapped to
-///      a column-local lemma slot up front,
+///      shared by all cells containing it),
 ///   4. every distinct cell is scored in one sweep over its token
-///      occurrences using epoch-stamped flat accumulators.
+///      occurrences into a dense global-lemma accumulator: each posting
+///      maps to g = entity_lemma_start[id] + lemma_ord by arithmetic
+///      alone, so the hot loop never hashes.
+///
+/// The sweep carries an IDF-upper-bound elimination lane (enabled by
+/// the `idf_upper_bound` argument): per cell, the widest-posting tokens
+/// are classified Low while the provable best score of a lemma touched
+/// *only* by Low tokens stays under `min_score`. High tokens stamp the
+/// candidate lemma set; Low tokens then contribute to stamped lemmas by
+/// binary search instead of walking their (large) postings lists, and
+/// Low-only lemmas — which cannot reach the candidate threshold — are
+/// never materialized. The bound is evaluated with the same expression
+/// tree as the real score with conservative operands, so it dominates
+/// the computed double under round-to-nearest and elimination is exact,
+/// not approximate.
 ///
 /// Scores, ranking and tie-breaks are bit-identical to per-cell
-/// LemmaIndexView::ProbeEntities on both backends (asserted by
+/// LemmaIndexView::ProbeEntities on both backends and with the
+/// elimination lane on or off (asserted by
 /// tests/candidate_equivalence_test.cc). All storage lives in the batch
-/// and is reused across columns and tables, so steady-state probing
-/// performs no per-cell allocations — the flat-workspace style of the
-/// BP kernel applied to candidate generation. Not thread-safe; use one
-/// per worker.
+/// and is reused across columns and tables; the dense accumulator is
+/// sized once per catalog. Not thread-safe; use one per worker.
 class ColumnProbeBatch {
  public:
   ColumnProbeBatch() = default;
@@ -42,9 +54,12 @@ class ColumnProbeBatch {
   /// Probes column `c` of `table`: top-`max_hits` entity hits per
   /// distinct cell string, then drops hits scoring below `min_score`
   /// (the ProbeEntities-then-filter order of candidate generation).
-  /// Results stay valid until the next ProbeColumn call.
+  /// `idf_upper_bound` toggles the elimination lane; both settings
+  /// produce identical results (the exact path is the equivalence
+  /// reference). Results stay valid until the next ProbeColumn call.
   void ProbeColumn(const Table& table, int c, const LemmaIndexView& index,
-                   int max_hits, double min_score);
+                   int max_hits, double min_score,
+                   bool idf_upper_bound = true);
 
   /// Distinct cell strings seen in the probed column.
   int num_distinct() const { return num_distinct_; }
@@ -55,19 +70,35 @@ class ColumnProbeBatch {
   /// Scored hits for distinct cell `d`, best first.
   const std::vector<LemmaHit>& Hits(int d) const { return hits_[d]; }
 
+  /// Lifetime postings-walk accounting: postings actually visited vs
+  /// postings the Low lane proved irrelevant and skipped. The ratio is
+  /// the elimination lane's measured win (reported by candidate_bench).
+  int64_t postings_walked() const { return postings_walked_; }
+  int64_t postings_pruned() const { return postings_pruned_; }
+
  private:
   /// One distinct token of the column, resolved once against the index.
   struct LocalToken {
     double idf = 0.0;
     std::span<const LemmaPosting> postings;
-    size_t slots_begin = 0;  // Into slot_of_posting_, |postings| entries.
   };
+
+  /// Sizes the dense accumulator for `index`'s catalog (no-op when the
+  /// catalog is unchanged since the last call).
+  void EnsureDenseAccumulator(const LemmaIndexView& index);
 
   /// Interns `token`, resolving it against `index` when first seen.
   int InternToken(const std::string& token, const LemmaIndexView& index);
 
   /// Scores distinct cell `d` into hits_[d].
-  void ScoreDistinct(int d, int max_hits, double min_score);
+  void ScoreDistinct(int d, int max_hits, double min_score,
+                     bool idf_upper_bound);
+
+  /// Folds the touched-lemma batch into hits_[d]: chunked score lane,
+  /// branch-free min-score keep, per-object best, final ranking.
+  void ReduceTouched(int d, int max_hits, double min_score,
+                     bool idf_upper_bound, double query_norm,
+                     size_t ntokens);
 
   // --- Per-column state (cleared by ProbeColumn). ---
   int num_distinct_ = 0;
@@ -84,29 +115,57 @@ class ColumnProbeBatch {
   /// transient Tokenize output).
   std::unordered_map<std::string, int> token_local_;
   std::vector<LocalToken> tokens_;
+  /// TokenizeInto buffer; element capacities persist across cells.
+  std::vector<std::string> tokenize_scratch_;
 
-  /// Column-local lemma slots: one per distinct (object, lemma) pair
-  /// reachable from the column's tokens. slot_of_posting_ and
-  /// posting_len_ parallel the concatenated postings of tokens_, so the
-  /// scoring inner loop is a flat gather with no hashing.
-  std::unordered_map<int64_t, int32_t> slot_of_key_;
-  std::vector<int32_t> slot_of_posting_;
-  std::vector<int32_t> posting_len_;
-  std::vector<int32_t> slot_id_;
-  std::vector<int32_t> slot_ord_;
-  std::vector<int32_t> slot_len_;
-
-  // --- Scoring scratch (epoch-stamped; grows monotonically). ---
+  // --- Dense global-lemma accumulator (sized per catalog). ---
+  /// CSR base: lemma (id, ord) lives at entity_lemma_start_[id] + ord.
+  /// Ordinals use the same 16-bit truncation as the per-cell kernel's
+  /// packed key, so any collision merges exactly the same pairs; the
+  /// Low lane's binary search is disabled when truncation could fire.
+  const CatalogView* dense_catalog_ = nullptr;
+  std::vector<int64_t> entity_lemma_start_;
+  bool low_lane_sound_ = true;
   int64_t epoch_ = 0;
-  std::vector<double> acc_;        // Per slot: idf^2 overlap sum.
-  std::vector<int64_t> stamp_;     // Per slot: epoch of last touch.
-  std::vector<int32_t> touched_;   // Slots touched by the current cell.
+  std::vector<double> acc_;       // Per global lemma: idf^2 overlap sum.
+  std::vector<int64_t> stamp_;    // Per global lemma: epoch of last touch.
+  std::vector<int32_t> len_;      // Per global lemma: last-seen token count.
+  /// Lemmas stamped by the current cell's High tokens, as parallel
+  /// (global, id, ord) lanes — the batch the scoring sweep runs over.
+  std::vector<int64_t> touched_g_;
+  std::vector<int32_t> touched_id_;
+  std::vector<int32_t> touched_ord_;
+
+  // --- Per-cell High/Low classification scratch. ---
+  int32_t cell_seq_ = 0;
+  std::vector<int32_t> tok_seen_;  // Per local token: cell_seq_ stamp.
+  std::vector<uint8_t> tok_low_;   // Valid only when tok_seen_ is current.
+  std::vector<int8_t> tok_sorted_;  // Lazy (id, ord)-sortedness verdicts.
+  std::vector<int32_t> cell_tok_;  // Distinct local tokens of the cell.
+
+  /// Per-len scoring cache (see ReduceTouched): lemma norm, the exact
+  /// kernel denominator fl(qn * ln), and a conservative prescreen
+  /// threshold, stamped by the scoring epoch so entries lazily refresh
+  /// per cell. Lens past the cache take the uncached exact path.
+  struct LenCache {
+    int64_t stamp = 0;
+    double ln = 0.0;
+    double denom = 0.0;
+    double screen = -1.0;
+  };
+  static constexpr int32_t kLenCacheSize = 160;
+  std::vector<LenCache> len_cache_;
+
+  // --- Per-object reduction scratch (sized per catalog). ---
   int64_t object_epoch_ = 0;
   std::vector<int64_t> object_stamp_;  // Per object id.
   std::vector<int32_t> object_best_;   // Per object id: index into best_.
   std::vector<LemmaHit> best_;         // Per-cell best hit per object.
 
   std::vector<std::vector<LemmaHit>> hits_;
+
+  int64_t postings_walked_ = 0;
+  int64_t postings_pruned_ = 0;
 };
 
 }  // namespace webtab

@@ -58,12 +58,18 @@ void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
   using search_internal::AppendUniqueCols;
   using search_internal::IntersectByTable;
   using search_internal::PlannedTable;
+  using search_internal::PostingRunCounter;
+  using search_internal::ScreenCond;
 
   ws->BeginSelect(nq.e2_text);
+  const bool prune = topk.k > 0 && topk.prune;
   // The baseline's only match path is CellMatchesText against E2's
   // string, so a table outside the match-support set scores nothing.
-  const bool refine =
-      topk.k > 0 && topk.prune && ws->BuildMatchSupport(index);
+  // The batch path builds the set on full-rank scans too: its
+  // scoring-side verdicts skip proven-matchless columns exactly.
+  const bool support_valid =
+      (prune || topk.batch) && ws->BuildMatchSupport(index);
+  const bool refine = prune && support_valid;
 
   // Candidate columns per side via header-token postings.
   obs::TraceSpan plan_span("search.plan");
@@ -103,40 +109,95 @@ void BaselineSearch(const CorpusView& index, const SelectQuery& /*query*/,
                : 1.0;
   };
 
-  search_internal::RunPlannedTables(
-      ws, topk,
-      // Only E2-side columns that can text-match the target contribute
-      // (the baseline has no entity path), so b shrinks to the
-      // supported count — 0 eliminates the table outright.
-      [&](const PlannedTable& p) {
-        double b = p.b_end - p.b_begin;
-        if (refine) {
-          b = 0.0;
-          for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
-            if (ws->ColumnHasMatchSupport(p.table, ws->col_pool[bi])) {
-              b += 1.0;
-            }
-          }
+  // Only E2-side columns that can text-match the target contribute
+  // (the baseline has no entity path), so b shrinks to the supported
+  // count — 0 eliminates the table outright. Shared by the scalar loop
+  // and the batched screen's survivor pass.
+  auto refined_bound = [&](const PlannedTable& p,
+                           PostingRunCounter<CellRef>* /*e2_runs*/) {
+    double b = 0.0;
+    for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+      if (ws->ColumnHasMatchSupport(p.table, ws->col_pool[bi])) {
+        b += 1.0;
+      }
+    }
+    return static_cast<double>(index.rows(p.table)) *
+           table_score(p.table) * (p.a_end - p.a_begin) * b;
+  };
+  auto fill_bounds = [&] {
+    if (!refine) {
+      for (PlannedTable& p : ws->plan) {
+        const double b = p.b_end - p.b_begin;
+        p.bound = static_cast<double>(index.rows(p.table)) *
+                  table_score(p.table) * (p.a_end - p.a_begin) * b;
+      }
+      return;
+    }
+    if (topk.batch) {
+      ws->EnsureFilterClasses();
+      static constexpr ScreenCond kKinds[] = {ScreenCond::kTableSupport};
+      search_internal::BatchedBoundFill(ws, ws->filter_class_baseline,
+                                        kKinds,
+                                        std::span<const CellRef>(),
+                                        PostingBlockSpan(), refined_bound);
+      return;
+    }
+    PostingRunCounter<CellRef> unused{std::span<const CellRef>(),
+                                      PostingBlockSpan()};
+    for (PlannedTable& p : ws->plan) p.bound = refined_bound(p, &unused);
+  };
+
+  auto scalar_score = [&](const PlannedTable& p) {
+    const int table = p.table;
+    const int num_rows = index.rows(table);
+    const double score = table_score(table);
+    for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+      const int c2 = ws->col_pool[bi];
+      for (int r = 0; r < num_rows; ++r) {
+        if (!ws->CellMatches(index.cell(table, r, c2))) continue;
+        for (uint32_t ai = p.a_begin; ai < p.a_end; ++ai) {
+          const int c1 = ws->col_pool[ai];
+          if (c1 == c2) continue;
+          ws->AddText(table, index.cell(table, r, c1), score);
         }
-        return static_cast<double>(index.rows(p.table)) *
-               table_score(p.table) * (p.a_end - p.a_begin) * b;
-      },
-      [&](const PlannedTable& p) {
-        const int table = p.table;
-        const int num_rows = index.rows(table);
-        const double score = table_score(table);
-        for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
-          const int c2 = ws->col_pool[bi];
-          for (int r = 0; r < num_rows; ++r) {
-            if (!ws->CellMatches(index.cell(table, r, c2))) continue;
-            for (uint32_t ai = p.a_begin; ai < p.a_end; ++ai) {
-              const int c1 = ws->col_pool[ai];
-              if (c1 == c2) continue;
-              ws->AddText(table, index.cell(table, r, c1), score);
-            }
-          }
-        }
-      });
+      }
+    }
+  };
+
+  // Lazy verdicts (no entity lane in the baseline: support only).
+  PostingRunCounter<CellRef> verdict_runs{std::span<const CellRef>(),
+                                          PostingBlockSpan()};
+  auto batch_score = [&](const PlannedTable& p) {
+    search_internal::FillColumnVerdicts(ws, p, &verdict_runs,
+                                        /*e2_present=*/false,
+                                        support_valid);
+    const int table = p.table;
+    const double score = table_score(table);
+    auto score_chunk = [&](exec::ScoreBatch* batch, int n,
+                           bool /*has_entity*/, bool /*has_support*/) {
+      uint32_t* tids = batch->active.mutable_data();
+      uint32_t m = 0;
+      for (int i = 0; i < n; ++i) {
+        tids[m] = static_cast<uint32_t>(i);
+        batch->score[m] = score;
+        m += static_cast<uint32_t>(ws->CellMatches(batch->text[i]));
+      }
+      batch->active.SetSize(m);
+    };
+    search_internal::ScoreTableBatched(
+        ws, index, p, /*need_answer_entities=*/false, score_chunk,
+        [&](uint32_t k, uint32_t i, double rs) {
+          ws->AddText(table, ws->gather_cells[k * exec::kBatchSize + i],
+                      rs);
+        });
+  };
+
+  if (topk.batch) {
+    search_internal::PrepareVerdictLanes(ws, ws->col_pool.size());
+    search_internal::RunPlannedTables(ws, topk, fill_bounds, batch_score);
+  } else {
+    search_internal::RunPlannedTables(ws, topk, fill_bounds, scalar_score);
+  }
   ws->EmitRanked(topk, out);
 }
 

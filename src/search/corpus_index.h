@@ -71,6 +71,20 @@ class CorpusIndex : public CorpusView {
   RelationCandidate RelationOf(int t, int c1, int c2) const override {
     return tables_[t].annotation.RelationOf(c1, c2);
   }
+  /// Direct strided walk over the owned table/annotation storage — the
+  /// non-virtual accessors inline, which is the point of the batch.
+  void GatherColumn(int t, int c, int row_begin, int n, EntityId* entities,
+                    std::string_view* cells) const override {
+    const AnnotatedTable& at = tables_[t];
+    if (entities != nullptr) {
+      for (int i = 0; i < n; ++i) {
+        entities[i] = at.annotation.EntityOf(row_begin + i, c);
+      }
+    }
+    if (cells != nullptr) {
+      for (int i = 0; i < n; ++i) cells[i] = at.table.cell(row_begin + i, c);
+    }
+  }
 
   std::span<const ColumnRef> HeaderPostings(
       std::string_view token) const override;

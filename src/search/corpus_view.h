@@ -120,6 +120,27 @@ class CorpusView {
   /// Relation on the ordered pair (c1 < c2); {kNa, false} when absent.
   virtual RelationCandidate RelationOf(int t, int c1, int c2) const = 0;
 
+  /// Batched column gather: fills entities[i] = CellEntity(t, row_begin
+  /// + i, c) and cells[i] = cell(t, row_begin + i, c) for i in [0, n).
+  /// Either output may be null to skip that lane. The batch scoring
+  /// kernels read cells exclusively through this — one virtual call per
+  /// (column, row chunk) instead of two per cell — and both backends
+  /// override it with direct strided walks over their storage. The
+  /// default loops the scalar accessors, so alternative CorpusView
+  /// implementations stay correct without writing a gather.
+  virtual void GatherColumn(int t, int c, int row_begin, int n,
+                            EntityId* entities,
+                            std::string_view* cells) const {
+    if (entities != nullptr) {
+      for (int i = 0; i < n; ++i) {
+        entities[i] = CellEntity(t, row_begin + i, c);
+      }
+    }
+    if (cells != nullptr) {
+      for (int i = 0; i < n; ++i) cells[i] = cell(t, row_begin + i, c);
+    }
+  }
+
   // --- Postings. ---
   //
   // Ordering contract: every postings list is sorted by non-decreasing

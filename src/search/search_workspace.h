@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/filter_manager.h"
+#include "exec/score_batch.h"
 #include "search/corpus_view.h"
 #include "search/query.h"
 
@@ -287,6 +289,27 @@ class SearchWorkspace {
 
   const QueryStats& stats() const { return query_stats; }
 
+  /// One batched bound screen's outcome in the EXPLAIN filter log:
+  /// which condition order the adaptive reorderer ran, how many plan
+  /// lanes entered, and how many survived to the refined-bound pass.
+  /// The determinism test replays a fixed query sequence and asserts
+  /// the order trace bit for bit.
+  struct FilterDecision {
+    int cls = 0;               // FilterManager class id
+    uint32_t lanes_in = 0;     // plan lanes entering the screen batch
+    uint32_t lanes_pass = 0;   // lanes surviving to the refined pass
+    uint8_t num_conditions = 0;
+    bool exploring = false;    // order came from an exploration round
+    std::array<uint8_t, exec::FilterManager::kMaxConditions> order{};
+  };
+
+  /// Lazily registers the engines' screen classes (class ids stay
+  /// stable for the workspace's lifetime). Conditions carry static
+  /// cost hints; measured pass rates drive the order.
+  void EnsureFilterClasses();
+
+  const exec::FilterManager& filter_manager() const { return filters; }
+
   /// Arms EXPLAIN capture for subsequent queries (sticky across
   /// queries; BeginSelect clears the log, not the flag). Off — the
   /// default — costs one branch per planned table and keeps the
@@ -313,6 +336,41 @@ class SearchWorkspace {
     uint64_t cooc;  // posting's co-occurrence bloom
   };
   std::vector<SupportEntry> support_scratch;  // token-posting union
+
+  // --- Vectorized batch kernel scratch (src/exec). ---
+  /// Columnar lanes shared by the bound screen (table/bound + selection
+  /// vectors) and the row-chunk scoring sweeps (entity/text/score).
+  exec::ScoreBatch batch;
+  /// Adaptive condition reorderer for the batched bound screens; one
+  /// class per engine, registered by EnsureFilterClasses.
+  exec::FilterManager filters;
+  int filter_class_type = -1;
+  int filter_class_type_relation = -1;
+  int filter_class_baseline = -1;
+  /// Per-plan-lane scoring verdicts, filled by ComputeColumnVerdicts
+  /// before the score scan. For the type/baseline engines a lane is a
+  /// col_pool position (b-side columns); for the relation engine it is
+  /// a relation-posting index. has_entity: the column holds at least
+  /// one E2-annotated cell, so the entity comparison can fire.
+  /// has_support: the column can text-match the target (or the backend
+  /// cannot prove otherwise), so the memo probe can fire. A lane with
+  /// neither is a proven no-op and its column scan is skipped exactly.
+  exec::BitVector lane_has_entity, lane_has_support;
+  /// Answer-side gathered lanes for a scoring chunk: slot k holds
+  /// column k's rows at stride exec::kBatchSize. Grown past the high
+  /// water mark only (EnsureGatherCapacity), zero steady-state
+  /// allocations.
+  std::vector<EntityId> gather_entities;
+  std::vector<std::string_view> gather_cells;
+  void EnsureGatherCapacity(uint32_t num_columns) {
+    const size_t need = size_t{num_columns} * exec::kBatchSize;
+    if (gather_entities.size() < need) gather_entities.resize(need);
+    if (gather_cells.size() < need) gather_cells.resize(need);
+  }
+  /// EXPLAIN trace of the batched bound screens for the last query
+  /// (empty unless explain_enabled()).
+  std::vector<FilterDecision> filter_log;
+
   search_internal::EntityAccumulator leg_acc;  // join leg expansion
   std::vector<std::pair<EntityId, double>> binding_list;  // join bindings
   std::string norm_scratch;  // join E3 normalization

@@ -2,6 +2,7 @@
 #define WEBTAB_SEARCH_SELECT_KERNEL_H_
 
 #include <algorithm>
+#include <array>
 #include <span>
 #include <tuple>
 #include <utility>
@@ -17,11 +18,30 @@ namespace search_internal {
 
 /// Appends `run`'s distinct column indices to `pool` in ascending order
 /// (the reference engines' std::set semantics) and returns the appended
-/// [begin, end) range. Runs are one table's worth of postings, so the
-/// sort is tiny.
+/// [begin, end) range. Runs are one table's worth of postings, almost
+/// always a handful of columns, so the fast path dedups through a
+/// fixed stack ring with an insertion sort — no tail std::sort, no
+/// erase, one bulk append into the pool per run. Oversized runs fall
+/// back to the sort+unique treatment with identical semantics.
 inline std::pair<uint32_t, uint32_t> AppendUniqueCols(
     std::span<const ColumnRef> run, std::vector<int32_t>* pool) {
   const uint32_t begin = static_cast<uint32_t>(pool->size());
+  constexpr size_t kRing = 64;
+  if (run.size() <= kRing) {
+    int32_t ring[kRing];
+    size_t n = 0;
+    for (const ColumnRef& ref : run) {
+      const int32_t c = ref.col;
+      size_t pos = n;
+      while (pos > 0 && ring[pos - 1] > c) --pos;
+      if (pos > 0 && ring[pos - 1] == c) continue;  // duplicate
+      for (size_t j = n; j > pos; --j) ring[j] = ring[j - 1];
+      ring[pos] = c;
+      ++n;
+    }
+    pool->insert(pool->end(), ring, ring + n);
+    return {begin, static_cast<uint32_t>(pool->size())};
+  }
   for (const ColumnRef& ref : run) pool->push_back(ref.col);
   std::sort(pool->begin() + begin, pool->end());
   pool->erase(std::unique(pool->begin() + begin, pool->end()),
@@ -74,6 +94,208 @@ class PostingRunCounter {
   std::span<const Ref> run_;
 };
 
+/// Condition kinds available to the batched bound screens. Every
+/// screen condition across the select engines is one of these two
+/// necessary-evidence probes; the FilterManager permutes their
+/// evaluation order per engine class from measured pass rates.
+enum class ScreenCond : uint8_t {
+  /// The table holds at least one E2-annotated cell (entity-postings
+  /// run nonempty). Necessary for any annotated hit.
+  kEntityRun,
+  /// The table is in the query's match-support set. Necessary for any
+  /// text-fallback hit.
+  kTableSupport,
+};
+
+/// Batched, filter-adaptive bound fill — the columnar replacement for
+/// the per-table bound_of loop. Plan lanes are processed in
+/// exec::kBatchSize batches; per batch the screen conditions run as
+/// columnar PartitionInto passes in the FilterManager's current order
+/// (disjunctive: a lane any condition proves alive skips the rest).
+/// Lanes no condition claims are proven to contribute zero evidence —
+/// their bound is exactly 0.0, the same double the scalar refined
+/// formula produces for them — and only survivors pay the exact
+/// refined-bound computation (`refined_of(p, counter)`, the engine's
+/// scalar formula verbatim, so survivor bounds are bit-identical too).
+///
+/// Counter discipline: PostingRunCounter seeks forward only, so every
+/// columnar pass gets a fresh counter, and the survivor list is
+/// re-sorted ascending before the refined pass.
+template <typename RefinedFn>
+void BatchedBoundFill(SearchWorkspace* ws, int cls,
+                      std::span<const ScreenCond> kinds,
+                      std::span<const CellRef> e2_postings,
+                      PostingBlockSpan e2_blocks, RefinedFn&& refined_of) {
+  exec::ScoreBatch& batch = ws->batch;
+  const bool explain = ws->explain_enabled();
+  const uint32_t plan_size = static_cast<uint32_t>(ws->plan.size());
+  for (uint32_t base = 0; base < plan_size; base += exec::kBatchSize) {
+    const uint32_t n = std::min(exec::kBatchSize, plan_size - base);
+    batch.Reset(n);  // active = undecided lanes, scratch = survivors
+    std::array<uint8_t, exec::FilterManager::kMaxConditions> order_used{};
+    {
+      std::span<const uint8_t> order = ws->filters.Order(cls);
+      std::copy(order.begin(), order.end(), order_used.begin());
+      const bool exploring = ws->filters.state(cls).exploring;
+      for (size_t oi = 0; oi < order.size() && !batch.active.empty();
+           ++oi) {
+        const uint8_t cond = order[oi];
+        const uint32_t in = batch.active.size();
+        const uint32_t pass_before = batch.scratch.size();
+        switch (kinds[cond]) {
+          case ScreenCond::kEntityRun: {
+            PostingRunCounter<CellRef> runs(e2_postings, e2_blocks);
+            batch.active.PartitionInto(
+                &batch.scratch, [&](uint32_t t) {
+                  return runs.CountAt(ws->plan[base + t].table) > 0;
+                });
+            break;
+          }
+          case ScreenCond::kTableSupport: {
+            batch.active.PartitionInto(
+                &batch.scratch, [&](uint32_t t) {
+                  return ws->TableHasMatchSupport(ws->plan[base + t].table);
+                });
+            break;
+          }
+        }
+        ws->filters.Record(cls, cond, in,
+                           batch.scratch.size() - pass_before);
+      }
+      // Unclaimed lanes: every screen condition failed, so neither an
+      // annotated hit nor a text match is possible anywhere in the
+      // table — the refined sum is zero and the bound is exactly 0.0.
+      for (uint32_t t : batch.active) ws->plan[base + t].bound = 0.0;
+      batch.scratch.SortAscending();
+      PostingRunCounter<CellRef> runs(e2_postings, e2_blocks);
+      for (uint32_t t : batch.scratch) {
+        search_internal::PlannedTable& p = ws->plan[base + t];
+        p.bound = refined_of(p, &runs);
+      }
+      if (explain) {
+        SearchWorkspace::FilterDecision d;
+        d.cls = cls;
+        d.lanes_in = n;
+        d.lanes_pass = batch.scratch.size();
+        d.num_conditions = static_cast<uint8_t>(
+            ws->filters.state(cls).num_conditions);
+        d.exploring = exploring;
+        d.order = order_used;
+        ws->filter_log.push_back(d);
+      }
+    }
+    ws->filters.EndBatch(cls);
+  }
+}
+
+/// Sizes the scoring-verdict lanes (all bits clear). Engines call this
+/// once after planning; FillColumnVerdicts / FillRelationVerdicts then
+/// populate one scored table's lanes at a time — lazily, so pruned
+/// scans never pay verdicts for tables they skip. Laziness is sound
+/// because score_table runs in ascending table order, which is exactly
+/// the forward posting counter's requirement.
+inline void PrepareVerdictLanes(SearchWorkspace* ws, size_t num_lanes) {
+  ws->lane_has_entity.Resize(static_cast<uint32_t>(num_lanes));
+  ws->lane_has_support.Resize(static_cast<uint32_t>(num_lanes));
+}
+
+/// Fills ws->lane_has_entity / lane_has_support for one scored table's
+/// E2-side columns (lane = col_pool position over [b_begin, b_end)) —
+/// the scoring-side verdict pass. has_entity: the column holds an
+/// E2-annotated cell, so the batch scorer gathers the entity lane and
+/// runs the comparison. has_support: the column can text-match the
+/// target (or the backend cannot prove otherwise), so the memo probe
+/// runs. Both false proves the column's scan emits no Add at all, and
+/// the scorer skips it — exact, including on full-rank scans where the
+/// bound screen never runs.
+inline void FillColumnVerdicts(SearchWorkspace* ws, const PlannedTable& p,
+                               PostingRunCounter<CellRef>* e2_runs,
+                               bool e2_present, bool support_valid) {
+  for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+    const int32_t col = ws->col_pool[bi];
+    ws->lane_has_entity.Assign(
+        bi, e2_present && e2_runs->CountAtCol(p.table, col) > 0);
+    ws->lane_has_support.Assign(
+        bi, !support_valid || ws->ColumnHasMatchSupport(p.table, col));
+  }
+}
+
+/// Relation-engine variant of FillColumnVerdicts: lanes are
+/// relation-posting indices and the probed column is each pair's
+/// object column.
+inline void FillRelationVerdicts(SearchWorkspace* ws,
+                                 const PlannedTable& p,
+                                 std::span<const RelationRef> postings,
+                                 PostingRunCounter<CellRef>* e2_runs,
+                                 bool e2_present, bool support_valid) {
+  for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
+    const RelationRef& ref = postings[ri];
+    const int32_t object_col = ref.swapped ? ref.c1 : ref.c2;
+    ws->lane_has_entity.Assign(
+        ri, e2_present && e2_runs->CountAtCol(p.table, object_col) > 0);
+    ws->lane_has_support.Assign(
+        ri,
+        !support_valid || ws->ColumnHasMatchSupport(p.table, object_col));
+  }
+}
+
+/// The batch scorer's shared (b-column × row chunks × a-columns)
+/// sweep for the col_pool engines (type, baseline). Per b-column it
+/// consults the verdict lanes (skipping proven no-op columns and
+/// unneeded gathers), gathers the E2-side lanes one chunk at a time,
+/// lets `score_chunk(batch, n, has_entity, has_support)` build the
+/// surviving-row selection vector (batch->active ascending, parallel
+/// row scores in batch->score), then gathers the answer-side lanes
+/// once per chunk and emits `emit(k, i, rs)` in the scalar
+/// path's exact (b asc, row asc, a asc) order — so every Add call, and
+/// with it every accumulated double and display string, is
+/// bit-identical to the scalar reference.
+template <typename ScoreChunkFn, typename EmitFn>
+void ScoreTableBatched(SearchWorkspace* ws, const CorpusView& index,
+                       const PlannedTable& p, bool need_answer_entities,
+                       ScoreChunkFn&& score_chunk, EmitFn&& emit) {
+  exec::ScoreBatch& batch = ws->batch;
+  const int table = p.table;
+  const int num_rows = index.rows(table);
+  const uint32_t a_count = p.a_end - p.a_begin;
+  if (a_count == 0 || num_rows == 0) return;
+  ws->EnsureGatherCapacity(a_count);
+  for (uint32_t bi = p.b_begin; bi < p.b_end; ++bi) {
+    const bool has_entity = ws->lane_has_entity.Test(bi);
+    const bool has_support = ws->lane_has_support.Test(bi);
+    if (!has_entity && !has_support) continue;  // proven no-op column
+    const int c2 = ws->col_pool[bi];
+    for (int rb = 0; rb < num_rows;
+         rb += static_cast<int>(exec::kBatchSize)) {
+      const int n =
+          std::min(static_cast<int>(exec::kBatchSize), num_rows - rb);
+      index.GatherColumn(table, c2, rb, n,
+                         has_entity ? batch.entity.data() : nullptr,
+                         has_support ? batch.text.data() : nullptr);
+      score_chunk(&batch, n, has_entity, has_support);
+      if (batch.active.empty()) continue;
+      // Lazy answer-side gather: only chunks with survivors pay it.
+      for (uint32_t k = 0; k < a_count; ++k) {
+        index.GatherColumn(
+            table, ws->col_pool[p.a_begin + k], rb, n,
+            need_answer_entities
+                ? ws->gather_entities.data() + k * exec::kBatchSize
+                : nullptr,
+            ws->gather_cells.data() + k * exec::kBatchSize);
+      }
+      const uint32_t m = batch.active.size();
+      for (uint32_t j = 0; j < m; ++j) {
+        const uint32_t i = batch.active[j];
+        const double rs = batch.score[j];
+        for (uint32_t k = 0; k < a_count; ++k) {
+          if (ws->col_pool[p.a_begin + k] == c2) continue;
+          emit(k, i, rs);
+        }
+      }
+    }
+  }
+}
+
 /// Fills ws->suffix_bound: suffix_bound[i] = Σ plan[j].bound for j > i —
 /// the prune rule's "remaining evidence mass" after scoring table i.
 inline void ComputeSuffixBounds(SearchWorkspace* ws) {
@@ -109,9 +331,11 @@ inline void RecordQueryStatsMetrics(
 
 /// The shared execution skeleton every select engine runs after
 /// building its plan: record plan stats, compute per-table bounds and
-/// suffix sums when pruning applies (`bound_of(p)` is the engine's
-/// upper bound on one answer's evidence from table p), then score
-/// tables in ascending order with the safe early-stop check after each.
+/// suffix sums when pruning applies (`fill_bounds()` writes every
+/// plan entry's upper bound on one answer's evidence — either the
+/// engine's scalar loop or the batched adaptive screen above), then
+/// score tables in ascending order with the safe early-stop check
+/// after each.
 /// Keeping this in one place keeps the stop condition and stats
 /// accounting from drifting apart across engines.
 ///
@@ -126,9 +350,9 @@ inline void RecordQueryStatsMetrics(
 ///     remaining == 0, so this stop must live here).
 /// Scan order stays ascending — reordering would change double
 /// summation order and break bit-identity with the reference.
-template <typename BoundFn, typename ScoreFn>
+template <typename BoundFillFn, typename ScoreFn>
 void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
-                      BoundFn&& bound_of, ScoreFn&& score_table) {
+                      BoundFillFn&& fill_bounds, ScoreFn&& score_table) {
   using Decision = SearchWorkspace::TableDecision;
   ws->query_stats.tables_planned = static_cast<int64_t>(ws->plan.size());
   const bool prune = topk.k > 0 && topk.prune;
@@ -140,7 +364,7 @@ void RunPlannedTables(SearchWorkspace* ws, const TopKOptions& topk,
   if (explain) ws->decision_bounds_valid = prune;
   if (prune) {
     obs::TraceSpan bound_span("search.bounds");
-    for (PlannedTable& p : ws->plan) p.bound = bound_of(p);
+    fill_bounds();
     ComputeSuffixBounds(ws);
   }
   {

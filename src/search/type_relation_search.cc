@@ -26,17 +26,22 @@ void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
   using search_internal::PlannedTable;
   using search_internal::PostingCursor;
   using search_internal::PostingRunCounter;
+  using search_internal::ScreenCond;
 
   ws->BeginSelect(nq.e2_text);
+  const bool prune = topk.k > 0 && topk.prune;
   // See type_search.cc: entity postings bound the annotated E2 hits,
   // the cell-token support set bounds where text fallback can fire.
-  const bool refine =
-      topk.k > 0 && topk.prune && ws->BuildMatchSupport(index);
-  PostingRunCounter<CellRef> e2_runs(
-      query.e2 != kNa ? index.EntityPostings(query.e2)
-                      : std::span<const CellRef>(),
-      query.e2 != kNa ? index.EntityPostingBlocks(query.e2)
-                      : PostingBlockSpan());
+  const bool support_valid =
+      (prune || topk.batch) && ws->BuildMatchSupport(index);
+  const bool refine = prune && support_valid;
+  const bool e2_present = query.e2 != kNa;
+  const std::span<const CellRef> e2_postings =
+      e2_present ? index.EntityPostings(query.e2)
+                 : std::span<const CellRef>();
+  const PostingBlockSpan e2_blocks = e2_present
+                                         ? index.EntityPostingBlocks(query.e2)
+                                         : PostingBlockSpan();
 
   // Plan: group the relation's table-sorted postings into per-table
   // runs (a_begin/a_end index the postings span itself).
@@ -54,62 +59,157 @@ void TypeRelationSearch(const CorpusView& index, const SelectQuery& query,
     ws->plan.push_back(p);
   }
   plan_span.End();
-  search_internal::RunPlannedTables(
-      ws, topk,
-      // Max row_score is 1.2; one answer can gain it once per (row,
-      // annotated pair) of the table. Refined: per pair at most the
-      // object column's E2-annotated cell count (1.2 each) plus, only
-      // when that object column can text-match the target, rows text
-      // fallbacks (0.7).
-      [&](const PlannedTable& p) {
+
+  // Max row_score is 1.2; one answer can gain it once per (row,
+  // annotated pair) of the table. Refined: per pair at most the object
+  // column's E2-annotated cell count (1.2 each) plus, only when that
+  // object column can text-match the target, rows text fallbacks
+  // (0.7). Shared by the scalar loop and the batched screen's survivor
+  // pass.
+  auto refined_bound = [&](const PlannedTable& p,
+                           PostingRunCounter<CellRef>* e2_runs) {
+    const double rows = index.rows(p.table);
+    const double runs = p.a_end - p.a_begin;
+    double bound = rows * 1.2 * runs;
+    double refined = 0.0;
+    for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
+      const RelationRef& ref = postings[ri];
+      const int object_col = ref.swapped ? ref.c1 : ref.c2;
+      // Only E2 annotations in this pair's object column count.
+      refined += 1.2 * e2_runs->CountAtCol(p.table, object_col);
+      if (ws->ColumnHasMatchSupport(p.table, object_col)) {
+        refined += 0.7 * rows;
+      }
+    }
+    return std::min(bound, refined);
+  };
+  auto fill_bounds = [&] {
+    if (!refine) {
+      for (PlannedTable& p : ws->plan) {
         const double rows = index.rows(p.table);
         const double runs = p.a_end - p.a_begin;
-        double bound = rows * 1.2 * runs;
-        if (refine) {
-          double refined = 0.0;
-          for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
-            const RelationRef& ref = postings[ri];
-            const int object_col = ref.swapped ? ref.c1 : ref.c2;
-            // Only E2 annotations in this pair's object column count.
-            refined += 1.2 * e2_runs.CountAtCol(p.table, object_col);
-            if (ws->ColumnHasMatchSupport(p.table, object_col)) {
-              refined += 0.7 * rows;
-            }
-          }
-          bound = std::min(bound, refined);
+        p.bound = rows * 1.2 * runs;
+      }
+      return;
+    }
+    if (topk.batch) {
+      ws->EnsureFilterClasses();
+      static constexpr ScreenCond kKinds[] = {ScreenCond::kEntityRun,
+                                              ScreenCond::kTableSupport};
+      search_internal::BatchedBoundFill(ws,
+                                        ws->filter_class_type_relation,
+                                        kKinds, e2_postings, e2_blocks,
+                                        refined_bound);
+      return;
+    }
+    PostingRunCounter<CellRef> e2_runs(e2_postings, e2_blocks);
+    for (PlannedTable& p : ws->plan) p.bound = refined_bound(p, &e2_runs);
+  };
+
+  auto scalar_score = [&](const PlannedTable& p) {
+    for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
+      const RelationRef& ref = postings[ri];
+      // Subject column holds E1 (answers); object column holds E2.
+      int subject_col = ref.swapped ? ref.c2 : ref.c1;
+      int object_col = ref.swapped ? ref.c1 : ref.c2;
+      const int num_rows = index.rows(ref.table);
+      for (int r = 0; r < num_rows; ++r) {
+        double row_score = 0.0;
+        EntityId obj = index.CellEntity(ref.table, r, object_col);
+        if (query.e2 != kNa && obj == query.e2) {
+          row_score = 1.2;  // Relation + entity annotated: strongest.
+        } else if (ws->CellMatches(
+                       index.cell(ref.table, r, object_col))) {
+          row_score = 0.7;
         }
-        return bound;
-      },
-      [&](const PlannedTable& p) {
-        for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
-          const RelationRef& ref = postings[ri];
-          // Subject column holds E1 (answers); object column holds E2.
-          int subject_col = ref.swapped ? ref.c2 : ref.c1;
-          int object_col = ref.swapped ? ref.c1 : ref.c2;
-          const int num_rows = index.rows(ref.table);
-          for (int r = 0; r < num_rows; ++r) {
-            double row_score = 0.0;
-            EntityId obj = index.CellEntity(ref.table, r, object_col);
-            if (query.e2 != kNa && obj == query.e2) {
-              row_score = 1.2;  // Relation + entity annotated: strongest.
-            } else if (ws->CellMatches(
-                           index.cell(ref.table, r, object_col))) {
-              row_score = 0.7;
+        if (row_score <= 0.0) continue;
+        EntityId answer = index.CellEntity(ref.table, r, subject_col);
+        if (answer != kNa) {
+          ws->AddEntity(ref.table, answer,
+                        index.cell(ref.table, r, subject_col), row_score);
+        } else {
+          ws->AddText(ref.table, index.cell(ref.table, r, subject_col),
+                      row_score * 0.8);
+        }
+      }
+    }
+  };
+
+  // Lazy verdict counter: scored tables arrive in ascending order, so
+  // one forward counter serves every FillRelationVerdicts call.
+  PostingRunCounter<CellRef> verdict_runs{e2_postings, e2_blocks};
+  auto batch_score = [&](const PlannedTable& p) {
+    search_internal::FillRelationVerdicts(ws, p, postings, &verdict_runs,
+                                          e2_present, support_valid);
+    exec::ScoreBatch& batch = ws->batch;
+    ws->EnsureGatherCapacity(1);
+    for (uint32_t ri = p.a_begin; ri < p.a_end; ++ri) {
+      const bool has_entity = ws->lane_has_entity.Test(ri);
+      const bool has_support = ws->lane_has_support.Test(ri);
+      if (!has_entity && !has_support) continue;  // proven no-op pair
+      const RelationRef& ref = postings[ri];
+      int subject_col = ref.swapped ? ref.c2 : ref.c1;
+      int object_col = ref.swapped ? ref.c1 : ref.c2;
+      const int num_rows = index.rows(ref.table);
+      for (int rb = 0; rb < num_rows;
+           rb += static_cast<int>(exec::kBatchSize)) {
+        const int n =
+            std::min(static_cast<int>(exec::kBatchSize), num_rows - rb);
+        index.GatherColumn(ref.table, object_col, rb, n,
+                           has_entity ? batch.entity.data() : nullptr,
+                           has_support ? batch.text.data() : nullptr);
+        uint32_t* tids = batch.active.mutable_data();
+        uint32_t m = 0;
+        if (has_entity && has_support) {
+          for (int i = 0; i < n; ++i) {
+            double rs = 0.0;
+            if (batch.entity[i] == query.e2) {
+              rs = 1.2;  // Relation + entity annotated: strongest.
+            } else if (ws->CellMatches(batch.text[i])) {
+              rs = 0.7;
             }
-            if (row_score <= 0.0) continue;
-            EntityId answer = index.CellEntity(ref.table, r, subject_col);
-            if (answer != kNa) {
-              ws->AddEntity(ref.table, answer,
-                            index.cell(ref.table, r, subject_col),
-                            row_score);
-            } else {
-              ws->AddText(ref.table,
-                          index.cell(ref.table, r, subject_col),
-                          row_score * 0.8);
-            }
+            tids[m] = static_cast<uint32_t>(i);
+            batch.score[m] = rs;
+            m += static_cast<uint32_t>(rs > 0.0);
+          }
+        } else if (has_entity) {
+          for (int i = 0; i < n; ++i) {
+            tids[m] = static_cast<uint32_t>(i);
+            batch.score[m] = 1.2;
+            m += static_cast<uint32_t>(batch.entity[i] == query.e2);
+          }
+        } else {
+          for (int i = 0; i < n; ++i) {
+            tids[m] = static_cast<uint32_t>(i);
+            batch.score[m] = 0.7;
+            m += static_cast<uint32_t>(ws->CellMatches(batch.text[i]));
           }
         }
-      });
+        batch.active.SetSize(m);
+        if (batch.active.empty()) continue;
+        index.GatherColumn(ref.table, subject_col, rb, n,
+                           ws->gather_entities.data(),
+                           ws->gather_cells.data());
+        for (uint32_t j = 0; j < m; ++j) {
+          const uint32_t i = batch.active[j];
+          const double rs = batch.score[j];
+          EntityId answer = ws->gather_entities[i];
+          if (answer != kNa) {
+            ws->AddEntity(ref.table, answer, ws->gather_cells[i], rs);
+          } else {
+            ws->AddText(ref.table, ws->gather_cells[i], rs * 0.8);
+          }
+        }
+      }
+    }
+  };
+
+  if (topk.batch) {
+    search_internal::PrepareVerdictLanes(ws, postings.size());
+    search_internal::RunPlannedTables(ws, topk, fill_bounds, batch_score);
+  } else {
+    search_internal::RunPlannedTables(ws, topk, fill_bounds, scalar_score);
+  }
   ws->EmitRanked(topk, out);
 }
 

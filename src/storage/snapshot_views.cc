@@ -544,6 +544,20 @@ SnapshotCatalogView::RelationsBetween(EntityId e1, EntityId e2) const {
   return out;
 }
 
+void SnapshotCatalogView::ForEachRelationBetween(
+    EntityId e1, EntityId e2,
+    const std::function<void(RelationId, bool)>& fn) const {
+  auto probe = [&](uint64_t key, bool swapped) {
+    auto it = std::lower_bound(pair_keys_.begin(), pair_keys_.end(), key);
+    if (it == pair_keys_.end() || *it != key) return;
+    uint64_t i = static_cast<uint64_t>(it - pair_keys_.begin());
+    auto [begin, end] = RowRange(pair_rel_ends_, i);
+    for (uint64_t j = begin; j < end; ++j) fn(pair_rels_[j], swapped);
+  };
+  probe(PairKey(e1, e2), false);
+  probe(PairKey(e2, e1), true);
+}
+
 // --- SnapshotLemmaIndexView -----------------------------------------------
 
 Status SnapshotLemmaIndexView::Init(const uint8_t* base, uint64_t size,

@@ -94,6 +94,9 @@ class SnapshotCatalogView : public CatalogView {
                                        EntityId e2) const override;
   std::vector<std::pair<RelationId, bool>> RelationsBetween(
       EntityId e1, EntityId e2) const override;
+  void ForEachRelationBetween(
+      EntityId e1, EntityId e2,
+      const std::function<void(RelationId, bool)>& fn) const override;
 
  private:
   CatalogHeader header_;
@@ -210,6 +213,24 @@ class SnapshotCorpusView : public CorpusView {
                           c];
   }
   RelationCandidate RelationOf(int t, int c1, int c2) const override;
+  /// Strided walk over the mmap'd cell arrays — one meta lookup per
+  /// chunk instead of one virtual call + meta lookup per cell.
+  void GatherColumn(int t, int c, int row_begin, int n, EntityId* entities,
+                    std::string_view* cells) const override {
+    const TableMetaDisk& m = table_meta_[t];
+    uint64_t idx =
+        m.cell_start + static_cast<uint64_t>(row_begin) * m.cols + c;
+    if (entities != nullptr) {
+      uint64_t i = idx;
+      for (int k = 0; k < n; ++k, i += m.cols) {
+        entities[k] = cell_entities_[i];
+      }
+    }
+    if (cells != nullptr) {
+      uint64_t i = idx;
+      for (int k = 0; k < n; ++k, i += m.cols) cells[k] = cells_.Get(i);
+    }
+  }
 
   std::span<const ColumnRef> HeaderPostings(
       std::string_view token) const override;

@@ -2,21 +2,33 @@
 
 #include <algorithm>
 
+#include "text/similarity.h"
 #include "text/tokenizer.h"
 
 namespace webtab {
+
+namespace {
+
+/// The soft-TFIDF match threshold — must equal the default of
+/// SoftTfIdfFromWeights, which the memoized path replicates.
+constexpr double kSoftThreshold = 0.9;
+
+}  // namespace
 
 SimilarityScratch::SimilarityScratch(Vocabulary* vocab, Options options)
     : vocab_(vocab), options_(options) {}
 
 void SimilarityScratch::MaybeCompact() {
   if (prepared_.size() <= options_.max_prepared &&
-      pairs_.size() <= options_.max_pairs) {
+      pairs_.size() <= options_.max_pairs &&
+      jw_memo_.size() <= options_.max_pairs) {
     return;
   }
   id_of_text_.clear();
   prepared_.clear();
   pairs_.clear();
+  soft_token_id_.clear();
+  jw_memo_.clear();
   ++epoch_;
 }
 
@@ -37,6 +49,10 @@ int32_t SimilarityScratch::Prepare(std::string_view text) {
       std::unique(p.unique_tokens.begin(), p.unique_tokens.end()),
       p.unique_tokens.end());
   p.soft = SoftTfIdfWeights(text, vocab_);
+  p.soft_ids.reserve(p.soft.size());
+  for (const SoftWeightedToken& wt : p.soft) {
+    p.soft_ids.push_back(InternSoftToken(wt.text));
+  }
 
   const int32_t id = static_cast<int32_t>(prepared_.size());
   prepared_.push_back(std::move(p));
@@ -86,9 +102,56 @@ SimilarityScratch::Measures(int32_t a, int32_t b) {
         2.0 * static_cast<double>(inter) / static_cast<double>(na + nb);
   }
 
-  m[kSoftTfIdf] = SoftTfIdfFromWeights(pa.soft, pb.soft);
+  m[kSoftTfIdf] = SoftTfIdfMemoized(pa, pb);
   m[kExact] = pa.normalized == pb.normalized ? 1.0 : 0.0;
   return pairs_.emplace(key, m).first->second;
+}
+
+int32_t SimilarityScratch::InternSoftToken(const std::string& token) {
+  auto it = soft_token_id_.find(token);
+  if (it != soft_token_id_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(soft_token_id_.size());
+  soft_token_id_.emplace(token, id);
+  return id;
+}
+
+double SimilarityScratch::SoftTfIdfMemoized(const PreparedText& pa,
+                                            const PreparedText& pb) {
+  const std::vector<SoftWeightedToken>& a = pa.soft;
+  const std::vector<SoftWeightedToken>& b = pb.soft;
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  double score = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int32_t ida = pa.soft_ids[i];
+    double best_sim = 0.0;
+    double best_wb = 0.0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      const int32_t idb = pb.soft_ids[j];
+      double sim;
+      if (ida == idb) {
+        sim = 1.0;
+      } else {
+        // Ordered key: no reliance on JaroWinkler being exactly
+        // symmetric at the bit level.
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(ida)) << 32) |
+            static_cast<uint32_t>(idb);
+        auto it = jw_memo_.find(key);
+        if (it != jw_memo_.end()) {
+          sim = it->second;
+        } else {
+          sim = JaroWinkler(a[i].text, b[j].text);
+          jw_memo_.emplace(key, sim);
+        }
+      }
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_wb = b[j].weight;
+      }
+    }
+    if (best_sim >= kSoftThreshold) score += best_sim * a[i].weight * best_wb;
+  }
+  return std::clamp(score, 0.0, 1.0);
 }
 
 }  // namespace webtab

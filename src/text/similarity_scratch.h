@@ -73,6 +73,7 @@ class SimilarityScratch {
 
   size_t num_prepared() const { return prepared_.size(); }
   size_t num_pairs() const { return pairs_.size(); }
+  size_t num_jw_pairs() const { return jw_memo_.size(); }
 
  private:
   struct PreparedText {
@@ -80,6 +81,11 @@ class SimilarityScratch {
     std::vector<std::string> unique_tokens;  // Sorted distinct tokens.
     TfIdfVector tfidf;
     std::vector<SoftWeightedToken> soft;
+    /// Interned token ids parallel to `soft`, keying the Jaro-Winkler
+    /// pair memo. Tokens intern by exact normalized text, so id equality
+    /// is exactly the `wa.text == wb.text` fast path of
+    /// SoftTfIdfFromWeights.
+    std::vector<int32_t> soft_ids;
   };
 
   /// Heterogeneous string hashing so Prepare never copies on a hit.
@@ -90,6 +96,17 @@ class SimilarityScratch {
     }
   };
 
+  /// Interns one soft token text, assigning a dense id on first sight.
+  int32_t InternSoftToken(const std::string& token);
+
+  /// Soft-TFIDF over prepared weights with the token-pair Jaro-Winkler
+  /// memo: structurally the SoftTfIdfFromWeights loop, with each
+  /// distinct (token, token) JW computed once per epoch instead of once
+  /// per (string, string) pairing. Bit-identical to the direct call —
+  /// JaroWinkler is deterministic, ids stand in for exact text equality,
+  /// and the accumulation order is unchanged.
+  double SoftTfIdfMemoized(const PreparedText& pa, const PreparedText& pb);
+
   Vocabulary* vocab_;
   Options options_;
   int64_t epoch_ = 0;
@@ -97,6 +114,12 @@ class SimilarityScratch {
       id_of_text_;
   std::vector<PreparedText> prepared_;
   std::unordered_map<uint64_t, std::array<double, kNumMeasures>> pairs_;
+  /// Distinct soft-token texts -> dense ids, and the (id, id) -> JW memo.
+  /// Column batches repeat tokens far more than whole cell strings, so
+  /// the memo collapses the quadratic JW inner loop across pairings.
+  std::unordered_map<std::string, int32_t, StringHash, std::equal_to<>>
+      soft_token_id_;
+  std::unordered_map<uint64_t, double> jw_memo_;
 };
 
 }  // namespace webtab
