@@ -1,0 +1,162 @@
+// Measures AnnotateCorpusParallel wall-clock scaling across worker
+// threads (the ROADMAP called the thread pool's speedup unverified).
+// Annotates the same synthetic corpus at 1/2/4 threads, asserts the
+// annotations are identical regardless of thread count (tables are
+// independent; output order and labels must not depend on scheduling),
+// and emits BENCH_annotate_parallel.json with the scaling curve.
+//
+// Acceptance: on a machine with >= 4 hardware threads, 4 workers must
+// cut corpus wall-clock by >= 1.7x vs 1 worker. On smaller machines the
+// speedup keys are still emitted (bench_diff treats missing keys as a
+// schema regression) with "multicore": false recording why the CHECK
+// was skipped.
+//
+//   ./corpus_annotate_bench --tables 160 --out BENCH_annotate_parallel.json
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "annotate/corpus_annotator.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "synth/corpus_generator.h"
+
+using namespace webtab;         // NOLINT(build/namespaces)
+using namespace webtab::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+bool SameAnnotation(const TableAnnotation& a, const TableAnnotation& b) {
+  if (a.column_types != b.column_types) return false;
+  if (a.cell_entities != b.cell_entities) return false;
+  if (a.relations.size() != b.relations.size()) return false;
+  for (const auto& [pair, cand] : a.relations) {
+    auto it = b.relations.find(pair);
+    if (it == b.relations.end() ||
+        it->second.relation != cand.relation ||
+        it->second.swapped != cand.swapped) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t seed = 42;
+  int64_t num_tables = 160;
+  int64_t reps = 3;
+  std::string out;
+  FlagSet flags;
+  flags.AddInt("seed", &seed, "world seed");
+  flags.AddInt("tables", &num_tables, "web-table corpus size");
+  flags.AddInt("reps", &reps, "timing repetitions (best-of)");
+  flags.AddString("out", &out, "JSON output path");
+  WEBTAB_CHECK_OK(flags.Parse(argc, argv));
+
+  World world = GenerateWorld(DefaultWorldSpec(seed));
+  LemmaIndex index(&world.catalog);
+  CorpusSpec spec;
+  spec.seed = seed + 23;
+  spec.num_tables = static_cast<int>(num_tables);
+  std::vector<Table> tables;
+  for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+    tables.push_back(lt.table);
+  }
+  std::cerr << "annotating " << tables.size() << " tables at 1/2/4 threads\n";
+
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool multicore = hardware_threads >= 4;
+
+  // One full run per thread count for the determinism cross-check, then
+  // best-of-reps wall times (scheduler stalls only inflate a sample, so
+  // the minimum is each configuration's honest floor).
+  const int thread_counts[] = {1, 2, 4};
+  std::vector<AnnotatedTable> reference;
+  double wall_ms[3] = {0, 0, 0};
+  double cpu_ms[3] = {0, 0, 0};
+  bool identical = true;
+  for (int tc = 0; tc < 3; ++tc) {
+    CorpusAnnotatorOptions options;
+    options.num_threads = thread_counts[tc];
+    CorpusTimingStats stats;
+    std::vector<AnnotatedTable> annotated = AnnotateCorpusParallel(
+        &world.catalog, &index, options, tables, &stats);
+    if (tc == 0) {
+      reference = std::move(annotated);
+    } else {
+      identical = identical && annotated.size() == reference.size();
+      for (size_t i = 0; identical && i < annotated.size(); ++i) {
+        identical = SameAnnotation(annotated[i].annotation,
+                                   reference[i].annotation);
+      }
+      WEBTAB_CHECK(identical)
+          << "annotations differ between 1 and " << thread_counts[tc]
+          << " threads";
+    }
+    double best = 1e300;
+    double cpu_at_best = 0.0;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      CorpusTimingStats timing;
+      WallTimer timer;
+      AnnotateCorpusParallel(&world.catalog, &index, options, tables,
+                             &timing);
+      const double ms = timer.ElapsedMillis();
+      if (ms < best) {
+        best = ms;
+        cpu_at_best = timing.total_seconds * 1000.0;
+      }
+    }
+    wall_ms[tc] = best;
+    cpu_ms[tc] = cpu_at_best;
+    std::cerr << "  " << thread_counts[tc] << " threads: " << best
+              << " ms wall\n";
+  }
+
+  const double speedup_2threads =
+      wall_ms[1] > 0 ? wall_ms[0] / wall_ms[1] : 0.0;
+  const double speedup_4threads =
+      wall_ms[2] > 0 ? wall_ms[0] / wall_ms[2] : 0.0;
+
+  char buf[2048];
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"annotate_parallel\",\n"
+      "  \"tables\": %d,\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"multicore\": %s,\n"
+      "  \"annotations_identical\": %s,\n"
+      "  \"wall_ms_1thread\": %.1f,\n"
+      "  \"wall_ms_2threads\": %.1f,\n"
+      "  \"wall_ms_4threads\": %.1f,\n"
+      "  \"cpu_ms_4threads\": %.1f,\n"
+      "  \"speedup_2threads\": %.2f,\n"
+      "  \"speedup_4threads\": %.2f\n"
+      "}\n",
+      static_cast<int>(num_tables), hardware_threads,
+      multicore ? "true" : "false", identical ? "true" : "false",
+      wall_ms[0], wall_ms[1], wall_ms[2], cpu_ms[2], speedup_2threads,
+      speedup_4threads);
+  WEBTAB_CHECK(n >= 0 && n < static_cast<int>(sizeof(buf)))
+      << "bench JSON exceeds buffer";
+  std::cout << buf;
+  if (!out.empty()) {
+    std::ofstream f(out);
+    f << buf;
+    std::cout << "wrote " << out << "\n";
+  }
+
+  WEBTAB_CHECK(identical);
+  if (multicore) {
+    WEBTAB_CHECK(speedup_4threads >= 1.7)
+        << "corpus annotation speedup at 4 threads " << speedup_4threads
+        << " < 1.7x on a " << hardware_threads << "-thread machine";
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/ids.h"
+#include "common/status.h"
 
 namespace webtab {
 
@@ -118,6 +119,47 @@ class CatalogView {
     for (const auto& [rel, swapped] : RelationsBetween(e1, e2)) {
       fn(rel, swapped);
     }
+  }
+
+  // --- Checked accessors (hostile-id safe) ---
+  // The raw accessors above CHECK-abort on an out-of-range id. That is
+  // the right contract for kernels whose ids come from this same view,
+  // and fatal for a serving worker handed an id from a request payload
+  // or from an annotation computed against a different snapshot
+  // generation. These validate first and surface kInvalidArgument
+  // instead of taking the process down. Both backends inherit them.
+  Result<std::string_view> CheckedTypeName(TypeId t) const {
+    if (!ValidType(t)) return BadId("type", t);
+    return TypeName(t);
+  }
+  Result<std::string_view> CheckedTypeLemma(TypeId t, int32_t i) const {
+    if (!ValidType(t)) return BadId("type", t);
+    if (i < 0 || i >= NumTypeLemmas(t)) return BadId("type lemma", i);
+    return TypeLemma(t, i);
+  }
+  Result<std::string_view> CheckedEntityName(EntityId e) const {
+    if (!ValidEntity(e)) return BadId("entity", e);
+    return EntityName(e);
+  }
+  Result<std::string_view> CheckedEntityLemma(EntityId e, int32_t i) const {
+    if (!ValidEntity(e)) return BadId("entity", e);
+    if (i < 0 || i >= NumEntityLemmas(e)) return BadId("entity lemma", i);
+    return EntityLemma(e, i);
+  }
+  Result<std::string_view> CheckedRelationName(RelationId b) const {
+    if (!ValidRelation(b)) return BadId("relation", b);
+    return RelationName(b);
+  }
+  Result<std::span<const EntityPair>> CheckedRelationTuples(
+      RelationId b) const {
+    if (!ValidRelation(b)) return BadId("relation", b);
+    return RelationTuples(b);
+  }
+
+ private:
+  static Status BadId(std::string_view kind, int64_t id) {
+    return Status::InvalidArgument(std::string(kind) + " id " +
+                                   std::to_string(id) + " out of range");
   }
 };
 

@@ -1,0 +1,74 @@
+#include "common/task_pool.h"
+
+namespace webtab {
+
+TaskPool::TaskPool(int num_threads) {
+  threads_.reserve(num_threads > 0 ? static_cast<size_t>(num_threads) : 0);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::Launch(TaskFn fn, void* ctx, int count) {
+  if (threads_.empty()) {
+    // Inline degradation: deterministic single-thread execution.
+    for (int i = 0; i < count; ++i) fn(ctx, i);
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ = count;
+    completed_ = count;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    count_ = count;
+    completed_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+}
+
+void TaskPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return completed_ >= count_; });
+}
+
+void TaskPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    TaskFn fn;
+    void* ctx;
+    int count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = fn_;
+      ctx = ctx_;
+      count = count_;
+    }
+    while (true) {
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(ctx, i);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      if (completed_ >= count) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace webtab

@@ -1,0 +1,69 @@
+#ifndef WEBTAB_COMMON_TASK_POOL_H_
+#define WEBTAB_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webtab {
+
+/// Minimal fixed-size worker pool for intra-query fan-out (the search
+/// scatter-gather and the join's per-binding leg expansion). One task
+/// group runs at a time: Launch hands the workers a plain function
+/// pointer plus a caller-owned context and an index range — no
+/// std::function, no queue nodes — so launching a group performs no
+/// allocations and the serving hot path keeps its zero-steady-state-
+/// allocation contract.
+///
+/// Tasks must never block on work that only the pool could run (the
+/// scatter-gather protocol keeps shards lock-free for exactly this
+/// reason). Completion is usually observed through the caller's own
+/// per-task state; Drain() is the barrier for reusing the group's
+/// context.
+///
+/// A pool built with zero threads degrades to running every task inline
+/// on the Launch caller — the deterministic mode the equivalence tests
+/// use.
+class TaskPool {
+ public:
+  using TaskFn = void (*)(void* ctx, int index);
+
+  explicit TaskPool(int num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Starts `count` tasks fn(ctx, 0 .. count-1) on the pool and returns
+  /// immediately (with zero threads: runs them all before returning).
+  /// The previous group must have been Drain()ed.
+  void Launch(TaskFn fn, void* ctx, int count);
+
+  /// Blocks until every task of the current group has finished. Idempotent;
+  /// a no-op when no group is in flight.
+  void Drain();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  TaskFn fn_ = nullptr;      // guarded by mu_ (read once per wakeup)
+  void* ctx_ = nullptr;      // guarded by mu_
+  int count_ = 0;            // guarded by mu_
+  int completed_ = 0;        // guarded by mu_
+  uint64_t generation_ = 0;  // guarded by mu_; bumps once per Launch
+  bool shutdown_ = false;    // guarded by mu_
+  std::atomic<int> next_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace webtab
+
+#endif  // WEBTAB_COMMON_TASK_POOL_H_

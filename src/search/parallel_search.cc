@@ -1,0 +1,394 @@
+#include "search/parallel_search.h"
+
+#include <bit>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "search/baseline_search.h"
+#include "search/select_kernel.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+#include "text/tokenizer.h"
+
+namespace webtab {
+
+namespace {
+
+using search_internal::ShardControl;
+using search_internal::ShardPhase;
+
+void DispatchSequential(SelectEngineKind engine, const CorpusView& index,
+                        const SelectQuery& query,
+                        const NormalizedSelectQuery& nq,
+                        const TopKOptions& topk, SearchWorkspace* ws,
+                        std::vector<SearchResult>* out) {
+  switch (engine) {
+    case SelectEngineKind::kBaseline:
+      BaselineSearch(index, query, nq, topk, ws, out);
+      break;
+    case SelectEngineKind::kType:
+      TypeSearch(index, query, nq, topk, ws, out);
+      break;
+    case SelectEngineKind::kTypeRelation:
+      TypeRelationSearch(index, query, nq, topk, ws, out);
+      break;
+  }
+}
+
+/// One shard task: runs the engine against the shard's clamped view with
+/// recording armed. The TopKOptions carried by the slot points at the
+/// slot's ShardScan, which routes the engine's RunPlannedTables into
+/// shard mode (select_kernel.h).
+void RunSelectShardTask(void* arg, int index) {
+  auto* ctx = static_cast<ParallelSearchContext*>(arg);
+  ParallelSearchContext::Slot& sl = *ctx->slots_[index];
+  DispatchSequential(sl.engine, sl.view, *sl.query, *sl.nq, sl.topk, &sl.ws,
+                     &sl.scratch_out);
+}
+
+/// One join leg-1 task: expands bindings w, w+stride, ... each into the
+/// slot's private accumulator and snapshots the (entity, evidence) pairs
+/// in insertion order — the caller multiplies and merges them in binding
+/// order, reproducing the sequential engine's accumulation exactly.
+void RunJoinLegTask(void* arg, int w) {
+  auto* ctx = static_cast<ParallelSearchContext*>(arg);
+  const ParallelSearchContext::JoinTaskArgs& ja = ctx->join_args_;
+  ParallelSearchContext::Slot& sl = *ctx->slots_[w];
+  for (size_t i = static_cast<size_t>(w); i < ja.bindings.size();
+       i += static_cast<size_t>(ja.stride)) {
+    ParallelSearchContext::BindingResult& br = *ctx->bindings_[i];
+    sl.ws.query_stats = SearchWorkspace::QueryStats{};
+    sl.ws.decision_log.clear();
+    search_internal::JoinExpandLeg(
+        *ja.index, ja.query->r1, ja.bindings[i].first, /*grounded_text=*/{},
+        /*grounded_is_object=*/ja.query->e1_is_subject, ja.support_valid,
+        ja.use_batch, &sl.ws, &sl.ws.leg_acc);
+    br.pairs.clear();
+    sl.ws.leg_acc.ForEach([&](EntityId e1, double evidence) {
+      br.pairs.emplace_back(e1, evidence);
+    });
+    br.planned = sl.ws.query_stats.tables_planned;
+    br.scored = sl.ws.query_stats.tables_scored;
+    if (ja.explain) {
+      br.log.assign(sl.ws.decision_log.begin(), sl.ws.decision_log.end());
+    }
+    br.done.store(1, std::memory_order_release);
+  }
+}
+
+void WaitState(const std::atomic<uint32_t>& state, uint32_t target) {
+  while (state.load(std::memory_order_acquire) < target) {
+    std::this_thread::yield();
+  }
+}
+
+void RecordShardMetrics(int shards, int64_t abandoned) {
+  static obs::Counter* fanout =
+      obs::MetricsRegistry::Get().GetCounter("search.shard_fanout");
+  static obs::Counter* dropped =
+      obs::MetricsRegistry::Get().GetCounter("search.shard_abandoned");
+  fanout->Add(shards);
+  dropped->Add(abandoned);
+  obs::TraceAddCounter("shard_fanout", shards);
+  if (abandoned > 0) obs::TraceAddCounter("shard_abandoned", abandoned);
+}
+
+}  // namespace
+
+void PartitionTables(int64_t num_tables, int shards,
+                     std::vector<int32_t>* starts) {
+  if (shards < 1) shards = 1;
+  starts->clear();
+  starts->push_back(0);
+  const int64_t base = num_tables / shards;
+  const int64_t rem = num_tables % shards;
+  int64_t pos = 0;
+  for (int s = 0; s < shards; ++s) {
+    pos += base + (s < rem ? 1 : 0);
+    starts->push_back(static_cast<int32_t>(pos));
+  }
+}
+
+void ParallelSelectSearch(SelectEngineKind engine, const CorpusView& index,
+                          const SelectQuery& query,
+                          const NormalizedSelectQuery& nq,
+                          const TopKOptions& topk, ParallelSearchContext* ctx,
+                          SearchWorkspace* ws,
+                          std::vector<SearchResult>* out) {
+  using Decision = SearchWorkspace::TableDecision;
+  TopKOptions seq = topk;
+  seq.parallelism = 1;
+  seq.shard = nullptr;
+  int S = std::min(topk.parallelism, ctx->max_shards());
+  const int64_t num_tables = index.num_tables();
+  if (static_cast<int64_t>(S) > num_tables) {
+    S = static_cast<int>(num_tables);
+  }
+  if (S <= 1) {
+    DispatchSequential(engine, index, query, nq, seq, ws, out);
+    return;
+  }
+
+  PartitionTables(num_tables, S, &ctx->shard_starts_);
+  ctx->control_.Reset();
+  const bool threaded = ctx->threaded();
+  for (int s = 0; s < S; ++s) {
+    ParallelSearchContext::Slot& sl = *ctx->slots_[s];
+    sl.view.Reset(&index, ctx->shard_starts_[s], ctx->shard_starts_[s + 1]);
+    sl.ws.EnableExplain(false);  // the gather owns all EXPLAIN capture
+    sl.ws.BeginRecording();
+    sl.scan.control = &ctx->control_;
+    sl.scan.shard_index = s;
+    sl.scan.phase =
+        threaded ? ShardPhase::kPlanAndScore : ShardPhase::kPlanOnly;
+    sl.scan.state = threaded ? &sl.state : nullptr;
+    sl.scan.abandoned = 0;
+    sl.state.store(0, std::memory_order_relaxed);
+    sl.engine = engine;
+    sl.query = &query;
+    sl.nq = &nq;
+    sl.topk = seq;
+    sl.topk.shard = &sl.scan;
+  }
+
+  {
+    obs::TraceSpan scatter_span("search.scatter");
+    if (threaded) {
+      ctx->pool_.Launch(&RunSelectShardTask, ctx, S);
+      for (int s = 0; s < S; ++s) WaitState(ctx->slots_[s]->state, 1);
+    } else {
+      for (int s = 0; s < S; ++s) RunSelectShardTask(ctx, s);
+    }
+  }
+
+  // The merge workspace starts exactly like a sequential engine run;
+  // replaying shard records in ascending shard order then reproduces
+  // the sequential AddEntity/AddText stream bit for bit.
+  ws->BeginSelect(nq.e2_text);
+  const bool prune = topk.k > 0 && topk.prune;
+  const bool explain = ws->explain_enabled();
+  if (explain) ws->decision_bounds_valid = prune;
+
+  ctx->shard_base_.resize(static_cast<size_t>(S));
+  size_t total = 0;
+  for (int s = 0; s < S; ++s) {
+    ctx->shard_base_[s] = total;
+    total += ctx->slots_[s]->ws.plan.size();
+    ws->shard_log.push_back(SearchWorkspace::ShardSummary{
+        s, ctx->shard_starts_[s], ctx->shard_starts_[s + 1],
+        static_cast<int64_t>(ctx->slots_[s]->ws.plan.size()), 0, 0});
+  }
+  ws->query_stats.tables_planned = static_cast<int64_t>(total);
+  if (prune) {
+    // Global suffix bounds with the sequential kernel's exact backwards
+    // accumulation order over the concatenated shard plans.
+    ctx->suffix_.resize(total);
+    double acc = 0.0;
+    size_t gi = total;
+    for (int s = S; s-- > 0;) {
+      const auto& plan = ctx->slots_[s]->ws.plan;
+      for (size_t pi = plan.size(); pi-- > 0;) {
+        ctx->suffix_[--gi] = acc;
+        acc += plan[pi].bound;
+      }
+    }
+  }
+
+  {
+    obs::TraceSpan gather_span("search.gather");
+    bool stopped = false;
+    for (int s = 0; s < S && !stopped; ++s) {
+      ParallelSearchContext::Slot& sl = *ctx->slots_[s];
+      if (threaded) {
+        WaitState(sl.state, 2);
+      } else {
+        // Inline deterministic mode: score this shard now, after the
+        // gather already replayed every earlier shard — its scan
+        // observes all previously published stops.
+        sl.scan.phase = ShardPhase::kScoreOnly;
+        RunSelectShardTask(ctx, s);
+      }
+      const auto& plan = sl.ws.plan;
+      const auto& marks = sl.ws.emit_marks;
+      const size_t gbase = ctx->shard_base_[s];
+      size_t mi = 0;
+      for (size_t pi = 0; pi < plan.size(); ++pi) {
+        const double bound = prune ? plan[pi].bound : 0.0;
+        const double suffix = prune ? ctx->suffix_[gbase + pi] : 0.0;
+        if (prune && bound <= 0.0) {
+          if (explain) {
+            ws->decision_log.push_back({plan[pi].table,
+                                        Decision::Verdict::kPrunedZeroBound,
+                                        bound, suffix});
+          }
+          continue;
+        }
+        // A position the gather reaches was never abandoned (the stop
+        // is published only below, after which the gather quits), so
+        // its mark must exist.
+        while (mi < marks.size() && marks[mi].plan_pos < pi) ++mi;
+        WEBTAB_CHECK(mi < marks.size() && marks[mi].plan_pos == pi);
+        ws->ReplayRecordsFrom(sl.ws, marks[mi].begin, marks[mi].end);
+        ++ws->query_stats.tables_scored;
+        ++ws->shard_log[static_cast<size_t>(s)].replayed;
+        if (explain) {
+          ws->decision_log.push_back(
+              {plan[pi].table, Decision::Verdict::kScored, bound, suffix});
+        }
+        if (!prune) continue;
+        if (suffix <= 0.0 || ws->ShouldStop(topk.k, suffix)) {
+          // Publish the first abandoned global position: in-flight
+          // shards poll it and abandon everything at or past it.
+          ctx->control_.stop_pos.store(ShardControl::Encode(s, pi) + 1,
+                                       std::memory_order_relaxed);
+          if (explain) {
+            for (size_t pj = pi + 1; pj < plan.size(); ++pj) {
+              ws->decision_log.push_back({plan[pj].table,
+                                          Decision::Verdict::kPrunedSuffix,
+                                          plan[pj].bound,
+                                          ctx->suffix_[gbase + pj]});
+            }
+            for (int s2 = s + 1; s2 < S; ++s2) {
+              const auto& plan2 = ctx->slots_[s2]->ws.plan;
+              const size_t base2 = ctx->shard_base_[s2];
+              for (size_t pj = 0; pj < plan2.size(); ++pj) {
+                ws->decision_log.push_back({plan2[pj].table,
+                                            Decision::Verdict::kPrunedSuffix,
+                                            plan2[pj].bound,
+                                            ctx->suffix_[base2 + pj]});
+              }
+            }
+          }
+          stopped = true;
+          break;
+        }
+      }
+      // Shared-threshold telemetry: the merged evidence's running max
+      // after folding this shard in.
+      ctx->control_.merged_max_score_bits.store(
+          std::bit_cast<uint64_t>(ws->max_evidence_score()),
+          std::memory_order_relaxed);
+    }
+    if (threaded) {
+      // Shards behind a stop keep running briefly and abandon their
+      // remaining positions; the pool barrier makes their counters (and
+      // the slots) safe to reuse.
+      ctx->pool_.Drain();
+    } else if (stopped) {
+      // Deterministic mode scores the post-stop shards too: every one
+      // of their non-zero-bound positions abandons against the
+      // published stop, making the abandonment counters reproducible.
+      for (int s = 0; s < S; ++s) {
+        ParallelSearchContext::Slot& sl = *ctx->slots_[s];
+        if (sl.scan.phase != ShardPhase::kPlanOnly) continue;
+        sl.scan.phase = ShardPhase::kScoreOnly;
+        RunSelectShardTask(ctx, s);
+      }
+    }
+  }
+
+  int64_t abandoned = 0;
+  for (int s = 0; s < S; ++s) {
+    ws->shard_log[static_cast<size_t>(s)].abandoned =
+        ctx->slots_[s]->scan.abandoned;
+    abandoned += ctx->slots_[s]->scan.abandoned;
+    ctx->slots_[s]->ws.EndRecording();
+  }
+  ws->query_stats.shards_used = S;
+  ws->query_stats.shard_tables_abandoned = abandoned;
+  if (prune) {
+    ws->query_stats.stopped_early =
+        ws->query_stats.tables_scored < ws->query_stats.tables_planned;
+  }
+  search_internal::RecordQueryStatsMetrics(ws->query_stats);
+  RecordShardMetrics(S, abandoned);
+  ws->EmitRanked(topk, out);
+}
+
+void ParallelJoinSearch(const CorpusView& index, const JoinQuery& query,
+                        const TopKOptions& topk, ParallelSearchContext* ctx,
+                        SearchWorkspace* ws,
+                        std::vector<SearchResult>* out) {
+  TopKOptions seq = topk;
+  seq.parallelism = 1;
+  seq.shard = nullptr;
+  int W = std::min(topk.parallelism, ctx->max_shards());
+  if (W <= 1) {
+    JoinSearch(index, query, seq, ws, out);
+    return;
+  }
+
+  // Leg 2 (binding enumeration) is identical to the sequential engine
+  // and runs on the merge workspace.
+  NormalizeTextInto(query.e3_text, &ws->norm_scratch);
+  ws->BeginSelect(ws->norm_scratch);
+  const bool support_valid = ws->BuildMatchSupport(index);
+  obs::TraceSpan plan_span("search.plan");
+  search_internal::JoinExpandLeg(
+      index, query.r2, query.e3, ws->norm_scratch,
+      /*grounded_is_object=*/query.e2_is_subject, support_valid, topk.batch,
+      ws, &ws->leg_acc);
+  ws->leg_acc.ExtractRanked(std::max(0, query.max_join_entities),
+                            &ws->binding_list);
+  plan_span.End();
+
+  const size_t num_bindings = ws->binding_list.size();
+  const bool explain = ws->explain_enabled();
+  W = std::min(W, static_cast<int>(std::max<size_t>(num_bindings, 1)));
+  while (ctx->bindings_.size() < num_bindings) {
+    ctx->bindings_.push_back(
+        std::make_unique<ParallelSearchContext::BindingResult>());
+  }
+  for (size_t i = 0; i < num_bindings; ++i) {
+    ctx->bindings_[i]->done.store(0, std::memory_order_relaxed);
+  }
+  for (int w = 0; w < W; ++w) {
+    ctx->slots_[w]->ws.EnableExplain(explain);
+    ctx->slots_[w]->ws.EndRecording();
+  }
+  ctx->join_args_ = ParallelSearchContext::JoinTaskArgs{
+      &index, &query,
+      std::span<const std::pair<EntityId, double>>(ws->binding_list),
+      support_valid, topk.batch, explain, W};
+
+  {
+    // Leg 1: per-binding expansions fan out; the merge folds them back
+    // in binding order, so the multiplicative chaining sums doubles in
+    // the sequential engine's exact order.
+    obs::TraceSpan score_span("search.score");
+    const bool threaded = ctx->threaded();
+    if (threaded) {
+      ctx->pool_.Launch(&RunJoinLegTask, ctx, W);
+    } else {
+      for (int w = 0; w < W; ++w) RunJoinLegTask(ctx, w);
+    }
+    for (size_t i = 0; i < num_bindings; ++i) {
+      ParallelSearchContext::BindingResult& br = *ctx->bindings_[i];
+      while (br.done.load(std::memory_order_acquire) == 0) {
+        std::this_thread::yield();
+      }
+      const double binding_score = ws->binding_list[i].second;
+      for (const auto& [e1, evidence] : br.pairs) {
+        ws->AddEntity(/*table=*/0, e1, /*raw=*/{}, evidence * binding_score);
+      }
+      ws->query_stats.tables_planned += br.planned;
+      ws->query_stats.tables_scored += br.scored;
+      if (explain) {
+        ws->decision_log.insert(ws->decision_log.end(), br.log.begin(),
+                                br.log.end());
+      }
+    }
+    if (threaded) ctx->pool_.Drain();
+  }
+
+  ws->query_stats.stopped_early =
+      ws->query_stats.tables_scored < ws->query_stats.tables_planned;
+  ws->query_stats.shards_used = W;
+  search_internal::RecordQueryStatsMetrics(ws->query_stats);
+  RecordShardMetrics(W, /*abandoned=*/0);
+  ws->EmitRanked(topk, out);
+}
+
+}  // namespace webtab

@@ -1,0 +1,221 @@
+#ifndef WEBTAB_SEARCH_PARALLEL_SEARCH_H_
+#define WEBTAB_SEARCH_PARALLEL_SEARCH_H_
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/task_pool.h"
+#include "search/corpus_view.h"
+#include "search/join_search.h"
+#include "search/posting_cursor.h"
+#include "search/query.h"
+#include "search/search_workspace.h"
+#include "search/shard_scan.h"
+
+namespace webtab {
+
+/// Which select engine a scatter-gather query runs (mirrors the serving
+/// layer's engine dispatch; the join engine has its own entry point).
+enum class SelectEngineKind { kBaseline, kType, kTypeRelation };
+
+/// Splits `num_tables` into `shards` contiguous table-order ranges as
+/// evenly as possible: `starts` gets shards + 1 boundaries, shard s
+/// covering [starts[s], starts[s+1]). Purely logical — no snapshot
+/// format change; the per-shard views below clamp the table-ordered
+/// postings to the range.
+void PartitionTables(int64_t num_tables, int shards,
+                     std::vector<int32_t>* starts);
+
+/// A logical shard of a corpus: delegates every accessor to the base
+/// view but clamps all posting lists to the tables in [begin, end).
+/// Because postings are sorted by non-decreasing table and a clamp never
+/// splits one table's run, the shard plans an engine builds concatenate
+/// (in shard order) to exactly the sequential plan over the base view —
+/// the root of the scatter-gather determinism contract.
+///
+/// Block-max spans are deliberately reported empty: a clamped span's
+/// offsets no longer align to the base list's block boundaries, so the
+/// cursors fall back to pure galloping (exact; prune bounds come from
+/// exact run counts, never from block maxima).
+class ShardView final : public CorpusView {
+ public:
+  void Reset(const CorpusView* base, int32_t begin_table,
+             int32_t end_table) {
+    base_ = base;
+    begin_ = begin_table;
+    end_ = end_table;
+  }
+  int32_t begin_table() const { return begin_; }
+  int32_t end_table() const { return end_; }
+
+  int64_t num_tables() const override { return base_->num_tables(); }
+  int rows(int t) const override { return base_->rows(t); }
+  int cols(int t) const override { return base_->cols(t); }
+  int64_t table_id(int t) const override { return base_->table_id(t); }
+  std::string_view cell(int t, int r, int c) const override {
+    return base_->cell(t, r, c);
+  }
+  std::string_view header(int t, int c) const override {
+    return base_->header(t, c);
+  }
+  std::string_view context(int t) const override {
+    return base_->context(t);
+  }
+  TypeId ColumnType(int t, int c) const override {
+    return base_->ColumnType(t, c);
+  }
+  EntityId CellEntity(int t, int r, int c) const override {
+    return base_->CellEntity(t, r, c);
+  }
+  RelationCandidate RelationOf(int t, int c1, int c2) const override {
+    return base_->RelationOf(t, c1, c2);
+  }
+  void GatherColumn(int t, int c, int row_begin, int n, EntityId* entities,
+                    std::string_view* cells) const override {
+    base_->GatherColumn(t, c, row_begin, n, entities, cells);
+  }
+
+  std::span<const ColumnRef> HeaderPostings(
+      std::string_view token) const override {
+    return Clamp(base_->HeaderPostings(token));
+  }
+  std::span<const int32_t> ContextPostings(
+      std::string_view token) const override {
+    return Clamp(base_->ContextPostings(token));
+  }
+  std::span<const ColumnRef> TypePostings(TypeId t) const override {
+    return Clamp(base_->TypePostings(t));
+  }
+  std::span<const RelationRef> RelationPostings(
+      RelationId b) const override {
+    return Clamp(base_->RelationPostings(b));
+  }
+  std::span<const CellRef> EntityPostings(EntityId e) const override {
+    return Clamp(base_->EntityPostings(e));
+  }
+  bool HasMatchSupport() const override { return base_->HasMatchSupport(); }
+  std::span<const CellTokenRef> CellTokenPostings(
+      std::string_view token) const override {
+    return Clamp(base_->CellTokenPostings(token));
+  }
+
+ private:
+  template <typename T>
+  std::span<const T> Clamp(std::span<const T> s) const {
+    auto below = [](const T& r, int32_t t) {
+      return search_internal::PostingTable(r) < t;
+    };
+    const T* first =
+        std::lower_bound(s.data(), s.data() + s.size(), begin_, below);
+    const T* last = std::lower_bound(first, s.data() + s.size(), end_, below);
+    return {first, static_cast<size_t>(last - first)};
+  }
+
+  const CorpusView* base_ = nullptr;
+  int32_t begin_ = 0, end_ = 0;
+};
+
+/// Reusable per-worker state for scatter-gather query execution: the
+/// task pool, one workspace-pool slot per potential shard (workspaces
+/// reused across queries — steady state allocates nothing), and the
+/// shared cross-shard control word. One context serves any number of
+/// sequential queries; not thread-safe across queries (one in-flight
+/// query per context, like SearchWorkspace itself).
+///
+/// `threads` == 0 builds the inline deterministic executor: shards run
+/// on the calling thread in a plan-all / score-and-replay-per-shard
+/// order, so each shard's scoring pass observes every stop the gather
+/// published for earlier shards — the mode the equivalence and
+/// cold-shard tests pin down.
+class ParallelSearchContext {
+ public:
+  ParallelSearchContext(int max_shards, int threads)
+      : pool_(threads > 0 ? threads : 0) {
+    if (max_shards < 1) max_shards = 1;
+    slots_.reserve(static_cast<size_t>(max_shards));
+    for (int i = 0; i < max_shards; ++i) {
+      slots_.push_back(std::make_unique<Slot>());
+    }
+  }
+
+  int max_shards() const { return static_cast<int>(slots_.size()); }
+  bool threaded() const { return pool_.num_threads() > 0; }
+
+  // --- Executor-facing internals (parallel_search.cc). ---
+  struct Slot {
+    SearchWorkspace ws;
+    ShardView view;
+    search_internal::ShardScan scan;
+    std::atomic<uint32_t> state{0};
+    std::vector<SearchResult> scratch_out;  // engines' dummy emit target
+    // Select-shard task arguments (set per query before Launch).
+    SelectEngineKind engine = SelectEngineKind::kType;
+    const SelectQuery* query = nullptr;
+    const NormalizedSelectQuery* nq = nullptr;
+    TopKOptions topk;
+  };
+
+  /// Per-binding output of a parallel join leg-1 expansion, merged by
+  /// the caller in binding order so every accumulated double matches the
+  /// sequential engine bit for bit.
+  struct BindingResult {
+    std::vector<std::pair<EntityId, double>> pairs;  // leg_acc, in order
+    int64_t planned = 0;
+    int64_t scored = 0;
+    std::vector<SearchWorkspace::TableDecision> log;  // explain only
+    std::atomic<uint32_t> done{0};
+  };
+  struct JoinTaskArgs {
+    const CorpusView* index = nullptr;
+    const JoinQuery* query = nullptr;
+    std::span<const std::pair<EntityId, double>> bindings;
+    bool support_valid = false;
+    bool use_batch = true;
+    bool explain = false;
+    int stride = 1;  // number of leg-1 tasks
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::unique_ptr<BindingResult>> bindings_;
+  JoinTaskArgs join_args_;
+  TaskPool pool_;
+  search_internal::ShardControl control_;
+  std::vector<int32_t> shard_starts_;
+  std::vector<double> suffix_;  // global suffix bounds over the merged plan
+  std::vector<size_t> shard_base_;  // each shard's global plan offset
+};
+
+/// Scatter-gather select execution: partitions the corpus into
+/// min(topk.parallelism, ctx->max_shards()) table-range shards, runs
+/// `engine` per shard (recording evidence calls), and replays the
+/// records in global table order into `ws`, running the exact
+/// sequential zero-bound / suffix / gap-test logic on the merged
+/// evidence. The final ranking in `out` — scores, display strings,
+/// tie-breaks, stats — is byte-identical to the sequential engine for
+/// every k/prune/batch combination. When the merged stop rule fires,
+/// the global stop position is published to in-flight shards, which
+/// abandon later tables mid-flight (counted in
+/// stats().shard_tables_abandoned).
+///
+/// With effective parallelism 1 this simply runs the sequential engine.
+void ParallelSelectSearch(SelectEngineKind engine, const CorpusView& index,
+                          const SelectQuery& query,
+                          const NormalizedSelectQuery& normalized,
+                          const TopKOptions& topk, ParallelSearchContext* ctx,
+                          SearchWorkspace* ws, std::vector<SearchResult>* out);
+
+/// Parallel join execution: leg 2 (binding enumeration) runs
+/// sequentially on `ws`; leg-1 expansions parallelize per binding on the
+/// task pool, each into a private accumulator, and merge in binding
+/// order — byte-identical to the sequential join engine.
+void ParallelJoinSearch(const CorpusView& index, const JoinQuery& query,
+                        const TopKOptions& topk, ParallelSearchContext* ctx,
+                        SearchWorkspace* ws, std::vector<SearchResult>* out);
+
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_PARALLEL_SEARCH_H_

@@ -1,0 +1,81 @@
+#ifndef WEBTAB_SEARCH_SHARD_SCAN_H_
+#define WEBTAB_SEARCH_SHARD_SCAN_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace webtab {
+namespace search_internal {
+
+/// Cross-shard coordination state for one scatter-gather query. The
+/// gather thread replays shard evidence in global table order and runs
+/// the exact sequential stop rule on the merged evidence; when the rule
+/// fires it publishes the first abandoned *global plan position* here.
+/// In-flight shards poll it (relaxed — the value only ever tightens)
+/// before scoring each table and abandon positions at or past it: a hot
+/// shard's merged results stop cold shards mid-flight without changing
+/// a single emitted byte, because abandoned positions lie strictly
+/// behind the published stop and their records would never be replayed.
+struct ShardControl {
+  /// Encoded (shard << 32 | plan_index) of the first abandoned global
+  /// position; kNoStop while the scan is live. Monotone: written once,
+  /// by the gather, under the sequential stop proof.
+  static constexpr int64_t kNoStop = INT64_MAX;
+  std::atomic<int64_t> stop_pos{kNoStop};
+
+  /// Telemetry twin of the stop: the merged evidence map's running max
+  /// score (bit_cast to uint64) published by the gather after each shard
+  /// replay — the "shared k-th-score threshold" surfaced by EXPLAIN and
+  /// the shard metrics. Shards do not branch on it; stop_pos is the
+  /// sound operational form (it encodes the full gap test, not just a
+  /// single score).
+  std::atomic<uint64_t> merged_max_score_bits{0};
+
+  static int64_t Encode(int shard, size_t plan_index) {
+    return (static_cast<int64_t>(shard) << 32) |
+           static_cast<int64_t>(plan_index);
+  }
+
+  void Reset() {
+    stop_pos.store(kNoStop, std::memory_order_relaxed);
+    merged_max_score_bits.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// How a shard invocation of an engine should run its planned scan.
+enum class ShardPhase : uint8_t {
+  /// Threaded mode: plan, publish bounds, then score with recording in
+  /// one pass (abandoning past the shared stop).
+  kPlanAndScore,
+  /// Inline deterministic mode, pass 1: run the engine up to (and
+  /// including) bound fill, publish the plan, skip scoring.
+  kPlanOnly,
+  /// Inline deterministic mode, pass 2: re-run the engine (the replan
+  /// recomputes identical bounds) and score with recording. Each shard's
+  /// scoring pass deterministically observes every stop the gather
+  /// published while replaying earlier shards.
+  kScoreOnly,
+};
+
+/// Per-shard handle threaded through TopKOptions::shard. The engine's
+/// RunPlannedTables branches into shard mode when it sees one: scoring
+/// records evidence-map calls into the shard workspace instead of
+/// accumulating, and the state flag sequences the gather (1 = plan and
+/// bounds readable, 2 = records complete).
+struct ShardScan {
+  ShardControl* control = nullptr;
+  int shard_index = 0;
+  ShardPhase phase = ShardPhase::kPlanAndScore;
+  /// 0 = running, 1 = plan ready (release), 2 = done (release). Null in
+  /// inline mode, where the caller sequences shards itself.
+  std::atomic<uint32_t>* state = nullptr;
+  /// Out: planned tables this shard skipped because the shared stop had
+  /// already passed their position ("pruning fires harder under
+  /// parallelism"). Written by the shard task; read after state == 2.
+  int64_t abandoned = 0;
+};
+
+}  // namespace search_internal
+}  // namespace webtab
+
+#endif  // WEBTAB_SEARCH_SHARD_SCAN_H_

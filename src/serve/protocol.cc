@@ -93,6 +93,8 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.want_stats = json.GetBool("stats", false);
       request.want_trace = json.GetBool("trace", false);
       request.want_explain = json.GetBool("explain", false);
+      request.parallelism =
+          static_cast<int>(json.GetNumber("parallelism", 0));
       break;
     }
     case WireRequest::Op::kJoin:
@@ -107,6 +109,8 @@ Result<WireRequest> ParseWireRequest(std::string_view line) {
       request.join.e2_is_subject = json.GetBool("e2_is_subject", true);
       request.join.max_join_entities =
           static_cast<int>(json.GetNumber("max_join_entities", 20));
+      request.parallelism =
+          static_cast<int>(json.GetNumber("parallelism", 0));
       break;
     case WireRequest::Op::kAnnotate: {
       request.want_trace = json.GetBool("trace", false);
@@ -417,6 +421,28 @@ Json SearchExplainJson(const SearchResponse& response) {
   filters.Set("classes", std::move(classes));
   filters.Set("screens", std::move(decisions));
   explain.Set("filters", std::move(filters));
+
+  // Scatter-gather section, present only when the query ran sharded:
+  // one entry per shard with its table range, plan size, how many of
+  // its tables the gather replayed, and how many the shared stop let it
+  // abandon mid-flight.
+  if (!response.shard_log.empty()) {
+    Json shards = Json::Array();
+    for (const SearchWorkspace::ShardSummary& s : response.shard_log) {
+      Json item = Json::Object();
+      item.Set("shard", Json::Number(static_cast<double>(s.shard)));
+      item.Set("table_begin",
+               Json::Number(static_cast<double>(s.table_begin)));
+      item.Set("table_end",
+               Json::Number(static_cast<double>(s.table_end)));
+      item.Set("planned", Json::Number(static_cast<double>(s.planned)));
+      item.Set("replayed", Json::Number(static_cast<double>(s.replayed)));
+      item.Set("abandoned",
+               Json::Number(static_cast<double>(s.abandoned)));
+      shards.Append(std::move(item));
+    }
+    explain.Set("shards", std::move(shards));
+  }
   return explain;
 }
 
@@ -432,11 +458,13 @@ Json AnnotateExplainJson(const AnnotateExplain& explain,
     item.Set("entity_candidates",
              Json::Number(static_cast<double>(col.entity_candidates)));
     item.Set("type_candidates", Json::Number(col.type_candidates));
-    item.Set("decoded_type",
-             col.decoded_type != kNa && catalog != nullptr &&
-                     catalog->ValidType(col.decoded_type)
-                 ? Json::String(catalog->TypeName(col.decoded_type))
-                 : Json::Null());
+    Json decoded = Json::Null();
+    if (col.decoded_type != kNa && catalog != nullptr) {
+      Result<std::string_view> name =
+          catalog->CheckedTypeName(col.decoded_type);
+      if (name.ok()) decoded = Json::String(*name);
+    }
+    item.Set("decoded_type", std::move(decoded));
     item.Set("decode_margin", Json::Number(col.decode_margin));
     columns.Append(std::move(item));
   }
@@ -472,12 +500,12 @@ std::string RenderSearchResponse(const SearchResponse& response,
   for (const SearchResult& result : response.results) {
     if (top_k > 0 && emitted >= top_k) break;
     Json item = Json::Object();
-    if (result.entity != kNa && catalog != nullptr &&
-        catalog->ValidEntity(result.entity)) {
-      item.Set("entity", Json::String(catalog->EntityName(result.entity)));
-    } else {
-      item.Set("entity", Json::Null());
+    Json entity = Json::Null();
+    if (result.entity != kNa && catalog != nullptr) {
+      Result<std::string_view> name = catalog->CheckedEntityName(result.entity);
+      if (name.ok()) entity = Json::String(*name);
     }
+    item.Set("entity", std::move(entity));
     item.Set("text", Json::String(result.text));
     item.Set("score", Json::Number(result.score));
     results.Append(std::move(item));
@@ -495,6 +523,12 @@ std::string RenderSearchResponse(const SearchResponse& response,
               Json::Number(static_cast<double>(
                   response.stats.tables_scored)));
     stats.Set("stopped_early", Json::Bool(response.stats.stopped_early));
+    stats.Set("shards_used",
+              Json::Number(static_cast<double>(
+                  response.stats.shards_used)));
+    stats.Set("shard_tables_abandoned",
+              Json::Number(static_cast<double>(
+                  response.stats.shard_tables_abandoned)));
     json.Set("stats", std::move(stats));
   }
   if (response.has_explain) {
@@ -512,17 +546,18 @@ std::string RenderAnnotateResponse(const AnnotateResponse& response,
   Json json = Json::Object();
   json.Set("ok", Json::Bool(true));
 
+  // Checked accessors: annotation ids normally come from the same
+  // generation the names are rendered with, but a hostile or stale id
+  // must degrade to null, never CHECK-abort the render path.
   auto type_name = [&](TypeId t) {
-    if (t == kNa || catalog == nullptr || !catalog->ValidType(t)) {
-      return Json::Null();
-    }
-    return Json::String(catalog->TypeName(t));
+    if (t == kNa || catalog == nullptr) return Json::Null();
+    Result<std::string_view> name = catalog->CheckedTypeName(t);
+    return name.ok() ? Json::String(*name) : Json::Null();
   };
   auto entity_name = [&](EntityId e) {
-    if (e == kNa || catalog == nullptr || !catalog->ValidEntity(e)) {
-      return Json::Null();
-    }
-    return Json::String(catalog->EntityName(e));
+    if (e == kNa || catalog == nullptr) return Json::Null();
+    Result<std::string_view> name = catalog->CheckedEntityName(e);
+    return name.ok() ? Json::String(*name) : Json::Null();
   };
 
   Json column_types = Json::Array();
@@ -545,10 +580,13 @@ std::string RenderAnnotateResponse(const AnnotateResponse& response,
     Json rel = Json::Object();
     rel.Set("c1", Json::Number(pair.first));
     rel.Set("c2", Json::Number(pair.second));
-    rel.Set("relation",
-            catalog != nullptr && catalog->ValidRelation(candidate.relation)
-                ? Json::String(catalog->RelationName(candidate.relation))
-                : Json::Null());
+    Json rel_name = Json::Null();
+    if (catalog != nullptr) {
+      Result<std::string_view> name =
+          catalog->CheckedRelationName(candidate.relation);
+      if (name.ok()) rel_name = Json::String(*name);
+    }
+    rel.Set("relation", std::move(rel_name));
     rel.Set("swapped", Json::Bool(candidate.swapped));
     relations.Append(std::move(rel));
   }

@@ -494,6 +494,21 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
     misses->Add(1);
   }
 
+  // Effective intra-query parallelism: the request's knob, with 0 (or
+  // negative) meaning the server default, clamped to the configured
+  // ceiling. Parallel and sequential runs return byte-identical
+  // payloads (search/parallel_search.h), which is why the cache key
+  // above never mentions parallelism.
+  int parallelism = request->topk.parallelism;
+  if (parallelism <= 0) parallelism = options_.search_shards;
+  parallelism = std::min(parallelism, std::max(1, options_.search_shards));
+  if (parallelism > 1 && state->parallel == nullptr) {
+    state->parallel = std::make_unique<ParallelSearchContext>(
+        options_.search_shards, options_.search_shards);
+  }
+  TopKOptions topk = request->topk;
+  topk.parallelism = parallelism;
+
   WallTimer work;
   std::vector<SearchResult> results;
   SearchWorkspace* ws = &state->search_workspace;
@@ -504,22 +519,47 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
     // slow-request log needs stage timings for exactly the requests
     // nobody thought to trace in advance.
     obs::ScopedTraceAttach attach(&state->trace);
-    switch (request->engine) {
-      case EngineKind::kBaseline:
-        BaselineSearch(*corpus, request->select, normalized, request->topk,
-                       ws, &results);
-        break;
-      case EngineKind::kType:
-        TypeSearch(*corpus, request->select, normalized, request->topk, ws,
-                   &results);
-        break;
-      case EngineKind::kTypeRelation:
-        TypeRelationSearch(*corpus, request->select, normalized,
-                           request->topk, ws, &results);
-        break;
-      case EngineKind::kJoin:
-        JoinSearch(*corpus, request->join, request->topk, ws, &results);
-        break;
+    if (parallelism > 1) {
+      ParallelSearchContext* ctx = state->parallel.get();
+      switch (request->engine) {
+        case EngineKind::kBaseline:
+          ParallelSelectSearch(SelectEngineKind::kBaseline, *corpus,
+                               request->select, normalized, topk, ctx, ws,
+                               &results);
+          break;
+        case EngineKind::kType:
+          ParallelSelectSearch(SelectEngineKind::kType, *corpus,
+                               request->select, normalized, topk, ctx, ws,
+                               &results);
+          break;
+        case EngineKind::kTypeRelation:
+          ParallelSelectSearch(SelectEngineKind::kTypeRelation, *corpus,
+                               request->select, normalized, topk, ctx, ws,
+                               &results);
+          break;
+        case EngineKind::kJoin:
+          ParallelJoinSearch(*corpus, request->join, topk, ctx, ws,
+                             &results);
+          break;
+      }
+    } else {
+      switch (request->engine) {
+        case EngineKind::kBaseline:
+          BaselineSearch(*corpus, request->select, normalized, topk, ws,
+                         &results);
+          break;
+        case EngineKind::kType:
+          TypeSearch(*corpus, request->select, normalized, topk, ws,
+                     &results);
+          break;
+        case EngineKind::kTypeRelation:
+          TypeRelationSearch(*corpus, request->select, normalized, topk, ws,
+                             &results);
+          break;
+        case EngineKind::kJoin:
+          JoinSearch(*corpus, request->join, topk, ws, &results);
+          break;
+      }
     }
   }
   meta.work_millis = work.ElapsedMillis();
@@ -548,6 +588,7 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
     }
     response.explain_log = ws->decision_log;
     response.explain_bounds_valid = ws->decision_bounds_valid;
+    response.shard_log = ws->shard_log;
     response.has_explain = true;
     const std::span<const exec::FilterManager::ClassState> classes =
         ws->filter_manager().classes();
@@ -577,6 +618,36 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
   response.meta = meta;
   request->search_promise.set_value(std::move(response));
 }
+
+namespace {
+
+/// Annotation outputs re-enter the serving path as raw catalog ids (the
+/// protocol renders their names; clients may echo them back). Validate
+/// them against the generation they will be rendered with: an id minted
+/// by a different snapshot generation — or corrupted anywhere along the
+/// way — surfaces as kInvalidArgument on the response instead of a
+/// CHECK-abort inside a worker thread.
+Status ValidateAnnotationIds(const CatalogView& catalog,
+                             const TableAnnotation& annotation) {
+  for (TypeId t : annotation.column_types) {
+    if (t == kNa) continue;
+    WEBTAB_RETURN_IF_ERROR(catalog.CheckedTypeName(t).status());
+  }
+  for (const auto& row : annotation.cell_entities) {
+    for (EntityId e : row) {
+      if (e == kNa) continue;
+      WEBTAB_RETURN_IF_ERROR(catalog.CheckedEntityName(e).status());
+    }
+  }
+  for (const auto& [pair, candidate] : annotation.relations) {
+    if (candidate.is_na()) continue;
+    WEBTAB_RETURN_IF_ERROR(
+        catalog.CheckedRelationName(candidate.relation).status());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 void WebTabService::ExecuteAnnotate(Request* request, WorkerState* state,
                                     const SnapshotManager::Handle& handle,
@@ -620,6 +691,9 @@ void WebTabService::ExecuteAnnotate(Request* request, WorkerState* state,
     }
   }
   meta.work_millis = work.ElapsedMillis();
+  Status ids_ok =
+      ValidateAnnotationIds(handle.snapshot->catalog(), response.annotation);
+  if (!ids_ok.ok()) response.status = std::move(ids_ok);
   static obs::Histogram* annotate_ms =
       obs::MetricsRegistry::Get().GetHistogram("serve.annotate_ms");
   annotate_ms->Record(meta.work_millis);

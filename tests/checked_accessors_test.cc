@@ -1,0 +1,162 @@
+// Hostile-id behaviour of the CatalogView checked accessors and their
+// adoption on the serving render path. The raw accessors CHECK-abort on
+// an out-of-range id (the right contract for kernels whose ids come
+// from the same view); a serving worker handed an id from a request
+// payload or from another snapshot generation must instead see
+// kInvalidArgument — and render null, not take the process down.
+#include <gtest/gtest.h>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "table/annotation.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using serve::Json;
+using testing_util::Figure1World;
+using testing_util::MakeFigure1World;
+
+TEST(CheckedAccessorsTest, GoodIdsMatchRawAccessors) {
+  Figure1World w = MakeFigure1World();
+  const CatalogView& catalog = w.catalog;
+
+  Result<std::string_view> type = catalog.CheckedTypeName(w.person);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, catalog.TypeName(w.person));
+
+  Result<std::string_view> lemma = catalog.CheckedTypeLemma(w.person, 1);
+  ASSERT_TRUE(lemma.ok());
+  EXPECT_EQ(*lemma, catalog.TypeLemma(w.person, 1));
+
+  Result<std::string_view> entity = catalog.CheckedEntityName(w.einstein);
+  ASSERT_TRUE(entity.ok());
+  EXPECT_EQ(*entity, catalog.EntityName(w.einstein));
+
+  Result<std::string_view> elemma = catalog.CheckedEntityLemma(w.einstein, 2);
+  ASSERT_TRUE(elemma.ok());
+  EXPECT_EQ(*elemma, catalog.EntityLemma(w.einstein, 2));
+
+  Result<std::string_view> relation = catalog.CheckedRelationName(w.author);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(*relation, catalog.RelationName(w.author));
+
+  Result<std::span<const EntityPair>> tuples =
+      catalog.CheckedRelationTuples(w.author);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), catalog.RelationTuples(w.author).size());
+}
+
+TEST(CheckedAccessorsTest, BadIdsSurfaceInvalidArgument) {
+  Figure1World w = MakeFigure1World();
+  const CatalogView& catalog = w.catalog;
+  const TypeId bad_type = catalog.num_types() + 7;
+  const EntityId bad_entity = catalog.num_entities();
+  const RelationId bad_relation = catalog.num_relations() + 100;
+
+  for (TypeId t : {bad_type, kNa, TypeId{-42}}) {
+    Result<std::string_view> name = catalog.CheckedTypeName(t);
+    ASSERT_FALSE(name.ok()) << "type id " << t;
+    EXPECT_EQ(name.status().code(), StatusCode::kInvalidArgument);
+  }
+  for (EntityId e : {bad_entity, kNa}) {
+    Result<std::string_view> name = catalog.CheckedEntityName(e);
+    ASSERT_FALSE(name.ok()) << "entity id " << e;
+    EXPECT_EQ(name.status().code(), StatusCode::kInvalidArgument);
+  }
+  for (RelationId b : {bad_relation, kNa}) {
+    Result<std::string_view> name = catalog.CheckedRelationName(b);
+    ASSERT_FALSE(name.ok()) << "relation id " << b;
+    EXPECT_EQ(name.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(catalog.CheckedRelationTuples(bad_relation).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedAccessorsTest, LemmaIndexOutOfRangeIsInvalidArgument) {
+  Figure1World w = MakeFigure1World();
+  const CatalogView& catalog = w.catalog;
+
+  // Valid owner id, hostile lemma index — both directions.
+  EXPECT_EQ(catalog.CheckedTypeLemma(w.person, -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog
+                .CheckedTypeLemma(w.person,
+                                  catalog.NumTypeLemmas(w.person))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.CheckedEntityLemma(w.einstein, -3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog
+                .CheckedEntityLemma(w.einstein,
+                                    catalog.NumEntityLemmas(w.einstein))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Hostile owner id wins over the lemma index.
+  EXPECT_EQ(catalog.CheckedTypeLemma(kNa, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The serving render path: an annotation carrying ids from nowhere (a
+// different generation, a corrupted echo) must render as null labels on
+// an otherwise well-formed response — previously each raw name lookup
+// was one bad id away from aborting a worker.
+TEST(CheckedAccessorsTest, HostileAnnotationIdsRenderNull) {
+  Figure1World w = MakeFigure1World();
+  const TypeId bad_type = w.catalog.num_types() + 5;
+  const EntityId bad_entity = w.catalog.num_entities() + 5;
+  const RelationId bad_relation = w.catalog.num_relations() + 5;
+
+  serve::AnnotateResponse response;
+  response.annotation = TableAnnotation::Empty(1, 2);
+  response.annotation.column_types = {w.book, bad_type};
+  response.annotation.cell_entities = {{w.b94, bad_entity}};
+  response.annotation.relations[{0, 1}] = RelationCandidate{bad_relation,
+                                                            false};
+
+  Result<Json> json =
+      Json::Parse(RenderAnnotateResponse(response, &w.catalog));
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_TRUE(json->GetBool("ok"));
+  const Json* types = json->Find("column_types");
+  ASSERT_NE(types, nullptr);
+  ASSERT_EQ(types->items().size(), 2u);
+  EXPECT_EQ(types->items()[0].string_value(), "book");
+  EXPECT_TRUE(types->items()[1].is_null());
+  const Json* cells = json->Find("cell_entities");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_FALSE(cells->items()[0].items()[0].is_null());
+  EXPECT_TRUE(cells->items()[0].items()[1].is_null());
+  const Json* relations = json->Find("relations");
+  ASSERT_NE(relations, nullptr);
+  ASSERT_EQ(relations->items().size(), 1u);
+  EXPECT_TRUE(relations->items()[0].Find("relation")->is_null());
+}
+
+// Same for search results: a result row with a foreign entity id keeps
+// its text and score but renders a null entity label.
+TEST(CheckedAccessorsTest, HostileSearchResultEntityRendersNull) {
+  Figure1World w = MakeFigure1World();
+  serve::SearchResponse response;
+  response.results.push_back(
+      SearchResult{w.catalog.num_entities() + 9, "stale row", 0.5});
+  response.results.push_back(SearchResult{w.einstein, "good row", 0.25});
+
+  Result<Json> json = Json::Parse(
+      RenderSearchResponse(response, &w.catalog, /*top_k=*/0,
+                           /*want_stats=*/false));
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  const Json* results = json->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), 2u);
+  EXPECT_TRUE(results->items()[0].Find("entity")->is_null());
+  EXPECT_EQ(results->items()[0].GetString("text"), "stale row");
+  EXPECT_EQ(results->items()[1].Find("entity")->string_value(),
+            "Albert Einstein");
+}
+
+}  // namespace
+}  // namespace webtab

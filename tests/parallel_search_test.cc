@@ -1,0 +1,464 @@
+// Determinism contract of the sharded scatter-gather executor
+// (search/parallel_search.h): for every engine x shard count x k x
+// prune x backend combination, the merged parallel ranking must be
+// BYTE-identical to the sequential kernel — same entities, same display
+// strings, bitwise-equal doubles, same stats and EXPLAIN decisions.
+// Plus a crafted corpus proving the shared stop threshold abandons cold
+// shards mid-flight ("pruning fires harder under parallelism").
+//
+// This test runs in the TSan CI job: the threaded sweep exercises the
+// task pool, the shard state flags and the relaxed stop-position
+// publishing under the race detector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "annotate/annotator.h"
+#include "common/task_pool.h"
+#include "search/baseline_search.h"
+#include "search/corpus_index.h"
+#include "search/join_search.h"
+#include "search/parallel_search.h"
+#include "search/search_workspace.h"
+#include "search/type_relation_search.h"
+#include "search/type_search.h"
+#include "storage/snapshot.h"
+#include "storage/snapshot_writer.h"
+#include "synth/corpus_generator.h"
+#include "test_world.h"
+
+namespace webtab {
+namespace {
+
+using storage::Snapshot;
+using storage::SnapshotBuilder;
+using testing_util::SharedIndex;
+using testing_util::SharedWorld;
+
+void ExpectByteIdentical(const std::vector<SearchResult>& got,
+                         const std::vector<SearchResult>& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].entity, want[i].entity) << context << " @" << i;
+    EXPECT_EQ(got[i].text, want[i].text) << context << " @" << i;
+    EXPECT_EQ(got[i].score, want[i].score)  // Bitwise double equality.
+        << context << " @" << i;
+  }
+}
+
+void ExpectSameStats(const SearchWorkspace::QueryStats& got,
+                     const SearchWorkspace::QueryStats& want,
+                     const std::string& context) {
+  EXPECT_EQ(got.tables_planned, want.tables_planned) << context;
+  EXPECT_EQ(got.tables_scored, want.tables_scored) << context;
+  EXPECT_EQ(got.stopped_early, want.stopped_early) << context;
+}
+
+void ExpectSameDecisions(
+    const std::vector<SearchWorkspace::TableDecision>& got,
+    const std::vector<SearchWorkspace::TableDecision>& want,
+    const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].table, want[i].table) << context << " @" << i;
+    EXPECT_EQ(static_cast<int>(got[i].verdict),
+              static_cast<int>(want[i].verdict))
+        << context << " @" << i;
+    EXPECT_EQ(got[i].bound, want[i].bound) << context << " @" << i;
+    EXPECT_EQ(got[i].suffix_after, want[i].suffix_after)
+        << context << " @" << i;
+  }
+}
+
+class ParallelSearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const World& world = SharedWorld();
+    CorpusSpec spec;
+    spec.seed = 4321;
+    spec.num_tables = 48;
+    spec.min_rows = 3;
+    spec.max_rows = 10;
+    spec.join_table_prob = 0.4;
+    std::vector<Table> tables;
+    for (const LabeledTable& lt : GenerateCorpus(world, spec)) {
+      tables.push_back(lt.table);
+    }
+    TableAnnotator annotator(&world.catalog, &SharedIndex());
+    std::vector<AnnotatedTable> annotated =
+        AnnotateCorpus(&annotator, tables);
+    ClosureCache closure(&world.catalog);
+    mem_corpus_ = new CorpusIndex(std::move(annotated), &closure);
+
+    path_ = new std::string(::testing::TempDir() + "/parallel_search.snap");
+    SnapshotBuilder builder;
+    builder.SetCatalog(&world.catalog)
+        .SetLemmaIndex(&SharedIndex())
+        .SetCorpus(mem_corpus_);
+    WEBTAB_CHECK_OK(builder.WriteToFile(*path_));
+    Result<Snapshot> snap = Snapshot::OpenValidated(*path_);
+    WEBTAB_CHECK(snap.ok()) << snap.status().ToString();
+    snap_ = new Snapshot(std::move(snap.value()));
+  }
+
+  static void TearDownTestSuite() {
+    delete snap_;
+    snap_ = nullptr;
+    std::remove(path_->c_str());
+    delete path_;
+    path_ = nullptr;
+    delete mem_corpus_;
+    mem_corpus_ = nullptr;
+  }
+
+  static std::vector<SelectQuery> SelectQueries() {
+    const World& world = SharedWorld();
+    std::vector<SelectQuery> queries;
+    auto add_family = [&](RelationId rel, TypeId t1, TypeId t2,
+                          const char* rel_text, const char* t1_text,
+                          const char* t2_text) {
+      SelectQuery base;
+      base.relation = rel;
+      base.type1 = t1;
+      base.type2 = t2;
+      base.relation_text = rel_text;
+      base.type1_text = t1_text;
+      base.type2_text = t2_text;
+      const auto& tuples = world.true_relations[rel].tuples;
+      const size_t stride = std::max<size_t>(1, tuples.size() / 3);
+      for (size_t i = 0; i < tuples.size(); i += stride) {
+        EntityId e = tuples[i].second;
+        SelectQuery q = base;
+        q.e2 = e;
+        q.e2_text = std::string(world.catalog.EntityName(e));
+        queries.push_back(q);
+        q.e2 = kNa;  // Ungrounded text form.
+        queries.push_back(q);
+      }
+    };
+    add_family(world.acted_in, world.actor, world.movie, "acted in",
+               "actor", "movie");
+    add_family(world.directed, world.movie, world.director, "directed by",
+               "movie", "director");
+    add_family(world.wrote, world.novelist, world.novel, "wrote", "author",
+               "novel title");
+    return queries;
+  }
+
+  static CorpusIndex* mem_corpus_;
+  static std::string* path_;
+  static Snapshot* snap_;
+};
+
+CorpusIndex* ParallelSearchTest::mem_corpus_ = nullptr;
+std::string* ParallelSearchTest::path_ = nullptr;
+Snapshot* ParallelSearchTest::snap_ = nullptr;
+
+struct EngineCase {
+  const char* name;
+  SelectEngineKind kind;
+  void (*kernel)(const CorpusView&, const SelectQuery&,
+                 const NormalizedSelectQuery&, const TopKOptions&,
+                 SearchWorkspace*, std::vector<SearchResult>*);
+};
+
+const EngineCase kEngines[] = {
+    {"baseline", SelectEngineKind::kBaseline, &BaselineSearch},
+    {"type", SelectEngineKind::kType, &TypeSearch},
+    {"type_relation", SelectEngineKind::kTypeRelation,
+     &TypeRelationSearch},
+};
+
+TEST_F(ParallelSearchTest, MergedTopKByteIdenticalAcrossFullSweep) {
+  // engines x shards {1,2,3,7,16} x k {0,1,10} x prune on/off x both
+  // backends, threaded executor. One workspace pool reused throughout:
+  // steady-state reuse across shard counts is part of what this pins.
+  ParallelSearchContext ctx(/*max_shards=*/16, /*threads=*/3);
+  SearchWorkspace seq_ws, par_ws;
+  std::vector<SearchResult> want, got;
+  const CorpusView& snap_view = *snap_->corpus();
+  const CorpusView* backends[] = {mem_corpus_, &snap_view};
+  const char* backend_names[] = {"mem", "snap"};
+  const int shard_counts[] = {1, 2, 3, 7, 16};
+  const int ks[] = {0, 1, 10};
+  size_t total_results = 0;
+  for (const SelectQuery& q : SelectQueries()) {
+    NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+    for (const EngineCase& engine : kEngines) {
+      for (int b = 0; b < 2; ++b) {
+        for (int k : ks) {
+          for (bool prune : {false, true}) {
+            TopKOptions topk;
+            topk.k = k;
+            topk.prune = prune;
+            engine.kernel(*backends[b], q, nq, topk, &seq_ws, &want);
+            total_results += want.size();
+            const SearchWorkspace::QueryStats seq_stats = seq_ws.stats();
+            for (int shards : shard_counts) {
+              TopKOptions par = topk;
+              par.parallelism = shards;
+              std::string context = std::string(engine.name) +
+                                    " e2=" + q.e2_text + " " +
+                                    backend_names[b] +
+                                    " k=" + std::to_string(k) +
+                                    (prune ? " pruned" : " full") +
+                                    " shards=" + std::to_string(shards);
+              ParallelSelectSearch(engine.kind, *backends[b], q, nq, par,
+                                   &ctx, &par_ws, &got);
+              ExpectByteIdentical(got, want, context);
+              ExpectSameStats(par_ws.stats(), seq_stats, context);
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(total_results, 100u);  // Non-vacuity.
+}
+
+TEST_F(ParallelSearchTest, ScalarBatchAndInlineModesStayIdentical) {
+  // The scalar (batch=false) kernel path and the inline deterministic
+  // executor (0-thread pool) hold the same byte-identity.
+  ParallelSearchContext inline_ctx(/*max_shards=*/7, /*threads=*/0);
+  SearchWorkspace seq_ws, par_ws;
+  std::vector<SearchResult> want, got;
+  const std::vector<SelectQuery> queries = SelectQueries();
+  for (size_t qi = 0; qi < queries.size(); qi += 2) {
+    const SelectQuery& q = queries[qi];
+    NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+    for (const EngineCase& engine : kEngines) {
+      for (bool batch : {false, true}) {
+        TopKOptions topk;
+        topk.k = 10;
+        topk.prune = true;
+        topk.batch = batch;
+        engine.kernel(*mem_corpus_, q, nq, topk, &seq_ws, &want);
+        const SearchWorkspace::QueryStats seq_stats = seq_ws.stats();
+        TopKOptions par = topk;
+        par.parallelism = 5;
+        std::string context = std::string(engine.name) + " e2=" +
+                              q.e2_text + (batch ? " batch" : " scalar") +
+                              " inline";
+        ParallelSelectSearch(engine.kind, *mem_corpus_, q, nq, par,
+                             &inline_ctx, &par_ws, &got);
+        ExpectByteIdentical(got, want, context);
+        ExpectSameStats(par_ws.stats(), seq_stats, context);
+        EXPECT_EQ(par_ws.stats().shards_used, 5) << context;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelSearchTest, ExplainDecisionLogMatchesSequentialExactly) {
+  // EXPLAIN through the gather: the merged decision log must equal the
+  // sequential log entry for entry — same verdicts, same bound and
+  // suffix doubles — and the shard section must account for every
+  // planned table.
+  ParallelSearchContext ctx(/*max_shards=*/16, /*threads=*/2);
+  SearchWorkspace seq_ws, par_ws;
+  seq_ws.EnableExplain(true);
+  par_ws.EnableExplain(true);
+  std::vector<SearchResult> want, got;
+  const std::vector<SelectQuery> queries = SelectQueries();
+  for (size_t qi = 0; qi < queries.size(); qi += 3) {
+    const SelectQuery& q = queries[qi];
+    NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+    for (const EngineCase& engine : kEngines) {
+      for (bool prune : {false, true}) {
+        TopKOptions topk;
+        topk.k = 5;
+        topk.prune = prune;
+        engine.kernel(*mem_corpus_, q, nq, topk, &seq_ws, &want);
+        TopKOptions par = topk;
+        par.parallelism = 3;
+        std::string context =
+            std::string(engine.name) + " e2=" + q.e2_text +
+            (prune ? " pruned" : " full") + " explain";
+        ParallelSelectSearch(engine.kind, *mem_corpus_, q, nq, par, &ctx,
+                             &par_ws, &got);
+        ExpectByteIdentical(got, want, context);
+        ExpectSameDecisions(par_ws.decision_log, seq_ws.decision_log,
+                            context);
+        EXPECT_EQ(par_ws.decision_bounds_valid, seq_ws.decision_bounds_valid)
+            << context;
+        ASSERT_EQ(par_ws.shard_log.size(), 3u) << context;
+        int64_t planned_in_shards = 0;
+        for (const SearchWorkspace::ShardSummary& s : par_ws.shard_log) {
+          planned_in_shards += s.planned;
+        }
+        EXPECT_EQ(planned_in_shards, par_ws.stats().tables_planned)
+            << context;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelSearchTest, JoinByteIdenticalUnderParallelLegs) {
+  const World& world = SharedWorld();
+  ParallelSearchContext threaded_ctx(/*max_shards=*/7, /*threads=*/3);
+  ParallelSearchContext inline_ctx(/*max_shards=*/7, /*threads=*/0);
+  SearchWorkspace seq_ws, par_ws;
+  std::vector<SearchResult> want, got;
+  const CorpusView& snap_view = *snap_->corpus();
+  const CorpusView* backends[] = {mem_corpus_, &snap_view};
+  std::vector<JoinQuery> queries;
+  for (EntityId e = 5; e < world.catalog.num_entities(); e += 509) {
+    JoinQuery jq;
+    jq.r1 = world.acted_in;
+    jq.e1_is_subject = true;
+    jq.r2 = world.directed;
+    jq.e2_is_subject = false;
+    jq.e3 = e;
+    jq.e3_text = std::string(world.catalog.EntityName(e));
+    queries.push_back(jq);
+    jq.e3 = kNa;  // Text-fallback grounding.
+    queries.push_back(jq);
+  }
+  for (const JoinQuery& jq : queries) {
+    for (const CorpusView* backend : backends) {
+      for (int k : {0, 3}) {
+        TopKOptions topk;
+        topk.k = k;
+        JoinSearch(*backend, jq, topk, &seq_ws, &want);
+        const SearchWorkspace::QueryStats seq_stats = seq_ws.stats();
+        for (int par_n : {2, 4, 7}) {
+          TopKOptions par = topk;
+          par.parallelism = par_n;
+          std::string context = "join e3=" + jq.e3_text +
+                                " k=" + std::to_string(k) +
+                                " par=" + std::to_string(par_n);
+          ParallelJoinSearch(*backend, jq, par, &threaded_ctx, &par_ws,
+                             &got);
+          ExpectByteIdentical(got, want, context + " threaded");
+          ExpectSameStats(par_ws.stats(), seq_stats, context + " threaded");
+          ParallelJoinSearch(*backend, jq, par, &inline_ctx, &par_ws, &got);
+          ExpectByteIdentical(got, want, context + " inline");
+          ExpectSameStats(par_ws.stats(), seq_stats, context + " inline");
+        }
+      }
+    }
+  }
+}
+
+TEST(TaskPoolTest, LaunchDrainCyclesCountEveryIndex) {
+  TaskPool pool(3);
+  std::atomic<int64_t> sum{0};
+  struct Ctx {
+    std::atomic<int64_t>* sum;
+  } ctx{&sum};
+  for (int round = 0; round < 50; ++round) {
+    sum.store(0);
+    pool.Launch(
+        [](void* arg, int index) {
+          static_cast<Ctx*>(arg)->sum->fetch_add(index + 1);
+        },
+        &ctx, 17);
+    pool.Drain();
+    ASSERT_EQ(sum.load(), 17 * 18 / 2) << "round " << round;
+  }
+  // Zero-thread pool runs inline.
+  TaskPool inline_pool(0);
+  sum.store(0);
+  inline_pool.Launch(
+      [](void* arg, int index) {
+        static_cast<Ctx*>(arg)->sum->fetch_add(index + 1);
+      },
+      &ctx, 5);
+  inline_pool.Drain();
+  EXPECT_EQ(sum.load(), 15);
+}
+
+// --- Crafted cold-shard abandonment ---------------------------------------
+
+class ParallelPruneTest : public ::testing::Test {
+ protected:
+  ParallelPruneTest()
+      : w_(testing_util::MakeFigure1World()),
+        closure_(&w_.catalog),
+        index_(MakeCorpus(), &closure_) {}
+
+  /// Table 0: a dominant answer (b41, 40 rows) plus a 1-row runner-up;
+  /// tables 1..5: one matching row each. With k=1 the gap after table 0
+  /// (39) exceeds all remaining bound mass (5), so the gather proves
+  /// the prefix final while replaying SHARD 0 — and the published stop
+  /// position forces the cold shards to abandon every table they
+  /// planned.
+  std::vector<AnnotatedTable> MakeCorpus() {
+    std::vector<AnnotatedTable> corpus;
+    auto make_table = [&](int rows, EntityId answer) {
+      AnnotatedTable at;
+      at.table = Table(rows, 2);
+      at.annotation = TableAnnotation::Empty(rows, 2);
+      at.annotation.column_types[0] = w_.book;
+      at.annotation.column_types[1] = w_.person;
+      for (int r = 0; r < rows; ++r) {
+        at.table.set_cell(r, 0, "Some Book");
+        at.table.set_cell(r, 1, "A. Einstein");
+        at.annotation.cell_entities[r][0] = answer;
+        at.annotation.cell_entities[r][1] = w_.einstein;
+      }
+      return at;
+    };
+    AnnotatedTable hot = make_table(41, w_.b41);
+    hot.annotation.cell_entities[40][0] = w_.b95;  // Runner-up row.
+    corpus.push_back(hot);
+    for (int i = 0; i < 5; ++i) corpus.push_back(make_table(1, w_.b95));
+    return corpus;
+  }
+
+  SelectQuery Query() {
+    SelectQuery q;
+    q.type1 = w_.book;
+    q.type2 = w_.person;
+    q.e2 = w_.einstein;
+    q.e2_text = "A. Einstein";
+    return q;
+  }
+
+  testing_util::Figure1World w_;
+  ClosureCache closure_;
+  CorpusIndex index_;
+};
+
+TEST_F(ParallelPruneTest, SharedThresholdAbandonsColdShards) {
+  // Inline deterministic executor: shard s+1's scoring pass runs after
+  // the gather replayed shard s, so the cross-shard abandonment counts
+  // are exact, not timing-dependent.
+  ParallelSearchContext ctx(/*max_shards=*/3, /*threads=*/0);
+  SearchWorkspace seq_ws, par_ws;
+  std::vector<SearchResult> want, got;
+  SelectQuery q = Query();
+  NormalizedSelectQuery nq = NormalizeSelectQuery(q);
+
+  TopKOptions topk;
+  topk.k = 1;
+  topk.prune = true;
+  TypeSearch(index_, q, nq, topk, &seq_ws, &want);
+  ASSERT_TRUE(seq_ws.stats().stopped_early);
+  // The single-shard kernel never *abandons* anything — the shared
+  // threshold has nobody to talk to.
+  ASSERT_EQ(seq_ws.stats().shard_tables_abandoned, 0);
+
+  TopKOptions par = topk;
+  par.parallelism = 3;  // Shards: {0,1}, {2,3}, {4,5}.
+  ParallelSelectSearch(SelectEngineKind::kType, index_, q, nq, par, &ctx,
+                       &par_ws, &got);
+  ExpectByteIdentical(got, want, "cold-shard prune");
+  ExpectSameStats(par_ws.stats(), seq_ws.stats(), "cold-shard prune");
+  EXPECT_EQ(par_ws.stats().shards_used, 3);
+  // Cross-shard pruning fired strictly beyond what a single shard can
+  // do: the hot shard's replay stopped the scan at global position 0,
+  // and both cold shards abandoned every planned table (2 each).
+  EXPECT_EQ(par_ws.stats().shard_tables_abandoned, 4);
+  ASSERT_EQ(par_ws.shard_log.size(), 3u);
+  EXPECT_GT(par_ws.shard_log[0].replayed, 0);
+  EXPECT_EQ(par_ws.shard_log[1].abandoned, 2);
+  EXPECT_EQ(par_ws.shard_log[2].abandoned, 2);
+}
+
+}  // namespace
+}  // namespace webtab

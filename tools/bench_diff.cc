@@ -64,7 +64,11 @@ const std::vector<BenchSpec>& Specs() {
         {"join.speedup", Direction::kHigherBetter},
         {"batch_kernel.geomean_full_speedup", Direction::kHigherBetter},
         {"steady_state_allocations_per_query", Direction::kExactZero},
-        {"metrics_overhead_fraction", Direction::kLowerBetter}}},
+        {"metrics_overhead_fraction", Direction::kLowerBetter},
+        {"parallel_kernel.byte_identical", Direction::kBoolTrue},
+        {"parallel_kernel.speedup_4shard", Direction::kHigherBetter},
+        {"parallel_kernel.steady_state_allocations_per_query",
+         Direction::kExactZero}}},
       {"candidates",
        {{"candidate_generation.speedup", Direction::kHigherBetter},
         {"batch_kernel.postings_pruned_fraction",
@@ -72,7 +76,11 @@ const std::vector<BenchSpec>& Specs() {
         {"f1_scoring.speedup", Direction::kHigherBetter}}},
       {"serving",
        {{"failures", Direction::kExactZero},
-        {"byte_identical_verified", Direction::kBoolTrue}}},
+        {"byte_identical_verified", Direction::kBoolTrue},
+        {"intra_query_parallelism.on.failures", Direction::kExactZero}}},
+      {"annotate_parallel",
+       {{"annotations_identical", Direction::kBoolTrue},
+        {"speedup_4threads", Direction::kHigherBetter}}},
       {"snapshot_load",
        {{"speedup", Direction::kHigherBetter},
         {"speedup_noverify", Direction::kHigherBetter}}},
