@@ -400,7 +400,9 @@ int main(int argc, char** argv) {
   const SelectEngineKind parallel_engines[] = {SelectEngineKind::kBaseline,
                                                SelectEngineKind::kType,
                                                SelectEngineKind::kTypeRelation};
-  ParallelSearchContext pctx(/*max_shards=*/8, /*threads=*/8);
+  // Pool sized one short of the fan-out: the bench thread runs shard 0
+  // itself, matching the serving layer's context sizing.
+  ParallelSearchContext pctx(/*max_shards=*/8, /*threads=*/7);
   SearchWorkspace pws;
   std::vector<SearchResult> pgot;
   int64_t shard_tables_abandoned = 0;

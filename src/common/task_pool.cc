@@ -29,7 +29,13 @@ void TaskPool::Launch(TaskFn fn, void* ctx, int count) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Even after the previous group's last task completed, a worker may
+    // still be between its final ++completed_ and the claim attempt that
+    // observes exhaustion. Resetting next_ under it would hand that
+    // stale worker index 0 of the new group with the old fn/ctx. Wait
+    // for every worker to leave the old claim loop first.
+    done_cv_.wait(lock, [&] { return completed_ >= count_ && active_ == 0; });
     fn_ = fn;
     ctx_ = ctx;
     count_ = count;
@@ -42,7 +48,7 @@ void TaskPool::Launch(TaskFn fn, void* ctx, int count) {
 
 void TaskPool::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return completed_ >= count_; });
+  done_cv_.wait(lock, [&] { return completed_ >= count_ && active_ == 0; });
 }
 
 void TaskPool::WorkerLoop() {
@@ -59,6 +65,7 @@ void TaskPool::WorkerLoop() {
       fn = fn_;
       ctx = ctx_;
       count = count_;
+      ++active_;
     }
     while (true) {
       const int i = next_.fetch_add(1, std::memory_order_relaxed);
@@ -67,6 +74,13 @@ void TaskPool::WorkerLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       ++completed_;
       if (completed_ >= count) done_cv_.notify_all();
+    }
+    {
+      // Claim loop exhausted: this worker can no longer touch next_
+      // until the next generation, so the group retires when the last
+      // one gets here.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0 && completed_ >= count_) done_cv_.notify_all();
     }
   }
 }

@@ -41,11 +41,17 @@ class TaskPool {
 
   /// Starts `count` tasks fn(ctx, 0 .. count-1) on the pool and returns
   /// immediately (with zero threads: runs them all before returning).
-  /// The previous group must have been Drain()ed.
+  /// Waits for the previous group to fully retire first (see Drain), so
+  /// a worker still inside the old group's claim loop can never claim an
+  /// index of the new group with the old fn/ctx.
   void Launch(TaskFn fn, void* ctx, int count);
 
-  /// Blocks until every task of the current group has finished. Idempotent;
-  /// a no-op when no group is in flight.
+  /// Blocks until every task of the current group has finished AND every
+  /// worker has left the group's claim loop. The second half matters: a
+  /// worker that just completed the group's last task still performs one
+  /// more claim attempt before parking, and the group only becomes safe
+  /// to replace once that attempt has observed exhaustion. Idempotent; a
+  /// no-op when no group is in flight.
   void Drain();
 
  private:
@@ -58,6 +64,7 @@ class TaskPool {
   void* ctx_ = nullptr;      // guarded by mu_
   int count_ = 0;            // guarded by mu_
   int completed_ = 0;        // guarded by mu_
+  int active_ = 0;           // guarded by mu_; workers inside the claim loop
   uint64_t generation_ = 0;  // guarded by mu_; bumps once per Launch
   bool shutdown_ = false;    // guarded by mu_
   std::atomic<int> next_{0};

@@ -1,6 +1,8 @@
 #include "search/parallel_search.h"
 
 #include <bit>
+#include <chrono>
+#include <limits>
 #include <thread>
 
 #include "common/logging.h"
@@ -78,11 +80,36 @@ void RunJoinLegTask(void* arg, int w) {
   }
 }
 
+/// Yield a few times for the common fast transition, then back off to
+/// short sleeps so a gather stuck behind a slow shard stops burning a
+/// core (the request thread has already contributed its own shard by
+/// the time it waits here).
+struct Backoff {
+  int spins = 0;
+  void Pause() {
+    if (++spins <= 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+};
+
 void WaitState(const std::atomic<uint32_t>& state, uint32_t target) {
+  Backoff backoff;
   while (state.load(std::memory_order_acquire) < target) {
-    std::this_thread::yield();
+    backoff.Pause();
   }
 }
+
+/// Pool trampolines shifted by one: the caller runs shard/leg 0 on its
+/// own thread (a context's pool is sized one short of the fan-out for
+/// exactly this reason), so pool task i maps to slot i + 1.
+void RunSelectShardTaskFromPool(void* arg, int index) {
+  RunSelectShardTask(arg, index + 1);
+}
+
+void RunJoinLegTaskFromPool(void* arg, int w) { RunJoinLegTask(arg, w + 1); }
 
 void RecordShardMetrics(int shards, int64_t abandoned) {
   static obs::Counter* fanout =
@@ -99,6 +126,9 @@ void RecordShardMetrics(int shards, int64_t abandoned) {
 
 void PartitionTables(int64_t num_tables, int shards,
                      std::vector<int32_t>* starts) {
+  // Boundaries are int32 because table ids are int32 corpus-wide; fail
+  // loudly (instead of truncating positions) if that ever changes.
+  WEBTAB_CHECK(num_tables <= std::numeric_limits<int32_t>::max());
   if (shards < 1) shards = 1;
   starts->clear();
   starts->push_back(0);
@@ -156,8 +186,11 @@ void ParallelSelectSearch(SelectEngineKind engine, const CorpusView& index,
   {
     obs::TraceSpan scatter_span("search.scatter");
     if (threaded) {
-      ctx->pool_.Launch(&RunSelectShardTask, ctx, S);
-      for (int s = 0; s < S; ++s) WaitState(ctx->slots_[s]->state, 1);
+      // Shards 1..S-1 scatter onto the pool; the request thread runs
+      // shard 0 itself instead of spinning through the whole scatter.
+      ctx->pool_.Launch(&RunSelectShardTaskFromPool, ctx, S - 1);
+      RunSelectShardTask(ctx, 0);
+      for (int s = 1; s < S; ++s) WaitState(ctx->slots_[s]->state, 1);
     } else {
       for (int s = 0; s < S; ++s) RunSelectShardTask(ctx, s);
     }
@@ -360,14 +393,18 @@ void ParallelJoinSearch(const CorpusView& index, const JoinQuery& query,
     obs::TraceSpan score_span("search.score");
     const bool threaded = ctx->threaded();
     if (threaded) {
-      ctx->pool_.Launch(&RunJoinLegTask, ctx, W);
+      // Legs 1..W-1 fan out to the pool; the request thread expands
+      // leg-0's binding stripe itself before it starts merging.
+      ctx->pool_.Launch(&RunJoinLegTaskFromPool, ctx, W - 1);
+      RunJoinLegTask(ctx, 0);
     } else {
       for (int w = 0; w < W; ++w) RunJoinLegTask(ctx, w);
     }
     for (size_t i = 0; i < num_bindings; ++i) {
       ParallelSearchContext::BindingResult& br = *ctx->bindings_[i];
+      Backoff backoff;
       while (br.done.load(std::memory_order_acquire) == 0) {
-        std::this_thread::yield();
+        backoff.Pause();
       }
       const double binding_score = ws->binding_list[i].second;
       for (const auto& [e1, evidence] : br.pairs) {

@@ -131,6 +131,12 @@ class ShardView final : public CorpusView {
 /// order, so each shard's scoring pass observes every stop the gather
 /// published for earlier shards — the mode the equivalence and
 /// cold-shard tests pin down.
+///
+/// In threaded mode the calling thread always runs shard 0 (join: leg
+/// 0) itself while the pool covers the rest, so `threads` =
+/// max_shards - 1 already saturates a max_shards-way fan-out — the
+/// sizing the serving layer uses to avoid oversubscribing a machine
+/// with one spinning request thread per worker.
 class ParallelSearchContext {
  public:
   ParallelSearchContext(int max_shards, int threads)

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/logging.h"
+
 namespace webtab {
 namespace search_internal {
 
@@ -32,6 +34,13 @@ struct ShardControl {
   std::atomic<uint64_t> merged_max_score_bits{0};
 
   static int64_t Encode(int shard, size_t plan_index) {
+    // The packing gives plan_index the low 32 bits, and the gather
+    // publishes Encode(s, pi) + 1 — so an index must stay strictly
+    // below 2^32 - 1 or the +1 carries into the shard bits. Plans hold
+    // at most one entry per table and PartitionTables CHECKs the corpus
+    // at <= INT32_MAX tables, so this only fires if table-id width ever
+    // grows past the packing's assumption.
+    WEBTAB_CHECK(plan_index < (uint64_t{1} << 32) - 1);
     return (static_cast<int64_t>(shard) << 32) |
            static_cast<int64_t>(plan_index);
   }

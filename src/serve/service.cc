@@ -503,8 +503,12 @@ void WebTabService::ExecuteSearch(Request* request, WorkerState* state,
   if (parallelism <= 0) parallelism = options_.search_shards;
   parallelism = std::min(parallelism, std::max(1, options_.search_shards));
   if (parallelism > 1 && state->parallel == nullptr) {
+    // Pool sized one short of the fan-out: the request thread runs one
+    // shard itself (parallel_search.cc), so a worker's context adds
+    // search_shards - 1 threads rather than search_shards threads plus
+    // a spinning request thread.
     state->parallel = std::make_unique<ParallelSearchContext>(
-        options_.search_shards, options_.search_shards);
+        options_.search_shards, options_.search_shards - 1);
   }
   TopKOptions topk = request->topk;
   topk.parallelism = parallelism;

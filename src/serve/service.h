@@ -52,8 +52,9 @@ struct ServiceOptions {
   /// Upper bound on intra-query parallelism (scatter-gather shard
   /// fan-out; see search/parallel_search.h). 1 keeps every query on the
   /// sequential kernel. > 1 gives each worker a lazily-built
-  /// ParallelSearchContext with this many workspace slots and task-pool
-  /// threads; a request's own `parallelism` knob (wire field
+  /// ParallelSearchContext with this many workspace slots and
+  /// search_shards - 1 task-pool threads (the request thread runs the
+  /// remaining shard itself); a request's own `parallelism` knob (wire field
   /// "parallelism") is clamped to [1, search_shards], with 0/absent
   /// meaning "use the server default" (= search_shards). Results are
   /// byte-identical either way, so the result cache key ignores it.

@@ -372,6 +372,40 @@ TEST(TaskPoolTest, LaunchDrainCyclesCountEveryIndex) {
   EXPECT_EQ(sum.load(), 15);
 }
 
+// Regression for a group-reuse race: Drain() used to return as soon as
+// the last task completed, while the worker that ran it still had one
+// claim attempt ahead of it. The next Launch() reset the claim counter
+// under that worker, handing it index 0 of the NEW group to run with
+// the OLD fn/ctx — the new group's task 0 was silently skipped (its
+// flag below would stay 0) even though the completion count still
+// reached the target. Drain()/Launch() now wait for every worker to
+// leave the claim loop, so alternating tiny groups — the serving
+// pattern of select/join queries reusing one pool — must run every
+// index of every group exactly once.
+TEST(TaskPoolTest, GroupReuseNeverRunsStaleTasks) {
+  TaskPool pool(4);
+  struct Ctx {
+    std::atomic<uint32_t> ran[16];
+  };
+  Ctx groups[2];
+  for (int round = 0; round < 1000; ++round) {
+    Ctx& cur = groups[round & 1];
+    const int count = (round & 1) ? 3 : 7;
+    for (auto& flag : cur.ran) flag.store(0, std::memory_order_relaxed);
+    pool.Launch(
+        [](void* arg, int index) {
+          static_cast<Ctx*>(arg)->ran[index].fetch_add(
+              1, std::memory_order_relaxed);
+        },
+        &cur, count);
+    pool.Drain();
+    for (int i = 0; i < count; ++i) {
+      ASSERT_EQ(cur.ran[i].load(std::memory_order_relaxed), 1)
+          << "round " << round << " index " << i;
+    }
+  }
+}
+
 // --- Crafted cold-shard abandonment ---------------------------------------
 
 class ParallelPruneTest : public ::testing::Test {
